@@ -1,0 +1,106 @@
+// Extension of the false-negative study (the paper's §V future work):
+// three additional samples chosen to probe the *boundaries* of continuous
+// integrity attestation.
+//
+//   * XMRig-miner        — in scope; evades via P1/P3 until mitigated.
+//   * SSH-key-backdoor   — data-only persistence; invisible by design,
+//                          with or without mitigations (the §V "Keylime
+//                          is not an IDS" lesson).
+//   * GRUB-bootkit       — below IMA entirely; caught only by
+//                          measured-boot refstate checking at reboot.
+#include <cstdio>
+
+#include "attacks/extended.hpp"
+#include "common/log.hpp"
+#include "core/policy_generator.hpp"
+#include "experiments/testbed.hpp"
+
+namespace {
+
+using namespace cia;
+using namespace cia::experiments;
+
+enum class Posture { kStock, kMitigated };
+
+const char* outcome(bool immediate, bool on_reboot) {
+  if (immediate) return "detected";
+  if (on_reboot) return "detected-on-reboot";
+  return "evaded";
+}
+
+bool payload_alerted(const keylime::Verifier& verifier,
+                     const attacks::Attack& attack) {
+  for (const auto& alert : verifier.alerts()) {
+    if (alert.type == keylime::AlertType::kMeasuredBootMismatch &&
+        attack.category() == "Bootkit") {
+      return true;  // the refstate mismatch *is* the bootkit detection
+    }
+    for (const auto& marker : attack.payload_markers()) {
+      if (alert.path.find(marker) != std::string::npos) return true;
+    }
+  }
+  return false;
+}
+
+std::string run_one(attacks::Attack& attack, Posture posture) {
+  TestbedOptions options;
+  options.provision_extra = 30;
+  options.archive.base_package_count = 200;
+  if (posture == Posture::kMitigated) {
+    options.ima_policy = ima::ImaPolicy::enriched();
+    options.ima_config.reevaluate_on_path_change = true;
+    options.ima_config.script_exec_control = true;
+    options.verifier_config.continue_on_failure = true;
+  }
+  Testbed bed(options);
+  if (!bed.enroll().ok()) return "rig-error";
+
+  bed.mirror.sync(0);
+  core::DynamicPolicyGenerator generator(&bed.mirror, core::GeneratorConfig{});
+  auto policy = generator.generate_base(bed.machine.kernel_version());
+  if (posture == Posture::kStock) policy.exclude("/tmp/*");
+  (void)bed.verifier.set_policy(bed.agent_id(), policy);
+  if (posture == Posture::kMitigated) {
+    // The mitigated posture also pins the boot chain.
+    (void)bed.verifier.set_mb_refstate(
+        bed.agent_id(), keylime::MbRefstate::capture(bed.machine.tpm()));
+  }
+  bed.attest();
+
+  attacks::AttackContext ctx;
+  ctx.machine = &bed.machine;
+  ctx.attestation_round = [&bed] { bed.attest(); };
+  if (!attack.run_adaptive(ctx).ok()) return "attack-error";
+  for (int i = 0; i < 3; ++i) bed.attest();
+  const bool immediate = payload_alerted(bed.verifier, attack);
+
+  (void)bed.verifier.resolve_failure(bed.agent_id());
+  bed.machine.reboot();
+  bed.attest();
+  (void)attack.post_reboot_activity(ctx);
+  for (int i = 0; i < 3; ++i) bed.attest();
+  const bool on_reboot = !immediate && payload_alerted(bed.verifier, attack);
+  return outcome(immediate, on_reboot);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kError);
+  std::printf("Extended attack matrix (beyond Table II)\n\n");
+  std::printf("  %-18s %-22s %-20s %s\n", "name", "category", "stock stack",
+              "mitigated (+MB refstate)");
+  for (const auto& attack : attacks::extended_attacks()) {
+    const std::string stock = run_one(*attack, Posture::kStock);
+    const std::string mitigated = run_one(*attack, Posture::kMitigated);
+    std::printf("  %-18s %-22s %-20s %s\n", attack->name().c_str(),
+                attack->category().c_str(), stock.c_str(), mitigated.c_str());
+  }
+  std::printf(
+      "\n  lessons: the miner behaves like Table II (mitigations catch it);\n"
+      "  the SSH-key backdoor never touches an executable, so no integrity-\n"
+      "  attestation fix can see it (use Keylime for compliance, not as an\n"
+      "  IDS — §V); the bootkit sits below IMA and only the measured-boot\n"
+      "  refstate exposes it, on the reboot after implantation.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fleet-scale operation of the dynamic-policy scheme: N nodes, staggered
+// polling over a lossy network, daily pre-emptive policy pushes, and a
+// durable audit chain — the deployment shape the paper targets.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "experiments/fleet_experiment.hpp"
+
+int main() {
+  using namespace cia;
+  using namespace cia::experiments;
+  set_log_level(LogLevel::kError);
+
+  std::printf("Fleet operation (dynamic policy + scheduler + audit)\n\n");
+  std::printf("  nodes   days   updates   polls   comms-fail   FPs   audit\n");
+  for (const std::size_t nodes : {2u, 5u, 10u}) {
+    FleetRunOptions options;
+    options.nodes = nodes;
+    options.days = 7;
+    options.archive.base_package_count = 300;
+    options.provision_extra = 40;
+    const auto result = run_fleet_experiment(options);
+    std::printf("  %5zu   %4d   %7d   %5zu   %10zu   %3zu   %s\n",
+                result.nodes, result.days, result.updates_run, result.polls,
+                result.comms_failures, result.false_positives,
+                result.audit_chain_intact ? "intact" : "BROKEN");
+  }
+  std::printf(
+      "\n  every node stays in policy through its own daily upgrades; packet\n"
+      "  loss costs retries (backoff), never false alerts; the signed audit\n"
+      "  chain covers every poll across the fleet.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// §III-B: one week of benign operation under a static scan-derived policy
+// with unattended upgrades and a SNAP installed — reproduces the paper's
+// false-positive causes.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "experiments/report.hpp"
+
+int main() {
+  cia::set_log_level(cia::LogLevel::kError);
+  cia::experiments::FpBaselineOptions options;
+  const auto result = cia::experiments::run_fp_baseline(options);
+  std::printf("%s\n", cia::experiments::render_fp_baseline(result).c_str());
+  return 0;
+}

@@ -1,0 +1,29 @@
+// §III-D: effectiveness of dynamic policy generation over the full 66-day
+// evaluation (31-day daily run with the injected day-31 operator error,
+// plus the 35-day weekly run).
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "experiments/report.hpp"
+
+int main() {
+  cia::set_log_level(cia::LogLevel::kError);
+  cia::experiments::DynamicRunOptions daily_options;
+  daily_options.days = 31;
+  daily_options.update_period_days = 1;
+  daily_options.inject_mirror_race = true;
+  daily_options.race_day = 30;
+  const auto daily =
+      cia::experiments::run_dynamic_policy_experiment(daily_options);
+
+  cia::experiments::DynamicRunOptions weekly_options;
+  weekly_options.days = 35;
+  weekly_options.update_period_days = 7;
+  weekly_options.seed = 43;
+  const auto weekly =
+      cia::experiments::run_dynamic_policy_experiment(weekly_options);
+
+  std::printf("%s\n",
+              cia::experiments::render_fp_effectiveness(daily, weekly).c_str());
+  return 0;
+}

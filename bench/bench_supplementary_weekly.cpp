@@ -1,0 +1,65 @@
+// The paper's supplementary material: the weekly-update experiment in the
+// same per-update detail as Figs. 3-5 give the daily one (35 days, 5
+// updates), plus the coalescing analysis that explains Table I's
+// sub-linear weekly costs.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include <algorithm>
+
+#include "common/strutil.hpp"
+#include "experiments/fp_experiment.hpp"
+
+int main() {
+  using namespace cia;
+  using namespace cia::experiments;
+  set_log_level(LogLevel::kError);
+
+  DynamicRunOptions options;
+  options.days = 35;
+  options.update_period_days = 7;
+  options.seed = 43;
+  const auto run = run_dynamic_policy_experiment(options);
+
+  std::printf("Supplementary — weekly-update experiment (35 days, %d updates)\n\n",
+              run.updates_run);
+  std::printf("  update   pkgs   high-pri   lines added   minutes\n");
+  std::vector<double> pkgs, lines, minutes;
+  for (std::size_t i = 0; i < run.updates.size(); ++i) {
+    const auto& u = run.updates[i];
+    std::printf("  %6zu  %5zu   %8zu   %11zu   %7.2f\n", i + 1,
+                u.packages_processed, u.packages_high_priority, u.lines_added,
+                u.seconds / 60.0);
+    pkgs.push_back(static_cast<double>(u.packages_processed));
+    lines.push_back(static_cast<double>(u.lines_added));
+    minutes.push_back(u.seconds / 60.0);
+  }
+  const Summary sp = summarize(pkgs);
+  const Summary sl = summarize(lines);
+  const Summary sm = summarize(minutes);
+  std::printf("\n  per-update means: %.1f packages (paper 79.0 incl. high-pri),"
+              " %.0f lines (paper 5,513), %.2f min (paper 7.50)\n",
+              sp.mean, sl.mean, sm.mean);
+
+  // Coalescing analysis: a week of daily updates vs one weekly batch.
+  DynamicRunOptions daily_options;
+  daily_options.days = 35;
+  daily_options.update_period_days = 1;
+  daily_options.seed = 43;
+  const auto daily = run_dynamic_policy_experiment(daily_options);
+  double daily_pkgs = 0;
+  for (const auto& u : daily.updates) {
+    daily_pkgs += static_cast<double>(u.packages_processed);
+  }
+  const double weekly_pkgs =
+      sp.mean * static_cast<double>(run.updates.size());
+  std::printf(
+      "\n  coalescing: the same 35-day stream processed daily touches %.0f\n"
+      "  package-updates; weekly batches coalesce repeats to %.0f\n"
+      "  (%.2fx fewer) — the Zipf-hot head updates repeatedly within a\n"
+      "  week. false positives: %zu (daily) / %zu (weekly).\n",
+      daily_pkgs, weekly_pkgs, daily_pkgs / std::max(1.0, weekly_pkgs),
+      daily.false_positives, run.false_positives);
+  return 0;
+}

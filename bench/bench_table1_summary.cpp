@@ -1,0 +1,26 @@
+// Table I: per-update averages of the daily (31-day) and weekly (35-day)
+// schedules.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "experiments/report.hpp"
+
+int main() {
+  cia::set_log_level(cia::LogLevel::kError);
+  cia::experiments::DynamicRunOptions daily_options;
+  daily_options.days = 31;
+  daily_options.update_period_days = 1;
+  const auto daily =
+      cia::experiments::run_dynamic_policy_experiment(daily_options);
+
+  cia::experiments::DynamicRunOptions weekly_options;
+  weekly_options.days = 35;
+  weekly_options.update_period_days = 7;
+  weekly_options.seed = 43;
+  const auto weekly =
+      cia::experiments::run_dynamic_policy_experiment(weekly_options);
+
+  std::printf("%s\n",
+              cia::experiments::render_table1(daily, weekly).c_str());
+  return 0;
+}

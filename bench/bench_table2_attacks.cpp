@@ -1,0 +1,14 @@
+// Table II: the eight attack samples against stock and mitigated
+// Keylime/IMA stacks.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "experiments/report.hpp"
+
+int main() {
+  cia::set_log_level(cia::LogLevel::kError);
+  cia::experiments::FnExperimentOptions options;
+  const auto reports = cia::experiments::run_fn_experiment(options);
+  std::printf("%s\n", cia::experiments::render_table2(reports).c_str());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Durable attestation: every verifier poll leaves a hash-chained, signed
+// record; an auditor can later prove what was observed — and detect any
+// attempt to whitewash a failure out of history.
+//
+//   $ ./durable_attestation
+#include <cstdio>
+
+#include "crypto/cert.hpp"
+#include "keylime/agent.hpp"
+#include "keylime/audit.hpp"
+#include "keylime/notifier.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/verifier.hpp"
+#include "netsim/network.hpp"
+#include "oskernel/machine.hpp"
+
+using namespace cia;
+
+int main() {
+  SimClock clock;
+  netsim::SimNetwork network(&clock, 1);
+  crypto::CertificateAuthority vendor("tpm-vendor", to_bytes("seed"));
+  keylime::Registrar registrar(&network, &clock, 2);
+  registrar.trust_manufacturer(vendor.public_key());
+  keylime::Verifier verifier(&network, &clock, 3);
+
+  keylime::CollectingNotifier webhook;
+  verifier.add_notifier(&webhook);
+
+  oskernel::MachineConfig config;
+  config.hostname = "db-01";
+  oskernel::Machine machine(config, vendor, &clock);
+  (void)machine.fs().create_file("/usr/bin/postgres", to_bytes("elf:pg"), true);
+  keylime::Agent agent(&machine, &network);
+  (void)agent.register_with(keylime::Registrar::address());
+  (void)verifier.add_agent("db-01", agent.address());
+  keylime::RuntimePolicy policy;
+  policy.allow("/usr/bin/postgres", crypto::sha256(std::string("elf:pg")));
+  (void)verifier.set_policy("db-01", policy);
+
+  // A day of healthy polling, then a compromise.
+  for (int hour = 0; hour < 6; ++hour) {
+    clock.advance(kHour);
+    (void)machine.exec("/usr/bin/postgres");
+    (void)verifier.attest_once("db-01");
+  }
+  (void)machine.fs().write_file("/usr/bin/postgres", to_bytes("elf:backdoor"));
+  (void)machine.exec("/usr/bin/postgres");
+  clock.advance(kHour);
+  (void)verifier.attest_once("db-01");
+
+  // The revocation webhook already fired:
+  for (const auto& event : webhook.events()) {
+    std::printf("revocation at %s: %s (%s)\n",
+                SimClock(event.time).to_string().c_str(),
+                event.agent_id.c_str(), event.reason.c_str());
+  }
+
+  // The audit trail records the whole history, signed:
+  const auto& records = verifier.audit().records();
+  std::printf("\naudit chain: %zu records\n", records.size());
+  for (const auto& r : records) {
+    std::printf("  #%llu %-12s %s  alerts=%zu\n",
+                static_cast<unsigned long long>(r.sequence),
+                keylime::audit_verdict_name(r.verdict),
+                SimClock(r.time).to_string().c_str(), r.alerts);
+  }
+  const Status chain_ok =
+      keylime::verify_audit_chain(records, verifier.audit().public_key());
+  std::printf("auditor verdict: %s\n",
+              chain_ok.ok() ? "chain intact" : chain_ok.error().to_string().c_str());
+
+  // A dishonest operator tries to rewrite history: the failure record is
+  // edited to look like a pass. The auditor catches it immediately.
+  auto forged = records;
+  for (auto& r : forged) {
+    if (r.verdict == keylime::AuditVerdict::kFailed) {
+      r.verdict = keylime::AuditVerdict::kPassed;
+      r.alerts = 0;
+    }
+  }
+  const Status forged_ok =
+      keylime::verify_audit_chain(forged, verifier.audit().public_key());
+  std::printf("after whitewashing the failure: %s\n",
+              forged_ok.ok() ? "chain intact (BUG!)"
+                             : forged_ok.error().to_string().c_str());
+  return 0;
+}

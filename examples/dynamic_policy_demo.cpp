@@ -1,0 +1,79 @@
+// The paper's dynamic policy generation scheme (§III-C), end to end:
+//
+//   1. a local mirror of the OS distribution syncs on a schedule;
+//   2. the generator builds the base policy from *every executable the
+//      distribution ships* and refreshes it incrementally as packages
+//      update;
+//   3. the orchestrator pushes the refreshed policy to the verifier
+//      BEFORE the node upgrades, so attestation never goes red.
+//
+//   $ ./dynamic_policy_demo
+#include <cstdio>
+
+#include "common/strutil.hpp"
+#include "core/policy_generator.hpp"
+#include "core/update_orchestrator.hpp"
+#include "experiments/testbed.hpp"
+#include "experiments/workload.hpp"
+
+using namespace cia;
+using namespace cia::experiments;
+
+int main() {
+  TestbedOptions options;
+  options.provision_extra = 100;
+  Testbed bed(options);
+  if (!bed.enroll().ok()) {
+    std::printf("enrolment failed\n");
+    return 1;
+  }
+
+  core::DynamicPolicyGenerator generator(&bed.mirror, core::GeneratorConfig{});
+  core::UpdateOrchestrator orchestrator(&bed.mirror, &generator, &bed.verifier,
+                                        &bed.clock);
+  orchestrator.manage({&bed.machine, &bed.apt, bed.agent_id()});
+
+  // Day 0, 00:00 — build the base policy from the mirrored distribution.
+  if (!orchestrator.bootstrap().ok()) {
+    std::printf("bootstrap failed\n");
+    return 1;
+  }
+  std::printf("base policy: %zu entries (%.1f MB) covering the whole "
+              "distribution\n",
+              orchestrator.policy().entry_count(),
+              static_cast<double>(orchestrator.policy().byte_size()) / 1048576);
+
+  Workload workload(&bed.machine, /*seed=*/7);
+
+  for (int day = 0; day < 5; ++day) {
+    // 05:00 — the scheduled update cycle.
+    bed.clock.advance_to(day * kDay + 5 * kHour);
+    auto report = orchestrator.run_cycle();
+    if (report.ok()) {
+      const auto& stats = report.value().policy_stats;
+      std::printf(
+          "day %d  05:00  cycle: %2zu pkgs (%zu high-pri) -> +%4zu policy "
+          "lines in %s, %zu nodes upgraded, dedup -%zu%s\n",
+          day, stats.packages_processed, stats.packages_high_priority,
+          stats.lines_added, format_duration(static_cast<SimTime>(stats.seconds)).c_str(),
+          report.value().nodes_upgraded, report.value().dedup_removed,
+          report.value().kernel_pending_reboot ? "  [new kernel armed]" : "");
+    }
+
+    // Business hours — upstream publishes updates, users do work.
+    bed.clock.advance_to(day * kDay + 8 * kHour);
+    (void)bed.archive.release_day(day);
+    for (int session = 0; session < 3; ++session) {
+      workload.run_session();
+      bed.attest();
+    }
+    std::printf("day %d         workload sessions attested: %s\n", day,
+                bed.verifier.alerts().empty() ? "GREEN" : "ALERTS!");
+  }
+
+  std::printf("\nfinal state: %zu policy entries, %zu alerts in %d days — "
+              "the node never left policy during updates\n",
+              orchestrator.policy().entry_count(),
+              bed.verifier.alerts().size(), 5);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fleet monitoring: one verifier/registrar pair continuously attesting
+// several machines; one node gets compromised and the tenant's status
+// report shows exactly which one.
+//
+//   $ ./fleet_monitoring
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/strutil.hpp"
+#include "crypto/cert.hpp"
+#include "keylime/agent.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/tenant.hpp"
+#include "keylime/verifier.hpp"
+#include "netsim/network.hpp"
+#include "oskernel/machine.hpp"
+
+using namespace cia;
+
+int main() {
+  SimClock clock;
+  netsim::SimNetwork network(&clock, 1);
+  crypto::CertificateAuthority vendor("tpm-vendor", to_bytes("vendor-seed"));
+  keylime::Registrar registrar(&network, &clock, 2);
+  registrar.trust_manufacturer(vendor.public_key());
+  keylime::Verifier verifier(&network, &clock, 3);
+  keylime::Tenant tenant(&verifier, &registrar);
+
+  // Five identical nodes.
+  std::vector<std::unique_ptr<oskernel::Machine>> machines;
+  std::vector<std::unique_ptr<keylime::Agent>> agents;
+  for (int i = 0; i < 5; ++i) {
+    oskernel::MachineConfig config;
+    config.hostname = strformat("node-%02d", i);
+    config.seed = static_cast<std::uint64_t>(i + 1);
+    machines.push_back(std::make_unique<oskernel::Machine>(config, vendor, &clock));
+    auto& m = *machines.back();
+    (void)m.fs().create_file("/usr/bin/app", to_bytes("elf:app-v1"), true);
+    agents.push_back(std::make_unique<keylime::Agent>(&m, &network));
+    if (!agents.back()->register_with(keylime::Registrar::address()).ok()) {
+      std::printf("registration failed for %s\n", config.hostname.c_str());
+      return 1;
+    }
+    keylime::RuntimePolicy policy;
+    policy.allow("/usr/bin/app", crypto::sha256(std::string("elf:app-v1")));
+    if (!tenant.enroll(*agents.back(), policy).ok()) return 1;
+  }
+  std::printf("fleet enrolled: %zu nodes\n\n", agents.size());
+
+  // A few hours of healthy operation.
+  for (int hour = 0; hour < 3; ++hour) {
+    clock.advance(kHour);
+    for (auto& m : machines) (void)m->exec("/usr/bin/app");
+    (void)verifier.attest_all();
+  }
+  std::printf("after 3 healthy hours:\n%s\n", tenant.status_report().c_str());
+
+  // node-02 is compromised: its app binary is replaced.
+  (void)machines[2]->fs().write_file("/usr/bin/app", to_bytes("elf:backdoored"));
+  (void)machines[2]->exec("/usr/bin/app");
+  clock.advance(kHour);
+  (void)verifier.attest_all();
+
+  std::printf("after the compromise of node-02:\n%s\n",
+              tenant.status_report().c_str());
+  for (const auto& alert : verifier.alerts()) {
+    std::printf("  alert: %s %s on %s\n", alert.agent_id.c_str(),
+                keylime::alert_type_name(alert.type), alert.path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: wire up a complete continuous-attestation deployment —
+// a machine with a TPM and IMA, the Keylime agent/registrar/verifier —
+// enrol the node, watch it attest green, then tamper with a system binary
+// and watch the verifier catch it.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "crypto/cert.hpp"
+#include "keylime/agent.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/tenant.hpp"
+#include "keylime/verifier.hpp"
+#include "netsim/network.hpp"
+#include "oskernel/machine.hpp"
+
+using namespace cia;
+
+int main() {
+  // --- Infrastructure: a virtual clock, a network, and the TPM vendor.
+  SimClock clock;
+  netsim::SimNetwork network(&clock, /*seed=*/1);
+  crypto::CertificateAuthority tpm_vendor("tpm-vendor", to_bytes("vendor-seed"));
+
+  // --- Trusted side: registrar (trusts the vendor) and verifier.
+  keylime::Registrar registrar(&network, &clock, /*seed=*/2);
+  registrar.trust_manufacturer(tpm_vendor.public_key());
+  keylime::Verifier verifier(&network, &clock, /*seed=*/3);
+  keylime::Tenant tenant(&verifier, &registrar);
+
+  // --- Untrusted side: a machine with a TPM, running IMA and the agent.
+  oskernel::MachineConfig machine_config;
+  machine_config.hostname = "web-01";
+  oskernel::Machine machine(machine_config, tpm_vendor, &clock);
+  (void)machine.fs().create_file("/usr/bin/nginx", to_bytes("elf:nginx"), true);
+  (void)machine.fs().create_file("/usr/bin/bash", to_bytes("elf:bash"), true);
+  keylime::Agent agent(&machine, &network);
+
+  // --- Enrolment: EK certificate check + credential activation, then a
+  // runtime policy listing the hashes this node is allowed to execute.
+  if (!agent.register_with(keylime::Registrar::address()).ok()) {
+    std::printf("registration failed\n");
+    return 1;
+  }
+  keylime::RuntimePolicy policy;
+  policy.allow("/usr/bin/nginx", crypto::sha256(std::string("elf:nginx")));
+  policy.allow("/usr/bin/bash", crypto::sha256(std::string("elf:bash")));
+  if (!tenant.enroll(agent, policy).ok()) {
+    std::printf("enrolment failed\n");
+    return 1;
+  }
+  std::printf("enrolled %s (TPM EK certified by %s)\n",
+              agent.agent_id().c_str(),
+              machine.tpm().ek_certificate().issuer.c_str());
+
+  // --- Normal operation: the node runs its services and attests green.
+  (void)machine.exec("/usr/bin/nginx");
+  (void)machine.exec("/usr/bin/bash");
+  auto round = verifier.attest_once("web-01");
+  std::printf("attestation #1: %zu measurements verified, %zu alerts\n",
+              round.value().evaluated, round.value().alerts.size());
+
+  // --- Compromise: someone replaces nginx; IMA re-measures it on the
+  // next execution and the verifier flags the hash mismatch.
+  (void)machine.fs().write_file("/usr/bin/nginx", to_bytes("elf:trojaned"));
+  (void)machine.exec("/usr/bin/nginx");
+  round = verifier.attest_once("web-01");
+  for (const auto& alert : round.value().alerts) {
+    std::printf("attestation #2: ALERT %s on %s\n",
+                keylime::alert_type_name(alert.type), alert.path.c_str());
+  }
+
+  std::printf("\n%s", tenant.status_report().c_str());
+  return 0;
+}

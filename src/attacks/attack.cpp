@@ -1,0 +1,33 @@
+#include "attacks/attack.hpp"
+
+namespace cia::attacks {
+
+const char* problem_name(Problem p) {
+  switch (p) {
+    case Problem::kP1: return "P1";
+    case Problem::kP2: return "P2";
+    case Problem::kP3: return "P3";
+    case Problem::kP4: return "P4";
+    case Problem::kP5: return "P5";
+  }
+  return "?";
+}
+
+Status drop_executable(oskernel::Machine& m, const std::string& path,
+                       const std::string& content) {
+  if (m.fs().exists(path)) {
+    if (Status s = m.fs().write_file(path, to_bytes(content)); !s.ok()) return s;
+    return m.fs().chmod_exec(path, true);
+  }
+  return m.fs().create_file(path, to_bytes(content), /*executable=*/true);
+}
+
+Status drop_file(oskernel::Machine& m, const std::string& path,
+                 const std::string& content) {
+  if (m.fs().exists(path)) {
+    return m.fs().write_file(path, to_bytes(content));
+  }
+  return m.fs().create_file(path, to_bytes(content), /*executable=*/false);
+}
+
+}  // namespace cia::attacks

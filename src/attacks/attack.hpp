@@ -1,0 +1,86 @@
+// Attack-sample framework for the false-negative evaluation (§IV).
+//
+// Each sample reproduces the *on-disk and exec footprint* of a documented
+// real-world attack in two flavours:
+//   * basic    — the attacker is unaware of Keylime and behaves naturally;
+//   * adaptive — the attacker exploits one or more of the discovered
+//                problems (P1-P5) to stay invisible.
+//
+// Attacks only touch the Machine (drop files, chmod, exec, load modules,
+// install persistence); whether Keylime notices is decided entirely by
+// the attestation pipeline — nothing here is hard-coded as
+// detected/undetected.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia::attacks {
+
+/// The five problems of §IV-B.
+enum class Problem { kP1, kP2, kP3, kP4, kP5 };
+
+const char* problem_name(Problem p);
+
+/// Everything an attack may interact with. `attestation_round` lets an
+/// adaptive attacker *wait for a verifier poll* — needed to weaponize P2,
+/// where a planted false positive must be observed (and halt the
+/// verifier) before the payload runs.
+struct AttackContext {
+  oskernel::Machine* machine = nullptr;
+  std::function<void()> attestation_round;  // may be empty
+
+  void wait_for_attestation() const {
+    if (attestation_round) attestation_round();
+  }
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string category() const = 0;  // Ransomware / Rootkit / Botnet C&C
+
+  /// Which problems the adaptive variant can exploit (Table II bullets).
+  virtual std::vector<Problem> exploits() const = 0;
+
+  /// Expected mitigated-run outcome from the paper's last column: true
+  /// for the seven attacks the recommended fixes catch, false for Aoyama.
+  virtual bool mitigable() const { return true; }
+
+  /// Run the attack with no knowledge of Keylime.
+  virtual Status run_basic(AttackContext& ctx) = 0;
+
+  /// Run the attack exploiting P1-P5.
+  virtual Status run_adaptive(AttackContext& ctx) = 0;
+
+  /// The attacker (or their persistence) acts again after a reboot —
+  /// this is what "detectable upon reboot / fresh attestation" hinges on.
+  virtual Status post_reboot_activity(AttackContext& ctx) = 0;
+
+  /// Substrings identifying this attack's payload files: an alert whose
+  /// path contains one of them constitutes *detection of this attack*.
+  /// Decoy files planted purely to trigger false positives are excluded.
+  virtual std::vector<std::string> payload_markers() const = 0;
+};
+
+/// All eight samples of Table II, in the paper's row order.
+std::vector<std::unique_ptr<Attack>> all_attacks();
+
+// ------------------------------------------------------- shared helpers
+
+/// Drop an executable payload file (parents created).
+Status drop_executable(oskernel::Machine& m, const std::string& path,
+                       const std::string& content);
+
+/// Drop a non-executable file (scripts run via interpreters, configs).
+Status drop_file(oskernel::Machine& m, const std::string& path,
+                 const std::string& content);
+
+}  // namespace cia::attacks

@@ -1,0 +1,238 @@
+#include "attacks/botnets.hpp"
+
+#include "attacks/ransomware.hpp"
+#include "attacks/rootkits.hpp"
+
+namespace cia::attacks {
+
+namespace {
+constexpr const char* kMiraiBot = "elf:mirai-bot";
+constexpr const char* kBashliteBot = "elf:bashlite-bot";
+constexpr const char* kQbotBin = "elf:mortem-qbot";
+constexpr const char* kAoyamaPy = "py:aoyama-bot-main";
+}  // namespace
+
+// ------------------------------------------------------------------ Mirai
+
+Status Mirai::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // The classic dropper: fetch the bot, install under /usr/bin with a
+  // dotted name, start it, persist via systemd.
+  if (Status s = drop_executable(m, "/usr/bin/.mirai", kMiraiBot); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/bin/.mirai"); !r.ok()) return r.error();
+  return m.install_systemd_unit("netflood", "/usr/bin/.mirai");
+}
+
+Status Mirai::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Dropper script through the interpreter: bash is attested, not the
+  // script (P5).
+  if (Status s = drop_file(m, "/tmp/mirai-drop.sh", "sh:mirai-dropper");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec_via_interpreter("/usr/bin/bash", "/tmp/mirai-drop.sh");
+      !r.ok()) {
+    return r.error();
+  }
+  // The bot lives on tmpfs (P3): IMA produces no measurement at all.
+  if (Status s = drop_executable(m, "/dev/shm/.mirai", kMiraiBot); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/dev/shm/.mirai"); !r.ok()) return r.error();
+  // Persistence points at tmpfs; the attacker re-drops after reboots.
+  return m.install_systemd_unit("netflood", "/dev/shm/.mirai");
+}
+
+Status Mirai::post_reboot_activity(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/dev/shm/.mirai", kMiraiBot); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/dev/shm/.mirai"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+std::vector<std::string> Mirai::payload_markers() const {
+  return {".mirai", "mirai-drop.sh"};
+}
+
+// --------------------------------------------------------------- BASHLITE
+
+Status Bashlite::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Deployment script executed directly (shebang): the script itself is
+  // measured at BPRM_CHECK.
+  if (Status s = drop_executable(m, "/opt/gafgyt/deploy.sh",
+                                 "#!/usr/bin/bash\nsh:bashlite-deploy");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/opt/gafgyt/deploy.sh"); !r.ok()) return r.error();
+  if (Status s = drop_executable(m, "/opt/gafgyt/bot", kBashliteBot); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/opt/gafgyt/bot"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+Status Bashlite::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Same script, but `bash deploy.sh`: the interpreter is attested, the
+  // script is an unmeasured data read (P5).
+  if (Status s = drop_file(m, "/tmp/.gafgyt/deploy.sh", "sh:bashlite-deploy");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r =
+          m.exec_via_interpreter("/usr/bin/bash", "/tmp/.gafgyt/deploy.sh");
+      !r.ok()) {
+    return r.error();
+  }
+  // Bot binary under /tmp: measured but excluded (P1).
+  if (Status s = drop_executable(m, "/tmp/.gafgyt/bot", kBashliteBot);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/.gafgyt/bot"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+Status Bashlite::post_reboot_activity(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/tmp/.gafgyt/bot", kBashliteBot);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/.gafgyt/bot"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+std::vector<std::string> Bashlite::payload_markers() const {
+  return {"gafgyt"};
+}
+
+// ------------------------------------------------------------ Mortem-qBot
+
+Status MortemQBot::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // The stock deployment script already works out of /tmp — this is the
+  // sample that exposed P1 in the paper. Basic attackers still install
+  // the bot to a monitored location and run it there.
+  if (Status s = drop_executable(m, "/tmp/qbot-src/deploy.py",
+                                 "#!/usr/bin/python3\npy:qbot-deploy");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/qbot-src/deploy.py"); !r.ok()) return r.error();
+  if (Status s = drop_executable(m, "/usr/local/bin/qbot", kQbotBin); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/local/bin/qbot"); !r.ok()) return r.error();
+  return m.install_systemd_unit("qbot", "/usr/local/bin/qbot");
+}
+
+Status MortemQBot::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Deployment through the interpreter (P5), working directory /tmp (P1).
+  if (Status s = drop_file(m, "/tmp/qbot-src/deploy.py", "py:qbot-deploy");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec_via_interpreter("/usr/bin/python3",
+                                      "/tmp/qbot-src/deploy.py");
+      !r.ok()) {
+    return r.error();
+  }
+  // Build the bot in /tmp and execute it once there: the measurement is
+  // excluded by the policy (P1) but caches the inode.
+  if (Status s = drop_executable(m, "/tmp/qbot-src/qbot", kQbotBin); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/qbot-src/qbot"); !r.ok()) return r.error();
+  // P4: move to the destination and run from the monitored path — same
+  // filesystem, same inode, no fresh measurement.
+  if (Status s = m.fs().rename("/tmp/qbot-src/qbot", "/usr/local/bin/qbot");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/local/bin/qbot"); !r.ok()) return r.error();
+  return m.install_systemd_unit("qbot", "/usr/local/bin/qbot");
+}
+
+Status MortemQBot::post_reboot_activity(AttackContext& ctx) {
+  // systemd restarts the bot from /usr/local/bin at boot; the fresh
+  // measurement cache finally sees the monitored path.
+  (void)ctx;
+  return Status::ok_status();
+}
+
+std::vector<std::string> MortemQBot::payload_markers() const {
+  return {"qbot"};
+}
+
+// ----------------------------------------------------------------- Aoyama
+
+Status Aoyama::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Naive deployment: the bot script is made executable and launched
+  // directly — the shebang path measures the script itself.
+  if (Status s = drop_executable(m, "/opt/aoyama/aoyama.py",
+                                 std::string("#!/usr/bin/python3\n") + kAoyamaPy);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/opt/aoyama/aoyama.py"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+Status Aoyama::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Pure-Python tradecraft: the script is plain data, every run goes
+  // through the interpreter (P5). /usr/bin/python3 is in policy, so the
+  // measurement list stays spotless.
+  if (Status s = drop_file(m, "/opt/.cache/aoyama.py", kAoyamaPy); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec_via_interpreter("/usr/bin/python3",
+                                      "/opt/.cache/aoyama.py");
+      !r.ok()) {
+    return r.error();
+  }
+  // Persistence also routes through the interpreter at boot — a unit that
+  // execs python3, which is unremarkable on any host.
+  return m.install_systemd_unit("metrics-export", "/usr/bin/python3");
+}
+
+Status Aoyama::post_reboot_activity(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  if (auto r = m.exec_via_interpreter("/usr/bin/python3",
+                                      "/opt/.cache/aoyama.py");
+      !r.ok()) {
+    return r.error();
+  }
+  return Status::ok_status();
+}
+
+std::vector<std::string> Aoyama::payload_markers() const {
+  return {"aoyama.py"};
+}
+
+// --------------------------------------------------------------- registry
+
+std::vector<std::unique_ptr<Attack>> all_attacks() {
+  std::vector<std::unique_ptr<Attack>> out;
+  out.push_back(std::make_unique<AvosLocker>());
+  out.push_back(std::make_unique<Diamorphine>());
+  out.push_back(std::make_unique<Reptile>());
+  out.push_back(std::make_unique<Vlany>());
+  out.push_back(std::make_unique<Mirai>());
+  out.push_back(std::make_unique<Bashlite>());
+  out.push_back(std::make_unique<MortemQBot>());
+  out.push_back(std::make_unique<Aoyama>());
+  return out;
+}
+
+}  // namespace cia::attacks

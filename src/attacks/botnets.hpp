@@ -1,0 +1,81 @@
+// Botnet command-and-control samples: Mirai, BASHLITE, Mortem-qBot, Aoyama.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace cia::attacks {
+
+/// Mirai — self-replicating bot with a C&C client. Adaptive: the bot runs
+/// entirely from /dev/shm (tmpfs, invisible to IMA — P3) with a systemd
+/// unit for persistence; the dropper shell script goes through the
+/// interpreter (P5).
+class Mirai : public Attack {
+ public:
+  std::string name() const override { return "Mirai"; }
+  std::string category() const override { return "Botnet C&C"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4,
+            Problem::kP5};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+/// BASHLITE (aka Gafgyt) — shell-script-heavy bot. Adaptive: deployment
+/// scripts are run as `bash script.sh` so only the interpreter is
+/// attested (P5) and the bot binary lives in /tmp (P1).
+class Bashlite : public Attack {
+ public:
+  std::string name() const override { return "BASHLITE"; }
+  std::string category() const override { return "Botnet C&C"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4,
+            Problem::kP5};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+/// Mortem-qBot — the sample whose deployment script led the authors to
+/// P1: it uses /tmp as its working directory. Adaptive: unpack and build
+/// under /tmp (P1), P4-move the bot into /usr/local/bin, run it there —
+/// the monitored location never shows up in the measurement list.
+class MortemQBot : public Attack {
+ public:
+  std::string name() const override { return "Mortem-qBot"; }
+  std::string category() const override { return "Botnet C&C"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4,
+            Problem::kP5};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+/// Aoyama — a bot implemented *entirely in Python*. Adaptive: every
+/// invocation goes through the interpreter (P5), so the only thing IMA
+/// ever attests is /usr/bin/python3 — which is in policy. Because Python
+/// does not participate in script-execution control, this is the one
+/// attack the paper's recommended fixes cannot catch (Mitigat. ✗).
+class Aoyama : public Attack {
+ public:
+  std::string name() const override { return "Aoyama"; }
+  std::string category() const override { return "Botnet C&C"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4,
+            Problem::kP5};
+  }
+  bool mitigable() const override { return false; }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+}  // namespace cia::attacks

@@ -1,0 +1,114 @@
+#include "attacks/extended.hpp"
+
+namespace cia::attacks {
+
+namespace {
+constexpr const char* kMinerBin = "elf:xmrig-miner";
+}  // namespace
+
+// ------------------------------------------------------------ XMRigMiner
+
+Status XMRigMiner::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/opt/xmrig/xmrig", kMinerBin); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/opt/xmrig/xmrig"); !r.ok()) return r.error();
+  return m.install_systemd_unit("kworker-helper", "/opt/xmrig/xmrig");
+}
+
+Status XMRigMiner::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Miners prize stealth over persistence: run from tmpfs (P3), fall back
+  // to /tmp (P1) — nothing in a monitored location.
+  if (Status s = drop_executable(m, "/dev/shm/.x/xmrig", kMinerBin); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/dev/shm/.x/xmrig"); !r.ok()) return r.error();
+  if (Status s = drop_executable(m, "/tmp/.x/xmrig", kMinerBin); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/.x/xmrig"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+Status XMRigMiner::post_reboot_activity(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/tmp/.x/xmrig", kMinerBin); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/.x/xmrig"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+std::vector<std::string> XMRigMiner::payload_markers() const {
+  return {"xmrig"};
+}
+
+// ---------------------------------------------- SshAuthorizedKeyBackdoor
+
+Status SshAuthorizedKeyBackdoor::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Pure data-file persistence: a public key and a config flip. sshd (in
+  // policy) will happily serve the attacker forever. No executable is
+  // created, modified, or run.
+  if (Status s = drop_file(m, "/root/.ssh/authorized_keys",
+                           "ssh-ed25519 AAAA...attacker@c2");
+      !s.ok()) {
+    return s;
+  }
+  return drop_file(m, "/etc/ssh/sshd_config", "PermitRootLogin yes");
+}
+
+Status SshAuthorizedKeyBackdoor::run_adaptive(AttackContext& ctx) {
+  // There is nothing to adapt: the basic variant is already invisible.
+  return run_basic(ctx);
+}
+
+Status SshAuthorizedKeyBackdoor::post_reboot_activity(AttackContext& ctx) {
+  // The key survives the reboot; the attacker simply logs back in —
+  // which executes only in-policy binaries.
+  auto& m = *ctx.machine;
+  if (m.fs().is_file("/usr/bin/bash")) {
+    if (auto r = m.exec("/usr/bin/bash"); !r.ok()) return r.error();
+  }
+  return Status::ok_status();
+}
+
+std::vector<std::string> SshAuthorizedKeyBackdoor::payload_markers() const {
+  return {"authorized_keys", "sshd_config"};
+}
+
+// ------------------------------------------------------------ GrubBootkit
+
+Status GrubBootkit::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Overwrite the first-stage bootloader in place. /boot writes are not
+  // measured by IMA (nothing is executed *now*), so the implant lies
+  // dormant until the next boot — where only PCR 4 can expose it.
+  return m.fs().write_file(oskernel::Machine::kBootloaderPath,
+                           to_bytes("efi:grub-implant"));
+}
+
+Status GrubBootkit::run_adaptive(AttackContext& ctx) { return run_basic(ctx); }
+
+Status GrubBootkit::post_reboot_activity(AttackContext& ctx) {
+  (void)ctx;  // the implant runs as part of the boot chain itself
+  return Status::ok_status();
+}
+
+std::vector<std::string> GrubBootkit::payload_markers() const {
+  return {"grubx64.efi"};
+}
+
+// --------------------------------------------------------------- registry
+
+std::vector<std::unique_ptr<Attack>> extended_attacks() {
+  std::vector<std::unique_ptr<Attack>> out;
+  out.push_back(std::make_unique<XMRigMiner>());
+  out.push_back(std::make_unique<SshAuthorizedKeyBackdoor>());
+  out.push_back(std::make_unique<GrubBootkit>());
+  return out;
+}
+
+}  // namespace cia::attacks

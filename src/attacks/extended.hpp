@@ -1,0 +1,61 @@
+// Extension samples beyond the paper's eight (its §V future work calls
+// for "more diverse attack types and attack samples"). Two are chosen to
+// probe the *boundaries* of continuous integrity attestation:
+//
+//   * XMRigMiner — a cryptominer: classic executable-dropping malware,
+//     squarely in scope; its adaptive variant composes P1 and P3.
+//   * SshAuthorizedKeyBackdoor — persistence that touches *no executable
+//     at all* (it appends a key to ~/.ssh/authorized_keys and flips a
+//     config line). This is the paper's §V point made executable:
+//     Keylime verifies a known list of executables; attacks living
+//     entirely in data files are out of scope even for a basic attacker,
+//     and no Keylime/IMA mitigation changes that.
+//   * GrubBootkit — tampers with the first-stage bootloader: invisible to
+//     IMA (which starts after boot), caught only by measured-boot
+//     refstate checking on the next reboot.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace cia::attacks {
+
+class XMRigMiner : public Attack {
+ public:
+  std::string name() const override { return "XMRig-miner"; }
+  std::string category() const override { return "Cryptominer"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP3};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+class SshAuthorizedKeyBackdoor : public Attack {
+ public:
+  std::string name() const override { return "SSH-key-backdoor"; }
+  std::string category() const override { return "Data-only persistence"; }
+  std::vector<Problem> exploits() const override { return {}; }
+  bool mitigable() const override { return false; }  // out of scope by design
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+class GrubBootkit : public Attack {
+ public:
+  std::string name() const override { return "GRUB-bootkit"; }
+  std::string category() const override { return "Bootkit"; }
+  std::vector<Problem> exploits() const override { return {}; }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+/// The extension registry (kept separate from the paper's Table II set).
+std::vector<std::unique_ptr<Attack>> extended_attacks();
+
+}  // namespace cia::attacks

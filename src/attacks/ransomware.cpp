@@ -1,0 +1,74 @@
+#include "attacks/ransomware.hpp"
+
+namespace cia::attacks {
+
+namespace {
+constexpr const char* kLockerBin = "elf:avoslocker:payload";
+}  // namespace
+
+Status AvosLocker::encrypt_victim_files(oskernel::Machine& m) const {
+  // Encrypt (rewrite + rename) whatever user data exists; create a ransom
+  // note. Data files are not measured by IMA, so none of this is visible
+  // to attestation — only the locker binary itself can be.
+  auto& fs = m.fs();
+  for (const std::string& victim : fs.list_files("/home")) {
+    if (Status s = fs.write_file(victim, to_bytes("encrypted:" + victim));
+        !s.ok()) {
+      return s;
+    }
+    (void)fs.rename(victim, victim + ".avos");
+  }
+  return drop_file(m, "/home/GET_YOUR_FILES_BACK.txt", "ransom note");
+}
+
+Status AvosLocker::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/usr/local/bin/avoslocker", kLockerBin);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/local/bin/avoslocker"); !r.ok()) return r.error();
+  return encrypt_victim_files(m);
+}
+
+Status AvosLocker::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // P2 first: plant a benign-looking unknown helper and let the verifier
+  // trip over it. Stock Keylime halts and stops polling — everything
+  // after this point lands in the never-evaluated tail of the log.
+  if (Status s = drop_executable(m, "/usr/local/bin/apt-refresh-helper",
+                                 "elf:benign-looking-helper");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/local/bin/apt-refresh-helper"); !r.ok()) {
+    return r.error();
+  }
+  ctx.wait_for_attestation();  // the FP fires; polling stops (P2)
+
+  // P1: the payload lives and runs in /tmp, which the policy excludes.
+  if (Status s = drop_executable(m, "/tmp/.avos/avoslocker", kLockerBin);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/.avos/avoslocker"); !r.ok()) return r.error();
+  return encrypt_victim_files(m);
+}
+
+Status AvosLocker::post_reboot_activity(AttackContext& ctx) {
+  // /tmp is cleaned at boot; the attacker (still holding access) re-drops
+  // the locker for a second extortion round.
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/tmp/.avos/avoslocker", kLockerBin);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/tmp/.avos/avoslocker"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+std::vector<std::string> AvosLocker::payload_markers() const {
+  return {"avoslocker"};
+}
+
+}  // namespace cia::attacks

@@ -1,0 +1,34 @@
+// Ransomware sample: AvosLocker.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace cia::attacks {
+
+/// AvosLocker — Linux variant. A single self-contained binary that
+/// enumerates the filesystem and encrypts data files. No scripts, no
+/// interpreters, so P5 is not applicable (the one non-P5 row of Table II).
+///
+/// Basic: the operator-visible behaviour — drop the locker under
+/// /usr/local/bin and run it.
+/// Adaptive: stage and execute entirely from /tmp. The binary IS measured
+/// by IMA (/tmp sits on the root filesystem) but the Keylime policy's
+/// "/tmp/*" exclude silences it (P1). A decoy false positive is planted
+/// first so a cautious attacker also gets the P2 blind window.
+class AvosLocker : public Attack {
+ public:
+  std::string name() const override { return "AvosLocker"; }
+  std::string category() const override { return "Ransomware"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+
+ private:
+  Status encrypt_victim_files(oskernel::Machine& m) const;
+};
+
+}  // namespace cia::attacks

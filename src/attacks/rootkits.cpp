@@ -1,0 +1,193 @@
+#include "attacks/rootkits.hpp"
+
+namespace cia::attacks {
+
+// ------------------------------------------------------------ Diamorphine
+
+namespace {
+constexpr const char* kDiamorphineKo = "ko:diamorphine";
+constexpr const char* kReptileKo = "ko:reptile";
+constexpr const char* kReptileCmd = "elf:reptile_cmd";
+constexpr const char* kVlanyLib = "so:libvlany-hooks";
+}  // namespace
+
+Status Diamorphine::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Unpack sources and build in /usr/src (make/gcc are in-policy system
+  // binaries; the produced .ko is not).
+  if (Status s = drop_file(m, "/usr/src/diamorphine/diamorphine.c", "src");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/bin/bash"); !r.ok()) return r.error();  // make
+  if (Status s = drop_file(m, "/usr/src/diamorphine/diamorphine.ko",
+                           kDiamorphineKo);
+      !s.ok()) {
+    return s;
+  }
+  // insmod: MODULE_CHECK fires on an ext4 path no policy knows.
+  if (auto r = m.load_kernel_module("/usr/src/diamorphine/diamorphine.ko");
+      !r.ok()) {
+    return r.error();
+  }
+  return Status::ok_status();
+}
+
+Status Diamorphine::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Build in /tmp: every measurement lands under the excluded prefix (P1).
+  if (Status s = drop_file(m, "/tmp/.build/diamorphine.c", "src"); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/bin/bash"); !r.ok()) return r.error();  // make
+  if (Status s = drop_file(m, "/tmp/.build/diamorphine.ko", kDiamorphineKo);
+      !s.ok()) {
+    return s;
+  }
+  // First load from /tmp: IMA measures it (root fs!) but Keylime's
+  // exclude swallows the entry.
+  if (auto r = m.load_kernel_module("/tmp/.build/diamorphine.ko"); !r.ok()) {
+    return r.error();
+  }
+  // P4: move to the canonical module directory — same filesystem, same
+  // inode — and load from the monitored path. No new measurement appears.
+  const std::string dest =
+      "/lib/modules/" + m.kernel_version() + "/diamorphine.ko";
+  if (Status s = m.fs().rename("/tmp/.build/diamorphine.ko", dest); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.load_kernel_module(dest); !r.ok()) return r.error();
+  // Persist across reboots.
+  return m.install_module_autoload("diamorphine", dest);
+}
+
+Status Diamorphine::post_reboot_activity(AttackContext& ctx) {
+  // Nothing to do: the modules-load.d entry reloads the rootkit at boot,
+  // which is exactly when a fresh measurement can finally appear.
+  (void)ctx;
+  return Status::ok_status();
+}
+
+std::vector<std::string> Diamorphine::payload_markers() const {
+  return {"diamorphine.ko"};
+}
+
+// ---------------------------------------------------------------- Reptile
+
+Status Reptile::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  if (Status s = drop_file(m, "/reptile/reptile.ko", kReptileKo); !s.ok()) {
+    return s;
+  }
+  if (Status s = drop_executable(m, "/reptile/reptile_cmd", kReptileCmd);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.load_kernel_module("/reptile/reptile.ko"); !r.ok()) {
+    return r.error();
+  }
+  if (auto r = m.exec("/reptile/reptile_cmd"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+Status Reptile::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Module: stage in /tmp (P1), first load there, P4-move to /lib/modules.
+  if (Status s = drop_file(m, "/tmp/.r/reptile.ko", kReptileKo); !s.ok()) {
+    return s;
+  }
+  if (auto r = m.load_kernel_module("/tmp/.r/reptile.ko"); !r.ok()) {
+    return r.error();
+  }
+  const std::string dest = "/lib/modules/" + m.kernel_version() + "/reptile.ko";
+  if (Status s = m.fs().rename("/tmp/.r/reptile.ko", dest); !s.ok()) return s;
+  if (auto r = m.load_kernel_module(dest); !r.ok()) return r.error();
+  if (Status s = m.install_module_autoload("reptile", dest); !s.ok()) return s;
+
+  // Userland client: /dev/shm is tmpfs — IMA is blind there (P3).
+  if (Status s = drop_executable(m, "/dev/shm/.r/reptile_cmd", kReptileCmd);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/dev/shm/.r/reptile_cmd"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+Status Reptile::post_reboot_activity(AttackContext& ctx) {
+  // Module comes back via autoload; the client must be re-dropped because
+  // tmpfs evaporated.
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/dev/shm/.r/reptile_cmd", kReptileCmd);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/dev/shm/.r/reptile_cmd"); !r.ok()) return r.error();
+  return Status::ok_status();
+}
+
+std::vector<std::string> Reptile::payload_markers() const {
+  return {"reptile.ko", "reptile_cmd"};
+}
+
+// ------------------------------------------------------------------ Vlany
+
+Status Vlany::run_basic(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // Installer drops the hooking library into /lib and registers it in
+  // /etc/ld.so.preload; the library is mmap'd into the next process.
+  if (Status s = drop_executable(m, "/lib/libvlany.so", kVlanyLib); !s.ok()) {
+    return s;
+  }
+  if (Status s = drop_file(m, "/etc/ld.so.preload", "/lib/libvlany.so");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/bin/bash"); !r.ok()) return r.error();
+  m.mmap_library("/lib/libvlany.so");  // FILE_MMAP measurement
+  return Status::ok_status();
+}
+
+Status Vlany::run_adaptive(AttackContext& ctx) {
+  auto& m = *ctx.machine;
+  // The install script is fed to bash explicitly: only /usr/bin/bash hits
+  // BPRM_CHECK (P5).
+  if (Status s = drop_file(m, "/tmp/.v/install.sh", "sh:vlany-installer");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec_via_interpreter("/usr/bin/bash", "/tmp/.v/install.sh");
+      !r.ok()) {
+    return r.error();
+  }
+  // The library stays in /tmp (P1): its FILE_MMAP entries are excluded.
+  if (Status s = drop_executable(m, "/tmp/.v/libvlany.so", kVlanyLib);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = drop_file(m, "/etc/ld.so.preload", "/tmp/.v/libvlany.so");
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/bin/bash"); !r.ok()) return r.error();
+  m.mmap_library("/tmp/.v/libvlany.so");
+  return Status::ok_status();
+}
+
+Status Vlany::post_reboot_activity(AttackContext& ctx) {
+  // ld.so.preload survived the reboot but the /tmp library did not; the
+  // attacker restores it and it is mapped into the first process.
+  auto& m = *ctx.machine;
+  if (Status s = drop_executable(m, "/tmp/.v/libvlany.so", kVlanyLib);
+      !s.ok()) {
+    return s;
+  }
+  if (auto r = m.exec("/usr/bin/bash"); !r.ok()) return r.error();
+  m.mmap_library("/tmp/.v/libvlany.so");
+  return Status::ok_status();
+}
+
+std::vector<std::string> Vlany::payload_markers() const {
+  return {"libvlany.so", ".v/install.sh"};
+}
+
+}  // namespace cia::attacks

@@ -1,0 +1,64 @@
+// Rootkit samples: Diamorphine, Reptile, Vlany.
+#pragma once
+
+#include "attacks/attack.hpp"
+
+namespace cia::attacks {
+
+/// Diamorphine — a loadable-kernel-module rootkit. The adaptive variant is
+/// the paper's flagship P4 case: the module is built and first loaded in
+/// /tmp (measured by IMA but excluded by Keylime), then *moved* to
+/// /lib/modules and loaded from there — same filesystem, same inode, so
+/// IMA's once-per-inode cache never produces a second entry and the
+/// monitored location stays clean in the log.
+class Diamorphine : public Attack {
+ public:
+  std::string name() const override { return "Diamorphine"; }
+  std::string category() const override { return "Rootkit"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4,
+            Problem::kP5};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+/// Reptile — LKM rootkit with a userland control client. Adaptive: the
+/// module uses the P4 move trick; the client runs from /dev/shm, a tmpfs
+/// IMA never measures (P3).
+class Reptile : public Attack {
+ public:
+  std::string name() const override { return "Reptile"; }
+  std::string category() const override { return "Rootkit"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4,
+            Problem::kP5};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+/// Vlany — a userland LD_PRELOAD rootkit: a shared library injected into
+/// every process via /etc/ld.so.preload. Adaptive: the installer script
+/// runs through bash (P5: only the interpreter is attested) and the
+/// library stays under /tmp (P1) where its FILE_MMAP measurements are
+/// excluded.
+class Vlany : public Attack {
+ public:
+  std::string name() const override { return "Vlany"; }
+  std::string category() const override { return "Rootkit"; }
+  std::vector<Problem> exploits() const override {
+    return {Problem::kP1, Problem::kP2, Problem::kP3, Problem::kP4,
+            Problem::kP5};
+  }
+  Status run_basic(AttackContext& ctx) override;
+  Status run_adaptive(AttackContext& ctx) override;
+  Status post_reboot_activity(AttackContext& ctx) override;
+  std::vector<std::string> payload_markers() const override;
+};
+
+}  // namespace cia::attacks

@@ -1,0 +1,18 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace cia {
+
+/// Encode bytes as a lowercase hex string.
+std::string to_hex(const Bytes& data);
+
+/// Decode a hex string (case-insensitive). Fails on odd length or
+/// non-hex characters.
+Result<Bytes> from_hex(const std::string& hex);
+
+}  // namespace cia

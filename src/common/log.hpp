@@ -1,0 +1,28 @@
+// Minimal leveled logger. Components log noteworthy events (attestation
+// failures, policy pushes); tests keep the level at kWarn to stay quiet.
+#pragma once
+
+#include <string>
+
+namespace cia {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a log line at `level` with a component tag.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+#define CIA_LOG_DEBUG(component, msg) \
+  ::cia::log_line(::cia::LogLevel::kDebug, (component), (msg))
+#define CIA_LOG_INFO(component, msg) \
+  ::cia::log_line(::cia::LogLevel::kInfo, (component), (msg))
+#define CIA_LOG_WARN(component, msg) \
+  ::cia::log_line(::cia::LogLevel::kWarn, (component), (msg))
+#define CIA_LOG_ERROR(component, msg) \
+  ::cia::log_line(::cia::LogLevel::kError, (component), (msg))
+
+}  // namespace cia

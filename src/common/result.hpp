@@ -1,0 +1,118 @@
+// A lightweight Result<T> type for recoverable errors.
+//
+// The library uses Result for operations whose failure is part of normal
+// control flow (filesystem lookups, protocol validation, policy checks).
+// Programming errors use assertions/exceptions instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cia {
+
+/// Error categories used across modules.
+enum class Errc {
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kPermissionDenied,
+  kCorrupted,
+  kCryptoFailure,
+  kProtocolViolation,
+  kPolicyViolation,
+  kUnavailable,
+  kInternal,
+};
+
+/// Human-readable name of an error code.
+inline const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::kNotFound: return "not_found";
+    case Errc::kAlreadyExists: return "already_exists";
+    case Errc::kInvalidArgument: return "invalid_argument";
+    case Errc::kPermissionDenied: return "permission_denied";
+    case Errc::kCorrupted: return "corrupted";
+    case Errc::kCryptoFailure: return "crypto_failure";
+    case Errc::kProtocolViolation: return "protocol_violation";
+    case Errc::kPolicyViolation: return "policy_violation";
+    case Errc::kUnavailable: return "unavailable";
+    case Errc::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// An error value: category plus a context message.
+struct Error {
+  Errc code = Errc::kInternal;
+  std::string message;
+
+  std::string to_string() const {
+    return std::string(errc_name(code)) + ": " + message;
+  }
+};
+
+/// Result<T> holds either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}    // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error err(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace cia

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic processes in the simulation (package release streams,
+// file sizes, attack timing jitter) draw from Rng so experiments are
+// exactly reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cia {
+
+/// xoshiro256** seeded via splitmix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Standard normal (Box-Muller).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). Heavy right tail, used for package
+  /// sizes and update burst sizes.
+  double lognormal(double mu, double sigma);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Poisson-distributed count (Knuth's method; lambda should be modest).
+  int poisson(double lambda);
+
+  /// Random lowercase-alphanumeric identifier of length n.
+  std::string ident(std::size_t n);
+
+  /// n random bytes.
+  Bytes bytes(std::size_t n);
+
+  /// Derive an independent child generator (stable for a given label).
+  Rng fork(const std::string& label);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace cia

@@ -1,0 +1,42 @@
+#include "common/sim_clock.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace cia {
+
+void SimClock::advance(SimTime delta) {
+  assert(delta >= 0);
+  now_ += delta;
+}
+
+void SimClock::advance_to(SimTime t) {
+  if (t > now_) now_ = t;
+}
+
+std::string SimClock::to_string() const {
+  char buf[64];
+  const SimTime tod = time_of_day();
+  std::snprintf(buf, sizeof(buf), "day %d %02d:%02d:%02d", day(),
+                static_cast<int>(tod / kHour),
+                static_cast<int>((tod % kHour) / kMinute),
+                static_cast<int>(tod % kMinute));
+  return buf;
+}
+
+std::string format_duration(SimTime seconds) {
+  char buf[64];
+  if (seconds >= kHour) {
+    std::snprintf(buf, sizeof(buf), "%d:%02d:%02d",
+                  static_cast<int>(seconds / kHour),
+                  static_cast<int>((seconds % kHour) / kMinute),
+                  static_cast<int>(seconds % kMinute));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%d:%02d",
+                  static_cast<int>(seconds / kMinute),
+                  static_cast<int>(seconds % kMinute));
+  }
+  return buf;
+}
+
+}  // namespace cia

@@ -1,0 +1,51 @@
+// Virtual time for the simulation.
+//
+// Experiments covering 66 days run in milliseconds of real time; every
+// component reads time through SimClock so overheads reported by the
+// CostModel-driven code appear as virtual elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cia {
+
+/// Seconds since the simulated epoch (day 0, 00:00:00).
+using SimTime = std::int64_t;
+
+constexpr SimTime kSecond = 1;
+constexpr SimTime kMinute = 60;
+constexpr SimTime kHour = 3600;
+constexpr SimTime kDay = 86400;
+
+/// A monotonically advancing virtual clock.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  SimTime now() const { return now_; }
+
+  /// Advance by `delta` seconds (must be >= 0).
+  void advance(SimTime delta);
+
+  /// Jump forward to an absolute time (no-op if already past it).
+  void advance_to(SimTime t);
+
+  /// Day index (0-based) of the current time.
+  int day() const { return static_cast<int>(now_ / kDay); }
+
+  /// Seconds elapsed since midnight of the current day.
+  SimTime time_of_day() const { return now_ % kDay; }
+
+  /// Format as "day D HH:MM:SS".
+  std::string to_string() const;
+
+ private:
+  SimTime now_ = 0;
+};
+
+/// Format a duration in seconds as "H:MM:SS" or "M:SS".
+std::string format_duration(SimTime seconds);
+
+}  // namespace cia

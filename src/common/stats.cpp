@@ -1,0 +1,64 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.hpp"
+
+namespace cia {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double var = 0.0;
+    for (double x : xs) var += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size() - 1));
+  }
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = (sorted.size() % 2 == 1)
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::string ascii_series(const std::vector<double>& xs,
+                         const std::string& x_label,
+                         const std::string& y_label, int width) {
+  std::string out = strformat("  %-6s | %s\n", x_label.c_str(), y_label.c_str());
+  out += "  -------+" + std::string(static_cast<std::size_t>(width) + 12, '-') + "\n";
+  double max = 0.0;
+  for (double x : xs) max = std::max(max, x);
+  if (max <= 0.0) max = 1.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const int bar = static_cast<int>(xs[i] / max * width + 0.5);
+    out += strformat("  %-6zu | %-*s %10.2f\n", i + 1, width,
+                     std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                     xs[i]);
+  }
+  return out;
+}
+
+}  // namespace cia

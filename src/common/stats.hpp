@@ -1,0 +1,31 @@
+// Descriptive statistics used by the experiment drivers when reproducing
+// the paper's figures and tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cia {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Compute summary statistics; returns zeros for an empty input.
+Summary summarize(const std::vector<double>& xs);
+
+/// p-th percentile (0..100) by linear interpolation.
+double percentile(std::vector<double> xs, double p);
+
+/// Render an ASCII bar chart: one row per value, used to print the
+/// paper's figures (3, 4, 5) as day-indexed series.
+std::string ascii_series(const std::vector<double>& xs,
+                         const std::string& x_label,
+                         const std::string& y_label, int width = 50);
+
+}  // namespace cia

@@ -1,0 +1,25 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cia {
+
+/// Split `s` on `sep`; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// Join parts with `sep`.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+bool starts_with(const std::string& s, const std::string& prefix);
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// Simple glob match supporting '*' (any run, including '/') and '?'.
+/// Keylime exclude lists use these wildcards.
+bool glob_match(const std::string& pattern, const std::string& text);
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace cia

@@ -1,0 +1,29 @@
+// Basic shared type aliases for the cia library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cia {
+
+/// Raw byte buffer used throughout the library for hashes, file content,
+/// serialized messages, and signatures.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Convert a string to bytes (no encoding transformation).
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Convert bytes to a string (no encoding transformation).
+inline std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Append `src` to `dst`.
+inline void append(Bytes& dst, const Bytes& src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace cia

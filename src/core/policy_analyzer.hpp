@@ -1,0 +1,58 @@
+// Policy coverage analysis — operator tooling for answering "would this
+// policy fire on this machine, and where are its blind spots?" before
+// enabling enforcement.
+//
+// The analyzer cross-references a machine's executable inventory with a
+// runtime policy and classifies every file:
+//   * covered    — path present with the current hash: attests green;
+//   * stale hash — path present but the on-disk hash is not acceptable:
+//                  the next execution fires a hash-mismatch FP;
+//   * uncovered  — absent from the policy: the next execution fires a
+//                  missing-file FP (or is a real intrusion);
+//   * excluded   — under an exclude glob: never evaluated, the P1 class
+//                  of blind spot, reported so operators can audit it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "keylime/runtime_policy.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia::core {
+
+struct CoverageReport {
+  std::size_t machine_executables = 0;
+  std::size_t covered = 0;
+  std::size_t stale_hash = 0;
+  std::size_t uncovered = 0;
+  std::size_t excluded = 0;
+  /// Policy paths with no corresponding file on this machine (normal for
+  /// a distribution-wide policy: the rest of the archive).
+  std::size_t policy_only_paths = 0;
+
+  std::vector<std::string> stale_samples;
+  std::vector<std::string> uncovered_samples;
+  std::vector<std::string> excluded_samples;
+
+  /// Fraction of the machine's executables that attest green as-is.
+  double coverage_ratio() const {
+    return machine_executables == 0
+               ? 1.0
+               : static_cast<double>(covered) /
+                     static_cast<double>(machine_executables);
+  }
+
+  /// Would continuous attestation run alert-free right now?
+  bool clean() const { return stale_hash == 0 && uncovered == 0; }
+
+  std::string to_string() const;
+};
+
+/// Analyze `policy` against the machine's current filesystem state.
+CoverageReport analyze_coverage(const oskernel::Machine& machine,
+                                const keylime::RuntimePolicy& policy,
+                                std::size_t max_samples = 5);
+
+}  // namespace cia::core

@@ -1,0 +1,105 @@
+#include "core/policy_generator.hpp"
+
+#include "common/log.hpp"
+#include "common/strutil.hpp"
+
+namespace cia::core {
+
+bool DynamicPolicyGenerator::admit(const pkg::Package& pkg,
+                                   const std::string& running_kernel,
+                                   const std::string& pending_kernel,
+                                   PolicyUpdateStats& stats) const {
+  if (config_.trusted_maintainer) {
+    const auto sig = crypto::Signature::decode(pkg.manifest_signature);
+    if (!sig || !crypto::verify(*config_.trusted_maintainer,
+                                pkg.manifest_tbs(), *sig)) {
+      ++stats.manifest_rejected;
+      return false;
+    }
+  }
+  if (!config_.kernel_tracking || pkg.kernel_version.empty()) return true;
+  if (pkg.kernel_version == running_kernel) return true;
+  if (!pending_kernel.empty() && pkg.kernel_version == pending_kernel) {
+    return true;
+  }
+  // Outdated (or not-yet-relevant) kernels are disallowed: their modules
+  // must not be loadable on the attested fleet.
+  ++stats.kernel_packages_skipped;
+  return false;
+}
+
+void DynamicPolicyGenerator::measure_package(
+    const pkg::Package& pkg, keylime::RuntimePolicy& policy,
+    PolicyUpdateStats& stats, std::vector<const pkg::Package*>& costed) {
+  if (pkg.executable_count() == 0) return;
+
+  const std::uint64_t bytes_before = policy.byte_size();
+  const std::size_t lines_before = policy.entry_count();
+  for (const pkg::PackageFile& f : pkg.files) {
+    if (!f.executable) continue;
+    policy.allow(f.path, f.content_hash(pkg.name));
+  }
+  const std::size_t added = policy.entry_count() - lines_before;
+  if (added == 0) return;  // nothing new (e.g. metadata-only revision)
+
+  ++stats.packages_processed;
+  if (pkg::is_high_priority(pkg.priority)) {
+    ++stats.packages_high_priority;
+  } else {
+    ++stats.packages_low_priority;
+  }
+  stats.lines_added += added;
+  stats.bytes_added += policy.byte_size() - bytes_before;
+  costed.push_back(&pkg);
+}
+
+keylime::RuntimePolicy DynamicPolicyGenerator::generate_base(
+    const std::string& running_kernel, PolicyUpdateStats* stats_out) {
+  keylime::RuntimePolicy policy;
+  PolicyUpdateStats stats;
+  std::vector<const pkg::Package*> costed;
+  processed_.clear();
+  for (const auto& [name, pkg] : mirror_->index()) {
+    if (!admit(pkg, running_kernel, "", stats)) continue;
+    measure_package(pkg, policy, stats, costed);
+    processed_[name] = pkg.revision;
+  }
+  last_running_kernel_ = running_kernel;
+  stats.seconds = config_.cost.policy_update_sec(costed);
+  if (stats_out) *stats_out = stats;
+  CIA_LOG_INFO("policy-gen",
+               strformat("base policy: %zu entries from %zu packages",
+                         policy.entry_count(), stats.packages_processed));
+  return policy;
+}
+
+PolicyUpdateStats DynamicPolicyGenerator::refresh(
+    keylime::RuntimePolicy& policy, const std::string& running_kernel,
+    const std::string& pending_kernel) {
+  PolicyUpdateStats stats;
+  std::vector<const pkg::Package*> costed;
+  // The fleet rebooted into a new kernel since the last refresh: retire
+  // the outdated kernel's modules so they are no longer loadable.
+  if (config_.kernel_tracking && !last_running_kernel_.empty() &&
+      running_kernel != last_running_kernel_) {
+    stats.kernel_lines_retired +=
+        policy.remove_prefix("/lib/modules/" + last_running_kernel_ + "/");
+    stats.kernel_lines_retired +=
+        policy.remove_prefix("/boot/vmlinuz-" + last_running_kernel_);
+  }
+  last_running_kernel_ = running_kernel;
+  for (const auto& [name, pkg] : mirror_->index()) {
+    auto it = processed_.find(name);
+    const bool is_new = (it == processed_.end());
+    if (!is_new && it->second >= pkg.revision) continue;
+    if (!admit(pkg, running_kernel, pending_kernel, stats)) continue;
+    // Only modified or new executables produce policy lines: allow() is
+    // idempotent per (path, hash), so unchanged files cost nothing.
+    measure_package(pkg, policy, stats, costed);
+    processed_[name] = pkg.revision;
+  }
+  stats.seconds = config_.cost.policy_update_sec(costed);
+  return stats;
+}
+
+}  // namespace cia::core

@@ -1,0 +1,98 @@
+// The dynamic policy generator — the paper's primary contribution (§III-C).
+//
+// Instead of hashing the files of one machine, the generator measures the
+// *distribution itself*: every executable shipped by every package in the
+// mirrored Main/Security/Updates suites becomes a policy entry. Because
+// the mirror is the only update source for the fleet, a machine can never
+// legitimately run an executable the policy has not already blessed.
+//
+// The generator works incrementally: it remembers the last processed
+// revision of each package and, on refresh, downloads/unpacks/hashes only
+// new or changed packages, *appending* their hashes to the policy. Old
+// hashes are intentionally retained during the update window so machines
+// mid-upgrade stay in policy; dedup() afterwards drops the stale ones.
+//
+// Kernel modules get special treatment (§III-C "Handling Kernel Modules"):
+// only the running kernel's module package is admitted — plus, when an
+// update installs a newer kernel that will boot later, that pending
+// kernel's modules are admitted ahead of the reboot.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "pkg/cost_model.hpp"
+#include "pkg/mirror.hpp"
+
+namespace cia::core {
+
+/// Statistics for one generator run — these are exactly the quantities
+/// plotted in the paper's Figs. 3-5 and Table I.
+struct PolicyUpdateStats {
+  int day = 0;
+  std::size_t packages_processed = 0;      // new+changed pkgs w/ executables
+  std::size_t packages_high_priority = 0;  // Essential/Required/Important/Standard
+  std::size_t packages_low_priority = 0;   // Optional/Extra
+  std::size_t lines_added = 0;             // policy entries appended
+  std::uint64_t bytes_added = 0;           // policy growth in bytes
+  double seconds = 0.0;                    // virtual generation time
+  std::size_t kernel_packages_skipped = 0; // non-running-kernel pkgs ignored
+  std::size_t kernel_lines_retired = 0;    // old-kernel entries purged
+  std::size_t manifest_rejected = 0;       // bad/missing maintainer signature
+};
+
+struct GeneratorConfig {
+  pkg::CostModel cost;
+  /// Enforce the kernel-module rules; when false every kernel package in
+  /// the mirror is admitted (used by the ablation bench).
+  bool kernel_tracking = true;
+  /// When set, only packages whose manifest carries a valid signature by
+  /// this maintainer key are admitted (the §V ostree-style provenance
+  /// improvement). Unsigned or tampered packages are rejected and counted.
+  std::optional<crypto::PublicKey> trusted_maintainer;
+};
+
+class DynamicPolicyGenerator {
+ public:
+  DynamicPolicyGenerator(const pkg::Mirror* mirror, GeneratorConfig config)
+      : mirror_(mirror), config_(config) {}
+
+  /// Build the full base policy from the current mirror snapshot.
+  /// `running_kernel` selects which kernel's modules are admitted.
+  keylime::RuntimePolicy generate_base(const std::string& running_kernel,
+                                       PolicyUpdateStats* stats = nullptr);
+
+  /// Incremental refresh: diff the mirror against the last processed
+  /// revisions and append hashes for new/changed executables to `policy`.
+  /// `pending_kernel` (optional) is a newly installed kernel that has not
+  /// booted yet; its module package is admitted ahead of the reboot.
+  PolicyUpdateStats refresh(keylime::RuntimePolicy& policy,
+                            const std::string& running_kernel,
+                            const std::string& pending_kernel = "");
+
+  /// Number of distinct packages the generator has processed so far.
+  std::size_t processed_count() const { return processed_.size(); }
+
+ private:
+  /// Should this package's files enter the policy at all?
+  bool admit(const pkg::Package& pkg, const std::string& running_kernel,
+             const std::string& pending_kernel,
+             PolicyUpdateStats& stats) const;
+
+  /// Hash and append one package's executables; updates stats.
+  void measure_package(const pkg::Package& pkg,
+                       keylime::RuntimePolicy& policy,
+                       PolicyUpdateStats& stats,
+                       std::vector<const pkg::Package*>& costed);
+
+  const pkg::Mirror* mirror_;
+  GeneratorConfig config_;
+  std::map<std::string, std::uint32_t> processed_;  // name -> revision
+  std::string last_running_kernel_;
+};
+
+}  // namespace cia::core

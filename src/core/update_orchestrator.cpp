@@ -1,0 +1,106 @@
+#include "core/update_orchestrator.hpp"
+
+#include "common/log.hpp"
+#include "common/strutil.hpp"
+
+namespace cia::core {
+
+Status UpdateOrchestrator::bootstrap() {
+  if (nodes_.empty()) {
+    return err(Errc::kInvalidArgument, "no managed nodes");
+  }
+  mirror_->sync(clock_->now());
+  const std::string kernel = nodes_.front().machine->kernel_version();
+  PolicyUpdateStats stats;
+  policy_ = generator_->generate_base(kernel, &stats);
+  clock_->advance(static_cast<SimTime>(stats.seconds));
+  for (const ManagedNode& node : nodes_) {
+    if (Status s = verifier_->set_policy(node.agent_id, policy_); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::ok_status();
+}
+
+Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
+  if (nodes_.empty()) {
+    return err(Errc::kInvalidArgument, "no managed nodes");
+  }
+  UpdateCycleReport report;
+
+  // Step 1: identify updates in advance — refresh the local mirror.
+  mirror_->sync(clock_->now());
+
+  // Step 2: generate the policy delta. If the sync brought a newer kernel
+  // than the one running, admit it ahead of the reboot.
+  const std::string running = nodes_.front().machine->kernel_version();
+  std::string pending;
+  for (const auto& [name, pkg] : mirror_->index()) {
+    (void)name;
+    // The newest kernel on the mirror that is newer than the running one
+    // becomes the pending kernel (serials are fixed-width, so the
+    // lexicographic comparison is the version order).
+    if (pkg.is_kernel_modules() && pkg.kernel_version > running &&
+        (pending.empty() || pkg.kernel_version > pending)) {
+      pending = pkg.kernel_version;
+    }
+  }
+  report.policy_stats =
+      generator_->refresh(policy_, running, pending);
+  report.kernel_pending_reboot = !pending.empty();
+  report.policy_stats.day = clock_->day();
+  clock_->advance(static_cast<SimTime>(report.policy_stats.seconds));
+
+  // Step 3: preempt the system update — the verifier gets the new policy
+  // BEFORE any node installs a byte.
+  for (const ManagedNode& node : nodes_) {
+    if (Status s = verifier_->set_policy(node.agent_id, policy_); !s.ok()) {
+      return s.error();
+    }
+  }
+
+  // Now the nodes upgrade from the mirror (never from the official
+  // archive — that shortcut is the human error of §III-D).
+  for (const ManagedNode& node : nodes_) {
+    const pkg::UpgradeResult result = node.apt->upgrade(mirror_->index());
+    if (!result.upgraded.empty()) {
+      ++report.nodes_upgraded;
+      report.packages_installed += result.upgraded.size();
+    }
+    // A newer kernel on the mirror is installed alongside the running one
+    // (dist-upgrade behaviour) and armed for the next reboot; its policy
+    // entries were already admitted above as the pending kernel.
+    if (!pending.empty() && node.machine->kernel_version() != pending &&
+        !node.apt->is_installed("linux-modules-" + pending)) {
+      for (const std::string& kpkg :
+           {"linux-image-" + pending, "linux-modules-" + pending}) {
+        if (const pkg::Package* p = mirror_->find(kpkg)) {
+          (void)node.apt->install(*p);
+          ++report.packages_installed;
+        }
+      }
+      node.machine->schedule_kernel(pending);
+    }
+  }
+
+  // Post-update dedup: superseded hashes leave the policy once no node
+  // can still be running the old files.
+  if (dedup_after && report.policy_stats.lines_added > 0) {
+    report.dedup_removed = policy_.dedup();
+    for (const ManagedNode& node : nodes_) {
+      if (Status s = verifier_->set_policy(node.agent_id, policy_); !s.ok()) {
+        return s.error();
+      }
+    }
+  }
+
+  CIA_LOG_INFO("orchestrator",
+               strformat("cycle day %d: %zu pkgs, %zu lines, %.1fs, dedup -%zu",
+                         report.policy_stats.day,
+                         report.policy_stats.packages_processed,
+                         report.policy_stats.lines_added,
+                         report.policy_stats.seconds, report.dedup_removed));
+  return report;
+}
+
+}  // namespace cia::core

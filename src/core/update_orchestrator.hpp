@@ -1,0 +1,73 @@
+// The data-center-controlled update workflow (§III-C, Fig. 2).
+//
+// One cycle implements the paper's three steps:
+//   1. identify updates in advance  — sync the local mirror;
+//   2. generate policies            — incremental generator refresh;
+//   3. preempt system updates       — push the new policy to the verifier
+//                                     *before* the agent machine upgrades
+//                                     from the mirror.
+//
+// Because the push precedes the upgrade, the policy window always covers
+// both the old files (existing entries are retained) and the new ones, so
+// attestation keeps passing throughout the update. Post-update dedup
+// removes the superseded hashes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy_generator.hpp"
+#include "keylime/verifier.hpp"
+#include "oskernel/machine.hpp"
+#include "pkg/apt.hpp"
+#include "pkg/mirror.hpp"
+
+namespace cia::core {
+
+/// One managed node: the machine, its apt client, and its agent id.
+struct ManagedNode {
+  oskernel::Machine* machine = nullptr;
+  pkg::AptClient* apt = nullptr;
+  std::string agent_id;
+};
+
+/// Report for one full update cycle.
+struct UpdateCycleReport {
+  PolicyUpdateStats policy_stats;
+  std::size_t nodes_upgraded = 0;
+  std::size_t packages_installed = 0;  // across all nodes
+  std::size_t dedup_removed = 0;
+  bool kernel_pending_reboot = false;
+};
+
+class UpdateOrchestrator {
+ public:
+  UpdateOrchestrator(pkg::Mirror* mirror, DynamicPolicyGenerator* generator,
+                     keylime::Verifier* verifier, SimClock* clock)
+      : mirror_(mirror),
+        generator_(generator),
+        verifier_(verifier),
+        clock_(clock) {}
+
+  void manage(ManagedNode node) { nodes_.push_back(node); }
+
+  /// Build and install the initial base policy on every managed node.
+  Status bootstrap();
+
+  /// Run one scheduled update cycle: sync mirror -> refresh policy ->
+  /// push to verifier -> upgrade nodes from the mirror -> dedup.
+  /// `dedup_after` can be disabled to observe policy growth (ablation).
+  Result<UpdateCycleReport> run_cycle(bool dedup_after = true);
+
+  const keylime::RuntimePolicy& policy() const { return policy_; }
+
+ private:
+  pkg::Mirror* mirror_;
+  DynamicPolicyGenerator* generator_;
+  keylime::Verifier* verifier_;
+  SimClock* clock_;
+  std::vector<ManagedNode> nodes_;
+  keylime::RuntimePolicy policy_;
+};
+
+}  // namespace cia::core

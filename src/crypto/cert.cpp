@@ -1,0 +1,109 @@
+#include "crypto/cert.hpp"
+
+#include <cstring>
+
+namespace cia::crypto {
+
+namespace {
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_str(Bytes& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+bool get_u64(const Bytes& in, std::size_t& pos, std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | in[pos++];
+  return true;
+}
+
+bool get_str(const Bytes& in, std::size_t& pos, std::string& s) {
+  std::uint64_t len = 0;
+  if (!get_u64(in, pos, len)) return false;
+  if (pos + len > in.size()) return false;
+  s.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+           in.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  pos += len;
+  return true;
+}
+
+bool get_fixed(const Bytes& in, std::size_t& pos, std::size_t n, Bytes& out) {
+  if (pos + n > in.size()) return false;
+  out.assign(in.begin() + static_cast<std::ptrdiff_t>(pos),
+             in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+  pos += n;
+  return true;
+}
+
+}  // namespace
+
+Bytes Certificate::tbs_encode() const {
+  Bytes out;
+  put_str(out, subject);
+  put_str(out, issuer);
+  append(out, subject_key.encode());
+  put_u64(out, static_cast<std::uint64_t>(not_before));
+  put_u64(out, static_cast<std::uint64_t>(not_after));
+  return out;
+}
+
+Bytes Certificate::encode() const {
+  Bytes out = tbs_encode();
+  append(out, signature.encode());
+  return out;
+}
+
+std::optional<Certificate> Certificate::decode(const Bytes& b) {
+  Certificate cert;
+  std::size_t pos = 0;
+  if (!get_str(b, pos, cert.subject)) return std::nullopt;
+  if (!get_str(b, pos, cert.issuer)) return std::nullopt;
+  Bytes key_bytes;
+  if (!get_fixed(b, pos, 64, key_bytes)) return std::nullopt;
+  auto key = PublicKey::decode(key_bytes);
+  if (!key) return std::nullopt;
+  cert.subject_key = *key;
+  std::uint64_t nb = 0, na = 0;
+  if (!get_u64(b, pos, nb) || !get_u64(b, pos, na)) return std::nullopt;
+  cert.not_before = static_cast<SimTime>(nb);
+  cert.not_after = static_cast<SimTime>(na);
+  Bytes sig_bytes;
+  if (!get_fixed(b, pos, 96, sig_bytes)) return std::nullopt;
+  auto sig = Signature::decode(sig_bytes);
+  if (!sig) return std::nullopt;
+  cert.signature = *sig;
+  if (pos != b.size()) return std::nullopt;
+  return cert;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, const Bytes& seed)
+    : name_(std::move(name)), key_(derive_keypair(seed, "ca:" + name_)) {}
+
+Certificate CertificateAuthority::issue(const std::string& subject,
+                                        const PublicKey& subject_key,
+                                        SimTime not_before,
+                                        SimTime not_after) const {
+  Certificate cert;
+  cert.subject = subject;
+  cert.issuer = name_;
+  cert.subject_key = subject_key;
+  cert.not_before = not_before;
+  cert.not_after = not_after;
+  cert.signature = sign(key_, cert.tbs_encode());
+  return cert;
+}
+
+bool verify_certificate(const Certificate& cert, const PublicKey& issuer_key,
+                        SimTime now) {
+  if (now < cert.not_before || now > cert.not_after) return false;
+  return verify(issuer_key, cert.tbs_encode(), cert.signature);
+}
+
+}  // namespace cia::crypto

@@ -1,0 +1,55 @@
+// Minimal certificates for the TPM trust chain.
+//
+// Real TPMs carry X.509 endorsement-key certificates signed by the TPM
+// manufacturer; the Keylime registrar validates that chain before trusting
+// an agent's TPM. We model the same trust relationship with a compact
+// binary certificate format (subject, key, issuer, validity, signature).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/sim_clock.hpp"
+#include "crypto/schnorr.hpp"
+
+namespace cia::crypto {
+
+/// A signed binding of a subject name to a public key.
+struct Certificate {
+  std::string subject;     // e.g. "tpm:ek:<device-id>"
+  std::string issuer;      // e.g. "manufacturer:Infineon-sim"
+  PublicKey subject_key;
+  SimTime not_before = 0;
+  SimTime not_after = 0;
+  Signature signature;     // over the to-be-signed encoding
+
+  /// Bytes covered by the signature.
+  Bytes tbs_encode() const;
+
+  /// Full serialized form.
+  Bytes encode() const;
+  static std::optional<Certificate> decode(const Bytes& b);
+};
+
+/// A certificate authority (used for the TPM "manufacturer").
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, const Bytes& seed);
+
+  const std::string& name() const { return name_; }
+  const PublicKey& public_key() const { return key_.pub; }
+
+  /// Issue a certificate for `subject_key`.
+  Certificate issue(const std::string& subject, const PublicKey& subject_key,
+                    SimTime not_before, SimTime not_after) const;
+
+ private:
+  std::string name_;
+  KeyPair key_;
+};
+
+/// Verify a certificate against its issuer's public key and current time.
+bool verify_certificate(const Certificate& cert, const PublicKey& issuer_key,
+                        SimTime now);
+
+}  // namespace cia::crypto

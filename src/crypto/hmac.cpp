@@ -1,0 +1,34 @@
+#include "crypto/hmac.hpp"
+
+namespace cia::crypto {
+
+Digest hmac_sha256(const Bytes& key, const Bytes& data) {
+  constexpr std::size_t kBlock = 64;
+  Bytes k = key;
+  if (k.size() > kBlock) {
+    k = digest_bytes(sha256(k));
+  }
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+Digest kdf(const Bytes& secret, const std::string& label) {
+  return hmac_sha256(secret, to_bytes("cia-kdf:" + label));
+}
+
+}  // namespace cia::crypto

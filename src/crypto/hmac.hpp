@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104). Used by the TPM credential-activation protocol
+// and by deterministic nonce derivation in Schnorr signing.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace cia::crypto {
+
+/// HMAC-SHA256 over `data` with `key`.
+Digest hmac_sha256(const Bytes& key, const Bytes& data);
+
+/// KDF: derive a 32-byte key from a secret and a context label.
+Digest kdf(const Bytes& secret, const std::string& label);
+
+}  // namespace cia::crypto

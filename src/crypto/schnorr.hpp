@@ -1,0 +1,52 @@
+// Schnorr signatures over secp256k1.
+//
+// The TPM simulator uses Schnorr keys for the endorsement key (EK) and
+// attestation key (AK); TPM quotes and certificates are Schnorr-signed.
+// Nonces are derived deterministically (RFC6979-style via HMAC) so the
+// whole simulation is reproducible.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/secp256k1.hpp"
+
+namespace cia::crypto {
+
+/// A Schnorr public key (a curve point).
+struct PublicKey {
+  Point point;
+
+  Bytes encode() const { return encode_point(point); }
+  static std::optional<PublicKey> decode(const Bytes& b);
+  bool operator==(const PublicKey&) const = default;
+};
+
+/// A Schnorr private key (scalar in [1, n-1]) with its public key.
+struct KeyPair {
+  U256 secret;
+  PublicKey pub;
+};
+
+/// Signature: commitment point R and scalar s, satisfying
+/// s*G == R + H(R || P || m)*P.
+struct Signature {
+  Point r;
+  U256 s;
+
+  /// 96-byte encoding: R (64) || s (32).
+  Bytes encode() const;
+  static std::optional<Signature> decode(const Bytes& b);
+  bool operator==(const Signature&) const = default;
+};
+
+/// Derive a keypair deterministically from seed material.
+KeyPair derive_keypair(const Bytes& seed, const std::string& label);
+
+/// Sign a message (deterministic nonce).
+Signature sign(const KeyPair& key, const Bytes& message);
+
+/// Verify a signature.
+bool verify(const PublicKey& pub, const Bytes& message, const Signature& sig);
+
+}  // namespace cia::crypto

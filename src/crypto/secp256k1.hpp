@@ -1,0 +1,54 @@
+// secp256k1 elliptic-curve group arithmetic (y^2 = x^3 + 7 over F_p).
+//
+// Provides the group operations needed by Schnorr signatures: scalar
+// multiplication, point addition, encoding. Jacobian coordinates are used
+// internally to avoid per-operation field inversions.
+#pragma once
+
+#include <optional>
+
+#include "crypto/u256.hpp"
+
+namespace cia::crypto {
+
+/// Field prime p = 2^256 - 2^32 - 977.
+const SpecialModulus& field_modulus();
+
+/// Group order n.
+const SpecialModulus& order_modulus();
+
+/// An affine point; infinity is represented separately.
+struct Point {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  static Point make_infinity() { return Point{}; }
+  bool operator==(const Point&) const = default;
+};
+
+/// Generator point G.
+const Point& generator();
+
+/// Is `pt` on the curve (or infinity)?
+bool on_curve(const Point& pt);
+
+/// Point addition (complete, handles doubling and infinity).
+Point add(const Point& a, const Point& b);
+
+/// Scalar multiplication k * P (double-and-add).
+Point scalar_mul(const U256& k, const Point& p);
+
+/// k * G.
+Point scalar_mul_base(const U256& k);
+
+/// Negate a point.
+Point negate(const Point& p);
+
+/// Encode a point as 64 bytes (x || y big-endian); infinity is all-zero.
+Bytes encode_point(const Point& p);
+
+/// Decode 64-byte encoding; validates curve membership.
+std::optional<Point> decode_point(const Bytes& b);
+
+}  // namespace cia::crypto

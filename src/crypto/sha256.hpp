@@ -1,0 +1,56 @@
+// SHA-256 (FIPS 180-4), implemented from scratch so the library is
+// self-contained. Used for IMA file measurements, TPM PCR extends,
+// policy hashes, and as the hash inside HMAC and Schnorr.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cia::crypto {
+
+constexpr std::size_t kSha256Size = 32;
+using Digest = std::array<std::uint8_t, kSha256Size>;
+
+/// Streaming SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input.
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const Bytes& data) { update(data.data(), data.size()); }
+  void update(const std::string& data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalize and return the digest. The context must not be reused after.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot digest of a byte buffer.
+Digest sha256(const Bytes& data);
+
+/// One-shot digest of a string.
+Digest sha256(const std::string& data);
+
+/// Digest as Bytes.
+Bytes digest_bytes(const Digest& d);
+
+/// Lowercase hex of a digest.
+std::string digest_hex(const Digest& d);
+
+/// An all-zero digest (e.g., initial PCR value).
+Digest zero_digest();
+
+}  // namespace cia::crypto

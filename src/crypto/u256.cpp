@@ -1,0 +1,219 @@
+#include "crypto/u256.hpp"
+
+#include <cassert>
+
+namespace cia::crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+int hexval(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  assert(false && "invalid hex character");
+  return 0;
+}
+
+}  // namespace
+
+U256 U256::from_hex(const std::string& hex) {
+  assert(hex.size() == 64);
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    // limb[3] holds the most-significant 16 hex chars.
+    const std::size_t off = static_cast<std::size_t>(3 - i) * 16;
+    for (std::size_t j = 0; j < 16; ++j) {
+      v = (v << 4) | static_cast<std::uint64_t>(hexval(hex[off + j]));
+    }
+    r.limb[static_cast<std::size_t>(i)] = v;
+  }
+  return r;
+}
+
+U256 U256::from_be_bytes(const Bytes& b) {
+  assert(b.size() == 32);
+  U256 r;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < 8; ++j) {
+      v = (v << 8) | b[static_cast<std::size_t>((3 - i) * 8 + j)];
+    }
+    r.limb[static_cast<std::size_t>(i)] = v;
+  }
+  return r;
+}
+
+Bytes U256::to_be_bytes() const {
+  Bytes out(32);
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t v = limb[static_cast<std::size_t>(3 - i)];
+    for (int j = 0; j < 8; ++j) {
+      out[static_cast<std::size_t>(i * 8 + j)] =
+          static_cast<std::uint8_t>(v >> (56 - 8 * j));
+    }
+  }
+  return out;
+}
+
+std::string U256::to_hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(64, '0');
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t v = limb[static_cast<std::size_t>(3 - i)];
+    for (int j = 0; j < 16; ++j) {
+      out[static_cast<std::size_t>(i * 16 + j)] =
+          kHex[(v >> (60 - 4 * j)) & 0xf];
+    }
+  }
+  return out;
+}
+
+int cmp(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    const auto ai = a.limb[static_cast<std::size_t>(i)];
+    const auto bi = b.limb[static_cast<std::size_t>(i)];
+    if (ai < bi) return -1;
+    if (ai > bi) return 1;
+  }
+  return 0;
+}
+
+std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out) {
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<std::uint64_t>(sum);
+    carry = static_cast<std::uint64_t>(sum >> 64);
+  }
+  return carry;
+}
+
+std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out) {
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 diff =
+        static_cast<u128>(a.limb[i]) - b.limb[i] - borrow;
+    out.limb[i] = static_cast<std::uint64_t>(diff);
+    borrow = static_cast<std::uint64_t>((diff >> 64) & 1);
+  }
+  return borrow;
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 r{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.limb[i]) * b.limb[j] +
+                       r[i + j] + carry;
+      r[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    r[i + 4] += carry;
+  }
+  return r;
+}
+
+SpecialModulus SpecialModulus::make(const U256& p) {
+  // c = 2^256 - p  ==  (~p) + 1 in 256-bit arithmetic.
+  U256 c;
+  for (std::size_t i = 0; i < 4; ++i) c.limb[i] = ~p.limb[i];
+  U256 one = U256::one();
+  U256 tmp;
+  add_with_carry(c, one, tmp);
+  return SpecialModulus{p, tmp};
+}
+
+U256 reduce(const U256& x, const SpecialModulus& m) {
+  U256 r = x;
+  while (r >= m.p) {
+    U256 tmp;
+    sub_with_borrow(r, m.p, tmp);
+    r = tmp;
+  }
+  return r;
+}
+
+U256 reduce_wide(const U512& x, const SpecialModulus& m) {
+  // Fold: x = hi * 2^256 + lo == hi * c + lo (mod p), iterate until the
+  // high half vanishes, then conditional-subtract.
+  U256 lo{{x[0], x[1], x[2], x[3]}};
+  U256 hi{{x[4], x[5], x[6], x[7]}};
+  while (!hi.is_zero()) {
+    const U512 prod = mul_wide(hi, m.c);
+    U256 plo{{prod[0], prod[1], prod[2], prod[3]}};
+    U256 phi{{prod[4], prod[5], prod[6], prod[7]}};
+    U256 sum;
+    const std::uint64_t carry = add_with_carry(lo, plo, sum);
+    lo = sum;
+    hi = phi;
+    if (carry) {
+      // Propagate the carry into hi (cannot overflow: phi is far below max).
+      U256 one = U256::one();
+      U256 tmp;
+      add_with_carry(hi, one, tmp);
+      hi = tmp;
+    }
+  }
+  return reduce(lo, m);
+}
+
+U256 add_mod(const U256& a, const U256& b, const SpecialModulus& m) {
+  U256 sum;
+  const std::uint64_t carry = add_with_carry(a, b, sum);
+  if (carry) {
+    // sum + 2^256 == sum + c (mod p)
+    U256 tmp;
+    const std::uint64_t carry2 = add_with_carry(sum, m.c, tmp);
+    sum = tmp;
+    // A second carry is impossible for moduli close to 2^256 (c is tiny
+    // relative to 2^256), but handle it defensively.
+    if (carry2) {
+      U256 tmp2;
+      add_with_carry(sum, m.c, tmp2);
+      sum = tmp2;
+    }
+  }
+  return reduce(sum, m);
+}
+
+U256 sub_mod(const U256& a, const U256& b, const SpecialModulus& m) {
+  const U256 ra = reduce(a, m);
+  const U256 rb = reduce(b, m);
+  U256 out;
+  if (sub_with_borrow(ra, rb, out)) {
+    U256 tmp;
+    add_with_carry(out, m.p, tmp);
+    return tmp;
+  }
+  return out;
+}
+
+U256 mul_mod(const U256& a, const U256& b, const SpecialModulus& m) {
+  return reduce_wide(mul_wide(a, b), m);
+}
+
+U256 pow_mod(const U256& a, const U256& e, const SpecialModulus& m) {
+  U256 base = reduce(a, m);
+  U256 result = U256::one();
+  for (int limb_idx = 0; limb_idx < 4; ++limb_idx) {
+    std::uint64_t bits = e.limb[static_cast<std::size_t>(limb_idx)];
+    for (int bit = 0; bit < 64; ++bit) {
+      if (bits & 1) result = mul_mod(result, base, m);
+      base = mul_mod(base, base, m);
+      bits >>= 1;
+    }
+  }
+  return result;
+}
+
+U256 inv_mod(const U256& a, const SpecialModulus& m) {
+  U256 e;
+  sub_with_borrow(m.p, U256::from_u64(2), e);
+  return pow_mod(a, e, m);
+}
+
+}  // namespace cia::crypto

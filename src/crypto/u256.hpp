@@ -1,0 +1,95 @@
+// Fixed-width 256-bit unsigned integer arithmetic.
+//
+// This is the minimum bignum needed for secp256k1: add/sub with carry,
+// 256x256 -> 512 multiply, comparison, and reduction modulo primes of the
+// form 2^256 - c (both the secp256k1 field prime and group order have this
+// shape, which allows fast folding reduction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cia::crypto {
+
+/// 256-bit unsigned integer, little-endian limbs (limb[0] is least
+/// significant).
+struct U256 {
+  std::array<std::uint64_t, 4> limb{};
+
+  static U256 zero() { return U256{}; }
+  static U256 one() {
+    U256 r;
+    r.limb[0] = 1;
+    return r;
+  }
+  static U256 from_u64(std::uint64_t v) {
+    U256 r;
+    r.limb[0] = v;
+    return r;
+  }
+
+  /// Parse from exactly 64 hex chars (big-endian), asserts on bad input.
+  static U256 from_hex(const std::string& hex);
+
+  /// From 32 big-endian bytes.
+  static U256 from_be_bytes(const Bytes& b);
+
+  /// To 32 big-endian bytes.
+  Bytes to_be_bytes() const;
+
+  std::string to_hex() const;
+
+  bool is_zero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+
+  bool operator==(const U256&) const = default;
+};
+
+/// -1 / 0 / +1 three-way compare.
+int cmp(const U256& a, const U256& b);
+inline bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+inline bool operator>=(const U256& a, const U256& b) { return cmp(a, b) >= 0; }
+
+/// a + b, returns carry-out (0 or 1).
+std::uint64_t add_with_carry(const U256& a, const U256& b, U256& out);
+
+/// a - b, returns borrow-out (0 or 1). Caller ensures a >= b for
+/// non-wrapping semantics.
+std::uint64_t sub_with_borrow(const U256& a, const U256& b, U256& out);
+
+/// Full 256x256 -> 512-bit product, little-endian limbs.
+using U512 = std::array<std::uint64_t, 8>;
+U512 mul_wide(const U256& a, const U256& b);
+
+/// Modulus of the special form 2^256 - c, with precomputed c.
+struct SpecialModulus {
+  U256 p;  // the modulus
+  U256 c;  // 2^256 - p
+
+  /// Construct from the modulus value (computes c).
+  static SpecialModulus make(const U256& p);
+};
+
+/// Reduce a 512-bit value modulo a 2^256 - c modulus.
+U256 reduce_wide(const U512& x, const SpecialModulus& m);
+
+/// Reduce a 256-bit value (one conditional subtraction may not suffice for
+/// arbitrary inputs; this loops until < p).
+U256 reduce(const U256& x, const SpecialModulus& m);
+
+/// (a + b) mod p
+U256 add_mod(const U256& a, const U256& b, const SpecialModulus& m);
+/// (a - b) mod p
+U256 sub_mod(const U256& a, const U256& b, const SpecialModulus& m);
+/// (a * b) mod p
+U256 mul_mod(const U256& a, const U256& b, const SpecialModulus& m);
+/// a^e mod p (square-and-multiply)
+U256 pow_mod(const U256& a, const U256& e, const SpecialModulus& m);
+/// a^(p-2) mod p — modular inverse for prime p (Fermat).
+U256 inv_mod(const U256& a, const SpecialModulus& m);
+
+}  // namespace cia::crypto

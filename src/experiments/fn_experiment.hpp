@@ -1,0 +1,54 @@
+// The false-negative evaluation of §IV (Table II).
+//
+// Every attack sample runs three times, each on a machine restored to the
+// same initial state:
+//   * basic      — stock Keylime/IMA stack, attacker unaware of Keylime;
+//   * adaptive   — stock stack, attacker exploits P1-P5;
+//   * mitigated  — the §IV-C recommendations applied: enriched IMA and
+//     Keylime policies (no /tmp or writable-fs blind spots), verifier
+//     that keeps evaluating after failures, IMA re-evaluation on path
+//     change, and script-execution control with bash opted in (python
+//     deliberately not — upstream has not adopted it, which is why
+//     Aoyama stays undetectable).
+//
+// Detection is decided purely by the attestation pipeline: an attack is
+// detected when an alert's path matches one of its payload markers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.hpp"
+
+namespace cia::experiments {
+
+enum class DetectionOutcome {
+  kDetectedImmediately,  // alert during the attack window
+  kDetectedOnReboot,     // alert only after reboot + fresh attestation
+  kEvaded,               // no payload alert at all
+};
+
+const char* detection_outcome_name(DetectionOutcome o);
+
+struct AttackReport {
+  std::string name;
+  std::string category;
+  std::vector<attacks::Problem> exploits;
+  DetectionOutcome basic = DetectionOutcome::kEvaded;
+  DetectionOutcome adaptive = DetectionOutcome::kEvaded;
+  DetectionOutcome mitigated = DetectionOutcome::kEvaded;
+  bool paper_expects_mitigable = true;
+};
+
+struct FnExperimentOptions {
+  std::uint64_t seed = 42;
+  /// Archive scale (the detection outcomes are scale-independent; tests
+  /// shrink this to keep the matrix fast).
+  std::size_t archive_packages = 1500;
+};
+
+/// Run all eight samples through the three scenarios.
+std::vector<AttackReport> run_fn_experiment(const FnExperimentOptions& options);
+
+}  // namespace cia::experiments

@@ -1,0 +1,99 @@
+// A fully wired single-node deployment: archive + mirror + machine +
+// TPM/IMA + Keylime agent/registrar/verifier over the simulated network.
+//
+// Every experiment in the paper starts from this rig; the options select
+// the variation (stock vs mitigated stacks, SNAP on/off, verifier
+// failure semantics).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/cert.hpp"
+#include "keylime/agent.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/tenant.hpp"
+#include "keylime/verifier.hpp"
+#include "netsim/network.hpp"
+#include "oskernel/machine.hpp"
+#include "pkg/apt.hpp"
+#include "pkg/archive.hpp"
+#include "pkg/mirror.hpp"
+
+namespace cia::experiments {
+
+struct TestbedOptions {
+  std::uint64_t seed = 42;
+  pkg::ArchiveConfig archive;
+  /// Number of generated packages provisioned onto the machine in
+  /// addition to the well-known set and the running kernel's packages.
+  std::size_t provision_extra = 250;
+  ima::ImaPolicy ima_policy = ima::ImaPolicy::keylime_recommended();
+  ima::ImaConfig ima_config;
+  keylime::VerifierConfig verifier_config;
+  /// Install a SNAP (squashfs app container) whose binary the workload
+  /// occasionally runs — the §III-B SNAP false-positive source.
+  bool snap_enabled = false;
+  pkg::CostModel cost;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedOptions& options);
+
+  /// Agent registration + verifier enrolment (no policy yet).
+  Status enroll();
+
+  /// One verifier round against the node (alerts accumulate inside the
+  /// verifier); comms errors are surfaced, policy alerts are not errors.
+  void attest();
+
+  /// Paths of SNAP-shipped binaries as IMA reports them (truncated).
+  const std::vector<std::string>& snap_visible_paths() const {
+    return snap_visible_paths_;
+  }
+  /// Host-side SNAP binary paths (what a filesystem scan sees).
+  const std::vector<std::string>& snap_host_paths() const {
+    return snap_host_paths_;
+  }
+
+  const std::string& agent_id() const { return agent_->agent_id(); }
+
+  SimClock clock;
+  crypto::CertificateAuthority tpm_ca;
+  pkg::Archive archive;
+  pkg::Mirror mirror;
+  netsim::SimNetwork network;
+  keylime::Registrar registrar;
+  keylime::Verifier verifier;
+  oskernel::Machine machine;
+  pkg::AptClient apt;
+
+  keylime::Agent& agent() { return *agent_; }
+
+  /// Names provisioned onto the machine.
+  std::vector<std::string> provisioned;
+
+ private:
+  std::unique_ptr<keylime::Agent> agent_;
+  std::vector<std::string> snap_visible_paths_;
+  std::vector<std::string> snap_host_paths_;
+};
+
+/// Build a static "IBM-style" initial policy by recursively scanning the
+/// machine for executable files and hashing them (§III-A). `exclude_tmp`
+/// reproduces the policy's /tmp wildcard exclusion — the origin of P1.
+keylime::RuntimePolicy scan_machine_policy(const oskernel::Machine& machine,
+                                           bool exclude_tmp);
+
+/// §III-C option (a) for the SNAP problem: post-process a policy so every
+/// entry carries the path IMA will actually record — i.e., strip
+/// container-namespace prefixes (/snap/<name>/<rev>/..., container
+/// rootfs paths). Returns the rewritten policy; the number of rewritten
+/// entries is written to `rewritten` when non-null.
+keylime::RuntimePolicy scrub_container_prefixes(
+    const keylime::RuntimePolicy& policy, const oskernel::Machine& machine,
+    std::size_t* rewritten = nullptr);
+
+}  // namespace cia::experiments

@@ -1,0 +1,100 @@
+#include "experiments/workload.hpp"
+
+#include "common/strutil.hpp"
+
+namespace cia::experiments {
+
+namespace {
+// The interactive core: these are the Zipf-hot packages, so their
+// binaries both run on every session and update most often — the
+// combination that makes unscheduled updates surface as FPs quickly.
+const char* kHotBinaries[] = {
+    "/usr/bin/bash", "/usr/bin/coreutils", "/usr/bin/python3",
+    "/usr/bin/openssl", "/usr/bin/curl", "/usr/bin/tar", "/usr/bin/sudo",
+};
+}  // namespace
+
+Workload::Workload(oskernel::Machine* machine, std::uint64_t seed,
+                   WorkloadOptions options)
+    : machine_(machine), rng_(seed), options_(options) {
+  for (const char* path : kHotBinaries) {
+    if (machine_->fs().is_file(path)) hot_binaries_.push_back(path);
+  }
+}
+
+void Workload::refresh_inventory() {
+  all_binaries_.clear();
+  all_libraries_.clear();
+  kernel_modules_.clear();
+  const std::string module_prefix =
+      "/lib/modules/" + machine_->kernel_version() + "/";
+  for (const std::string& path : machine_->fs().list_files("/usr")) {
+    const auto st = machine_->fs().stat(path);
+    if (!st.ok() || !st.value().executable) continue;
+    if (starts_with(path, "/usr/bin/") || starts_with(path, "/usr/sbin/")) {
+      all_binaries_.push_back(path);
+    } else if (ends_with(path, ".so") || path.find(".so") != std::string::npos) {
+      all_libraries_.push_back(path);
+    }
+  }
+  for (const std::string& path : machine_->fs().list_files("/lib/modules")) {
+    if (starts_with(path, module_prefix) && ends_with(path, ".ko")) {
+      kernel_modules_.push_back(path);
+    }
+  }
+}
+
+void Workload::run_session() {
+  ++sessions_;
+  refresh_inventory();
+
+  // The hot set runs every session.
+  for (const std::string& path : hot_binaries_) {
+    (void)machine_->exec(path);
+  }
+  // Random interactive activity across the installed base.
+  for (std::size_t i = 0; i < options_.execs_per_session && !all_binaries_.empty();
+       ++i) {
+    (void)machine_->exec(all_binaries_[rng_.uniform(all_binaries_.size())]);
+  }
+  for (std::size_t i = 0;
+       i < options_.mmaps_per_session && !all_libraries_.empty(); ++i) {
+    machine_->mmap_library(all_libraries_[rng_.uniform(all_libraries_.size())]);
+  }
+  // Hot packages' libraries load with their binaries every session, which
+  // is how a *new* file shipped by an update ("missing file in the
+  // policy") surfaces quickly under a stale policy.
+  for (const std::string& hot : hot_binaries_) {
+    const std::string libdir = "/usr/lib" + hot.substr(hot.rfind('/'));
+    const auto libs = machine_->fs().list_files(libdir);
+    std::size_t mapped = 0;
+    for (std::size_t i = 0; i < libs.size() && mapped < 25; ++i) {
+      const std::string& lib = libs[libs.size() - 1 - i];  // newest last
+      const auto st = machine_->fs().stat(lib);
+      if (st.ok() && st.value().executable) {
+        machine_->mmap_library(lib);
+        ++mapped;
+      }
+    }
+  }
+  for (std::size_t i = 0;
+       i < options_.module_loads_per_session && !kernel_modules_.empty(); ++i) {
+    (void)machine_->load_kernel_module(
+        kernel_modules_[rng_.uniform(kernel_modules_.size())]);
+  }
+  // A benign admin script run through the interpreter (unmeasured by
+  // design — P5's flip side: normal script use adds no policy burden).
+  if (machine_->fs().is_file("/usr/bin/python3")) {
+    (void)machine_->fs().create_file(
+        strformat("/home/user/task-%d.py", sessions_), to_bytes("print()"),
+        false);
+    (void)machine_->exec_via_interpreter(
+        "/usr/bin/python3", strformat("/home/user/task-%d.py", sessions_));
+  }
+}
+
+void Workload::run_binary(const std::string& path) {
+  (void)machine_->exec(path);
+}
+
+}  // namespace cia::experiments

@@ -1,0 +1,53 @@
+// The benign "normal operations" workload of §III-A: navigating the
+// filesystem, opening and closing files, launching scripts, and executing
+// system binaries. Runs against a machine and produces IMA measurements
+// exactly the way interactive use would.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia::experiments {
+
+struct WorkloadOptions {
+  /// Binaries executed per session.
+  std::size_t execs_per_session = 60;
+  /// Shared libraries mapped per session.
+  std::size_t mmaps_per_session = 40;
+  /// Kernel modules loaded per session (from the running kernel's tree).
+  std::size_t module_loads_per_session = 2;
+};
+
+class Workload {
+ public:
+  Workload(oskernel::Machine* machine, std::uint64_t seed,
+           WorkloadOptions options = {});
+
+  /// One interactive session. The hot set (core system binaries — exactly
+  /// the packages distributions patch most often) is always exercised;
+  /// the rest is a random sample of everything executable on the machine.
+  void run_session();
+
+  /// Execute one specific path (used to exercise SNAP binaries).
+  void run_binary(const std::string& path);
+
+  /// Sessions executed so far.
+  int sessions() const { return sessions_; }
+
+ private:
+  void refresh_inventory();
+
+  oskernel::Machine* machine_;
+  Rng rng_;
+  WorkloadOptions options_;
+  std::vector<std::string> hot_binaries_;
+  std::vector<std::string> all_binaries_;
+  std::vector<std::string> all_libraries_;
+  std::vector<std::string> kernel_modules_;
+  int sessions_ = 0;
+};
+
+}  // namespace cia::experiments

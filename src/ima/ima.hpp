@@ -1,0 +1,124 @@
+// The Integrity Measurement Architecture simulator.
+//
+// IMA sits between the kernel's exec/mmap/module hooks and the TPM: when
+// a measured event fires it hashes the file, appends an ima-ng entry to
+// the measurement list, and extends TPM PCR 10 with the entry's template
+// hash. Two behaviours of the real subsystem are modelled precisely
+// because the paper's attacks depend on them:
+//
+//   * the measurement cache is keyed by file *identity* (filesystem UUID
+//     + inode), not by path — so a file renamed within one filesystem is
+//     never re-measured (problem P4). The `reevaluate_on_path_change`
+//     mitigation adds the observed path to the cache key;
+//   * a script run as `python script.py` is opened by the interpreter
+//     with an ordinary read, which hits FILE_CHECK (not measured by the
+//     stock policy), while `./script.py` hits BPRM_CHECK (problem P5).
+//     The `script_exec_control` mitigation models interpreters that mark
+//     script opens as executable loads.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+
+#include "crypto/sha256.hpp"
+#include "ima/ima_policy.hpp"
+#include "tpm/tpm.hpp"
+#include "vfs/vfs.hpp"
+
+namespace cia::ima {
+
+/// One line of the measurement list (ima-ng template).
+struct LogEntry {
+  int pcr = tpm::kImaPcr;
+  crypto::Digest template_hash{};  // what gets extended into the PCR
+  std::string template_name = "ima-ng";
+  crypto::Digest file_hash{};
+  std::string path;  // as observed by IMA (may be namespace-truncated)
+
+  /// Render like a /sys/kernel/security/ima/ascii_runtime_measurements line.
+  std::string to_string() const;
+
+  /// Parse a rendered line back into an entry (offline log analysis).
+  static Result<LogEntry> parse(const std::string& line);
+};
+
+/// Kernel-side toggles corresponding to the paper's proposed IMA fixes.
+struct ImaConfig {
+  /// Mitigation for P4: include the path in the measurement-cache key so
+  /// a moved file is re-measured at its new location.
+  bool reevaluate_on_path_change = false;
+  /// Mitigation for P5: interpreters opt in to marking script opens as
+  /// executable loads ("script execution control" patch set).
+  bool script_exec_control = false;
+  /// IMA appraisal (appraise_type=imasig): when set, every executable
+  /// load (exec, mmap-exec, module load) requires a valid security.ima
+  /// signature by this key over the file's content hash — the enforcement
+  /// counterpart of the paper's signed-hashes discussion (§V).
+  std::optional<crypto::PublicKey> appraisal_key;
+};
+
+/// The IMA subsystem of one machine.
+class Ima {
+ public:
+  Ima(ImaPolicy policy, ImaConfig config, vfs::Vfs* fs, tpm::Tpm2* tpm);
+
+  /// (Re)start after boot: clears the log and cache, resets nothing in
+  /// the TPM (the caller resets PCRs), then records the boot aggregate.
+  void on_boot(const std::string& boot_id);
+
+  /// execve() of a file: BPRM_CHECK.
+  void on_exec(const std::string& path);
+
+  /// mmap(PROT_EXEC): FILE_MMAP (shared libraries).
+  void on_mmap_exec(const std::string& path);
+
+  /// Kernel module load: MODULE_CHECK.
+  void on_module_load(const std::string& path);
+
+  /// open()+read by an ordinary process: FILE_CHECK.
+  /// `sec_marked` models an interpreter that participates in script
+  /// execution control and flags this open as an executable load.
+  void on_open_read(const std::string& path, bool sec_marked = false);
+
+  /// IMA appraisal verdict for loading `path` as an executable: ok when
+  /// appraisal is disabled, or when the file carries a valid security.ima
+  /// signature over its current content hash. Appraisal is deliberately
+  /// filesystem-agnostic: a signed-executables-only fleet has no
+  /// unmeasured-filesystem holes (contrast P3).
+  Status appraise(const std::string& path) const;
+
+  const std::vector<LogEntry>& log() const { return log_; }
+
+  /// Entries from `offset` to the end (agents ship the log incrementally).
+  std::vector<LogEntry> log_since(std::size_t offset) const;
+
+  const ImaPolicy& policy() const { return policy_; }
+  const ImaConfig& config() const { return config_; }
+  void set_config(const ImaConfig& config) { config_ = config; }
+  void set_policy(ImaPolicy policy) { policy_ = std::move(policy); }
+
+ private:
+  void measure(const std::string& path, Hook hook);
+
+  // Cache key: file identity, plus the observed path when the P4
+  // mitigation is enabled.
+  using CacheKey = std::pair<vfs::FileIdentity, std::string>;
+
+  ImaPolicy policy_;
+  ImaConfig config_;
+  vfs::Vfs* fs_;
+  tpm::Tpm2* tpm_;
+  std::vector<LogEntry> log_;
+  std::map<CacheKey, crypto::Digest> measured_;  // key -> content hash
+};
+
+/// Replay a measurement list: fold the template hashes the way the TPM
+/// does and return the final PCR value. The verifier compares this to the
+/// quoted PCR 10 to detect log tampering.
+crypto::Digest replay_log(const std::vector<LogEntry>& entries);
+
+}  // namespace cia::ima

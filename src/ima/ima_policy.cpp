@@ -1,0 +1,83 @@
+#include "ima/ima_policy.hpp"
+
+#include "common/strutil.hpp"
+
+namespace cia::ima {
+
+const char* hook_name(Hook h) {
+  switch (h) {
+    case Hook::kBprmCheck: return "BPRM_CHECK";
+    case Hook::kFileMmap: return "FILE_MMAP";
+    case Hook::kModuleCheck: return "MODULE_CHECK";
+    case Hook::kFileCheck: return "FILE_CHECK";
+  }
+  return "?";
+}
+
+bool Rule::matches(Hook hook, std::uint32_t magic) const {
+  if (func && *func != hook) return false;
+  if (fsmagic && *fsmagic != magic) return false;
+  return true;
+}
+
+namespace {
+
+std::vector<Rule> measurement_hooks() {
+  return {
+      Rule{Rule::Action::kMeasure, Hook::kBprmCheck, std::nullopt},
+      Rule{Rule::Action::kMeasure, Hook::kFileMmap, std::nullopt},
+      Rule{Rule::Action::kMeasure, Hook::kModuleCheck, std::nullopt},
+  };
+}
+
+Rule skip_fs(vfs::FsType type) {
+  return Rule{Rule::Action::kDontMeasure, std::nullopt, vfs::fs_magic(type)};
+}
+
+}  // namespace
+
+ImaPolicy ImaPolicy::keylime_recommended() {
+  std::vector<Rule> rules = {
+      skip_fs(vfs::FsType::kTmpfs),     skip_fs(vfs::FsType::kProcfs),
+      skip_fs(vfs::FsType::kSysfs),     skip_fs(vfs::FsType::kDebugfs),
+      skip_fs(vfs::FsType::kRamfs),     skip_fs(vfs::FsType::kSecurityfs),
+      skip_fs(vfs::FsType::kOverlayfs),
+  };
+  for (Rule r : measurement_hooks()) rules.push_back(r);
+  return ImaPolicy(std::move(rules));
+}
+
+ImaPolicy ImaPolicy::enriched() {
+  // Keep skipping only kernel-internal pseudo-filesystems that cannot
+  // carry attacker payloads; measure the writable ones (tmpfs, ramfs,
+  // overlayfs) and procfs.
+  std::vector<Rule> rules = {
+      skip_fs(vfs::FsType::kSysfs),
+      skip_fs(vfs::FsType::kDebugfs),
+      skip_fs(vfs::FsType::kSecurityfs),
+  };
+  for (Rule r : measurement_hooks()) rules.push_back(r);
+  return ImaPolicy(std::move(rules));
+}
+
+bool ImaPolicy::should_measure(Hook hook, std::uint32_t fsmagic) const {
+  for (const Rule& r : rules_) {
+    if (r.matches(hook, fsmagic)) {
+      return r.action == Rule::Action::kMeasure;
+    }
+  }
+  return false;  // default: no rule, no measurement
+}
+
+std::string ImaPolicy::to_string() const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    out += (r.action == Rule::Action::kMeasure) ? "measure" : "dont_measure";
+    if (r.func) out += strformat(" func=%s", hook_name(*r.func));
+    if (r.fsmagic) out += strformat(" fsmagic=0x%x", *r.fsmagic);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cia::ima

@@ -1,0 +1,67 @@
+// IMA measurement policy: an ordered rule list in the style of
+// /sys/kernel/security/ima/policy.
+//
+// Rules match on the hook (func=) and the filesystem magic (fsmagic=);
+// the first matching rule wins. The stock Keylime-recommended policy
+// excludes a list of pseudo/volatile filesystems wholesale — that
+// exclusion is problem P3 in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vfs/vfs.hpp"
+
+namespace cia::ima {
+
+/// The kernel hooks at which IMA can measure.
+enum class Hook {
+  kBprmCheck,    // direct program execution (execve)
+  kFileMmap,     // mmap with PROT_EXEC (shared libraries)
+  kModuleCheck,  // kernel module load
+  kFileCheck,    // plain open-for-read (how interpreters load scripts)
+};
+
+const char* hook_name(Hook h);
+
+/// One policy rule.
+struct Rule {
+  enum class Action { kMeasure, kDontMeasure };
+  Action action = Action::kMeasure;
+  std::optional<Hook> func;             // absent = any hook
+  std::optional<std::uint32_t> fsmagic; // absent = any filesystem
+
+  bool matches(Hook hook, std::uint32_t magic) const;
+};
+
+/// Ordered first-match rule list.
+class ImaPolicy {
+ public:
+  ImaPolicy() = default;
+  explicit ImaPolicy(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+  /// The policy recommended by Keylime's documentation: skip tmpfs,
+  /// procfs, sysfs, debugfs, ramfs, securityfs and overlayfs entirely,
+  /// then measure exec / mmap-exec / module loads (problem P3 is the
+  /// fsmagic skip list).
+  static ImaPolicy keylime_recommended();
+
+  /// The enriched policy from §IV-C: the same measurement hooks but
+  /// *without* the writable-filesystem exclusions (tmpfs stays measured;
+  /// kernel-internal pseudo-filesystems like securityfs remain skipped).
+  static ImaPolicy enriched();
+
+  bool should_measure(Hook hook, std::uint32_t fsmagic) const;
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Render in /sys/kernel/security/ima/policy syntax.
+  std::string to_string() const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace cia::ima

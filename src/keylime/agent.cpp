@@ -1,0 +1,63 @@
+#include "keylime/agent.hpp"
+
+#include "common/log.hpp"
+#include "keylime/verifier.hpp"
+
+namespace cia::keylime {
+
+Agent::Agent(oskernel::Machine* machine, netsim::SimNetwork* network)
+    : machine_(machine), network_(network), agent_id_(machine->hostname()) {
+  network_->attach(address(), this);
+}
+
+Agent::~Agent() { network_->detach(address()); }
+
+Status Agent::register_with(const std::string& registrar_address) {
+  RegisterRequest req;
+  req.agent_id = agent_id_;
+  req.ek_cert = machine_->tpm().ek_certificate().encode();
+  req.ak_pub = machine_->tpm().ak_public().encode();
+
+  auto challenge_bytes = network_->call(registrar_address, kMsgRegister,
+                                        req.encode());
+  if (!challenge_bytes.ok()) return challenge_bytes.error();
+  auto challenge = RegisterChallenge::decode(challenge_bytes.value());
+  if (!challenge.ok()) return challenge.error();
+
+  // Only our TPM (holding the certified EK) can open the credential.
+  auto secret = machine_->tpm().activate_credential(challenge.value().blob);
+  if (!secret.ok()) return secret.error();
+
+  ActivateRequest activate;
+  activate.agent_id = agent_id_;
+  const crypto::Digest proof =
+      crypto::hmac_sha256(secret.value(), to_bytes(agent_id_));
+  activate.proof = Bytes(proof.begin(), proof.end());
+
+  auto ack = network_->call(registrar_address, kMsgActivate, activate.encode());
+  if (!ack.ok()) return ack.error();
+  CIA_LOG_INFO("agent", agent_id_ + " registered");
+  return Status::ok_status();
+}
+
+Result<Bytes> Agent::handle(const std::string& kind, const Bytes& payload) {
+  if (kind == kMsgBootLog) {
+    BootLogResponse resp;
+    resp.events = machine_->boot_event_log();
+    return resp.encode();
+  }
+  if (kind != kMsgQuote) {
+    return err(Errc::kProtocolViolation, "agent: unknown message " + kind);
+  }
+  auto req = QuoteRequest::decode(payload);
+  if (!req.ok()) return req.error();
+
+  QuoteResponse resp;
+  resp.quote = machine_->tpm().quote(req.value().nonce, quoted_pcrs());
+  resp.entries = machine_->ima().log_since(req.value().log_offset);
+  resp.total_log_length = machine_->ima().log().size();
+  resp.boot_count = static_cast<std::uint32_t>(machine_->boot_count());
+  return resp.encode();
+}
+
+}  // namespace cia::keylime

@@ -1,0 +1,41 @@
+// The Keylime agent: the only component on the untrusted machine.
+//
+// It serves quote requests (TPM quote over PCR 10 + the IMA measurement
+// list from a requested offset) and drives its own enrolment with the
+// registrar (EK certificate + AK, then credential activation).
+#pragma once
+
+#include <string>
+
+#include "crypto/hmac.hpp"
+#include "keylime/messages.hpp"
+#include "netsim/network.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia::keylime {
+
+class Agent : public netsim::Endpoint {
+ public:
+  /// Binds to `machine` and attaches to the network at address().
+  Agent(oskernel::Machine* machine, netsim::SimNetwork* network);
+  ~Agent() override;
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  const std::string& agent_id() const { return agent_id_; }
+  std::string address() const { return "agent:" + agent_id_; }
+
+  /// Enrol with the registrar: register -> activate credential -> prove.
+  Status register_with(const std::string& registrar_address);
+
+  /// netsim::Endpoint: serve quote requests.
+  Result<Bytes> handle(const std::string& kind, const Bytes& payload) override;
+
+ private:
+  oskernel::Machine* machine_;
+  netsim::SimNetwork* network_;
+  std::string agent_id_;
+};
+
+}  // namespace cia::keylime

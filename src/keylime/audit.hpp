@@ -1,0 +1,90 @@
+// Durable attestation: an append-only, hash-chained, verifier-signed
+// record of every attestation round.
+//
+// Keylime's "durable attestation" extension makes security *auditable*:
+// months later, an auditor can prove what the verifier observed and when,
+// without trusting the verifier's current state. Each record binds the
+// round's quote and verdict to the previous record's hash; the verifier
+// signs every record, so tampering with, reordering, or rewriting history
+// is detectable by anyone holding the verifier's public key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cia::keylime {
+
+/// Verdict of one recorded round.
+enum class AuditVerdict {
+  kPassed,       // quote valid, all evaluated entries in policy
+  kFailed,       // at least one alert raised
+  kRebootSeen,   // measurement list restarted
+  kUnreachable,  // comms failure
+};
+
+const char* audit_verdict_name(AuditVerdict v);
+
+struct AuditRecord {
+  std::uint64_t sequence = 0;
+  SimTime time = 0;
+  std::string agent_id;
+  AuditVerdict verdict = AuditVerdict::kPassed;
+  std::size_t alerts = 0;
+  std::size_t log_entries_evaluated = 0;
+  crypto::Digest quote_digest{};  // SHA-256 of the quote's attested message
+  crypto::Digest prev_hash{};     // chain link (zero for the first record)
+  crypto::Digest record_hash{};   // hash over all fields above
+  crypto::Signature signature;    // verifier's signature over record_hash
+
+  /// Recompute the record hash from the fields (excluding hash+signature).
+  crypto::Digest compute_hash() const;
+
+  json::Value to_json() const;
+  static Result<AuditRecord> from_json(const json::Value& doc);
+};
+
+/// The verifier-side appender.
+class AuditLog {
+ public:
+  explicit AuditLog(crypto::KeyPair signing_key)
+      : key_(std::move(signing_key)) {}
+
+  const crypto::PublicKey& public_key() const { return key_.pub; }
+
+  /// Append a record; fills sequence, prev_hash, record_hash, signature.
+  const AuditRecord& append(SimTime time, const std::string& agent_id,
+                            AuditVerdict verdict, std::size_t alerts,
+                            std::size_t evaluated,
+                            const crypto::Digest& quote_digest);
+
+  const std::vector<AuditRecord>& records() const { return records_; }
+
+ private:
+  crypto::KeyPair key_;
+  std::vector<AuditRecord> records_;
+};
+
+/// Export a chain (with the verifier's public key) as a JSON document the
+/// auditor can verify offline.
+json::Value export_audit_chain(const std::vector<AuditRecord>& records,
+                               const crypto::PublicKey& verifier_key);
+
+/// Import an exported chain: returns the records and the embedded key.
+Result<std::pair<std::vector<AuditRecord>, crypto::PublicKey>>
+import_audit_chain(const json::Value& doc);
+
+/// Offline audit: verify a chain's integrity against the verifier's
+/// public key. Detects tampered fields, broken links, reordered records,
+/// and bad signatures. (Truncation of the tail requires an external
+/// anchor — the caller compares the final hash against a published one.)
+Status verify_audit_chain(const std::vector<AuditRecord>& records,
+                          const crypto::PublicKey& verifier_key);
+
+}  // namespace cia::keylime

@@ -1,0 +1,233 @@
+#include "keylime/messages.hpp"
+
+namespace cia::keylime {
+
+using netsim::WireReader;
+using netsim::WireWriter;
+
+// Propagate a Result error from a sub-read.
+#define CIA_TRY(var, expr)            \
+  auto var##_r = (expr);              \
+  if (!var##_r.ok()) return var##_r.error(); \
+  auto var = std::move(var##_r).take()
+
+Bytes RegisterRequest::encode() const {
+  WireWriter w;
+  w.put_string(agent_id);
+  w.put_bytes(ek_cert);
+  w.put_bytes(ak_pub);
+  return w.take();
+}
+
+Result<RegisterRequest> RegisterRequest::decode(const Bytes& b) {
+  WireReader r(b);
+  CIA_TRY(agent_id, r.string());
+  CIA_TRY(ek_cert, r.bytes());
+  CIA_TRY(ak_pub, r.bytes());
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  return RegisterRequest{std::move(agent_id), std::move(ek_cert),
+                         std::move(ak_pub)};
+}
+
+Bytes RegisterChallenge::encode() const {
+  WireWriter w;
+  w.put_bytes(blob.ephemeral_pub);
+  w.put_bytes(blob.encrypted);
+  w.put_bytes(blob.mac);
+  w.put_string(blob.ak_name);
+  return w.take();
+}
+
+Result<RegisterChallenge> RegisterChallenge::decode(const Bytes& b) {
+  WireReader r(b);
+  RegisterChallenge c;
+  CIA_TRY(eph, r.bytes());
+  CIA_TRY(enc, r.bytes());
+  CIA_TRY(mac, r.bytes());
+  CIA_TRY(name, r.string());
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  c.blob.ephemeral_pub = std::move(eph);
+  c.blob.encrypted = std::move(enc);
+  c.blob.mac = std::move(mac);
+  c.blob.ak_name = std::move(name);
+  return c;
+}
+
+Bytes ActivateRequest::encode() const {
+  WireWriter w;
+  w.put_string(agent_id);
+  w.put_bytes(proof);
+  return w.take();
+}
+
+Result<ActivateRequest> ActivateRequest::decode(const Bytes& b) {
+  WireReader r(b);
+  CIA_TRY(agent_id, r.string());
+  CIA_TRY(proof, r.bytes());
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  return ActivateRequest{std::move(agent_id), std::move(proof)};
+}
+
+Bytes GetAgentRequest::encode() const {
+  WireWriter w;
+  w.put_string(agent_id);
+  return w.take();
+}
+
+Result<GetAgentRequest> GetAgentRequest::decode(const Bytes& b) {
+  WireReader r(b);
+  CIA_TRY(agent_id, r.string());
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  return GetAgentRequest{std::move(agent_id)};
+}
+
+Bytes GetAgentResponse::encode() const {
+  WireWriter w;
+  w.put_bool(active);
+  w.put_bytes(ak_pub);
+  return w.take();
+}
+
+Result<GetAgentResponse> GetAgentResponse::decode(const Bytes& b) {
+  WireReader r(b);
+  CIA_TRY(active, r.boolean());
+  CIA_TRY(ak_pub, r.bytes());
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  return GetAgentResponse{active, std::move(ak_pub)};
+}
+
+Bytes QuoteRequest::encode() const {
+  WireWriter w;
+  w.put_bytes(nonce);
+  w.put_u64(log_offset);
+  return w.take();
+}
+
+Result<QuoteRequest> QuoteRequest::decode(const Bytes& b) {
+  WireReader r(b);
+  CIA_TRY(nonce, r.bytes());
+  CIA_TRY(offset, r.u64());
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  return QuoteRequest{std::move(nonce), offset};
+}
+
+Bytes BootLogResponse::encode() const {
+  WireWriter w;
+  w.put_u32(static_cast<std::uint32_t>(events.size()));
+  for (const auto& e : events) {
+    w.put_u32(static_cast<std::uint32_t>(e.pcr));
+    w.put_string(e.description);
+    w.put_digest(e.digest);
+  }
+  return w.take();
+}
+
+Result<BootLogResponse> BootLogResponse::decode(const Bytes& b) {
+  WireReader r(b);
+  BootLogResponse resp;
+  CIA_TRY(count, r.u32());
+  if (count > 4096) return err(Errc::kCorrupted, "implausible boot log size");
+  resp.events.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    oskernel::BootEvent e;
+    CIA_TRY(pcr, r.u32());
+    CIA_TRY(description, r.string());
+    CIA_TRY(digest, r.digest());
+    if (pcr >= static_cast<std::uint32_t>(tpm::kNumPcrs)) {
+      return err(Errc::kCorrupted, "bad PCR in boot log");
+    }
+    e.pcr = static_cast<int>(pcr);
+    e.description = std::move(description);
+    e.digest = digest;
+    resp.events.push_back(std::move(e));
+  }
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  return resp;
+}
+
+void encode_quote(WireWriter& w, const tpm::Quote& q) {
+  w.put_string(q.device_id);
+  w.put_bytes(q.nonce);
+  w.put_u32(static_cast<std::uint32_t>(q.pcr_indices.size()));
+  for (std::size_t i = 0; i < q.pcr_indices.size(); ++i) {
+    w.put_u32(static_cast<std::uint32_t>(q.pcr_indices[i]));
+    w.put_digest(q.pcr_values[i]);
+  }
+  w.put_bytes(q.signature.encode());
+}
+
+Result<tpm::Quote> decode_quote(WireReader& r) {
+  tpm::Quote q;
+  CIA_TRY(device_id, r.string());
+  CIA_TRY(nonce, r.bytes());
+  CIA_TRY(count, r.u32());
+  if (count > tpm::kNumPcrs) return err(Errc::kCorrupted, "too many PCRs");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CIA_TRY(idx, r.u32());
+    CIA_TRY(value, r.digest());
+    if (idx >= tpm::kNumPcrs) return err(Errc::kCorrupted, "bad PCR index");
+    q.pcr_indices.push_back(static_cast<int>(idx));
+    q.pcr_values.push_back(value);
+  }
+  CIA_TRY(sig_bytes, r.bytes());
+  auto sig = crypto::Signature::decode(sig_bytes);
+  if (!sig) return err(Errc::kCorrupted, "bad signature encoding");
+  q.device_id = std::move(device_id);
+  q.nonce = std::move(nonce);
+  q.signature = *sig;
+  return q;
+}
+
+void encode_log_entry(WireWriter& w, const ima::LogEntry& e) {
+  w.put_u32(static_cast<std::uint32_t>(e.pcr));
+  w.put_digest(e.template_hash);
+  w.put_string(e.template_name);
+  w.put_digest(e.file_hash);
+  w.put_string(e.path);
+}
+
+Result<ima::LogEntry> decode_log_entry(WireReader& r) {
+  ima::LogEntry e;
+  CIA_TRY(pcr, r.u32());
+  CIA_TRY(template_hash, r.digest());
+  CIA_TRY(template_name, r.string());
+  CIA_TRY(file_hash, r.digest());
+  CIA_TRY(path, r.string());
+  e.pcr = static_cast<int>(pcr);
+  e.template_hash = template_hash;
+  e.template_name = std::move(template_name);
+  e.file_hash = file_hash;
+  e.path = std::move(path);
+  return e;
+}
+
+Bytes QuoteResponse::encode() const {
+  WireWriter w;
+  encode_quote(w, quote);
+  w.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) encode_log_entry(w, e);
+  w.put_u64(total_log_length);
+  w.put_u32(boot_count);
+  return w.take();
+}
+
+Result<QuoteResponse> QuoteResponse::decode(const Bytes& b) {
+  WireReader r(b);
+  QuoteResponse resp;
+  CIA_TRY(quote, decode_quote(r));
+  resp.quote = std::move(quote);
+  CIA_TRY(count, r.u32());
+  resp.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    CIA_TRY(entry, decode_log_entry(r));
+    resp.entries.push_back(std::move(entry));
+  }
+  CIA_TRY(total, r.u64());
+  CIA_TRY(boots, r.u32());
+  if (!r.at_end()) return err(Errc::kCorrupted, "trailing bytes");
+  resp.total_log_length = total;
+  resp.boot_count = boots;
+  return resp;
+}
+
+}  // namespace cia::keylime

@@ -1,0 +1,103 @@
+// Wire messages of the Keylime protocol (agent <-> registrar <-> verifier).
+//
+// Every message has an encode() and a bounds-checked decode(); agents are
+// untrusted, so the verifier/registrar never assume well-formed input.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "ima/ima.hpp"
+#include "netsim/wire.hpp"
+#include "oskernel/machine.hpp"
+#include "tpm/tpm.hpp"
+
+namespace cia::keylime {
+
+// Message kinds (the `kind` field of netsim RPCs).
+inline constexpr const char* kMsgRegister = "register";
+inline constexpr const char* kMsgActivate = "activate";
+inline constexpr const char* kMsgGetAgent = "get_agent";
+inline constexpr const char* kMsgQuote = "quote";
+inline constexpr const char* kMsgBootLog = "bootlog";
+
+/// Agent -> registrar: enrolment request carrying the TPM identity.
+struct RegisterRequest {
+  std::string agent_id;
+  Bytes ek_cert;  // serialized crypto::Certificate
+  Bytes ak_pub;   // 64-byte public key
+
+  Bytes encode() const;
+  static Result<RegisterRequest> decode(const Bytes& b);
+};
+
+/// Registrar -> agent: the credential-activation challenge.
+struct RegisterChallenge {
+  tpm::CredentialBlob blob;
+
+  Bytes encode() const;
+  static Result<RegisterChallenge> decode(const Bytes& b);
+};
+
+/// Agent -> registrar: proof of credential activation.
+struct ActivateRequest {
+  std::string agent_id;
+  Bytes proof;  // HMAC(secret, agent_id)
+
+  Bytes encode() const;
+  static Result<ActivateRequest> decode(const Bytes& b);
+};
+
+/// Verifier -> registrar: look up a registered agent's AK.
+struct GetAgentRequest {
+  std::string agent_id;
+
+  Bytes encode() const;
+  static Result<GetAgentRequest> decode(const Bytes& b);
+};
+
+struct GetAgentResponse {
+  bool active = false;
+  Bytes ak_pub;
+
+  Bytes encode() const;
+  static Result<GetAgentResponse> decode(const Bytes& b);
+};
+
+/// Verifier -> agent: attestation challenge.
+struct QuoteRequest {
+  Bytes nonce;
+  std::uint64_t log_offset = 0;  // ship IMA entries from this index
+
+  Bytes encode() const;
+  static Result<QuoteRequest> decode(const Bytes& b);
+};
+
+/// Agent -> verifier: quote + incremental measurement list.
+struct QuoteResponse {
+  tpm::Quote quote;
+  std::vector<ima::LogEntry> entries;  // log[log_offset:]
+  std::uint64_t total_log_length = 0;
+  std::uint32_t boot_count = 0;
+
+  Bytes encode() const;
+  static Result<QuoteResponse> decode(const Bytes& b);
+};
+
+/// Agent -> verifier: the TCG boot event log of the current boot.
+struct BootLogResponse {
+  std::vector<oskernel::BootEvent> events;
+
+  Bytes encode() const;
+  static Result<BootLogResponse> decode(const Bytes& b);
+};
+
+// Shared helpers for nested types.
+void encode_quote(netsim::WireWriter& w, const tpm::Quote& q);
+Result<tpm::Quote> decode_quote(netsim::WireReader& r);
+void encode_log_entry(netsim::WireWriter& w, const ima::LogEntry& e);
+Result<ima::LogEntry> decode_log_entry(netsim::WireReader& r);
+
+}  // namespace cia::keylime

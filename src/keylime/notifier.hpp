@@ -1,0 +1,47 @@
+// Revocation notification: Keylime's mechanism for telling the rest of
+// the infrastructure that a node can no longer be trusted.
+//
+// When an agent transitions to FAILED the verifier fans the event out to
+// registered notifiers (in real deployments: webhooks, a message bus, a
+// certificate revocation service). Notifiers fire on the *transition*,
+// not on every alert, so a flapping node does not storm downstream
+// systems.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+
+namespace cia::keylime {
+
+struct Alert;  // verifier.hpp
+
+/// A revocation event: the agent and the alert that tripped it.
+struct RevocationEvent {
+  SimTime time = 0;
+  std::string agent_id;
+  std::string reason;  // rendered alert summary
+};
+
+/// Downstream consumer interface.
+class RevocationNotifier {
+ public:
+  virtual ~RevocationNotifier() = default;
+  virtual void on_revocation(const RevocationEvent& event) = 0;
+};
+
+/// An in-process notifier that records events (the test/bench stand-in
+/// for a webhook endpoint).
+class CollectingNotifier : public RevocationNotifier {
+ public:
+  void on_revocation(const RevocationEvent& event) override {
+    events_.push_back(event);
+  }
+  const std::vector<RevocationEvent>& events() const { return events_; }
+
+ private:
+  std::vector<RevocationEvent> events_;
+};
+
+}  // namespace cia::keylime

@@ -1,0 +1,110 @@
+#include "keylime/registrar.hpp"
+
+#include "common/log.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cia::keylime {
+
+Registrar::Registrar(netsim::SimNetwork* network, SimClock* clock,
+                     std::uint64_t seed)
+    : network_(network), clock_(clock), rng_(seed) {
+  network_->attach(address(), this);
+}
+
+Registrar::~Registrar() { network_->detach(address()); }
+
+void Registrar::trust_manufacturer(const crypto::PublicKey& ca_key) {
+  trusted_cas_.push_back(ca_key);
+}
+
+Result<Bytes> Registrar::handle(const std::string& kind, const Bytes& payload) {
+  if (kind == kMsgRegister) return handle_register(payload);
+  if (kind == kMsgActivate) return handle_activate(payload);
+  if (kind == kMsgGetAgent) return handle_get_agent(payload);
+  return err(Errc::kProtocolViolation, "registrar: unknown message " + kind);
+}
+
+Result<Bytes> Registrar::handle_register(const Bytes& payload) {
+  auto req = RegisterRequest::decode(payload);
+  if (!req.ok()) return req.error();
+
+  auto cert = crypto::Certificate::decode(req.value().ek_cert);
+  if (!cert) {
+    return err(Errc::kCorrupted, "unparseable EK certificate");
+  }
+  bool trusted = false;
+  for (const auto& ca : trusted_cas_) {
+    if (crypto::verify_certificate(*cert, ca, clock_->now())) {
+      trusted = true;
+      break;
+    }
+  }
+  if (!trusted) {
+    return err(Errc::kPermissionDenied,
+               "EK certificate does not chain to a trusted manufacturer");
+  }
+  auto ak = crypto::PublicKey::decode(req.value().ak_pub);
+  if (!ak) return err(Errc::kCorrupted, "bad AK encoding");
+
+  // Challenge: a fresh secret only the certified EK's TPM can recover,
+  // bound to the name of the AK being registered.
+  Enrolment enrolment;
+  enrolment.ak_pub = req.value().ak_pub;
+  enrolment.expected_secret = rng_.bytes(32);
+  const std::string ak_name = crypto::digest_hex(crypto::sha256(req.value().ak_pub));
+
+  // The credential is encrypted to the EK from the certificate; only the
+  // TPM holding that EK can recover the secret and prove AK co-residency.
+  RegisterChallenge challenge;
+  challenge.blob = tpm::make_credential(cert->subject_key, ak_name,
+                                        enrolment.expected_secret,
+                                        rng_.bytes(32));
+  enrolments_[req.value().agent_id] = std::move(enrolment);
+  return challenge.encode();
+}
+
+Result<Bytes> Registrar::handle_activate(const Bytes& payload) {
+  auto req = ActivateRequest::decode(payload);
+  if (!req.ok()) return req.error();
+  auto it = enrolments_.find(req.value().agent_id);
+  if (it == enrolments_.end()) {
+    return err(Errc::kNotFound, "no pending enrolment for " + req.value().agent_id);
+  }
+  const crypto::Digest expected = crypto::hmac_sha256(
+      it->second.expected_secret, to_bytes(req.value().agent_id));
+  if (Bytes(expected.begin(), expected.end()) != req.value().proof) {
+    return err(Errc::kPermissionDenied, "credential activation proof mismatch");
+  }
+  it->second.active = true;
+  CIA_LOG_INFO("registrar", req.value().agent_id + " activated");
+  return Bytes{};
+}
+
+Result<Bytes> Registrar::handle_get_agent(const Bytes& payload) {
+  auto req = GetAgentRequest::decode(payload);
+  if (!req.ok()) return req.error();
+  GetAgentResponse resp;
+  auto it = enrolments_.find(req.value().agent_id);
+  if (it != enrolments_.end()) {
+    resp.active = it->second.active;
+    resp.ak_pub = it->second.ak_pub;
+  }
+  return resp.encode();
+}
+
+bool Registrar::is_active(const std::string& agent_id) const {
+  auto it = enrolments_.find(agent_id);
+  return it != enrolments_.end() && it->second.active;
+}
+
+std::size_t Registrar::registered_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : enrolments_) {
+    (void)id;
+    if (e.active) ++n;
+  }
+  return n;
+}
+
+}  // namespace cia::keylime

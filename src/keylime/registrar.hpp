@@ -1,0 +1,60 @@
+// The Keylime registrar: guards against spoofed or compromised TPMs.
+//
+// Registration is accepted only when (1) the agent's EK certificate
+// chains to a trusted TPM manufacturer, and (2) the agent proves via
+// credential activation that the offered AK lives in the same TPM as
+// that EK. The verifier then sources AKs exclusively from here.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "crypto/cert.hpp"
+#include "keylime/messages.hpp"
+#include "netsim/network.hpp"
+
+namespace cia::keylime {
+
+class Registrar : public netsim::Endpoint {
+ public:
+  Registrar(netsim::SimNetwork* network, SimClock* clock, std::uint64_t seed);
+  ~Registrar() override;
+
+  Registrar(const Registrar&) = delete;
+  Registrar& operator=(const Registrar&) = delete;
+
+  static std::string address() { return "registrar"; }
+
+  /// Trust a TPM manufacturer's signing key.
+  void trust_manufacturer(const crypto::PublicKey& ca_key);
+
+  /// netsim::Endpoint.
+  Result<Bytes> handle(const std::string& kind, const Bytes& payload) override;
+
+  /// Is the agent fully registered (EK verified + credential activated)?
+  bool is_active(const std::string& agent_id) const;
+
+  std::size_t registered_count() const;
+
+ private:
+  struct Enrolment {
+    Bytes ak_pub;
+    Bytes expected_secret;
+    bool active = false;
+  };
+
+  Result<Bytes> handle_register(const Bytes& payload);
+  Result<Bytes> handle_activate(const Bytes& payload);
+  Result<Bytes> handle_get_agent(const Bytes& payload);
+
+  netsim::SimNetwork* network_;
+  SimClock* clock_;
+  Rng rng_;
+  std::vector<crypto::PublicKey> trusted_cas_;
+  std::map<std::string, Enrolment> enrolments_;
+};
+
+}  // namespace cia::keylime

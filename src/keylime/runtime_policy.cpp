@@ -1,0 +1,195 @@
+#include "keylime/runtime_policy.hpp"
+
+#include <algorithm>
+
+#include "common/strutil.hpp"
+
+namespace cia::keylime {
+
+const char* policy_match_name(PolicyMatch m) {
+  switch (m) {
+    case PolicyMatch::kAllowed: return "allowed";
+    case PolicyMatch::kHashMismatch: return "hash_mismatch";
+    case PolicyMatch::kNotInPolicy: return "not_in_policy";
+    case PolicyMatch::kExcluded: return "excluded";
+  }
+  return "?";
+}
+
+void RuntimePolicy::allow(const std::string& path, const std::string& hash_hex) {
+  auto& hashes = allow_[path];
+  if (std::find(hashes.begin(), hashes.end(), hash_hex) != hashes.end()) {
+    return;  // already acceptable; keep the policy line count honest
+  }
+  hashes.push_back(hash_hex);
+  ++entry_count_;
+}
+
+void RuntimePolicy::allow(const std::string& path, const crypto::Digest& hash) {
+  allow(path, crypto::digest_hex(hash));
+}
+
+void RuntimePolicy::exclude(const std::string& glob) {
+  excludes_.push_back(glob);
+}
+
+bool RuntimePolicy::is_excluded(const std::string& path) const {
+  for (const std::string& glob : excludes_) {
+    if (glob_match(glob, path)) return true;
+  }
+  return false;
+}
+
+PolicyMatch RuntimePolicy::check(const std::string& path,
+                                 const std::string& hash_hex) const {
+  if (is_excluded(path)) return PolicyMatch::kExcluded;
+  auto it = allow_.find(path);
+  if (it == allow_.end()) return PolicyMatch::kNotInPolicy;
+  if (std::find(it->second.begin(), it->second.end(), hash_hex) !=
+      it->second.end()) {
+    return PolicyMatch::kAllowed;
+  }
+  return PolicyMatch::kHashMismatch;
+}
+
+PolicyMatch RuntimePolicy::check(const std::string& path,
+                                 const crypto::Digest& hash) const {
+  return check(path, crypto::digest_hex(hash));
+}
+
+std::uint64_t RuntimePolicy::byte_size() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, hashes] : allow_) {
+    // "path sha256:<64 hex>\n"
+    total += hashes.size() * (path.size() + 1 + 7 + 64 + 1);
+  }
+  for (const auto& glob : excludes_) total += 8 + glob.size() + 1;
+  return total;
+}
+
+std::size_t RuntimePolicy::dedup() {
+  std::size_t removed = 0;
+  for (auto& [path, hashes] : allow_) {
+    if (hashes.size() > 1) {
+      removed += hashes.size() - 1;
+      hashes.erase(hashes.begin(), hashes.end() - 1);
+    }
+  }
+  entry_count_ -= removed;
+  return removed;
+}
+
+std::size_t RuntimePolicy::remove_prefix(const std::string& prefix) {
+  std::size_t removed = 0;
+  for (auto it = allow_.begin(); it != allow_.end();) {
+    if (starts_with(it->first, prefix)) {
+      removed += it->second.size();
+      it = allow_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  entry_count_ -= removed;
+  return removed;
+}
+
+std::string RuntimePolicy::serialize() const {
+  std::string out;
+  for (const auto& glob : excludes_) {
+    out += "exclude " + glob + "\n";
+  }
+  for (const auto& [path, hashes] : allow_) {
+    for (const auto& h : hashes) {
+      out += path + " sha256:" + h + "\n";
+    }
+  }
+  return out;
+}
+
+Result<RuntimePolicy> RuntimePolicy::parse(const std::string& text) {
+  RuntimePolicy policy;
+  for (const std::string& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    if (starts_with(line, "exclude ")) {
+      policy.exclude(line.substr(8));
+      continue;
+    }
+    const std::size_t sep = line.rfind(" sha256:");
+    if (sep == std::string::npos) {
+      return err(Errc::kCorrupted, "bad policy line: " + line);
+    }
+    const std::string path = line.substr(0, sep);
+    const std::string hash = line.substr(sep + 8);
+    if (hash.size() != 64) {
+      return err(Errc::kCorrupted, "bad hash length in line: " + line);
+    }
+    policy.allow(path, hash);
+  }
+  return policy;
+}
+
+json::Value RuntimePolicy::to_json() const {
+  json::Value doc;
+  json::Value meta;
+  meta.set("version", 1);
+  meta.set("generator", "cia-dynamic-policy-generator");
+  doc.set("meta", std::move(meta));
+  json::Value digests{json::Object{}};
+  for (const auto& [path, hashes] : allow_) {
+    json::Value list{json::Array{}};
+    for (const auto& h : hashes) list.push_back(h);
+    digests.set(path, std::move(list));
+  }
+  doc.set("digests", std::move(digests));
+  json::Value excludes{json::Array{}};
+  for (const auto& glob : excludes_) excludes.push_back(glob);
+  doc.set("excludes", std::move(excludes));
+  return doc;
+}
+
+Result<RuntimePolicy> RuntimePolicy::from_json(const json::Value& doc) {
+  RuntimePolicy policy;
+  if (!doc.is_object()) {
+    return err(Errc::kCorrupted, "policy document is not an object");
+  }
+  if (const json::Value* excludes = doc.find("excludes")) {
+    if (!excludes->is_array()) {
+      return err(Errc::kCorrupted, "excludes is not an array");
+    }
+    for (const auto& glob : excludes->as_array()) {
+      if (!glob.is_string()) {
+        return err(Errc::kCorrupted, "exclude entry is not a string");
+      }
+      policy.exclude(glob.as_string());
+    }
+  }
+  const json::Value* digests = doc.find("digests");
+  if (!digests || !digests->is_object()) {
+    return err(Errc::kCorrupted, "missing digests object");
+  }
+  for (const auto& [path, hashes] : digests->as_object()) {
+    if (!hashes.is_array()) {
+      return err(Errc::kCorrupted, "digest list for " + path + " is not an array");
+    }
+    for (const auto& h : hashes.as_array()) {
+      if (!h.is_string() || h.as_string().size() != 64) {
+        return err(Errc::kCorrupted, "bad digest for " + path);
+      }
+      policy.allow(path, h.as_string());
+    }
+  }
+  return policy;
+}
+
+void RuntimePolicy::merge(const RuntimePolicy& other) {
+  for (const auto& glob : other.excludes_) {
+    if (std::find(excludes_.begin(), excludes_.end(), glob) == excludes_.end()) {
+      excludes_.push_back(glob);
+    }
+  }
+  for (const auto& [path, hashes] : other.allow_) {
+    for (const auto& h : hashes) allow(path, h);
+  }
+}
+
+}  // namespace cia::keylime

@@ -1,0 +1,91 @@
+// The Keylime runtime policy: an allowlist of (path -> acceptable hashes)
+// plus an exclude list of glob patterns.
+//
+// Two details matter for the paper's findings:
+//   * excludes are *path globs evaluated by Keylime*, independent of the
+//     filesystem-level exclusions inside IMA — the mismatch between the
+//     two exclusion mechanisms is what P4 exploits, and an over-broad
+//     exclude ("/tmp/*") is exactly P1;
+//   * a path may accumulate several acceptable hashes: during an update
+//     window both the old and the new version of a file must validate
+//     (§III-C "Handling Policy-File Consistency During Update");
+//     deduplication afterwards drops all but the newest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cia::keylime {
+
+/// Outcome of matching one IMA log entry against the policy.
+enum class PolicyMatch {
+  kAllowed,       // path present, hash acceptable
+  kHashMismatch,  // path present, hash unknown ("modified file")
+  kNotInPolicy,   // path absent ("missing file in the policy")
+  kExcluded,      // path matches an exclude glob; not evaluated
+};
+
+const char* policy_match_name(PolicyMatch m);
+
+class RuntimePolicy {
+ public:
+  /// Append an acceptable hash for a path (keeps prior hashes).
+  void allow(const std::string& path, const std::string& hash_hex);
+  void allow(const std::string& path, const crypto::Digest& hash);
+
+  /// Add an exclude glob (Keylime-side, path based).
+  void exclude(const std::string& glob);
+
+  bool is_excluded(const std::string& path) const;
+
+  /// Match a measured (path, hash) pair.
+  PolicyMatch check(const std::string& path, const std::string& hash_hex) const;
+  PolicyMatch check(const std::string& path, const crypto::Digest& hash) const;
+
+  /// Number of (path, hash) lines — the paper's "policy lines".
+  std::size_t entry_count() const { return entry_count_; }
+
+  /// Number of distinct paths.
+  std::size_t path_count() const { return allow_.size(); }
+
+  const std::vector<std::string>& excludes() const { return excludes_; }
+
+  /// Serialized size in bytes (what the paper reports as policy MB).
+  std::uint64_t byte_size() const;
+
+  /// Drop all but the most recent hash for every path (post-update
+  /// deduplication). Returns the number of lines removed.
+  std::size_t dedup();
+
+  /// Remove every entry whose path starts with `prefix` (used to retire
+  /// an outdated kernel's modules). Returns the number of lines removed.
+  std::size_t remove_prefix(const std::string& prefix);
+
+  /// One "path sha256:hash" line per entry plus "exclude <glob>" lines.
+  std::string serialize() const;
+  static Result<RuntimePolicy> parse(const std::string& text);
+
+  /// Keylime-style JSON runtime policy:
+  ///   {"meta":{"version":1},
+  ///    "digests":{"/path":["<hex>", ...], ...},
+  ///    "excludes":["glob", ...]}
+  json::Value to_json() const;
+  static Result<RuntimePolicy> from_json(const json::Value& doc);
+
+  /// Union with another policy (their hashes appended after ours).
+  void merge(const RuntimePolicy& other);
+
+ private:
+  // Insertion-ordered acceptable hashes per path.
+  std::map<std::string, std::vector<std::string>> allow_;
+  std::vector<std::string> excludes_;
+  std::size_t entry_count_ = 0;
+};
+
+}  // namespace cia::keylime

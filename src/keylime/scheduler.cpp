@@ -1,0 +1,73 @@
+#include "keylime/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cia::keylime {
+
+namespace {
+
+/// Stable stagger offset: FNV-1a of the agent id modulo the interval.
+SimTime stagger(const std::string& agent_id, SimTime interval) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : agent_id) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<SimTime>(h % static_cast<std::uint64_t>(interval));
+}
+
+}  // namespace
+
+void AttestationScheduler::enroll(const std::string& agent_id) {
+  AgentSchedule schedule;
+  schedule.next_poll = clock_->now() + stagger(agent_id, config_.poll_interval);
+  agents_[agent_id] = schedule;
+}
+
+std::size_t AttestationScheduler::tick() {
+  std::size_t performed = 0;
+  const SimTime now = clock_->now();
+  for (auto& [agent_id, schedule] : agents_) {
+    if (schedule.next_poll > now) continue;
+    ++performed;
+    ++schedule.polls;
+    auto round = verifier_->attest_once(agent_id);
+
+    bool comms_failure = false;
+    if (round.ok()) {
+      for (const auto& alert : round.value().alerts) {
+        comms_failure |= alert.type == AlertType::kCommsFailure;
+      }
+    }
+    if (comms_failure) {
+      ++schedule.comms_failures;
+      schedule.current_backoff =
+          schedule.current_backoff == 0
+              ? config_.initial_backoff
+              : std::min(schedule.current_backoff * 2, config_.max_backoff);
+      schedule.next_poll = now + schedule.current_backoff;
+    } else {
+      schedule.current_backoff = 0;
+      schedule.next_poll = now + config_.poll_interval;
+    }
+  }
+  return performed;
+}
+
+SimTime AttestationScheduler::next_due() const {
+  SimTime earliest = std::numeric_limits<SimTime>::max();
+  for (const auto& [agent_id, schedule] : agents_) {
+    (void)agent_id;
+    earliest = std::min(earliest, schedule.next_poll);
+  }
+  return earliest;
+}
+
+const AttestationScheduler::AgentSchedule* AttestationScheduler::schedule(
+    const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  return it == agents_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cia::keylime

@@ -1,0 +1,59 @@
+// Fleet polling scheduler.
+//
+// A production verifier polls thousands of agents; naive synchronized
+// polling produces thundering herds and retry storms. The scheduler
+// staggers agents across the poll interval (deterministically, by agent
+// id) and applies exponential backoff with a cap to unreachable agents so
+// a dead rack does not consume the polling budget.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/sim_clock.hpp"
+#include "keylime/verifier.hpp"
+
+namespace cia::keylime {
+
+struct SchedulerConfig {
+  SimTime poll_interval = 60;          // healthy-agent poll period
+  SimTime initial_backoff = 30;        // first retry after a comms failure
+  SimTime max_backoff = 15 * kMinute;  // backoff ceiling
+};
+
+class AttestationScheduler {
+ public:
+  AttestationScheduler(Verifier* verifier, SimClock* clock,
+                       SchedulerConfig config = {})
+      : verifier_(verifier), clock_(clock), config_(config) {}
+
+  /// Start polling an agent (already enrolled with the verifier). The
+  /// first poll is staggered within the interval by a stable hash of the
+  /// agent id.
+  void enroll(const std::string& agent_id);
+
+  /// Poll every agent whose next-poll time has arrived. Returns the
+  /// number of polls performed.
+  std::size_t tick();
+
+  /// Earliest next-poll time across the fleet (SimTime max if empty).
+  SimTime next_due() const;
+
+  struct AgentSchedule {
+    SimTime next_poll = 0;
+    SimTime current_backoff = 0;  // 0 = healthy cadence
+    std::uint64_t polls = 0;
+    std::uint64_t comms_failures = 0;
+  };
+
+  const AgentSchedule* schedule(const std::string& agent_id) const;
+
+ private:
+  Verifier* verifier_;
+  SimClock* clock_;
+  SchedulerConfig config_;
+  std::map<std::string, AgentSchedule> agents_;
+};
+
+}  // namespace cia::keylime

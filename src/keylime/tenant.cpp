@@ -1,0 +1,56 @@
+#include "keylime/tenant.hpp"
+
+#include "common/strutil.hpp"
+
+namespace cia::keylime {
+
+Status Tenant::enroll(const Agent& agent, RuntimePolicy policy) {
+  if (!registrar_->is_active(agent.agent_id())) {
+    return err(Errc::kPermissionDenied,
+               agent.agent_id() + " has not completed registration");
+  }
+  if (Status s = verifier_->add_agent(agent.agent_id(), agent.address());
+      !s.ok()) {
+    return s;
+  }
+  return verifier_->set_policy(agent.agent_id(), std::move(policy));
+}
+
+Status Tenant::push_policy(const std::string& agent_id, RuntimePolicy policy) {
+  return verifier_->set_policy(agent_id, std::move(policy));
+}
+
+Status Tenant::resolve(const std::string& agent_id) {
+  return verifier_->resolve_failure(agent_id);
+}
+
+std::string Tenant::status_report() const {
+  std::string out = "agent                 state      alerts\n";
+  for (const std::string& id : verifier_->agent_ids()) {
+    const auto state = verifier_->state(id);
+    const char* state_name =
+        (state && *state == AgentState::kFailed) ? "FAILED" : "attesting";
+    out += strformat("%-21s %-10s %zu\n", id.c_str(), state_name,
+                     verifier_->alerts_for(id).size());
+  }
+  return out;
+}
+
+json::Value Tenant::status_json() const {
+  json::Value doc;
+  json::Value agents{json::Array{}};
+  for (const std::string& id : verifier_->agent_ids()) {
+    const auto state = verifier_->state(id);
+    json::Value entry;
+    entry.set("id", id);
+    entry.set("state", (state && *state == AgentState::kFailed) ? "failed"
+                                                                : "attesting");
+    entry.set("alerts", verifier_->alerts_for(id).size());
+    entry.set("pending_entries", verifier_->pending_entries(id));
+    agents.push_back(std::move(entry));
+  }
+  doc.set("agents", std::move(agents));
+  return doc;
+}
+
+}  // namespace cia::keylime

@@ -1,0 +1,44 @@
+// The Keylime tenant: the operator-facing management tool.
+//
+// Wraps the enrolment workflow (registrar activation check -> verifier
+// add -> initial policy install) and day-2 operations (policy pushes,
+// failure resolution, fleet status reports).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keylime/agent.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/verifier.hpp"
+
+namespace cia::keylime {
+
+class Tenant {
+ public:
+  Tenant(Verifier* verifier, Registrar* registrar)
+      : verifier_(verifier), registrar_(registrar) {}
+
+  /// Full enrolment: the agent must already have registered+activated
+  /// with the registrar; installs `policy` and starts attestation.
+  Status enroll(const Agent& agent, RuntimePolicy policy);
+
+  /// Push a new runtime policy (dynamic policy updates land here).
+  Status push_policy(const std::string& agent_id, RuntimePolicy policy);
+
+  /// Operator resolves a failed agent after fixing its policy.
+  Status resolve(const std::string& agent_id);
+
+  /// Human-readable one-line-per-agent fleet status.
+  std::string status_report() const;
+
+  /// Machine-readable fleet status (for dashboards/automation):
+  /// {"agents":[{"id","state","alerts","pending_entries"}...]}.
+  json::Value status_json() const;
+
+ private:
+  Verifier* verifier_;
+  Registrar* registrar_;
+};
+
+}  // namespace cia::keylime

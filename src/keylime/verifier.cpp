@@ -1,0 +1,421 @@
+#include "keylime/verifier.hpp"
+
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/strutil.hpp"
+#include "keylime/registrar.hpp"
+
+namespace cia::keylime {
+
+const char* alert_type_name(AlertType t) {
+  switch (t) {
+    case AlertType::kQuoteInvalid: return "quote_invalid";
+    case AlertType::kReplayMismatch: return "replay_mismatch";
+    case AlertType::kHashMismatch: return "hash_mismatch";
+    case AlertType::kNotInPolicy: return "not_in_policy";
+    case AlertType::kMeasuredBootMismatch: return "measured_boot_mismatch";
+    case AlertType::kCommsFailure: return "comms_failure";
+  }
+  return "?";
+}
+
+MbRefstate MbRefstate::capture(const tpm::Tpm2& tpm) {
+  return MbRefstate{tpm.pcr_value(0), tpm.pcr_value(4), tpm.pcr_value(7)};
+}
+
+const std::vector<int>& quoted_pcrs() {
+  static const std::vector<int> kPcrs = {0, 4, 7, tpm::kImaPcr};
+  return kPcrs;
+}
+
+Verifier::Verifier(netsim::SimNetwork* network, SimClock* clock,
+                   std::uint64_t seed, VerifierConfig config)
+    : network_(network),
+      clock_(clock),
+      rng_(seed),
+      config_(config),
+      audit_(crypto::derive_keypair(
+          to_bytes(strformat("verifier-%llu",
+                             static_cast<unsigned long long>(seed))),
+          "audit-signing")) {}
+
+void Verifier::add_notifier(RevocationNotifier* notifier) {
+  notifiers_.push_back(notifier);
+}
+
+Status Verifier::add_agent(const std::string& agent_id,
+                           const std::string& address) {
+  GetAgentRequest req{agent_id};
+  auto resp_bytes =
+      network_->call(Registrar::address(), kMsgGetAgent, req.encode());
+  if (!resp_bytes.ok()) return resp_bytes.error();
+  auto resp = GetAgentResponse::decode(resp_bytes.value());
+  if (!resp.ok()) return resp.error();
+  if (!resp.value().active) {
+    return err(Errc::kPermissionDenied,
+               agent_id + " is not activated at the registrar");
+  }
+  auto ak = crypto::PublicKey::decode(resp.value().ak_pub);
+  if (!ak) return err(Errc::kCorrupted, "registrar returned a bad AK");
+
+  AgentRecord rec;
+  rec.address = address;
+  rec.ak = *ak;
+  rec.accumulated_pcr = crypto::zero_digest();
+  agents_[agent_id] = std::move(rec);
+  return Status::ok_status();
+}
+
+Status Verifier::set_policy(const std::string& agent_id, RuntimePolicy policy) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  it->second.policy = std::move(policy);
+  return Status::ok_status();
+}
+
+Status Verifier::set_mb_refstate(const std::string& agent_id,
+                                 MbRefstate refstate) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  it->second.mb_refstate = refstate;
+  return Status::ok_status();
+}
+
+Status Verifier::set_boot_baseline(const std::string& agent_id,
+                                   std::vector<oskernel::BootEvent> events) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  it->second.boot_baseline = std::move(events);
+  return Status::ok_status();
+}
+
+Result<BootLogReport> Verifier::attest_boot_log(const std::string& agent_id) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  AgentRecord& rec = it->second;
+
+  // Fetch the claimed event log.
+  auto log_bytes = network_->call(rec.address, kMsgBootLog, {});
+  if (!log_bytes.ok()) return log_bytes.error();
+  auto log = BootLogResponse::decode(log_bytes.value());
+  if (!log.ok()) return log.error();
+
+  // Fetch a fresh quote (no measurement entries needed).
+  QuoteRequest req;
+  req.nonce = rng_.bytes(20);
+  req.log_offset = std::numeric_limits<std::uint64_t>::max();
+  auto quote_bytes = network_->call(rec.address, kMsgQuote, req.encode());
+  if (!quote_bytes.ok()) return quote_bytes.error();
+  auto resp = QuoteResponse::decode(quote_bytes.value());
+  if (!resp.ok()) return resp.error();
+  if (!resp.value().quote.verify(rec.ak) ||
+      resp.value().quote.nonce != req.nonce ||
+      resp.value().quote.pcr_indices != quoted_pcrs()) {
+    return err(Errc::kCryptoFailure, "bad quote during boot-log attestation");
+  }
+
+  BootLogReport report;
+
+  // The claimed events, folded per PCR from zero, must reproduce the
+  // quoted boot-chain PCRs — otherwise the log itself is a lie.
+  std::map<int, crypto::Digest> folded;
+  for (const auto& event : log.value().events) {
+    auto [fold_it, inserted] = folded.emplace(event.pcr, crypto::zero_digest());
+    crypto::Sha256 ctx;
+    ctx.update(fold_it->second.data(), fold_it->second.size());
+    ctx.update(event.digest.data(), event.digest.size());
+    fold_it->second = ctx.finish();
+  }
+  report.log_matches_quote = true;
+  const auto& pcrs = quoted_pcrs();
+  for (std::size_t i = 0; i + 1 < pcrs.size(); ++i) {  // skip IMA's PCR
+    const auto fold_it = folded.find(pcrs[i]);
+    const crypto::Digest expected =
+        fold_it == folded.end() ? crypto::zero_digest() : fold_it->second;
+    if (expected != resp.value().quote.pcr_values[i]) {
+      report.log_matches_quote = false;
+    }
+  }
+
+  // Component-level diff against the golden baseline.
+  const auto key = [](const oskernel::BootEvent& e) {
+    return std::to_string(e.pcr) + ":" + e.description;
+  };
+  std::map<std::string, crypto::Digest> baseline;
+  for (const auto& e : rec.boot_baseline) baseline[key(e)] = e.digest;
+  std::map<std::string, crypto::Digest> current;
+  for (const auto& e : log.value().events) current[key(e)] = e.digest;
+  for (const auto& [k, digest] : current) {
+    auto b = baseline.find(k);
+    if (b == baseline.end()) {
+      report.added.push_back(k);
+    } else if (b->second != digest) {
+      report.changed.push_back(k);
+    }
+  }
+  for (const auto& [k, digest] : baseline) {
+    (void)digest;
+    if (!current.count(k)) report.removed.push_back(k);
+  }
+  return report;
+}
+
+const RuntimePolicy* Verifier::policy(const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  return it == agents_.end() ? nullptr : &it->second.policy;
+}
+
+void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
+                     AlertType type, const std::string& path,
+                     const std::string& observed_hash_hex,
+                     const std::string& detail, std::size_t log_index,
+                     AttestationRound& round) {
+  Alert alert;
+  alert.time = clock_->now();
+  alert.agent_id = agent_id;
+  alert.type = type;
+  alert.path = path;
+  alert.observed_hash_hex = observed_hash_hex;
+  alert.detail = detail;
+  alert.log_index = log_index;
+  alerts_.push_back(alert);
+  round.alerts.push_back(alert);
+  CIA_LOG_WARN("verifier", strformat("%s: %s %s (%s)", agent_id.c_str(),
+                                     alert_type_name(type), path.c_str(),
+                                     detail.c_str()));
+  // Revocation fan-out fires on the healthy -> failed transition only.
+  if (rec.state != AgentState::kFailed) {
+    RevocationEvent event;
+    event.time = clock_->now();
+    event.agent_id = agent_id;
+    event.reason = strformat("%s %s", alert_type_name(type), path.c_str());
+    for (RevocationNotifier* n : notifiers_) n->on_revocation(event);
+  }
+  rec.state = AgentState::kFailed;
+  round.state = AgentState::kFailed;
+}
+
+Result<AttestationRound> Verifier::attest_once(const std::string& agent_id) {
+  last_quote_digest_ = crypto::zero_digest();
+  auto result = attest_once_impl(agent_id);
+  if (!result.ok()) return result;
+  const AttestationRound& round = result.value();
+
+  // Frozen agents (P2) are not polled, so no durable record is produced.
+  const bool frozen = round.state == AgentState::kFailed &&
+                      round.alerts.empty() && !round.reboot_detected &&
+                      round.new_entries == 0 && round.evaluated == 0 &&
+                      !config_.continue_on_failure;
+  if (!frozen) {
+    AuditVerdict verdict = AuditVerdict::kPassed;
+    if (round.reboot_detected) {
+      verdict = AuditVerdict::kRebootSeen;
+    } else if (!round.alerts.empty()) {
+      verdict = (round.alerts.size() == 1 &&
+                 round.alerts[0].type == AlertType::kCommsFailure)
+                    ? AuditVerdict::kUnreachable
+                    : AuditVerdict::kFailed;
+    }
+    audit_.append(clock_->now(), agent_id, verdict, round.alerts.size(),
+                  round.evaluated, last_quote_digest_);
+  }
+  return result;
+}
+
+Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  AgentRecord& rec = it->second;
+  AttestationRound round;
+  round.state = rec.state;
+
+  // Stock Keylime: a failed agent is no longer polled (P2). With the
+  // mitigation we keep polling and keep evaluating.
+  if (rec.state == AgentState::kFailed && !config_.continue_on_failure) {
+    return round;
+  }
+
+  QuoteRequest req;
+  req.nonce = rng_.bytes(20);
+  req.log_offset = rec.log_offset;
+  auto resp_bytes = network_->call(rec.address, kMsgQuote, req.encode());
+  if (!resp_bytes.ok()) {
+    Alert alert;
+    alert.time = clock_->now();
+    alert.agent_id = agent_id;
+    alert.type = AlertType::kCommsFailure;
+    alert.detail = resp_bytes.error().to_string();
+    alerts_.push_back(alert);
+    round.alerts.push_back(alert);
+    return round;  // transient: do not fail the agent on comms errors
+  }
+  auto resp = QuoteResponse::decode(resp_bytes.value());
+  if (!resp.ok()) {
+    raise(rec, agent_id, AlertType::kQuoteInvalid, "", "",
+          "unparseable response: " + resp.error().message, rec.log_offset,
+          round);
+    return round;
+  }
+  QuoteResponse& qr = resp.value();
+  last_quote_digest_ = crypto::sha256(qr.quote.attested_message());
+
+  // Reboot: the agent's measurement list restarted. Reset incremental
+  // state; the next round fetches the fresh log from index 0. On first
+  // contact (boot_count 0 sentinel) simply adopt the agent's count.
+  if (rec.boot_count == 0) {
+    rec.boot_count = qr.boot_count;
+  } else if (qr.boot_count != rec.boot_count) {
+    rec.boot_count = qr.boot_count;
+    rec.log_offset = 0;
+    rec.accumulated_pcr = crypto::zero_digest();
+    rec.pending.clear();
+    round.reboot_detected = true;
+    return round;
+  }
+
+  // 1. The quote must be genuine and fresh.
+  if (!qr.quote.verify(rec.ak) || qr.quote.nonce != req.nonce ||
+      qr.quote.pcr_indices != quoted_pcrs()) {
+    raise(rec, agent_id, AlertType::kQuoteInvalid, "", "",
+          "bad signature, nonce, or PCR selection", rec.log_offset, round);
+    return round;
+  }
+
+  // 1b. The boot chain must match the golden refstate, when one is pinned.
+  if (rec.mb_refstate) {
+    const MbRefstate quoted{qr.quote.pcr_values[0], qr.quote.pcr_values[1],
+                            qr.quote.pcr_values[2]};
+    if (!(quoted == *rec.mb_refstate)) {
+      raise(rec, agent_id, AlertType::kMeasuredBootMismatch, "", "",
+            "PCR 0/4/7 diverge from the measured-boot refstate",
+            rec.log_offset, round);
+      return round;
+    }
+  }
+
+  // 2. Each entry's template hash must be the hash of its own data —
+  // otherwise a man-in-the-middle could swap the path or file hash the
+  // policy evaluates while leaving the PCR fold intact.
+  for (const auto& e : qr.entries) {
+    crypto::Sha256 ctx;
+    ctx.update(crypto::digest_bytes(e.file_hash));
+    ctx.update(e.path);
+    if (ctx.finish() != e.template_hash) {
+      raise(rec, agent_id, AlertType::kReplayMismatch, e.path, "",
+            "template hash does not match entry data", rec.log_offset, round);
+      return round;
+    }
+  }
+
+  // 3. The shipped log fragment must reproduce the quoted PCR 10.
+  crypto::Digest folded = rec.accumulated_pcr;
+  for (const auto& e : qr.entries) {
+    crypto::Sha256 ctx;
+    ctx.update(folded.data(), folded.size());
+    ctx.update(e.template_hash.data(), e.template_hash.size());
+    folded = ctx.finish();
+  }
+  if (folded != qr.quote.pcr_values[3]) {
+    raise(rec, agent_id, AlertType::kReplayMismatch, "", "",
+          "measurement list does not reproduce quoted PCR", rec.log_offset,
+          round);
+    return round;
+  }
+
+  // Accept the fragment.
+  round.new_entries = qr.entries.size();
+  for (std::size_t i = 0; i < qr.entries.size(); ++i) {
+    rec.pending.emplace_back(rec.log_offset + i, std::move(qr.entries[i]));
+  }
+  rec.log_offset += qr.entries.size();
+  rec.accumulated_pcr = folded;
+
+  // 4. Evaluate pending entries against the runtime policy, in order.
+  while (!rec.pending.empty()) {
+    const auto& [index, entry] = rec.pending.front();
+    ++round.evaluated;
+    if (entry.path == "boot_aggregate") {
+      rec.pending.pop_front();
+      continue;
+    }
+    const PolicyMatch match = rec.policy.check(entry.path, entry.file_hash);
+    if (match == PolicyMatch::kAllowed || match == PolicyMatch::kExcluded) {
+      rec.pending.pop_front();
+      continue;
+    }
+    const AlertType type = (match == PolicyMatch::kHashMismatch)
+                               ? AlertType::kHashMismatch
+                               : AlertType::kNotInPolicy;
+    raise(rec, agent_id, type, entry.path,
+          crypto::digest_hex(entry.file_hash),
+          policy_match_name(match), index, round);
+    rec.pending.pop_front();
+    if (!config_.continue_on_failure) {
+      // Evaluation halts mid-log: everything still in `pending` is the
+      // incomplete-attestation window attackers exploit (P2).
+      break;
+    }
+  }
+  return round;
+}
+
+std::vector<AttestationRound> Verifier::attest_all() {
+  std::vector<AttestationRound> rounds;
+  for (auto& [agent_id, rec] : agents_) {
+    (void)rec;
+    auto round = attest_once(agent_id);
+    if (round.ok()) rounds.push_back(std::move(round).take());
+  }
+  return rounds;
+}
+
+Status Verifier::resolve_failure(const std::string& agent_id) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  it->second.state = AgentState::kAttesting;
+  return Status::ok_status();
+}
+
+std::optional<AgentState> Verifier::state(const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+std::size_t Verifier::pending_entries(const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  return it == agents_.end() ? 0 : it->second.pending.size();
+}
+
+std::vector<Alert> Verifier::alerts_for(const std::string& agent_id) const {
+  std::vector<Alert> out;
+  for (const auto& a : alerts_) {
+    if (a.agent_id == agent_id) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<std::string> Verifier::agent_ids() const {
+  std::vector<std::string> out;
+  out.reserve(agents_.size());
+  for (const auto& [id, rec] : agents_) {
+    (void)rec;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cia::keylime

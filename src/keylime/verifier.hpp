@@ -1,0 +1,192 @@
+// The Keylime verifier: polls agents, validates quotes, replays the IMA
+// log against PCR 10, and matches every entry against the runtime policy.
+//
+// Failure semantics are modelled after stock Keylime and are the subject
+// of problem P2: on the first policy violation the verifier marks the
+// agent FAILED and stops polling it, leaving every subsequent measurement
+// unevaluated until an operator resolves the failure. The
+// `continue_on_failure` option implements the paper's recommended fix —
+// keep attesting, quarantine violations as alerts, never leave the log
+// partially evaluated.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "keylime/audit.hpp"
+#include "keylime/messages.hpp"
+#include "keylime/notifier.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "netsim/network.hpp"
+
+namespace cia::keylime {
+
+enum class AgentState {
+  kAttesting,  // healthy, polled every interval
+  kFailed,     // attestation failed; polling stopped (stock behaviour)
+};
+
+enum class AlertType {
+  kQuoteInvalid,          // signature or nonce check failed
+  kReplayMismatch,        // IMA log does not reproduce quoted PCR 10
+  kHashMismatch,          // measured hash not acceptable for the path
+  kNotInPolicy,           // measured path absent from the policy
+  kMeasuredBootMismatch,  // PCR 0/4/7 differ from the golden refstate
+  kCommsFailure,          // agent unreachable / garbled response
+};
+
+const char* alert_type_name(AlertType t);
+
+struct Alert {
+  SimTime time = 0;
+  std::string agent_id;
+  AlertType type = AlertType::kQuoteInvalid;
+  std::string path;               // offending file (policy alerts)
+  std::string observed_hash_hex;  // measured hash (policy alerts)
+  std::string detail;
+  std::size_t log_index = 0;  // global index of the offending entry
+};
+
+/// Result of one poll round against one agent.
+struct AttestationRound {
+  std::size_t new_entries = 0;
+  std::size_t evaluated = 0;
+  std::vector<Alert> alerts;
+  AgentState state = AgentState::kAttesting;
+  bool reboot_detected = false;
+};
+
+struct VerifierConfig {
+  /// The paper's P2 mitigation: evaluate the complete log even after a
+  /// violation instead of halting at the first bad entry.
+  bool continue_on_failure = false;
+};
+
+/// Golden measured-boot state (the "mb_refstate" of real Keylime): the
+/// expected values of the boot-chain PCRs, captured from a known-good
+/// machine of the same image. When installed for an agent, every quote's
+/// PCR 0/4/7 must match or attestation fails — this is how bootkits and
+/// tampered kernels surface even though IMA never measures them.
+struct MbRefstate {
+  crypto::Digest pcr0{};
+  crypto::Digest pcr4{};
+  crypto::Digest pcr7{};
+
+  static MbRefstate capture(const tpm::Tpm2& tpm);
+  bool operator==(const MbRefstate&) const = default;
+};
+
+/// The PCRs every quote covers: the measured-boot chain plus IMA's PCR.
+const std::vector<int>& quoted_pcrs();
+
+/// The outcome of a boot-log attestation: whether the agent's claimed
+/// event log is consistent with the quoted PCRs, plus the component-level
+/// diff against the pinned golden event log — the operator-actionable
+/// answer to "PCR 4 changed, but WHAT changed?".
+struct BootLogReport {
+  bool log_matches_quote = false;  // events fold to the quoted PCR values
+  std::vector<std::string> changed;  // same component, different digest
+  std::vector<std::string> added;    // components not in the baseline
+  std::vector<std::string> removed;  // baseline components now absent
+  bool clean() const {
+    return log_matches_quote && changed.empty() && added.empty() &&
+           removed.empty();
+  }
+};
+
+class Verifier {
+ public:
+  Verifier(netsim::SimNetwork* network, SimClock* clock, std::uint64_t seed,
+           VerifierConfig config = {});
+
+  /// Enrol an agent for continuous attestation. Fetches and pins its AK
+  /// from the registrar; fails if the agent is not activated there.
+  Status add_agent(const std::string& agent_id, const std::string& address);
+
+  /// Install/replace the runtime policy for an agent (the dynamic policy
+  /// generator pushes through here before each scheduled update).
+  Status set_policy(const std::string& agent_id, RuntimePolicy policy);
+
+  /// Install a measured-boot refstate for an agent; PCR 0/4/7 of every
+  /// subsequent quote must match it.
+  Status set_mb_refstate(const std::string& agent_id, MbRefstate refstate);
+
+  /// Pin a golden boot event log (captured from a known-good machine of
+  /// the same image) for component-level boot diagnostics.
+  Status set_boot_baseline(const std::string& agent_id,
+                           std::vector<oskernel::BootEvent> events);
+
+  /// Fetch the agent's boot event log, check it reproduces the quoted
+  /// boot-chain PCRs, and diff it against the pinned baseline.
+  Result<BootLogReport> attest_boot_log(const std::string& agent_id);
+
+  const RuntimePolicy* policy(const std::string& agent_id) const;
+
+  /// One attestation round: challenge, verify, evaluate.
+  /// For a FAILED agent this is a no-op unless continue_on_failure.
+  Result<AttestationRound> attest_once(const std::string& agent_id);
+
+  /// Poll every enrolled agent once.
+  std::vector<AttestationRound> attest_all();
+
+  /// Operator action: clear the FAILED state so polling resumes. Pending
+  /// (never-evaluated) entries are examined on the next round.
+  Status resolve_failure(const std::string& agent_id);
+
+  std::optional<AgentState> state(const std::string& agent_id) const;
+
+  /// Entries received but not yet policy-evaluated (non-empty exactly when
+  /// a failure froze evaluation mid-log — the "incomplete attestation
+  /// log" of P2).
+  std::size_t pending_entries(const std::string& agent_id) const;
+
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  std::vector<Alert> alerts_for(const std::string& agent_id) const;
+
+  std::vector<std::string> agent_ids() const;
+
+  /// The durable-attestation chain: one signed record per poll round.
+  const AuditLog& audit() const { return audit_; }
+
+  /// Register a revocation notifier; fired on kAttesting -> kFailed
+  /// transitions.
+  void add_notifier(RevocationNotifier* notifier);
+
+ private:
+  struct AgentRecord {
+    std::string address;
+    crypto::PublicKey ak;
+    RuntimePolicy policy;
+    std::optional<MbRefstate> mb_refstate;
+    std::vector<oskernel::BootEvent> boot_baseline;
+    AgentState state = AgentState::kAttesting;
+    std::uint64_t log_offset = 0;        // entries fetched so far
+    crypto::Digest accumulated_pcr{};    // fold of all fetched entries
+    std::uint32_t boot_count = 0;
+    std::deque<std::pair<std::uint64_t, ima::LogEntry>> pending;  // unevaluated
+  };
+
+  void raise(AgentRecord& rec, const std::string& agent_id, AlertType type,
+             const std::string& path, const std::string& observed_hash_hex,
+             const std::string& detail, std::size_t log_index,
+             AttestationRound& round);
+
+  Result<AttestationRound> attest_once_impl(const std::string& agent_id);
+
+  netsim::SimNetwork* network_;
+  SimClock* clock_;
+  Rng rng_;
+  VerifierConfig config_;
+  std::map<std::string, AgentRecord> agents_;
+  std::vector<Alert> alerts_;
+  AuditLog audit_;
+  std::vector<RevocationNotifier*> notifiers_;
+  crypto::Digest last_quote_digest_{};  // set by attest_once_impl
+};
+
+}  // namespace cia::keylime

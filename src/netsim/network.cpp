@@ -1,0 +1,43 @@
+#include "netsim/network.hpp"
+
+namespace cia::netsim {
+
+SimNetwork::SimNetwork(SimClock* clock, std::uint64_t seed)
+    : clock_(clock), rng_(seed) {}
+
+void SimNetwork::attach(const std::string& address, Endpoint* endpoint) {
+  endpoints_[address] = endpoint;
+}
+
+void SimNetwork::detach(const std::string& address) {
+  endpoints_.erase(address);
+}
+
+Result<Bytes> SimNetwork::call(const std::string& to, const std::string& kind,
+                               const Bytes& payload) {
+  ++stats_.calls;
+  clock_->advance(faults_.latency);
+
+  auto it = endpoints_.find(to);
+  if (it == endpoints_.end()) {
+    ++stats_.unroutable;
+    return err(Errc::kUnavailable, "no endpoint at " + to);
+  }
+  if (faults_.drop_rate > 0.0 && rng_.chance(faults_.drop_rate)) {
+    ++stats_.dropped;
+    return err(Errc::kUnavailable, "request to " + to + " dropped");
+  }
+
+  Result<Bytes> response = it->second->handle(kind, payload);
+  if (!response.ok()) return response;
+
+  Bytes body = std::move(response).take();
+  if (faults_.tamper_rate > 0.0 && !body.empty() &&
+      rng_.chance(faults_.tamper_rate)) {
+    ++stats_.tampered;
+    body[rng_.uniform(body.size())] ^= 0xff;
+  }
+  return body;
+}
+
+}  // namespace cia::netsim

@@ -1,0 +1,70 @@
+// An in-process request/response network between Keylime components.
+//
+// Components implement Endpoint and attach under an address; callers make
+// synchronous RPCs through SimNetwork. The network charges virtual latency
+// to the shared clock and can inject faults (drops, payload tampering) so
+// tests can exercise the verifier's handling of unreliable and hostile
+// transports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "common/types.hpp"
+
+namespace cia::netsim {
+
+/// A component reachable over the network.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Handle a request of the given kind; return the response payload.
+  virtual Result<Bytes> handle(const std::string& kind, const Bytes& payload) = 0;
+};
+
+/// Fault-injection knobs.
+struct FaultConfig {
+  double drop_rate = 0.0;    // probability a call fails with kUnavailable
+  double tamper_rate = 0.0;  // probability the response payload is corrupted
+  SimTime latency = 0;       // virtual seconds charged per round trip
+};
+
+/// Counters for observability and tests.
+struct NetworkStats {
+  std::uint64_t calls = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t tampered = 0;
+  std::uint64_t unroutable = 0;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(SimClock* clock, std::uint64_t seed);
+
+  /// Attach an endpoint at `address`; replaces any previous binding.
+  void attach(const std::string& address, Endpoint* endpoint);
+  void detach(const std::string& address);
+
+  void set_faults(const FaultConfig& faults) { faults_ = faults; }
+
+  /// Synchronous RPC. Applies latency and fault injection, then invokes
+  /// the destination endpoint's handler.
+  Result<Bytes> call(const std::string& to, const std::string& kind,
+                     const Bytes& payload);
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  SimClock* clock_;
+  Rng rng_;
+  FaultConfig faults_;
+  std::map<std::string, Endpoint*> endpoints_;
+  NetworkStats stats_;
+};
+
+}  // namespace cia::netsim

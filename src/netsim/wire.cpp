@@ -1,0 +1,98 @@
+#include "netsim/wire.hpp"
+
+namespace cia::netsim {
+
+void WireWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+void WireWriter::put_u32(std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::put_u64(std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void WireWriter::put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+void WireWriter::put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+void WireWriter::put_string(const std::string& s) {
+  put_u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::put_bytes(const Bytes& b) {
+  put_u64(b.size());
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void WireWriter::put_digest(const crypto::Digest& d) {
+  buf_.insert(buf_.end(), d.begin(), d.end());
+}
+
+Result<std::uint8_t> WireReader::u8() {
+  if (pos_ + 1 > data_.size()) return err(Errc::kCorrupted, "truncated u8");
+  return data_[pos_++];
+}
+
+Result<std::uint32_t> WireReader::u32() {
+  if (pos_ + 4 > data_.size()) return err(Errc::kCorrupted, "truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+Result<std::uint64_t> WireReader::u64() {
+  if (pos_ + 8 > data_.size()) return err(Errc::kCorrupted, "truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+Result<std::int64_t> WireReader::i64() {
+  auto v = u64();
+  if (!v.ok()) return v.error();
+  return static_cast<std::int64_t>(v.value());
+}
+
+Result<bool> WireReader::boolean() {
+  auto v = u8();
+  if (!v.ok()) return v.error();
+  if (v.value() > 1) return err(Errc::kCorrupted, "bad bool");
+  return v.value() == 1;
+}
+
+Result<std::string> WireReader::string() {
+  auto len = u64();
+  if (!len.ok()) return len.error();
+  if (pos_ + len.value() > data_.size()) {
+    return err(Errc::kCorrupted, "truncated string");
+  }
+  std::string s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+  pos_ += len.value();
+  return s;
+}
+
+Result<Bytes> WireReader::bytes() {
+  auto len = u64();
+  if (!len.ok()) return len.error();
+  if (pos_ + len.value() > data_.size()) {
+    return err(Errc::kCorrupted, "truncated bytes");
+  }
+  Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+          data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len.value()));
+  pos_ += len.value();
+  return b;
+}
+
+Result<crypto::Digest> WireReader::digest() {
+  if (pos_ + crypto::kSha256Size > data_.size()) {
+    return err(Errc::kCorrupted, "truncated digest");
+  }
+  crypto::Digest d;
+  for (auto& b : d) b = data_[pos_++];
+  return d;
+}
+
+}  // namespace cia::netsim

@@ -1,0 +1,59 @@
+// Wire serialization for messages exchanged between Keylime components.
+//
+// A tiny length-prefixed binary format: big-endian fixed-width integers,
+// u64-length-prefixed strings/blobs. Readers validate bounds and fail
+// cleanly on truncated or trailing data, since attested agents are
+// untrusted and their responses travel a (simulated) hostile network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cia::netsim {
+
+/// Serializer.
+class WireWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_bool(bool v);
+  void put_string(const std::string& s);
+  void put_bytes(const Bytes& b);
+  void put_digest(const crypto::Digest& d);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked deserializer.
+class WireReader {
+ public:
+  explicit WireReader(const Bytes& data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::int64_t> i64();
+  Result<bool> boolean();
+  Result<std::string> string();
+  Result<Bytes> bytes();
+  Result<crypto::Digest> digest();
+
+  /// True when all input has been consumed.
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cia::netsim

@@ -1,0 +1,66 @@
+#include "oskernel/container.hpp"
+
+namespace cia::oskernel {
+
+Result<std::string> ContainerRuntime::create(const std::string& id,
+                                             const ContainerImage& image) {
+  if (containers_.count(id)) {
+    return err(Errc::kAlreadyExists, "container exists: " + id);
+  }
+  const std::string root = root_of(id);
+  if (Status s = machine_->fs().mount(root, vfs::FsType::kOverlayfs,
+                                      /*namespace_truncated=*/true);
+      !s.ok()) {
+    return s.error();
+  }
+  for (const ContainerImageFile& f : image.files) {
+    if (Status s = machine_->fs().create_file(root + f.path,
+                                              to_bytes(f.content),
+                                              f.executable);
+        !s.ok()) {
+      (void)machine_->fs().unmount(root);
+      return s.error();
+    }
+  }
+  containers_[id] = image.name;
+  return root;
+}
+
+Status ContainerRuntime::destroy(const std::string& id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    return err(Errc::kNotFound, "no such container: " + id);
+  }
+  containers_.erase(it);
+  return machine_->fs().unmount(root_of(id));
+}
+
+Result<int> ContainerRuntime::exec(const std::string& id,
+                                   const std::string& path_in_container) {
+  auto host = host_path(id, path_in_container);
+  if (!host.ok()) return host.error();
+  return machine_->exec(host.value());
+}
+
+Result<std::string> ContainerRuntime::host_path(
+    const std::string& id, const std::string& path_in_container) const {
+  if (!containers_.count(id)) {
+    return err(Errc::kNotFound, "no such container: " + id);
+  }
+  if (path_in_container.empty() || path_in_container[0] != '/') {
+    return err(Errc::kInvalidArgument, "container path must be absolute");
+  }
+  return root_of(id) + path_in_container;
+}
+
+std::vector<std::string> ContainerRuntime::running() const {
+  std::vector<std::string> out;
+  out.reserve(containers_.size());
+  for (const auto& [id, image] : containers_) {
+    (void)image;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cia::oskernel

@@ -1,0 +1,68 @@
+// A minimal OCI-style container runtime on top of the VFS.
+//
+// The paper observes that the SNAP path-truncation false positive "is not
+// specific to SNAPs but would occur to any containerized execution, or
+// files executed under chroot" (§III-B). This runtime makes that
+// generalization executable: each container is an overlayfs mount whose
+// mount namespace truncates the paths IMA records, and overlayfs itself
+// is one of the filesystems the stock IMA policy skips wholesale (P3).
+// Containerized workloads are therefore doubly problematic for
+// attestation: either invisible (stock policy) or visible under rootfs-
+// relative paths that collide with host policy entries (enriched policy).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia::oskernel {
+
+/// One file inside a container image.
+struct ContainerImageFile {
+  std::string path;  // rootfs-relative, e.g. "/usr/bin/app"
+  std::string content;
+  bool executable = true;
+};
+
+/// A container image: a named bundle of files.
+struct ContainerImage {
+  std::string name;  // e.g. "nginx:1.25"
+  std::vector<ContainerImageFile> files;
+};
+
+/// Manages container lifecycles on one machine.
+class ContainerRuntime {
+ public:
+  explicit ContainerRuntime(Machine* machine) : machine_(machine) {}
+
+  /// Create a container from an image: mounts an overlayfs at
+  /// /var/lib/containers/<id> (namespace-truncated) and populates it.
+  Result<std::string> create(const std::string& id, const ContainerImage& image);
+
+  /// Remove a container and its mount.
+  Status destroy(const std::string& id);
+
+  /// Exec a rootfs-relative path inside the container (the host-side path
+  /// is resolved through the container root). IMA observes the
+  /// *container-relative* path, exactly like the SNAP case.
+  Result<int> exec(const std::string& id, const std::string& path_in_container);
+
+  /// Host path of a file inside the container.
+  Result<std::string> host_path(const std::string& id,
+                                const std::string& path_in_container) const;
+
+  std::vector<std::string> running() const;
+
+ private:
+  std::string root_of(const std::string& id) const {
+    return "/var/lib/containers/" + id;
+  }
+
+  Machine* machine_;
+  std::map<std::string, std::string> containers_;  // id -> image name
+};
+
+}  // namespace cia::oskernel

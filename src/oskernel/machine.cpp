@@ -1,0 +1,259 @@
+#include "oskernel/machine.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/strutil.hpp"
+
+namespace cia::oskernel {
+
+namespace {
+
+/// Extract "#!<interpreter>" from a file's first line, if present.
+std::optional<std::string> shebang_of(const Bytes& content) {
+  if (content.size() < 3 || content[0] != '#' || content[1] != '!') {
+    return std::nullopt;
+  }
+  std::string line;
+  for (std::size_t i = 2; i < content.size() && content[i] != '\n'; ++i) {
+    line.push_back(static_cast<char>(content[i]));
+  }
+  // Strip arguments ("#!/usr/bin/env python3" keeps just the first token
+  // after env-resolution is out of scope here).
+  const auto parts = split(line, ' ');
+  for (const auto& p : parts) {
+    if (!p.empty()) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Machine::Machine(MachineConfig config, const crypto::CertificateAuthority& tpm_ca,
+                 SimClock* clock)
+    : config_(std::move(config)),
+      clock_(clock),
+      fs_(),
+      tpm_("tpm-" + config_.hostname,
+           to_bytes(strformat("machine-seed-%llu",
+                              static_cast<unsigned long long>(config_.seed))),
+           tpm_ca),
+      ima_(config_.ima_policy, config_.ima_config, &fs_, &tpm_) {
+  if (config_.mount_standard_filesystems) {
+    // The standard mount table of an Ubuntu 22.04-like host; all Status
+    // results are on a fresh tree and cannot fail. Note that /tmp lives on
+    // the *root ext4* filesystem (the stock Ubuntu layout) — that detail
+    // is load-bearing for P4: files in /tmp ARE measured by IMA while
+    // being excluded by the Keylime policy.
+    (void)fs_.mkdir_p("/tmp");
+    (void)fs_.mount("/proc", vfs::FsType::kProcfs);
+    (void)fs_.mount("/sys", vfs::FsType::kSysfs);
+    (void)fs_.mount("/sys/kernel/debug", vfs::FsType::kDebugfs);
+    (void)fs_.mount("/sys/kernel/security", vfs::FsType::kSecurityfs);
+    (void)fs_.mount("/dev/shm", vfs::FsType::kTmpfs);
+    (void)fs_.mount("/run", vfs::FsType::kTmpfs);
+  }
+  // The machine image ships a first-stage bootloader and the stock
+  // secure-boot key database.
+  (void)fs_.create_file(kBootloaderPath, to_bytes("efi:grub-2.06"), true);
+  secureboot_keys_.push_back("db:microsoft-uefi-ca-2011");
+  secureboot_keys_.push_back("db:canonical-master-2017");
+  boot();
+}
+
+void Machine::enroll_secureboot_key(const std::string& fingerprint) {
+  secureboot_keys_.push_back(fingerprint);
+}
+
+void Machine::measured_boot() {
+  boot_event_log_.clear();
+  const auto extend = [this](int pcr, const std::string& description,
+                             const crypto::Digest& digest) {
+    tpm_.extend(pcr, digest);
+    boot_event_log_.push_back(BootEvent{pcr, description, digest});
+  };
+
+  // PCR 0: the platform firmware measures itself (SRTM).
+  extend(0, "firmware " + config_.firmware_version,
+         crypto::sha256("firmware:" + config_.firmware_version));
+  // PCR 7: the secure-boot policy — which signing keys are enrolled.
+  for (const std::string& key : secureboot_keys_) {
+    extend(7, "secureboot key " + key, crypto::sha256("secureboot:" + key));
+  }
+  // PCR 4: the boot chain's executables — bootloader, then kernel image.
+  auto bootloader = fs_.read_file(kBootloaderPath);
+  extend(4, std::string("bootloader ") + kBootloaderPath,
+         crypto::sha256(bootloader.ok() ? to_string(bootloader.value())
+                                        : "missing-bootloader"));
+  const std::string kernel_image = "/boot/vmlinuz-" + config_.kernel_version;
+  auto kernel = fs_.read_file(kernel_image);
+  extend(4, "kernel " + kernel_image,
+         crypto::sha256(kernel.ok() ? to_string(kernel.value())
+                                    : "builtin:" + config_.kernel_version));
+}
+
+void Machine::boot() {
+  ++boot_count_;
+  measured_boot();
+  ima_.on_boot(strformat("%s:boot%d", config_.hostname.c_str(), boot_count_));
+
+  // Boot-time persistence: module autoload, then systemd units.
+  if (fs_.is_dir("/etc/modules-load.d")) {
+    for (const std::string& conf : fs_.list_files("/etc/modules-load.d")) {
+      auto content = fs_.read_file(conf);
+      if (!content.ok()) continue;
+      const std::string module_path = to_string(content.value());
+      if (fs_.is_file(module_path)) {
+        (void)load_kernel_module(module_path);
+      }
+    }
+  }
+  if (fs_.is_dir("/etc/systemd/system")) {
+    for (const std::string& unit : fs_.list_files("/etc/systemd/system")) {
+      if (!ends_with(unit, ".service")) continue;
+      auto content = fs_.read_file(unit);
+      if (!content.ok()) continue;
+      // Units store "exec=<path>" on the first line.
+      const auto lines = split(to_string(content.value()), '\n');
+      for (const auto& line : lines) {
+        if (starts_with(line, "exec=")) {
+          const std::string exe = line.substr(5);
+          if (fs_.is_file(exe)) (void)exec(exe);
+        }
+      }
+    }
+  }
+}
+
+Result<int> Machine::exec(const std::string& path) {
+  auto st = fs_.stat(path);
+  if (!st.ok()) return st.error();
+  if (st.value().is_dir) {
+    return err(Errc::kInvalidArgument, "is a directory: " + path);
+  }
+  if (!st.value().executable) {
+    return err(Errc::kPermissionDenied, "not executable: " + path);
+  }
+  if (Status s = ima_.appraise(path); !s.ok()) return s.error();
+
+  // BPRM_CHECK on the execve target (binary or shebang script).
+  ima_.on_exec(path);
+
+  // A shebang script causes the kernel to exec the interpreter next.
+  auto content = fs_.read_file(path);
+  if (content.ok()) {
+    if (auto interp = shebang_of(content.value())) {
+      if (fs_.is_file(*interp)) ima_.on_exec(*interp);
+    }
+  }
+
+  Process p;
+  p.pid = next_pid_++;
+  p.exe_path = path;
+  p.started_at = clock_->now();
+  processes_.push_back(p);
+  return p.pid;
+}
+
+Result<int> Machine::exec_via_interpreter(const std::string& interpreter,
+                                          const std::string& script) {
+  auto ist = fs_.stat(interpreter);
+  if (!ist.ok()) return ist.error();
+  if (!ist.value().executable) {
+    return err(Errc::kPermissionDenied, "not executable: " + interpreter);
+  }
+  if (!fs_.is_file(script)) {
+    return err(Errc::kNotFound, "no such script: " + script);
+  }
+  // Appraisal covers the interpreter; the script is a data read — the
+  // same blind spot P5 exploits for measurement applies to appraisal.
+  if (Status s = ima_.appraise(interpreter); !s.ok()) return s.error();
+
+  // The execve target is the interpreter — that is all BPRM_CHECK sees
+  // (problem P5).
+  ima_.on_exec(interpreter);
+
+  // The interpreter then open()s the script. Whether that open carries an
+  // executable marking depends on script-execution-control support.
+  const bool sec_marked =
+      std::find(sec_aware_interpreters_.begin(), sec_aware_interpreters_.end(),
+                interpreter) != sec_aware_interpreters_.end();
+  ima_.on_open_read(script, sec_marked);
+
+  Process p;
+  p.pid = next_pid_++;
+  p.exe_path = interpreter + " " + script;
+  p.started_at = clock_->now();
+  processes_.push_back(p);
+  return p.pid;
+}
+
+void Machine::mmap_library(const std::string& path) {
+  // Appraisal denies the mapping outright; otherwise it is measured.
+  if (!ima_.appraise(path).ok()) return;
+  ima_.on_mmap_exec(path);
+}
+
+void Machine::kill(int pid) {
+  for (auto& p : processes_) {
+    if (p.pid == pid) p.alive = false;
+  }
+}
+
+Result<int> Machine::load_kernel_module(const std::string& path) {
+  if (!fs_.is_file(path)) {
+    return err(Errc::kNotFound, "no such module: " + path);
+  }
+  if (Status s = ima_.appraise(path); !s.ok()) return s.error();
+  ima_.on_module_load(path);
+  modules_.push_back(path);
+  return static_cast<int>(modules_.size());
+}
+
+void Machine::register_sec_aware_interpreter(const std::string& path) {
+  sec_aware_interpreters_.push_back(path);
+}
+
+void Machine::reboot() {
+  CIA_LOG_INFO("machine", config_.hostname + " rebooting");
+  processes_.clear();
+  modules_.clear();
+  tpm_.reset();
+  if (!pending_kernel_.empty()) {
+    config_.kernel_version = pending_kernel_;
+    pending_kernel_.clear();
+  }
+  // Volatile filesystems lose their contents across a reboot, and systemd
+  // cleans /tmp at boot even though it sits on the root filesystem.
+  for (const vfs::Mount& m : fs_.mounts()) {
+    if (m.type == vfs::FsType::kTmpfs || m.type == vfs::FsType::kRamfs) {
+      for (const std::string& f : fs_.list_files(m.mount_point)) {
+        (void)fs_.unlink(f);
+      }
+    }
+  }
+  for (const std::string& f : fs_.list_files("/tmp")) {
+    (void)fs_.unlink(f);
+  }
+  boot();
+}
+
+Status Machine::install_systemd_unit(const std::string& unit_name,
+                                     const std::string& exe_path) {
+  const std::string unit = "/etc/systemd/system/" + unit_name + ".service";
+  if (fs_.exists(unit)) {
+    return fs_.write_file(unit, to_bytes("exec=" + exe_path));
+  }
+  return fs_.create_file(unit, to_bytes("exec=" + exe_path), false);
+}
+
+Status Machine::install_module_autoload(const std::string& conf_name,
+                                        const std::string& module_path) {
+  const std::string conf = "/etc/modules-load.d/" + conf_name + ".conf";
+  if (fs_.exists(conf)) {
+    return fs_.write_file(conf, to_bytes(module_path));
+  }
+  return fs_.create_file(conf, to_bytes(module_path), false);
+}
+
+}  // namespace cia::oskernel

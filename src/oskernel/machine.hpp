@@ -1,0 +1,176 @@
+// A simulated Linux machine: VFS + TPM + IMA + a minimal process/exec
+// model.
+//
+// The exec model captures exactly the distinctions the paper's P5 finding
+// rests on:
+//   * `exec("/path/bin")` — execve of a binary: BPRM_CHECK on the binary.
+//   * `exec("/path/script.py")` where the file starts with `#!` — the
+//     kernel measures the *script* at BPRM_CHECK and the interpreter is
+//     measured when it is subsequently exec'd/mmap'd.
+//   * `exec_via_interpreter("/usr/bin/python3", "/path/script.py")` — the
+//     interpreter is the execve target (BPRM_CHECK on the interpreter);
+//     the script is just a file the interpreter open()s and read()s.
+//
+// Boot follows the measured-boot chain of a real platform: the firmware
+// measures itself into PCR 0, the bootloader binary (read from
+// /boot/grub/grubx64.efi) into PCR 4, the secure-boot key state into
+// PCR 7, and the booting kernel image into PCR 4 as well; IMA's
+// boot_aggregate — the first measurement-list entry — is then the hash of
+// PCRs 0-7, exactly as in the kernel's implementation. A tampered
+// bootloader or kernel image therefore surfaces as a changed quote even
+// before any IMA file measurement.
+//
+// Reboot semantics: processes die, loaded kernel modules unload, the TPM's
+// PCRs reset, the measured-boot chain re-extends, IMA starts a fresh
+// measurement list — and boot-time persistence (systemd units in
+// /etc/systemd/system, module autoload configs in /etc/modules-load.d)
+// re-executes, which is how "detectable upon reboot" outcomes arise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+#include "crypto/cert.hpp"
+#include "ima/ima.hpp"
+#include "tpm/tpm.hpp"
+#include "vfs/vfs.hpp"
+
+namespace cia::oskernel {
+
+/// One TCG-style boot measurement event: which PCR was extended, with
+/// what digest, and the human-readable description of the component.
+/// The event log lets a verifier *reconstruct* the expected PCR values
+/// and — crucially — see which component changed when they diverge.
+struct BootEvent {
+  int pcr = 0;
+  std::string description;
+  crypto::Digest digest{};
+};
+
+/// A running process record.
+struct Process {
+  int pid = 0;
+  std::string exe_path;
+  SimTime started_at = 0;
+  bool alive = true;
+};
+
+/// Construction parameters for a machine.
+struct MachineConfig {
+  std::string hostname = "node0";
+  std::uint64_t seed = 1;
+  std::string kernel_version = "5.15.0-101-generic";
+  /// Platform firmware version, measured into PCR 0 at boot.
+  std::string firmware_version = "edk2-2023.05";
+  ima::ImaPolicy ima_policy = ima::ImaPolicy::keylime_recommended();
+  ima::ImaConfig ima_config;
+  /// Standard pseudo/volatile filesystems are mounted unless disabled.
+  bool mount_standard_filesystems = true;
+};
+
+/// One simulated host with a TPM, running IMA.
+class Machine {
+ public:
+  Machine(MachineConfig config, const crypto::CertificateAuthority& tpm_ca,
+          SimClock* clock);
+
+  const std::string& hostname() const { return config_.hostname; }
+  const std::string& kernel_version() const { return config_.kernel_version; }
+  SimClock& clock() { return *clock_; }
+
+  vfs::Vfs& fs() { return fs_; }
+  const vfs::Vfs& fs() const { return fs_; }
+  tpm::Tpm2& tpm() { return tpm_; }
+  ima::Ima& ima() { return ima_; }
+  const ima::Ima& ima() const { return ima_; }
+
+  // ------------------------------------------------------------ processes
+
+  /// execve() a file. Requires the exec bit. Shebang files measure the
+  /// script itself (BPRM_CHECK) and then the interpreter.
+  Result<int> exec(const std::string& path);
+
+  /// Run `script` through `interpreter` (e.g. `python3 script.py`).
+  /// The script needs no exec bit; only the interpreter hits BPRM_CHECK.
+  /// The script's open is SEC-marked iff the interpreter is registered as
+  /// script-execution-control aware.
+  Result<int> exec_via_interpreter(const std::string& interpreter,
+                                   const std::string& script);
+
+  /// Dynamic libraries a process maps (FILE_MMAP measurements).
+  void mmap_library(const std::string& path);
+
+  void kill(int pid);
+  const std::vector<Process>& processes() const { return processes_; }
+
+  // -------------------------------------------------------- kernel modules
+
+  /// insmod: loads a .ko (MODULE_CHECK measurement). No exec bit needed.
+  Result<int> load_kernel_module(const std::string& path);
+  const std::vector<std::string>& loaded_modules() const { return modules_; }
+
+  // ------------------------------------------------------------ interpreters
+
+  /// Register an interpreter binary that participates in "script execution
+  /// control" (the P5 mitigation); its script opens are SEC-marked.
+  void register_sec_aware_interpreter(const std::string& path);
+
+  // --------------------------------------------------------------- reboot
+
+  /// Reboot: kill processes, unload modules, reset PCRs, restart IMA, and
+  /// replay boot-time persistence (systemd units, modules-load.d).
+  void reboot();
+
+  int boot_count() const { return boot_count_; }
+
+  /// A newly installed kernel takes effect at the next reboot (§III-C
+  /// "Handling Kernel Modules": it "will not run before rebooting").
+  void schedule_kernel(const std::string& version) { pending_kernel_ = version; }
+  const std::string& pending_kernel() const { return pending_kernel_; }
+
+  // ------------------------------------------------- persistence helpers
+
+  /// Install a systemd unit that executes `exe_path` at every boot.
+  Status install_systemd_unit(const std::string& unit_name,
+                              const std::string& exe_path);
+
+  /// Configure a kernel module to load at every boot.
+  Status install_module_autoload(const std::string& conf_name,
+                                 const std::string& module_path);
+
+  /// Enrolled secure-boot signing keys (their fingerprints extend PCR 7).
+  void enroll_secureboot_key(const std::string& fingerprint);
+
+  /// The TCG event log of the current boot (in extension order).
+  const std::vector<BootEvent>& boot_event_log() const {
+    return boot_event_log_;
+  }
+
+  /// Path of the first-stage bootloader measured into PCR 4.
+  static constexpr const char* kBootloaderPath = "/boot/grub/grubx64.efi";
+
+ private:
+  void boot();
+  void measured_boot();
+
+  MachineConfig config_;
+  SimClock* clock_;
+  vfs::Vfs fs_;
+  tpm::Tpm2 tpm_;
+  ima::Ima ima_;
+  std::vector<Process> processes_;
+  std::vector<std::string> modules_;
+  std::vector<std::string> sec_aware_interpreters_;
+  std::vector<std::string> secureboot_keys_;
+  std::vector<BootEvent> boot_event_log_;
+  std::string pending_kernel_;
+  int next_pid_ = 100;
+  int boot_count_ = 0;
+};
+
+}  // namespace cia::oskernel

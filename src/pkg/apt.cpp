@@ -1,0 +1,80 @@
+#include "pkg/apt.hpp"
+
+#include "common/log.hpp"
+#include "common/strutil.hpp"
+
+namespace cia::pkg {
+
+Status AptClient::provision(const std::map<std::string, Package>& index,
+                            const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    auto it = index.find(name);
+    if (it == index.end()) {
+      return err(Errc::kNotFound, "no such package: " + name);
+    }
+    if (Status s = install(it->second); !s.ok()) return s;
+  }
+  return Status::ok_status();
+}
+
+Status AptClient::install(const Package& pkg, UpgradeResult* result) {
+  auto& fs = machine_->fs();
+  for (const PackageFile& f : pkg.files) {
+    // dpkg unpacks to <path>.dpkg-new and renames over the target, so the
+    // installed file always carries a fresh inode.
+    if (fs.exists(f.path)) {
+      if (Status s = fs.unlink(f.path); !s.ok()) return s;
+    }
+    const std::string staged = f.path + ".dpkg-new";
+    if (Status s = fs.create_file(staged, f.content(pkg.name), f.executable,
+                                  f.size);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = fs.rename(staged, f.path); !s.ok()) return s;
+    if (signer_) {
+      if (Status s = fs.set_ima_xattr(f.path, signer_(pkg, f)); !s.ok()) {
+        return s;
+      }
+    }
+  }
+  dpkg_db_[pkg.name] = pkg.revision;
+  if (result) {
+    result->bytes_downloaded += pkg.download_size();
+    result->seconds += cost_.install_sec(pkg);
+  }
+  return Status::ok_status();
+}
+
+UpgradeResult AptClient::upgrade(const std::map<std::string, Package>& index) {
+  UpgradeResult result;
+  for (const auto& [name, revision] : dpkg_db_) {
+    auto it = index.find(name);
+    if (it == index.end() || it->second.revision <= revision) continue;
+    result.upgraded.push_back(name);
+  }
+  for (const std::string& name : result.upgraded) {
+    if (Status s = install(index.at(name), &result); !s.ok()) {
+      CIA_LOG_ERROR("apt", "failed to install " + name + ": " +
+                               s.error().to_string());
+    }
+  }
+  machine_->clock().advance(static_cast<SimTime>(result.seconds));
+  return result;
+}
+
+std::optional<UpgradeResult> UnattendedUpgrades::tick(SimTime now) {
+  if (!enabled_) return std::nullopt;
+  const int day = static_cast<int>(now / kDay);
+  if (day == last_run_day_ || now % kDay < daily_at_) return std::nullopt;
+  last_run_day_ = day;
+  UpgradeResult result = apt_->upgrade(archive_->index());
+  if (!result.upgraded.empty()) {
+    CIA_LOG_INFO("unattended-upgrades",
+                 strformat("day %d: upgraded %zu packages", day,
+                           result.upgraded.size()));
+  }
+  return result;
+}
+
+}  // namespace cia::pkg

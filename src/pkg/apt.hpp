@@ -1,0 +1,105 @@
+// The package client on an agent machine (apt/dpkg analogue) and the
+// unattended-upgrades daemon.
+//
+// Installing a package writes its files into the machine's VFS the way
+// dpkg does — unpack to a temp name, then rename over the target — which
+// means an updated file gets a *fresh inode* and IMA re-measures it on
+// next execution. That mechanism is what turns an unscheduled OS update
+// into a "hash mismatch" / "missing file in policy" false positive under
+// a static Keylime policy (§III-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "oskernel/machine.hpp"
+#include "pkg/archive.hpp"
+#include "pkg/cost_model.hpp"
+#include "pkg/package.hpp"
+
+namespace cia::pkg {
+
+/// Outcome of an apt upgrade run.
+struct UpgradeResult {
+  std::vector<std::string> upgraded;   // packages whose revision advanced
+  std::vector<std::string> installed;  // brand-new installs
+  std::uint64_t bytes_downloaded = 0;
+  double seconds = 0.0;  // virtual install time (charged to the clock)
+};
+
+/// apt + dpkg state for one machine.
+class AptClient {
+ public:
+  /// Produces the security.ima xattr for a file at install time (the
+  /// signature ships inside signed packages; Archive::sign_file models
+  /// the maintainer's build-time signing).
+  using FileSigner = std::function<Bytes(const Package&, const PackageFile&)>;
+
+  AptClient(oskernel::Machine* machine, CostModel cost)
+      : machine_(machine), cost_(cost) {}
+
+  /// Install security.ima xattrs from package signatures (IMA-appraised
+  /// fleets). Applies to subsequent installs.
+  void set_file_signer(FileSigner signer) { signer_ = std::move(signer); }
+
+  /// Initial provisioning: install `names` from `index` without charging
+  /// time (the machine image is assumed pre-baked).
+  Status provision(const std::map<std::string, Package>& index,
+                   const std::vector<std::string>& names);
+
+  /// `apt upgrade` against a package index (the local mirror or the
+  /// official archive): every installed package whose index revision is
+  /// newer gets reinstalled. Charges virtual time to the machine clock.
+  UpgradeResult upgrade(const std::map<std::string, Package>& index);
+
+  /// `apt install` one package (also used by kernel updates).
+  Status install(const Package& pkg, UpgradeResult* result = nullptr);
+
+  /// Installed name -> revision.
+  const std::map<std::string, std::uint32_t>& installed() const {
+    return dpkg_db_;
+  }
+
+  bool is_installed(const std::string& name) const {
+    return dpkg_db_.count(name) > 0;
+  }
+
+ private:
+  oskernel::Machine* machine_;
+  CostModel cost_;
+  FileSigner signer_;
+  std::map<std::string, std::uint32_t> dpkg_db_;
+};
+
+/// The unattended-upgrades daemon: runs `apt upgrade` from the *official*
+/// archive at a fixed daily hour, as stock Ubuntu does unless configured
+/// otherwise. This daemon is what breaks static policies in §III-B; the
+/// paper's scheme disables it in favour of operator-scheduled updates
+/// from the mirror.
+class UnattendedUpgrades {
+ public:
+  UnattendedUpgrades(AptClient* apt, const Archive* archive,
+                     SimTime daily_at = 6 * kHour)
+      : apt_(apt), archive_(archive), daily_at_(daily_at) {}
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Called as simulated time passes; fires at most once per day at the
+  /// configured hour. Returns the upgrade result if it ran.
+  std::optional<UpgradeResult> tick(SimTime now);
+
+ private:
+  AptClient* apt_;
+  const Archive* archive_;
+  SimTime daily_at_;
+  bool enabled_ = true;
+  int last_run_day_ = -1;
+};
+
+}  // namespace cia::pkg

@@ -1,0 +1,237 @@
+#include "pkg/archive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.hpp"
+
+namespace cia::pkg {
+
+namespace {
+
+/// A handful of real package names seed the pool so examples read
+/// naturally; the rest are synthetic.
+const char* kWellKnown[] = {
+    "bash",    "coreutils", "python3",  "openssl", "libc6",
+    "systemd", "curl",      "openssh",  "sudo",    "tar",
+    "gzip",    "vim",       "less",     "grep",    "findutils",
+};
+
+}  // namespace
+
+Archive::Archive(ArchiveConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      maintainer_(crypto::derive_keypair(
+          to_bytes(strformat("maintainer-%llu",
+                             static_cast<unsigned long long>(seed))),
+          "archive-maintainer")) {
+  // Base suite: well-known packages first (they take the hottest Zipf
+  // ranks, mimicking the frequently-patched core of a distribution).
+  for (const char* name : kWellKnown) {
+    if (update_pool_.size() >= config_.base_package_count) break;
+    index_.emplace(name, make_package(name, Suite::kMain));
+    update_pool_.push_back(name);
+  }
+  for (std::size_t i = update_pool_.size(); i < config_.base_package_count; ++i) {
+    const std::string name = strformat("pkg-%04zu", i);
+    index_.emplace(name, make_package(name, Suite::kMain));
+    update_pool_.push_back(name);
+  }
+  kernel_version_ = make_kernel_version(kernel_serial_);
+  add_kernel_packages(kernel_version_, Suite::kMain);
+}
+
+std::string Archive::make_kernel_version(int serial) const {
+  return strformat("5.15.0-%d-generic", serial);
+}
+
+void Archive::sign_manifest(Package& pkg) const {
+  if (!config_.sign_manifests) return;
+  pkg.manifest_signature = crypto::sign(maintainer_, pkg.manifest_tbs()).encode();
+}
+
+Package Archive::make_package(const std::string& name, Suite suite) {
+  Package pkg;
+  pkg.name = name;
+  pkg.revision = 1;
+  pkg.suite = suite;
+
+  const double r = rng_.uniform01();
+  if (r < config_.p_essential) {
+    pkg.priority = Priority::kEssential;
+  } else if (r < config_.p_essential + config_.p_required) {
+    pkg.priority = Priority::kRequired;
+  } else if (r < config_.p_essential + config_.p_required + config_.p_important) {
+    pkg.priority = Priority::kImportant;
+  } else if (r < config_.p_essential + config_.p_required + config_.p_important +
+                     config_.p_standard) {
+    pkg.priority = Priority::kStandard;
+  } else if (r < config_.p_essential + config_.p_required + config_.p_important +
+                     config_.p_standard + config_.p_optional) {
+    pkg.priority = Priority::kOptional;
+  } else {
+    pkg.priority = Priority::kExtra;
+  }
+
+  const auto count = static_cast<std::size_t>(std::clamp(
+      std::llround(rng_.lognormal(config_.files_mu, config_.files_sigma)),
+      static_cast<long long>(config_.files_min),
+      static_cast<long long>(config_.files_max)));
+  pkg.files.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    PackageFile f;
+    if (j == 0) {
+      f.path = "/usr/bin/" + name;
+      f.executable = true;
+    } else if (j == 1 && rng_.chance(0.3)) {
+      f.path = "/usr/sbin/" + name + "d";
+      f.executable = true;
+    } else {
+      f.path = strformat("/usr/lib/%s/lib%s-%zu.so", name.c_str(), name.c_str(), j);
+      f.executable = rng_.chance(config_.file_exec_prob);
+    }
+    f.size = static_cast<std::uint64_t>(std::max(
+        1.0, rng_.lognormal(config_.file_size_mu, config_.file_size_sigma)));
+    f.content_rev = 1;
+    pkg.files.push_back(std::move(f));
+  }
+  sign_manifest(pkg);
+  return pkg;
+}
+
+void Archive::add_kernel_packages(const std::string& kver, Suite suite) {
+  Package image;
+  image.name = "linux-image-" + kver;
+  image.suite = suite;
+  image.priority = Priority::kImportant;
+  image.kernel_version = kver;
+  PackageFile vmlinuz;
+  vmlinuz.path = "/boot/vmlinuz-" + kver;
+  vmlinuz.executable = true;
+  vmlinuz.size = 12 * 1024 * 1024;
+  vmlinuz.content_rev = 1;
+  image.files.push_back(vmlinuz);
+  sign_manifest(image);
+  index_.emplace(image.name, std::move(image));
+
+  Package modules;
+  modules.name = "linux-modules-" + kver;
+  modules.suite = suite;
+  modules.priority = Priority::kImportant;
+  modules.kernel_version = kver;
+  modules.files.reserve(config_.kernel_module_count);
+  for (std::size_t j = 0; j < config_.kernel_module_count; ++j) {
+    PackageFile mod;
+    mod.path = strformat("/lib/modules/%s/kernel/mod%03zu.ko", kver.c_str(), j);
+    mod.executable = true;  // kernel modules carry the exec bit on disk
+    mod.size = static_cast<std::uint64_t>(
+        std::max(1.0, rng_.lognormal(10.8, 0.8)));
+    mod.content_rev = 1;
+    modules.files.push_back(std::move(mod));
+  }
+  sign_manifest(modules);
+  index_.emplace(modules.name, std::move(modules));
+}
+
+void Archive::update_package(Package& pkg, Suite suite) {
+  ++pkg.revision;
+  pkg.suite = suite;
+  for (auto& f : pkg.files) {
+    if (rng_.chance(config_.file_rewrite_prob)) f.content_rev = pkg.revision;
+  }
+  if (rng_.chance(config_.add_file_prob)) {
+    PackageFile f;
+    f.path = strformat("/usr/lib/%s/lib%s-new%u.so", pkg.name.c_str(),
+                       pkg.name.c_str(), pkg.revision);
+    f.executable = true;
+    f.size = static_cast<std::uint64_t>(std::max(
+        1.0, rng_.lognormal(config_.file_size_mu, config_.file_size_sigma)));
+    f.content_rev = pkg.revision;
+    pkg.files.push_back(std::move(f));
+  }
+  sign_manifest(pkg);
+}
+
+std::string Archive::pick_zipf_package() {
+  if (zipf_cumulative_.size() != update_pool_.size()) {
+    zipf_cumulative_.clear();
+    zipf_cumulative_.reserve(update_pool_.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < update_pool_.size(); ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), config_.zipf_s);
+      zipf_cumulative_.push_back(sum);
+    }
+  }
+  const double target = rng_.uniform01() * zipf_cumulative_.back();
+  const auto it = std::lower_bound(zipf_cumulative_.begin(),
+                                   zipf_cumulative_.end(), target);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - zipf_cumulative_.begin());
+  return update_pool_[std::min(idx, update_pool_.size() - 1)];
+}
+
+ReleaseEvent Archive::release_day(int day) {
+  ReleaseEvent ev;
+  ev.day = day;
+  // Publication between 08:00 and 20:00.
+  ev.release_time = static_cast<SimTime>(day) * kDay + 8 * kHour +
+                    static_cast<SimTime>(rng_.uniform(12 * kHour));
+
+  const auto count = static_cast<std::size_t>(std::max(
+      0LL, std::llround(rng_.lognormal(config_.daily_updates_mu,
+                                       config_.daily_updates_sigma))));
+  for (std::size_t i = 0; i < count; ++i) {
+    // Security and Updates dominate post-release churn.
+    const Suite suite = rng_.chance(0.35) ? Suite::kSecurity : Suite::kUpdates;
+    if (rng_.chance(config_.new_package_prob)) {
+      const std::string name = strformat("pkg-new-%04d", next_new_package_++);
+      index_.emplace(name, make_package(name, suite));
+      update_pool_.push_back(name);  // coldest rank
+      ev.added.push_back(name);
+      continue;
+    }
+    const std::string name = pick_zipf_package();
+    // A package already updated today coalesces into the same release.
+    if (std::find(ev.updated.begin(), ev.updated.end(), name) !=
+        ev.updated.end()) {
+      continue;
+    }
+    update_package(index_.at(name), suite);
+    ev.updated.push_back(name);
+  }
+
+  if (rng_.chance(config_.kernel_release_prob)) {
+    ev.kernel_release = true;
+    kernel_version_ = make_kernel_version(++kernel_serial_);
+    ev.new_kernel_version = kernel_version_;
+    add_kernel_packages(kernel_version_, Suite::kUpdates);
+    ev.added.push_back("linux-image-" + kernel_version_);
+    ev.added.push_back("linux-modules-" + kernel_version_);
+  }
+
+  history_.push_back(ev);
+  return ev;
+}
+
+const Package* Archive::find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+Bytes Archive::sign_file(const Package& pkg, const PackageFile& file) const {
+  return crypto::sign(maintainer_,
+                      crypto::digest_bytes(file.content_hash(pkg.name)))
+      .encode();
+}
+
+std::size_t Archive::total_executable_files() const {
+  std::size_t n = 0;
+  for (const auto& [name, pkg] : index_) {
+    (void)name;
+    n += pkg.executable_count();
+  }
+  return n;
+}
+
+}  // namespace cia::pkg

@@ -1,0 +1,138 @@
+// The upstream OS distribution archive and its release stream.
+//
+// The archive plays the role of archive.ubuntu.com: it holds the current
+// index of every package in the Main/Security/Updates suites and releases
+// a stochastic stream of package updates, one batch per day, drawn from a
+// seeded generator whose parameters are calibrated so the daily stream
+// statistics match the paper's measurements (Fig. 4: mean 16.5 updated
+// packages/day with a heavy tail, 0.9 high-priority; Fig. 5: ~1.3k policy
+// file entries per daily update).
+//
+// Update selection is Zipf-weighted: a small set of hot packages receives
+// a disproportionate share of updates. This is what makes *weekly* update
+// batches contain fewer distinct packages than 7x the daily count
+// (Table I: 79 vs 7x16.5 = 115), because repeat updates to the same
+// package within the window coalesce.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "crypto/schnorr.hpp"
+#include "pkg/package.hpp"
+
+namespace cia::pkg {
+
+/// Tunable parameters of the synthetic distribution.
+struct ArchiveConfig {
+  std::size_t base_package_count = 1500;
+
+  // Files per package: round(lognormal(mu, sigma)) clamped to [min, max].
+  double files_mu = 3.84;
+  double files_sigma = 1.0;
+  std::size_t files_min = 2;
+  std::size_t files_max = 1200;
+  double file_exec_prob = 0.8;
+
+  // File sizes in bytes: lognormal.
+  double file_size_mu = 10.6;
+  double file_size_sigma = 1.3;
+
+  // Updated packages per release day: round(lognormal(mu, sigma)). The mu
+  // is set above ln(16.5) - sigma^2/2 because same-day repeat draws of hot
+  // packages coalesce; the post-coalescing mean matches Fig. 4's 16.5.
+  double daily_updates_mu = 2.50;
+  double daily_updates_sigma = 1.136;
+
+  // Zipf exponent for picking which packages update.
+  double zipf_s = 1.0;
+
+  // Probability an update event introduces a brand-new package.
+  double new_package_prob = 0.02;
+  // Probability an updated package gains a new file.
+  double add_file_prob = 0.12;
+  // Probability an individual file is rewritten by its package's update.
+  double file_rewrite_prob = 0.9;
+
+  // Kernel releases: a new kernel version (image + modules packages)
+  // appears with this per-day probability.
+  double kernel_release_prob = 1.0 / 18.0;
+  std::size_t kernel_module_count = 350;
+
+  /// Sign every package manifest with the distribution maintainer key
+  /// (the §V ostree-style provenance improvement).
+  bool sign_manifests = true;
+
+  // Priority mix (must sum to <= 1; remainder is Extra).
+  double p_essential = 0.015;
+  double p_required = 0.015;
+  double p_important = 0.010;
+  double p_standard = 0.015;
+  double p_optional = 0.80;
+};
+
+/// What one release day produced.
+struct ReleaseEvent {
+  int day = 0;
+  SimTime release_time = 0;           // absolute sim time of publication
+  std::vector<std::string> updated;   // existing packages that changed
+  std::vector<std::string> added;     // brand-new packages
+  bool kernel_release = false;
+  std::string new_kernel_version;
+};
+
+class Archive {
+ public:
+  Archive(ArchiveConfig config, std::uint64_t seed);
+
+  /// Current package index (latest version of everything).
+  const std::map<std::string, Package>& index() const { return index_; }
+
+  const Package* find(const std::string& name) const;
+
+  /// Release day `day`'s update batch (idempotent per day; call once).
+  /// Publication lands at a random daytime hour of that day.
+  ReleaseEvent release_day(int day);
+
+  const std::vector<ReleaseEvent>& history() const { return history_; }
+
+  /// The newest released kernel version.
+  const std::string& current_kernel_version() const { return kernel_version_; }
+
+  /// Total executable files across the index (the size of a full policy).
+  std::size_t total_executable_files() const;
+
+  const ArchiveConfig& config() const { return config_; }
+
+  /// The distribution maintainer's manifest-signing key.
+  const crypto::PublicKey& maintainer_key() const { return maintainer_.pub; }
+
+  /// Per-file IMA signature (security.ima content) by the maintainer —
+  /// what a signed distribution would ship inside each package so IMA
+  /// appraisal can enforce provenance on the running fleet.
+  Bytes sign_file(const Package& pkg, const PackageFile& file) const;
+
+ private:
+  std::string make_kernel_version(int serial) const;
+  void sign_manifest(Package& pkg) const;
+  Package make_package(const std::string& name, Suite suite);
+  void add_kernel_packages(const std::string& kver, Suite suite);
+  void update_package(Package& pkg, Suite suite);
+  std::string pick_zipf_package();
+
+  ArchiveConfig config_;
+  Rng rng_;
+  crypto::KeyPair maintainer_;
+  std::map<std::string, Package> index_;
+  std::vector<std::string> update_pool_;  // rank order for Zipf selection
+  std::vector<double> zipf_cumulative_;   // rebuilt when the pool grows
+  std::vector<ReleaseEvent> history_;
+  std::string kernel_version_;
+  int kernel_serial_ = 101;
+  int next_new_package_ = 0;
+};
+
+}  // namespace cia::pkg

@@ -1,0 +1,24 @@
+#include "pkg/cost_model.hpp"
+
+namespace cia::pkg {
+
+double CostModel::package_processing_sec(const Package& pkg) const {
+  double total = per_package_overhead_sec;
+  total += static_cast<double>(pkg.download_size()) / download_bytes_per_sec;
+  std::uint64_t payload = 0;
+  for (const auto& f : pkg.files) payload += f.size;
+  total += static_cast<double>(payload) / unpack_bytes_per_sec;
+  total += static_cast<double>(pkg.executable_bytes()) / hash_bytes_per_sec;
+  return total;
+}
+
+double CostModel::install_sec(const Package& pkg) const {
+  double total = per_package_overhead_sec;
+  total += static_cast<double>(pkg.download_size()) / download_bytes_per_sec;
+  std::uint64_t payload = 0;
+  for (const auto& f : pkg.files) payload += f.size;
+  total += static_cast<double>(payload) / unpack_bytes_per_sec;
+  return total;
+}
+
+}  // namespace cia::pkg

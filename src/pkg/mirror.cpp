@@ -1,0 +1,15 @@
+#include "pkg/mirror.hpp"
+
+namespace cia::pkg {
+
+void Mirror::sync(SimTime now) {
+  snapshot_ = upstream_->index();
+  last_sync_ = now;
+}
+
+const Package* Mirror::find(const std::string& name) const {
+  auto it = snapshot_.find(name);
+  return it == snapshot_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cia::pkg

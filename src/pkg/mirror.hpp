@@ -1,0 +1,41 @@
+// A local mirror of the OS distribution archive.
+//
+// The paper's dynamic-policy scheme hinges on a data-center-controlled
+// mirror: the mirror syncs from upstream on a schedule, the policy
+// generator measures *from the mirror*, and agent machines update *from
+// the mirror*. Anything released upstream after the last sync is
+// invisible until the next sync — the root cause of the paper's one
+// operator-error false positive (§III-D), where a machine was updated
+// from the official archive directly.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/sim_clock.hpp"
+#include "pkg/archive.hpp"
+
+namespace cia::pkg {
+
+class Mirror {
+ public:
+  explicit Mirror(const Archive* upstream) : upstream_(upstream) {}
+
+  /// Snapshot the upstream index (rsync of Main/Security/Updates).
+  void sync(SimTime now);
+
+  bool has_synced() const { return last_sync_ >= 0; }
+  SimTime last_sync() const { return last_sync_; }
+
+  /// The mirrored index (as of the last sync). Empty before first sync.
+  const std::map<std::string, Package>& index() const { return snapshot_; }
+
+  const Package* find(const std::string& name) const;
+
+ private:
+  const Archive* upstream_;
+  std::map<std::string, Package> snapshot_;
+  SimTime last_sync_ = -1;
+};
+
+}  // namespace cia::pkg

@@ -1,0 +1,89 @@
+#include "pkg/package.hpp"
+
+#include "common/strutil.hpp"
+
+namespace cia::pkg {
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kEssential: return "Essential";
+    case Priority::kRequired: return "Required";
+    case Priority::kImportant: return "Important";
+    case Priority::kStandard: return "Standard";
+    case Priority::kOptional: return "Optional";
+    case Priority::kExtra: return "Extra";
+  }
+  return "?";
+}
+
+bool is_high_priority(Priority p) {
+  switch (p) {
+    case Priority::kEssential:
+    case Priority::kRequired:
+    case Priority::kImportant:
+    case Priority::kStandard:
+      return true;
+    case Priority::kOptional:
+    case Priority::kExtra:
+      return false;
+  }
+  return false;
+}
+
+const char* suite_name(Suite s) {
+  switch (s) {
+    case Suite::kMain: return "Main";
+    case Suite::kSecurity: return "Security";
+    case Suite::kUpdates: return "Updates";
+  }
+  return "?";
+}
+
+Bytes PackageFile::content(const std::string& package_name) const {
+  return to_bytes(strformat("pkg:%s:%s:r%u", package_name.c_str(), path.c_str(),
+                            content_rev));
+}
+
+crypto::Digest PackageFile::content_hash(const std::string& package_name) const {
+  return crypto::sha256(content(package_name));
+}
+
+std::string Package::version_string() const {
+  return strformat("1.%u-ubuntu1", revision);
+}
+
+Bytes Package::manifest_tbs() const {
+  Bytes out = to_bytes("manifest:" + name + ":" + version_string() + "\n");
+  for (const auto& f : files) {
+    append(out, to_bytes(strformat("%s %c %s\n", f.path.c_str(),
+                                   f.executable ? 'x' : '-',
+                                   crypto::digest_hex(f.content_hash(name))
+                                       .c_str())));
+  }
+  return out;
+}
+
+std::size_t Package::executable_count() const {
+  std::size_t n = 0;
+  for (const auto& f : files) {
+    if (f.executable) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Package::executable_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& f : files) {
+    if (f.executable) n += f.size;
+  }
+  return n;
+}
+
+std::uint64_t Package::download_size() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.size;
+  // deb payloads compress roughly 3:1 for mixed binary content.
+  return total / 3 + 1024;
+}
+
+}  // namespace cia::pkg

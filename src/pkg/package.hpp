@@ -1,0 +1,91 @@
+// Package model for the simulated OS distribution.
+//
+// Mirrors the pieces of Debian/Ubuntu packaging the paper's dynamic
+// policy generator consumes: package name/version/revision, the priority
+// field (Essential..Extra), the suite a release lands in (Main, Security,
+// Updates), and the file manifest with executable bits and sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cia::pkg {
+
+/// Debian priority levels. The paper groups Essential/Required/Important/
+/// Standard as "high-priority" and Optional/Extra as "low-priority".
+enum class Priority {
+  kEssential,
+  kRequired,
+  kImportant,
+  kStandard,
+  kOptional,
+  kExtra,
+};
+
+const char* priority_name(Priority p);
+
+/// High-priority per the paper's grouping.
+bool is_high_priority(Priority p);
+
+/// Which sub-repository (suite) a package release lands in.
+enum class Suite { kMain, kSecurity, kUpdates };
+
+const char* suite_name(Suite s);
+
+/// One file shipped by a package.
+struct PackageFile {
+  std::string path;        // absolute install path
+  bool executable = false;
+  std::uint64_t size = 0;  // on-disk size in bytes
+  std::uint32_t content_rev = 0;  // bumps when an update rewrites the file
+
+  /// Deterministic simulated file content: unique per (package, path,
+  /// content revision), so hashes change exactly when updates rewrite.
+  Bytes content(const std::string& package_name) const;
+
+  /// SHA-256 of content().
+  crypto::Digest content_hash(const std::string& package_name) const;
+};
+
+/// A package at a specific version.
+struct Package {
+  std::string name;
+  std::uint32_t revision = 1;  // monotonically increasing
+  Priority priority = Priority::kOptional;
+  Suite suite = Suite::kMain;
+  std::vector<PackageFile> files;
+
+  /// Maintainer signature over manifest_tbs() (the §V "ostree-style"
+  /// improvement: per-package file hashes signed at build time, so policy
+  /// generators can verify provenance instead of trusting their own
+  /// download path). Empty when the archive does not sign.
+  Bytes manifest_signature;
+
+  /// Kernel-module packages carry the kernel version they belong to
+  /// (e.g. linux-modules-5.15.0-101); the policy generator treats them
+  /// specially (§III-C "Handling Kernel Modules").
+  std::string kernel_version;
+
+  std::string version_string() const;
+
+  /// The to-be-signed manifest: name, revision, and every file's path,
+  /// mode, and content hash.
+  Bytes manifest_tbs() const;
+
+  /// Number of executable files.
+  std::size_t executable_count() const;
+
+  /// Total bytes of executable payload (what the generator must hash).
+  std::uint64_t executable_bytes() const;
+
+  /// Compressed download size (approximated as a fixed ratio of payload).
+  std::uint64_t download_size() const;
+
+  bool is_kernel_modules() const { return !kernel_version.empty(); }
+};
+
+}  // namespace cia::pkg

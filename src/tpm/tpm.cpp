@@ -1,0 +1,130 @@
+#include "tpm/tpm.hpp"
+
+#include <cassert>
+
+#include "crypto/hmac.hpp"
+
+namespace cia::tpm {
+
+namespace {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// KDF the ECDH shared point into a 32-byte key.
+crypto::Digest ecdh_kdf(const crypto::Point& shared, const std::string& ak_name) {
+  return crypto::kdf(crypto::encode_point(shared), "credential:" + ak_name);
+}
+
+}  // namespace
+
+Bytes Quote::attested_message() const {
+  Bytes msg = to_bytes("TPMS_ATTEST/quote:");
+  append(msg, to_bytes(device_id));
+  append(msg, nonce);
+  // Hash the selected PCR values into a single digest, as real quotes do.
+  crypto::Sha256 ctx;
+  for (std::size_t i = 0; i < pcr_indices.size(); ++i) {
+    Bytes idx;
+    put_u32(idx, static_cast<std::uint32_t>(pcr_indices[i]));
+    ctx.update(idx);
+    ctx.update(pcr_values[i].data(), pcr_values[i].size());
+  }
+  const crypto::Digest pcr_digest = ctx.finish();
+  msg.insert(msg.end(), pcr_digest.begin(), pcr_digest.end());
+  return msg;
+}
+
+bool Quote::verify(const crypto::PublicKey& ak_pub) const {
+  if (pcr_indices.size() != pcr_values.size()) return false;
+  return crypto::verify(ak_pub, attested_message(), signature);
+}
+
+Tpm2::Tpm2(std::string device_id, const Bytes& seed,
+           const crypto::CertificateAuthority& manufacturer)
+    : device_id_(std::move(device_id)),
+      ek_(crypto::derive_keypair(seed, "ek:" + device_id_)),
+      ak_(crypto::derive_keypair(seed, "ak:" + device_id_)),
+      ek_cert_(manufacturer.issue("tpm:ek:" + device_id_, ek_.pub, 0,
+                                  /*not_after=*/kDay * 365 * 20)) {
+  reset();
+}
+
+void Tpm2::extend(int pcr, const crypto::Digest& digest) {
+  assert(pcr >= 0 && pcr < kNumPcrs);
+  crypto::Sha256 ctx;
+  ctx.update(pcrs_[static_cast<std::size_t>(pcr)].data(), crypto::kSha256Size);
+  ctx.update(digest.data(), digest.size());
+  pcrs_[static_cast<std::size_t>(pcr)] = ctx.finish();
+}
+
+crypto::Digest Tpm2::pcr_value(int pcr) const {
+  assert(pcr >= 0 && pcr < kNumPcrs);
+  return pcrs_[static_cast<std::size_t>(pcr)];
+}
+
+void Tpm2::reset() {
+  for (auto& p : pcrs_) p = crypto::zero_digest();
+}
+
+std::string Tpm2::ak_name() const {
+  return crypto::digest_hex(crypto::sha256(ak_.pub.encode()));
+}
+
+Quote Tpm2::quote(const Bytes& nonce, const std::vector<int>& pcr_indices) const {
+  Quote q;
+  q.device_id = device_id_;
+  q.nonce = nonce;
+  q.pcr_indices = pcr_indices;
+  for (int idx : pcr_indices) q.pcr_values.push_back(pcr_value(idx));
+  q.signature = crypto::sign(ak_, q.attested_message());
+  return q;
+}
+
+Result<Bytes> Tpm2::activate_credential(const CredentialBlob& blob) const {
+  if (blob.ak_name != ak_name()) {
+    return err(Errc::kCryptoFailure, "credential bound to a different AK");
+  }
+  auto eph = crypto::decode_point(blob.ephemeral_pub);
+  if (!eph || eph->infinity) {
+    return err(Errc::kCryptoFailure, "bad ephemeral key");
+  }
+  const crypto::Point shared = crypto::scalar_mul(ek_.secret, *eph);
+  const crypto::Digest key = ecdh_kdf(shared, blob.ak_name);
+  // Check the MAC before decrypting.
+  const crypto::Digest expect_mac =
+      crypto::hmac_sha256(crypto::digest_bytes(key), blob.encrypted);
+  if (Bytes(expect_mac.begin(), expect_mac.end()) != blob.mac) {
+    return err(Errc::kCryptoFailure, "credential MAC mismatch (wrong EK?)");
+  }
+  Bytes secret(blob.encrypted.size());
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    secret[i] = blob.encrypted[i] ^ key[i % key.size()];
+  }
+  return secret;
+}
+
+CredentialBlob make_credential(const crypto::PublicKey& ek_pub,
+                               const std::string& ak_name, const Bytes& secret,
+                               const Bytes& entropy) {
+  assert(secret.size() <= crypto::kSha256Size &&
+         "credential secrets are at most one keystream block");
+  const crypto::KeyPair eph = crypto::derive_keypair(entropy, "make-credential");
+  const crypto::Point shared = crypto::scalar_mul(eph.secret, ek_pub.point);
+  const crypto::Digest key = ecdh_kdf(shared, ak_name);
+
+  CredentialBlob blob;
+  blob.ak_name = ak_name;
+  blob.ephemeral_pub = eph.pub.encode();
+  blob.encrypted.resize(secret.size());
+  for (std::size_t i = 0; i < secret.size(); ++i) {
+    blob.encrypted[i] = secret[i] ^ key[i % key.size()];
+  }
+  const crypto::Digest mac =
+      crypto::hmac_sha256(crypto::digest_bytes(key), blob.encrypted);
+  blob.mac = Bytes(mac.begin(), mac.end());
+  return blob;
+}
+
+}  // namespace cia::tpm

@@ -1,0 +1,112 @@
+// A software TPM 2.0 with the features continuous attestation relies on:
+//
+//   * a SHA-256 PCR bank (24 registers) with extend/read/reset;
+//   * an endorsement key (EK) certified by a manufacturer CA — the
+//     hardware root of trust;
+//   * an attestation key (AK) used to sign quotes;
+//   * TPM2_Quote: a signed statement binding a verifier nonce to the
+//     current values of selected PCRs;
+//   * credential activation (TPM2_MakeCredential / ActivateCredential):
+//     proof that the AK lives in the same TPM as the certified EK, using
+//     ECDH against the EK.
+//
+// PCRs reset on machine reboot, exactly like a real platform reset.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "crypto/cert.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cia::tpm {
+
+constexpr int kNumPcrs = 24;
+constexpr int kImaPcr = 10;  // the PCR IMA extends
+
+/// A signed TPM quote over selected PCRs.
+struct Quote {
+  std::string device_id;
+  Bytes nonce;
+  std::vector<int> pcr_indices;
+  std::vector<crypto::Digest> pcr_values;
+  crypto::Signature signature;  // by the AK, over attested_message()
+
+  /// The byte string the AK signs (TPMS_ATTEST analogue).
+  Bytes attested_message() const;
+
+  /// Verify the signature against an AK public key. Does not (cannot)
+  /// check freshness — the caller compares the nonce.
+  bool verify(const crypto::PublicKey& ak_pub) const;
+};
+
+/// An encrypted credential produced by make_credential(): only the TPM
+/// holding the EK private key can recover `secret`.
+struct CredentialBlob {
+  Bytes ephemeral_pub;   // ECDH ephemeral public key (64 bytes)
+  Bytes encrypted;       // secret XOR KDF(shared point), plus MAC
+  Bytes mac;             // HMAC over encrypted, keyed by the KDF output
+  std::string ak_name;   // binds the credential to a specific AK
+};
+
+/// Software TPM device.
+class Tpm2 {
+ public:
+  /// `seed` makes the EK/AK deterministic; `manufacturer` signs the EK
+  /// certificate at "fabrication" time.
+  Tpm2(std::string device_id, const Bytes& seed,
+       const crypto::CertificateAuthority& manufacturer);
+
+  const std::string& device_id() const { return device_id_; }
+
+  // --------------------------------------------------------------- PCRs
+
+  /// Extend: pcr = SHA256(pcr || digest).
+  void extend(int pcr, const crypto::Digest& digest);
+
+  crypto::Digest pcr_value(int pcr) const;
+
+  /// Platform reset (reboot): all PCRs return to zero.
+  void reset();
+
+  // --------------------------------------------------------------- keys
+
+  const crypto::Certificate& ek_certificate() const { return ek_cert_; }
+  const crypto::PublicKey& ek_public() const { return ek_.pub; }
+  const crypto::PublicKey& ak_public() const { return ak_.pub; }
+
+  /// The AK "name" (hash of its public part), as used in credential
+  /// activation.
+  std::string ak_name() const;
+
+  // -------------------------------------------------------------- quote
+
+  /// Produce a quote over `pcr_indices` bound to `nonce`.
+  Quote quote(const Bytes& nonce, const std::vector<int>& pcr_indices) const;
+
+  // ------------------------------------------------- credential activation
+
+  /// TPM2_ActivateCredential: recover the secret from a blob addressed to
+  /// this TPM's EK. Fails if the blob was made for a different EK or a
+  /// different AK name.
+  Result<Bytes> activate_credential(const CredentialBlob& blob) const;
+
+ private:
+  std::string device_id_;
+  crypto::KeyPair ek_;
+  crypto::KeyPair ak_;
+  crypto::Certificate ek_cert_;
+  std::array<crypto::Digest, kNumPcrs> pcrs_;
+};
+
+/// TPM2_MakeCredential (runs on the *verifier* side): wrap `secret` so
+/// only the TPM holding `ek_pub` can recover it, bound to `ak_name`.
+/// `entropy` supplies the ephemeral key material (deterministic testing).
+CredentialBlob make_credential(const crypto::PublicKey& ek_pub,
+                               const std::string& ak_name, const Bytes& secret,
+                               const Bytes& entropy);
+
+}  // namespace cia::tpm

@@ -1,0 +1,361 @@
+#include "vfs/vfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/strutil.hpp"
+
+namespace cia::vfs {
+
+std::uint32_t fs_magic(FsType type) {
+  switch (type) {
+    case FsType::kExt4: return 0xEF53;
+    case FsType::kTmpfs: return 0x01021994;
+    case FsType::kProcfs: return 0x9fa0;
+    case FsType::kSysfs: return 0x62656572;
+    case FsType::kDebugfs: return 0x64626720;
+    case FsType::kRamfs: return 0x858458f6;
+    case FsType::kSecurityfs: return 0x73636673;
+    case FsType::kOverlayfs: return 0x794c7630;
+    case FsType::kSquashfs: return 0x73717368;
+  }
+  return 0;
+}
+
+const char* fs_type_name(FsType type) {
+  switch (type) {
+    case FsType::kExt4: return "ext4";
+    case FsType::kTmpfs: return "tmpfs";
+    case FsType::kProcfs: return "procfs";
+    case FsType::kSysfs: return "sysfs";
+    case FsType::kDebugfs: return "debugfs";
+    case FsType::kRamfs: return "ramfs";
+    case FsType::kSecurityfs: return "securityfs";
+    case FsType::kOverlayfs: return "overlayfs";
+    case FsType::kSquashfs: return "squashfs";
+  }
+  return "?";
+}
+
+Vfs::Vfs() {
+  FsInstance root;
+  root.mount = Mount{"/", FsType::kExt4, "fs-root-0", false};
+  fses_.push_back(root);
+  Node root_dir;
+  root_dir.is_dir = true;
+  nodes_["/"] = root_dir;
+}
+
+bool Vfs::valid_abs_path(const std::string& path) {
+  if (path.empty() || path[0] != '/') return false;
+  if (path.size() > 1 && path.back() == '/') return false;
+  if (path.find("//") != std::string::npos) return false;
+  return true;
+}
+
+std::string Vfs::parent_of(const std::string& path) {
+  const std::size_t pos = path.rfind('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::size_t Vfs::mount_index(const std::string& path) const {
+  std::size_t best = 0;
+  std::size_t best_len = 0;
+  for (std::size_t i = 0; i < fses_.size(); ++i) {
+    const std::string& mp = fses_[i].mount.mount_point;
+    const bool matches =
+        mp == "/" || path == mp ||
+        (starts_with(path, mp) && path.size() > mp.size() &&
+         path[mp.size()] == '/');
+    if (matches && mp.size() >= best_len) {
+      best = i;
+      best_len = mp.size();
+    }
+  }
+  return best;
+}
+
+const Mount& Vfs::mount_of(const std::string& path) const {
+  return fses_[mount_index(path)].mount;
+}
+
+std::vector<Mount> Vfs::mounts() const {
+  std::vector<Mount> out;
+  out.reserve(fses_.size());
+  for (const auto& fs : fses_) out.push_back(fs.mount);
+  return out;
+}
+
+std::string Vfs::ima_visible_path(const std::string& path) const {
+  const Mount& m = mount_of(path);
+  if (!m.namespace_truncated || m.mount_point == "/") return path;
+  if (path == m.mount_point) return "/";
+  return path.substr(m.mount_point.size());
+}
+
+Status Vfs::mount(const std::string& path, FsType type,
+                  bool namespace_truncated) {
+  if (!valid_abs_path(path) || path == "/") {
+    return err(Errc::kInvalidArgument, "bad mount point: " + path);
+  }
+  for (const auto& fs : fses_) {
+    if (fs.mount.mount_point == path) {
+      return err(Errc::kAlreadyExists, "already mounted: " + path);
+    }
+  }
+  if (Status s = mkdir_p(path); !s.ok()) return s;
+  FsInstance inst;
+  inst.mount = Mount{path, type, strformat("fs-%s-%llu", fs_type_name(type),
+                                           static_cast<unsigned long long>(
+                                               ++uuid_counter_)),
+                     namespace_truncated};
+  fses_.push_back(inst);
+  return Status::ok_status();
+}
+
+Status Vfs::unmount(const std::string& path) {
+  for (std::size_t i = 1; i < fses_.size(); ++i) {
+    if (fses_[i].mount.mount_point == path) {
+      // Drop every node strictly under the mount point.
+      for (auto it = nodes_.begin(); it != nodes_.end();) {
+        if (it->first.size() > path.size() && starts_with(it->first, path) &&
+            it->first[path.size()] == '/') {
+          it = nodes_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      fses_.erase(fses_.begin() + static_cast<std::ptrdiff_t>(i));
+      return Status::ok_status();
+    }
+  }
+  return err(Errc::kNotFound, "not mounted: " + path);
+}
+
+Status Vfs::mkdir_p(const std::string& path) {
+  if (!valid_abs_path(path)) {
+    return err(Errc::kInvalidArgument, "bad path: " + path);
+  }
+  if (path == "/") return Status::ok_status();
+  const auto parts = split(path.substr(1), '/');
+  std::string cur;
+  for (const auto& part : parts) {
+    cur += "/" + part;
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) {
+      Node dir;
+      dir.is_dir = true;
+      nodes_[cur] = dir;
+    } else if (!it->second.is_dir) {
+      return err(Errc::kAlreadyExists, "file in the way: " + cur);
+    }
+  }
+  return Status::ok_status();
+}
+
+Status Vfs::create_file(const std::string& path, const Bytes& content,
+                        bool executable, std::uint64_t size) {
+  if (!valid_abs_path(path)) {
+    return err(Errc::kInvalidArgument, "bad path: " + path);
+  }
+  if (nodes_.count(path)) {
+    return err(Errc::kAlreadyExists, "exists: " + path);
+  }
+  if (Status s = mkdir_p(parent_of(path)); !s.ok()) return s;
+  FsInstance& fs = fses_[mount_index(path)];
+  auto data = std::make_shared<FileData>();
+  data->id = FileIdentity{fs.mount.uuid, fs.next_inode++};
+  data->executable = executable;
+  data->size = size ? size : content.size();
+  data->content = content;
+  Node node;
+  node.is_dir = false;
+  node.data = std::move(data);
+  nodes_[path] = std::move(node);
+  return Status::ok_status();
+}
+
+Status Vfs::write_file(const std::string& path, const Bytes& content,
+                       std::optional<std::uint64_t> size) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + path);
+  }
+  it->second.data->content = content;
+  it->second.data->size = size.value_or(content.size());
+  return Status::ok_status();
+}
+
+Status Vfs::chmod_exec(const std::string& path, bool executable) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + path);
+  }
+  it->second.data->executable = executable;
+  return Status::ok_status();
+}
+
+Status Vfs::set_ima_xattr(const std::string& path, const Bytes& value) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + path);
+  }
+  it->second.data->ima_xattr = value;
+  return Status::ok_status();
+}
+
+Result<Bytes> Vfs::ima_xattr(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + path);
+  }
+  return it->second.data->ima_xattr;
+}
+
+Status Vfs::rename(const std::string& src, const std::string& dst) {
+  auto it = nodes_.find(src);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + src);
+  }
+  if (!valid_abs_path(dst)) {
+    return err(Errc::kInvalidArgument, "bad path: " + dst);
+  }
+  if (nodes_.count(dst)) {
+    return err(Errc::kAlreadyExists, "destination exists: " + dst);
+  }
+  if (Status s = mkdir_p(parent_of(dst)); !s.ok()) return s;
+
+  Node node = it->second;
+  const std::size_t src_fs = mount_index(src);
+  const std::size_t dst_fs = mount_index(dst);
+  if (src_fs != dst_fs) {
+    // Cross-filesystem move: the data is copied into a fresh inode, so the
+    // file's identity changes (IMA would re-measure it). The copy also
+    // detaches from any hard links left behind.
+    FsInstance& fs = fses_[dst_fs];
+    auto copy = std::make_shared<FileData>(*node.data);
+    copy->id = FileIdentity{fs.mount.uuid, fs.next_inode++};
+    node.data = std::move(copy);
+  }
+  nodes_.erase(it);
+  nodes_[dst] = std::move(node);
+  return Status::ok_status();
+}
+
+Status Vfs::link(const std::string& src, const std::string& dst) {
+  auto it = nodes_.find(src);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + src);
+  }
+  if (!valid_abs_path(dst)) {
+    return err(Errc::kInvalidArgument, "bad path: " + dst);
+  }
+  if (nodes_.count(dst)) {
+    return err(Errc::kAlreadyExists, "destination exists: " + dst);
+  }
+  if (mount_index(src) != mount_index(dst)) {
+    return err(Errc::kInvalidArgument,
+               "link across filesystems (EXDEV): " + src + " -> " + dst);
+  }
+  if (Status s = mkdir_p(parent_of(dst)); !s.ok()) return s;
+  Node node;
+  node.is_dir = false;
+  node.data = it->second.data;  // same inode
+  nodes_[dst] = std::move(node);
+  return Status::ok_status();
+}
+
+Result<std::size_t> Vfs::link_count(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + path);
+  }
+  // The shared_ptr use count is exactly the number of directory entries.
+  return static_cast<std::size_t>(it->second.data.use_count());
+}
+
+Status Vfs::unlink(const std::string& path) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + path);
+  }
+  nodes_.erase(it);
+  return Status::ok_status();
+}
+
+Status Vfs::remove_tree(const std::string& path) {
+  if (!exists(path)) return err(Errc::kNotFound, "no such path: " + path);
+  for (auto it = nodes_.begin(); it != nodes_.end();) {
+    const std::string& p = it->first;
+    if (p == path || (p.size() > path.size() && starts_with(p, path) &&
+                      p[path.size()] == '/')) {
+      it = nodes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::ok_status();
+}
+
+bool Vfs::exists(const std::string& path) const { return nodes_.count(path) > 0; }
+
+bool Vfs::is_dir(const std::string& path) const {
+  auto it = nodes_.find(path);
+  return it != nodes_.end() && it->second.is_dir;
+}
+
+bool Vfs::is_file(const std::string& path) const {
+  auto it = nodes_.find(path);
+  return it != nodes_.end() && !it->second.is_dir;
+}
+
+Result<Stat> Vfs::stat(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return err(Errc::kNotFound, "no such path: " + path);
+  }
+  const Node& n = it->second;
+  Stat st;
+  st.is_dir = n.is_dir;
+  st.fs_type = mount_of(path).type;
+  if (!n.is_dir) {
+    st.id = n.data->id;
+    st.executable = n.data->executable;
+    st.size = n.data->size;
+    st.content_hash = crypto::sha256(n.data->content);
+  }
+  return st;
+}
+
+Result<Bytes> Vfs::read_file(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end() || it->second.is_dir) {
+    return err(Errc::kNotFound, "no such file: " + path);
+  }
+  return it->second.data->content;
+}
+
+std::vector<std::string> Vfs::list_files(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, node] : nodes_) {
+    if (node.is_dir) continue;
+    if (prefix == "/" || path == prefix ||
+        (starts_with(path, prefix) && path.size() > prefix.size() &&
+         path[prefix.size()] == '/')) {
+      out.push_back(path);
+    }
+  }
+  return out;
+}
+
+std::size_t Vfs::file_count() const {
+  std::size_t n = 0;
+  for (const auto& [path, node] : nodes_) {
+    (void)path;
+    if (!node.is_dir) ++n;
+  }
+  return n;
+}
+
+}  // namespace cia::vfs

@@ -1,0 +1,196 @@
+// An in-memory virtual filesystem with mount points and inode identity.
+//
+// The VFS is deliberately faithful to the pieces of Linux semantics that
+// the paper's findings hinge on:
+//   * every mounted filesystem has a type (ext4, tmpfs, procfs, ...) whose
+//     magic number IMA policy rules match on (problem P3);
+//   * files have stable inode numbers; rename *within* one filesystem
+//     preserves the inode, rename *across* filesystems allocates a new
+//     one (problem P4);
+//   * mounts can be namespace-truncated (SNAP squashfs images), so the
+//     path IMA observes lacks the host-side prefix (the SNAP false
+//     positive in §III-B).
+//
+// File content is stored as bytes and hashed with SHA-256; a separate
+// declared size feeds the update-cost model without storing megabytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace cia::vfs {
+
+/// Filesystem types with their (simulated) superblock magic.
+enum class FsType {
+  kExt4,
+  kTmpfs,
+  kProcfs,
+  kSysfs,
+  kDebugfs,
+  kRamfs,
+  kSecurityfs,
+  kOverlayfs,
+  kSquashfs,
+};
+
+/// Superblock magic number for a filesystem type (matches Linux values).
+std::uint32_t fs_magic(FsType type);
+
+/// Human-readable filesystem type name.
+const char* fs_type_name(FsType type);
+
+using InodeNum = std::uint64_t;
+
+/// Identity of a file independent of its path: which filesystem it lives
+/// on plus its inode number. This is exactly the key IMA's measurement
+/// cache uses, which is what makes P4 possible.
+struct FileIdentity {
+  std::string fs_uuid;
+  InodeNum inode = 0;
+
+  bool operator==(const FileIdentity&) const = default;
+  auto operator<=>(const FileIdentity&) const = default;
+};
+
+/// Metadata returned by stat().
+struct Stat {
+  FileIdentity id;
+  FsType fs_type = FsType::kExt4;
+  bool is_dir = false;
+  bool executable = false;
+  std::uint64_t size = 0;          // declared on-disk size in bytes
+  crypto::Digest content_hash{};   // SHA-256 of content (files only)
+};
+
+/// A mounted filesystem instance.
+struct Mount {
+  std::string mount_point;  // absolute path, "/" for the root fs
+  FsType type = FsType::kExt4;
+  std::string uuid;
+  // SNAP/squashfs container mounts: IMA sees paths relative to the mount
+  // root instead of the host path (§III-B "SNAPs").
+  bool namespace_truncated = false;
+};
+
+/// The virtual filesystem of one simulated machine.
+class Vfs {
+ public:
+  /// Creates a VFS with an ext4 root mounted at "/".
+  Vfs();
+
+  // ------------------------------------------------------------- mounts
+
+  /// Mount a new filesystem at `path` (creates the mountpoint directory).
+  Status mount(const std::string& path, FsType type,
+               bool namespace_truncated = false);
+
+  /// Remove a mount and all files on it.
+  Status unmount(const std::string& path);
+
+  /// The mount governing `path` (longest-prefix match).
+  const Mount& mount_of(const std::string& path) const;
+
+  /// All current mounts.
+  std::vector<Mount> mounts() const;
+
+  /// The path as observed by IMA: host path unless the governing mount is
+  /// namespace-truncated, in which case the mount prefix is stripped.
+  std::string ima_visible_path(const std::string& path) const;
+
+  // -------------------------------------------------------------- files
+
+  /// Create all missing directories along `path`.
+  Status mkdir_p(const std::string& path);
+
+  /// Create a file (parent directories are created as needed).
+  /// Fails if the path already exists.
+  Status create_file(const std::string& path, const Bytes& content,
+                     bool executable, std::uint64_t size = 0);
+
+  /// Overwrite an existing file's content in place (same inode).
+  Status write_file(const std::string& path, const Bytes& content,
+                    std::optional<std::uint64_t> size = std::nullopt);
+
+  /// Toggle the executable bit.
+  Status chmod_exec(const std::string& path, bool executable);
+
+  /// Rename/move. Within one filesystem the inode is preserved; across
+  /// filesystems the content is copied to a fresh inode (as `mv` does).
+  Status rename(const std::string& src, const std::string& dst);
+
+  /// Hard link: `dst` becomes another name for `src`'s inode. Both paths
+  /// share content, mode, and xattrs; writes through either are visible
+  /// through both. Fails across filesystems, exactly like link(2).
+  Status link(const std::string& src, const std::string& dst);
+
+  /// Number of directory entries referencing `path`'s inode.
+  Result<std::size_t> link_count(const std::string& path) const;
+
+  /// Delete a file.
+  Status unlink(const std::string& path);
+
+  /// Set/get the security.ima extended attribute (a file signature used
+  /// by IMA appraisal). The xattr is inode metadata: it survives renames
+  /// and is deliberately NOT cleared by content writes — a stale
+  /// signature simply fails verification, as on a real system.
+  Status set_ima_xattr(const std::string& path, const Bytes& value);
+  Result<Bytes> ima_xattr(const std::string& path) const;
+
+  /// Delete a directory tree (all files under `path` plus the directory).
+  Status remove_tree(const std::string& path);
+
+  // ------------------------------------------------------------ queries
+
+  bool exists(const std::string& path) const;
+  bool is_dir(const std::string& path) const;
+  bool is_file(const std::string& path) const;
+
+  Result<Stat> stat(const std::string& path) const;
+  Result<Bytes> read_file(const std::string& path) const;
+
+  /// All file paths under `prefix` (inclusive), sorted.
+  std::vector<std::string> list_files(const std::string& prefix) const;
+
+  /// Number of regular files.
+  std::size_t file_count() const;
+
+ private:
+  /// Inode payload, shared between hard links.
+  struct FileData {
+    FileIdentity id;
+    bool executable = false;
+    std::uint64_t size = 0;
+    Bytes content;
+    Bytes ima_xattr;  // security.ima (empty = absent)
+  };
+
+  struct Node {
+    bool is_dir = false;
+    std::shared_ptr<FileData> data;  // files only
+  };
+
+  struct FsInstance {
+    Mount mount;
+    InodeNum next_inode = 2;  // 1 is the root inode by convention
+  };
+
+  // Index into fses_ of the mount governing `path`.
+  std::size_t mount_index(const std::string& path) const;
+
+  static bool valid_abs_path(const std::string& path);
+  static std::string parent_of(const std::string& path);
+
+  std::vector<FsInstance> fses_;
+  std::map<std::string, Node> nodes_;  // absolute path -> node
+  std::uint64_t uuid_counter_ = 0;
+};
+
+}  // namespace cia::vfs

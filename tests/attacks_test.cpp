@@ -1,0 +1,204 @@
+// Unit tests for the attack-sample framework: registry shape, Table II
+// metadata, and that each variant executes its footprint mechanically.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attacks/attack.hpp"
+#include "attacks/extended.hpp"
+#include "common/strutil.hpp"
+
+namespace cia::attacks {
+namespace {
+
+struct AttackMachine {
+  AttackMachine() : ca("mfg", to_bytes("seed")), machine(config(), ca, &clock) {
+    // The system binaries the samples rely on.
+    EXPECT_TRUE(machine.fs()
+                    .create_file("/usr/bin/bash", to_bytes("elf:bash"), true)
+                    .ok());
+    EXPECT_TRUE(machine.fs()
+                    .create_file("/usr/bin/python3", to_bytes("elf:python3"), true)
+                    .ok());
+  }
+  static oskernel::MachineConfig config() {
+    oskernel::MachineConfig cfg;
+    cfg.hostname = "victim";
+    return cfg;
+  }
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  oskernel::Machine machine;
+};
+
+TEST(AttackRegistryTest, HasAllEightSamplesInPaperOrder) {
+  const auto attacks = all_attacks();
+  ASSERT_EQ(attacks.size(), 8u);
+  const std::vector<std::string> expected = {
+      "AvosLocker", "Diamorphine", "Reptile",     "Vlany",
+      "Mirai",      "BASHLITE",    "Mortem-qBot", "Aoyama"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(attacks[i]->name(), expected[i]);
+  }
+}
+
+TEST(AttackRegistryTest, CategoriesMatchTableII) {
+  const auto attacks = all_attacks();
+  EXPECT_EQ(attacks[0]->category(), "Ransomware");
+  for (int i = 1; i <= 3; ++i) EXPECT_EQ(attacks[i]->category(), "Rootkit");
+  for (int i = 4; i <= 7; ++i) EXPECT_EQ(attacks[i]->category(), "Botnet C&C");
+}
+
+TEST(AttackRegistryTest, ProblemColumnsMatchTableII) {
+  const auto attacks = all_attacks();
+  for (const auto& attack : attacks) {
+    const auto exploits = attack->exploits();
+    const std::set<Problem> set(exploits.begin(), exploits.end());
+    EXPECT_TRUE(set.count(Problem::kP1)) << attack->name();
+    EXPECT_TRUE(set.count(Problem::kP2)) << attack->name();
+    EXPECT_TRUE(set.count(Problem::kP3)) << attack->name();
+    EXPECT_TRUE(set.count(Problem::kP4)) << attack->name();
+    // AvosLocker ships only a binary: no P5 bullet in Table II.
+    EXPECT_EQ(set.count(Problem::kP5), attack->name() == "AvosLocker" ? 0u : 1u)
+        << attack->name();
+  }
+}
+
+TEST(AttackRegistryTest, OnlyAoyamaIsUnmitigable) {
+  for (const auto& attack : all_attacks()) {
+    EXPECT_EQ(attack->mitigable(), attack->name() != "Aoyama")
+        << attack->name();
+  }
+}
+
+TEST(AttackRegistryTest, EveryAttackHasPayloadMarkers) {
+  for (const auto& attack : all_attacks()) {
+    EXPECT_FALSE(attack->payload_markers().empty()) << attack->name();
+  }
+}
+
+TEST(AttackExecutionTest, BasicVariantsRunCleanly) {
+  for (const auto& attack : all_attacks()) {
+    AttackMachine rig;
+    AttackContext ctx;
+    ctx.machine = &rig.machine;
+    const Status s = attack->run_basic(ctx);
+    EXPECT_TRUE(s.ok()) << attack->name() << ": " << s.error().to_string();
+  }
+}
+
+TEST(AttackExecutionTest, AdaptiveVariantsRunCleanly) {
+  for (const auto& attack : all_attacks()) {
+    AttackMachine rig;
+    AttackContext ctx;
+    ctx.machine = &rig.machine;
+    int attest_calls = 0;
+    ctx.attestation_round = [&attest_calls] { ++attest_calls; };
+    const Status s = attack->run_adaptive(ctx);
+    EXPECT_TRUE(s.ok()) << attack->name() << ": " << s.error().to_string();
+  }
+}
+
+TEST(AttackExecutionTest, PostRebootActivityRunsCleanly) {
+  for (const auto& attack : all_attacks()) {
+    AttackMachine rig;
+    AttackContext ctx;
+    ctx.machine = &rig.machine;
+    ASSERT_TRUE(attack->run_adaptive(ctx).ok()) << attack->name();
+    rig.machine.reboot();
+    // bash/python3 survive the reboot (root fs), /tmp payloads do not.
+    const Status s = attack->post_reboot_activity(ctx);
+    EXPECT_TRUE(s.ok()) << attack->name() << ": " << s.error().to_string();
+  }
+}
+
+TEST(AttackExecutionTest, AdaptiveVariantsTouchOnlyExpectedSurfaces) {
+  // The adaptive variants must confine their *measurable* activity to
+  // exclusion holes: everything they exec directly lives under /tmp,
+  // /dev/shm, /proc, or is an in-policy system binary.
+  for (const auto& attack : all_attacks()) {
+    AttackMachine rig;
+    AttackContext ctx;
+    ctx.machine = &rig.machine;
+    ASSERT_TRUE(attack->run_adaptive(ctx).ok());
+    for (const auto& entry : rig.machine.ima().log()) {
+      if (entry.path == "boot_aggregate") continue;
+      const bool is_system = entry.path == "/usr/bin/bash" ||
+                             entry.path == "/usr/bin/python3";
+      const bool is_hole = starts_with(entry.path, "/tmp/");
+      // P2 decoys are deliberately measurable benign-looking files.
+      const bool is_decoy = entry.path.find("helper") != std::string::npos;
+      EXPECT_TRUE(is_system || is_hole || is_decoy)
+          << attack->name() << " measured " << entry.path
+          << " — an adaptive attack leaking measurements outside the "
+             "exclusion holes would be caught";
+    }
+  }
+}
+
+TEST(AttackHelpersTest, DropExecutableOverwrites) {
+  AttackMachine rig;
+  ASSERT_TRUE(drop_executable(rig.machine, "/x", "v1").ok());
+  ASSERT_TRUE(drop_executable(rig.machine, "/x", "v2").ok());
+  EXPECT_EQ(to_string(rig.machine.fs().read_file("/x").value()), "v2");
+  EXPECT_TRUE(rig.machine.fs().stat("/x").value().executable);
+}
+
+TEST(AttackHelpersTest, DropFileIsNotExecutable) {
+  AttackMachine rig;
+  ASSERT_TRUE(drop_file(rig.machine, "/cfg", "data").ok());
+  EXPECT_FALSE(rig.machine.fs().stat("/cfg").value().executable);
+}
+
+TEST(ExtendedAttacksTest, RegistryHasThreeSamples) {
+  const auto attacks = extended_attacks();
+  ASSERT_EQ(attacks.size(), 3u);
+  EXPECT_EQ(attacks[0]->name(), "XMRig-miner");
+  EXPECT_EQ(attacks[1]->name(), "SSH-key-backdoor");
+  EXPECT_EQ(attacks[2]->name(), "GRUB-bootkit");
+}
+
+TEST(ExtendedAttacksTest, AllVariantsRunCleanly) {
+  for (const auto& attack : extended_attacks()) {
+    AttackMachine rig;
+    AttackContext ctx;
+    ctx.machine = &rig.machine;
+    EXPECT_TRUE(attack->run_basic(ctx).ok()) << attack->name();
+    EXPECT_TRUE(attack->run_adaptive(ctx).ok()) << attack->name();
+    rig.machine.reboot();
+    EXPECT_TRUE(attack->post_reboot_activity(ctx).ok()) << attack->name();
+  }
+}
+
+TEST(ExtendedAttacksTest, SshBackdoorTouchesNoExecutable) {
+  AttackMachine rig;
+  SshAuthorizedKeyBackdoor backdoor;
+  AttackContext ctx;
+  ctx.machine = &rig.machine;
+  const std::size_t log_before = rig.machine.ima().log().size();
+  ASSERT_TRUE(backdoor.run_basic(ctx).ok());
+  EXPECT_EQ(rig.machine.ima().log().size(), log_before)
+      << "a data-only attack must produce zero measurements — out of scope "
+         "for integrity attestation by design (§V)";
+}
+
+TEST(ExtendedAttacksTest, BootkitOnlyChangesPcr4AtNextBoot) {
+  AttackMachine rig;
+  GrubBootkit bootkit;
+  AttackContext ctx;
+  ctx.machine = &rig.machine;
+  const auto pcr4_before = rig.machine.tpm().pcr_value(4);
+  ASSERT_TRUE(bootkit.run_basic(ctx).ok());
+  EXPECT_EQ(rig.machine.tpm().pcr_value(4), pcr4_before)
+      << "dormant implant: PCRs unchanged until reboot";
+  rig.machine.reboot();
+  EXPECT_NE(rig.machine.tpm().pcr_value(4), pcr4_before);
+}
+
+TEST(AttackHelpersTest, ProblemNames) {
+  EXPECT_STREQ(problem_name(Problem::kP1), "P1");
+  EXPECT_STREQ(problem_name(Problem::kP5), "P5");
+}
+
+}  // namespace
+}  // namespace cia::attacks

@@ -1,0 +1,112 @@
+// Container runtime tests: the generalization of the SNAP false positive
+// (§III-B) — containerized execution is either invisible to IMA (stock
+// policy skips overlayfs, P3) or measured under truncated paths that a
+// host-path policy cannot match.
+#include <gtest/gtest.h>
+
+#include "oskernel/container.hpp"
+
+namespace cia::oskernel {
+namespace {
+
+ContainerImage nginx_image() {
+  ContainerImage image;
+  image.name = "nginx:1.25";
+  image.files = {{"/usr/sbin/nginx", "elf:container-nginx", true},
+                 {"/etc/nginx/nginx.conf", "conf", false}};
+  return image;
+}
+
+struct ContainerRig : ::testing::Test {
+  ContainerRig()
+      : ca("mfg", to_bytes("seed")),
+        machine(MachineConfig{}, ca, &clock),
+        runtime(&machine) {}
+
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  Machine machine;
+  ContainerRuntime runtime;
+};
+
+TEST_F(ContainerRig, CreatePopulatesOverlayMount) {
+  auto root = runtime.create("web", nginx_image());
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(machine.fs().is_file(root.value() + "/usr/sbin/nginx"));
+  EXPECT_EQ(machine.fs().mount_of(root.value() + "/usr/sbin/nginx").type,
+            vfs::FsType::kOverlayfs);
+  EXPECT_EQ(runtime.running().size(), 1u);
+}
+
+TEST_F(ContainerRig, DuplicateIdRejected) {
+  ASSERT_TRUE(runtime.create("web", nginx_image()).ok());
+  EXPECT_FALSE(runtime.create("web", nginx_image()).ok());
+}
+
+TEST_F(ContainerRig, DestroyRemovesFiles) {
+  ASSERT_TRUE(runtime.create("web", nginx_image()).ok());
+  ASSERT_TRUE(runtime.destroy("web").ok());
+  EXPECT_FALSE(machine.fs().exists("/var/lib/containers/web/usr/sbin/nginx"));
+  EXPECT_TRUE(runtime.running().empty());
+}
+
+TEST_F(ContainerRig, ExecResolvesContainerPath) {
+  ASSERT_TRUE(runtime.create("web", nginx_image()).ok());
+  EXPECT_TRUE(runtime.exec("web", "/usr/sbin/nginx").ok());
+  EXPECT_FALSE(runtime.exec("web", "/no/such/binary").ok());
+  EXPECT_FALSE(runtime.exec("ghost", "/usr/sbin/nginx").ok());
+  EXPECT_FALSE(runtime.exec("web", "relative/path").ok());
+}
+
+TEST_F(ContainerRig, StockImaPolicyIsBlindToContainers_P3) {
+  // overlayfs is on the stock skip list: container executions produce no
+  // measurement at all.
+  ASSERT_TRUE(runtime.create("web", nginx_image()).ok());
+  const std::size_t before = machine.ima().log().size();
+  ASSERT_TRUE(runtime.exec("web", "/usr/sbin/nginx").ok());
+  EXPECT_EQ(machine.ima().log().size(), before)
+      << "stock policy skips overlayfs wholesale";
+}
+
+TEST_F(ContainerRig, EnrichedImaSeesTruncatedContainerPaths) {
+  MachineConfig cfg;
+  cfg.ima_policy = ima::ImaPolicy::enriched();
+  Machine enriched_machine(cfg, ca, &clock);
+  ContainerRuntime enriched_runtime(&enriched_machine);
+  ASSERT_TRUE(enriched_runtime.create("web", nginx_image()).ok());
+  const std::size_t before = enriched_machine.ima().log().size();
+  ASSERT_TRUE(enriched_runtime.exec("web", "/usr/sbin/nginx").ok());
+  ASSERT_EQ(enriched_machine.ima().log().size(), before + 1);
+  EXPECT_EQ(enriched_machine.ima().log().back().path, "/usr/sbin/nginx")
+      << "the measurement carries the container-relative path — the exact "
+         "SNAP phenomenology of §III-B, so a host-path policy cannot match";
+}
+
+TEST_F(ContainerRig, ContainerBinaryCollidingWithHostPathIsAmbiguous) {
+  // The container ships /usr/bin/bash too; its measurement is
+  // indistinguishable by path from the host's bash — only the hash
+  // differs. This is why the paper recommends disabling containerized
+  // execution on attested nodes or scrubbing prefixes consistently.
+  MachineConfig cfg;
+  cfg.ima_policy = ima::ImaPolicy::enriched();
+  Machine m(cfg, ca, &clock);
+  ASSERT_TRUE(m.fs().create_file("/usr/bin/bash", to_bytes("elf:host-bash"),
+                                 true).ok());
+  ContainerRuntime rt(&m);
+  ContainerImage image;
+  image.name = "alpine";
+  image.files = {{"/usr/bin/bash", "elf:container-bash", true}};
+  ASSERT_TRUE(rt.create("box", image).ok());
+
+  ASSERT_TRUE(m.exec("/usr/bin/bash").ok());
+  ASSERT_TRUE(rt.exec("box", "/usr/bin/bash").ok());
+  const auto& log = m.ima().log();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log[log.size() - 2].path, log[log.size() - 1].path)
+      << "same recorded path";
+  EXPECT_NE(log[log.size() - 2].file_hash, log[log.size() - 1].file_hash)
+      << "different content — a hash-mismatch FP against a host policy";
+}
+
+}  // namespace
+}  // namespace cia::oskernel

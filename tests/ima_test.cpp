@@ -1,0 +1,273 @@
+// Unit tests for IMA: policy rule matching, measurement/caching semantics,
+// PCR-10 extension, log replay, and the P3/P4/P5 behaviours.
+#include <gtest/gtest.h>
+
+#include "ima/ima.hpp"
+
+namespace cia::ima {
+namespace {
+
+struct ImaFixture : ::testing::Test {
+  ImaFixture()
+      : ca("mfg", to_bytes("mfg-seed")),
+        tpm("dev0", to_bytes("seed"), ca),
+        ima(ImaPolicy::keylime_recommended(), ImaConfig{}, &fs, &tpm) {
+    setup_fs();
+    ima.on_boot("boot1");
+  }
+
+  void setup_fs() {
+    ASSERT_TRUE(fs.mount("/tmp", vfs::FsType::kTmpfs).ok());
+    ASSERT_TRUE(fs.mount("/proc", vfs::FsType::kProcfs).ok());
+    ASSERT_TRUE(fs.create_file("/usr/bin/ls", to_bytes("elf:ls"), true).ok());
+    ASSERT_TRUE(
+        fs.create_file("/usr/bin/python3", to_bytes("elf:python3"), true).ok());
+  }
+
+  crypto::CertificateAuthority ca;
+  vfs::Vfs fs;
+  tpm::Tpm2 tpm;
+  Ima ima;
+};
+
+// -------------------------------------------------------------- policy
+
+TEST(ImaPolicyTest, RecommendedPolicySkipsVolatileFilesystems) {
+  const ImaPolicy p = ImaPolicy::keylime_recommended();
+  EXPECT_FALSE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kTmpfs)));
+  EXPECT_FALSE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kProcfs)));
+  EXPECT_TRUE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kExt4)));
+}
+
+TEST(ImaPolicyTest, RecommendedPolicyIgnoresPlainReads) {
+  const ImaPolicy p = ImaPolicy::keylime_recommended();
+  EXPECT_FALSE(p.should_measure(Hook::kFileCheck, vfs::fs_magic(vfs::FsType::kExt4)));
+}
+
+TEST(ImaPolicyTest, EnrichedPolicyMeasuresTmpfsAndProcfs) {
+  const ImaPolicy p = ImaPolicy::enriched();
+  EXPECT_TRUE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kTmpfs)));
+  EXPECT_TRUE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kProcfs)));
+  EXPECT_FALSE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kSysfs)));
+}
+
+TEST(ImaPolicyTest, FirstMatchWins) {
+  // dont_measure placed before measure masks it for that magic.
+  ImaPolicy p({Rule{Rule::Action::kDontMeasure, std::nullopt,
+                    vfs::fs_magic(vfs::FsType::kExt4)},
+               Rule{Rule::Action::kMeasure, Hook::kBprmCheck, std::nullopt}});
+  EXPECT_FALSE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kExt4)));
+  EXPECT_TRUE(p.should_measure(Hook::kBprmCheck, vfs::fs_magic(vfs::FsType::kTmpfs)));
+}
+
+TEST(ImaPolicyTest, EmptyPolicyMeasuresNothing) {
+  ImaPolicy p;
+  EXPECT_FALSE(p.should_measure(Hook::kBprmCheck, 0xEF53));
+}
+
+TEST(ImaPolicyTest, ToStringRendersRules) {
+  const std::string s = ImaPolicy::keylime_recommended().to_string();
+  EXPECT_NE(s.find("dont_measure fsmagic=0x1021994"), std::string::npos);
+  EXPECT_NE(s.find("measure func=BPRM_CHECK"), std::string::npos);
+}
+
+// --------------------------------------------------------- measurement
+
+TEST_F(ImaFixture, BootAggregateIsFirstEntry) {
+  ASSERT_EQ(ima.log().size(), 1u);
+  EXPECT_EQ(ima.log()[0].path, "boot_aggregate");
+}
+
+TEST_F(ImaFixture, ExecOnExt4IsMeasured) {
+  ima.on_exec("/usr/bin/ls");
+  ASSERT_EQ(ima.log().size(), 2u);
+  EXPECT_EQ(ima.log()[1].path, "/usr/bin/ls");
+  EXPECT_EQ(ima.log()[1].file_hash, crypto::sha256(std::string("elf:ls")));
+}
+
+TEST_F(ImaFixture, ExecOnTmpfsIsNotMeasured_P3) {
+  ASSERT_TRUE(fs.create_file("/tmp/payload", to_bytes("evil"), true).ok());
+  ima.on_exec("/tmp/payload");
+  EXPECT_EQ(ima.log().size(), 1u) << "P3: tmpfs is excluded by fsmagic";
+}
+
+TEST_F(ImaFixture, MeasurementExtendsPcr10) {
+  const auto before = tpm.pcr_value(tpm::kImaPcr);
+  ima.on_exec("/usr/bin/ls");
+  EXPECT_NE(tpm.pcr_value(tpm::kImaPcr), before);
+}
+
+TEST_F(ImaFixture, RepeatedExecMeasuredOnce) {
+  ima.on_exec("/usr/bin/ls");
+  ima.on_exec("/usr/bin/ls");
+  ima.on_exec("/usr/bin/ls");
+  EXPECT_EQ(ima.log().size(), 2u);
+}
+
+TEST_F(ImaFixture, ContentChangeTriggersRemeasurement) {
+  ima.on_exec("/usr/bin/ls");
+  ASSERT_TRUE(fs.write_file("/usr/bin/ls", to_bytes("elf:ls-v2")).ok());
+  ima.on_exec("/usr/bin/ls");
+  ASSERT_EQ(ima.log().size(), 3u);
+  EXPECT_EQ(ima.log()[2].file_hash, crypto::sha256(std::string("elf:ls-v2")));
+}
+
+TEST_F(ImaFixture, RenameWithinFsNotRemeasured_P4) {
+  // Measure in one location...
+  ASSERT_TRUE(fs.create_file("/home/stage/mal", to_bytes("mal"), true).ok());
+  ima.on_exec("/home/stage/mal");
+  ASSERT_EQ(ima.log().size(), 2u);
+  // ...move within the root fs and execute again: same inode, no new entry.
+  ASSERT_TRUE(fs.rename("/home/stage/mal", "/usr/bin/mal").ok());
+  ima.on_exec("/usr/bin/mal");
+  EXPECT_EQ(ima.log().size(), 2u)
+      << "P4: identical inode on the same fs is never re-evaluated";
+}
+
+TEST_F(ImaFixture, ReevaluateOnPathChangeMitigatesP4) {
+  ImaConfig cfg;
+  cfg.reevaluate_on_path_change = true;
+  ima.set_config(cfg);
+  ASSERT_TRUE(fs.create_file("/home/stage/mal", to_bytes("mal"), true).ok());
+  ima.on_exec("/home/stage/mal");
+  ASSERT_TRUE(fs.rename("/home/stage/mal", "/usr/bin/mal").ok());
+  ima.on_exec("/usr/bin/mal");
+  ASSERT_EQ(ima.log().size(), 3u);
+  EXPECT_EQ(ima.log()[2].path, "/usr/bin/mal");
+}
+
+TEST_F(ImaFixture, InterpreterInvocationMeasuresInterpreterOnly_P5) {
+  ASSERT_TRUE(fs.create_file("/home/attack.py", to_bytes("print('x')"), false).ok());
+  // python3 attack.py: BPRM_CHECK on the interpreter, plain read of script.
+  ima.on_exec("/usr/bin/python3");
+  ima.on_open_read("/home/attack.py", /*sec_marked=*/false);
+  ASSERT_EQ(ima.log().size(), 2u);
+  EXPECT_EQ(ima.log()[1].path, "/usr/bin/python3");
+}
+
+TEST_F(ImaFixture, ScriptExecControlMeasuresScript) {
+  ImaConfig cfg;
+  cfg.script_exec_control = true;
+  ima.set_config(cfg);
+  ASSERT_TRUE(fs.create_file("/home/attack.py", to_bytes("print('x')"), false).ok());
+  ima.on_open_read("/home/attack.py", /*sec_marked=*/true);
+  ASSERT_EQ(ima.log().size(), 2u);
+  EXPECT_EQ(ima.log()[1].path, "/home/attack.py");
+}
+
+TEST_F(ImaFixture, SecMarkWithoutKernelSupportIsIgnored) {
+  ASSERT_TRUE(fs.create_file("/home/attack.py", to_bytes("print('x')"), false).ok());
+  ima.on_open_read("/home/attack.py", /*sec_marked=*/true);
+  EXPECT_EQ(ima.log().size(), 1u)
+      << "the SEC flag needs the kernel-side config to matter";
+}
+
+TEST_F(ImaFixture, SnapPathIsTruncatedInLog) {
+  ASSERT_TRUE(fs.mount("/snap/core20/1891", vfs::FsType::kSquashfs,
+                       /*truncated=*/true).ok());
+  ASSERT_TRUE(fs.create_file("/snap/core20/1891/bin/jq", to_bytes("elf:jq"),
+                             true).ok());
+  ima.on_exec("/snap/core20/1891/bin/jq");
+  ASSERT_EQ(ima.log().size(), 2u);
+  EXPECT_EQ(ima.log()[1].path, "/bin/jq")
+      << "SNAP measurements appear without their /snap prefix (§III-B)";
+}
+
+TEST_F(ImaFixture, ModuleLoadMeasured) {
+  ASSERT_TRUE(fs.create_file("/lib/modules/mod.ko", to_bytes("ko"), false).ok());
+  ima.on_module_load("/lib/modules/mod.ko");
+  ASSERT_EQ(ima.log().size(), 2u);
+  EXPECT_EQ(ima.log()[1].path, "/lib/modules/mod.ko");
+}
+
+TEST_F(ImaFixture, MissingFileIsIgnored) {
+  ima.on_exec("/does/not/exist");
+  EXPECT_EQ(ima.log().size(), 1u);
+}
+
+TEST_F(ImaFixture, LogSince) {
+  ima.on_exec("/usr/bin/ls");
+  ima.on_exec("/usr/bin/python3");
+  EXPECT_EQ(ima.log_since(0).size(), 3u);
+  EXPECT_EQ(ima.log_since(1).size(), 2u);
+  EXPECT_EQ(ima.log_since(3).size(), 0u);
+  EXPECT_EQ(ima.log_since(99).size(), 0u);
+}
+
+TEST_F(ImaFixture, RebootClearsLogAndCache) {
+  ima.on_exec("/usr/bin/ls");
+  tpm.reset();
+  ima.on_boot("boot2");
+  EXPECT_EQ(ima.log().size(), 1u);
+  ima.on_exec("/usr/bin/ls");
+  EXPECT_EQ(ima.log().size(), 2u) << "fresh boot must re-measure";
+}
+
+// -------------------------------------------------------------- replay
+
+TEST_F(ImaFixture, ReplayMatchesPcr10) {
+  ima.on_exec("/usr/bin/ls");
+  ima.on_exec("/usr/bin/python3");
+  EXPECT_EQ(replay_log(ima.log()), tpm.pcr_value(tpm::kImaPcr));
+}
+
+TEST_F(ImaFixture, ReplayDetectsTampering) {
+  ima.on_exec("/usr/bin/ls");
+  auto tampered = ima.log();
+  tampered[1].template_hash = crypto::sha256(std::string("forged"));
+  EXPECT_NE(replay_log(tampered), tpm.pcr_value(tpm::kImaPcr));
+}
+
+TEST_F(ImaFixture, ReplayDetectsDeletion) {
+  ima.on_exec("/usr/bin/ls");
+  ima.on_exec("/usr/bin/python3");
+  auto truncated = ima.log();
+  truncated.pop_back();
+  EXPECT_NE(replay_log(truncated), tpm.pcr_value(tpm::kImaPcr));
+}
+
+TEST_F(ImaFixture, LogEntryParseRoundTrip) {
+  ima.on_exec("/usr/bin/ls");
+  const LogEntry& original = ima.log()[1];
+  auto parsed = LogEntry::parse(original.to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().pcr, original.pcr);
+  EXPECT_EQ(parsed.value().template_hash, original.template_hash);
+  EXPECT_EQ(parsed.value().template_name, original.template_name);
+  EXPECT_EQ(parsed.value().file_hash, original.file_hash);
+  EXPECT_EQ(parsed.value().path, original.path);
+}
+
+TEST_F(ImaFixture, LogEntryParsePathWithSpaces) {
+  ASSERT_TRUE(fs.create_file("/usr/bin/my tool", to_bytes("elf"), true).ok());
+  ima.on_exec("/usr/bin/my tool");
+  auto parsed = LogEntry::parse(ima.log()[1].to_string());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().path, "/usr/bin/my tool");
+}
+
+TEST(LogEntryParseTest, RejectsMalformedLines) {
+  EXPECT_FALSE(LogEntry::parse("").ok());
+  EXPECT_FALSE(LogEntry::parse("10 zz ima-ng sha256:aa /x").ok());
+  EXPECT_FALSE(LogEntry::parse("10").ok());
+  EXPECT_FALSE(LogEntry::parse(
+      "99 " + std::string(64, 'a') + " ima-ng sha256:" + std::string(64, 'b') +
+      " /x").ok()) << "PCR out of range";
+  EXPECT_FALSE(LogEntry::parse(
+      "10 " + std::string(64, 'a') + " ima-ng md5:" + std::string(64, 'b') +
+      " /x").ok()) << "unsupported digest algorithm";
+  EXPECT_FALSE(LogEntry::parse(
+      "10 " + std::string(64, 'a') + " ima-ng sha256:" + std::string(64, 'b'))
+      .ok()) << "missing path";
+}
+
+TEST_F(ImaFixture, LogEntryRendering) {
+  ima.on_exec("/usr/bin/ls");
+  const std::string line = ima.log()[1].to_string();
+  EXPECT_NE(line.find("10 "), std::string::npos);
+  EXPECT_NE(line.find("ima-ng sha256:"), std::string::npos);
+  EXPECT_NE(line.find("/usr/bin/ls"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cia::ima

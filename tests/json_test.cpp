@@ -1,0 +1,189 @@
+// Unit tests for the JSON module and the Keylime JSON policy format.
+#include <gtest/gtest.h>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "keylime/runtime_policy.hpp"
+
+namespace cia::json {
+namespace {
+
+// ---------------------------------------------------------------- values
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValueTest, ObjectBuilding) {
+  Value doc;
+  doc.set("name", "keylime");
+  doc.set("count", 3);
+  doc.set("ok", true);
+  EXPECT_EQ(doc.find("name")->as_string(), "keylime");
+  EXPECT_EQ(doc.find("count")->as_int(), 3);
+  EXPECT_TRUE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, ArrayBuilding) {
+  Value list;
+  list.push_back(1);
+  list.push_back("two");
+  ASSERT_TRUE(list.is_array());
+  EXPECT_EQ(list.as_array().size(), 2u);
+}
+
+TEST(JsonValueTest, CopyAndMoveSemantics) {
+  Value doc;
+  doc.set("k", Value(Array{Value(1), Value(2)}));
+  Value copy = doc;
+  EXPECT_EQ(copy, doc);
+  Value moved = std::move(copy);
+  EXPECT_EQ(moved, doc);
+}
+
+// ------------------------------------------------------------ serialization
+
+TEST(JsonDumpTest, CompactForm) {
+  Value doc;
+  doc.set("a", 1);
+  doc.set("b", Value(Array{Value("x"), Value(true), Value(nullptr)}));
+  EXPECT_EQ(doc.dump(), R"({"a":1,"b":["x",true,null]})");
+}
+
+TEST(JsonDumpTest, EscapesSpecials) {
+  EXPECT_EQ(Value("a\"b\\c\nd").dump(), R"("a\"b\\c\nd")");
+  EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonDumpTest, NumbersIntegralAndReal) {
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+}
+
+TEST(JsonDumpTest, PrettyIsReparseable) {
+  Value doc;
+  doc.set("digests", Value(Object{{"/usr/bin/ls", Value(Array{Value("ab")})}}));
+  auto parsed = parse(doc.pretty());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), doc);
+}
+
+// ----------------------------------------------------------------- parser
+
+TEST(JsonParseTest, BasicDocument) {
+  auto doc = parse(R"({"a": [1, 2.5, "x"], "b": {"c": null}, "d": false})");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().find("a")->as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(doc.value().find("b")->find("c")->is_null());
+  EXPECT_FALSE(doc.value().find("d")->as_bool());
+}
+
+TEST(JsonParseTest, RoundTripsRandomDocuments) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Value doc;
+    for (int i = 0; i < 10; ++i) {
+      Value inner;
+      inner.set("n", static_cast<double>(rng.uniform(1000)));
+      inner.set("s", rng.ident(8));
+      inner.set("b", rng.chance(0.5));
+      doc.set(rng.ident(6), std::move(inner));
+    }
+    auto parsed = parse(doc.dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), doc);
+  }
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto doc = parse(R"("tab\there A quote\"")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().as_string(), "tab\there A quote\"");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("{").ok());
+  EXPECT_FALSE(parse("[1,]").ok());
+  EXPECT_FALSE(parse("{\"a\":}").ok());
+  EXPECT_FALSE(parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(parse("\"unterminated").ok());
+  EXPECT_FALSE(parse("tru").ok());
+  EXPECT_FALSE(parse("1 2").ok());
+  EXPECT_FALSE(parse("\"bad\\q\"").ok());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(parse(deep).ok());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto doc = parse("  {\n\t\"a\" :\r 1 }  ");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().find("a")->as_int(), 1);
+}
+
+}  // namespace
+}  // namespace cia::json
+
+namespace cia::keylime {
+namespace {
+
+TEST(PolicyJsonTest, RoundTrip) {
+  RuntimePolicy policy;
+  policy.allow("/usr/bin/ls", std::string(64, 'a'));
+  policy.allow("/usr/bin/ls", std::string(64, 'b'));
+  policy.allow("/usr/bin/cat", std::string(64, 'c'));
+  policy.exclude("/tmp/*");
+
+  const json::Value doc = policy.to_json();
+  auto restored = RuntimePolicy::from_json(doc);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().entry_count(), 3u);
+  EXPECT_EQ(restored.value().check("/usr/bin/ls", std::string(64, 'b')),
+            PolicyMatch::kAllowed);
+  EXPECT_EQ(restored.value().check("/tmp/x", std::string(64, 'z')),
+            PolicyMatch::kExcluded);
+}
+
+TEST(PolicyJsonTest, TextualRoundTripThroughParser) {
+  RuntimePolicy policy;
+  policy.allow("/usr/bin/x", std::string(64, '1'));
+  const std::string text = policy.to_json().pretty();
+  auto doc = json::parse(text);
+  ASSERT_TRUE(doc.ok());
+  auto restored = RuntimePolicy::from_json(doc.value());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().entry_count(), 1u);
+}
+
+TEST(PolicyJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(RuntimePolicy::from_json(json::Value("not an object")).ok());
+  json::Value no_digests;
+  no_digests.set("meta", json::Value(json::Object{}));
+  EXPECT_FALSE(RuntimePolicy::from_json(no_digests).ok());
+  json::Value bad_hash;
+  bad_hash.set("digests",
+               json::Value(json::Object{
+                   {"/x", json::Value(json::Array{json::Value("short")})}}));
+  EXPECT_FALSE(RuntimePolicy::from_json(bad_hash).ok());
+}
+
+TEST(PolicyJsonTest, MetaFieldsPresent) {
+  RuntimePolicy policy;
+  const json::Value doc = policy.to_json();
+  ASSERT_NE(doc.find("meta"), nullptr);
+  EXPECT_EQ(doc.find("meta")->find("version")->as_int(), 1);
+}
+
+}  // namespace
+}  // namespace cia::keylime

@@ -1,0 +1,389 @@
+// Unit + integration tests for the Keylime components: runtime policy
+// semantics, registration/credential activation over the network, and the
+// verifier's attestation state machine (including P2's stop-on-failure).
+#include <gtest/gtest.h>
+
+#include "keylime/agent.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "keylime/tenant.hpp"
+#include "keylime/verifier.hpp"
+
+namespace cia::keylime {
+namespace {
+
+// --------------------------------------------------------- runtime policy
+
+TEST(RuntimePolicyTest, CheckOutcomes) {
+  RuntimePolicy p;
+  p.allow("/usr/bin/ls", std::string(64, 'a'));
+  p.exclude("/tmp/*");
+
+  EXPECT_EQ(p.check("/usr/bin/ls", std::string(64, 'a')), PolicyMatch::kAllowed);
+  EXPECT_EQ(p.check("/usr/bin/ls", std::string(64, 'b')),
+            PolicyMatch::kHashMismatch);
+  EXPECT_EQ(p.check("/usr/bin/cat", std::string(64, 'a')),
+            PolicyMatch::kNotInPolicy);
+  EXPECT_EQ(p.check("/tmp/anything", std::string(64, 'c')),
+            PolicyMatch::kExcluded);
+}
+
+TEST(RuntimePolicyTest, MultipleHashesPerPath) {
+  RuntimePolicy p;
+  p.allow("/usr/bin/x", std::string(64, '1'));
+  p.allow("/usr/bin/x", std::string(64, '2'));
+  EXPECT_EQ(p.entry_count(), 2u);
+  EXPECT_EQ(p.path_count(), 1u);
+  EXPECT_EQ(p.check("/usr/bin/x", std::string(64, '1')), PolicyMatch::kAllowed);
+  EXPECT_EQ(p.check("/usr/bin/x", std::string(64, '2')), PolicyMatch::kAllowed);
+}
+
+TEST(RuntimePolicyTest, DuplicateAllowIsIdempotent) {
+  RuntimePolicy p;
+  p.allow("/usr/bin/x", std::string(64, '1'));
+  p.allow("/usr/bin/x", std::string(64, '1'));
+  EXPECT_EQ(p.entry_count(), 1u);
+}
+
+TEST(RuntimePolicyTest, DedupKeepsNewestHash) {
+  RuntimePolicy p;
+  p.allow("/usr/bin/x", std::string(64, '1'));
+  p.allow("/usr/bin/x", std::string(64, '2'));
+  EXPECT_EQ(p.dedup(), 1u);
+  EXPECT_EQ(p.entry_count(), 1u);
+  EXPECT_EQ(p.check("/usr/bin/x", std::string(64, '2')), PolicyMatch::kAllowed);
+  EXPECT_EQ(p.check("/usr/bin/x", std::string(64, '1')),
+            PolicyMatch::kHashMismatch)
+      << "the stale hash must be gone after dedup";
+}
+
+TEST(RuntimePolicyTest, SerializeParseRoundTrip) {
+  RuntimePolicy p;
+  p.allow("/usr/bin/ls", std::string(64, 'a'));
+  p.allow("/usr/bin/cat", std::string(64, 'b'));
+  p.exclude("/tmp/*");
+  auto parsed = RuntimePolicy::parse(p.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entry_count(), 2u);
+  EXPECT_EQ(parsed.value().check("/usr/bin/ls", std::string(64, 'a')),
+            PolicyMatch::kAllowed);
+  EXPECT_EQ(parsed.value().check("/tmp/x", std::string(64, 'z')),
+            PolicyMatch::kExcluded);
+}
+
+TEST(RuntimePolicyTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(RuntimePolicy::parse("not a policy line\n").ok());
+  EXPECT_FALSE(RuntimePolicy::parse("/usr/bin/x sha256:short\n").ok());
+}
+
+TEST(RuntimePolicyTest, MergeCombines) {
+  RuntimePolicy a, b;
+  a.allow("/usr/bin/x", std::string(64, '1'));
+  a.exclude("/tmp/*");
+  b.allow("/usr/bin/y", std::string(64, '2'));
+  b.exclude("/tmp/*");  // duplicate exclude must not double
+  a.merge(b);
+  EXPECT_EQ(a.entry_count(), 2u);
+  EXPECT_EQ(a.excludes().size(), 1u);
+}
+
+TEST(RuntimePolicyTest, ByteSizeTracksEntries) {
+  RuntimePolicy p;
+  EXPECT_EQ(p.byte_size(), 0u);
+  p.allow("/usr/bin/x", std::string(64, '1'));
+  const auto one = p.byte_size();
+  p.allow("/usr/bin/y", std::string(64, '2'));
+  EXPECT_GT(p.byte_size(), one);
+}
+
+// ----------------------------------------------------- full protocol rig
+
+struct Rig : ::testing::Test {
+  Rig()
+      : ca("tpm-manufacturer", to_bytes("mfg-seed")),
+        network(&clock, 99),
+        registrar(&network, &clock, 7),
+        verifier(&network, &clock, 8),
+        machine(make_config(), ca, &clock),
+        agent(&machine, &network) {
+    registrar.trust_manufacturer(ca.public_key());
+    auto& fs = machine.fs();
+    EXPECT_TRUE(fs.create_file("/usr/bin/ls", to_bytes("elf:ls"), true).ok());
+    EXPECT_TRUE(fs.create_file("/usr/bin/cat", to_bytes("elf:cat"), true).ok());
+  }
+
+  static oskernel::MachineConfig make_config() {
+    oskernel::MachineConfig cfg;
+    cfg.hostname = "node0";
+    return cfg;
+  }
+
+  RuntimePolicy baseline_policy() {
+    RuntimePolicy p;
+    p.allow("/usr/bin/ls", crypto::sha256(std::string("elf:ls")));
+    p.allow("/usr/bin/cat", crypto::sha256(std::string("elf:cat")));
+    return p;
+  }
+
+  void enroll() {
+    ASSERT_TRUE(agent.register_with(Registrar::address()).ok());
+    ASSERT_TRUE(verifier.add_agent("node0", agent.address()).ok());
+    ASSERT_TRUE(verifier.set_policy("node0", baseline_policy()).ok());
+  }
+
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  netsim::SimNetwork network;
+  Registrar registrar;
+  Verifier verifier;
+  oskernel::Machine machine;
+  Agent agent;
+};
+
+TEST_F(Rig, RegistrationActivates) {
+  EXPECT_FALSE(registrar.is_active("node0"));
+  ASSERT_TRUE(agent.register_with(Registrar::address()).ok());
+  EXPECT_TRUE(registrar.is_active("node0"));
+  EXPECT_EQ(registrar.registered_count(), 1u);
+}
+
+TEST_F(Rig, RegistrationRejectsUntrustedManufacturer) {
+  SimClock clock2;
+  netsim::SimNetwork net2(&clock2, 1);
+  Registrar strict(&net2, &clock2, 2);  // trusts nobody
+  oskernel::MachineConfig cfg;
+  cfg.hostname = "rogue";
+  oskernel::Machine rogue_machine(cfg, ca, &clock2);
+  Agent rogue_agent(&rogue_machine, &net2);
+  EXPECT_FALSE(rogue_agent.register_with(Registrar::address()).ok());
+  EXPECT_FALSE(strict.is_active("rogue"));
+}
+
+TEST_F(Rig, VerifierRefusesUnregisteredAgent) {
+  EXPECT_FALSE(verifier.add_agent("node0", agent.address()).ok());
+}
+
+TEST_F(Rig, CleanAttestationPasses) {
+  enroll();
+  ASSERT_TRUE(machine.exec("/usr/bin/ls").ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/cat").ok());
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().alerts.empty());
+  EXPECT_EQ(round.value().state, AgentState::kAttesting);
+  EXPECT_EQ(round.value().new_entries, 3u);  // boot aggregate + 2 execs
+}
+
+TEST_F(Rig, IncrementalPollingOnlyShipsNewEntries) {
+  enroll();
+  ASSERT_TRUE(machine.exec("/usr/bin/ls").ok());
+  ASSERT_TRUE(verifier.attest_once("node0").ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/cat").ok());
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().new_entries, 1u);
+  EXPECT_TRUE(round.value().alerts.empty());
+}
+
+TEST_F(Rig, UnknownBinaryRaisesNotInPolicy) {
+  enroll();
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil", to_bytes("elf:evil"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil").ok());
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().alerts.size(), 1u);
+  EXPECT_EQ(round.value().alerts[0].type, AlertType::kNotInPolicy);
+  EXPECT_EQ(round.value().alerts[0].path, "/usr/bin/evil");
+  EXPECT_EQ(verifier.state("node0"), AgentState::kFailed);
+}
+
+TEST_F(Rig, ModifiedBinaryRaisesHashMismatch) {
+  enroll();
+  ASSERT_TRUE(machine.fs().write_file("/usr/bin/ls", to_bytes("elf:trojan")).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/ls").ok());
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().alerts.size(), 1u);
+  EXPECT_EQ(round.value().alerts[0].type, AlertType::kHashMismatch);
+}
+
+TEST_F(Rig, FailedAgentIsNoLongerPolled_P2) {
+  enroll();
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil", to_bytes("e"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil").ok());
+  ASSERT_TRUE(verifier.attest_once("node0").ok());
+  ASSERT_EQ(verifier.state("node0"), AgentState::kFailed);
+
+  const auto alerts_before = verifier.alerts().size();
+  // New malicious activity while failed: nothing is fetched or evaluated.
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil2", to_bytes("e2"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil2").ok());
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().new_entries, 0u);
+  EXPECT_EQ(verifier.alerts().size(), alerts_before)
+      << "stock Keylime stops polling after a failure (P2)";
+}
+
+TEST_F(Rig, StopOnFailureLeavesLogPartiallyEvaluated) {
+  enroll();
+  // Two violations in one batch: only the first is evaluated.
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil1", to_bytes("e1"), true).ok());
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil2", to_bytes("e2"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil1").ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil2").ok());
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().alerts.size(), 1u);
+  EXPECT_GT(verifier.pending_entries("node0"), 0u)
+      << "the incomplete attestation log of P2";
+}
+
+TEST_F(Rig, ContinueOnFailureEvaluatesWholeLog) {
+  Verifier tolerant(&network, &clock, 10, VerifierConfig{.continue_on_failure = true});
+  ASSERT_TRUE(agent.register_with(Registrar::address()).ok());
+  ASSERT_TRUE(tolerant.add_agent("node0", agent.address()).ok());
+  ASSERT_TRUE(tolerant.set_policy("node0", baseline_policy()).ok());
+
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil1", to_bytes("e1"), true).ok());
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil2", to_bytes("e2"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil1").ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil2").ok());
+  auto round = tolerant.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().alerts.size(), 2u)
+      << "the mitigation must evaluate every entry";
+  EXPECT_EQ(tolerant.pending_entries("node0"), 0u);
+}
+
+TEST_F(Rig, ResolveFailureResumesAndEvaluatesBacklog) {
+  enroll();
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil1", to_bytes("e1"), true).ok());
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil2", to_bytes("e2"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil1").ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil2").ok());
+  ASSERT_TRUE(verifier.attest_once("node0").ok());
+  ASSERT_EQ(verifier.state("node0"), AgentState::kFailed);
+
+  // Operator adds evil1 to the policy (it was a benign FP) and resolves.
+  RuntimePolicy fixed = baseline_policy();
+  fixed.allow("/usr/bin/evil1", crypto::sha256(std::string("e1")));
+  ASSERT_TRUE(verifier.set_policy("node0", fixed).ok());
+  ASSERT_TRUE(verifier.resolve_failure("node0").ok());
+
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().alerts.size(), 1u)
+      << "the backlog entry (evil2) is finally evaluated — late detection";
+  EXPECT_EQ(round.value().alerts[0].path, "/usr/bin/evil2");
+}
+
+TEST_F(Rig, RebootResetsAttestationState) {
+  enroll();
+  ASSERT_TRUE(machine.exec("/usr/bin/ls").ok());
+  ASSERT_TRUE(verifier.attest_once("node0").ok());
+  machine.reboot();
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().reboot_detected);
+  // The next round replays the fresh log from scratch.
+  ASSERT_TRUE(machine.exec("/usr/bin/cat").ok());
+  auto round2 = verifier.attest_once("node0");
+  ASSERT_TRUE(round2.ok());
+  EXPECT_TRUE(round2.value().alerts.empty());
+  EXPECT_EQ(round2.value().new_entries, 2u);  // boot aggregate + cat
+}
+
+TEST_F(Rig, ExcludedPathNeverAlerts_P1) {
+  enroll();
+  RuntimePolicy p = baseline_policy();
+  p.exclude("/opt/scratch/*");
+  ASSERT_TRUE(verifier.set_policy("node0", p).ok());
+  ASSERT_TRUE(machine.fs().create_file("/opt/scratch/tool", to_bytes("t"), true).ok());
+  ASSERT_TRUE(machine.exec("/opt/scratch/tool").ok());
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().alerts.empty())
+      << "P1: Keylime path excludes silence everything beneath them";
+}
+
+TEST_F(Rig, DroppedNetworkIsTransient) {
+  enroll();
+  netsim::FaultConfig faults;
+  faults.drop_rate = 1.0;
+  network.set_faults(faults);
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  ASSERT_EQ(round.value().alerts.size(), 1u);
+  EXPECT_EQ(round.value().alerts[0].type, AlertType::kCommsFailure);
+  EXPECT_EQ(verifier.state("node0"), AgentState::kAttesting)
+      << "comms failures must not fail the agent";
+
+  network.set_faults(netsim::FaultConfig{});
+  auto round2 = verifier.attest_once("node0");
+  ASSERT_TRUE(round2.ok());
+  EXPECT_TRUE(round2.value().alerts.empty());
+}
+
+TEST_F(Rig, TamperedResponseIsRejected) {
+  enroll();
+  netsim::FaultConfig faults;
+  faults.tamper_rate = 1.0;
+  network.set_faults(faults);
+  auto round = verifier.attest_once("node0");
+  ASSERT_TRUE(round.ok());
+  ASSERT_FALSE(round.value().alerts.empty());
+  const AlertType t = round.value().alerts[0].type;
+  EXPECT_TRUE(t == AlertType::kQuoteInvalid || t == AlertType::kReplayMismatch)
+      << "a corrupted response must fail cryptographic validation";
+}
+
+TEST_F(Rig, TenantEnrollAndReport) {
+  ASSERT_TRUE(agent.register_with(Registrar::address()).ok());
+  Tenant tenant(&verifier, &registrar);
+  ASSERT_TRUE(tenant.enroll(agent, baseline_policy()).ok());
+  const std::string report = tenant.status_report();
+  EXPECT_NE(report.find("node0"), std::string::npos);
+  EXPECT_NE(report.find("attesting"), std::string::npos);
+}
+
+TEST_F(Rig, TenantStatusJson) {
+  ASSERT_TRUE(agent.register_with(Registrar::address()).ok());
+  Tenant tenant(&verifier, &registrar);
+  ASSERT_TRUE(tenant.enroll(agent, baseline_policy()).ok());
+  ASSERT_TRUE(machine.fs().create_file("/usr/bin/evil", to_bytes("e"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/evil").ok());
+  ASSERT_TRUE(verifier.attest_once("node0").ok());
+
+  const json::Value doc = tenant.status_json();
+  const auto& agents = doc.find("agents")->as_array();
+  ASSERT_EQ(agents.size(), 1u);
+  EXPECT_EQ(agents[0].find("id")->as_string(), "node0");
+  EXPECT_EQ(agents[0].find("state")->as_string(), "failed");
+  EXPECT_EQ(agents[0].find("alerts")->as_int(), 1);
+  // The JSON round-trips through the parser (dashboard-consumable).
+  EXPECT_TRUE(json::parse(doc.dump()).ok());
+}
+
+TEST_F(Rig, TenantEnrollRequiresRegistration) {
+  Tenant tenant(&verifier, &registrar);
+  EXPECT_FALSE(tenant.enroll(agent, baseline_policy()).ok());
+}
+
+TEST_F(Rig, AttestAllCoversFleet) {
+  enroll();
+  oskernel::MachineConfig cfg2;
+  cfg2.hostname = "node1";
+  cfg2.seed = 2;
+  oskernel::Machine machine2(cfg2, ca, &clock);
+  Agent agent2(&machine2, &network);
+  ASSERT_TRUE(agent2.register_with(Registrar::address()).ok());
+  ASSERT_TRUE(verifier.add_agent("node1", agent2.address()).ok());
+  ASSERT_TRUE(verifier.set_policy("node1", RuntimePolicy{}).ok());
+
+  const auto rounds = verifier.attest_all();
+  EXPECT_EQ(rounds.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cia::keylime

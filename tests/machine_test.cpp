@@ -1,0 +1,179 @@
+// Unit tests for the machine/kernel layer: exec semantics (shebang vs
+// interpreter), kernel modules, reboot lifecycle, and boot persistence.
+#include <gtest/gtest.h>
+
+#include "oskernel/machine.hpp"
+
+namespace cia::oskernel {
+namespace {
+
+struct MachineFixture : ::testing::Test {
+  MachineFixture()
+      : ca("mfg", to_bytes("mfg-seed")), machine(MachineConfig{}, ca, &clock) {
+    auto& fs = machine.fs();
+    EXPECT_TRUE(fs.create_file("/usr/bin/python3", to_bytes("elf:python3"), true).ok());
+    EXPECT_TRUE(fs.create_file("/usr/bin/bash", to_bytes("elf:bash"), true).ok());
+  }
+
+  // Count non-boot-aggregate measurements of `path`.
+  int measurements_of(const std::string& path) const {
+    int n = 0;
+    for (const auto& e : machine.ima().log()) {
+      if (e.path == path) ++n;
+    }
+    return n;
+  }
+
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  Machine machine;
+};
+
+TEST_F(MachineFixture, StandardMountsArePresent) {
+  const auto& fs = machine.fs();
+  // Ubuntu 22.04 keeps /tmp on the root filesystem (load-bearing for P4).
+  EXPECT_EQ(fs.mount_of("/tmp/x").type, vfs::FsType::kExt4);
+  EXPECT_EQ(fs.mount_of("/dev/shm/x").type, vfs::FsType::kTmpfs);
+  EXPECT_EQ(fs.mount_of("/run/x").type, vfs::FsType::kTmpfs);
+  EXPECT_EQ(fs.mount_of("/proc/self").type, vfs::FsType::kProcfs);
+  EXPECT_EQ(fs.mount_of("/sys/kernel/debug/t").type, vfs::FsType::kDebugfs);
+  EXPECT_EQ(fs.mount_of("/usr/bin/ls").type, vfs::FsType::kExt4);
+}
+
+TEST_F(MachineFixture, ExecRequiresExecutableBit) {
+  ASSERT_TRUE(machine.fs().create_file("/data/file", to_bytes("x"), false).ok());
+  EXPECT_FALSE(machine.exec("/data/file").ok());
+  EXPECT_TRUE(machine.exec("/usr/bin/bash").ok());
+}
+
+TEST_F(MachineFixture, ExecMissingFileFails) {
+  EXPECT_FALSE(machine.exec("/no/such/bin").ok());
+}
+
+TEST_F(MachineFixture, ExecMeasuresBinary) {
+  ASSERT_TRUE(machine.exec("/usr/bin/bash").ok());
+  EXPECT_EQ(measurements_of("/usr/bin/bash"), 1);
+}
+
+TEST_F(MachineFixture, ShebangExecMeasuresScriptAndInterpreter) {
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/opt/task.py",
+                               to_bytes("#!/usr/bin/python3\nprint('hi')"), true)
+                  .ok());
+  ASSERT_TRUE(machine.exec("/opt/task.py").ok());
+  EXPECT_EQ(measurements_of("/opt/task.py"), 1)
+      << "./script.py measures the script (P5's good case)";
+  EXPECT_EQ(measurements_of("/usr/bin/python3"), 1);
+}
+
+TEST_F(MachineFixture, InterpreterInvocationSkipsScript_P5) {
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/opt/task.py", to_bytes("print('hi')"), false)
+                  .ok());
+  ASSERT_TRUE(machine.exec_via_interpreter("/usr/bin/python3", "/opt/task.py").ok());
+  EXPECT_EQ(measurements_of("/opt/task.py"), 0)
+      << "python script.py only attests the interpreter (P5)";
+  EXPECT_EQ(measurements_of("/usr/bin/python3"), 1);
+}
+
+TEST_F(MachineFixture, SecAwareInterpreterWithKernelSupportMeasuresScript) {
+  MachineConfig cfg;
+  cfg.ima_config.script_exec_control = true;
+  Machine m(cfg, ca, &clock);
+  ASSERT_TRUE(m.fs().create_file("/usr/bin/python3", to_bytes("elf:python3"), true).ok());
+  ASSERT_TRUE(m.fs().create_file("/opt/task.py", to_bytes("print('hi')"), false).ok());
+  m.register_sec_aware_interpreter("/usr/bin/python3");
+  ASSERT_TRUE(m.exec_via_interpreter("/usr/bin/python3", "/opt/task.py").ok());
+  int script_measurements = 0;
+  for (const auto& e : m.ima().log()) {
+    if (e.path == "/opt/task.py") ++script_measurements;
+  }
+  EXPECT_EQ(script_measurements, 1);
+}
+
+TEST_F(MachineFixture, InterpreterInvocationDoesNotNeedExecBit) {
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/opt/task.py", to_bytes("print('hi')"), false)
+                  .ok());
+  EXPECT_TRUE(machine.exec_via_interpreter("/usr/bin/python3", "/opt/task.py").ok());
+}
+
+TEST_F(MachineFixture, ProcessTableRecordsExecs) {
+  ASSERT_TRUE(machine.exec("/usr/bin/bash").ok());
+  const auto pid = machine.exec("/usr/bin/bash");
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(machine.processes().size(), 2u);
+  machine.kill(pid.value());
+  EXPECT_FALSE(machine.processes().back().alive);
+}
+
+TEST_F(MachineFixture, KernelModuleLoadMeasured) {
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/lib/modules/rk.ko", to_bytes("ko:rk"), false)
+                  .ok());
+  ASSERT_TRUE(machine.load_kernel_module("/lib/modules/rk.ko").ok());
+  EXPECT_EQ(measurements_of("/lib/modules/rk.ko"), 1);
+  EXPECT_EQ(machine.loaded_modules().size(), 1u);
+}
+
+TEST_F(MachineFixture, RebootResetsRuntimeState) {
+  ASSERT_TRUE(machine.exec("/usr/bin/bash").ok());
+  ASSERT_TRUE(machine.fs().create_file("/lib/modules/m.ko", to_bytes("ko"), false).ok());
+  ASSERT_TRUE(machine.load_kernel_module("/lib/modules/m.ko").ok());
+  ASSERT_TRUE(machine.fs().create_file("/tmp/scratch", to_bytes("x"), false).ok());
+
+  machine.reboot();
+
+  EXPECT_TRUE(machine.processes().empty());
+  EXPECT_TRUE(machine.loaded_modules().empty());
+  EXPECT_FALSE(machine.fs().exists("/tmp/scratch"))
+      << "systemd cleans /tmp at boot";
+  EXPECT_EQ(machine.ima().log().size(), 1u) << "fresh boot aggregate only";
+  EXPECT_EQ(machine.boot_count(), 2);
+}
+
+TEST_F(MachineFixture, RebootRemeasuresFreshExecs) {
+  ASSERT_TRUE(machine.exec("/usr/bin/bash").ok());
+  machine.reboot();
+  ASSERT_TRUE(machine.exec("/usr/bin/bash").ok());
+  EXPECT_EQ(measurements_of("/usr/bin/bash"), 1);
+}
+
+TEST_F(MachineFixture, SystemdPersistenceRunsAtBoot) {
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/usr/local/bin/implant", to_bytes("elf:implant"), true)
+                  .ok());
+  ASSERT_TRUE(machine.install_systemd_unit("implant", "/usr/local/bin/implant").ok());
+  EXPECT_EQ(measurements_of("/usr/local/bin/implant"), 0);
+  machine.reboot();
+  EXPECT_EQ(measurements_of("/usr/local/bin/implant"), 1)
+      << "persistence re-executes and is measured on the fresh boot";
+}
+
+TEST_F(MachineFixture, ModuleAutoloadRunsAtBoot) {
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/lib/modules/rk.ko", to_bytes("ko:rk"), false)
+                  .ok());
+  ASSERT_TRUE(machine.install_module_autoload("rk", "/lib/modules/rk.ko").ok());
+  machine.reboot();
+  EXPECT_EQ(machine.loaded_modules().size(), 1u);
+  EXPECT_EQ(measurements_of("/lib/modules/rk.ko"), 1);
+}
+
+TEST_F(MachineFixture, MmapLibraryMeasured) {
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/usr/lib/libc.so.6", to_bytes("elf:libc"), true)
+                  .ok());
+  machine.mmap_library("/usr/lib/libc.so.6");
+  EXPECT_EQ(measurements_of("/usr/lib/libc.so.6"), 1);
+}
+
+TEST_F(MachineFixture, ImaLogReplaysToPcr10AfterActivity) {
+  ASSERT_TRUE(machine.exec("/usr/bin/bash").ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/python3").ok());
+  EXPECT_EQ(ima::replay_log(machine.ima().log()),
+            machine.tpm().pcr_value(tpm::kImaPcr));
+}
+
+}  // namespace
+}  // namespace cia::oskernel

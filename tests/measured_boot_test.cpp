@@ -1,0 +1,239 @@
+// Measured-boot attestation tests: the PCR 0/4/7 chain, the boot
+// aggregate binding, refstate pinning in the verifier, and bootkit
+// detection across reboots.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "keylime/agent.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/verifier.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia {
+namespace {
+
+struct MbRig : ::testing::Test {
+  MbRig()
+      : ca("mfg", to_bytes("mfg-seed")),
+        network(&clock, 1),
+        registrar(&network, &clock, 2),
+        verifier(&network, &clock, 3),
+        machine(config(), ca, &clock),
+        agent(&machine, &network) {
+    registrar.trust_manufacturer(ca.public_key());
+    EXPECT_TRUE(machine.fs().create_file("/usr/bin/app", to_bytes("elf:app"),
+                                         true).ok());
+    EXPECT_TRUE(agent.register_with(keylime::Registrar::address()).ok());
+    EXPECT_TRUE(verifier.add_agent("mb-node", agent.address()).ok());
+    keylime::RuntimePolicy policy;
+    policy.allow("/usr/bin/app", crypto::sha256(std::string("elf:app")));
+    EXPECT_TRUE(verifier.set_policy("mb-node", policy).ok());
+  }
+
+  static oskernel::MachineConfig config() {
+    oskernel::MachineConfig cfg;
+    cfg.hostname = "mb-node";
+    return cfg;
+  }
+
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  netsim::SimNetwork network;
+  keylime::Registrar registrar;
+  keylime::Verifier verifier;
+  oskernel::Machine machine;
+  keylime::Agent agent;
+};
+
+TEST_F(MbRig, BootExtendsBootChainPcrs) {
+  EXPECT_NE(machine.tpm().pcr_value(0), crypto::zero_digest());
+  EXPECT_NE(machine.tpm().pcr_value(4), crypto::zero_digest());
+  EXPECT_NE(machine.tpm().pcr_value(7), crypto::zero_digest());
+}
+
+TEST_F(MbRig, IdenticalBootsReproduceIdenticalPcrs) {
+  const auto before = keylime::MbRefstate::capture(machine.tpm());
+  machine.reboot();
+  const auto after = keylime::MbRefstate::capture(machine.tpm());
+  EXPECT_EQ(before, after)
+      << "an unchanged boot chain must reproduce the same PCR values";
+}
+
+TEST_F(MbRig, BootAggregateChangesWithBootChain) {
+  const auto first_aggregate = machine.ima().log()[0].file_hash;
+  ASSERT_TRUE(machine.fs()
+                  .write_file(oskernel::Machine::kBootloaderPath,
+                              to_bytes("efi:bootkit"))
+                  .ok());
+  machine.reboot();
+  EXPECT_NE(machine.ima().log()[0].file_hash, first_aggregate)
+      << "the boot aggregate is the hash of PCRs 0-7";
+}
+
+TEST_F(MbRig, RefstateAcceptsHealthyBoots) {
+  ASSERT_TRUE(verifier
+                  .set_mb_refstate("mb-node",
+                                   keylime::MbRefstate::capture(machine.tpm()))
+                  .ok());
+  (void)machine.exec("/usr/bin/app");
+  auto round = verifier.attest_once("mb-node");
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().alerts.empty());
+
+  machine.reboot();
+  auto reboot_round = verifier.attest_once("mb-node");
+  ASSERT_TRUE(reboot_round.ok());
+  EXPECT_TRUE(reboot_round.value().reboot_detected);
+  auto after = verifier.attest_once("mb-node");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().alerts.empty())
+      << "a clean reboot reproduces the refstate";
+}
+
+TEST_F(MbRig, TamperedBootloaderIsDetectedAfterReboot) {
+  ASSERT_TRUE(verifier
+                  .set_mb_refstate("mb-node",
+                                   keylime::MbRefstate::capture(machine.tpm()))
+                  .ok());
+  // A bootkit replaces the first-stage bootloader. Nothing happens until
+  // the next boot: IMA does not measure /boot writes.
+  ASSERT_TRUE(machine.fs()
+                  .write_file(oskernel::Machine::kBootloaderPath,
+                              to_bytes("efi:bootkit"))
+                  .ok());
+  auto round = verifier.attest_once("mb-node");
+  ASSERT_TRUE(round.ok());
+  EXPECT_TRUE(round.value().alerts.empty()) << "dormant bootkit is invisible";
+
+  machine.reboot();
+  (void)verifier.attest_once("mb-node");  // reboot detection round
+  auto after = verifier.attest_once("mb-node");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after.value().alerts.size(), 1u);
+  EXPECT_EQ(after.value().alerts[0].type,
+            keylime::AlertType::kMeasuredBootMismatch);
+  EXPECT_EQ(verifier.state("mb-node"), keylime::AgentState::kFailed);
+}
+
+TEST_F(MbRig, RogueSecurebootKeyIsDetected) {
+  ASSERT_TRUE(verifier
+                  .set_mb_refstate("mb-node",
+                                   keylime::MbRefstate::capture(machine.tpm()))
+                  .ok());
+  machine.enroll_secureboot_key("db:attacker-mok-2026");
+  machine.reboot();
+  (void)verifier.attest_once("mb-node");
+  (void)verifier.attest_once("mb-node");
+  const auto alerts = verifier.alerts_for("mb-node");
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].type, keylime::AlertType::kMeasuredBootMismatch);
+}
+
+TEST_F(MbRig, KernelUpgradeChangesPcr4) {
+  // Installing and booting a new kernel image legitimately changes the
+  // boot chain; operators must re-capture the refstate (the MB analogue
+  // of the paper's dynamic policy updates).
+  ASSERT_TRUE(machine.fs()
+                  .create_file("/boot/vmlinuz-5.15.0-102-generic",
+                               to_bytes("vmlinuz:102"), true)
+                  .ok());
+  const auto before = machine.tpm().pcr_value(4);
+  machine.schedule_kernel("5.15.0-102-generic");
+  machine.reboot();
+  EXPECT_NE(machine.tpm().pcr_value(4), before);
+}
+
+TEST_F(MbRig, NoRefstateMeansNoBootChecking) {
+  ASSERT_TRUE(machine.fs()
+                  .write_file(oskernel::Machine::kBootloaderPath,
+                              to_bytes("efi:bootkit"))
+                  .ok());
+  machine.reboot();
+  (void)verifier.attest_once("mb-node");
+  auto after = verifier.attest_once("mb-node");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after.value().alerts.empty())
+      << "without a pinned refstate the verifier only checks IMA's PCR";
+}
+
+TEST_F(MbRig, BootEventLogIsRecorded) {
+  const auto& events = machine.boot_event_log();
+  ASSERT_GE(events.size(), 5u);  // firmware + 2 sb keys + bootloader + kernel
+  EXPECT_EQ(events[0].pcr, 0);
+  EXPECT_NE(events[0].description.find("firmware"), std::string::npos);
+}
+
+TEST_F(MbRig, BootLogAttestationCleanOnHealthyNode) {
+  ASSERT_TRUE(verifier
+                  .set_boot_baseline("mb-node", machine.boot_event_log())
+                  .ok());
+  auto report = verifier.attest_boot_log("mb-node");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().clean());
+  EXPECT_TRUE(report.value().log_matches_quote);
+}
+
+TEST_F(MbRig, BootLogNamesTheChangedComponent) {
+  ASSERT_TRUE(verifier
+                  .set_boot_baseline("mb-node", machine.boot_event_log())
+                  .ok());
+  ASSERT_TRUE(machine.fs()
+                  .write_file(oskernel::Machine::kBootloaderPath,
+                              to_bytes("efi:bootkit"))
+                  .ok());
+  machine.reboot();
+  auto report = verifier.attest_boot_log("mb-node");
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().log_matches_quote)
+      << "the log is honest — the component itself changed";
+  ASSERT_EQ(report.value().changed.size(), 1u);
+  EXPECT_NE(report.value().changed[0].find("bootloader"), std::string::npos)
+      << "the operator learns WHICH component changed, not just that a PCR "
+         "diverged";
+  EXPECT_TRUE(report.value().added.empty());
+  EXPECT_TRUE(report.value().removed.empty());
+}
+
+TEST_F(MbRig, BootLogReportsAddedSecurebootKey) {
+  ASSERT_TRUE(verifier
+                  .set_boot_baseline("mb-node", machine.boot_event_log())
+                  .ok());
+  machine.enroll_secureboot_key("db:attacker-mok-2026");
+  machine.reboot();
+  auto report = verifier.attest_boot_log("mb-node");
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report.value().added.size(), 1u);
+  EXPECT_NE(report.value().added[0].find("attacker-mok"), std::string::npos);
+}
+
+TEST_F(MbRig, ForgedBootLogIsInconsistentWithQuote) {
+  // A compromised agent could ship a doctored event log, but it cannot
+  // make the TPM quote match: the fold check exposes the lie.
+  // Simulate by comparing a stale baseline log's fold with current PCRs
+  // after a real change.
+  ASSERT_TRUE(verifier
+                  .set_boot_baseline("mb-node", machine.boot_event_log())
+                  .ok());
+  const auto honest = machine.boot_event_log();
+  ASSERT_TRUE(machine.fs()
+                  .write_file(oskernel::Machine::kBootloaderPath,
+                              to_bytes("efi:bootkit"))
+                  .ok());
+  machine.reboot();
+  // The agent (honest in our rig) reports the real post-compromise log,
+  // which matches the quote. Folding the *old* log against the new quote
+  // must NOT match — this is exactly the check attest_boot_log performs.
+  std::map<int, crypto::Digest> folded;
+  for (const auto& e : honest) {
+    auto [it2, inserted] = folded.emplace(e.pcr, crypto::zero_digest());
+    crypto::Sha256 ctx;
+    ctx.update(it2->second.data(), it2->second.size());
+    ctx.update(e.digest.data(), e.digest.size());
+    it2->second = ctx.finish();
+  }
+  EXPECT_NE(folded[4], machine.tpm().pcr_value(4));
+}
+
+}  // namespace
+}  // namespace cia

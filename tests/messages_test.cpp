@@ -1,0 +1,169 @@
+// Wire round-trip and hostile-input tests for every Keylime protocol
+// message.
+#include <gtest/gtest.h>
+
+#include "keylime/messages.hpp"
+#include "keylime/verifier.hpp"
+
+namespace cia::keylime {
+namespace {
+
+tpm::Tpm2 make_tpm() {
+  static const crypto::CertificateAuthority ca("mfg", to_bytes("seed"));
+  return tpm::Tpm2("dev", to_bytes("seed"), ca);
+}
+
+TEST(MessagesTest, RegisterRequestRoundTrip) {
+  const auto tpm = make_tpm();
+  RegisterRequest req;
+  req.agent_id = "node-with-a-long-name";
+  req.ek_cert = tpm.ek_certificate().encode();
+  req.ak_pub = tpm.ak_public().encode();
+  auto decoded = RegisterRequest::decode(req.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().agent_id, req.agent_id);
+  EXPECT_EQ(decoded.value().ek_cert, req.ek_cert);
+  EXPECT_EQ(decoded.value().ak_pub, req.ak_pub);
+}
+
+TEST(MessagesTest, RegisterChallengeRoundTrip) {
+  const auto tpm = make_tpm();
+  RegisterChallenge challenge;
+  challenge.blob = tpm::make_credential(tpm.ek_public(), tpm.ak_name(),
+                                        to_bytes("secret"), to_bytes("entropy"));
+  auto decoded = RegisterChallenge::decode(challenge.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().blob.ephemeral_pub, challenge.blob.ephemeral_pub);
+  EXPECT_EQ(decoded.value().blob.encrypted, challenge.blob.encrypted);
+  EXPECT_EQ(decoded.value().blob.mac, challenge.blob.mac);
+  EXPECT_EQ(decoded.value().blob.ak_name, challenge.blob.ak_name);
+}
+
+TEST(MessagesTest, ActivateRequestRoundTrip) {
+  ActivateRequest req;
+  req.agent_id = "node0";
+  req.proof = Bytes(32, 0xaa);
+  auto decoded = ActivateRequest::decode(req.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().agent_id, "node0");
+  EXPECT_EQ(decoded.value().proof, req.proof);
+}
+
+TEST(MessagesTest, GetAgentRoundTrip) {
+  GetAgentRequest req{"node0"};
+  auto decoded_req = GetAgentRequest::decode(req.encode());
+  ASSERT_TRUE(decoded_req.ok());
+  EXPECT_EQ(decoded_req.value().agent_id, "node0");
+
+  GetAgentResponse resp;
+  resp.active = true;
+  resp.ak_pub = Bytes(64, 0x01);
+  auto decoded_resp = GetAgentResponse::decode(resp.encode());
+  ASSERT_TRUE(decoded_resp.ok());
+  EXPECT_TRUE(decoded_resp.value().active);
+  EXPECT_EQ(decoded_resp.value().ak_pub, resp.ak_pub);
+}
+
+TEST(MessagesTest, QuoteRequestRoundTrip) {
+  QuoteRequest req;
+  req.nonce = Bytes{1, 2, 3, 4};
+  req.log_offset = 0xdeadbeefcafeull;
+  auto decoded = QuoteRequest::decode(req.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().nonce, req.nonce);
+  EXPECT_EQ(decoded.value().log_offset, req.log_offset);
+}
+
+TEST(MessagesTest, QuoteResponseRoundTripPreservesSignature) {
+  const auto tpm = make_tpm();
+  QuoteResponse resp;
+  resp.quote = tpm.quote(to_bytes("nonce"), quoted_pcrs());
+  ima::LogEntry entry;
+  entry.path = "/usr/bin/x";
+  entry.file_hash = crypto::sha256(std::string("x"));
+  entry.template_hash = crypto::sha256(std::string("t"));
+  resp.entries.push_back(entry);
+  resp.total_log_length = 7;
+  resp.boot_count = 3;
+
+  auto decoded = QuoteResponse::decode(resp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().quote.verify(tpm.ak_public()));
+  EXPECT_EQ(decoded.value().entries.size(), 1u);
+  EXPECT_EQ(decoded.value().entries[0].path, "/usr/bin/x");
+  EXPECT_EQ(decoded.value().total_log_length, 7u);
+  EXPECT_EQ(decoded.value().boot_count, 3u);
+}
+
+TEST(MessagesTest, BootLogResponseRoundTrip) {
+  BootLogResponse resp;
+  for (int i = 0; i < 5; ++i) {
+    oskernel::BootEvent e;
+    e.pcr = i % 2 ? 4 : 7;
+    e.description = "component-" + std::to_string(i);
+    e.digest = crypto::sha256(std::to_string(i));
+    resp.events.push_back(e);
+  }
+  auto decoded = BootLogResponse::decode(resp.encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().events.size(), 5u);
+  EXPECT_EQ(decoded.value().events[2].description, "component-2");
+  EXPECT_EQ(decoded.value().events[2].digest, crypto::sha256(std::string("2")));
+}
+
+TEST(MessagesTest, DecodersRejectTrailingGarbage) {
+  QuoteRequest req;
+  req.nonce = Bytes{1};
+  Bytes enc = req.encode();
+  enc.push_back(0x00);
+  EXPECT_FALSE(QuoteRequest::decode(enc).ok());
+
+  ActivateRequest act;
+  act.agent_id = "x";
+  Bytes enc2 = act.encode();
+  enc2.push_back(0x00);
+  EXPECT_FALSE(ActivateRequest::decode(enc2).ok());
+}
+
+TEST(MessagesTest, QuoteDecoderRejectsBadPcrIndices) {
+  const auto tpm = make_tpm();
+  QuoteResponse resp;
+  resp.quote = tpm.quote(to_bytes("n"), {tpm::kImaPcr});
+  Bytes enc = resp.encode();
+  // The PCR index is a u32 after device_id (8+3 bytes) + nonce (8+1) +
+  // count (4); flip it to an out-of-range value.
+  const std::size_t idx_offset = 8 + 3 + 8 + 1 + 4;
+  enc[idx_offset + 3] = 0xff;
+  EXPECT_FALSE(QuoteResponse::decode(enc).ok());
+}
+
+TEST(MessagesTest, BootLogDecoderRejectsImplausibleSizes) {
+  netsim::WireWriter w;
+  w.put_u32(1u << 20);  // claims a million events
+  EXPECT_FALSE(BootLogResponse::decode(w.data()).ok());
+}
+
+TEST(MessagesTest, BootLogDecoderRejectsBadPcr) {
+  netsim::WireWriter w;
+  w.put_u32(1);
+  w.put_u32(99);  // no such PCR
+  w.put_string("x");
+  w.put_digest(crypto::zero_digest());
+  EXPECT_FALSE(BootLogResponse::decode(w.data()).ok());
+}
+
+TEST(MessagesTest, AllDecodersRejectEmptyInput) {
+  EXPECT_FALSE(RegisterRequest::decode({}).ok());
+  EXPECT_FALSE(RegisterChallenge::decode({}).ok());
+  EXPECT_FALSE(ActivateRequest::decode({}).ok());
+  EXPECT_FALSE(GetAgentRequest::decode({}).ok());
+  EXPECT_FALSE(GetAgentResponse::decode({}).ok());
+  EXPECT_FALSE(QuoteRequest::decode({}).ok());
+  EXPECT_FALSE(QuoteResponse::decode({}).ok());
+  // An empty boot log is legitimately decodable only with its count field;
+  // a zero-byte payload is not.
+  EXPECT_FALSE(BootLogResponse::decode({}).ok());
+}
+
+}  // namespace
+}  // namespace cia::keylime

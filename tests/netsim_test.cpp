@@ -1,0 +1,160 @@
+// Unit tests for the simulated network and wire format.
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+#include "netsim/wire.hpp"
+
+namespace cia::netsim {
+namespace {
+
+// ------------------------------------------------------------------ wire
+
+TEST(WireTest, RoundTripAllTypes) {
+  WireWriter w;
+  w.put_u8(0xab);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_i64(-42);
+  w.put_bool(true);
+  w.put_string("hello");
+  w.put_bytes({1, 2, 3});
+  const crypto::Digest d = crypto::sha256(std::string("x"));
+  w.put_digest(d);
+
+  WireReader r(w.data());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_TRUE(r.boolean().value());
+  EXPECT_EQ(r.string().value(), "hello");
+  EXPECT_EQ(r.bytes().value(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.digest().value(), d);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireTest, TruncatedReadsFail) {
+  WireWriter w;
+  w.put_u64(7);
+  Bytes data = w.take();
+  data.pop_back();
+  WireReader r(data);
+  EXPECT_FALSE(r.u64().ok());
+}
+
+TEST(WireTest, TruncatedStringFails) {
+  WireWriter w;
+  w.put_string("hello");
+  Bytes data = w.take();
+  data.resize(data.size() - 2);
+  WireReader r(data);
+  EXPECT_FALSE(r.string().ok());
+}
+
+TEST(WireTest, OversizedLengthPrefixFails) {
+  WireWriter w;
+  w.put_u64(1ull << 40);  // claims a petabyte string
+  WireReader r(w.data());
+  EXPECT_FALSE(r.string().ok());
+}
+
+TEST(WireTest, BadBoolFails) {
+  WireWriter w;
+  w.put_u8(7);
+  WireReader r(w.data());
+  EXPECT_FALSE(r.boolean().ok());
+}
+
+// --------------------------------------------------------------- network
+
+class EchoEndpoint : public Endpoint {
+ public:
+  Result<Bytes> handle(const std::string& kind, const Bytes& payload) override {
+    ++calls;
+    if (kind == "fail") return err(Errc::kInternal, "handler error");
+    return payload;
+  }
+  int calls = 0;
+};
+
+TEST(NetworkTest, RoutesToAttachedEndpoint) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  auto resp = net.call("svc", "echo", to_bytes("ping"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(to_string(resp.value()), "ping");
+  EXPECT_EQ(echo.calls, 1);
+}
+
+TEST(NetworkTest, UnroutableAddressFails) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EXPECT_FALSE(net.call("nobody", "x", {}).ok());
+  EXPECT_EQ(net.stats().unroutable, 1u);
+}
+
+TEST(NetworkTest, DetachStopsRouting) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  net.detach("svc");
+  EXPECT_FALSE(net.call("svc", "x", {}).ok());
+}
+
+TEST(NetworkTest, HandlerErrorsPropagate) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  EXPECT_FALSE(net.call("svc", "fail", {}).ok());
+}
+
+TEST(NetworkTest, LatencyChargesClock) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultConfig faults;
+  faults.latency = 3;
+  net.set_faults(faults);
+  ASSERT_TRUE(net.call("svc", "echo", {}).ok());
+  ASSERT_TRUE(net.call("svc", "echo", {}).ok());
+  EXPECT_EQ(clock.now(), 6);
+}
+
+TEST(NetworkTest, DropRateDropsRoughlyProportionally) {
+  SimClock clock;
+  SimNetwork net(&clock, 42);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultConfig faults;
+  faults.drop_rate = 0.5;
+  net.set_faults(faults);
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!net.call("svc", "echo", to_bytes("x")).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 400);
+  EXPECT_LT(failures, 600);
+  EXPECT_EQ(net.stats().dropped, static_cast<std::uint64_t>(failures));
+}
+
+TEST(NetworkTest, TamperingCorruptsPayload) {
+  SimClock clock;
+  SimNetwork net(&clock, 7);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultConfig faults;
+  faults.tamper_rate = 1.0;
+  net.set_faults(faults);
+  auto resp = net.call("svc", "echo", to_bytes("payload"));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(to_string(resp.value()), "payload");
+  EXPECT_EQ(net.stats().tampered, 1u);
+}
+
+}  // namespace
+}  // namespace cia::netsim

@@ -1,0 +1,311 @@
+// Unit tests for the package substrate: archive generation, the release
+// stream's calibration targets, the mirror, and apt install semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.hpp"
+#include "pkg/apt.hpp"
+#include "pkg/archive.hpp"
+#include "pkg/cost_model.hpp"
+#include "pkg/mirror.hpp"
+
+namespace cia::pkg {
+namespace {
+
+ArchiveConfig small_config() {
+  ArchiveConfig cfg;
+  cfg.base_package_count = 200;
+  return cfg;
+}
+
+// --------------------------------------------------------------- package
+
+TEST(PackageTest, PriorityGrouping) {
+  EXPECT_TRUE(is_high_priority(Priority::kEssential));
+  EXPECT_TRUE(is_high_priority(Priority::kRequired));
+  EXPECT_TRUE(is_high_priority(Priority::kImportant));
+  EXPECT_TRUE(is_high_priority(Priority::kStandard));
+  EXPECT_FALSE(is_high_priority(Priority::kOptional));
+  EXPECT_FALSE(is_high_priority(Priority::kExtra));
+}
+
+TEST(PackageTest, ContentChangesWithRevision) {
+  PackageFile f;
+  f.path = "/usr/bin/x";
+  f.content_rev = 1;
+  const auto h1 = f.content_hash("pkg");
+  f.content_rev = 2;
+  const auto h2 = f.content_hash("pkg");
+  EXPECT_NE(h1, h2);
+}
+
+TEST(PackageTest, ContentDistinctAcrossPackagesAndPaths) {
+  PackageFile f;
+  f.path = "/usr/bin/x";
+  f.content_rev = 1;
+  EXPECT_NE(f.content_hash("a"), f.content_hash("b"));
+  PackageFile g = f;
+  g.path = "/usr/bin/y";
+  EXPECT_NE(f.content_hash("a"), g.content_hash("a"));
+}
+
+TEST(PackageTest, ExecutableAccounting) {
+  Package pkg;
+  pkg.name = "p";
+  pkg.files = {{"/usr/bin/a", true, 100, 1},
+               {"/usr/lib/p/b.so", true, 200, 1},
+               {"/usr/share/doc", false, 50, 1}};
+  EXPECT_EQ(pkg.executable_count(), 2u);
+  EXPECT_EQ(pkg.executable_bytes(), 300u);
+  EXPECT_GT(pkg.download_size(), 0u);
+}
+
+// --------------------------------------------------------------- archive
+
+TEST(ArchiveTest, BasePopulationGenerated) {
+  Archive archive(small_config(), 1);
+  // 200 base packages + kernel image + kernel modules.
+  EXPECT_EQ(archive.index().size(), 202u);
+  EXPECT_NE(archive.find("bash"), nullptr);
+  EXPECT_NE(archive.find("linux-modules-" + archive.current_kernel_version()),
+            nullptr);
+  EXPECT_GT(archive.total_executable_files(), 1000u);
+}
+
+TEST(ArchiveTest, DeterministicForSeed) {
+  Archive a(small_config(), 9);
+  Archive b(small_config(), 9);
+  EXPECT_EQ(a.index().size(), b.index().size());
+  auto ea = a.release_day(0);
+  auto eb = b.release_day(0);
+  EXPECT_EQ(ea.updated, eb.updated);
+  EXPECT_EQ(ea.release_time, eb.release_time);
+}
+
+TEST(ArchiveTest, ReleaseBumpsRevisions) {
+  Archive archive(small_config(), 2);
+  ReleaseEvent ev;
+  for (int day = 0; ev.updated.empty() && day < 50; ++day) {
+    ev = archive.release_day(day);
+  }
+  ASSERT_FALSE(ev.updated.empty());
+  const Package* pkg = archive.find(ev.updated[0]);
+  ASSERT_NE(pkg, nullptr);
+  EXPECT_GE(pkg->revision, 2u);
+}
+
+TEST(ArchiveTest, ReleaseTimeInsideDaytimeWindow) {
+  Archive archive(small_config(), 3);
+  for (int day = 0; day < 20; ++day) {
+    const auto ev = archive.release_day(day);
+    EXPECT_GE(ev.release_time, day * kDay + 8 * kHour);
+    EXPECT_LT(ev.release_time, day * kDay + 20 * kHour);
+  }
+}
+
+TEST(ArchiveTest, KernelReleaseAddsPackages) {
+  ArchiveConfig cfg = small_config();
+  cfg.kernel_release_prob = 1.0;  // force a kernel release every day
+  Archive archive(cfg, 4);
+  const std::string before = archive.current_kernel_version();
+  const auto ev = archive.release_day(0);
+  EXPECT_TRUE(ev.kernel_release);
+  EXPECT_NE(archive.current_kernel_version(), before);
+  EXPECT_NE(archive.find("linux-modules-" + archive.current_kernel_version()),
+            nullptr);
+}
+
+TEST(ArchiveTest, DailyStreamStatisticsNearPaperTargets) {
+  // Fig. 4 targets: mean 16.5 updated packages/day (sd 26.8), 0.9 of them
+  // high-priority. Averaged over a year of releases the synthetic stream
+  // must land in the neighbourhood.
+  Archive archive(ArchiveConfig{}, 12);
+  std::vector<double> counts, high_counts;
+  for (int day = 0; day < 365; ++day) {
+    const auto ev = archive.release_day(day);
+    const double n = static_cast<double>(ev.updated.size() + ev.added.size());
+    counts.push_back(n);
+    double high = 0;
+    for (const auto& name : ev.updated) {
+      if (is_high_priority(archive.find(name)->priority)) ++high;
+    }
+    high_counts.push_back(high);
+  }
+  const Summary s = summarize(counts);
+  EXPECT_GT(s.mean, 10.0);
+  EXPECT_LT(s.mean, 25.0);
+  EXPECT_GT(s.stddev, 10.0) << "the stream must be heavy-tailed";
+  const Summary hs = summarize(high_counts);
+  EXPECT_GT(hs.mean, 0.2);
+  EXPECT_LT(hs.mean, 2.5);
+}
+
+TEST(ArchiveTest, WeeklyDistinctLessThanSevenTimesDaily) {
+  // Table I: Zipf-weighted repeat updates make a week's worth of distinct
+  // updated packages clearly less than 7x the daily mean.
+  Archive archive(ArchiveConfig{}, 13);
+  double total_events = 0;
+  std::set<std::string> distinct_week;
+  std::vector<double> weekly_distinct;
+  for (int day = 0; day < 28 * 4; ++day) {
+    const auto ev = archive.release_day(day);
+    total_events += static_cast<double>(ev.updated.size());
+    for (const auto& n : ev.updated) distinct_week.insert(n);
+    if ((day + 1) % 7 == 0) {
+      weekly_distinct.push_back(static_cast<double>(distinct_week.size()));
+      distinct_week.clear();
+    }
+  }
+  const double daily_mean = total_events / (28 * 4);
+  const double weekly_mean = summarize(weekly_distinct).mean;
+  EXPECT_LT(weekly_mean, 6.0 * daily_mean)
+      << "weekly batches must coalesce repeat updates";
+}
+
+// ---------------------------------------------------------------- mirror
+
+TEST(MirrorTest, SyncSnapshotsIndex) {
+  Archive archive(small_config(), 5);
+  Mirror mirror(&archive);
+  EXPECT_FALSE(mirror.has_synced());
+  mirror.sync(5 * kHour);
+  EXPECT_TRUE(mirror.has_synced());
+  EXPECT_EQ(mirror.index().size(), archive.index().size());
+}
+
+TEST(MirrorTest, StaleUntilNextSync) {
+  Archive archive(small_config(), 6);
+  Mirror mirror(&archive);
+  mirror.sync(5 * kHour);
+
+  ReleaseEvent ev;
+  for (int day = 0; ev.updated.empty() && day < 50; ++day) {
+    ev = archive.release_day(day);
+  }
+  ASSERT_FALSE(ev.updated.empty());
+  const std::string& name = ev.updated[0];
+  EXPECT_LT(mirror.find(name)->revision, archive.find(name)->revision)
+      << "a release after the sync must not be visible on the mirror";
+  mirror.sync(29 * kHour);
+  EXPECT_EQ(mirror.find(name)->revision, archive.find(name)->revision);
+}
+
+// ------------------------------------------------------------------- apt
+
+struct AptFixture : ::testing::Test {
+  AptFixture()
+      : ca("mfg", to_bytes("seed")),
+        machine(oskernel::MachineConfig{}, ca, &clock),
+        archive(small_config(), 7),
+        apt(&machine, CostModel{}) {}
+
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  oskernel::Machine machine;
+  Archive archive;
+  AptClient apt;
+};
+
+TEST_F(AptFixture, ProvisionInstallsFiles) {
+  ASSERT_TRUE(apt.provision(archive.index(), {"bash", "python3"}).ok());
+  EXPECT_TRUE(machine.fs().is_file("/usr/bin/bash"));
+  EXPECT_TRUE(machine.fs().is_file("/usr/bin/python3"));
+  EXPECT_TRUE(apt.is_installed("bash"));
+  EXPECT_EQ(apt.installed().size(), 2u);
+}
+
+TEST_F(AptFixture, ProvisionUnknownPackageFails) {
+  EXPECT_FALSE(apt.provision(archive.index(), {"no-such-pkg"}).ok());
+}
+
+TEST_F(AptFixture, InstalledFileHashesMatchManifest) {
+  ASSERT_TRUE(apt.provision(archive.index(), {"bash"}).ok());
+  const Package* bash = archive.find("bash");
+  for (const auto& f : bash->files) {
+    const auto st = machine.fs().stat(f.path);
+    ASSERT_TRUE(st.ok()) << f.path;
+    EXPECT_EQ(st.value().content_hash, f.content_hash("bash"));
+    EXPECT_EQ(st.value().executable, f.executable);
+  }
+}
+
+TEST_F(AptFixture, UpgradeReplacesWithFreshInode) {
+  ASSERT_TRUE(apt.provision(archive.index(), {"bash"}).ok());
+  const auto before = machine.fs().stat("/usr/bin/bash").value();
+
+  // Release days until bash updates (it is a hot Zipf rank).
+  bool updated = false;
+  for (int day = 0; day < 200 && !updated; ++day) {
+    const auto ev = archive.release_day(day);
+    for (const auto& n : ev.updated) updated |= (n == "bash");
+  }
+  ASSERT_TRUE(updated);
+
+  const auto result = apt.upgrade(archive.index());
+  ASSERT_FALSE(result.upgraded.empty());
+  const auto after = machine.fs().stat("/usr/bin/bash").value();
+  EXPECT_NE(before.id, after.id) << "dpkg rename-over must produce a new inode";
+  EXPECT_NE(before.content_hash, after.content_hash);
+}
+
+TEST_F(AptFixture, UpgradeNoopWhenCurrent) {
+  ASSERT_TRUE(apt.provision(archive.index(), {"bash"}).ok());
+  const auto result = apt.upgrade(archive.index());
+  EXPECT_TRUE(result.upgraded.empty());
+  EXPECT_EQ(result.bytes_downloaded, 0u);
+}
+
+TEST_F(AptFixture, UpgradeChargesVirtualTime) {
+  ASSERT_TRUE(apt.provision(archive.index(), {"bash"}).ok());
+  bool updated = false;
+  for (int day = 0; day < 200 && !updated; ++day) {
+    const auto ev = archive.release_day(day);
+    for (const auto& n : ev.updated) updated |= (n == "bash");
+  }
+  ASSERT_TRUE(updated);
+  const SimTime before = clock.now();
+  const auto result = apt.upgrade(archive.index());
+  ASSERT_FALSE(result.upgraded.empty());
+  EXPECT_GT(clock.now(), before);
+}
+
+TEST_F(AptFixture, UnattendedUpgradesFireOncePerDayAfterHour) {
+  ASSERT_TRUE(apt.provision(archive.index(), {"bash", "python3"}).ok());
+  UnattendedUpgrades daemon(&apt, &archive, 6 * kHour);
+  (void)archive.release_day(0);
+
+  EXPECT_FALSE(daemon.tick(5 * kHour).has_value()) << "before the hour";
+  EXPECT_TRUE(daemon.tick(7 * kHour).has_value());
+  EXPECT_FALSE(daemon.tick(8 * kHour).has_value()) << "once per day";
+  EXPECT_TRUE(daemon.tick(kDay + 7 * kHour).has_value());
+}
+
+TEST_F(AptFixture, UnattendedUpgradesRespectDisable) {
+  UnattendedUpgrades daemon(&apt, &archive, 6 * kHour);
+  daemon.set_enabled(false);
+  EXPECT_FALSE(daemon.tick(7 * kHour).has_value());
+}
+
+// ------------------------------------------------------------ cost model
+
+TEST(CostModelTest, BiggerPackagesCostMore) {
+  CostModel cost;
+  Package small;
+  small.name = "s";
+  small.files = {{"/usr/bin/s", true, 10 * 1024, 1}};
+  Package large;
+  large.name = "l";
+  large.files = {{"/usr/bin/l", true, 200 * 1024 * 1024, 1}};
+  EXPECT_GT(cost.package_processing_sec(large),
+            cost.package_processing_sec(small) * 10);
+}
+
+TEST(CostModelTest, PolicyUpdateIncludesMirrorRefresh) {
+  CostModel cost;
+  EXPECT_GE(cost.policy_update_sec(std::vector<const Package*>{}),
+            cost.mirror_refresh_sec);
+}
+
+}  // namespace
+}  // namespace cia::pkg

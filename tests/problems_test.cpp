@@ -1,0 +1,249 @@
+// Mechanism-level tests for the paper's five problems: each P is
+// exercised in isolation through the full attestation pipeline, and each
+// §IV-C mitigation is shown to close exactly its own hole.
+#include <gtest/gtest.h>
+
+#include "experiments/testbed.hpp"
+
+namespace cia::experiments {
+namespace {
+
+struct ProblemRig {
+  explicit ProblemRig(bool mitigated) : bed(make_options(mitigated)) {
+    EXPECT_TRUE(bed.enroll().ok());
+    keylime::RuntimePolicy policy = scan_machine_policy(bed.machine, false);
+    if (!mitigated) policy.exclude("/tmp/*");
+    EXPECT_TRUE(bed.verifier.set_policy(bed.agent_id(), policy).ok());
+    if (mitigated) {
+      bed.machine.register_sec_aware_interpreter("/usr/bin/bash");
+    }
+    bed.attest();
+  }
+
+  static TestbedOptions make_options(bool mitigated) {
+    TestbedOptions options;
+    options.provision_extra = 5;
+    options.archive.base_package_count = 60;
+    if (mitigated) {
+      options.ima_policy = ima::ImaPolicy::enriched();
+      options.ima_config.reevaluate_on_path_change = true;
+      options.ima_config.script_exec_control = true;
+      options.verifier_config.continue_on_failure = true;
+    }
+    return options;
+  }
+
+  bool alerted_on(const std::string& fragment) const {
+    for (const auto& alert : bed.verifier.alerts()) {
+      if (alert.path.find(fragment) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+  Testbed bed;
+};
+
+// --------------------------------------------------------------------- P1
+
+TEST(ProblemP1, TmpExclusionAloneHidesAMeasuredExecution) {
+  ProblemRig rig(/*mitigated=*/false);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/tmp/payload", to_bytes("elf:p1"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/tmp/payload").ok());
+  rig.bed.attest();
+
+  // The execution IS in the measurement list (IMA measures root-fs /tmp)…
+  bool measured = false;
+  for (const auto& e : rig.bed.machine.ima().log()) {
+    measured |= e.path == "/tmp/payload";
+  }
+  EXPECT_TRUE(measured) << "/tmp lives on the root fs and is measured";
+  // …but Keylime's exclude glob silences it.
+  EXPECT_FALSE(rig.alerted_on("payload"));
+}
+
+TEST(ProblemP1, EnrichedPolicyClosesTheHole) {
+  ProblemRig rig(/*mitigated=*/true);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/tmp/payload", to_bytes("elf:p1"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/tmp/payload").ok());
+  rig.bed.attest();
+  EXPECT_TRUE(rig.alerted_on("payload"));
+}
+
+// --------------------------------------------------------------------- P2
+
+TEST(ProblemP2, HaltedEvaluationBlindsTheVerifierToLaterEntries) {
+  ProblemRig rig(/*mitigated=*/false);
+  // Benign-looking decoy first.
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/usr/local/bin/decoy", to_bytes("elf:d"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/local/bin/decoy").ok());
+  rig.bed.attest();  // FP fires; polling stops
+  ASSERT_EQ(rig.bed.verifier.state(rig.bed.agent_id()),
+            keylime::AgentState::kFailed);
+
+  // The real payload runs in a fully monitored location.
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/usr/bin/implant", to_bytes("elf:i"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/bin/implant").ok());
+  for (int i = 0; i < 5; ++i) rig.bed.attest();
+  EXPECT_FALSE(rig.alerted_on("implant"))
+      << "P2: the halt leaves the implant's entry unevaluated";
+}
+
+TEST(ProblemP2, ContinueOnFailureEvaluatesTheImplant) {
+  ProblemRig rig(/*mitigated=*/true);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/usr/local/bin/decoy", to_bytes("elf:d"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/local/bin/decoy").ok());
+  rig.bed.attest();
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/usr/bin/implant", to_bytes("elf:i"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/bin/implant").ok());
+  rig.bed.attest();
+  EXPECT_TRUE(rig.alerted_on("implant"));
+}
+
+// --------------------------------------------------------------------- P3
+
+TEST(ProblemP3, TmpfsExecutionProducesNoMeasurementAtAll) {
+  ProblemRig rig(/*mitigated=*/false);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/dev/shm/payload", to_bytes("elf:p3"), true)
+                  .ok());
+  const std::size_t log_before = rig.bed.machine.ima().log().size();
+  ASSERT_TRUE(rig.bed.machine.exec("/dev/shm/payload").ok());
+  EXPECT_EQ(rig.bed.machine.ima().log().size(), log_before)
+      << "P3: the stock IMA policy skips tmpfs by fsmagic";
+  rig.bed.attest();
+  EXPECT_FALSE(rig.alerted_on("payload"));
+}
+
+TEST(ProblemP3, EnrichedImaPolicyMeasuresTmpfs) {
+  ProblemRig rig(/*mitigated=*/true);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/dev/shm/payload", to_bytes("elf:p3"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/dev/shm/payload").ok());
+  rig.bed.attest();
+  EXPECT_TRUE(rig.alerted_on("payload"));
+}
+
+// --------------------------------------------------------------------- P4
+
+TEST(ProblemP4, StagedMoveIsInvisibleWithStockCacheAndExclude) {
+  ProblemRig rig(/*mitigated=*/false);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/tmp/stage", to_bytes("elf:p4"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/tmp/stage").ok());  // measured, excluded
+  ASSERT_TRUE(rig.bed.machine.fs().rename("/tmp/stage", "/usr/bin/stage").ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/bin/stage").ok());  // cached inode
+  rig.bed.attest();
+  EXPECT_FALSE(rig.alerted_on("stage"))
+      << "P4: no fresh measurement after the same-fs move";
+}
+
+TEST(ProblemP4, PathAwareCacheRemeasuresAtTheDestination) {
+  ProblemRig rig(/*mitigated=*/true);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/tmp/stage", to_bytes("elf:p4"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/tmp/stage").ok());
+  ASSERT_TRUE(rig.bed.machine.fs().rename("/tmp/stage", "/usr/bin/stage").ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/bin/stage").ok());
+  rig.bed.attest();
+  EXPECT_TRUE(rig.alerted_on("/usr/bin/stage"));
+}
+
+TEST(ProblemP4, HardLinkVariantAlsoEvades) {
+  // The same cache mechanics work without ever moving the file: hard-link
+  // the staged payload into the monitored directory — identical inode,
+  // no fresh measurement, and the staging copy can even stay in place.
+  ProblemRig rig(/*mitigated=*/false);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/tmp/stage", to_bytes("elf:p4l"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/tmp/stage").ok());
+  ASSERT_TRUE(rig.bed.machine.fs().link("/tmp/stage", "/usr/bin/stage").ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/bin/stage").ok());
+  rig.bed.attest();
+  EXPECT_FALSE(rig.alerted_on("stage"));
+}
+
+TEST(ProblemP4, PathAwareCacheCatchesTheHardLinkVariant) {
+  ProblemRig rig(/*mitigated=*/true);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/tmp/stage", to_bytes("elf:p4l"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/tmp/stage").ok());
+  ASSERT_TRUE(rig.bed.machine.fs().link("/tmp/stage", "/usr/bin/stage").ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/usr/bin/stage").ok());
+  rig.bed.attest();
+  EXPECT_TRUE(rig.alerted_on("/usr/bin/stage"));
+}
+
+// --------------------------------------------------------------------- P5
+
+TEST(ProblemP5, InterpreterInvocationAttestsOnlyTheInterpreter) {
+  ProblemRig rig(/*mitigated=*/false);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/home/user/bot.sh", to_bytes("sh:p5"), false)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine
+                  .exec_via_interpreter("/usr/bin/bash", "/home/user/bot.sh")
+                  .ok());
+  rig.bed.attest();
+  EXPECT_FALSE(rig.alerted_on("bot.sh"));
+  EXPECT_EQ(rig.bed.verifier.state(rig.bed.agent_id()),
+            keylime::AgentState::kAttesting)
+      << "only the in-policy interpreter was attested";
+}
+
+TEST(ProblemP5, ShebangInvocationAttestsTheScript) {
+  ProblemRig rig(/*mitigated=*/false);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/home/user/bot.sh",
+                               to_bytes("#!/usr/bin/bash\nsh:p5"), true)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine.exec("/home/user/bot.sh").ok());
+  rig.bed.attest();
+  EXPECT_TRUE(rig.alerted_on("bot.sh"))
+      << "./script measures the script itself (the good case of P5)";
+}
+
+TEST(ProblemP5, SecAwareInterpreterClosesTheHole) {
+  ProblemRig rig(/*mitigated=*/true);
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/home/user/bot.sh", to_bytes("sh:p5"), false)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine
+                  .exec_via_interpreter("/usr/bin/bash", "/home/user/bot.sh")
+                  .ok());
+  rig.bed.attest();
+  EXPECT_TRUE(rig.alerted_on("bot.sh"));
+}
+
+TEST(ProblemP5, NonOptInInterpreterRemainsAGapEvenMitigated) {
+  ProblemRig rig(/*mitigated=*/true);  // python3 is NOT registered SEC-aware
+  ASSERT_TRUE(rig.bed.machine.fs()
+                  .create_file("/home/user/bot.py", to_bytes("py:p5"), false)
+                  .ok());
+  ASSERT_TRUE(rig.bed.machine
+                  .exec_via_interpreter("/usr/bin/python3", "/home/user/bot.py")
+                  .ok());
+  rig.bed.attest();
+  EXPECT_FALSE(rig.alerted_on("bot.py"))
+      << "P5 cannot be fully mitigated without every interpreter opting in "
+         "— the Aoyama argument";
+}
+
+}  // namespace
+}  // namespace cia::experiments

@@ -1,0 +1,323 @@
+// Property-based suites (parameterized over seeds / sizes) asserting the
+// library's core invariants:
+//
+//   * IMA/TPM: replaying the measurement list always reproduces PCR 10,
+//     no matter what the machine did;
+//   * VFS: inode identity is unique per filesystem and stable across
+//     in-filesystem renames, under arbitrary operation sequences;
+//   * policy: serialize/parse round-trips arbitrary policies; dedup never
+//     removes the ability to match the newest hash;
+//   * wire: arbitrary truncations of valid messages fail cleanly;
+//   * crypto: streaming hashing equals one-shot for any chunking; every
+//     signed message verifies and no tampered one does.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "crypto/schnorr.hpp"
+#include "keylime/messages.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia {
+namespace {
+
+// ----------------------------------------------- IMA replay invariant
+
+class ImaReplayProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImaReplayProperty, RandomActivityAlwaysReplaysToPcr10) {
+  Rng rng(GetParam());
+  crypto::CertificateAuthority ca("mfg", to_bytes("seed"));
+  SimClock clock;
+  oskernel::MachineConfig config;
+  config.seed = GetParam();
+  oskernel::Machine machine(config, ca, &clock);
+  auto& fs = machine.fs();
+
+  std::vector<std::string> files;
+  for (int step = 0; step < 300; ++step) {
+    const auto action = rng.uniform(8);
+    if (action <= 2 || files.empty()) {
+      // Create an executable somewhere (sometimes on excluded mounts).
+      static const char* kDirs[] = {"/usr/bin", "/tmp", "/dev/shm",
+                                    "/opt", "/proc", "/home"};
+      const std::string path = std::string(kDirs[rng.uniform(6)]) + "/f" +
+                               std::to_string(step);
+      if (fs.create_file(path, rng.bytes(16), true).ok()) {
+        files.push_back(path);
+      }
+    } else if (action == 3) {
+      (void)machine.exec(files[rng.uniform(files.size())]);
+    } else if (action == 4) {
+      machine.mmap_library(files[rng.uniform(files.size())]);
+    } else if (action == 5) {
+      (void)fs.write_file(files[rng.uniform(files.size())], rng.bytes(16));
+    } else if (action == 6) {
+      const std::size_t idx = rng.uniform(files.size());
+      const std::string dst = "/moved/f" + std::to_string(step);
+      if (fs.rename(files[idx], dst).ok()) files[idx] = dst;
+    } else {
+      (void)machine.load_kernel_module(files[rng.uniform(files.size())]);
+    }
+
+    if (step % 50 == 0) {
+      ASSERT_EQ(ima::replay_log(machine.ima().log()),
+                machine.tpm().pcr_value(tpm::kImaPcr))
+          << "seed " << GetParam() << " step " << step;
+    }
+  }
+  EXPECT_EQ(ima::replay_log(machine.ima().log()),
+            machine.tpm().pcr_value(tpm::kImaPcr));
+
+  // The invariant must survive a reboot as well.
+  machine.reboot();
+  for (const auto& f : files) (void)machine.exec(f);
+  EXPECT_EQ(ima::replay_log(machine.ima().log()),
+            machine.tpm().pcr_value(tpm::kImaPcr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImaReplayProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ----------------------------------------------------- VFS invariants
+
+class VfsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VfsProperty, InodesUniquePerFilesystemUnderRandomOps) {
+  Rng rng(GetParam());
+  vfs::Vfs fs;
+  ASSERT_TRUE(fs.mount("/tmp2", vfs::FsType::kTmpfs).ok());
+  ASSERT_TRUE(fs.mount("/data", vfs::FsType::kExt4).ok());
+
+  std::vector<std::string> files;
+  for (int step = 0; step < 400; ++step) {
+    const auto action = rng.uniform(5);
+    if (action <= 1 || files.empty()) {
+      static const char* kDirs[] = {"/usr", "/tmp2", "/data", "/home"};
+      const std::string path = std::string(kDirs[rng.uniform(4)]) + "/f" +
+                               std::to_string(step);
+      if (fs.create_file(path, rng.bytes(8), rng.chance(0.5)).ok()) {
+        files.push_back(path);
+      }
+    } else if (action == 2) {
+      const std::size_t idx = rng.uniform(files.size());
+      static const char* kDirs[] = {"/usr", "/tmp2", "/data"};
+      const std::string dst = std::string(kDirs[rng.uniform(3)]) + "/m" +
+                              std::to_string(step);
+      if (fs.rename(files[idx], dst).ok()) files[idx] = dst;
+    } else if (action == 3) {
+      const std::size_t idx = rng.uniform(files.size());
+      if (fs.unlink(files[idx]).ok()) {
+        files.erase(files.begin() + static_cast<std::ptrdiff_t>(idx));
+      }
+    } else {
+      (void)fs.write_file(files[rng.uniform(files.size())], rng.bytes(8));
+    }
+  }
+
+  // Invariants: listing agrees with our bookkeeping, and no two files on
+  // one filesystem share an inode.
+  EXPECT_EQ(fs.list_files("/").size(), files.size());
+  std::set<vfs::FileIdentity> identities;
+  for (const auto& path : files) {
+    const auto st = fs.stat(path);
+    ASSERT_TRUE(st.ok()) << path;
+    EXPECT_TRUE(identities.insert(st.value().id).second)
+        << "duplicate identity for " << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ------------------------------------------------- policy round trips
+
+class PolicyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyProperty, SerializeParseRoundTripsRandomPolicies) {
+  Rng rng(GetParam());
+  keylime::RuntimePolicy policy;
+  const std::size_t paths = 50 + rng.uniform(200);
+  for (std::size_t i = 0; i < paths; ++i) {
+    const std::string path = "/usr/" + rng.ident(1 + rng.uniform(3)) + "/" +
+                             rng.ident(8);
+    const std::size_t hashes = 1 + rng.uniform(3);
+    for (std::size_t j = 0; j < hashes; ++j) {
+      policy.allow(path, to_hex(rng.bytes(32)));
+    }
+  }
+  policy.exclude("/tmp/*");
+  policy.exclude("/" + rng.ident(4) + "/*");
+
+  auto parsed = keylime::RuntimePolicy::parse(policy.serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().entry_count(), policy.entry_count());
+  EXPECT_EQ(parsed.value().path_count(), policy.path_count());
+  EXPECT_EQ(parsed.value().serialize(), policy.serialize());
+}
+
+TEST_P(PolicyProperty, DedupKeepsExactlyTheNewestHash) {
+  Rng rng(GetParam());
+  keylime::RuntimePolicy policy;
+  std::map<std::string, std::string> newest;
+  for (int i = 0; i < 300; ++i) {
+    const std::string path = "/bin/" + rng.ident(2);
+    const std::string hash = to_hex(rng.bytes(32));
+    policy.allow(path, hash);
+    newest[path] = hash;
+  }
+  policy.dedup();
+  EXPECT_EQ(policy.entry_count(), newest.size());
+  for (const auto& [path, hash] : newest) {
+    EXPECT_EQ(policy.check(path, hash), keylime::PolicyMatch::kAllowed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyProperty,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------- wire truncation
+
+class WireTruncationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireTruncationProperty, TruncatedQuoteResponsesFailCleanly) {
+  crypto::CertificateAuthority ca("mfg", to_bytes("seed"));
+  tpm::Tpm2 tpm("dev", to_bytes("seed"), ca);
+  keylime::QuoteResponse resp;
+  resp.quote = tpm.quote(to_bytes("nonce"), {tpm::kImaPcr});
+  for (int i = 0; i < 5; ++i) {
+    ima::LogEntry e;
+    e.path = "/usr/bin/tool" + std::to_string(i);
+    e.file_hash = crypto::sha256(std::to_string(i));
+    e.template_hash = crypto::sha256("t" + std::to_string(i));
+    resp.entries.push_back(e);
+  }
+  resp.total_log_length = 5;
+  resp.boot_count = 1;
+  const Bytes encoded = resp.encode();
+
+  // Truncate at a fraction of the length (parameter = percent).
+  const std::size_t cut = encoded.size() * static_cast<std::size_t>(GetParam()) / 100;
+  const Bytes truncated(encoded.begin(),
+                        encoded.begin() + static_cast<std::ptrdiff_t>(cut));
+  const auto decoded = keylime::QuoteResponse::decode(truncated);
+  if (cut == encoded.size()) {
+    EXPECT_TRUE(decoded.ok());
+  } else {
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut << "/" << encoded.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, WireTruncationProperty,
+                         ::testing::Values(0, 5, 17, 33, 50, 66, 80, 95, 99,
+                                           100));
+
+TEST(WireFuzzTest, RandomBitFlipsNeverCrashDecoders) {
+  Rng rng(7);
+  crypto::CertificateAuthority ca("mfg", to_bytes("seed"));
+  tpm::Tpm2 tpm("dev", to_bytes("seed"), ca);
+  keylime::QuoteResponse resp;
+  resp.quote = tpm.quote(to_bytes("nonce"), {tpm::kImaPcr});
+  resp.total_log_length = 0;
+  resp.boot_count = 1;
+  const Bytes encoded = resp.encode();
+  for (int trial = 0; trial < 500; ++trial) {
+    Bytes corrupted = encoded;
+    const std::size_t flips = 1 + rng.uniform(8);
+    for (std::size_t i = 0; i < flips; ++i) {
+      corrupted[rng.uniform(corrupted.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(8));
+    }
+    // Must not crash; may or may not decode, but if it decodes the quote
+    // signature check must reject any semantic change.
+    const auto decoded = keylime::QuoteResponse::decode(corrupted);
+    if (decoded.ok() && !(corrupted == encoded)) {
+      // Either the mutation hit a redundant byte or verification fails.
+      (void)decoded.value().quote.verify(tpm.ak_public());
+    }
+  }
+  SUCCEED();
+}
+
+// -------------------------------------------------- crypto properties
+
+class HashChunkingProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HashChunkingProperty, StreamingEqualsOneShotForAnyChunkSize) {
+  Rng rng(99);
+  const Bytes data = rng.bytes(4096 + 77);
+  const auto expected = crypto::sha256(data);
+  crypto::Sha256 ctx;
+  for (std::size_t off = 0; off < data.size(); off += GetParam()) {
+    const std::size_t len = std::min(GetParam(), data.size() - off);
+    ctx.update(data.data() + off, len);
+  }
+  EXPECT_EQ(ctx.finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, HashChunkingProperty,
+                         ::testing::Values(1, 3, 7, 32, 63, 64, 65, 127, 128,
+                                           1000, 4096));
+
+class SignVerifyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SignVerifyProperty, EverySignatureVerifiesAndTamperedOnesDoNot) {
+  Rng rng(GetParam());
+  const auto key = crypto::derive_keypair(rng.bytes(32), "prop");
+  for (int i = 0; i < 5; ++i) {
+    const Bytes msg = rng.bytes(1 + rng.uniform(256));
+    const auto sig = crypto::sign(key, msg);
+    EXPECT_TRUE(crypto::verify(key.pub, msg, sig));
+    Bytes tampered = msg;
+    tampered[rng.uniform(tampered.size())] ^= 0x01;
+    EXPECT_FALSE(crypto::verify(key.pub, tampered, sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignVerifyProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+// -------------------------------------------------- P4 inode property
+
+class RenameMeasurementProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RenameMeasurementProperty, StockImaNeverRemeasuresAfterRename) {
+  // For any file measured once, any chain of same-filesystem renames
+  // followed by re-execution adds no log entry (the P4 guarantee the
+  // attacks rely on); any *content change* always re-measures.
+  Rng rng(GetParam());
+  crypto::CertificateAuthority ca("mfg", to_bytes("seed"));
+  SimClock clock;
+  oskernel::Machine machine(oskernel::MachineConfig{}, ca, &clock);
+  auto& fs = machine.fs();
+
+  std::string path = "/home/f0";
+  ASSERT_TRUE(fs.create_file(path, rng.bytes(8), true).ok());
+  ASSERT_TRUE(machine.exec(path).ok());
+  const std::size_t measured = machine.ima().log().size();
+
+  for (int i = 1; i <= 10; ++i) {
+    const std::string dst = "/usr/dir" + std::to_string(rng.uniform(4)) +
+                            "/f" + std::to_string(i);
+    ASSERT_TRUE(fs.rename(path, dst).ok());
+    path = dst;
+    ASSERT_TRUE(machine.exec(path).ok());
+    EXPECT_EQ(machine.ima().log().size(), measured) << "rename " << i;
+  }
+
+  ASSERT_TRUE(fs.write_file(path, rng.bytes(8)).ok());
+  ASSERT_TRUE(machine.exec(path).ok());
+  EXPECT_EQ(machine.ima().log().size(), measured + 1)
+      << "content change must always re-measure";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenameMeasurementProperty,
+                         ::testing::Values(17, 29, 41));
+
+}  // namespace
+}  // namespace cia

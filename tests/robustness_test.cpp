@@ -1,0 +1,213 @@
+// Robustness suites: the headline zero-false-positive claim across seeds,
+// attestation under a lossy network, and protocol edge cases.
+#include <gtest/gtest.h>
+
+#include "core/policy_analyzer.hpp"
+#include "core/update_orchestrator.hpp"
+#include "experiments/fp_experiment.hpp"
+#include "experiments/testbed.hpp"
+#include "experiments/workload.hpp"
+
+namespace cia::experiments {
+namespace {
+
+// ------------------------------------------- zero-FP claim, seed sweep
+
+class DynamicSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicSeedSweep, FiveDayRunStaysGreen) {
+  DynamicRunOptions options;
+  options.seed = GetParam();
+  options.days = 5;
+  options.archive.base_package_count = 130;
+  options.provision_extra = 20;
+  const auto result = run_dynamic_policy_experiment(options);
+  EXPECT_EQ(result.false_positives, 0u)
+      << "seed " << GetParam()
+      << ": the dynamic policy scheme must hold for any release stream";
+  EXPECT_EQ(result.updates_run, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicSeedSweep,
+                         ::testing::Values(7, 99, 1234, 5150, 424242));
+
+// -------------------------------------- orchestrator coverage invariant
+
+class OrchestratorCoverageProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrchestratorCoverageProperty, PolicyAlwaysCoversTheMachine) {
+  // Invariant of the §III-C scheme: after every update cycle, every
+  // package-managed executable on the machine validates against the
+  // pushed policy — no stale hashes, ever. (The only uncovered file is
+  // the bootloader, which measured boot covers instead of IMA.)
+  TestbedOptions options;
+  options.seed = GetParam();
+  options.provision_extra = 20;
+  options.archive.base_package_count = 120;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  core::DynamicPolicyGenerator generator(&bed.mirror, core::GeneratorConfig{});
+  core::UpdateOrchestrator orchestrator(&bed.mirror, &generator, &bed.verifier,
+                                        &bed.clock);
+  orchestrator.manage({&bed.machine, &bed.apt, bed.agent_id()});
+  ASSERT_TRUE(orchestrator.bootstrap().ok());
+
+  for (int day = 0; day < 6; ++day) {
+    (void)bed.archive.release_day(day);
+    bed.clock.advance_to((day + 1) * kDay + 5 * kHour);
+    auto report = orchestrator.run_cycle();
+    ASSERT_TRUE(report.ok());
+
+    const auto coverage =
+        core::analyze_coverage(bed.machine, orchestrator.policy());
+    EXPECT_EQ(coverage.stale_hash, 0u)
+        << "seed " << GetParam() << " day " << day << ": "
+        << coverage.to_string();
+    EXPECT_LE(coverage.uncovered, 1u)
+        << "only the bootloader may be uncovered: " << coverage.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrchestratorCoverageProperty,
+                         ::testing::Values(2, 19, 77, 2024));
+
+// -------------------------------------------------- lossy-network runs
+
+TEST(LossyNetworkTest, AttestationSurvivesDropsWithoutFalseFailures) {
+  TestbedOptions options;
+  options.provision_extra = 15;
+  options.archive.base_package_count = 100;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  (void)bed.verifier.set_policy(bed.agent_id(),
+                                scan_machine_policy(bed.machine, true));
+
+  netsim::FaultConfig faults;
+  faults.drop_rate = 0.3;
+  bed.network.set_faults(faults);
+
+  Workload workload(&bed.machine, 5);
+  std::size_t successes = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (i % 10 == 0) workload.run_session();
+    auto round = bed.verifier.attest_once(bed.agent_id());
+    ASSERT_TRUE(round.ok());
+    if (round.value().alerts.empty()) ++successes;
+  }
+  EXPECT_EQ(bed.verifier.state(bed.agent_id()), keylime::AgentState::kAttesting)
+      << "packet loss must never fail an agent";
+  EXPECT_GT(successes, 20u);
+  for (const auto& alert : bed.verifier.alerts()) {
+    EXPECT_EQ(alert.type, keylime::AlertType::kCommsFailure);
+  }
+}
+
+TEST(LossyNetworkTest, TamperingNeverProducesPolicyAlerts) {
+  // A man-in-the-middle can corrupt responses, but corruption must only
+  // ever yield crypto failures — never a fabricated policy verdict.
+  TestbedOptions options;
+  options.provision_extra = 10;
+  options.archive.base_package_count = 100;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  (void)bed.verifier.set_policy(bed.agent_id(),
+                                scan_machine_policy(bed.machine, true));
+  (void)bed.machine.exec("/usr/bin/bash");
+
+  netsim::FaultConfig faults;
+  faults.tamper_rate = 1.0;
+  bed.network.set_faults(faults);
+  for (int i = 0; i < 20; ++i) {
+    (void)bed.verifier.resolve_failure(bed.agent_id());
+    (void)bed.verifier.attest_once(bed.agent_id());
+  }
+  for (const auto& alert : bed.verifier.alerts()) {
+    EXPECT_TRUE(alert.type == keylime::AlertType::kQuoteInvalid ||
+                alert.type == keylime::AlertType::kReplayMismatch ||
+                alert.type == keylime::AlertType::kCommsFailure)
+        << "tampering produced a " << keylime::alert_type_name(alert.type);
+  }
+}
+
+// ------------------------------------------------- protocol edge cases
+
+struct ProtocolRig : ::testing::Test {
+  ProtocolRig()
+      : ca("mfg", to_bytes("seed")),
+        network(&clock, 1),
+        registrar(&network, &clock, 2),
+        verifier(&network, &clock, 3),
+        machine(config(), ca, &clock),
+        agent(&machine, &network) {
+    registrar.trust_manufacturer(ca.public_key());
+  }
+  static oskernel::MachineConfig config() {
+    oskernel::MachineConfig cfg;
+    cfg.hostname = "edge";
+    return cfg;
+  }
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  netsim::SimNetwork network;
+  keylime::Registrar registrar;
+  keylime::Verifier verifier;
+  oskernel::Machine machine;
+  keylime::Agent agent;
+};
+
+TEST_F(ProtocolRig, AgentRejectsUnknownMessageKind) {
+  EXPECT_FALSE(network.call(agent.address(), "bogus", {}).ok());
+}
+
+TEST_F(ProtocolRig, AgentRejectsGarbagePayload) {
+  EXPECT_FALSE(network.call(agent.address(), "quote", to_bytes("garbage")).ok());
+}
+
+TEST_F(ProtocolRig, RegistrarRejectsUnknownMessageKind) {
+  EXPECT_FALSE(network.call(keylime::Registrar::address(), "bogus", {}).ok());
+}
+
+TEST_F(ProtocolRig, RegistrarRejectsActivationWithoutRegistration) {
+  keylime::ActivateRequest req;
+  req.agent_id = "never-registered";
+  req.proof = Bytes(32, 0);
+  EXPECT_FALSE(network
+                   .call(keylime::Registrar::address(), keylime::kMsgActivate,
+                         req.encode())
+                   .ok());
+}
+
+TEST_F(ProtocolRig, ReRegistrationAfterRestartSucceeds) {
+  ASSERT_TRUE(agent.register_with(keylime::Registrar::address()).ok());
+  // The agent restarts (e.g. after a reboot) and registers again with the
+  // same TPM identity; the registrar replaces the enrolment.
+  EXPECT_TRUE(agent.register_with(keylime::Registrar::address()).ok());
+  EXPECT_TRUE(registrar.is_active("edge"));
+  EXPECT_EQ(registrar.registered_count(), 1u);
+}
+
+TEST_F(ProtocolRig, VerifierErrorsOnUnknownAgent) {
+  EXPECT_FALSE(verifier.attest_once("ghost").ok());
+  EXPECT_FALSE(verifier.set_policy("ghost", keylime::RuntimePolicy{}).ok());
+  EXPECT_FALSE(verifier.resolve_failure("ghost").ok());
+  EXPECT_FALSE(verifier.set_mb_refstate("ghost", keylime::MbRefstate{}).ok());
+  EXPECT_EQ(verifier.state("ghost"), std::nullopt);
+}
+
+TEST_F(ProtocolRig, VerifierStateSurvivesManyEmptyPolls) {
+  ASSERT_TRUE(agent.register_with(keylime::Registrar::address()).ok());
+  ASSERT_TRUE(verifier.add_agent("edge", agent.address()).ok());
+  ASSERT_TRUE(verifier.set_policy("edge", keylime::RuntimePolicy{}).ok());
+  for (int i = 0; i < 100; ++i) {
+    auto round = verifier.attest_once("edge");
+    ASSERT_TRUE(round.ok());
+    if (i > 0) {
+      EXPECT_EQ(round.value().new_entries, 0u);
+    }
+  }
+  EXPECT_TRUE(verifier.alerts().empty());
+}
+
+}  // namespace
+}  // namespace cia::experiments

@@ -1,0 +1,154 @@
+// Tests for the fleet polling scheduler: staggering, cadence, and
+// exponential backoff on unreachable agents.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/strutil.hpp"
+#include "keylime/agent.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/scheduler.hpp"
+#include "keylime/verifier.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia::keylime {
+namespace {
+
+struct SchedulerRig : ::testing::Test {
+  SchedulerRig()
+      : ca("mfg", to_bytes("seed")),
+        network(&clock, 1),
+        registrar(&network, &clock, 2),
+        verifier(&network, &clock, 3) {
+    registrar.trust_manufacturer(ca.public_key());
+  }
+
+  void add_agents(int n) {
+    for (int i = 0; i < n; ++i) {
+      oskernel::MachineConfig cfg;
+      cfg.hostname = strformat("sched-%02d", i);
+      cfg.seed = static_cast<std::uint64_t>(i + 1);
+      machines.push_back(std::make_unique<oskernel::Machine>(cfg, ca, &clock));
+      agents.push_back(
+          std::make_unique<Agent>(machines.back().get(), &network));
+      ASSERT_TRUE(agents.back()->register_with(Registrar::address()).ok());
+      ASSERT_TRUE(verifier.add_agent(cfg.hostname, agents.back()->address()).ok());
+      ASSERT_TRUE(verifier.set_policy(cfg.hostname, RuntimePolicy{}).ok());
+    }
+  }
+
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  netsim::SimNetwork network;
+  Registrar registrar;
+  Verifier verifier;
+  std::vector<std::unique_ptr<oskernel::Machine>> machines;
+  std::vector<std::unique_ptr<Agent>> agents;
+};
+
+TEST_F(SchedulerRig, StaggersFirstPollsAcrossInterval) {
+  add_agents(8);
+  AttestationScheduler scheduler(&verifier, &clock, SchedulerConfig{});
+  std::set<SimTime> first_polls;
+  for (const auto& agent : agents) {
+    scheduler.enroll(agent->agent_id());
+    first_polls.insert(scheduler.schedule(agent->agent_id())->next_poll);
+  }
+  EXPECT_GT(first_polls.size(), 4u)
+      << "agents must not thunder-herd at the same instant";
+}
+
+TEST_F(SchedulerRig, PollsAtConfiguredCadence) {
+  add_agents(1);
+  SchedulerConfig config;
+  config.poll_interval = 60;
+  AttestationScheduler scheduler(&verifier, &clock, config);
+  scheduler.enroll("sched-00");
+
+  std::size_t total = 0;
+  for (int t = 0; t < 600; t += 10) {
+    clock.advance_to(t);
+    total += scheduler.tick();
+  }
+  // Roughly one poll per minute over ten minutes.
+  EXPECT_GE(total, 9u);
+  EXPECT_LE(total, 11u);
+  EXPECT_EQ(scheduler.schedule("sched-00")->polls, total);
+}
+
+TEST_F(SchedulerRig, TickOnlyPollsDueAgents) {
+  add_agents(3);
+  AttestationScheduler scheduler(&verifier, &clock, SchedulerConfig{});
+  for (const auto& agent : agents) scheduler.enroll(agent->agent_id());
+  // Immediately after enrolment nothing is due (stagger > 0 for most).
+  const std::size_t first = scheduler.tick();
+  clock.advance(59);
+  const std::size_t second = scheduler.tick();
+  EXPECT_EQ(first + second, 3u) << "each agent polled exactly once so far";
+}
+
+TEST_F(SchedulerRig, BackoffGrowsAndCaps) {
+  add_agents(1);
+  SchedulerConfig config;
+  config.poll_interval = 60;
+  config.initial_backoff = 30;
+  config.max_backoff = 120;
+  AttestationScheduler scheduler(&verifier, &clock, config);
+  scheduler.enroll("sched-00");
+
+  netsim::FaultConfig faults;
+  faults.drop_rate = 1.0;
+  network.set_faults(faults);
+
+  std::vector<SimTime> backoffs;
+  for (int i = 0; i < 5; ++i) {
+    clock.advance_to(scheduler.next_due());
+    ASSERT_EQ(scheduler.tick(), 1u);
+    backoffs.push_back(scheduler.schedule("sched-00")->current_backoff);
+  }
+  EXPECT_EQ(backoffs[0], 30);
+  EXPECT_EQ(backoffs[1], 60);
+  EXPECT_EQ(backoffs[2], 120);
+  EXPECT_EQ(backoffs[3], 120) << "backoff must cap";
+  EXPECT_EQ(scheduler.schedule("sched-00")->comms_failures, 5u);
+}
+
+TEST_F(SchedulerRig, BackoffResetsOnRecovery) {
+  add_agents(1);
+  SchedulerConfig config;
+  config.poll_interval = 60;
+  AttestationScheduler scheduler(&verifier, &clock, config);
+  scheduler.enroll("sched-00");
+
+  netsim::FaultConfig faults;
+  faults.drop_rate = 1.0;
+  network.set_faults(faults);
+  clock.advance_to(scheduler.next_due());
+  ASSERT_EQ(scheduler.tick(), 1u);
+  EXPECT_GT(scheduler.schedule("sched-00")->current_backoff, 0);
+
+  network.set_faults(netsim::FaultConfig{});
+  clock.advance_to(scheduler.next_due());
+  ASSERT_EQ(scheduler.tick(), 1u);
+  EXPECT_EQ(scheduler.schedule("sched-00")->current_backoff, 0)
+      << "a successful poll restores the healthy cadence";
+}
+
+TEST_F(SchedulerRig, FleetOfTwentyStaysGreen) {
+  add_agents(20);
+  AttestationScheduler scheduler(&verifier, &clock, SchedulerConfig{});
+  for (const auto& agent : agents) scheduler.enroll(agent->agent_id());
+  for (int t = 0; t <= 300; t += 5) {
+    clock.advance_to(t);
+    (void)scheduler.tick();
+  }
+  EXPECT_TRUE(verifier.alerts().empty());
+  for (const auto& agent : agents) {
+    EXPECT_GE(scheduler.schedule(agent->agent_id())->polls, 4u)
+        << agent->agent_id();
+  }
+}
+
+}  // namespace
+}  // namespace cia::keylime

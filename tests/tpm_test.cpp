@@ -1,0 +1,137 @@
+// Unit tests for the software TPM: PCR semantics, quotes, EK certificates,
+// and credential activation.
+#include <gtest/gtest.h>
+
+#include "tpm/tpm.hpp"
+
+namespace cia::tpm {
+namespace {
+
+crypto::CertificateAuthority test_ca() {
+  return crypto::CertificateAuthority("tpm-manufacturer", to_bytes("mfg-seed"));
+}
+
+TEST(TpmTest, PcrsStartAtZero) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  for (int i = 0; i < kNumPcrs; ++i) {
+    EXPECT_EQ(tpm.pcr_value(i), crypto::zero_digest());
+  }
+}
+
+TEST(TpmTest, ExtendIsFoldedHash) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  const crypto::Digest d = crypto::sha256(std::string("measurement"));
+  tpm.extend(kImaPcr, d);
+
+  crypto::Sha256 ctx;
+  const crypto::Digest zero = crypto::zero_digest();
+  ctx.update(zero.data(), zero.size());
+  ctx.update(d.data(), d.size());
+  EXPECT_EQ(tpm.pcr_value(kImaPcr), ctx.finish());
+}
+
+TEST(TpmTest, ExtendOrderMatters) {
+  const auto ca = test_ca();
+  Tpm2 a("dev0", to_bytes("seed"), ca);
+  Tpm2 b("dev0", to_bytes("seed"), ca);
+  const crypto::Digest d1 = crypto::sha256(std::string("one"));
+  const crypto::Digest d2 = crypto::sha256(std::string("two"));
+  a.extend(kImaPcr, d1);
+  a.extend(kImaPcr, d2);
+  b.extend(kImaPcr, d2);
+  b.extend(kImaPcr, d1);
+  EXPECT_NE(a.pcr_value(kImaPcr), b.pcr_value(kImaPcr));
+}
+
+TEST(TpmTest, ResetClearsPcrs) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  tpm.extend(kImaPcr, crypto::sha256(std::string("x")));
+  tpm.reset();
+  EXPECT_EQ(tpm.pcr_value(kImaPcr), crypto::zero_digest());
+}
+
+TEST(TpmTest, QuoteVerifiesWithCorrectAk) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  tpm.extend(kImaPcr, crypto::sha256(std::string("x")));
+  const Quote q = tpm.quote(to_bytes("nonce-123"), {kImaPcr});
+  EXPECT_TRUE(q.verify(tpm.ak_public()));
+  EXPECT_EQ(q.pcr_values[0], tpm.pcr_value(kImaPcr));
+}
+
+TEST(TpmTest, QuoteRejectsWrongAk) {
+  const auto ca = test_ca();
+  Tpm2 tpm1("dev0", to_bytes("seed0"), ca);
+  Tpm2 tpm2("dev1", to_bytes("seed1"), ca);
+  const Quote q = tpm1.quote(to_bytes("nonce"), {kImaPcr});
+  EXPECT_FALSE(q.verify(tpm2.ak_public()));
+}
+
+TEST(TpmTest, TamperedQuotePcrFailsVerification) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  Quote q = tpm.quote(to_bytes("nonce"), {kImaPcr});
+  q.pcr_values[0] = crypto::sha256(std::string("forged"));
+  EXPECT_FALSE(q.verify(tpm.ak_public()));
+}
+
+TEST(TpmTest, TamperedNonceFailsVerification) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  Quote q = tpm.quote(to_bytes("nonce"), {kImaPcr});
+  q.nonce = to_bytes("replayed-nonce");
+  EXPECT_FALSE(q.verify(tpm.ak_public()));
+}
+
+TEST(TpmTest, EkCertificateChainsToManufacturer) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  EXPECT_TRUE(crypto::verify_certificate(tpm.ek_certificate(), ca.public_key(),
+                                         /*now=*/kDay));
+  EXPECT_EQ(tpm.ek_certificate().subject, "tpm:ek:dev0");
+  EXPECT_EQ(tpm.ek_certificate().subject_key, tpm.ek_public());
+}
+
+TEST(TpmTest, CredentialActivationRoundTrip) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  const Bytes secret = to_bytes("challenge-secret");
+  const CredentialBlob blob =
+      make_credential(tpm.ek_public(), tpm.ak_name(), secret, to_bytes("entropy"));
+  auto recovered = tpm.activate_credential(blob);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), secret);
+}
+
+TEST(TpmTest, CredentialForOtherEkFails) {
+  const auto ca = test_ca();
+  Tpm2 tpm1("dev0", to_bytes("seed0"), ca);
+  Tpm2 tpm2("dev1", to_bytes("seed1"), ca);
+  const CredentialBlob blob = make_credential(
+      tpm1.ek_public(), tpm2.ak_name(), to_bytes("s"), to_bytes("entropy"));
+  // tpm2 holds the named AK but not the EK the blob was encrypted to.
+  EXPECT_FALSE(tpm2.activate_credential(blob).ok());
+}
+
+TEST(TpmTest, CredentialForOtherAkNameFails) {
+  const auto ca = test_ca();
+  Tpm2 tpm("dev0", to_bytes("seed"), ca);
+  const CredentialBlob blob = make_credential(
+      tpm.ek_public(), "someone-elses-ak", to_bytes("s"), to_bytes("entropy"));
+  EXPECT_FALSE(tpm.activate_credential(blob).ok());
+}
+
+TEST(TpmTest, DistinctDevicesHaveDistinctKeys) {
+  const auto ca = test_ca();
+  Tpm2 a("dev0", to_bytes("seed0"), ca);
+  Tpm2 b("dev1", to_bytes("seed1"), ca);
+  EXPECT_NE(a.ek_public(), b.ek_public());
+  EXPECT_NE(a.ak_public(), b.ak_public());
+  EXPECT_NE(a.ak_name(), b.ak_name());
+}
+
+}  // namespace
+}  // namespace cia::tpm

@@ -1,0 +1,149 @@
+// Property tests for the 256-bit modular arithmetic underlying all
+// signatures and quotes: ring axioms, inverse laws, and byte encodings
+// under random values for both secp256k1 moduli.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/u256.hpp"
+
+namespace cia::crypto {
+namespace {
+
+U256 random_u256(Rng& rng) {
+  U256 v;
+  for (auto& limb : v.limb) limb = rng.next_u64();
+  return v;
+}
+
+class U256Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U256Property, FieldAxiomsHoldForRandomValues) {
+  Rng rng(GetParam());
+  for (const SpecialModulus* m : {&field_modulus(), &order_modulus()}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const U256 a = reduce(random_u256(rng), *m);
+      const U256 b = reduce(random_u256(rng), *m);
+      const U256 c = reduce(random_u256(rng), *m);
+
+      // Commutativity.
+      EXPECT_EQ(add_mod(a, b, *m), add_mod(b, a, *m));
+      EXPECT_EQ(mul_mod(a, b, *m), mul_mod(b, a, *m));
+      // Associativity.
+      EXPECT_EQ(add_mod(add_mod(a, b, *m), c, *m),
+                add_mod(a, add_mod(b, c, *m), *m));
+      EXPECT_EQ(mul_mod(mul_mod(a, b, *m), c, *m),
+                mul_mod(a, mul_mod(b, c, *m), *m));
+      // Distributivity.
+      EXPECT_EQ(mul_mod(a, add_mod(b, c, *m), *m),
+                add_mod(mul_mod(a, b, *m), mul_mod(a, c, *m), *m));
+      // Additive inverse.
+      EXPECT_TRUE(add_mod(a, sub_mod(U256::zero(), a, *m), *m).is_zero());
+      // Subtraction round trip.
+      EXPECT_EQ(add_mod(sub_mod(a, b, *m), b, *m), a);
+    }
+  }
+}
+
+TEST_P(U256Property, MultiplicativeInverse) {
+  Rng rng(GetParam());
+  for (const SpecialModulus* m : {&field_modulus(), &order_modulus()}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      U256 a = reduce(random_u256(rng), *m);
+      if (a.is_zero()) a = U256::one();
+      EXPECT_EQ(mul_mod(a, inv_mod(a, *m), *m), U256::one());
+    }
+  }
+}
+
+TEST_P(U256Property, PowModLaws) {
+  Rng rng(GetParam());
+  const auto& m = field_modulus();
+  for (int trial = 0; trial < 5; ++trial) {
+    U256 a = reduce(random_u256(rng), m);
+    if (a.is_zero()) a = U256::from_u64(3);
+    const U256 e1 = U256::from_u64(rng.uniform(1000));
+    const U256 e2 = U256::from_u64(rng.uniform(1000));
+    U256 e_sum;
+    add_with_carry(e1, e2, e_sum);  // small values: no carry
+    // a^(e1+e2) == a^e1 * a^e2
+    EXPECT_EQ(pow_mod(a, e_sum, m),
+              mul_mod(pow_mod(a, e1, m), pow_mod(a, e2, m), m));
+  }
+}
+
+TEST_P(U256Property, EncodingRoundTrips) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const U256 v = random_u256(rng);
+    EXPECT_EQ(U256::from_be_bytes(v.to_be_bytes()), v);
+    EXPECT_EQ(U256::from_hex(v.to_hex()), v);
+  }
+}
+
+TEST_P(U256Property, ReduceWideMatchesSchoolbook) {
+  // reduce_wide(a*b) must agree with iterated addition for small b.
+  Rng rng(GetParam());
+  const auto& m = field_modulus();
+  for (int trial = 0; trial < 10; ++trial) {
+    const U256 a = reduce(random_u256(rng), m);
+    const std::uint64_t small = rng.uniform(50) + 1;
+    U256 sum = U256::zero();
+    for (std::uint64_t i = 0; i < small; ++i) sum = add_mod(sum, a, m);
+    EXPECT_EQ(mul_mod(a, U256::from_u64(small), m), sum);
+  }
+}
+
+TEST_P(U256Property, ScalarMulMatchesRepeatedAddition) {
+  Rng rng(GetParam());
+  const Point g = generator();
+  Point accumulated = Point::make_infinity();
+  for (std::uint64_t k = 1; k <= 12; ++k) {
+    accumulated = add(accumulated, g);
+    EXPECT_EQ(scalar_mul_base(U256::from_u64(k)), accumulated) << "k=" << k;
+    EXPECT_EQ(scalar_mul(U256::from_u64(k), g), accumulated) << "k=" << k;
+  }
+}
+
+TEST_P(U256Property, FixedBaseAgreesWithGenericScalarMul) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const U256 k = reduce(random_u256(rng), order_modulus());
+    EXPECT_EQ(scalar_mul_base(k), scalar_mul(k, generator()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256Property, ::testing::Values(3, 17, 1001));
+
+TEST(U256EdgeTest, ReduceHandlesValuesAboveModulus) {
+  const auto& m = field_modulus();
+  U256 max;
+  max.limb = {~0ull, ~0ull, ~0ull, ~0ull};
+  const U256 reduced = reduce(max, m);
+  EXPECT_TRUE(reduced < m.p);
+  // 2^256 - 1 mod (2^256 - c) == c - 1.
+  U256 expected;
+  sub_with_borrow(m.c, U256::one(), expected);
+  EXPECT_EQ(reduced, expected);
+}
+
+TEST(U256EdgeTest, MulModOfMaximalResidues) {
+  const auto& m = field_modulus();
+  U256 pm1;
+  sub_with_borrow(m.p, U256::one(), pm1);
+  // (-1) * (-1) == 1.
+  EXPECT_EQ(mul_mod(pm1, pm1, m), U256::one());
+  // (-1) * (-1) * (-1) == -1.
+  EXPECT_EQ(mul_mod(mul_mod(pm1, pm1, m), pm1, m), pm1);
+}
+
+TEST(U256EdgeTest, ZeroBehaviour) {
+  const auto& m = field_modulus();
+  EXPECT_TRUE(mul_mod(U256::zero(), U256::from_u64(7), m).is_zero());
+  EXPECT_TRUE(add_mod(U256::zero(), U256::zero(), m).is_zero());
+  EXPECT_EQ(pow_mod(U256::zero(), U256::zero(), m), U256::one())
+      << "0^0 == 1 by the square-and-multiply convention";
+}
+
+}  // namespace
+}  // namespace cia::crypto

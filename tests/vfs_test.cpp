@@ -1,0 +1,228 @@
+// Unit tests for the virtual filesystem: mounts, inode identity across
+// rename, namespace truncation, and tree operations.
+#include <gtest/gtest.h>
+
+#include "vfs/vfs.hpp"
+
+namespace cia::vfs {
+namespace {
+
+TEST(VfsTest, RootExists) {
+  Vfs fs;
+  EXPECT_TRUE(fs.is_dir("/"));
+  EXPECT_EQ(fs.mount_of("/anything").type, FsType::kExt4);
+}
+
+TEST(VfsTest, CreateAndReadFile) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/usr/bin/ls", to_bytes("elf:ls"), true).ok());
+  EXPECT_TRUE(fs.is_file("/usr/bin/ls"));
+  EXPECT_TRUE(fs.is_dir("/usr/bin"));
+  EXPECT_TRUE(fs.is_dir("/usr"));
+  auto content = fs.read_file("/usr/bin/ls");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(to_string(content.value()), "elf:ls");
+}
+
+TEST(VfsTest, CreateRejectsDuplicates) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/a", {}, false).ok());
+  EXPECT_FALSE(fs.create_file("/a", {}, false).ok());
+}
+
+TEST(VfsTest, PathValidation) {
+  Vfs fs;
+  EXPECT_FALSE(fs.create_file("relative/path", {}, false).ok());
+  EXPECT_FALSE(fs.create_file("/trailing/", {}, false).ok());
+  EXPECT_FALSE(fs.create_file("/double//slash", {}, false).ok());
+}
+
+TEST(VfsTest, WritePreservesInode) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/etc/conf", to_bytes("v1"), false).ok());
+  const auto before = fs.stat("/etc/conf").value();
+  ASSERT_TRUE(fs.write_file("/etc/conf", to_bytes("v2")).ok());
+  const auto after = fs.stat("/etc/conf").value();
+  EXPECT_EQ(before.id, after.id);
+  EXPECT_NE(before.content_hash, after.content_hash);
+}
+
+TEST(VfsTest, ChmodExec) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/payload", to_bytes("x"), false).ok());
+  EXPECT_FALSE(fs.stat("/payload").value().executable);
+  ASSERT_TRUE(fs.chmod_exec("/payload", true).ok());
+  EXPECT_TRUE(fs.stat("/payload").value().executable);
+}
+
+TEST(VfsTest, RenameWithinFilesystemKeepsInode) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/home/user/tool", to_bytes("bin"), true).ok());
+  const auto before = fs.stat("/home/user/tool").value();
+  ASSERT_TRUE(fs.rename("/home/user/tool", "/usr/bin/tool").ok());
+  const auto after = fs.stat("/usr/bin/tool").value();
+  EXPECT_EQ(before.id, after.id) << "rename on one fs must keep the inode";
+  EXPECT_FALSE(fs.exists("/home/user/tool"));
+}
+
+TEST(VfsTest, RenameAcrossFilesystemsChangesInode) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mount("/tmp", FsType::kTmpfs).ok());
+  ASSERT_TRUE(fs.create_file("/tmp/tool", to_bytes("bin"), true).ok());
+  const auto before = fs.stat("/tmp/tool").value();
+  ASSERT_TRUE(fs.rename("/tmp/tool", "/usr/bin/tool").ok());
+  const auto after = fs.stat("/usr/bin/tool").value();
+  EXPECT_NE(before.id, after.id) << "cross-fs move must get a fresh inode";
+  EXPECT_EQ(before.content_hash, after.content_hash);
+}
+
+TEST(VfsTest, RenameRejectsExistingDestination) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/a", {}, false).ok());
+  ASSERT_TRUE(fs.create_file("/b", {}, false).ok());
+  EXPECT_FALSE(fs.rename("/a", "/b").ok());
+}
+
+TEST(VfsTest, MountLongestPrefixWins) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mount("/sys", FsType::kSysfs).ok());
+  ASSERT_TRUE(fs.mount("/sys/kernel/debug", FsType::kDebugfs).ok());
+  EXPECT_EQ(fs.mount_of("/sys/devices").type, FsType::kSysfs);
+  EXPECT_EQ(fs.mount_of("/sys/kernel/debug/tracing").type, FsType::kDebugfs);
+  EXPECT_EQ(fs.mount_of("/system").type, FsType::kExt4)
+      << "prefix match must respect path component boundaries";
+}
+
+TEST(VfsTest, MountRejectsDuplicates) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mount("/tmp", FsType::kTmpfs).ok());
+  EXPECT_FALSE(fs.mount("/tmp", FsType::kTmpfs).ok());
+}
+
+TEST(VfsTest, UnmountRemovesFiles) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mount("/tmp", FsType::kTmpfs).ok());
+  ASSERT_TRUE(fs.create_file("/tmp/x", {}, false).ok());
+  ASSERT_TRUE(fs.unmount("/tmp").ok());
+  EXPECT_FALSE(fs.exists("/tmp/x"));
+}
+
+TEST(VfsTest, DistinctFilesystemsHaveDistinctUuids) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mount("/tmp", FsType::kTmpfs).ok());
+  ASSERT_TRUE(fs.mount("/run", FsType::kTmpfs).ok());
+  ASSERT_TRUE(fs.create_file("/tmp/a", {}, false).ok());
+  ASSERT_TRUE(fs.create_file("/run/a", {}, false).ok());
+  EXPECT_NE(fs.stat("/tmp/a").value().id.fs_uuid,
+            fs.stat("/run/a").value().id.fs_uuid);
+}
+
+TEST(VfsTest, NamespaceTruncatedMountRewritesImaPath) {
+  Vfs fs;
+  ASSERT_TRUE(
+      fs.mount("/snap/core20/1891", FsType::kSquashfs, /*truncated=*/true).ok());
+  ASSERT_TRUE(fs.create_file("/snap/core20/1891/usr/bin/python3",
+                             to_bytes("elf"), true).ok());
+  EXPECT_EQ(fs.ima_visible_path("/snap/core20/1891/usr/bin/python3"),
+            "/usr/bin/python3");
+  EXPECT_EQ(fs.ima_visible_path("/usr/bin/python3"), "/usr/bin/python3");
+}
+
+TEST(VfsTest, ListFilesFiltersByDirectoryBoundary) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/usr/bin/ls", {}, true).ok());
+  ASSERT_TRUE(fs.create_file("/usr/bin/cat", {}, true).ok());
+  ASSERT_TRUE(fs.create_file("/usr/binextra/x", {}, true).ok());
+  const auto files = fs.list_files("/usr/bin");
+  EXPECT_EQ(files.size(), 2u);
+}
+
+TEST(VfsTest, RemoveTree) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/opt/app/bin/a", {}, true).ok());
+  ASSERT_TRUE(fs.create_file("/opt/app/lib/b", {}, false).ok());
+  ASSERT_TRUE(fs.remove_tree("/opt/app").ok());
+  EXPECT_FALSE(fs.exists("/opt/app/bin/a"));
+  EXPECT_FALSE(fs.exists("/opt/app"));
+  EXPECT_TRUE(fs.is_dir("/opt"));
+}
+
+TEST(VfsTest, HardLinkSharesInodeAndContent) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/usr/bin/tool", to_bytes("elf:v1"), true).ok());
+  ASSERT_TRUE(fs.link("/usr/bin/tool", "/usr/local/bin/tool2").ok());
+  const auto a = fs.stat("/usr/bin/tool").value();
+  const auto b = fs.stat("/usr/local/bin/tool2").value();
+  EXPECT_EQ(a.id, b.id) << "hard links share the inode";
+  EXPECT_EQ(fs.link_count("/usr/bin/tool").value(), 2u);
+
+  // Writes through one name are visible through the other.
+  ASSERT_TRUE(fs.write_file("/usr/local/bin/tool2", to_bytes("elf:v2")).ok());
+  EXPECT_EQ(to_string(fs.read_file("/usr/bin/tool").value()), "elf:v2");
+}
+
+TEST(VfsTest, HardLinkAcrossFilesystemsFails) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mount("/tmp2", FsType::kTmpfs).ok());
+  ASSERT_TRUE(fs.create_file("/tmp2/f", to_bytes("x"), true).ok());
+  EXPECT_FALSE(fs.link("/tmp2/f", "/usr/bin/f").ok()) << "EXDEV";
+}
+
+TEST(VfsTest, UnlinkOneNameKeepsTheOther) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/a", to_bytes("x"), true).ok());
+  ASSERT_TRUE(fs.link("/a", "/b").ok());
+  ASSERT_TRUE(fs.unlink("/a").ok());
+  EXPECT_TRUE(fs.is_file("/b"));
+  EXPECT_EQ(fs.link_count("/b").value(), 1u);
+}
+
+TEST(VfsTest, HardLinkSharesXattr) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/a", to_bytes("x"), true).ok());
+  ASSERT_TRUE(fs.link("/a", "/b").ok());
+  ASSERT_TRUE(fs.set_ima_xattr("/a", Bytes{1, 2, 3}).ok());
+  EXPECT_EQ(fs.ima_xattr("/b").value(), (Bytes{1, 2, 3}));
+}
+
+TEST(VfsTest, CrossFsRenameDetachesFromLinks) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mount("/data", FsType::kExt4).ok());
+  ASSERT_TRUE(fs.create_file("/a", to_bytes("x"), true).ok());
+  ASSERT_TRUE(fs.link("/a", "/b").ok());
+  ASSERT_TRUE(fs.rename("/a", "/data/a").ok());
+  ASSERT_TRUE(fs.write_file("/data/a", to_bytes("changed")).ok());
+  EXPECT_EQ(to_string(fs.read_file("/b").value()), "x")
+      << "the copy must not alias the link left behind";
+}
+
+TEST(VfsTest, StatContentHashMatchesSha256) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/f", to_bytes("hello"), false).ok());
+  EXPECT_EQ(fs.stat("/f").value().content_hash, crypto::sha256(std::string("hello")));
+}
+
+TEST(VfsTest, DeclaredSizeIndependentOfContent) {
+  Vfs fs;
+  ASSERT_TRUE(fs.create_file("/big", to_bytes("tiny"), true,
+                             /*size=*/5 * 1024 * 1024).ok());
+  EXPECT_EQ(fs.stat("/big").value().size, 5u * 1024 * 1024);
+}
+
+TEST(VfsTest, FileCount) {
+  Vfs fs;
+  EXPECT_EQ(fs.file_count(), 0u);
+  ASSERT_TRUE(fs.create_file("/a", {}, false).ok());
+  ASSERT_TRUE(fs.create_file("/b/c", {}, false).ok());
+  EXPECT_EQ(fs.file_count(), 2u);
+}
+
+TEST(VfsTest, FsMagicValuesMatchLinux) {
+  EXPECT_EQ(fs_magic(FsType::kExt4), 0xEF53u);
+  EXPECT_EQ(fs_magic(FsType::kTmpfs), 0x01021994u);
+  EXPECT_EQ(fs_magic(FsType::kProcfs), 0x9fa0u);
+  EXPECT_EQ(fs_magic(FsType::kSquashfs), 0x73717368u);
+}
+
+}  // namespace
+}  // namespace cia::vfs
