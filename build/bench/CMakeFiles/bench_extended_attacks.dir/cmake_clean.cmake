@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_attacks.dir/bench_extended_attacks.cpp.o"
+  "CMakeFiles/bench_extended_attacks.dir/bench_extended_attacks.cpp.o.d"
+  "bench_extended_attacks"
+  "bench_extended_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_packages.dir/bench_fig4_packages.cpp.o"
+  "CMakeFiles/bench_fig4_packages.dir/bench_fig4_packages.cpp.o.d"
+  "bench_fig4_packages"
+  "bench_fig4_packages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_packages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

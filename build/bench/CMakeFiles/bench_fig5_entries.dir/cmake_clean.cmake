@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_entries.dir/bench_fig5_entries.cpp.o"
+  "CMakeFiles/bench_fig5_entries.dir/bench_fig5_entries.cpp.o.d"
+  "bench_fig5_entries"
+  "bench_fig5_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_dynamic.dir/bench_fp_dynamic.cpp.o"
+  "CMakeFiles/bench_fp_dynamic.dir/bench_fp_dynamic.cpp.o.d"
+  "bench_fp_dynamic"
+  "bench_fp_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

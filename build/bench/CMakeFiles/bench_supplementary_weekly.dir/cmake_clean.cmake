@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supplementary_weekly.dir/bench_supplementary_weekly.cpp.o"
+  "CMakeFiles/bench_supplementary_weekly.dir/bench_supplementary_weekly.cpp.o.d"
+  "bench_supplementary_weekly"
+  "bench_supplementary_weekly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supplementary_weekly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

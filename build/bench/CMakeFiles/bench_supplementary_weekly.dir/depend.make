@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_supplementary_weekly.
+# This may be replaced when dependencies are built.

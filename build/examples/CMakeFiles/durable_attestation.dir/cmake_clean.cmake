@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_attestation.dir/durable_attestation.cpp.o"
+  "CMakeFiles/durable_attestation.dir/durable_attestation.cpp.o.d"
+  "durable_attestation"
+  "durable_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

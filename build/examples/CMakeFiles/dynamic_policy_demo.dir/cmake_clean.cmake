@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_policy_demo.dir/dynamic_policy_demo.cpp.o"
+  "CMakeFiles/dynamic_policy_demo.dir/dynamic_policy_demo.cpp.o.d"
+  "dynamic_policy_demo"
+  "dynamic_policy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_policy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("vfs")
+subdirs("ima")
+subdirs("tpm")
+subdirs("oskernel")
+subdirs("netsim")
+subdirs("pkg")
+subdirs("keylime")
+subdirs("core")
+subdirs("attacks")
+subdirs("experiments")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_attacks.dir/attack.cpp.o"
+  "CMakeFiles/cia_attacks.dir/attack.cpp.o.d"
+  "CMakeFiles/cia_attacks.dir/botnets.cpp.o"
+  "CMakeFiles/cia_attacks.dir/botnets.cpp.o.d"
+  "CMakeFiles/cia_attacks.dir/extended.cpp.o"
+  "CMakeFiles/cia_attacks.dir/extended.cpp.o.d"
+  "CMakeFiles/cia_attacks.dir/ransomware.cpp.o"
+  "CMakeFiles/cia_attacks.dir/ransomware.cpp.o.d"
+  "CMakeFiles/cia_attacks.dir/rootkits.cpp.o"
+  "CMakeFiles/cia_attacks.dir/rootkits.cpp.o.d"
+  "libcia_attacks.a"
+  "libcia_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_common.dir/hex.cpp.o"
+  "CMakeFiles/cia_common.dir/hex.cpp.o.d"
+  "CMakeFiles/cia_common.dir/json.cpp.o"
+  "CMakeFiles/cia_common.dir/json.cpp.o.d"
+  "CMakeFiles/cia_common.dir/log.cpp.o"
+  "CMakeFiles/cia_common.dir/log.cpp.o.d"
+  "CMakeFiles/cia_common.dir/rng.cpp.o"
+  "CMakeFiles/cia_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cia_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/cia_common.dir/sim_clock.cpp.o.d"
+  "CMakeFiles/cia_common.dir/stats.cpp.o"
+  "CMakeFiles/cia_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cia_common.dir/strutil.cpp.o"
+  "CMakeFiles/cia_common.dir/strutil.cpp.o.d"
+  "libcia_common.a"
+  "libcia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcia_common.a"
+)

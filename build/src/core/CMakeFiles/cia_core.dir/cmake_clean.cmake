@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_core.dir/policy_analyzer.cpp.o"
+  "CMakeFiles/cia_core.dir/policy_analyzer.cpp.o.d"
+  "CMakeFiles/cia_core.dir/policy_generator.cpp.o"
+  "CMakeFiles/cia_core.dir/policy_generator.cpp.o.d"
+  "CMakeFiles/cia_core.dir/update_orchestrator.cpp.o"
+  "CMakeFiles/cia_core.dir/update_orchestrator.cpp.o.d"
+  "libcia_core.a"
+  "libcia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_crypto.dir/cert.cpp.o"
+  "CMakeFiles/cia_crypto.dir/cert.cpp.o.d"
+  "CMakeFiles/cia_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/cia_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/cia_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/cia_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/cia_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/cia_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/cia_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cia_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/cia_crypto.dir/u256.cpp.o"
+  "CMakeFiles/cia_crypto.dir/u256.cpp.o.d"
+  "libcia_crypto.a"
+  "libcia_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_experiments.dir/fleet_experiment.cpp.o"
+  "CMakeFiles/cia_experiments.dir/fleet_experiment.cpp.o.d"
+  "CMakeFiles/cia_experiments.dir/fn_experiment.cpp.o"
+  "CMakeFiles/cia_experiments.dir/fn_experiment.cpp.o.d"
+  "CMakeFiles/cia_experiments.dir/fp_experiment.cpp.o"
+  "CMakeFiles/cia_experiments.dir/fp_experiment.cpp.o.d"
+  "CMakeFiles/cia_experiments.dir/report.cpp.o"
+  "CMakeFiles/cia_experiments.dir/report.cpp.o.d"
+  "CMakeFiles/cia_experiments.dir/testbed.cpp.o"
+  "CMakeFiles/cia_experiments.dir/testbed.cpp.o.d"
+  "CMakeFiles/cia_experiments.dir/workload.cpp.o"
+  "CMakeFiles/cia_experiments.dir/workload.cpp.o.d"
+  "libcia_experiments.a"
+  "libcia_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_ima.dir/ima.cpp.o"
+  "CMakeFiles/cia_ima.dir/ima.cpp.o.d"
+  "CMakeFiles/cia_ima.dir/ima_policy.cpp.o"
+  "CMakeFiles/cia_ima.dir/ima_policy.cpp.o.d"
+  "libcia_ima.a"
+  "libcia_ima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_ima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

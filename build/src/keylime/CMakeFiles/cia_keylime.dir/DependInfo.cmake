@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keylime/agent.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/agent.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/agent.cpp.o.d"
+  "/root/repo/src/keylime/audit.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/audit.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/audit.cpp.o.d"
+  "/root/repo/src/keylime/messages.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/messages.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/messages.cpp.o.d"
+  "/root/repo/src/keylime/registrar.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/registrar.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/registrar.cpp.o.d"
+  "/root/repo/src/keylime/runtime_policy.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/runtime_policy.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/runtime_policy.cpp.o.d"
+  "/root/repo/src/keylime/scheduler.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/scheduler.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/keylime/tenant.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/tenant.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/tenant.cpp.o.d"
+  "/root/repo/src/keylime/verifier.cpp" "src/keylime/CMakeFiles/cia_keylime.dir/verifier.cpp.o" "gcc" "src/keylime/CMakeFiles/cia_keylime.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cia_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cia_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/cia_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/cia_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/cia_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cia_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_keylime.dir/agent.cpp.o"
+  "CMakeFiles/cia_keylime.dir/agent.cpp.o.d"
+  "CMakeFiles/cia_keylime.dir/audit.cpp.o"
+  "CMakeFiles/cia_keylime.dir/audit.cpp.o.d"
+  "CMakeFiles/cia_keylime.dir/messages.cpp.o"
+  "CMakeFiles/cia_keylime.dir/messages.cpp.o.d"
+  "CMakeFiles/cia_keylime.dir/registrar.cpp.o"
+  "CMakeFiles/cia_keylime.dir/registrar.cpp.o.d"
+  "CMakeFiles/cia_keylime.dir/runtime_policy.cpp.o"
+  "CMakeFiles/cia_keylime.dir/runtime_policy.cpp.o.d"
+  "CMakeFiles/cia_keylime.dir/scheduler.cpp.o"
+  "CMakeFiles/cia_keylime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cia_keylime.dir/tenant.cpp.o"
+  "CMakeFiles/cia_keylime.dir/tenant.cpp.o.d"
+  "CMakeFiles/cia_keylime.dir/verifier.cpp.o"
+  "CMakeFiles/cia_keylime.dir/verifier.cpp.o.d"
+  "libcia_keylime.a"
+  "libcia_keylime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_keylime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_netsim.dir/network.cpp.o"
+  "CMakeFiles/cia_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/cia_netsim.dir/wire.cpp.o"
+  "CMakeFiles/cia_netsim.dir/wire.cpp.o.d"
+  "libcia_netsim.a"
+  "libcia_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

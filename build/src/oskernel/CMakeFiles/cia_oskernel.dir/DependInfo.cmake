@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oskernel/container.cpp" "src/oskernel/CMakeFiles/cia_oskernel.dir/container.cpp.o" "gcc" "src/oskernel/CMakeFiles/cia_oskernel.dir/container.cpp.o.d"
+  "/root/repo/src/oskernel/machine.cpp" "src/oskernel/CMakeFiles/cia_oskernel.dir/machine.cpp.o" "gcc" "src/oskernel/CMakeFiles/cia_oskernel.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cia_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cia_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/cia_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/cia_tpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

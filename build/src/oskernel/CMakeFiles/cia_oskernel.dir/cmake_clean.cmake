@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_oskernel.dir/container.cpp.o"
+  "CMakeFiles/cia_oskernel.dir/container.cpp.o.d"
+  "CMakeFiles/cia_oskernel.dir/machine.cpp.o"
+  "CMakeFiles/cia_oskernel.dir/machine.cpp.o.d"
+  "libcia_oskernel.a"
+  "libcia_oskernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_oskernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pkg/apt.cpp" "src/pkg/CMakeFiles/cia_pkg.dir/apt.cpp.o" "gcc" "src/pkg/CMakeFiles/cia_pkg.dir/apt.cpp.o.d"
+  "/root/repo/src/pkg/archive.cpp" "src/pkg/CMakeFiles/cia_pkg.dir/archive.cpp.o" "gcc" "src/pkg/CMakeFiles/cia_pkg.dir/archive.cpp.o.d"
+  "/root/repo/src/pkg/cost_model.cpp" "src/pkg/CMakeFiles/cia_pkg.dir/cost_model.cpp.o" "gcc" "src/pkg/CMakeFiles/cia_pkg.dir/cost_model.cpp.o.d"
+  "/root/repo/src/pkg/mirror.cpp" "src/pkg/CMakeFiles/cia_pkg.dir/mirror.cpp.o" "gcc" "src/pkg/CMakeFiles/cia_pkg.dir/mirror.cpp.o.d"
+  "/root/repo/src/pkg/package.cpp" "src/pkg/CMakeFiles/cia_pkg.dir/package.cpp.o" "gcc" "src/pkg/CMakeFiles/cia_pkg.dir/package.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cia_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/cia_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/cia_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cia_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/cia_tpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_pkg.dir/apt.cpp.o"
+  "CMakeFiles/cia_pkg.dir/apt.cpp.o.d"
+  "CMakeFiles/cia_pkg.dir/archive.cpp.o"
+  "CMakeFiles/cia_pkg.dir/archive.cpp.o.d"
+  "CMakeFiles/cia_pkg.dir/cost_model.cpp.o"
+  "CMakeFiles/cia_pkg.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cia_pkg.dir/mirror.cpp.o"
+  "CMakeFiles/cia_pkg.dir/mirror.cpp.o.d"
+  "CMakeFiles/cia_pkg.dir/package.cpp.o"
+  "CMakeFiles/cia_pkg.dir/package.cpp.o.d"
+  "libcia_pkg.a"
+  "libcia_pkg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_pkg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_tpm.dir/tpm.cpp.o"
+  "CMakeFiles/cia_tpm.dir/tpm.cpp.o.d"
+  "libcia_tpm.a"
+  "libcia_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

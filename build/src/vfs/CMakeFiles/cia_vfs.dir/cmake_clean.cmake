@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_vfs.dir/vfs.cpp.o"
+  "CMakeFiles/cia_vfs.dir/vfs.cpp.o.d"
+  "libcia_vfs.a"
+  "libcia_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

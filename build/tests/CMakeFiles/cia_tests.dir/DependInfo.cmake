@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/appraisal_test.cpp" "tests/CMakeFiles/cia_tests.dir/appraisal_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/appraisal_test.cpp.o.d"
+  "/root/repo/tests/attacks_test.cpp" "tests/CMakeFiles/cia_tests.dir/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/attacks_test.cpp.o.d"
+  "/root/repo/tests/audit_test.cpp" "tests/CMakeFiles/cia_tests.dir/audit_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/audit_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/cia_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/container_test.cpp" "tests/CMakeFiles/cia_tests.dir/container_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/container_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/cia_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/cia_tests.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/crypto_test.cpp.o.d"
+  "/root/repo/tests/experiments_test.cpp" "tests/CMakeFiles/cia_tests.dir/experiments_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/experiments_test.cpp.o.d"
+  "/root/repo/tests/ima_test.cpp" "tests/CMakeFiles/cia_tests.dir/ima_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/ima_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/cia_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/keylime_test.cpp" "tests/CMakeFiles/cia_tests.dir/keylime_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/keylime_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/cia_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/measured_boot_test.cpp" "tests/CMakeFiles/cia_tests.dir/measured_boot_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/measured_boot_test.cpp.o.d"
+  "/root/repo/tests/messages_test.cpp" "tests/CMakeFiles/cia_tests.dir/messages_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/messages_test.cpp.o.d"
+  "/root/repo/tests/netsim_test.cpp" "tests/CMakeFiles/cia_tests.dir/netsim_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/netsim_test.cpp.o.d"
+  "/root/repo/tests/pkg_test.cpp" "tests/CMakeFiles/cia_tests.dir/pkg_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/pkg_test.cpp.o.d"
+  "/root/repo/tests/problems_test.cpp" "tests/CMakeFiles/cia_tests.dir/problems_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/problems_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/cia_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/cia_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/cia_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/tpm_test.cpp" "tests/CMakeFiles/cia_tests.dir/tpm_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/tpm_test.cpp.o.d"
+  "/root/repo/tests/u256_property_test.cpp" "tests/CMakeFiles/cia_tests.dir/u256_property_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/u256_property_test.cpp.o.d"
+  "/root/repo/tests/vfs_test.cpp" "tests/CMakeFiles/cia_tests.dir/vfs_test.cpp.o" "gcc" "tests/CMakeFiles/cia_tests.dir/vfs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/cia_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/cia_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/keylime/CMakeFiles/cia_keylime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkg/CMakeFiles/cia_pkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cia_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/cia_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/cia_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/cia_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cia_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cia_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_audit.dir/cia_audit.cpp.o"
+  "CMakeFiles/cia_audit.dir/cia_audit.cpp.o.d"
+  "cia_audit"
+  "cia_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

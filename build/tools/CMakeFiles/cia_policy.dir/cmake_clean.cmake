@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_policy.dir/cia_policy.cpp.o"
+  "CMakeFiles/cia_policy.dir/cia_policy.cpp.o.d"
+  "cia_policy"
+  "cia_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

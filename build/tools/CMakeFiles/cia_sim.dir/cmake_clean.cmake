@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_sim.dir/cia_sim.cpp.o"
+  "CMakeFiles/cia_sim.dir/cia_sim.cpp.o.d"
+  "cia_sim"
+  "cia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

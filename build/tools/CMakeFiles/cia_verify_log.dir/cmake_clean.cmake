@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_verify_log.dir/cia_verify_log.cpp.o"
+  "CMakeFiles/cia_verify_log.dir/cia_verify_log.cpp.o.d"
+  "cia_verify_log"
+  "cia_verify_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_verify_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
