@@ -1,0 +1,83 @@
+// Chaos suite: every named fault scenario against a live fleet.
+//
+// The table this prints is the robustness claim of the reproduction: under
+// link loss, crash loops, component outages, a verifier crash/restore, and
+// a mirror partition on an update day, the pipeline produces zero
+// transport-attributable false positives, recovers every agent within a
+// bounded window, keeps the signed audit chain intact — and still catches
+// the one genuine violation injected into the lossiest scenario.
+#include <cstdio>
+
+#include "common/log.hpp"
+#include "experiments/chaos_experiment.hpp"
+
+int main() {
+  using namespace cia;
+  using namespace cia::experiments;
+  set_log_level(LogLevel::kError);
+
+  std::printf("Chaos scenarios (6 nodes, 5 days, retrying transport)\n\n");
+  std::printf(
+      "  scenario           FPs  genuine  comms  recovery  retries  drops"
+      "  dups  t/outs  defer  audit\n");
+  bool all_ok = true;
+  for (const std::string& scenario : chaos_scenarios()) {
+    ChaosOptions options;
+    options.scenario = scenario;
+    options.nodes = 6;
+    options.days = 5;
+    options.archive.base_package_count = 200;
+    const ChaosReport r = run_chaos_experiment(options);
+    const bool scenario_ok =
+        r.valid && r.transport_false_positives == 0 && r.liveness_ok &&
+        r.audit_chain_ok && (!r.violation_injected || r.genuine_detected) &&
+        r.checkpoint_roundtrip_ok;
+    all_ok = all_ok && scenario_ok;
+    std::printf(
+        "  %-17s  %3zu  %7zu  %5zu  %6llds  %7llu  %5llu  %4llu  %6llu"
+        "  %5llu  %s%s\n",
+        r.scenario.c_str(), r.transport_false_positives, r.genuine_alerts,
+        r.comms_alerts, static_cast<long long>(r.recovery_time),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.drops),
+        static_cast<unsigned long long>(r.duplicates),
+        static_cast<unsigned long long>(r.timeouts),
+        static_cast<unsigned long long>(r.updates_deferred),
+        r.audit_chain_ok ? "intact" : "BROKEN",
+        scenario_ok ? "" : "  <-- FAILED");
+    if (r.verifier_restarted) {
+      std::printf(
+          "  %-17s  (verifier crash/restore mid-run: checkpoint "
+          "round-trip %s, %zu audit records span the restart)\n",
+          "", r.checkpoint_roundtrip_ok ? "byte-identical" : "DIVERGED",
+          r.audit_records);
+    }
+  }
+
+  // Ablation: the same 10%-loss run without the retry layer shows what
+  // the RetryingTransport absorbs (comms alerts, not false positives —
+  // the alert taxonomy already keeps transport faults out of policy
+  // verdicts; retries keep them out of the ops pager too).
+  std::printf("\nAblation: wan-loss with vs without RetryingTransport\n\n");
+  std::printf("  transport   comms-alerts  giveups  recovered  polls\n");
+  for (const bool retrying : {true, false}) {
+    ChaosOptions options;
+    options.scenario = "wan-loss";
+    options.nodes = 6;
+    options.days = 5;
+    options.archive.base_package_count = 200;
+    options.retrying_transport = retrying;
+    const ChaosReport r = run_chaos_experiment(options);
+    std::printf("  %-9s   %12zu  %7llu  %9llu  %5zu\n",
+                retrying ? "retrying" : "raw", r.comms_alerts,
+                static_cast<unsigned long long>(r.giveups),
+                static_cast<unsigned long long>(r.recovered_calls), r.polls);
+  }
+
+  std::printf(
+      "\n  comms faults cost retries and backoff, never a policy alert; the\n"
+      "  injected backdoor is still caught through 10%% loss; the audit\n"
+      "  chain stays verifiable across a verifier crash and restore.\n");
+  std::printf("\n  overall: %s\n", all_ok ? "ALL SCENARIOS PASS" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

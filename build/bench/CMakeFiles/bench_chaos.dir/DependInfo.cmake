@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_chaos.cpp" "bench/CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o" "gcc" "bench/CMakeFiles/bench_chaos.dir/bench_chaos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/cia_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/cia_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/keylime/CMakeFiles/cia_keylime.dir/DependInfo.cmake"
+  "/root/repo/build/src/pkg/CMakeFiles/cia_pkg.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cia_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/cia_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ima/CMakeFiles/cia_ima.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/cia_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/cia_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cia_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/experiments/chaos_experiment.cpp" "src/experiments/CMakeFiles/cia_experiments.dir/chaos_experiment.cpp.o" "gcc" "src/experiments/CMakeFiles/cia_experiments.dir/chaos_experiment.cpp.o.d"
   "/root/repo/src/experiments/fleet_experiment.cpp" "src/experiments/CMakeFiles/cia_experiments.dir/fleet_experiment.cpp.o" "gcc" "src/experiments/CMakeFiles/cia_experiments.dir/fleet_experiment.cpp.o.d"
   "/root/repo/src/experiments/fn_experiment.cpp" "src/experiments/CMakeFiles/cia_experiments.dir/fn_experiment.cpp.o" "gcc" "src/experiments/CMakeFiles/cia_experiments.dir/fn_experiment.cpp.o.d"
   "/root/repo/src/experiments/fp_experiment.cpp" "src/experiments/CMakeFiles/cia_experiments.dir/fp_experiment.cpp.o" "gcc" "src/experiments/CMakeFiles/cia_experiments.dir/fp_experiment.cpp.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/cia_experiments.dir/chaos_experiment.cpp.o"
+  "CMakeFiles/cia_experiments.dir/chaos_experiment.cpp.o.d"
   "CMakeFiles/cia_experiments.dir/fleet_experiment.cpp.o"
   "CMakeFiles/cia_experiments.dir/fleet_experiment.cpp.o.d"
   "CMakeFiles/cia_experiments.dir/fn_experiment.cpp.o"

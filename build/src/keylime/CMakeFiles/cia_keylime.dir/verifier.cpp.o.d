@@ -222,5 +222,5 @@ src/keylime/CMakeFiles/cia_keylime.dir/verifier.cpp.o: \
  /root/repo/src/oskernel/machine.hpp /root/repo/src/keylime/notifier.hpp \
  /root/repo/src/keylime/runtime_policy.hpp \
  /root/repo/src/netsim/network.hpp /usr/include/c++/12/limits \
- /root/repo/src/common/log.hpp /root/repo/src/common/strutil.hpp \
- /root/repo/src/keylime/registrar.hpp
+ /root/repo/src/common/hex.hpp /root/repo/src/common/log.hpp \
+ /root/repo/src/common/strutil.hpp /root/repo/src/keylime/registrar.hpp

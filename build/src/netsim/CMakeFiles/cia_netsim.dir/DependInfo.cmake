@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/cia_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/cia_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/transport.cpp" "src/netsim/CMakeFiles/cia_netsim.dir/transport.cpp.o" "gcc" "src/netsim/CMakeFiles/cia_netsim.dir/transport.cpp.o.d"
   "/root/repo/src/netsim/wire.cpp" "src/netsim/CMakeFiles/cia_netsim.dir/wire.cpp.o" "gcc" "src/netsim/CMakeFiles/cia_netsim.dir/wire.cpp.o.d"
   )
 

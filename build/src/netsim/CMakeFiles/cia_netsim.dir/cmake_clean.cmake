@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/cia_netsim.dir/network.cpp.o"
   "CMakeFiles/cia_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/cia_netsim.dir/transport.cpp.o"
+  "CMakeFiles/cia_netsim.dir/transport.cpp.o.d"
   "CMakeFiles/cia_netsim.dir/wire.cpp.o"
   "CMakeFiles/cia_netsim.dir/wire.cpp.o.d"
   "libcia_netsim.a"

@@ -295,5 +295,5 @@ tests/CMakeFiles/cia_tests.dir/netsim_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/netsim/network.hpp /root/repo/src/common/result.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/common/types.hpp \
- /root/repo/src/common/sim_clock.hpp /root/repo/src/netsim/wire.hpp \
- /root/repo/src/crypto/sha256.hpp
+ /root/repo/src/common/sim_clock.hpp /root/repo/src/netsim/transport.hpp \
+ /root/repo/src/netsim/wire.hpp /root/repo/src/crypto/sha256.hpp

@@ -310,7 +310,9 @@ tests/CMakeFiles/cia_tests.dir/robustness_test.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/keylime/audit.hpp \
  /root/repo/src/keylime/messages.hpp /root/repo/src/netsim/wire.hpp \
  /root/repo/src/keylime/notifier.hpp /root/repo/src/netsim/network.hpp \
- /root/repo/src/pkg/apt.hpp /root/repo/src/experiments/fp_experiment.hpp \
+ /root/repo/src/pkg/apt.hpp \
+ /root/repo/src/experiments/chaos_experiment.hpp \
+ /root/repo/src/experiments/fp_experiment.hpp \
  /root/repo/src/experiments/testbed.hpp /root/repo/src/keylime/agent.hpp \
  /root/repo/src/crypto/hmac.hpp /root/repo/src/keylime/registrar.hpp \
  /root/repo/src/keylime/tenant.hpp \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cia_chaos.dir/cia_chaos.cpp.o"
+  "CMakeFiles/cia_chaos.dir/cia_chaos.cpp.o.d"
+  "cia_chaos"
+  "cia_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cia_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

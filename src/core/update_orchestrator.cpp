@@ -9,7 +9,9 @@ Status UpdateOrchestrator::bootstrap() {
   if (nodes_.empty()) {
     return err(Errc::kInvalidArgument, "no managed nodes");
   }
-  mirror_->sync(clock_->now());
+  if (mirror_->sync(clock_->now()) != pkg::SyncOutcome::kOk) {
+    return err(Errc::kUnavailable, "mirror sync failed during bootstrap");
+  }
   const std::string kernel = nodes_.front().machine->kernel_version();
   PolicyUpdateStats stats;
   policy_ = generator_->generate_base(kernel, &stats);
@@ -28,8 +30,28 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
   }
   UpdateCycleReport report;
 
-  // Step 1: identify updates in advance — refresh the local mirror.
-  mirror_->sync(clock_->now());
+  // Step 1: identify updates in advance — refresh the local mirror. A
+  // failed or partial sync must not silently feed the generator half an
+  // index: a partial snapshot defers outright, a failed sync only
+  // proceeds on a previous complete snapshot that is still fresh.
+  const pkg::SyncOutcome synced = mirror_->sync(clock_->now());
+  if (synced == pkg::SyncOutcome::kPartial || !mirror_->last_sync_complete()) {
+    report.deferred = true;
+    report.defer_reason = "mirror sync incomplete; snapshot unusable";
+  } else if (synced == pkg::SyncOutcome::kFailed &&
+             (!mirror_->has_synced() ||
+              mirror_->staleness(clock_->now()) > config_.max_mirror_staleness)) {
+    report.deferred = true;
+    report.defer_reason = "mirror unreachable and snapshot stale";
+  }
+  if (report.deferred) {
+    ++cycles_deferred_;
+    report.policy_stats.day = clock_->day();
+    CIA_LOG_WARN("orchestrator",
+                 strformat("cycle day %d deferred: %s", clock_->day(),
+                           report.defer_reason.c_str()));
+    return report;
+  }
 
   // Step 2: generate the policy delta. If the sync brought a newer kernel
   // than the one running, admit it ahead of the reboot.

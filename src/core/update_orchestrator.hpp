@@ -38,16 +38,32 @@ struct UpdateCycleReport {
   std::size_t packages_installed = 0;  // across all nodes
   std::size_t dedup_removed = 0;
   bool kernel_pending_reboot = false;
+  /// The cycle was skipped because the mirror snapshot was unusable
+  /// (failed/partial sync, or stale beyond the configured bound). No
+  /// policy was pushed and no node upgraded — the window is deferred.
+  bool deferred = false;
+  std::string defer_reason;
+};
+
+struct OrchestratorConfig {
+  /// A cycle whose sync failed may still proceed on the previous
+  /// snapshot if it is younger than this; older (or never-synced, or
+  /// incomplete) snapshots defer the window. Policy and node upgrades
+  /// always share one snapshot, so deferral can never strand a node on
+  /// files the pushed policy does not cover (the §III-D FP class).
+  SimTime max_mirror_staleness = 2 * kDay;
 };
 
 class UpdateOrchestrator {
  public:
   UpdateOrchestrator(pkg::Mirror* mirror, DynamicPolicyGenerator* generator,
-                     keylime::Verifier* verifier, SimClock* clock)
+                     keylime::Verifier* verifier, SimClock* clock,
+                     OrchestratorConfig config = {})
       : mirror_(mirror),
         generator_(generator),
         verifier_(verifier),
-        clock_(clock) {}
+        clock_(clock),
+        config_(config) {}
 
   void manage(ManagedNode node) { nodes_.push_back(node); }
 
@@ -61,13 +77,22 @@ class UpdateOrchestrator {
 
   const keylime::RuntimePolicy& policy() const { return policy_; }
 
+  /// Update windows deferred so far because the mirror was unusable.
+  std::uint64_t cycles_deferred() const { return cycles_deferred_; }
+
+  /// Point the orchestrator at a restored verifier instance after
+  /// crash-recovery; the policy store and managed nodes carry over.
+  void rebind(keylime::Verifier* verifier) { verifier_ = verifier; }
+
  private:
   pkg::Mirror* mirror_;
   DynamicPolicyGenerator* generator_;
   keylime::Verifier* verifier_;
   SimClock* clock_;
+  OrchestratorConfig config_;
   std::vector<ManagedNode> nodes_;
   keylime::RuntimePolicy policy_;
+  std::uint64_t cycles_deferred_ = 0;
 };
 
 }  // namespace cia::core

@@ -6,8 +6,15 @@
 namespace cia::keylime {
 
 Agent::Agent(oskernel::Machine* machine, netsim::SimNetwork* network)
-    : machine_(machine), network_(network), agent_id_(machine->hostname()) {
+    : machine_(machine),
+      network_(network),
+      transport_(network),
+      agent_id_(machine->hostname()) {
   network_->attach(address(), this);
+}
+
+void Agent::use_transport(netsim::Transport* transport) {
+  transport_ = transport ? transport : network_;
 }
 
 Agent::~Agent() { network_->detach(address()); }
@@ -18,8 +25,8 @@ Status Agent::register_with(const std::string& registrar_address) {
   req.ek_cert = machine_->tpm().ek_certificate().encode();
   req.ak_pub = machine_->tpm().ak_public().encode();
 
-  auto challenge_bytes = network_->call(registrar_address, kMsgRegister,
-                                        req.encode());
+  auto challenge_bytes = transport_->call(registrar_address, kMsgRegister,
+                                          req.encode());
   if (!challenge_bytes.ok()) return challenge_bytes.error();
   auto challenge = RegisterChallenge::decode(challenge_bytes.value());
   if (!challenge.ok()) return challenge.error();
@@ -34,7 +41,7 @@ Status Agent::register_with(const std::string& registrar_address) {
       crypto::hmac_sha256(secret.value(), to_bytes(agent_id_));
   activate.proof = Bytes(proof.begin(), proof.end());
 
-  auto ack = network_->call(registrar_address, kMsgActivate, activate.encode());
+  auto ack = transport_->call(registrar_address, kMsgActivate, activate.encode());
   if (!ack.ok()) return ack.error();
   CIA_LOG_INFO("agent", agent_id_ + " registered");
   return Status::ok_status();

@@ -29,12 +29,17 @@ class Agent : public netsim::Endpoint {
   /// Enrol with the registrar: register -> activate credential -> prove.
   Status register_with(const std::string& registrar_address);
 
+  /// Route the agent's outbound RPCs (registration) through `transport`
+  /// instead of the raw network; nullptr restores the raw path.
+  void use_transport(netsim::Transport* transport);
+
   /// netsim::Endpoint: serve quote requests.
   Result<Bytes> handle(const std::string& kind, const Bytes& payload) override;
 
  private:
   oskernel::Machine* machine_;
   netsim::SimNetwork* network_;
+  netsim::Transport* transport_;  // defaults to network_
   std::string agent_id_;
 };
 

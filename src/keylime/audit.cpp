@@ -49,6 +49,16 @@ const AuditRecord& AuditLog::append(SimTime time, const std::string& agent_id,
   return records_.back();
 }
 
+crypto::Digest AuditLog::head() const {
+  return records_.empty() ? crypto::zero_digest() : records_.back().record_hash;
+}
+
+Status AuditLog::restore(std::vector<AuditRecord> records) {
+  if (Status s = verify_audit_chain(records, key_.pub); !s.ok()) return s;
+  records_ = std::move(records);
+  return Status::ok_status();
+}
+
 namespace {
 
 json::Value digest_json(const crypto::Digest& d) {

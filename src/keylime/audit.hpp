@@ -66,6 +66,16 @@ class AuditLog {
 
   const std::vector<AuditRecord>& records() const { return records_; }
 
+  /// Hash of the newest record (zero when the chain is empty) — the
+  /// value an external anchor publishes, and what a checkpoint pins.
+  crypto::Digest head() const;
+
+  /// Adopt a previously exported chain (verifier crash-recovery). The
+  /// records must form a valid chain signed by this log's own key;
+  /// subsequent appends continue from the restored head, so a restart
+  /// never forks or truncates history undetectably.
+  Status restore(std::vector<AuditRecord> records);
+
  private:
   crypto::KeyPair key_;
   std::vector<AuditRecord> records_;

@@ -4,7 +4,10 @@
 // polling produces thundering herds and retry storms. The scheduler
 // staggers agents across the poll interval (deterministically, by agent
 // id) and applies exponential backoff with a cap to unreachable agents so
-// a dead rack does not consume the polling budget.
+// a dead rack does not consume the polling budget. Backoff delays carry
+// deterministic per-agent jitter so a rack that died together does not
+// retry in lockstep, and backoff only resets after a round that actually
+// succeeded — an error response is not recovery.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +33,8 @@ class AttestationScheduler {
 
   /// Start polling an agent (already enrolled with the verifier). The
   /// first poll is staggered within the interval by a stable hash of the
-  /// agent id.
+  /// agent id. Re-enrolling an already-scheduled id replaces its slot —
+  /// an agent is never double-scheduled.
   void enroll(const std::string& agent_id);
 
   /// Poll every agent whose next-poll time has arrived. Returns the
@@ -40,6 +44,12 @@ class AttestationScheduler {
   /// Earliest next-poll time across the fleet (SimTime max if empty).
   SimTime next_due() const;
 
+  /// Agents currently on the healthy cadence (no backoff pending).
+  std::size_t healthy_count() const;
+
+  /// Agents currently in comms backoff.
+  std::size_t backing_off_count() const;
+
   struct AgentSchedule {
     SimTime next_poll = 0;
     SimTime current_backoff = 0;  // 0 = healthy cadence
@@ -48,6 +58,10 @@ class AttestationScheduler {
   };
 
   const AgentSchedule* schedule(const std::string& agent_id) const;
+
+  /// Point the scheduler at a restored verifier instance after
+  /// crash-recovery; poll cadence and backoff state carry over.
+  void rebind(Verifier* verifier) { verifier_ = verifier; }
 
  private:
   Verifier* verifier_;

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/hex.hpp"
 #include "common/log.hpp"
 #include "common/strutil.hpp"
 #include "keylime/registrar.hpp"
@@ -32,6 +33,7 @@ const std::vector<int>& quoted_pcrs() {
 Verifier::Verifier(netsim::SimNetwork* network, SimClock* clock,
                    std::uint64_t seed, VerifierConfig config)
     : network_(network),
+      transport_(network),
       clock_(clock),
       rng_(seed),
       config_(config),
@@ -39,6 +41,10 @@ Verifier::Verifier(netsim::SimNetwork* network, SimClock* clock,
           to_bytes(strformat("verifier-%llu",
                              static_cast<unsigned long long>(seed))),
           "audit-signing")) {}
+
+void Verifier::use_transport(netsim::Transport* transport) {
+  transport_ = transport ? transport : network_;
+}
 
 void Verifier::add_notifier(RevocationNotifier* notifier) {
   notifiers_.push_back(notifier);
@@ -48,7 +54,7 @@ Status Verifier::add_agent(const std::string& agent_id,
                            const std::string& address) {
   GetAgentRequest req{agent_id};
   auto resp_bytes =
-      network_->call(Registrar::address(), kMsgGetAgent, req.encode());
+      transport_->call(Registrar::address(), kMsgGetAgent, req.encode());
   if (!resp_bytes.ok()) return resp_bytes.error();
   auto resp = GetAgentResponse::decode(resp_bytes.value());
   if (!resp.ok()) return resp.error();
@@ -104,7 +110,7 @@ Result<BootLogReport> Verifier::attest_boot_log(const std::string& agent_id) {
   AgentRecord& rec = it->second;
 
   // Fetch the claimed event log.
-  auto log_bytes = network_->call(rec.address, kMsgBootLog, {});
+  auto log_bytes = transport_->call(rec.address, kMsgBootLog, {});
   if (!log_bytes.ok()) return log_bytes.error();
   auto log = BootLogResponse::decode(log_bytes.value());
   if (!log.ok()) return log.error();
@@ -113,7 +119,7 @@ Result<BootLogReport> Verifier::attest_boot_log(const std::string& agent_id) {
   QuoteRequest req;
   req.nonce = rng_.bytes(20);
   req.log_offset = std::numeric_limits<std::uint64_t>::max();
-  auto quote_bytes = network_->call(rec.address, kMsgQuote, req.encode());
+  auto quote_bytes = transport_->call(rec.address, kMsgQuote, req.encode());
   if (!quote_bytes.ok()) return quote_bytes.error();
   auto resp = QuoteResponse::decode(quote_bytes.value());
   if (!resp.ok()) return resp.error();
@@ -249,7 +255,7 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
   QuoteRequest req;
   req.nonce = rng_.bytes(20);
   req.log_offset = rec.log_offset;
-  auto resp_bytes = network_->call(rec.address, kMsgQuote, req.encode());
+  auto resp_bytes = transport_->call(rec.address, kMsgQuote, req.encode());
   if (!resp_bytes.ok()) {
     Alert alert;
     alert.time = clock_->now();
@@ -406,6 +412,221 @@ std::vector<Alert> Verifier::alerts_for(const std::string& agent_id) const {
     if (a.agent_id == agent_id) out.push_back(a);
   }
   return out;
+}
+
+namespace {
+
+Result<crypto::Digest> checkpoint_digest(const json::Value* v,
+                                         const char* field) {
+  if (!v || !v->is_string()) {
+    return err(Errc::kCorrupted,
+               std::string("checkpoint: missing digest field ") + field);
+  }
+  auto bytes = from_hex(v->as_string());
+  if (!bytes.ok() || bytes.value().size() != crypto::kSha256Size) {
+    return err(Errc::kCorrupted,
+               std::string("checkpoint: bad digest in ") + field);
+  }
+  crypto::Digest d;
+  std::copy(bytes.value().begin(), bytes.value().end(), d.begin());
+  return d;
+}
+
+const json::Value* checkpoint_field(const json::Value& obj, const char* key,
+                                    bool (json::Value::*is_type)() const) {
+  const json::Value* v = obj.find(key);
+  return (v && (v->*is_type)()) ? v : nullptr;
+}
+
+}  // namespace
+
+json::Value Verifier::checkpoint() const {
+  json::Value doc;
+  doc.set("version", 1);
+  json::Value agents{json::Array{}};
+  for (const auto& [id, rec] : agents_) {
+    json::Value a;
+    a.set("id", id);
+    a.set("address", rec.address);
+    a.set("ak", to_hex(rec.ak.encode()));
+    a.set("policy", rec.policy.to_json());
+    a.set("state", rec.state == AgentState::kFailed ? "failed" : "attesting");
+    a.set("log_offset", static_cast<std::int64_t>(rec.log_offset));
+    a.set("accumulated_pcr", crypto::digest_hex(rec.accumulated_pcr));
+    a.set("boot_count", static_cast<std::int64_t>(rec.boot_count));
+    if (rec.mb_refstate) {
+      json::Value mb;
+      mb.set("pcr0", crypto::digest_hex(rec.mb_refstate->pcr0));
+      mb.set("pcr4", crypto::digest_hex(rec.mb_refstate->pcr4));
+      mb.set("pcr7", crypto::digest_hex(rec.mb_refstate->pcr7));
+      a.set("mb_refstate", std::move(mb));
+    }
+    if (!rec.boot_baseline.empty()) {
+      json::Value events{json::Array{}};
+      for (const auto& e : rec.boot_baseline) {
+        json::Value ev;
+        ev.set("pcr", e.pcr);
+        ev.set("description", e.description);
+        ev.set("digest", crypto::digest_hex(e.digest));
+        events.push_back(std::move(ev));
+      }
+      a.set("boot_baseline", std::move(events));
+    }
+    if (!rec.pending.empty()) {
+      json::Value pending{json::Array{}};
+      for (const auto& [index, entry] : rec.pending) {
+        json::Value p;
+        p.set("index", static_cast<std::int64_t>(index));
+        p.set("pcr", entry.pcr);
+        p.set("template_name", entry.template_name);
+        p.set("template_hash", crypto::digest_hex(entry.template_hash));
+        p.set("file_hash", crypto::digest_hex(entry.file_hash));
+        p.set("path", entry.path);
+        pending.push_back(std::move(p));
+      }
+      a.set("pending", std::move(pending));
+    }
+    agents.push_back(std::move(a));
+  }
+  doc.set("agents", std::move(agents));
+  doc.set("audit", export_audit_chain(audit_.records(), audit_.public_key()));
+  return doc;
+}
+
+Status Verifier::restore(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return err(Errc::kCorrupted, "checkpoint is not an object");
+  }
+  const json::Value* agents_field = doc.find("agents");
+  const json::Value* audit_field = doc.find("audit");
+  if (!agents_field || !agents_field->is_array() || !audit_field) {
+    return err(Errc::kCorrupted, "checkpoint is missing agents/audit");
+  }
+
+  // The audit chain must be OUR chain: records signed under this
+  // verifier's key (derived from the seed). A checkpoint from a
+  // different verifier would fork history and is refused.
+  auto chain = import_audit_chain(*audit_field);
+  if (!chain.ok()) return chain.error();
+  if (!(chain.value().second == audit_.public_key())) {
+    return err(Errc::kPermissionDenied,
+               "checkpoint audit chain was signed by a different verifier");
+  }
+
+  std::map<std::string, AgentRecord> restored;
+  for (const json::Value& a : agents_field->as_array()) {
+    if (!a.is_object()) return err(Errc::kCorrupted, "checkpoint: bad agent");
+    const json::Value* id = checkpoint_field(a, "id", &json::Value::is_string);
+    const json::Value* address =
+        checkpoint_field(a, "address", &json::Value::is_string);
+    const json::Value* ak = checkpoint_field(a, "ak", &json::Value::is_string);
+    const json::Value* policy_field = a.find("policy");
+    const json::Value* state =
+        checkpoint_field(a, "state", &json::Value::is_string);
+    const json::Value* log_offset =
+        checkpoint_field(a, "log_offset", &json::Value::is_number);
+    const json::Value* boot_count =
+        checkpoint_field(a, "boot_count", &json::Value::is_number);
+    if (!id || !address || !ak || !policy_field || !state || !log_offset ||
+        !boot_count) {
+      return err(Errc::kCorrupted, "checkpoint: agent missing fields");
+    }
+    AgentRecord rec;
+    rec.address = address->as_string();
+    auto ak_bytes = from_hex(ak->as_string());
+    if (!ak_bytes.ok()) return err(Errc::kCorrupted, "checkpoint: bad AK hex");
+    auto ak_key = crypto::PublicKey::decode(ak_bytes.value());
+    if (!ak_key) return err(Errc::kCorrupted, "checkpoint: bad AK encoding");
+    rec.ak = *ak_key;
+    auto policy = RuntimePolicy::from_json(*policy_field);
+    if (!policy.ok()) return policy.error();
+    rec.policy = std::move(policy).take();
+    if (state->as_string() == "failed") {
+      rec.state = AgentState::kFailed;
+    } else if (state->as_string() == "attesting") {
+      rec.state = AgentState::kAttesting;
+    } else {
+      return err(Errc::kCorrupted,
+                 "checkpoint: bad agent state " + state->as_string());
+    }
+    rec.log_offset = static_cast<std::uint64_t>(log_offset->as_int());
+    auto pcr = checkpoint_digest(a.find("accumulated_pcr"), "accumulated_pcr");
+    if (!pcr.ok()) return pcr.error();
+    rec.accumulated_pcr = pcr.value();
+    rec.boot_count = static_cast<std::uint32_t>(boot_count->as_int());
+    if (const json::Value* mb = a.find("mb_refstate")) {
+      MbRefstate ref;
+      auto p0 = checkpoint_digest(mb->find("pcr0"), "pcr0");
+      auto p4 = checkpoint_digest(mb->find("pcr4"), "pcr4");
+      auto p7 = checkpoint_digest(mb->find("pcr7"), "pcr7");
+      if (!p0.ok()) return p0.error();
+      if (!p4.ok()) return p4.error();
+      if (!p7.ok()) return p7.error();
+      ref.pcr0 = p0.value();
+      ref.pcr4 = p4.value();
+      ref.pcr7 = p7.value();
+      rec.mb_refstate = ref;
+    }
+    if (const json::Value* events = a.find("boot_baseline")) {
+      if (!events->is_array()) {
+        return err(Errc::kCorrupted, "checkpoint: bad boot_baseline");
+      }
+      for (const json::Value& ev : events->as_array()) {
+        const json::Value* pcr_field =
+            checkpoint_field(ev, "pcr", &json::Value::is_number);
+        const json::Value* description =
+            checkpoint_field(ev, "description", &json::Value::is_string);
+        auto digest = checkpoint_digest(ev.find("digest"), "digest");
+        if (!pcr_field || !description) {
+          return err(Errc::kCorrupted, "checkpoint: bad boot event");
+        }
+        if (!digest.ok()) return digest.error();
+        oskernel::BootEvent event;
+        event.pcr = static_cast<int>(pcr_field->as_int());
+        event.description = description->as_string();
+        event.digest = digest.value();
+        rec.boot_baseline.push_back(std::move(event));
+      }
+    }
+    if (const json::Value* pending = a.find("pending")) {
+      if (!pending->is_array()) {
+        return err(Errc::kCorrupted, "checkpoint: bad pending list");
+      }
+      for (const json::Value& p : pending->as_array()) {
+        const json::Value* index =
+            checkpoint_field(p, "index", &json::Value::is_number);
+        const json::Value* pcr_field =
+            checkpoint_field(p, "pcr", &json::Value::is_number);
+        const json::Value* template_name =
+            checkpoint_field(p, "template_name", &json::Value::is_string);
+        const json::Value* path =
+            checkpoint_field(p, "path", &json::Value::is_string);
+        auto template_hash =
+            checkpoint_digest(p.find("template_hash"), "template_hash");
+        auto file_hash = checkpoint_digest(p.find("file_hash"), "file_hash");
+        if (!index || !pcr_field || !template_name || !path) {
+          return err(Errc::kCorrupted, "checkpoint: bad pending entry");
+        }
+        if (!template_hash.ok()) return template_hash.error();
+        if (!file_hash.ok()) return file_hash.error();
+        ima::LogEntry entry;
+        entry.pcr = static_cast<int>(pcr_field->as_int());
+        entry.template_name = template_name->as_string();
+        entry.template_hash = template_hash.value();
+        entry.file_hash = file_hash.value();
+        entry.path = path->as_string();
+        rec.pending.emplace_back(static_cast<std::uint64_t>(index->as_int()),
+                                 std::move(entry));
+      }
+    }
+    restored[id->as_string()] = std::move(rec);
+  }
+
+  if (Status s = audit_.restore(std::move(chain.value().first)); !s.ok()) {
+    return s;
+  }
+  agents_ = std::move(restored);
+  return Status::ok_status();
 }
 
 std::vector<std::string> Verifier::agent_ids() const {

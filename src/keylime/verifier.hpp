@@ -104,6 +104,12 @@ class Verifier {
   Verifier(netsim::SimNetwork* network, SimClock* clock, std::uint64_t seed,
            VerifierConfig config = {});
 
+  /// Route all RPCs (registrar lookups, agent quotes) through `transport`
+  /// instead of the raw network — stack a netsim::RetryingTransport here
+  /// so transient faults are retried before they surface as comms alerts.
+  /// Passing nullptr restores the raw network path.
+  void use_transport(netsim::Transport* transport);
+
   /// Enrol an agent for continuous attestation. Fetches and pins its AK
   /// from the registrar; fails if the agent is not activated there.
   Status add_agent(const std::string& agent_id, const std::string& address);
@@ -153,6 +159,21 @@ class Verifier {
   /// The durable-attestation chain: one signed record per poll round.
   const AuditLog& audit() const { return audit_; }
 
+  /// Serialize the verifier's complete working state — every enrolled
+  /// agent's record (pinned AK, policy, refstates, incremental log
+  /// cursor, quarantine/failure state, unevaluated entries) plus the
+  /// audit chain — to a JSON document. A verifier constructed with the
+  /// same seed can restore() it after a crash and resume mid-fleet
+  /// without duplicate alerts or a forked audit chain.
+  json::Value checkpoint() const;
+
+  /// Restore state from a checkpoint() document. The embedded audit
+  /// chain must verify under this verifier's own signing key (same seed
+  /// as the crashed instance). Replaces all agent state and alerts are
+  /// NOT replayed — a restored FAILED agent stays failed, a restored
+  /// healthy agent resumes at its saved log offset.
+  Status restore(const json::Value& doc);
+
   /// Register a revocation notifier; fired on kAttesting -> kFailed
   /// transitions.
   void add_notifier(RevocationNotifier* notifier);
@@ -179,6 +200,7 @@ class Verifier {
   Result<AttestationRound> attest_once_impl(const std::string& agent_id);
 
   netsim::SimNetwork* network_;
+  netsim::Transport* transport_;  // defaults to network_
   SimClock* clock_;
   Rng rng_;
   VerifierConfig config_;

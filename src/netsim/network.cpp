@@ -2,8 +2,31 @@
 
 namespace cia::netsim {
 
+namespace {
+
+/// FNV-1a over a string; mixes a link address into the network seed so
+/// every link gets an independent, order-of-first-use-invariant stream.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+const FaultProfile* FaultSchedule::active(SimTime now) const {
+  const FaultProfile* found = nullptr;
+  for (const FaultWindow& w : windows_) {
+    if (w.start <= now && now < w.end) found = &w.profile;
+  }
+  return found;
+}
+
 SimNetwork::SimNetwork(SimClock* clock, std::uint64_t seed)
-    : clock_(clock), rng_(seed) {}
+    : clock_(clock), seed_(seed) {}
 
 void SimNetwork::attach(const std::string& address, Endpoint* endpoint) {
   endpoints_[address] = endpoint;
@@ -13,29 +36,92 @@ void SimNetwork::detach(const std::string& address) {
   endpoints_.erase(address);
 }
 
+bool SimNetwork::attached(const std::string& address) const {
+  return endpoints_.count(address) > 0;
+}
+
+void SimNetwork::set_link_faults(const std::string& address,
+                                 const FaultProfile& faults) {
+  link_faults_[address] = faults;
+}
+
+void SimNetwork::clear_link_faults(const std::string& address) {
+  link_faults_.erase(address);
+}
+
+void SimNetwork::set_link_schedule(const std::string& address,
+                                   FaultSchedule schedule) {
+  link_schedules_[address] = std::move(schedule);
+}
+
+void SimNetwork::set_global_schedule(FaultSchedule schedule) {
+  global_schedule_ = std::move(schedule);
+}
+
+const FaultProfile& SimNetwork::effective_faults(
+    const std::string& address) const {
+  const SimTime now = clock_->now();
+  auto sched_it = link_schedules_.find(address);
+  if (sched_it != link_schedules_.end()) {
+    if (const FaultProfile* p = sched_it->second.active(now)) return *p;
+  }
+  auto link_it = link_faults_.find(address);
+  if (link_it != link_faults_.end()) return link_it->second;
+  if (const FaultProfile* p = global_schedule_.active(now)) return *p;
+  return faults_;
+}
+
+Rng& SimNetwork::link_rng(const std::string& address) {
+  auto it = link_rngs_.find(address);
+  if (it == link_rngs_.end()) {
+    it = link_rngs_.emplace(address, Rng(seed_ ^ fnv1a(address))).first;
+  }
+  return it->second;
+}
+
 Result<Bytes> SimNetwork::call(const std::string& to, const std::string& kind,
                                const Bytes& payload) {
   ++stats_.calls;
-  clock_->advance(faults_.latency);
+  const FaultProfile profile = effective_faults(to);
+  Rng& rng = link_rng(to);
 
+  // Every outcome charges the link latency: a caller learns about a
+  // missing endpoint or a lost packet no faster than about a response.
   auto it = endpoints_.find(to);
   if (it == endpoints_.end()) {
+    clock_->advance(profile.latency);
     ++stats_.unroutable;
     return err(Errc::kUnavailable, "no endpoint at " + to);
   }
-  if (faults_.drop_rate > 0.0 && rng_.chance(faults_.drop_rate)) {
+  if (profile.timeout_rate > 0.0 && rng.chance(profile.timeout_rate)) {
+    // A hung call blocks the caller for the full timeout budget.
+    clock_->advance(profile.latency + profile.timeout_latency);
+    ++stats_.timeouts;
+    return err(Errc::kUnavailable, "request to " + to + " timed out");
+  }
+  clock_->advance(profile.latency);
+  if (profile.drop_rate > 0.0 && rng.chance(profile.drop_rate)) {
     ++stats_.dropped;
     return err(Errc::kUnavailable, "request to " + to + " dropped");
   }
 
   Result<Bytes> response = it->second->handle(kind, payload);
+
+  // Duplicate delivery: a retransmitted request reaches the endpoint a
+  // second time; the late response is discarded by the caller's transport,
+  // so only handler idempotence protects state.
+  if (profile.duplicate_rate > 0.0 && rng.chance(profile.duplicate_rate)) {
+    ++stats_.duplicated;
+    (void)it->second->handle(kind, payload);
+  }
+
   if (!response.ok()) return response;
 
   Bytes body = std::move(response).take();
-  if (faults_.tamper_rate > 0.0 && !body.empty() &&
-      rng_.chance(faults_.tamper_rate)) {
+  if (profile.tamper_rate > 0.0 && !body.empty() &&
+      rng.chance(profile.tamper_rate)) {
     ++stats_.tampered;
-    body[rng_.uniform(body.size())] ^= 0xff;
+    body[rng.uniform(body.size())] ^= 0xff;
   }
   return body;
 }

@@ -2,14 +2,26 @@
 //
 // Components implement Endpoint and attach under an address; callers make
 // synchronous RPCs through SimNetwork. The network charges virtual latency
-// to the shared clock and can inject faults (drops, payload tampering) so
-// tests can exercise the verifier's handling of unreliable and hostile
-// transports.
+// to the shared clock and can inject faults (drops, payload tampering,
+// duplicate delivery, timeouts) so tests can exercise the verifier's
+// handling of unreliable and hostile transports.
+//
+// Faults are layered:
+//   * a global default FaultProfile applies to every link;
+//   * a per-link FaultProfile (keyed by destination address) overrides it;
+//   * time-windowed FaultSchedules (global or per-link) override both
+//     while a window is open — this is how outages, partitions, and flaky
+//     periods are scripted against the SimClock.
+// Every link draws from its own deterministic RNG stream (derived from
+// the network seed and the destination address), so the fault sequence a
+// given link experiences is reproducible per seed and independent of
+// traffic on other links.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "common/rng.hpp"
@@ -27,11 +39,67 @@ class Endpoint {
   virtual Result<Bytes> handle(const std::string& kind, const Bytes& payload) = 0;
 };
 
-/// Fault-injection knobs.
-struct FaultConfig {
-  double drop_rate = 0.0;    // probability a call fails with kUnavailable
-  double tamper_rate = 0.0;  // probability the response payload is corrupted
-  SimTime latency = 0;       // virtual seconds charged per round trip
+/// Anything a component can make RPCs through: the raw network, or a
+/// reliability layer (RetryingTransport) stacked on top of it.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Synchronous RPC to the endpoint attached at `to`.
+  virtual Result<Bytes> call(const std::string& to, const std::string& kind,
+                             const Bytes& payload) = 0;
+};
+
+/// Fault-injection knobs for one link (or the global default).
+struct FaultProfile {
+  double drop_rate = 0.0;       // probability a call fails with kUnavailable
+  double tamper_rate = 0.0;     // probability the response payload is corrupted
+  double duplicate_rate = 0.0;  // probability the request is delivered twice
+  double timeout_rate = 0.0;    // probability the call hangs, then times out
+  SimTime latency = 0;          // virtual seconds charged per round trip
+  SimTime timeout_latency = 30;  // virtual seconds a timed-out call blocks
+
+  /// A link that drops everything (outage / partition window).
+  static FaultProfile outage() {
+    FaultProfile p;
+    p.drop_rate = 1.0;
+    return p;
+  }
+};
+
+/// Backwards-compatible name: the original single global knob set.
+using FaultConfig = FaultProfile;
+
+/// A fault profile active during [start, end) of virtual time.
+struct FaultWindow {
+  SimTime start = 0;
+  SimTime end = 0;  // exclusive
+  FaultProfile profile;
+};
+
+/// A time-ordered script of fault windows (outages, flaky periods).
+/// Windows may overlap; the last matching window wins, so later entries
+/// can carve exceptions out of earlier ones.
+class FaultSchedule {
+ public:
+  FaultSchedule& add(SimTime start, SimTime end, FaultProfile profile) {
+    windows_.push_back({start, end, profile});
+    return *this;
+  }
+
+  /// Convenience: a full outage during [start, end).
+  FaultSchedule& outage(SimTime start, SimTime end) {
+    return add(start, end, FaultProfile::outage());
+  }
+
+  /// The profile of the last window covering `now`, or nullptr.
+  const FaultProfile* active(SimTime now) const;
+
+  bool empty() const { return windows_.empty(); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+ private:
+  std::vector<FaultWindow> windows_;
 };
 
 /// Counters for observability and tests.
@@ -40,29 +108,54 @@ struct NetworkStats {
   std::uint64_t dropped = 0;
   std::uint64_t tampered = 0;
   std::uint64_t unroutable = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t timeouts = 0;
 };
 
-class SimNetwork {
+class SimNetwork : public Transport {
  public:
   SimNetwork(SimClock* clock, std::uint64_t seed);
 
   /// Attach an endpoint at `address`; replaces any previous binding.
   void attach(const std::string& address, Endpoint* endpoint);
   void detach(const std::string& address);
+  bool attached(const std::string& address) const;
 
-  void set_faults(const FaultConfig& faults) { faults_ = faults; }
+  /// Set the global default fault profile (applies to links without a
+  /// per-link override).
+  void set_faults(const FaultProfile& faults) { faults_ = faults; }
+
+  /// Override faults for one link (keyed by destination address).
+  void set_link_faults(const std::string& address, const FaultProfile& faults);
+  void clear_link_faults(const std::string& address);
+
+  /// Script time-windowed faults for one link / for every link.
+  void set_link_schedule(const std::string& address, FaultSchedule schedule);
+  void set_global_schedule(FaultSchedule schedule);
+
+  /// The profile a call to `address` would experience right now
+  /// (schedule > per-link > global precedence).
+  const FaultProfile& effective_faults(const std::string& address) const;
 
   /// Synchronous RPC. Applies latency and fault injection, then invokes
-  /// the destination endpoint's handler.
+  /// the destination endpoint's handler. Every outcome — success, drop,
+  /// timeout, or unroutable address — charges the link's configured
+  /// latency, so failures are never cheaper than successes.
   Result<Bytes> call(const std::string& to, const std::string& kind,
-                     const Bytes& payload);
+                     const Bytes& payload) override;
 
   const NetworkStats& stats() const { return stats_; }
 
  private:
+  Rng& link_rng(const std::string& address);
+
   SimClock* clock_;
-  Rng rng_;
-  FaultConfig faults_;
+  std::uint64_t seed_;
+  FaultProfile faults_;
+  FaultSchedule global_schedule_;
+  std::map<std::string, FaultProfile> link_faults_;
+  std::map<std::string, FaultSchedule> link_schedules_;
+  std::map<std::string, Rng> link_rngs_;
   std::map<std::string, Endpoint*> endpoints_;
   NetworkStats stats_;
 };

@@ -1,0 +1,76 @@
+#include "netsim/transport.hpp"
+
+#include <algorithm>
+
+namespace cia::netsim {
+
+RetryingTransport::RetryingTransport(SimNetwork* network, SimClock* clock,
+                                     std::uint64_t seed, RetryPolicy policy)
+    : network_(network),
+      clock_(clock),
+      rng_(seed ^ 0x7265747279ull),  // "retry"
+      policy_(policy) {}
+
+BreakerState RetryingTransport::breaker_state(
+    const std::string& address) const {
+  auto it = breakers_.find(address);
+  if (it == breakers_.end() || !it->second.open) return BreakerState::kClosed;
+  return clock_->now() >= it->second.open_until ? BreakerState::kHalfOpen
+                                                : BreakerState::kOpen;
+}
+
+Result<Bytes> RetryingTransport::call(const std::string& to,
+                                      const std::string& kind,
+                                      const Bytes& payload) {
+  ++stats_.calls;
+  Breaker& breaker = breakers_[to];
+  if (breaker.open) {
+    if (clock_->now() < breaker.open_until) {
+      ++stats_.breaker_fastfails;
+      return err(Errc::kUnavailable, "circuit open for " + to);
+    }
+    // Half-open: let this call through as a probe.
+  }
+
+  const SimTime deadline = clock_->now() + policy_.call_budget;
+  Error last = err(Errc::kUnavailable, "no attempt made");
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    ++stats_.attempts;
+    if (attempt > 0) ++stats_.retries;
+    Result<Bytes> response = network_->call(to, kind, payload);
+    if (response.ok()) {
+      if (attempt > 0) ++stats_.recovered;
+      breaker.consecutive_failures = 0;
+      breaker.open = false;
+      return response;
+    }
+    // Only transient transport failures are worth retrying; a handler
+    // rejection (bad request, policy error) will fail identically again.
+    if (response.error().code != Errc::kUnavailable) return response;
+    last = response.error();
+
+    if (attempt + 1 >= policy_.max_attempts) break;
+    // Exponential backoff with deterministic full jitter in
+    // [backoff/2, backoff]: desynchronizes callers hammering the same
+    // dead peer while keeping the sequence reproducible per seed.
+    const SimTime backoff = std::min(policy_.base_backoff << attempt,
+                                     policy_.max_backoff);
+    const SimTime half = std::max<SimTime>(backoff / 2, 1);
+    const SimTime delay =
+        half + static_cast<SimTime>(rng_.uniform(
+                   static_cast<std::uint64_t>(backoff - half + 1)));
+    if (clock_->now() + delay > deadline) break;  // budget exhausted
+    clock_->advance(delay);
+  }
+
+  ++stats_.giveups;
+  if (++breaker.consecutive_failures >= policy_.breaker_threshold) {
+    if (!breaker.open) ++stats_.breaker_opens;
+    breaker.open = true;
+    breaker.open_until = clock_->now() + policy_.breaker_cooldown;
+    breaker.consecutive_failures = 0;
+  }
+  return last;
+}
+
+}  // namespace cia::netsim

@@ -1,0 +1,79 @@
+// A reliability layer over SimNetwork: bounded retries with exponential
+// backoff and deterministic jitter, a per-call virtual-time budget, and a
+// per-address circuit breaker.
+//
+// Components stack this between themselves and the raw network so that
+// transient faults (drops, timeouts, short outages) are absorbed before
+// they can surface as attestation failures. Only after the retry budget
+// is exhausted does the caller see an error — and once an address fails
+// persistently, the breaker opens and fails fast instead of burning the
+// caller's time on a dead peer, re-probing after a cooldown.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "netsim/network.hpp"
+
+namespace cia::netsim {
+
+struct RetryPolicy {
+  int max_attempts = 4;          // total tries per logical call
+  SimTime base_backoff = 1;      // delay before the first retry
+  SimTime max_backoff = 60;      // backoff ceiling
+  SimTime call_budget = 5 * kMinute;  // virtual seconds one call may consume
+  int breaker_threshold = 8;     // consecutive failed calls to open the breaker
+  SimTime breaker_cooldown = 5 * kMinute;  // open duration before a half-open probe
+};
+
+/// Per-address circuit-breaker state.
+enum class BreakerState {
+  kClosed,    // healthy, calls flow
+  kOpen,      // failing fast, no calls until the cooldown elapses
+  kHalfOpen,  // cooldown elapsed; the next call is a probe
+};
+
+class RetryingTransport : public Transport {
+ public:
+  struct Stats {
+    std::uint64_t calls = 0;       // logical calls
+    std::uint64_t attempts = 0;    // network sends (>= calls)
+    std::uint64_t retries = 0;     // attempts beyond the first
+    std::uint64_t recovered = 0;   // calls that failed at least once but succeeded
+    std::uint64_t giveups = 0;     // calls that exhausted the retry budget
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_fastfails = 0;  // calls rejected while open
+  };
+
+  RetryingTransport(SimNetwork* network, SimClock* clock, std::uint64_t seed,
+                    RetryPolicy policy = {});
+
+  /// A logical RPC: retried on kUnavailable until it succeeds, the
+  /// attempt count runs out, or the call budget is spent. Non-transient
+  /// errors (protocol violations, handler errors) are returned as-is —
+  /// retrying cannot fix a malformed request.
+  Result<Bytes> call(const std::string& to, const std::string& kind,
+                     const Bytes& payload) override;
+
+  BreakerState breaker_state(const std::string& address) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Breaker {
+    int consecutive_failures = 0;
+    SimTime open_until = 0;
+    bool open = false;
+  };
+
+  SimNetwork* network_;
+  SimClock* clock_;
+  Rng rng_;
+  RetryPolicy policy_;
+  std::map<std::string, Breaker> breakers_;
+  Stats stats_;
+};
+
+}  // namespace cia::netsim

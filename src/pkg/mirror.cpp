@@ -1,10 +1,40 @@
 #include "pkg/mirror.hpp"
 
+#include <limits>
+
 namespace cia::pkg {
 
-void Mirror::sync(SimTime now) {
+SyncOutcome Mirror::sync(SimTime now) {
+  if (fault_ == MirrorFault::kOffline) {
+    ++failed_syncs_;
+    return SyncOutcome::kFailed;
+  }
+  if (fault_ == MirrorFault::kPartial) {
+    // The transfer died mid-index: only the first half of the upstream
+    // package list landed. The snapshot is live but must not be used as
+    // a policy basis.
+    ++failed_syncs_;
+    const auto& upstream = upstream_->index();
+    snapshot_.clear();
+    std::size_t take = upstream.size() / 2;
+    for (const auto& [name, pkg] : upstream) {
+      if (take == 0) break;
+      snapshot_[name] = pkg;
+      --take;
+    }
+    last_sync_ = now;
+    last_sync_complete_ = false;
+    return SyncOutcome::kPartial;
+  }
   snapshot_ = upstream_->index();
   last_sync_ = now;
+  last_sync_complete_ = true;
+  return SyncOutcome::kOk;
+}
+
+SimTime Mirror::staleness(SimTime now) const {
+  if (last_sync_ < 0) return std::numeric_limits<SimTime>::max();
+  return now - last_sync_;
 }
 
 const Package* Mirror::find(const std::string& name) const {

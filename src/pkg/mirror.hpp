@@ -7,8 +7,14 @@
 // invisible until the next sync — the root cause of the paper's one
 // operator-error false positive (§III-D), where a machine was updated
 // from the official archive directly.
+//
+// Syncs can fail or complete partially (network partition to upstream, a
+// killed rsync). The mirror reports the outcome and its staleness so the
+// update orchestrator can detect an unusable snapshot and defer the
+// update window instead of generating a policy from half an index.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -17,15 +23,41 @@
 
 namespace cia::pkg {
 
+/// Injected failure mode for the next sync attempts.
+enum class MirrorFault {
+  kNone,     // syncs succeed
+  kOffline,  // upstream unreachable: syncs fail, snapshot unchanged
+  kPartial,  // sync dies mid-transfer: snapshot updated but incomplete
+};
+
+/// What one sync attempt did.
+enum class SyncOutcome { kOk, kFailed, kPartial };
+
 class Mirror {
  public:
   explicit Mirror(const Archive* upstream) : upstream_(upstream) {}
 
   /// Snapshot the upstream index (rsync of Main/Security/Updates).
-  void sync(SimTime now);
+  /// Under MirrorFault::kOffline the snapshot and last-sync time are
+  /// left untouched; under kPartial only a prefix of the index lands and
+  /// the snapshot is flagged incomplete.
+  SyncOutcome sync(SimTime now);
+
+  /// Script the failure mode of subsequent syncs (chaos injection).
+  void set_fault(MirrorFault fault) { fault_ = fault; }
+  MirrorFault fault() const { return fault_; }
 
   bool has_synced() const { return last_sync_ >= 0; }
   SimTime last_sync() const { return last_sync_; }
+
+  /// Did the most recent completed sync transfer the full index?
+  bool last_sync_complete() const { return last_sync_complete_; }
+
+  /// Seconds since the last sync that updated the snapshot (SimTime max
+  /// if none ever has).
+  SimTime staleness(SimTime now) const;
+
+  std::uint64_t failed_syncs() const { return failed_syncs_; }
 
   /// The mirrored index (as of the last sync). Empty before first sync.
   const std::map<std::string, Package>& index() const { return snapshot_; }
@@ -36,6 +68,9 @@ class Mirror {
   const Archive* upstream_;
   std::map<std::string, Package> snapshot_;
   SimTime last_sync_ = -1;
+  bool last_sync_complete_ = true;
+  MirrorFault fault_ = MirrorFault::kNone;
+  std::uint64_t failed_syncs_ = 0;
 };
 
 }  // namespace cia::pkg

@@ -1,7 +1,11 @@
-// Unit tests for the simulated network and wire format.
+// Unit tests for the simulated network, fault injection, the retrying
+// transport, and the wire format.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "netsim/network.hpp"
+#include "netsim/transport.hpp"
 #include "netsim/wire.hpp"
 
 namespace cia::netsim {
@@ -154,6 +158,281 @@ TEST(NetworkTest, TamperingCorruptsPayload) {
   ASSERT_TRUE(resp.ok());
   EXPECT_NE(to_string(resp.value()), "payload");
   EXPECT_EQ(net.stats().tampered, 1u);
+}
+
+// ---------------------------------------------------------- link faults
+
+TEST(NetworkTest, PerLinkProfileOverridesGlobal) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint lossy_svc;
+  EchoEndpoint clean_svc;
+  net.attach("lossy", &lossy_svc);
+  net.attach("clean", &clean_svc);
+  // Global default is clean; the "lossy" link alone drops everything.
+  net.set_link_faults("lossy", FaultProfile::outage());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(net.call("lossy", "echo", to_bytes("x")).ok());
+    EXPECT_TRUE(net.call("clean", "echo", to_bytes("x")).ok());
+  }
+  EXPECT_EQ(lossy_svc.calls, 0);
+  EXPECT_EQ(clean_svc.calls, 20);
+
+  // Clearing the override restores the global profile for that link.
+  net.clear_link_faults("lossy");
+  EXPECT_TRUE(net.call("lossy", "echo", to_bytes("x")).ok());
+}
+
+TEST(NetworkTest, ScheduleWindowsOpenAndCloseWithClock) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultSchedule schedule;
+  schedule.outage(100, 200);
+  net.set_link_schedule("svc", std::move(schedule));
+
+  EXPECT_TRUE(net.call("svc", "echo", {}).ok());  // before the window
+  clock.advance_to(100);
+  EXPECT_FALSE(net.call("svc", "echo", {}).ok());  // window opens
+  clock.advance_to(199);
+  EXPECT_FALSE(net.call("svc", "echo", {}).ok());
+  clock.advance_to(200);
+  EXPECT_TRUE(net.call("svc", "echo", {}).ok());  // window closed (end excl.)
+}
+
+TEST(NetworkTest, LaterScheduleWindowWinsWhenOverlapping) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultSchedule schedule;
+  schedule.outage(0, 1000);
+  schedule.add(100, 200, FaultProfile{});  // carve a healthy hole
+  net.set_link_schedule("svc", std::move(schedule));
+
+  EXPECT_FALSE(net.call("svc", "echo", {}).ok());
+  clock.advance_to(150);
+  EXPECT_TRUE(net.call("svc", "echo", {}).ok());
+  clock.advance_to(300);
+  EXPECT_FALSE(net.call("svc", "echo", {}).ok());
+}
+
+TEST(NetworkTest, DuplicateDeliveryInvokesHandlerTwiceRespondsOnce) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultProfile faults;
+  faults.duplicate_rate = 1.0;
+  net.set_faults(faults);
+  auto resp = net.call("svc", "echo", to_bytes("once"));
+  ASSERT_TRUE(resp.ok());
+  // The handler (idempotent by protocol design) saw the message twice,
+  // but the caller observed exactly one response.
+  EXPECT_EQ(to_string(resp.value()), "once");
+  EXPECT_EQ(echo.calls, 2);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+  EXPECT_EQ(net.stats().calls, 1u);
+}
+
+TEST(NetworkTest, TimeoutsChargeFullTimeoutLatencyAndCount) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultProfile faults;
+  faults.timeout_rate = 1.0;
+  faults.latency = 2;
+  faults.timeout_latency = 30;
+  net.set_faults(faults);
+  auto resp = net.call("svc", "echo", {});
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(resp.error().code, Errc::kUnavailable);
+  EXPECT_EQ(clock.now(), 32);  // latency + full timeout budget burned
+  EXPECT_EQ(net.stats().timeouts, 1u);
+  EXPECT_EQ(echo.calls, 0);
+}
+
+TEST(NetworkTest, EveryOutcomeChargesLinkLatency) {
+  SimClock clock;
+  SimNetwork net(&clock, 1);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultProfile faults;
+  faults.latency = 5;
+  net.set_faults(faults);
+
+  (void)net.call("nobody", "echo", {});  // unroutable still burns the wire
+  EXPECT_EQ(clock.now(), 5);
+
+  FaultProfile dropping = faults;
+  dropping.drop_rate = 1.0;
+  net.set_faults(dropping);
+  (void)net.call("svc", "echo", {});  // dropped after transit
+  EXPECT_EQ(clock.now(), 10);
+}
+
+TEST(NetworkTest, IdenticalSeedsProduceIdenticalFaultTraces) {
+  const auto trace = [](std::uint64_t seed) {
+    SimClock clock;
+    SimNetwork net(&clock, seed);
+    EchoEndpoint a, b;
+    net.attach("a", &a);
+    net.attach("b", &b);
+    FaultProfile faults;
+    faults.drop_rate = 0.3;
+    faults.timeout_rate = 0.1;
+    faults.duplicate_rate = 0.1;
+    net.set_faults(faults);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(net.call(i % 2 ? "a" : "b", "echo", to_bytes("x")).ok());
+    }
+    return std::make_tuple(outcomes, net.stats().dropped, net.stats().timeouts,
+                           net.stats().duplicated);
+  };
+  EXPECT_EQ(trace(1234), trace(1234));
+  EXPECT_NE(std::get<0>(trace(1234)), std::get<0>(trace(5678)));
+}
+
+TEST(NetworkTest, PerLinkRngStreamsAreOrderIndependent) {
+  // The fault decisions on link "a" must not depend on traffic to "b":
+  // each link draws from its own seed-derived stream.
+  const auto a_outcomes = [](bool interleave) {
+    SimClock clock;
+    SimNetwork net(&clock, 99);
+    EchoEndpoint a, b;
+    net.attach("a", &a);
+    net.attach("b", &b);
+    FaultProfile faults;
+    faults.drop_rate = 0.5;
+    net.set_faults(faults);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 100; ++i) {
+      if (interleave) (void)net.call("b", "echo", to_bytes("x"));
+      outcomes.push_back(net.call("a", "echo", to_bytes("x")).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(a_outcomes(false), a_outcomes(true));
+}
+
+// ------------------------------------------------------------ transport
+
+TEST(TransportTest, RetriesTransientFailuresUntilSuccess) {
+  SimClock clock;
+  SimNetwork net(&clock, 3);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  FaultProfile faults;
+  faults.drop_rate = 0.5;
+  net.set_faults(faults);
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  RetryingTransport transport(&net, &clock, 3, policy);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!transport.call("svc", "echo", to_bytes("x")).ok()) ++failures;
+  }
+  // A raw 50% loss link fails half the calls; eight attempts with backoff
+  // push the per-call failure rate to ~0.4%.
+  EXPECT_LT(failures, 5);
+  EXPECT_GT(transport.stats().retries, 0u);
+  EXPECT_GT(transport.stats().recovered, 0u);
+}
+
+TEST(TransportTest, DoesNotRetryNonTransientErrors) {
+  SimClock clock;
+  SimNetwork net(&clock, 3);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  RetryingTransport transport(&net, &clock, 3);
+  EXPECT_FALSE(transport.call("svc", "fail", {}).ok());
+  // The handler returned a hard error: one attempt, no retries.
+  EXPECT_EQ(echo.calls, 1);
+  EXPECT_EQ(transport.stats().retries, 0u);
+}
+
+TEST(TransportTest, BackoffDelaysAreBoundedByCallBudget) {
+  SimClock clock;
+  SimNetwork net(&clock, 3);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  net.set_link_faults("svc", FaultProfile::outage());
+  RetryPolicy policy;
+  policy.max_attempts = 100;  // budget, not attempts, must be the bound
+  policy.call_budget = 120;
+  RetryingTransport transport(&net, &clock, 3, policy);
+  const SimTime start = clock.now();
+  EXPECT_FALSE(transport.call("svc", "echo", {}).ok());
+  EXPECT_LE(clock.now() - start, 120);
+  EXPECT_EQ(transport.stats().giveups, 1u);
+}
+
+TEST(TransportTest, CircuitBreakerOpensAndRecovers) {
+  SimClock clock;
+  SimNetwork net(&clock, 3);
+  EchoEndpoint echo;
+  net.attach("svc", &echo);
+  net.set_link_faults("svc", FaultProfile::outage());
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.breaker_threshold = 4;
+  policy.breaker_cooldown = 300;
+  RetryingTransport transport(&net, &clock, 3, policy);
+
+  // Enough consecutive give-ups trip the breaker.
+  for (int i = 0; i < 4; ++i) (void)transport.call("svc", "echo", {});
+  EXPECT_EQ(transport.breaker_state("svc"), BreakerState::kOpen);
+  EXPECT_EQ(transport.stats().breaker_opens, 1u);
+
+  // While open, calls fast-fail without touching the network.
+  const std::uint64_t attempts_before = transport.stats().attempts;
+  EXPECT_FALSE(transport.call("svc", "echo", {}).ok());
+  EXPECT_EQ(transport.stats().attempts, attempts_before);
+  EXPECT_GT(transport.stats().breaker_fastfails, 0u);
+
+  // After the cooldown the link heals; a half-open probe closes it.
+  net.clear_link_faults("svc");
+  clock.advance(301);
+  EXPECT_EQ(transport.breaker_state("svc"), BreakerState::kHalfOpen);
+  EXPECT_TRUE(transport.call("svc", "echo", to_bytes("x")).ok());
+  EXPECT_EQ(transport.breaker_state("svc"), BreakerState::kClosed);
+}
+
+TEST(TransportTest, BreakerIsPerAddress) {
+  SimClock clock;
+  SimNetwork net(&clock, 3);
+  EchoEndpoint up;
+  net.attach("up", &up);
+  net.attach("down", &up);
+  net.set_link_faults("down", FaultProfile::outage());
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.breaker_threshold = 2;
+  RetryingTransport transport(&net, &clock, 3, policy);
+  for (int i = 0; i < 2; ++i) (void)transport.call("down", "echo", {});
+  EXPECT_EQ(transport.breaker_state("down"), BreakerState::kOpen);
+  EXPECT_EQ(transport.breaker_state("up"), BreakerState::kClosed);
+  EXPECT_TRUE(transport.call("up", "echo", to_bytes("x")).ok());
+}
+
+TEST(TransportTest, DeterministicAcrossRuns) {
+  const auto run = [] {
+    SimClock clock;
+    SimNetwork net(&clock, 11);
+    EchoEndpoint echo;
+    net.attach("svc", &echo);
+    FaultProfile faults;
+    faults.drop_rate = 0.4;
+    net.set_faults(faults);
+    RetryingTransport transport(&net, &clock, 11);
+    for (int i = 0; i < 100; ++i) (void)transport.call("svc", "echo", to_bytes("x"));
+    return std::make_tuple(transport.stats().attempts,
+                           transport.stats().retries, clock.now());
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

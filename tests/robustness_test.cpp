@@ -4,6 +4,7 @@
 
 #include "core/policy_analyzer.hpp"
 #include "core/update_orchestrator.hpp"
+#include "experiments/chaos_experiment.hpp"
 #include "experiments/fp_experiment.hpp"
 #include "experiments/testbed.hpp"
 #include "experiments/workload.hpp"
@@ -207,6 +208,174 @@ TEST_F(ProtocolRig, VerifierStateSurvivesManyEmptyPolls) {
     }
   }
   EXPECT_TRUE(verifier.alerts().empty());
+}
+
+// ------------------------------------- verifier checkpoint / restore
+
+TEST(CheckpointTest, RoundTripsByteForByteWithLiveState) {
+  TestbedOptions options;
+  options.provision_extra = 15;
+  options.archive.base_package_count = 100;
+  options.verifier_config.continue_on_failure = true;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  ASSERT_TRUE(bed.verifier
+                  .set_policy(bed.agent_id(),
+                              scan_machine_policy(bed.machine, true))
+                  .ok());
+
+  // Accumulate real state: workload traffic, polls, and one genuine
+  // violation so the checkpoint carries a failed agent + alert history.
+  Workload workload(&bed.machine, 5);
+  for (int i = 0; i < 10; ++i) {
+    if (i % 3 == 0) workload.run_session();
+    bed.clock.advance(60);
+    ASSERT_TRUE(bed.verifier.attest_once(bed.agent_id()).ok());
+  }
+  ASSERT_TRUE(bed.machine.fs()
+                  .create_file("/usr/local/bin/rogue", to_bytes("elf:rogue"),
+                               true)
+                  .ok());
+  (void)bed.machine.exec("/usr/local/bin/rogue");
+  ASSERT_TRUE(bed.verifier.attest_once(bed.agent_id()).ok());
+  ASSERT_FALSE(bed.verifier.alerts().empty());
+
+  const json::Value checkpoint = bed.verifier.checkpoint();
+
+  // "Crash": a brand-new verifier process from the same seed.
+  keylime::Verifier restored(&bed.network, &bed.clock, 42 ^ 0x766572ull,
+                             options.verifier_config);
+  ASSERT_TRUE(restored.restore(checkpoint).ok());
+
+  // Byte-for-byte: serialize the restored instance and compare documents.
+  EXPECT_EQ(restored.checkpoint().dump(), checkpoint.dump());
+  // The audit chain head carried over and the whole chain verifies.
+  EXPECT_EQ(restored.audit().head(), bed.verifier.audit().head());
+  EXPECT_EQ(restored.audit().records().size(),
+            bed.verifier.audit().records().size());
+  EXPECT_TRUE(keylime::verify_audit_chain(restored.audit().records(),
+                                          restored.audit().public_key())
+                  .ok());
+  EXPECT_EQ(restored.state(bed.agent_id()), bed.verifier.state(bed.agent_id()));
+}
+
+TEST(CheckpointTest, RestoredVerifierResumesWithoutDuplicateAlerts) {
+  TestbedOptions options;
+  options.provision_extra = 10;
+  options.archive.base_package_count = 100;
+  options.verifier_config.continue_on_failure = true;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  ASSERT_TRUE(bed.verifier
+                  .set_policy(bed.agent_id(),
+                              scan_machine_policy(bed.machine, true))
+                  .ok());
+  ASSERT_TRUE(bed.machine.fs()
+                  .create_file("/usr/local/bin/rogue", to_bytes("elf:rogue"),
+                               true)
+                  .ok());
+  (void)bed.machine.exec("/usr/local/bin/rogue");
+  ASSERT_TRUE(bed.verifier.attest_once(bed.agent_id()).ok());
+  const std::size_t alerts_before = bed.verifier.alerts().size();
+  ASSERT_GT(alerts_before, 0u);
+
+  keylime::Verifier restored(&bed.network, &bed.clock, 42 ^ 0x766572ull,
+                             options.verifier_config);
+  ASSERT_TRUE(restored.restore(bed.verifier.checkpoint()).ok());
+
+  // The restored instance picks up at the saved log offset: re-polling
+  // must not re-flag the violation it already alerted on.
+  for (int i = 0; i < 5; ++i) {
+    bed.clock.advance(60);
+    ASSERT_TRUE(restored.attest_once(bed.agent_id()).ok());
+  }
+  EXPECT_TRUE(restored.alerts().empty())
+      << "restore must not replay already-alerted log entries";
+  // New rounds keep extending the restored chain verifiably.
+  EXPECT_GT(restored.audit().records().size(),
+            bed.verifier.audit().records().size());
+  EXPECT_TRUE(keylime::verify_audit_chain(restored.audit().records(),
+                                          restored.audit().public_key())
+                  .ok());
+}
+
+TEST(CheckpointTest, RestoreRejectsAChainSignedByAnotherVerifier) {
+  TestbedOptions options;
+  options.provision_extra = 10;
+  options.archive.base_package_count = 100;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  ASSERT_TRUE(bed.verifier.set_policy(bed.agent_id(), {}).ok());
+  ASSERT_TRUE(bed.verifier.attest_once(bed.agent_id()).ok());
+
+  keylime::Verifier stranger(&bed.network, &bed.clock, 0xdeadbeef,
+                             options.verifier_config);
+  EXPECT_FALSE(stranger.restore(bed.verifier.checkpoint()).ok())
+      << "a verifier must not adopt audit history it did not sign";
+}
+
+// ------------------------------------------------------ chaos scenarios
+
+TEST(ChaosTest, WanLossFiveDaysZeroTransportFalsePositives) {
+  // The acceptance run: 10% packet loss for five days across a fleet,
+  // with one genuine compromise injected mid-run. The retrying transport
+  // must absorb every comms fault (zero transport-attributable alerts)
+  // while the real violation is still caught.
+  ChaosOptions options;
+  options.scenario = "wan-loss";
+  options.nodes = 4;
+  options.days = 5;
+  options.archive.base_package_count = 120;
+  options.provision_extra = 15;
+  const ChaosReport report = run_chaos_experiment(options);
+  ASSERT_TRUE(report.valid);
+  EXPECT_EQ(report.transport_false_positives, 0u);
+  EXPECT_TRUE(report.violation_injected);
+  EXPECT_TRUE(report.genuine_detected);
+  EXPECT_GT(report.drops, 0u) << "the fault plan must actually fire";
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_TRUE(report.liveness_ok);
+  EXPECT_TRUE(report.audit_chain_ok);
+}
+
+TEST(ChaosTest, VerifierRestartPreservesAuditChainAndAlerts) {
+  ChaosOptions options;
+  options.scenario = "verifier-restart";
+  options.nodes = 3;
+  options.days = 4;
+  options.archive.base_package_count = 120;
+  options.provision_extra = 15;
+  const ChaosReport report = run_chaos_experiment(options);
+  ASSERT_TRUE(report.valid);
+  EXPECT_TRUE(report.verifier_restarted);
+  EXPECT_TRUE(report.checkpoint_roundtrip_ok)
+      << "checkpoint -> restore -> checkpoint must be byte-identical";
+  EXPECT_TRUE(report.audit_chain_ok)
+      << "the signed chain must span the restart";
+  EXPECT_EQ(report.transport_false_positives, 0u);
+  EXPECT_TRUE(report.liveness_ok);
+}
+
+TEST(ChaosTest, EveryScenarioHoldsTheResilienceInvariants) {
+  for (const std::string& scenario : chaos_scenarios()) {
+    ChaosOptions options;
+    options.scenario = scenario;
+    options.nodes = 3;
+    options.days = 4;
+    options.archive.base_package_count = 120;
+    options.provision_extra = 15;
+    const ChaosReport report = run_chaos_experiment(options);
+    ASSERT_TRUE(report.valid) << scenario;
+    EXPECT_EQ(report.transport_false_positives, 0u) << scenario;
+    EXPECT_TRUE(report.liveness_ok) << scenario;
+    EXPECT_GE(report.recovery_time, 0) << scenario;
+    EXPECT_LE(report.recovery_time, 2 * kHour)
+        << scenario << ": recovery must be bounded";
+    EXPECT_TRUE(report.audit_chain_ok) << scenario;
+    if (report.violation_injected) {
+      EXPECT_TRUE(report.genuine_detected) << scenario;
+    }
+  }
 }
 
 }  // namespace

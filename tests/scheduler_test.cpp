@@ -150,5 +150,105 @@ TEST_F(SchedulerRig, FleetOfTwentyStaysGreen) {
   }
 }
 
+TEST_F(SchedulerRig, BackoffCeilingHoldsThroughLongOutage) {
+  add_agents(1);
+  SchedulerConfig config;
+  config.poll_interval = 60;
+  config.initial_backoff = 30;
+  config.max_backoff = 120;
+  AttestationScheduler scheduler(&verifier, &clock, config);
+  scheduler.enroll("sched-00");
+
+  netsim::FaultConfig faults;
+  faults.drop_rate = 1.0;
+  network.set_faults(faults);
+  // A long outage: backoff plus jitter must never exceed ceiling + 25%.
+  for (int i = 0; i < 20; ++i) {
+    clock.advance_to(scheduler.next_due());
+    ASSERT_EQ(scheduler.tick(), 1u);
+    const auto* schedule = scheduler.schedule("sched-00");
+    EXPECT_LE(schedule->current_backoff, 120);
+    EXPECT_LE(schedule->next_poll - clock.now(), 120 + 120 / 4);
+  }
+  EXPECT_EQ(scheduler.healthy_count(), 0u);
+  EXPECT_EQ(scheduler.backing_off_count(), 1u);
+}
+
+TEST_F(SchedulerRig, RecoveryReturnsToHealthyCadence) {
+  add_agents(1);
+  SchedulerConfig config;
+  config.poll_interval = 60;
+  AttestationScheduler scheduler(&verifier, &clock, config);
+  scheduler.enroll("sched-00");
+
+  netsim::FaultConfig faults;
+  faults.drop_rate = 1.0;
+  network.set_faults(faults);
+  for (int i = 0; i < 6; ++i) {
+    clock.advance_to(scheduler.next_due());
+    ASSERT_EQ(scheduler.tick(), 1u);
+  }
+  EXPECT_EQ(scheduler.backing_off_count(), 1u);
+
+  network.set_faults(netsim::FaultConfig{});
+  clock.advance_to(scheduler.next_due());
+  ASSERT_EQ(scheduler.tick(), 1u);
+  EXPECT_EQ(scheduler.healthy_count(), 1u);
+  // The next polls land exactly one interval apart again.
+  const SimTime recovered_at = clock.now();
+  EXPECT_EQ(scheduler.schedule("sched-00")->next_poll, recovered_at + 60);
+  clock.advance_to(scheduler.next_due());
+  ASSERT_EQ(scheduler.tick(), 1u);
+  EXPECT_EQ(scheduler.schedule("sched-00")->next_poll, recovered_at + 120);
+}
+
+TEST_F(SchedulerRig, ReEnrollSameIdDoesNotDoubleSchedule) {
+  add_agents(1);
+  SchedulerConfig config;
+  config.poll_interval = 60;
+  AttestationScheduler scheduler(&verifier, &clock, config);
+  scheduler.enroll("sched-00");
+  scheduler.enroll("sched-00");  // agent reinstall / re-activation
+  std::size_t total = 0;
+  for (int t = 0; t <= 600; t += 5) {
+    clock.advance_to(t);
+    total += scheduler.tick();
+  }
+  // One slot, one cadence: ~10 polls over 10 minutes, not ~20.
+  EXPECT_LE(total, 11u);
+  EXPECT_EQ(scheduler.schedule("sched-00")->polls, total);
+}
+
+TEST_F(SchedulerRig, RetryJitterDesynchronizesSimultaneousFailures) {
+  add_agents(8);
+  SchedulerConfig config;
+  config.poll_interval = 60;
+  config.initial_backoff = 60;
+  config.max_backoff = 15 * kMinute;
+  AttestationScheduler scheduler(&verifier, &clock, config);
+  for (const auto& agent : agents) scheduler.enroll(agent->agent_id());
+  // Let every agent complete its staggered first poll, then kill the rack.
+  for (int t = 0; t <= 60; t += 5) {
+    clock.advance_to(t);
+    (void)scheduler.tick();
+  }
+  netsim::FaultConfig faults;
+  faults.drop_rate = 1.0;
+  network.set_faults(faults);
+  // Drive everyone into repeated failures so backoff grows past the
+  // jitter granularity, then check the retries are spread out.
+  for (int round = 0; round < 6; ++round) {
+    clock.advance_to(scheduler.next_due() + config.max_backoff);
+    (void)scheduler.tick();
+  }
+  std::set<SimTime> retry_times;
+  for (const auto& agent : agents) {
+    retry_times.insert(scheduler.schedule(agent->agent_id())->next_poll);
+  }
+  EXPECT_GT(retry_times.size(), 4u)
+      << "a rack that died together must not retry in lockstep";
+  EXPECT_EQ(scheduler.backing_off_count(), 8u);
+}
+
 }  // namespace
 }  // namespace cia::keylime

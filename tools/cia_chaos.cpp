@@ -1,0 +1,143 @@
+// cia_chaos — scripted chaos-scenario runner for the attestation fleet.
+//
+//   cia_chaos list
+//       Print the available scenario names.
+//
+//   cia_chaos run [--scenario NAME|all] [--nodes N] [--days D] [--seed S]
+//                 [--no-retry]
+//       Drive the fleet through one (or every) named fault script and
+//       print the resilience verdicts: transport-attributable false
+//       positives (must be 0), liveness/recovery window, retry and fault
+//       counters, update-window deferrals, and audit-chain integrity.
+//       Exit status is non-zero if any invariant fails.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "experiments/chaos_experiment.hpp"
+
+namespace {
+
+using namespace cia;
+using namespace cia::experiments;
+
+struct Args {
+  std::string scenario = "all";
+  std::size_t nodes = 6;
+  int days = 5;
+  std::uint64_t seed = 42;
+  bool retrying = true;
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      args.scenario = next();
+    } else if (arg == "--nodes") {
+      args.nodes = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--days") {
+      args.days = std::atoi(next());
+    } else if (arg == "--seed") {
+      args.seed =
+          static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--no-retry") {
+      args.retrying = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+bool run_one(const std::string& scenario, const Args& args) {
+  ChaosOptions options;
+  options.scenario = scenario;
+  options.nodes = args.nodes;
+  options.days = args.days;
+  options.seed = args.seed;
+  options.retrying_transport = args.retrying;
+  options.archive.base_package_count = 200;
+  const ChaosReport r = run_chaos_experiment(options);
+  if (!r.valid) {
+    std::printf("%-17s  INVALID (unknown scenario or rig setup failed)\n",
+                scenario.c_str());
+    return false;
+  }
+  const bool ok =
+      r.transport_false_positives == 0 && r.liveness_ok && r.audit_chain_ok &&
+      (!r.violation_injected || r.genuine_detected) && r.checkpoint_roundtrip_ok;
+  std::printf("%-17s  %s\n", r.scenario.c_str(), ok ? "PASS" : "FAIL");
+  std::printf("  false positives     %zu (transport-attributable)\n",
+              r.transport_false_positives);
+  if (r.violation_injected) {
+    std::printf("  injected violation  %s (%zu policy alerts on victim)\n",
+                r.genuine_detected ? "detected" : "MISSED", r.genuine_alerts);
+  }
+  std::printf("  comms alerts        %zu transient\n", r.comms_alerts);
+  std::printf("  liveness            %s, slowest recovery %llds after fault\n",
+              r.liveness_ok ? "ok" : "VIOLATED",
+              static_cast<long long>(r.recovery_time));
+  std::printf("  transport           %llu retries, %llu recovered, "
+              "%llu giveups, %llu breaker opens\n",
+              static_cast<unsigned long long>(r.retries),
+              static_cast<unsigned long long>(r.recovered_calls),
+              static_cast<unsigned long long>(r.giveups),
+              static_cast<unsigned long long>(r.breaker_opens));
+  std::printf("  network faults      %llu drops, %llu duplicates, "
+              "%llu timeouts\n",
+              static_cast<unsigned long long>(r.drops),
+              static_cast<unsigned long long>(r.duplicates),
+              static_cast<unsigned long long>(r.timeouts));
+  std::printf("  update windows      %d run, %llu deferred\n", r.updates_run,
+              static_cast<unsigned long long>(r.updates_deferred));
+  std::printf("  audit chain         %s (%zu records%s)\n",
+              r.audit_chain_ok ? "intact" : "BROKEN", r.audit_records,
+              r.verifier_restarted
+                  ? (r.checkpoint_roundtrip_ok
+                         ? ", spans verifier restart, checkpoint byte-identical"
+                         : ", CHECKPOINT DIVERGED")
+                  : "");
+  std::printf("\n");
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kError);
+  const std::string cmd = argc > 1 ? argv[1] : "run";
+  if (cmd == "list") {
+    for (const auto& name : chaos_scenarios()) std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (cmd != "run") {
+    std::fprintf(stderr,
+                 "usage: cia_chaos [list|run] [--scenario NAME|all] "
+                 "[--nodes N] [--days D] [--seed S] [--no-retry]\n");
+    return 2;
+  }
+  const Args args = parse_args(argc, argv, 2);
+  std::vector<std::string> to_run;
+  if (args.scenario == "all") {
+    to_run = chaos_scenarios();
+  } else {
+    to_run.push_back(args.scenario);
+  }
+  bool all_ok = true;
+  for (const auto& scenario : to_run) all_ok &= run_one(scenario, args);
+  std::printf("overall: %s\n", all_ok ? "PASS" : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer and
+# UndefinedBehaviorSanitizer (separate build trees, so neither pollutes
+# the regular build/). Usage:
+#
+#   tools/run_sanitized_tests.sh [address|undefined]...
+#
+# With no argument both sanitizers run. Exits non-zero on the first
+# failing configure/build/test step.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address|undefined) ;;
+    *)
+      echo "unknown sanitizer '$san' (expected address or undefined)" >&2
+      exit 2
+      ;;
+  esac
+  build_dir="$repo_root/build-$san"
+  echo "==> [$san] configure ($build_dir)"
+  cmake -B "$build_dir" -S "$repo_root" -DCIA_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "==> [$san] build"
+  cmake --build "$build_dir" -j "$(nproc)"
+  echo "==> [$san] ctest"
+  (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+  echo "==> [$san] OK"
+done
+echo "all sanitized suites passed"
