@@ -7,14 +7,21 @@
 // bounded window, keeps the signed audit chain intact — and still catches
 // the one genuine violation injected into the lossiest scenario.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "common/log.hpp"
 #include "experiments/chaos_experiment.hpp"
+#include "telemetry/export.hpp"
 
 int main() {
   using namespace cia;
   using namespace cia::experiments;
   set_log_level(LogLevel::kError);
+
+  // CIA_TELEMETRY_OUT=prefix makes every scenario export its metrics
+  // snapshot to prefix-<scenario>.json alongside the printed table.
+  const char* telemetry_out = std::getenv("CIA_TELEMETRY_OUT");
 
   std::printf("Chaos scenarios (6 nodes, 5 days, retrying transport)\n\n");
   std::printf(
@@ -27,7 +34,15 @@ int main() {
     options.nodes = 6;
     options.days = 5;
     options.archive.base_package_count = 200;
+    telemetry::MetricsRegistry registry;
+    if (telemetry_out) options.metrics = &registry;
     const ChaosReport r = run_chaos_experiment(options);
+    if (telemetry_out) {
+      const std::string path =
+          std::string(telemetry_out) + "-" + scenario + ".json";
+      std::ofstream out(path, std::ios::binary);
+      out << telemetry::to_json(registry.snapshot()).dump() << "\n";
+    }
     const bool scenario_ok =
         r.valid && r.transport_false_positives == 0 && r.liveness_ok &&
         r.audit_chain_ok && (!r.violation_injected || r.genuine_detected) &&

@@ -2,14 +2,23 @@
 // polling over a lossy network, daily pre-emptive policy pushes, and a
 // durable audit chain — the deployment shape the paper targets.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "common/log.hpp"
+#include "common/strutil.hpp"
 #include "experiments/fleet_experiment.hpp"
+#include "telemetry/export.hpp"
 
 int main() {
   using namespace cia;
   using namespace cia::experiments;
   set_log_level(LogLevel::kError);
+
+  // CIA_TELEMETRY_OUT=prefix makes every fleet size export its metrics
+  // snapshot to prefix-fleetN.json alongside the printed table.
+  const char* telemetry_out = std::getenv("CIA_TELEMETRY_OUT");
 
   std::printf("Fleet operation (dynamic policy + scheduler + audit)\n\n");
   std::printf("  nodes   days   updates   polls   comms-fail   FPs   audit\n");
@@ -19,7 +28,15 @@ int main() {
     options.days = 7;
     options.archive.base_package_count = 300;
     options.provision_extra = 40;
+    telemetry::MetricsRegistry registry;
+    if (telemetry_out) options.metrics = &registry;
     const auto result = run_fleet_experiment(options);
+    if (telemetry_out) {
+      const std::string path =
+          std::string(telemetry_out) + strformat("-fleet%zu.json", nodes);
+      std::ofstream out(path, std::ios::binary);
+      out << telemetry::to_json(registry.snapshot()).dump() << "\n";
+    }
     std::printf("  %5zu   %4d   %7d   %5zu   %10zu   %3zu   %s\n",
                 result.nodes, result.days, result.updates_run, result.polls,
                 result.comms_failures, result.false_positives,

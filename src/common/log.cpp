@@ -6,6 +6,7 @@ namespace cia {
 
 namespace {
 LogLevel g_level = LogLevel::kWarn;
+LogObserver g_observer;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -17,16 +18,59 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
+
+/// key=value needs quoting only when the value has spaces, quotes, or
+/// equals signs; quoted values escape backslash and double quote.
+std::string render_field_value(const std::string& value) {
+  bool needs_quotes = value.empty();
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_observer(LogObserver observer) {
+  g_observer = std::move(observer);
+}
+
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
+  log_line(level, component, message, LogFields{});
+}
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message, const LogFields& fields) {
+  const bool observed =
+      level >= LogLevel::kWarn && level != LogLevel::kOff && g_observer;
+  if (!observed && level < g_level) return;
+  std::string line = message;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    line += render_field_value(value);
+  }
+  // The observer fires on every warning/error regardless of verbosity:
+  // counters must not depend on whether anyone was watching the tty.
+  if (observed) g_observer(level, component, line);
   if (level < g_level) return;
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
-               message.c_str());
+               line.c_str());
 }
 
 }  // namespace cia

@@ -1,20 +1,44 @@
 // Minimal leveled logger. Components log noteworthy events (attestation
 // failures, policy pushes); tests keep the level at kWarn to stay quiet.
+//
+// Lines can carry structured `key=value` fields (appended after the
+// message), and an observer hook sees every kWarn/kError line regardless
+// of the print threshold — telemetry attaches a counter there
+// (telemetry::attach_log_counter) so alert counts and the log can never
+// diverge, even when the log itself is silenced.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cia {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// Structured fields attached to a log line, rendered as ` key=value`.
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
 /// Set the global log threshold.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Observes every kWarn/kError line (level, component, and the message
+/// with its structured fields rendered), independent of the print
+/// threshold. One observer at a time; nullptr detaches.
+using LogObserver = std::function<void(
+    LogLevel, const std::string& component, const std::string& message)>;
+void set_log_observer(LogObserver observer);
+
 /// Emit a log line at `level` with a component tag.
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);
+
+/// Same, with structured fields: "[WARN] comp: msg key=value key2=value2".
+/// Values containing spaces or quotes are double-quoted and escaped.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message, const LogFields& fields);
 
 #define CIA_LOG_DEBUG(component, msg) \
   ::cia::log_line(::cia::LogLevel::kDebug, (component), (msg))

@@ -1,5 +1,7 @@
 #include "core/update_orchestrator.hpp"
 
+#include <optional>
+
 #include "common/log.hpp"
 #include "common/strutil.hpp"
 
@@ -29,6 +31,11 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
     return err(Errc::kInvalidArgument, "no managed nodes");
   }
   UpdateCycleReport report;
+  std::optional<telemetry::Tracer::Scope> span;
+  if (tracer_) {
+    span.emplace(tracer_->span("update_cycle", "orchestrator"));
+    tracer_->annotate("day", strformat("%d", clock_->day()));
+  }
 
   // Step 1: identify updates in advance — refresh the local mirror. A
   // failed or partial sync must not silently feed the generator half an
@@ -44,12 +51,27 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
     report.deferred = true;
     report.defer_reason = "mirror unreachable and snapshot stale";
   }
+  if (metrics_) {
+    metrics_->gauge("cia_mirror_staleness_seconds")
+        .set(mirror_->has_synced()
+                 ? static_cast<double>(mirror_->staleness(clock_->now()))
+                 : -1.0);
+  }
   if (report.deferred) {
     ++cycles_deferred_;
     report.policy_stats.day = clock_->day();
     CIA_LOG_WARN("orchestrator",
                  strformat("cycle day %d deferred: %s", clock_->day(),
                            report.defer_reason.c_str()));
+    if (metrics_) {
+      metrics_
+          ->counter("cia_update_cycles_total", {{"outcome", "deferred"}})
+          .inc();
+    }
+    if (span) {
+      tracer_->annotate(span->id(), "outcome", "deferred");
+      tracer_->annotate(span->id(), "reason", report.defer_reason);
+    }
     return report;
   }
 
@@ -122,6 +144,24 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
                          report.policy_stats.packages_processed,
                          report.policy_stats.lines_added,
                          report.policy_stats.seconds, report.dedup_removed));
+  if (metrics_) {
+    metrics_->counter("cia_update_cycles_total", {{"outcome", "run"}}).inc();
+    metrics_->histogram("cia_update_cycle_seconds").observe(
+        report.policy_stats.seconds);
+    if (report.packages_installed > 0) {
+      metrics_->counter("cia_update_packages_installed_total")
+          .inc(report.packages_installed);
+    }
+    metrics_->gauge("cia_policy_entries")
+        .set(static_cast<double>(policy_.entry_count()));
+    metrics_->gauge("cia_policy_bytes")
+        .set(static_cast<double>(policy_.byte_size()));
+  }
+  if (span) {
+    tracer_->annotate(span->id(), "outcome", "run");
+    tracer_->annotate(span->id(), "packages",
+                      strformat("%zu", report.packages_installed));
+  }
   return report;
 }
 

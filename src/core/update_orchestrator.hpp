@@ -84,6 +84,16 @@ class UpdateOrchestrator {
   /// crash-recovery; the policy store and managed nodes carry over.
   void rebind(keylime::Verifier* verifier) { verifier_ = verifier; }
 
+  /// Export update-cycle metrics (cycle duration, run/deferred counters,
+  /// packages installed, mirror staleness, policy size) to `metrics` and
+  /// wrap each cycle in an `update_cycle` span on `tracer`. Either may be
+  /// nullptr; telemetry never alters cycle behaviour.
+  void use_telemetry(telemetry::MetricsRegistry* metrics,
+                     telemetry::Tracer* tracer = nullptr) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
+
  private:
   pkg::Mirror* mirror_;
   DynamicPolicyGenerator* generator_;
@@ -93,6 +103,8 @@ class UpdateOrchestrator {
   std::vector<ManagedNode> nodes_;
   keylime::RuntimePolicy policy_;
   std::uint64_t cycles_deferred_ = 0;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cia::core

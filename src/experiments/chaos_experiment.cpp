@@ -48,6 +48,9 @@ ChaosReport run_chaos_experiment(const ChaosOptions& options) {
 
   // ------------------------------------------------------------- the rig
   SimClock clock;
+  // The rig owns its clock; a caller-provided tracer must read it, not
+  // whatever placeholder it was constructed with.
+  if (options.tracer) options.tracer->bind_clock(&clock);
   crypto::CertificateAuthority tpm_ca("tpm-manufacturer",
                                       to_bytes("chaos-mfg-seed"));
   pkg::Archive archive(options.archive, options.seed);
@@ -70,6 +73,9 @@ ChaosReport run_chaos_experiment(const ChaosOptions& options) {
   netsim::RetryingTransport transport(&network, &clock, options.seed ^ 3,
                                       retry_policy);
   if (options.retrying_transport) verifier->use_transport(&transport);
+  network.use_telemetry(options.metrics);
+  transport.use_telemetry(options.metrics, options.tracer);
+  verifier->use_telemetry(options.metrics, options.tracer);
 
   core::DynamicPolicyGenerator generator(&mirror, core::GeneratorConfig{});
   // Tight ops bound: a snapshot older than 18h (i.e. from before the
@@ -79,9 +85,11 @@ ChaosReport run_chaos_experiment(const ChaosOptions& options) {
   orch_config.max_mirror_staleness = 18 * kHour;
   core::UpdateOrchestrator orchestrator(&mirror, &generator, verifier.get(),
                                         &clock, orch_config);
+  orchestrator.use_telemetry(options.metrics, options.tracer);
   keylime::SchedulerConfig sched_config;
   sched_config.poll_interval = kHour;
   keylime::AttestationScheduler scheduler(verifier.get(), &clock, sched_config);
+  scheduler.use_telemetry(options.metrics);
 
   std::vector<std::unique_ptr<oskernel::Machine>> machines;
   std::vector<std::unique_ptr<pkg::AptClient>> apts;
@@ -105,6 +113,7 @@ ChaosReport run_chaos_experiment(const ChaosOptions& options) {
     agents.push_back(
         std::make_unique<keylime::Agent>(machines.back().get(), &network));
     if (options.retrying_transport) agents.back()->use_transport(&transport);
+    agents.back()->use_telemetry(options.metrics);
     return true;
   };
   for (std::size_t i = 0; i < options.nodes; ++i) {
@@ -197,6 +206,7 @@ ChaosReport run_chaos_experiment(const ChaosOptions& options) {
     }
     late_agent = std::make_unique<keylime::Agent>(late_machine.get(), &network);
     if (options.retrying_transport) late_agent->use_transport(&transport);
+    late_agent->use_telemetry(options.metrics);
   }
 
   // ------------------------------------------------------- the run loop
@@ -260,6 +270,7 @@ ChaosReport run_chaos_experiment(const ChaosOptions& options) {
           auto restored = std::make_unique<keylime::Verifier>(
               &network, &clock, options.seed ^ 2, verifier_config);
           if (options.retrying_transport) restored->use_transport(&transport);
+          restored->use_telemetry(options.metrics, options.tracer);
           const Status restore_status = restored->restore(checkpoint);
           report.checkpoint_roundtrip_ok =
               restore_status.ok() &&

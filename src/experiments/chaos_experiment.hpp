@@ -26,6 +26,8 @@
 
 #include "common/sim_clock.hpp"
 #include "pkg/archive.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cia::experiments {
 
@@ -40,6 +42,13 @@ struct ChaosOptions {
   /// Stack a RetryingTransport between the verifier/agents and the lossy
   /// network (disable to measure how much the retry layer absorbs).
   bool retrying_transport = true;
+  /// Optional observability: when set, every component of the rig
+  /// (network, transport, verifier — including a restored one —, agents,
+  /// scheduler, orchestrator) exports its metrics here and the verifier
+  /// emits per-round span trees on `tracer`. Telemetry never changes the
+  /// simulated outcome.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Tracer* tracer = nullptr;
 };
 
 struct ChaosReport {

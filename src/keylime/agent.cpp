@@ -1,5 +1,7 @@
 #include "keylime/agent.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 #include "keylime/verifier.hpp"
 
@@ -59,12 +61,30 @@ Result<Bytes> Agent::handle(const std::string& kind, const Bytes& payload) {
   auto req = QuoteRequest::decode(payload);
   if (!req.ok()) return req.error();
 
+  const auto wall_start = std::chrono::steady_clock::now();
   QuoteResponse resp;
   resp.quote = machine_->tpm().quote(req.value().nonce, quoted_pcrs());
   resp.entries = machine_->ima().log_since(req.value().log_offset);
   resp.total_log_length = machine_->ima().log().size();
   resp.boot_count = static_cast<std::uint32_t>(machine_->boot_count());
-  return resp.encode();
+  Bytes encoded = resp.encode();
+  if (metrics_) {
+    const telemetry::Labels labels{{"agent", agent_id_}};
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+    metrics_
+        ->histogram("cia_agent_quote_us", labels,
+                    telemetry::wallclock_micros_buckets())
+        .observe(us);
+    if (!resp.entries.empty()) {
+      metrics_->counter("cia_agent_entries_shipped_total", labels)
+          .inc(resp.entries.size());
+    }
+    metrics_->counter("cia_agent_log_bytes_shipped_total", labels)
+        .inc(encoded.size());
+  }
+  return encoded;
 }
 
 }  // namespace cia::keylime

@@ -11,6 +11,7 @@
 #include "keylime/messages.hpp"
 #include "netsim/network.hpp"
 #include "oskernel/machine.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cia::keylime {
 
@@ -33,6 +34,12 @@ class Agent : public netsim::Endpoint {
   /// instead of the raw network; nullptr restores the raw path.
   void use_transport(netsim::Transport* transport);
 
+  /// Export quote-serving metrics (quote generation wall time, entries
+  /// and encoded bytes shipped) to `metrics`; nullptr turns them off.
+  void use_telemetry(telemetry::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+
   /// netsim::Endpoint: serve quote requests.
   Result<Bytes> handle(const std::string& kind, const Bytes& payload) override;
 
@@ -41,6 +48,7 @@ class Agent : public netsim::Endpoint {
   netsim::SimNetwork* network_;
   netsim::Transport* transport_;  // defaults to network_
   std::string agent_id_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace cia::keylime

@@ -65,19 +65,41 @@ std::size_t AttestationScheduler::tick() {
         comms_failure |= alert.type == AlertType::kCommsFailure;
       }
     }
+    if (metrics_) {
+      metrics_->counter("cia_scheduler_polls_total").inc();
+      if (comms_failure) {
+        metrics_->counter("cia_scheduler_comms_failures_total").inc();
+      }
+    }
     if (comms_failure) {
       ++schedule.comms_failures;
       schedule.current_backoff =
           schedule.current_backoff == 0
               ? config_.initial_backoff
               : std::min(schedule.current_backoff * 2, config_.max_backoff);
-      schedule.next_poll = now + schedule.current_backoff +
-                           retry_jitter(agent_id, schedule.comms_failures,
-                                        schedule.current_backoff);
+      const SimTime jitter = retry_jitter(agent_id, schedule.comms_failures,
+                                          schedule.current_backoff);
+      schedule.next_poll = now + schedule.current_backoff + jitter;
+      if (metrics_) {
+        metrics_
+            ->histogram("cia_scheduler_retry_jitter_seconds", {},
+                        telemetry::latency_seconds_buckets())
+            .observe(static_cast<double>(jitter));
+      }
     } else {
       schedule.current_backoff = 0;
       schedule.next_poll = now + config_.poll_interval;
     }
+  }
+  if (metrics_) {
+    metrics_
+        ->histogram("cia_scheduler_queue_depth", {},
+                    telemetry::count_buckets())
+        .observe(static_cast<double>(performed));
+    metrics_->gauge("cia_scheduler_healthy_agents")
+        .set(static_cast<double>(healthy_count()));
+    metrics_->gauge("cia_scheduler_backing_off_agents")
+        .set(static_cast<double>(backing_off_count()));
   }
   return performed;
 }

@@ -63,11 +63,19 @@ class AttestationScheduler {
   /// crash-recovery; poll cadence and backoff state carry over.
   void rebind(Verifier* verifier) { verifier_ = verifier; }
 
+  /// Export scheduler health to `metrics`: per-tick due-queue depth
+  /// histogram, healthy/backing-off fleet gauges, poll and comms-failure
+  /// counters, and the retry-jitter distribution. nullptr turns it off.
+  void use_telemetry(telemetry::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+
  private:
   Verifier* verifier_;
   SimClock* clock_;
   SchedulerConfig config_;
   std::map<std::string, AgentSchedule> agents_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace cia::keylime

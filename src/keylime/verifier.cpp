@@ -1,5 +1,6 @@
 #include "keylime/verifier.hpp"
 
+#include <chrono>
 #include <limits>
 
 #include "common/hex.hpp"
@@ -44,6 +45,18 @@ Verifier::Verifier(netsim::SimNetwork* network, SimClock* clock,
 
 void Verifier::use_transport(netsim::Transport* transport) {
   transport_ = transport ? transport : network_;
+}
+
+void Verifier::use_telemetry(telemetry::MetricsRegistry* metrics,
+                             telemetry::Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+}
+
+std::optional<telemetry::Tracer::Scope> Verifier::trace_span(
+    const char* name) {
+  if (!tracer_) return std::nullopt;
+  return tracer_->span(name, "verifier");
 }
 
 void Verifier::add_notifier(RevocationNotifier* notifier) {
@@ -195,9 +208,22 @@ void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
   alert.log_index = log_index;
   alerts_.push_back(alert);
   round.alerts.push_back(alert);
-  CIA_LOG_WARN("verifier", strformat("%s: %s %s (%s)", agent_id.c_str(),
-                                     alert_type_name(type), path.c_str(),
-                                     detail.c_str()));
+  log_line(LogLevel::kWarn, "verifier",
+           strformat("%s: %s", agent_id.c_str(), alert_type_name(type)),
+           {{"agent", agent_id},
+            {"path", path},
+            {"detail", detail},
+            {"log_index", strformat("%zu", log_index)}});
+  if (metrics_) {
+    metrics_
+        ->counter("cia_verifier_alerts_total",
+                  {{"agent", agent_id}, {"type", alert_type_name(type)}})
+        .inc();
+  }
+  if (tracer_) {
+    tracer_->annotate("alert", alert_type_name(type));
+    if (!path.empty()) tracer_->annotate("alert_path", path);
+  }
   // Revocation fan-out fires on the healthy -> failed transition only.
   if (rec.state != AgentState::kFailed) {
     RevocationEvent event;
@@ -205,6 +231,10 @@ void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
     event.agent_id = agent_id;
     event.reason = strformat("%s %s", alert_type_name(type), path.c_str());
     for (RevocationNotifier* n : notifiers_) n->on_revocation(event);
+    if (metrics_) {
+      metrics_->counter("cia_verifier_revocations_total", {{"agent", agent_id}})
+          .inc();
+    }
   }
   rec.state = AgentState::kFailed;
   round.state = AgentState::kFailed;
@@ -212,6 +242,12 @@ void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
 
 Result<AttestationRound> Verifier::attest_once(const std::string& agent_id) {
   last_quote_digest_ = crypto::zero_digest();
+  std::optional<telemetry::Tracer::Scope> round_span;
+  if (tracer_) {
+    round_span.emplace(tracer_->span("attestation_round", "verifier"));
+    tracer_->annotate("agent", agent_id);
+  }
+  const SimTime started = clock_->now();
   auto result = attest_once_impl(agent_id);
   if (!result.ok()) return result;
   const AttestationRound& round = result.value();
@@ -234,6 +270,46 @@ Result<AttestationRound> Verifier::attest_once(const std::string& agent_id) {
     audit_.append(clock_->now(), agent_id, verdict, round.alerts.size(),
                   round.evaluated, last_quote_digest_);
   }
+
+  // Observability: classify the round, track the per-agent freshness
+  // gauge (the P2 "how stale is this agent's last good attestation"
+  // signal), and record the round's virtual latency.
+  const bool comms_only =
+      round.alerts.size() == 1 &&
+      round.alerts[0].type == AlertType::kCommsFailure;
+  const char* outcome = frozen                 ? "frozen"
+                        : round.reboot_detected ? "reboot"
+                        : comms_only            ? "comms_failure"
+                        : !round.alerts.empty() ? "alerted"
+                                                : "passed";
+  auto rec_it = agents_.find(agent_id);
+  if (rec_it != agents_.end() && !frozen) {
+    AgentRecord& rec = rec_it->second;
+    const bool success = round.alerts.empty() && !round.reboot_detected &&
+                         rec.state == AgentState::kAttesting;
+    rec.rounds_since_success = success ? 0 : rec.rounds_since_success + 1;
+    if (metrics_) {
+      metrics_
+          ->gauge("cia_verifier_rounds_since_success", {{"agent", agent_id}})
+          .set(static_cast<double>(rec.rounds_since_success));
+    }
+  }
+  if (metrics_) {
+    metrics_
+        ->counter("cia_verifier_rounds_total",
+                  {{"agent", agent_id}, {"outcome", outcome}})
+        .inc();
+    if (!frozen) {
+      metrics_->histogram("cia_verifier_round_seconds", {{"agent", agent_id}})
+          .observe(static_cast<double>(clock_->now() - started));
+      if (round.evaluated > 0) {
+        metrics_->counter("cia_verifier_entries_evaluated_total",
+                          {{"agent", agent_id}})
+            .inc(round.evaluated);
+      }
+    }
+  }
+  if (round_span) tracer_->annotate(round_span->id(), "outcome", outcome);
   return result;
 }
 
@@ -255,7 +331,10 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
   QuoteRequest req;
   req.nonce = rng_.bytes(20);
   req.log_offset = rec.log_offset;
-  auto resp_bytes = transport_->call(rec.address, kMsgQuote, req.encode());
+  auto resp_bytes = [&] {
+    auto span = trace_span("quote_request");
+    return transport_->call(rec.address, kMsgQuote, req.encode());
+  }();
   if (!resp_bytes.ok()) {
     Alert alert;
     alert.time = clock_->now();
@@ -290,64 +369,77 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
     return round;
   }
 
-  // 1. The quote must be genuine and fresh.
-  if (!qr.quote.verify(rec.ak) || qr.quote.nonce != req.nonce ||
-      qr.quote.pcr_indices != quoted_pcrs()) {
-    raise(rec, agent_id, AlertType::kQuoteInvalid, "", "",
-          "bad signature, nonce, or PCR selection", rec.log_offset, round);
-    return round;
-  }
-
-  // 1b. The boot chain must match the golden refstate, when one is pinned.
-  if (rec.mb_refstate) {
-    const MbRefstate quoted{qr.quote.pcr_values[0], qr.quote.pcr_values[1],
-                            qr.quote.pcr_values[2]};
-    if (!(quoted == *rec.mb_refstate)) {
-      raise(rec, agent_id, AlertType::kMeasuredBootMismatch, "", "",
-            "PCR 0/4/7 diverge from the measured-boot refstate",
-            rec.log_offset, round);
+  {
+    // 1. The quote must be genuine and fresh.
+    auto span = trace_span("tpm_verify");
+    if (!qr.quote.verify(rec.ak) || qr.quote.nonce != req.nonce ||
+        qr.quote.pcr_indices != quoted_pcrs()) {
+      raise(rec, agent_id, AlertType::kQuoteInvalid, "", "",
+            "bad signature, nonce, or PCR selection", rec.log_offset, round);
       return round;
+    }
+
+    // 1b. The boot chain must match the golden refstate, when one is
+    // pinned.
+    if (rec.mb_refstate) {
+      const MbRefstate quoted{qr.quote.pcr_values[0], qr.quote.pcr_values[1],
+                              qr.quote.pcr_values[2]};
+      if (!(quoted == *rec.mb_refstate)) {
+        raise(rec, agent_id, AlertType::kMeasuredBootMismatch, "", "",
+              "PCR 0/4/7 diverge from the measured-boot refstate",
+              rec.log_offset, round);
+        return round;
+      }
     }
   }
 
-  // 2. Each entry's template hash must be the hash of its own data —
-  // otherwise a man-in-the-middle could swap the path or file hash the
-  // policy evaluates while leaving the PCR fold intact.
-  for (const auto& e : qr.entries) {
-    crypto::Sha256 ctx;
-    ctx.update(crypto::digest_bytes(e.file_hash));
-    ctx.update(e.path);
-    if (ctx.finish() != e.template_hash) {
-      raise(rec, agent_id, AlertType::kReplayMismatch, e.path, "",
-            "template hash does not match entry data", rec.log_offset, round);
+  {
+    auto span = trace_span("ima_appraisal");
+    if (tracer_) {
+      tracer_->annotate("entries", strformat("%zu", qr.entries.size()));
+    }
+
+    // 2. Each entry's template hash must be the hash of its own data —
+    // otherwise a man-in-the-middle could swap the path or file hash the
+    // policy evaluates while leaving the PCR fold intact.
+    for (const auto& e : qr.entries) {
+      crypto::Sha256 ctx;
+      ctx.update(crypto::digest_bytes(e.file_hash));
+      ctx.update(e.path);
+      if (ctx.finish() != e.template_hash) {
+        raise(rec, agent_id, AlertType::kReplayMismatch, e.path, "",
+              "template hash does not match entry data", rec.log_offset,
+              round);
+        return round;
+      }
+    }
+
+    // 3. The shipped log fragment must reproduce the quoted PCR 10.
+    crypto::Digest folded = rec.accumulated_pcr;
+    for (const auto& e : qr.entries) {
+      crypto::Sha256 ctx;
+      ctx.update(folded.data(), folded.size());
+      ctx.update(e.template_hash.data(), e.template_hash.size());
+      folded = ctx.finish();
+    }
+    if (folded != qr.quote.pcr_values[3]) {
+      raise(rec, agent_id, AlertType::kReplayMismatch, "", "",
+            "measurement list does not reproduce quoted PCR", rec.log_offset,
+            round);
       return round;
     }
-  }
 
-  // 3. The shipped log fragment must reproduce the quoted PCR 10.
-  crypto::Digest folded = rec.accumulated_pcr;
-  for (const auto& e : qr.entries) {
-    crypto::Sha256 ctx;
-    ctx.update(folded.data(), folded.size());
-    ctx.update(e.template_hash.data(), e.template_hash.size());
-    folded = ctx.finish();
+    // Accept the fragment.
+    round.new_entries = qr.entries.size();
+    for (std::size_t i = 0; i < qr.entries.size(); ++i) {
+      rec.pending.emplace_back(rec.log_offset + i, std::move(qr.entries[i]));
+    }
+    rec.log_offset += qr.entries.size();
+    rec.accumulated_pcr = folded;
   }
-  if (folded != qr.quote.pcr_values[3]) {
-    raise(rec, agent_id, AlertType::kReplayMismatch, "", "",
-          "measurement list does not reproduce quoted PCR", rec.log_offset,
-          round);
-    return round;
-  }
-
-  // Accept the fragment.
-  round.new_entries = qr.entries.size();
-  for (std::size_t i = 0; i < qr.entries.size(); ++i) {
-    rec.pending.emplace_back(rec.log_offset + i, std::move(qr.entries[i]));
-  }
-  rec.log_offset += qr.entries.size();
-  rec.accumulated_pcr = folded;
 
   // 4. Evaluate pending entries against the runtime policy, in order.
+  auto span = trace_span("policy_decision");
   while (!rec.pending.empty()) {
     const auto& [index, entry] = rec.pending.front();
     ++round.evaluated;
@@ -372,6 +464,9 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
       // incomplete-attestation window attackers exploit (P2).
       break;
     }
+  }
+  if (tracer_) {
+    tracer_->annotate("evaluated", strformat("%zu", round.evaluated));
   }
   return round;
 }
@@ -404,6 +499,11 @@ std::optional<AgentState> Verifier::state(const std::string& agent_id) const {
 std::size_t Verifier::pending_entries(const std::string& agent_id) const {
   auto it = agents_.find(agent_id);
   return it == agents_.end() ? 0 : it->second.pending.size();
+}
+
+std::uint64_t Verifier::rounds_since_success(const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  return it == agents_.end() ? 0 : it->second.rounds_since_success;
 }
 
 std::vector<Alert> Verifier::alerts_for(const std::string& agent_id) const {
@@ -441,6 +541,7 @@ const json::Value* checkpoint_field(const json::Value& obj, const char* key,
 }  // namespace
 
 json::Value Verifier::checkpoint() const {
+  const auto wall_start = std::chrono::steady_clock::now();
   json::Value doc;
   doc.set("version", 1);
   json::Value agents{json::Array{}};
@@ -454,6 +555,8 @@ json::Value Verifier::checkpoint() const {
     a.set("log_offset", static_cast<std::int64_t>(rec.log_offset));
     a.set("accumulated_pcr", crypto::digest_hex(rec.accumulated_pcr));
     a.set("boot_count", static_cast<std::int64_t>(rec.boot_count));
+    a.set("rounds_since_success",
+          static_cast<std::int64_t>(rec.rounds_since_success));
     if (rec.mb_refstate) {
       json::Value mb;
       mb.set("pcr0", crypto::digest_hex(rec.mb_refstate->pcr0));
@@ -490,6 +593,18 @@ json::Value Verifier::checkpoint() const {
   }
   doc.set("agents", std::move(agents));
   doc.set("audit", export_audit_chain(audit_.records(), audit_.public_key()));
+  if (metrics_) {
+    metrics_->counter("cia_verifier_checkpoints_total").inc();
+    metrics_->gauge("cia_verifier_checkpoint_bytes")
+        .set(static_cast<double>(doc.dump().size()));
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - wall_start)
+                          .count();
+    metrics_
+        ->histogram("cia_verifier_checkpoint_us", {},
+                    telemetry::wallclock_micros_buckets())
+        .observe(us);
+  }
   return doc;
 }
 
@@ -554,6 +669,11 @@ Status Verifier::restore(const json::Value& doc) {
     if (!pcr.ok()) return pcr.error();
     rec.accumulated_pcr = pcr.value();
     rec.boot_count = static_cast<std::uint32_t>(boot_count->as_int());
+    if (const json::Value* rss =
+            checkpoint_field(a, "rounds_since_success",
+                             &json::Value::is_number)) {
+      rec.rounds_since_success = static_cast<std::uint64_t>(rss->as_int());
+    }
     if (const json::Value* mb = a.find("mb_refstate")) {
       MbRefstate ref;
       auto p0 = checkpoint_digest(mb->find("pcr0"), "pcr0");
@@ -626,6 +746,7 @@ Status Verifier::restore(const json::Value& doc) {
     return s;
   }
   agents_ = std::move(restored);
+  if (metrics_) metrics_->counter("cia_verifier_restores_total").inc();
   return Status::ok_status();
 }
 

@@ -23,6 +23,8 @@
 #include "keylime/notifier.hpp"
 #include "keylime/runtime_policy.hpp"
 #include "netsim/network.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cia::keylime {
 
@@ -110,6 +112,13 @@ class Verifier {
   /// Passing nullptr restores the raw network path.
   void use_transport(netsim::Transport* transport);
 
+  /// Export round/alert/appraisal metrics to `metrics` and emit one
+  /// hierarchical span tree per attestation round (quote request -> TPM
+  /// verify -> IMA appraisal -> policy decision) on `tracer`. Either may
+  /// be nullptr; telemetry never alters attestation behaviour.
+  void use_telemetry(telemetry::MetricsRegistry* metrics,
+                     telemetry::Tracer* tracer = nullptr);
+
   /// Enrol an agent for continuous attestation. Fetches and pins its AK
   /// from the registrar; fails if the agent is not activated there.
   Status add_agent(const std::string& agent_id, const std::string& address);
@@ -151,6 +160,14 @@ class Verifier {
   /// log" of P2).
   std::size_t pending_entries(const std::string& agent_id) const;
 
+  /// Rounds executed against this agent since its last fully successful
+  /// attestation (clean round while kAttesting). Also exported as the
+  /// gauge cia_verifier_rounds_since_success{agent}. The P2 blind spot
+  /// made visible: under stock Keylime this freezes at its value when
+  /// polling stops; under continue_on_failure it keeps growing until an
+  /// operator resolves the failure — a monitorable, alertable number.
+  std::uint64_t rounds_since_success(const std::string& agent_id) const;
+
   const std::vector<Alert>& alerts() const { return alerts_; }
   std::vector<Alert> alerts_for(const std::string& agent_id) const;
 
@@ -189,6 +206,7 @@ class Verifier {
     std::uint64_t log_offset = 0;        // entries fetched so far
     crypto::Digest accumulated_pcr{};    // fold of all fetched entries
     std::uint32_t boot_count = 0;
+    std::uint64_t rounds_since_success = 0;
     std::deque<std::pair<std::uint64_t, ima::LogEntry>> pending;  // unevaluated
   };
 
@@ -199,6 +217,10 @@ class Verifier {
 
   Result<AttestationRound> attest_once_impl(const std::string& agent_id);
 
+  /// Open a child span on the attached tracer (no-op scope when tracing
+  /// is off).
+  std::optional<telemetry::Tracer::Scope> trace_span(const char* name);
+
   netsim::SimNetwork* network_;
   netsim::Transport* transport_;  // defaults to network_
   SimClock* clock_;
@@ -208,6 +230,8 @@ class Verifier {
   std::vector<Alert> alerts_;
   AuditLog audit_;
   std::vector<RevocationNotifier*> notifiers_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
   crypto::Digest last_quote_digest_{};  // set by attest_once_impl
 };
 

@@ -79,9 +79,14 @@ Rng& SimNetwork::link_rng(const std::string& address) {
   return it->second;
 }
 
+void SimNetwork::count(const char* name, const std::string& link) {
+  if (metrics_) metrics_->counter(name, {{"link", link}}).inc();
+}
+
 Result<Bytes> SimNetwork::call(const std::string& to, const std::string& kind,
                                const Bytes& payload) {
   ++stats_.calls;
+  count("cia_net_calls_total", to);
   const FaultProfile profile = effective_faults(to);
   Rng& rng = link_rng(to);
 
@@ -91,17 +96,20 @@ Result<Bytes> SimNetwork::call(const std::string& to, const std::string& kind,
   if (it == endpoints_.end()) {
     clock_->advance(profile.latency);
     ++stats_.unroutable;
+    count("cia_net_unroutable_total", to);
     return err(Errc::kUnavailable, "no endpoint at " + to);
   }
   if (profile.timeout_rate > 0.0 && rng.chance(profile.timeout_rate)) {
     // A hung call blocks the caller for the full timeout budget.
     clock_->advance(profile.latency + profile.timeout_latency);
     ++stats_.timeouts;
+    count("cia_net_timeouts_total", to);
     return err(Errc::kUnavailable, "request to " + to + " timed out");
   }
   clock_->advance(profile.latency);
   if (profile.drop_rate > 0.0 && rng.chance(profile.drop_rate)) {
     ++stats_.dropped;
+    count("cia_net_drops_total", to);
     return err(Errc::kUnavailable, "request to " + to + " dropped");
   }
 
@@ -112,6 +120,7 @@ Result<Bytes> SimNetwork::call(const std::string& to, const std::string& kind,
   // so only handler idempotence protects state.
   if (profile.duplicate_rate > 0.0 && rng.chance(profile.duplicate_rate)) {
     ++stats_.duplicated;
+    count("cia_net_duplicates_total", to);
     (void)it->second->handle(kind, payload);
   }
 
@@ -121,6 +130,7 @@ Result<Bytes> SimNetwork::call(const std::string& to, const std::string& kind,
   if (profile.tamper_rate > 0.0 && !body.empty() &&
       rng.chance(profile.tamper_rate)) {
     ++stats_.tampered;
+    count("cia_net_tampered_total", to);
     body[rng.uniform(body.size())] ^= 0xff;
   }
   return body;

@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/sim_clock.hpp"
 #include "common/types.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace cia::netsim {
 
@@ -146,8 +147,15 @@ class SimNetwork : public Transport {
 
   const NetworkStats& stats() const { return stats_; }
 
+  /// Mirror every fault counter into per-link labelled series
+  /// (cia_net_*_total{link=...}) on `metrics`; nullptr disables.
+  void use_telemetry(telemetry::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+
  private:
   Rng& link_rng(const std::string& address);
+  void count(const char* name, const std::string& link);
 
   SimClock* clock_;
   std::uint64_t seed_;
@@ -158,6 +166,7 @@ class SimNetwork : public Transport {
   std::map<std::string, Rng> link_rngs_;
   std::map<std::string, Endpoint*> endpoints_;
   NetworkStats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace cia::netsim

@@ -1,6 +1,9 @@
 #include "netsim/transport.hpp"
 
 #include <algorithm>
+#include <optional>
+
+#include "common/strutil.hpp"
 
 namespace cia::netsim {
 
@@ -19,34 +22,94 @@ BreakerState RetryingTransport::breaker_state(
                                                 : BreakerState::kOpen;
 }
 
+void RetryingTransport::count_breaker_transition(const std::string& address,
+                                                 const char* to) {
+  if (metrics_) {
+    metrics_
+        ->counter("cia_transport_breaker_transitions_total",
+                  {{"link", address}, {"to", to}})
+        .inc();
+  }
+}
+
 Result<Bytes> RetryingTransport::call(const std::string& to,
                                       const std::string& kind,
                                       const Bytes& payload) {
   ++stats_.calls;
+  if (metrics_) {
+    metrics_->counter("cia_transport_calls_total", {{"link", to}}).inc();
+  }
+  std::optional<telemetry::Tracer::Scope> span;
+  if (tracer_) {
+    span.emplace(tracer_->span("transport_call", "transport"));
+    tracer_->annotate("to", to);
+    tracer_->annotate("kind", kind);
+  }
+  const auto finish = [&](const char* outcome, int attempts) {
+    if (tracer_) {
+      tracer_->annotate(span->id(), "outcome", outcome);
+      tracer_->annotate(span->id(), "attempts", strformat("%d", attempts));
+      if (attempts > 1) {
+        tracer_->annotate(span->id(), "retries", strformat("%d", attempts - 1));
+      }
+    }
+    if (metrics_ && attempts > 0) {
+      metrics_
+          ->histogram("cia_transport_attempts_per_call", {{"link", to}},
+                      telemetry::count_buckets())
+          .observe(static_cast<double>(attempts));
+    }
+  };
+
   Breaker& breaker = breakers_[to];
+  const bool was_open = breaker.open;
   if (breaker.open) {
     if (clock_->now() < breaker.open_until) {
       ++stats_.breaker_fastfails;
+      if (metrics_) {
+        metrics_->counter("cia_transport_breaker_fastfails_total",
+                          {{"link", to}})
+            .inc();
+      }
+      finish("fastfail", 0);
       return err(Errc::kUnavailable, "circuit open for " + to);
     }
     // Half-open: let this call through as a probe.
+    count_breaker_transition(to, "half_open");
   }
 
   const SimTime deadline = clock_->now() + policy_.call_budget;
   Error last = err(Errc::kUnavailable, "no attempt made");
-  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+  int attempt = 0;
+  for (; attempt < policy_.max_attempts; ++attempt) {
     ++stats_.attempts;
-    if (attempt > 0) ++stats_.retries;
+    if (attempt > 0) {
+      ++stats_.retries;
+      if (metrics_) {
+        metrics_->counter("cia_transport_retries_total", {{"link", to}}).inc();
+      }
+    }
     Result<Bytes> response = network_->call(to, kind, payload);
     if (response.ok()) {
-      if (attempt > 0) ++stats_.recovered;
+      if (attempt > 0) {
+        ++stats_.recovered;
+        if (metrics_) {
+          metrics_->counter("cia_transport_recovered_total", {{"link", to}})
+              .inc();
+        }
+      }
       breaker.consecutive_failures = 0;
       breaker.open = false;
+      if (was_open) count_breaker_transition(to, "closed");
+      finish("ok", attempt + 1);
       return response;
     }
     // Only transient transport failures are worth retrying; a handler
     // rejection (bad request, policy error) will fail identically again.
-    if (response.error().code != Errc::kUnavailable) return response;
+    if (response.error().code != Errc::kUnavailable) {
+      finish("rejected", attempt + 1);
+      return response;
+    }
     last = response.error();
 
     if (attempt + 1 >= policy_.max_attempts) break;
@@ -64,12 +127,19 @@ Result<Bytes> RetryingTransport::call(const std::string& to,
   }
 
   ++stats_.giveups;
+  if (metrics_) {
+    metrics_->counter("cia_transport_giveups_total", {{"link", to}}).inc();
+  }
   if (++breaker.consecutive_failures >= policy_.breaker_threshold) {
-    if (!breaker.open) ++stats_.breaker_opens;
+    if (!breaker.open) {
+      ++stats_.breaker_opens;
+      count_breaker_transition(to, "open");
+    }
     breaker.open = true;
     breaker.open_until = clock_->now() + policy_.breaker_cooldown;
     breaker.consecutive_failures = 0;
   }
+  finish("giveup", attempt + 1);
   return last;
 }
 

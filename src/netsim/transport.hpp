@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/sim_clock.hpp"
 #include "netsim/network.hpp"
+#include "telemetry/trace.hpp"
 
 namespace cia::netsim {
 
@@ -61,7 +62,19 @@ class RetryingTransport : public Transport {
   BreakerState breaker_state(const std::string& address) const;
   const Stats& stats() const { return stats_; }
 
+  /// Export per-link counters (cia_transport_*_total{link=...}), an
+  /// attempts-per-call histogram, and breaker state-transition counters
+  /// to `metrics`; wrap every logical call in a `transport_call` span on
+  /// `tracer`, annotated with attempts/outcome, so retries show up
+  /// nested inside whatever the caller was doing. Either may be nullptr.
+  void use_telemetry(telemetry::MetricsRegistry* metrics,
+                     telemetry::Tracer* tracer = nullptr) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
+
  private:
+  void count_breaker_transition(const std::string& address, const char* to);
   struct Breaker {
     int consecutive_failures = 0;
     SimTime open_until = 0;
@@ -74,6 +87,8 @@ class RetryingTransport : public Transport {
   RetryPolicy policy_;
   std::map<std::string, Breaker> breakers_;
   Stats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  telemetry::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace cia::netsim

@@ -1,0 +1,32 @@
+// Exporters for MetricsSnapshot: Prometheus text exposition for
+// scraping, canonical JSON for archival/diffing (BENCH_*.json
+// trajectories embed these so a result file is self-describing), and a
+// line-oriented snapshot diff for the cia_metrics CLI.
+#pragma once
+
+#include <string>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cia::telemetry {
+
+/// Prometheus text exposition format (one `# TYPE` line per family,
+/// histograms as cumulative `_bucket{le=...}` plus `_sum`/`_count`).
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Canonical JSON document: {"version":1,"metrics":[...]} with points
+/// sorted by (name, labels). Round-trips through snapshot_from_json().
+json::Value to_json(const MetricsSnapshot& snapshot);
+
+/// Parse a to_json() document back into a snapshot.
+Result<MetricsSnapshot> snapshot_from_json(const json::Value& doc);
+
+/// Human-readable diff between two snapshots: one line per added,
+/// removed, or changed series (counters/gauges show the delta;
+/// histograms compare count and sum). Empty when identical.
+std::string diff_snapshots(const MetricsSnapshot& before,
+                           const MetricsSnapshot& after);
+
+}  // namespace cia::telemetry

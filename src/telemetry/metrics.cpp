@@ -1,0 +1,252 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace cia::telemetry {
+
+void Gauge::add(double d) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  sum_ += v;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  ++count_;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counts = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Match common/stats.hpp::percentile's rank convention (linear
+  // interpolation over n-1 intervals), then interpolate linearly inside
+  // the bucket that holds the rank.
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const std::uint64_t after = before + counts[b];
+    // rank <= count-1 < count == final `after`, so this always fires for
+    // some bucket.
+    if (rank < static_cast<double>(after)) {
+      // Bucket b spans (lower, upper]; clamp the edges to observed
+      // min/max so single-bucket distributions report exact values.
+      double lower = b == 0 ? min : bounds[b - 1];
+      double upper = b == bounds.size() ? max : bounds[b];
+      lower = std::max(lower, min);
+      upper = std::min(upper, max);
+      if (upper < lower) upper = lower;
+      const double within =
+          counts[b] <= 1
+              ? 0.0
+              : (rank - static_cast<double>(before)) /
+                    static_cast<double>(counts[b] - 1);
+      return lower + within * (upper - lower);
+    }
+    before = after;
+  }
+  return max;
+}
+
+const std::vector<double>& latency_seconds_buckets() {
+  static const std::vector<double> kBuckets = {0.5, 1,  2,   5,   10,  30,
+                                               60,  120, 300, 600, 1800};
+  return kBuckets;
+}
+
+const std::vector<double>& wallclock_micros_buckets() {
+  static const std::vector<double> kBuckets = {10,    25,    50,    100,
+                                               250,   500,   1000,  2500,
+                                               5000,  10000, 25000, 100000};
+  return kBuckets;
+}
+
+const std::vector<double>& count_buckets() {
+  static const std::vector<double> kBuckets = {0, 1, 2, 3, 5, 8, 13, 21, 50, 100};
+  return kBuckets;
+}
+
+const std::vector<double>& bytes_buckets() {
+  static const std::vector<double> kBuckets = {256,    1024,    4096,   16384,
+                                               65536,  262144,  1 << 20,
+                                               4 << 20, 16 << 20};
+  return kBuckets;
+}
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+namespace {
+
+Labels canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+const MetricPoint* MetricsSnapshot::find(const std::string& name,
+                                         const Labels& labels) const {
+  const Labels sorted = canonical(labels);
+  for (const MetricPoint& p : points) {
+    if (p.name == name && p.labels == sorted) return &p;
+  }
+  return nullptr;
+}
+
+double MetricsSnapshot::counter_total(const std::string& name) const {
+  double total = 0.0;
+  for (const MetricPoint& p : points) {
+    if (p.name == name && p.kind == MetricKind::kCounter) total += p.value;
+  }
+  return total;
+}
+
+MetricsRegistry::Cell& MetricsRegistry::intern(
+    const std::string& name, const Labels& labels, MetricKind kind,
+    const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cells_.try_emplace({name, canonical(labels)});
+  Cell& cell = it->second;
+  if (inserted) {
+    cell.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        cell.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        cell.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        cell.histogram = std::make_unique<Histogram>(*bounds);
+        break;
+    }
+  }
+  assert(cell.kind == kind && "metric re-registered as a different kind");
+  return cell;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  Cell& cell = intern(name, labels, MetricKind::kCounter, nullptr);
+  if (!cell.counter) {  // kind clash in a release build: detached dummy
+    static Counter dummy;
+    return dummy;
+  }
+  return *cell.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  Cell& cell = intern(name, labels, MetricKind::kGauge, nullptr);
+  if (!cell.gauge) {
+    static Gauge dummy;
+    return dummy;
+  }
+  return *cell.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      const std::vector<double>& bounds) {
+  Cell& cell = intern(name, labels, MetricKind::kHistogram, &bounds);
+  if (!cell.histogram) {
+    static Histogram dummy({1.0});
+    return dummy;
+  }
+  return *cell.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.points.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    MetricPoint point;
+    point.name = key.first;
+    point.labels = key.second;
+    point.kind = cell.kind;
+    switch (cell.kind) {
+      case MetricKind::kCounter:
+        point.value = static_cast<double>(cell.counter->value());
+        break;
+      case MetricKind::kGauge:
+        point.value = cell.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        point.histogram = cell.histogram->snapshot();
+        break;
+    }
+    snap.points.push_back(std::move(point));
+  }
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const Labels sorted = canonical(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find({name, sorted});
+  if (it == cells_.end() || it->second.kind != MetricKind::kCounter) return 0;
+  return it->second.counter->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  const Labels sorted = canonical(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find({name, sorted});
+  if (it == cells_.end() || it->second.kind != MetricKind::kGauge) return 0.0;
+  return it->second.gauge->value();
+}
+
+void attach_log_counter(MetricsRegistry* registry) {
+  if (!registry) {
+    set_log_observer(nullptr);
+    return;
+  }
+  set_log_observer([registry](LogLevel level, const std::string& component,
+                              const std::string& message) {
+    (void)message;
+    registry
+        ->counter("cia_log_events_total",
+                  {{"level", level == LogLevel::kError ? "error" : "warn"},
+                   {"component", component}})
+        .inc();
+  });
+}
+
+}  // namespace cia::telemetry

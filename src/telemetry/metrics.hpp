@@ -1,0 +1,165 @@
+// A thread-safe metrics registry: the measurement substrate for the
+// whole attestation pipeline.
+//
+// Three instrument kinds, all labelable (agent id, link address,
+// component, outcome...):
+//   * Counter   — monotonic, atomic; "how many rounds / drops / retries";
+//   * Gauge     — last-write-wins level; "rounds since last success",
+//                 "mirror staleness seconds";
+//   * Histogram — fixed upper-bound buckets plus exact sum/count/min/max,
+//                 with p50/p95/p99 estimated by linear interpolation
+//                 inside the owning bucket (clamped to the observed
+//                 min/max, so the estimate is always within one bucket
+//                 width of the exact common/stats.hpp::percentile).
+//
+// The registry hands out stable references: a hot path resolves its
+// instrument once and then updates it lock-free (counters/gauges) or
+// under a per-instrument mutex (histograms). Components accept a
+// `MetricsRegistry*` via `use_telemetry(...)` and treat nullptr as
+// "telemetry off" — instrumentation must never change simulation
+// behaviour, only observe it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cia::telemetry {
+
+/// Label key/value pairs; canonicalized (sorted by key) on intern.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time state of one histogram (also the exporter wire shape).
+struct HistogramSnapshot {
+  std::vector<double> bounds;        // inclusive upper bounds; +inf implicit
+  std::vector<std::uint64_t> counts; // bounds.size() + 1 buckets
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+
+  /// p-th percentile (0..100) estimated from the buckets.
+  double percentile(double p) const;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  HistogramSnapshot snapshot() const;
+  double percentile(double p) const { return snapshot().percentile(p); }
+
+ private:
+  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Default bucket sets, tuned to the quantities the pipeline measures.
+const std::vector<double>& latency_seconds_buckets();  // virtual seconds
+const std::vector<double>& wallclock_micros_buckets(); // real microseconds
+const std::vector<double>& count_buckets();            // small cardinalities
+const std::vector<double>& bytes_buckets();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// One exported sample: a (name, labels) series frozen at snapshot time.
+struct MetricPoint {
+  std::string name;
+  Labels labels;  // sorted by key
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  // counter / gauge
+  HistogramSnapshot histogram;
+};
+
+/// A full registry dump, sorted by (name, labels) — deterministic, so
+/// exports are diffable and goldenable.
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  /// The point for (name, labels), or nullptr.
+  const MetricPoint* find(const std::string& name,
+                          const Labels& labels = {}) const;
+
+  /// Sum of every counter series of this family (across all labels).
+  double counter_total(const std::string& name) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  /// A name must keep one kind: re-requesting it as a different
+  /// instrument is a programming error (asserts in debug builds and
+  /// returns a detached dummy instrument in release builds).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::vector<double>& bounds =
+                           latency_seconds_buckets());
+
+  MetricsSnapshot snapshot() const;
+
+  /// Convenience readers for tests: 0 when the series does not exist.
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+  double gauge_value(const std::string& name, const Labels& labels = {}) const;
+
+ private:
+  struct Cell {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, Labels>;
+
+  Cell& intern(const std::string& name, const Labels& labels, MetricKind kind,
+               const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<Key, Cell> cells_;
+};
+
+/// Route every kWarn/kError log line into
+/// `cia_log_events_total{level,component}` on `registry`, so alert
+/// counts and the operator-visible log can never diverge. Pass nullptr
+/// to detach. (Installs the common/log observer hook; one registry at a
+/// time.)
+void attach_log_counter(MetricsRegistry* registry);
+
+}  // namespace cia::telemetry

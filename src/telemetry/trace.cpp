@@ -1,0 +1,119 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+
+namespace cia::telemetry {
+
+Tracer::Tracer(const SimClock* clock, std::size_t max_spans)
+    : clock_(clock), max_spans_(max_spans) {}
+
+SpanId Tracer::begin(const std::string& name, const std::string& category) {
+  if (finished_.size() + open_.size() >= max_spans_) {
+    ++dropped_;
+    return 0;
+  }
+  Span span;
+  span.id = next_id_++;
+  span.parent = open_.empty() ? 0 : open_.back().id;
+  span.name = name;
+  span.category = category;
+  span.start = clock_->now();
+  open_.push_back(std::move(span));
+  return open_.back().id;
+}
+
+void Tracer::end(SpanId id) {
+  if (id == 0) return;
+  // Close everything opened inside `id` along with it, innermost first,
+  // so a span abandoned on an error path cannot leak open forever.
+  while (!open_.empty()) {
+    Span span = std::move(open_.back());
+    open_.pop_back();
+    const bool target = span.id == id;
+    span.end = clock_->now();
+    finished_.push_back(std::move(span));
+    if (target) return;
+  }
+}
+
+void Tracer::annotate(const std::string& key, const std::string& value) {
+  if (open_.empty()) return;
+  open_.back().annotations.emplace_back(key, value);
+}
+
+void Tracer::annotate(SpanId id, const std::string& key,
+                      const std::string& value) {
+  if (id == 0) return;
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->id == id) {
+      it->annotations.emplace_back(key, value);
+      return;
+    }
+  }
+}
+
+namespace {
+
+json::Value span_args(const Span& span) {
+  json::Value args{json::Object{}};
+  for (const auto& [key, value] : span.annotations) args.set(key, value);
+  return args;
+}
+
+}  // namespace
+
+json::Value Tracer::chrome_trace() const {
+  json::Value events{json::Array{}};
+  // Sort by start time so the document streams in timeline order (the
+  // viewers accept any order, but sorted files diff cleanly).
+  std::vector<const Span*> ordered;
+  ordered.reserve(finished_.size());
+  for (const Span& span : finished_) ordered.push_back(&span);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Span* a, const Span* b) {
+                     return a->start < b->start;
+                   });
+  for (const Span* span : ordered) {
+    json::Value event;
+    event.set("name", span->name);
+    event.set("cat", span->category.empty() ? "sim" : span->category);
+    event.set("ph", "X");
+    // Virtual seconds rendered as trace microseconds: 1 sim second maps
+    // to 1 us so multi-day runs stay within the viewers' zoom range.
+    event.set("ts", static_cast<double>(span->start));
+    event.set("dur", static_cast<double>(span->end - span->start));
+    event.set("pid", 1);
+    event.set("tid", 1);
+    event.set("id", static_cast<std::int64_t>(span->id));
+    if (span->parent != 0) {
+      event.set("parent", static_cast<std::int64_t>(span->parent));
+    }
+    if (!span->annotations.empty()) event.set("args", span_args(*span));
+    events.push_back(std::move(event));
+  }
+  json::Value doc;
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(events));
+  return doc;
+}
+
+json::Value Tracer::to_json() const {
+  json::Value spans{json::Array{}};
+  for (const Span& span : finished_) {
+    json::Value s;
+    s.set("id", static_cast<std::int64_t>(span.id));
+    s.set("parent", static_cast<std::int64_t>(span.parent));
+    s.set("name", span.name);
+    if (!span.category.empty()) s.set("category", span.category);
+    s.set("start", static_cast<std::int64_t>(span.start));
+    s.set("end", static_cast<std::int64_t>(span.end));
+    if (!span.annotations.empty()) s.set("annotations", span_args(span));
+    spans.push_back(std::move(s));
+  }
+  json::Value doc;
+  doc.set("spans", std::move(spans));
+  doc.set("dropped", static_cast<std::int64_t>(dropped_));
+  return doc;
+}
+
+}  // namespace cia::telemetry

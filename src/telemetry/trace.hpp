@@ -1,0 +1,105 @@
+// Sim-time attestation tracing: hierarchical spans over the SimClock.
+//
+// Every attestation round opens a root span and the layers below it
+// (transport retries, TPM verification, IMA appraisal, the policy
+// decision) nest child spans inside, annotated with fault and retry
+// detail. Because the simulation is single-threaded per rig, nesting is
+// tracked with an explicit open-span stack: begin() parents the new span
+// under the innermost open one; annotate() decorates the innermost open
+// span — which is how a transport three layers below the verifier tags
+// the enclosing RPC span with its retry count without either layer
+// knowing about the other.
+//
+// Finished spans export as Chrome `trace_event` JSON ("X" complete
+// events; load chrome://tracing or Perfetto for a flame view of a whole
+// chaos scenario in virtual time) or as a canonical JSON span list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/sim_clock.hpp"
+
+namespace cia::telemetry {
+
+using SpanId = std::uint64_t;  // 1-based; 0 = "no span"
+
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string name;
+  std::string category;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+class Tracer {
+ public:
+  /// `max_spans` bounds memory on long runs; spans begun past the limit
+  /// are counted in dropped() but otherwise vanish.
+  explicit Tracer(const SimClock* clock, std::size_t max_spans = 1u << 20);
+
+  /// Point the tracer at a different clock. Rigs that own their SimClock
+  /// internally (run_chaos_experiment) rebind a caller-provided tracer
+  /// to it during setup so span times track the rig's virtual time.
+  void bind_clock(const SimClock* clock) { clock_ = clock; }
+
+  /// Open a span under the innermost open span. Returns its id.
+  SpanId begin(const std::string& name, const std::string& category = "");
+
+  /// Close span `id`. Out-of-order ends are tolerated: any span still
+  /// open inside `id` is closed with it (crash-path friendly).
+  void end(SpanId id);
+
+  /// Annotate the innermost open span (no-op when none is open).
+  void annotate(const std::string& key, const std::string& value);
+  void annotate(SpanId id, const std::string& key, const std::string& value);
+
+  /// RAII guard: closes its span when it leaves scope.
+  class Scope {
+   public:
+    Scope(Tracer* tracer, SpanId id) : tracer_(tracer), id_(id) {}
+    ~Scope() {
+      if (tracer_ && id_) tracer_->end(id_);
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    Scope(Scope&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+      other.tracer_ = nullptr;
+    }
+    SpanId id() const { return id_; }
+
+   private:
+    Tracer* tracer_;
+    SpanId id_;
+  };
+  Scope span(const std::string& name, const std::string& category = "") {
+    return Scope(this, begin(name, category));
+  }
+
+  /// Spans closed so far, in completion order.
+  const std::vector<Span>& finished() const { return finished_; }
+  std::size_t open_count() const { return open_.size(); }
+  std::size_t dropped() const { return dropped_; }
+
+  /// Chrome trace_event document: {"traceEvents":[...]} with "X"
+  /// (complete) events, ts/dur in microseconds of virtual time.
+  json::Value chrome_trace() const;
+
+  /// Canonical JSON: flat span list with parent ids and annotations.
+  json::Value to_json() const;
+
+ private:
+  const SimClock* clock_;
+  std::size_t max_spans_;
+  SpanId next_id_ = 1;
+  std::vector<Span> open_;  // stack, innermost last
+  std::vector<Span> finished_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace cia::telemetry

@@ -316,6 +316,105 @@ TEST(CheckpointTest, RestoreRejectsAChainSignedByAnotherVerifier) {
 
 // ------------------------------------------------------ chaos scenarios
 
+// ------------------------------------ P2 staleness gauge (blind spot)
+
+TEST(ProblemP2Gauge, PollingContinuesAndStalenessGaugeGrowsAfterFailure) {
+  // The P2 gap, made monitorable: with continue_on_failure the verifier
+  // keeps polling a failed agent, and the per-agent "rounds since last
+  // successful attestation" gauge grows round over round — an alertable
+  // number where stock Keylime silently freezes.
+  TestbedOptions options;
+  options.provision_extra = 10;
+  options.archive.base_package_count = 100;
+  options.verifier_config.continue_on_failure = true;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  ASSERT_TRUE(bed.verifier
+                  .set_policy(bed.agent_id(),
+                              scan_machine_policy(bed.machine, true))
+                  .ok());
+  telemetry::MetricsRegistry registry;
+  bed.verifier.use_telemetry(&registry);
+  const telemetry::Labels agent_label{{"agent", bed.agent_id()}};
+
+  // Clean rounds pin the gauge at zero.
+  for (int i = 0; i < 3; ++i) bed.attest();
+  EXPECT_EQ(bed.verifier.rounds_since_success(bed.agent_id()), 0u);
+  EXPECT_EQ(registry.gauge_value("cia_verifier_rounds_since_success",
+                                 agent_label),
+            0.0);
+
+  // A genuine violation: an unknown binary is dropped and executed.
+  ASSERT_TRUE(bed.machine.fs()
+                  .create_file("/usr/local/bin/backdoor",
+                               to_bytes("elf:backdoor"), true)
+                  .ok());
+  ASSERT_TRUE(bed.machine.exec("/usr/local/bin/backdoor").ok());
+
+  const std::size_t audit_before = bed.verifier.audit().records().size();
+  for (int i = 1; i <= 5; ++i) {
+    bed.attest();
+    // Polling continues: each round appends a durable audit record...
+    EXPECT_EQ(bed.verifier.audit().records().size(), audit_before + i);
+    // ...and the staleness gauge grows with every non-clean round.
+    EXPECT_EQ(bed.verifier.rounds_since_success(bed.agent_id()),
+              static_cast<std::uint64_t>(i));
+    EXPECT_EQ(registry.gauge_value("cia_verifier_rounds_since_success",
+                                   agent_label),
+              static_cast<double>(i));
+  }
+  EXPECT_EQ(bed.verifier.state(bed.agent_id()), keylime::AgentState::kFailed);
+  EXPECT_GE(registry.counter_value("cia_verifier_alerts_total",
+                                   {{"agent", bed.agent_id()},
+                                    {"type", "not_in_policy"}}),
+            1u);
+
+  // Operator resolves the failure; the next clean round resets the gauge.
+  ASSERT_TRUE(bed.verifier.resolve_failure(bed.agent_id()).ok());
+  bed.attest();
+  EXPECT_EQ(bed.verifier.rounds_since_success(bed.agent_id()), 0u);
+  EXPECT_EQ(registry.gauge_value("cia_verifier_rounds_since_success",
+                                 agent_label),
+            0.0);
+}
+
+TEST(ProblemP2Gauge, StockBehaviourFreezesTheGaugeWithPolling) {
+  // Contrast: without the mitigation, polling stops after the first
+  // failure and the gauge freezes — the blind spot itself.
+  TestbedOptions options;
+  options.provision_extra = 10;
+  options.archive.base_package_count = 100;
+  options.verifier_config.continue_on_failure = false;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  ASSERT_TRUE(bed.verifier
+                  .set_policy(bed.agent_id(),
+                              scan_machine_policy(bed.machine, true))
+                  .ok());
+  telemetry::MetricsRegistry registry;
+  bed.verifier.use_telemetry(&registry);
+
+  ASSERT_TRUE(bed.machine.fs()
+                  .create_file("/usr/local/bin/backdoor",
+                               to_bytes("elf:backdoor"), true)
+                  .ok());
+  ASSERT_TRUE(bed.machine.exec("/usr/local/bin/backdoor").ok());
+  bed.attest();  // the failing round
+  const std::uint64_t frozen_at =
+      bed.verifier.rounds_since_success(bed.agent_id());
+  EXPECT_EQ(frozen_at, 1u);
+  const std::size_t audit_frozen = bed.verifier.audit().records().size();
+  for (int i = 0; i < 5; ++i) bed.attest();
+  // No new audit records, no gauge movement: the agent fell out of the
+  // attestation loop entirely.
+  EXPECT_EQ(bed.verifier.audit().records().size(), audit_frozen);
+  EXPECT_EQ(bed.verifier.rounds_since_success(bed.agent_id()), frozen_at);
+  EXPECT_EQ(
+      registry.counter_value("cia_verifier_rounds_total",
+                             {{"agent", bed.agent_id()}, {"outcome", "frozen"}}),
+      5u);
+}
+
 TEST(ChaosTest, WanLossFiveDaysZeroTransportFalsePositives) {
   // The acceptance run: 10% packet loss for five days across a fleet,
   // with one genuine compromise injected mid-run. The retrying transport

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under AddressSanitizer and
-# UndefinedBehaviorSanitizer (separate build trees, so neither pollutes
-# the regular build/). Usage:
+# Build and run the test suite under sanitizers (separate build trees, so
+# none pollutes the regular build/). Usage:
 #
-#   tools/run_sanitized_tests.sh [address|undefined]...
+#   tools/run_sanitized_tests.sh [address|undefined|thread]...
 #
-# With no argument both sanitizers run. Exits non-zero on the first
-# failing configure/build/test step.
+# With no argument the address and undefined suites run in full.
+# `thread` builds with TSan and runs only the telemetry tests — the
+# metrics registry is the one deliberately concurrent component (the
+# simulation itself is single-threaded), so that's where data races
+# could hide. Exits non-zero on the first failing step.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -17,9 +19,9 @@ fi
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
-    address|undefined) ;;
+    address|undefined|thread) ;;
     *)
-      echo "unknown sanitizer '$san' (expected address or undefined)" >&2
+      echo "unknown sanitizer '$san' (expected address, undefined, or thread)" >&2
       exit 2
       ;;
   esac
@@ -29,8 +31,14 @@ for san in "${sanitizers[@]}"; do
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   echo "==> [$san] build"
   cmake --build "$build_dir" -j "$(nproc)"
-  echo "==> [$san] ctest"
-  (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+  if [ "$san" = thread ]; then
+    echo "==> [$san] telemetry tests"
+    "$build_dir/tests/cia_tests" \
+      --gtest_filter='MetricsRegistryTest.*:HistogramTest.*:ExportTest.*:LogBridgeTest.*:TracerTest.*'
+  else
+    echo "==> [$san] ctest"
+    (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+  fi
   echo "==> [$san] OK"
 done
 echo "all sanitized suites passed"
