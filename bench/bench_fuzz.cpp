@@ -1,0 +1,83 @@
+// Throughput microbenchmarks for the testkit fuzzing stack: how many
+// executions per second each layer sustains bounds how deep the CI
+// fuzz-smoke budget (~30 s/target) actually explores. Run to size
+// --iters when adding a target or fattening a generator.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "testkit/fuzzer.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/mutator.hpp"
+#include "testkit/shrink.hpp"
+#include "testkit/targets.hpp"
+
+namespace cia::testkit {
+namespace {
+
+void BM_MutatorMutate(benchmark::State& state) {
+  ByteMutator mutator(7);
+  Rng rng(7);
+  const Bytes input = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mutator.mutate(input));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MutatorMutate)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_GenLogEntry(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen_log_entry(rng));
+  }
+}
+BENCHMARK(BM_GenLogEntry);
+
+void BM_GenWireFrame(benchmark::State& state) {
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen_wire_frame(rng));
+  }
+}
+BENCHMARK(BM_GenWireFrame);
+
+// One fuzz execution per iteration, against a generated (i.e. mostly
+// accepted — the expensive path) input for each registered target.
+void BM_TargetRun(benchmark::State& state) {
+  const FuzzTarget& target =
+      all_targets()[static_cast<std::size_t>(state.range(0))];
+  Rng rng(17);
+  std::vector<Bytes> inputs;
+  for (int i = 0; i < 32; ++i) inputs.push_back(target.generate(rng));
+  std::size_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(target.run(inputs[next]));
+    next = (next + 1) % inputs.size();
+  }
+  state.SetLabel(target.name);
+}
+BENCHMARK(BM_TargetRun)->DenseRange(0, 5);
+
+void BM_ShrinkToMinimal(benchmark::State& state) {
+  // Shrink a 256-byte input down to the single byte the predicate needs:
+  // the cost model for minimizing a real finding.
+  Rng rng(23);
+  Bytes input = rng.bytes(256);
+  input[137] = 0xEE;
+  const auto failing = [](const Bytes& b) {
+    for (const auto byte : b) {
+      if (byte == 0xEE) return true;
+    }
+    return false;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shrink(input, failing));
+  }
+}
+BENCHMARK(BM_ShrinkToMinimal);
+
+}  // namespace
+}  // namespace cia::testkit
+
+BENCHMARK_MAIN();

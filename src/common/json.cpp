@@ -79,6 +79,11 @@ double Value::as_number() const {
 
 std::int64_t Value::as_int() const {
   assert(is_number());
+  // llround on a value outside [INT64_MIN, INT64_MAX] is unspecified;
+  // clamp so documents with absurd magnitudes decode deterministically.
+  constexpr double kMax = 9223372036854775807.0;
+  if (number_ >= kMax) return INT64_MAX;
+  if (number_ <= -kMax) return INT64_MIN;
   return static_cast<std::int64_t>(std::llround(number_));
 }
 
@@ -324,6 +329,12 @@ class Parser {
     const double value = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size() || token.empty()) {
       return fail("malformed number '" + token + "'");
+    }
+    // An overflowing exponent ("1e999") yields infinity, which dump()
+    // would render as a token no JSON parser accepts — reject it here so
+    // every accepted document round-trips.
+    if (!std::isfinite(value)) {
+      return fail("number out of range '" + token + "'");
     }
     return Value(value);
   }

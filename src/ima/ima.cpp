@@ -32,8 +32,16 @@ Result<LogEntry> LogEntry::parse(const std::string& line) {
   if (pos >= line.size()) return fail("missing path");
 
   LogEntry entry;
-  entry.pcr = std::atoi(head[0].c_str());
-  if (entry.pcr < 0 || entry.pcr >= tpm::kNumPcrs) return fail("bad PCR");
+  // Strict decimal parse: atoi would silently accept "10garbage" and is
+  // undefined on overflow ("999999999999999999999" came up in fuzzing).
+  if (head[0].empty() || head[0].size() > 3) return fail("bad PCR");
+  int pcr = 0;
+  for (char c : head[0]) {
+    if (c < '0' || c > '9') return fail("bad PCR");
+    pcr = pcr * 10 + (c - '0');
+  }
+  entry.pcr = pcr;
+  if (entry.pcr >= tpm::kNumPcrs) return fail("bad PCR");
   auto template_hash = from_hex(head[1]);
   if (!template_hash.ok() ||
       template_hash.value().size() != crypto::kSha256Size) {
@@ -50,6 +58,13 @@ Result<LogEntry> LogEntry::parse(const std::string& line) {
   std::copy(file_hash.value().begin(), file_hash.value().end(),
             entry.file_hash.begin());
   entry.path = line.substr(pos);
+  // A kernel measurement record cannot carry NUL (the record's path field
+  // is NUL-terminated) or line breaks (the ASCII list is line-framed) —
+  // and to_string() formats via C strings, so an embedded NUL would
+  // silently truncate the rendered line.
+  for (char c : entry.path) {
+    if (c == '\0' || c == '\n' || c == '\r') return fail("bad path");
+  }
   return entry;
 }
 

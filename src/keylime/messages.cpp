@@ -217,6 +217,14 @@ Result<QuoteResponse> QuoteResponse::decode(const Bytes& b) {
   CIA_TRY(quote, decode_quote(r));
   resp.quote = std::move(quote);
   CIA_TRY(count, r.u32());
+  // A serialized entry is at least 84 bytes (u32 + two digests + two
+  // empty length-prefixed strings); a count the remaining payload cannot
+  // possibly hold is corruption, and reserving for it would let a
+  // 4-byte field demand gigabytes before the first entry read fails.
+  constexpr std::uint32_t kMinEntryBytes = 4 + 32 + 8 + 32 + 8;
+  if (count > r.remaining() / kMinEntryBytes) {
+    return err(Errc::kCorrupted, "implausible entry count");
+  }
   resp.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     CIA_TRY(entry, decode_log_entry(r));

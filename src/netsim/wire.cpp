@@ -65,7 +65,10 @@ Result<bool> WireReader::boolean() {
 Result<std::string> WireReader::string() {
   auto len = u64();
   if (!len.ok()) return len.error();
-  if (pos_ + len.value() > data_.size()) {
+  // Compare against the remaining bytes instead of `pos_ + len` — an
+  // attacker-supplied length near 2^64 would wrap the addition and slip
+  // past the bound.
+  if (len.value() > data_.size() - pos_) {
     return err(Errc::kCorrupted, "truncated string");
   }
   std::string s(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
@@ -77,7 +80,7 @@ Result<std::string> WireReader::string() {
 Result<Bytes> WireReader::bytes() {
   auto len = u64();
   if (!len.ok()) return len.error();
-  if (pos_ + len.value() > data_.size()) {
+  if (len.value() > data_.size() - pos_) {
     return err(Errc::kCorrupted, "truncated bytes");
   }
   Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),

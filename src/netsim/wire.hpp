@@ -51,6 +51,10 @@ class WireReader {
   /// True when all input has been consumed.
   bool at_end() const { return pos_ == data_.size(); }
 
+  /// Bytes not yet consumed. Decoders use this to sanity-check embedded
+  /// element counts before reserving memory for them.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
  private:
   const Bytes& data_;
   std::size_t pos_ = 0;

@@ -181,8 +181,22 @@ Result<MetricsSnapshot> snapshot_from_json(const json::Value& doc) {
         }
         point.histogram.bounds.push_back(b.as_number());
       }
+      // Histogram() sorts and dedupes its bounds, so a live registry can
+      // only ever export strictly increasing ones. Accepting anything
+      // else would admit states percentile() is not defined over (its
+      // bucket interpolation assumes ordered edges).
+      for (std::size_t i = 1; i < point.histogram.bounds.size(); ++i) {
+        if (point.histogram.bounds[i] <= point.histogram.bounds[i - 1]) {
+          return err(Errc::kCorrupted,
+                     "snapshot: bounds not strictly increasing");
+        }
+      }
       for (const json::Value& c : counts->as_array()) {
-        if (!c.is_number()) {
+        // A bucket count must be a non-negative integer; a negative or
+        // fractional value would wrap to a huge std::uint64_t and poison
+        // every percentile computed from the restored snapshot.
+        if (!c.is_number() || c.as_number() < 0 ||
+            c.as_number() != static_cast<double>(c.as_int())) {
           return err(Errc::kCorrupted, "snapshot: bad bucket count");
         }
         point.histogram.counts.push_back(
@@ -191,13 +205,45 @@ Result<MetricsSnapshot> snapshot_from_json(const json::Value& doc) {
       if (point.histogram.counts.size() != point.histogram.bounds.size() + 1) {
         return err(Errc::kCorrupted, "snapshot: bucket/bound size mismatch");
       }
+      if (count->as_number() < 0 ||
+          count->as_number() != static_cast<double>(count->as_int())) {
+        return err(Errc::kCorrupted, "snapshot: bad histogram count");
+      }
       point.histogram.count = static_cast<std::uint64_t>(count->as_int());
+      std::uint64_t bucket_total = 0;
+      for (std::uint64_t c : point.histogram.counts) bucket_total += c;
+      if (bucket_total != point.histogram.count) {
+        return err(Errc::kCorrupted, "snapshot: bucket counts do not sum to count");
+      }
       point.histogram.sum = sum->as_number();
       if (const json::Value* v = m.find("min"); v && v->is_number()) {
         point.histogram.min = v->as_number();
       }
       if (const json::Value* v = m.find("max"); v && v->is_number()) {
         point.histogram.max = v->as_number();
+      }
+      // observe() keeps min/max consistent with the buckets whenever
+      // anything was recorded: min <= max, every value in the lowest
+      // occupied bucket is >= min, and the highest occupied bucket holds
+      // a value <= max. percentile() clamps bucket edges against min/max,
+      // so admitting a contradictory triple makes it non-monotonic.
+      if (point.histogram.count > 0) {
+        const HistogramSnapshot& h = point.histogram;
+        if (h.min > h.max) {
+          return err(Errc::kCorrupted, "snapshot: histogram min > max");
+        }
+        std::size_t lowest = 0;
+        while (h.counts[lowest] == 0) ++lowest;
+        std::size_t highest = h.counts.size() - 1;
+        while (h.counts[highest] == 0) --highest;
+        if (lowest < h.bounds.size() && h.min > h.bounds[lowest]) {
+          return err(Errc::kCorrupted,
+                     "snapshot: histogram min above its lowest bucket");
+        }
+        if (highest > 0 && h.max <= h.bounds[highest - 1]) {
+          return err(Errc::kCorrupted,
+                     "snapshot: histogram max below its highest bucket");
+        }
       }
     } else {
       const json::Value* value = m.find("value");

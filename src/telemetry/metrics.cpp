@@ -64,11 +64,15 @@ double HistogramSnapshot::percentile(double p) const {
       lower = std::max(lower, min);
       upper = std::min(upper, max);
       if (upper < lower) upper = lower;
+      // The bucket's samples occupy ranks [before, before+counts[b]-1];
+      // a continuous rank can land in the gap before the next bucket's
+      // first sample, so clamp — otherwise the interpolation overshoots
+      // the bucket's upper edge and percentiles go non-monotonic.
       const double within =
           counts[b] <= 1
               ? 0.0
-              : (rank - static_cast<double>(before)) /
-                    static_cast<double>(counts[b] - 1);
+              : std::min(1.0, (rank - static_cast<double>(before)) /
+                                  static_cast<double>(counts[b] - 1));
       return lower + within * (upper - lower);
     }
     before = after;

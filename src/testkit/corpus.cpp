@@ -1,0 +1,71 @@
+#include "testkit/corpus.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/strutil.hpp"
+
+namespace cia::testkit {
+
+namespace fs = std::filesystem;
+
+#ifndef CIA_CORPUS_ROOT
+#define CIA_CORPUS_ROOT "tests/corpus"
+#endif
+
+std::string default_corpus_root() {
+  if (const char* env = std::getenv("CIA_CORPUS_DIR"); env && *env) {
+    return env;
+  }
+  return CIA_CORPUS_ROOT;
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<CorpusEntry> entries;
+  std::error_code ec;
+  for (const auto& item : fs::directory_iterator(dir, ec)) {
+    if (!item.is_regular_file()) continue;
+    std::ifstream in(item.path(), std::ios::binary);
+    if (!in) continue;
+    CorpusEntry entry;
+    entry.name = item.path().filename().string();
+    entry.data.assign(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>());
+    entries.push_back(std::move(entry));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+std::vector<CorpusEntry> load_regressions(const std::string& root,
+                                          const std::string& target) {
+  std::vector<CorpusEntry> matching;
+  for (auto& entry : load_corpus(root + "/regressions")) {
+    if (starts_with(entry.name, target + "__")) {
+      matching.push_back(std::move(entry));
+    }
+  }
+  return matching;
+}
+
+Status save_corpus_entry(const std::string& dir, const std::string& name,
+                         const Bytes& data) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return err(Errc::kUnavailable, "cannot open " + path + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) return err(Errc::kUnavailable, "short write to " + path);
+  return Status::ok_status();
+}
+
+}  // namespace cia::testkit

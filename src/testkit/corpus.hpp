@@ -1,0 +1,45 @@
+// Seed-corpus plumbing shared by the fuzz CLI and the test suites.
+//
+// Layout (under tests/corpus/ in the source tree):
+//   <target>/<name>         seed inputs for fuzz target <target>
+//   regressions/<target>__<name>
+//                           minimized reproducers of fixed bugs; every
+//                           fuzz run and the fuzz-smoke CI job replay
+//                           them first, so a fixed crash stays fixed.
+//
+// The root resolves, in order: an explicit path, $CIA_CORPUS_DIR, the
+// compiled-in source-tree default (CIA_CORPUS_ROOT). Entries load in
+// filename order so corpus iteration is deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace cia::testkit {
+
+struct CorpusEntry {
+  std::string name;  // filename within the corpus directory
+  Bytes data;
+};
+
+/// The corpus root: $CIA_CORPUS_DIR when set, else the compiled-in
+/// source-tree tests/corpus path.
+std::string default_corpus_root();
+
+/// All regular files directly inside `dir`, sorted by filename.
+/// A missing directory is an empty corpus, not an error.
+std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+/// Regression entries for `target`: files named "<target>__*" under
+/// `root`/regressions.
+std::vector<CorpusEntry> load_regressions(const std::string& root,
+                                          const std::string& target);
+
+/// Write one entry (creates the directory if needed).
+Status save_corpus_entry(const std::string& dir, const std::string& name,
+                         const Bytes& data);
+
+}  // namespace cia::testkit

@@ -1,0 +1,93 @@
+#include "testkit/fuzzer.hpp"
+
+#include <algorithm>
+
+#include "testkit/shrink.hpp"
+
+namespace cia::testkit {
+
+Fuzzer::Fuzzer(FuzzTarget target, FuzzOptions options)
+    : target_(std::move(target)),
+      options_(options),
+      mutator_(options.seed,
+               MutatorOptions{options.max_input, target_.dictionary}) {}
+
+void Fuzzer::add_seed(Bytes data) {
+  if (data.size() > options_.max_input) data.resize(options_.max_input);
+  pool_.push_back(std::move(data));
+}
+
+FuzzOutcome Fuzzer::execute(const Bytes& input, FuzzReport& report) {
+  const FuzzOutcome outcome = target_.run(input);
+  switch (outcome.verdict) {
+    case FuzzVerdict::kAccepted: ++report.accepted; break;
+    case FuzzVerdict::kRejected: ++report.rejected; break;
+    case FuzzVerdict::kViolation: {
+      ++report.violations;
+      if (!report.first_violation) {
+        report.first_violation_detail = outcome.detail;
+        report.first_violation_original_size = input.size();
+        Bytes minimized = input;
+        if (options_.shrink) {
+          minimized = shrink(
+              minimized,
+              [this](const Bytes& candidate) {
+                return target_.run(candidate).verdict ==
+                       FuzzVerdict::kViolation;
+              },
+              options_.shrink_attempts);
+          // Report the detail of the *minimized* case — shrinking may
+          // have walked to a different (smaller) manifestation.
+          report.first_violation_detail = target_.run(minimized).detail;
+        }
+        report.first_violation = std::move(minimized);
+      }
+      break;
+    }
+  }
+  return outcome;
+}
+
+FuzzReport Fuzzer::run() {
+  FuzzReport report;
+  report.target = target_.name;
+  report.seeds = pool_.size();
+
+  // Replay every seed verbatim first: regressions and corpus entries
+  // must hold before mutation explores around them.
+  for (const Bytes& seed : pool_) {
+    ++report.iterations;
+    (void)execute(seed, report);
+  }
+
+  Rng& rng = mutator_.rng();
+  for (std::uint64_t i = 0; i < options_.iterations; ++i) {
+    ++report.iterations;
+    Bytes input;
+    const std::uint64_t source = rng.uniform(10);
+    if (target_.generate && (pool_.empty() || source < 3)) {
+      // Fresh structured seed; mutate it half the time.
+      input = target_.generate(rng);
+      if (rng.chance(0.5)) input = mutator_.mutate(input);
+    } else if (pool_.size() >= 2 && source == 3) {
+      const Bytes& a = pool_[rng.uniform(pool_.size())];
+      const Bytes& b = pool_[rng.uniform(pool_.size())];
+      input = mutator_.splice(a, b);
+    } else if (!pool_.empty()) {
+      input = mutator_.mutate(pool_[rng.uniform(pool_.size())]);
+    } else {
+      input = mutator_.mutate(Bytes{});
+    }
+
+    const FuzzOutcome outcome = execute(input, report);
+    // Accepted mutants are interesting: they sit just inside the grammar,
+    // so keep them as future mutation bases (bounded reservoir).
+    if (outcome.verdict == FuzzVerdict::kAccepted &&
+        pool_.size() < options_.max_pool) {
+      pool_.push_back(std::move(input));
+    }
+  }
+  return report;
+}
+
+}  // namespace cia::testkit

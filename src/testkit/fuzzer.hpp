@@ -1,0 +1,101 @@
+// The corpus-driven fuzz loop.
+//
+// A FuzzTarget wraps one untrusted parse surface behind a uniform
+// contract: for any input bytes the target must return kAccepted (parsed,
+// and every downstream invariant — typically a parse/serialize round
+// trip — held), kRejected (a clean Result error), or kViolation (the
+// contract broke: round-trip divergence, unexpected accept, internal
+// inconsistency). Crashes and sanitizer aborts are the fourth outcome;
+// they kill the process, which is exactly the signal CI needs.
+//
+// The Fuzzer interleaves three input sources each iteration: a mutated
+// corpus/pool pick, a structurally generated seed (when the target has a
+// generator), and occasional splices of two pool members. Everything
+// derives from one Rng, so a (target, seed, iterations) triple replays
+// byte-for-byte. On the first violation the input is greedily shrunk
+// against the same target before being reported.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "testkit/mutator.hpp"
+
+namespace cia::testkit {
+
+enum class FuzzVerdict {
+  kAccepted,   // parsed; downstream contract held
+  kRejected,   // clean, recoverable error
+  kViolation,  // contract broken — this is a finding
+};
+
+struct FuzzOutcome {
+  FuzzVerdict verdict = FuzzVerdict::kAccepted;
+  std::string detail;  // set for violations
+
+  static FuzzOutcome accepted() { return {FuzzVerdict::kAccepted, {}}; }
+  static FuzzOutcome rejected() { return {FuzzVerdict::kRejected, {}}; }
+  static FuzzOutcome violation(std::string detail) {
+    return {FuzzVerdict::kViolation, std::move(detail)};
+  }
+};
+
+struct FuzzTarget {
+  std::string name;
+  /// The contract under test. Must be deterministic and side-effect free
+  /// across calls (the shrinker re-invokes it thousands of times).
+  std::function<FuzzOutcome(const Bytes&)> run;
+  /// Optional structured seed source (fresh valid inputs each call).
+  std::function<Bytes(Rng&)> generate;
+  /// Format keywords for the mutator's dictionary strategy.
+  std::vector<std::string> dictionary;
+};
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 1000;
+  std::size_t max_input = 1 << 14;
+  bool shrink = true;
+  std::size_t shrink_attempts = 4000;
+  /// Keep at most this many interesting inputs in the live pool.
+  std::size_t max_pool = 256;
+};
+
+struct FuzzReport {
+  std::string target;
+  std::uint64_t iterations = 0;
+  std::uint64_t seeds = 0;       // corpus entries loaded
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t violations = 0;  // total violating executions
+  std::optional<Bytes> first_violation;  // minimized when shrink is on
+  std::string first_violation_detail;
+  std::size_t first_violation_original_size = 0;
+
+  bool clean() const { return violations == 0; }
+};
+
+class Fuzzer {
+ public:
+  Fuzzer(FuzzTarget target, FuzzOptions options);
+
+  /// Add a corpus seed (replayed once up front, then mutated).
+  void add_seed(Bytes data);
+
+  /// Replay seeds, then run `options.iterations` mutation rounds.
+  FuzzReport run();
+
+ private:
+  FuzzOutcome execute(const Bytes& input, FuzzReport& report);
+
+  FuzzTarget target_;
+  FuzzOptions options_;
+  ByteMutator mutator_;
+  std::vector<Bytes> pool_;
+};
+
+}  // namespace cia::testkit

@@ -1,0 +1,60 @@
+// Structured input generators for the untrusted parse surfaces.
+//
+// Where ByteMutator explores the byte level, these build *semantically
+// plausible* inputs — valid IMA measurement lines over adversarial path
+// shapes (SNAP/container-truncated, embedded spaces, deep nesting,
+// non-UTF8 bytes), JSON value trees up to the parser's depth limit,
+// runtime policies with colliding hash sets, and wire frames for every
+// Keylime message. Fuzzers mutate these as seeds so coverage starts deep
+// inside the grammar instead of bouncing off the first validation check;
+// property tests use them directly as random-instance sources.
+//
+// All generators take an explicit Rng so callers control determinism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "ima/ima.hpp"
+#include "keylime/messages.hpp"
+#include "keylime/runtime_policy.hpp"
+
+namespace cia::testkit {
+
+/// A measured-file path drawn from the shapes the paper cares about:
+/// ordinary host paths, /tmp and tmpfs locations (P1/P3), SNAP and
+/// container namespace-truncated paths (§III-B), interpreter scripts
+/// (P5), renamed/moved destinations (P4), plus hostile shapes — embedded
+/// spaces, repeated separators, very deep nesting, and raw high bytes.
+std::string gen_path(Rng& rng);
+
+/// One well-formed ima-ng log entry (random digests, adversarial path).
+ima::LogEntry gen_log_entry(Rng& rng);
+
+/// `n` entries; template hashes are computed the way Ima::measure does,
+/// so the list replays like a real measurement list.
+std::vector<ima::LogEntry> gen_log(Rng& rng, std::size_t n);
+
+/// A random JSON document: nested arrays/objects/strings/numbers down to
+/// `max_depth`, with escape-heavy strings and boundary numbers.
+json::Value gen_json(Rng& rng, int max_depth = 6);
+
+/// A random runtime policy: up to `max_paths` paths with 1..4 acceptable
+/// hashes each and a handful of exclude globs.
+keylime::RuntimePolicy gen_policy(Rng& rng, std::size_t max_paths = 64);
+
+/// A well-formed encoded Keylime wire message of a random kind
+/// (register/activate/get-agent/quote request/response, boot log).
+/// The embedded signature is a real one, so decode paths past the
+/// signature check are reachable.
+Bytes gen_wire_frame(Rng& rng);
+
+/// A QuoteResponse with a correctly signed quote over random PCR values
+/// and `entries` generated log entries.
+keylime::QuoteResponse gen_quote_response(Rng& rng, std::size_t entries);
+
+}  // namespace cia::testkit

@@ -1,0 +1,64 @@
+// Cross-layer invariant checking over a live fleet simulation.
+//
+// Fuzzing (fuzzer.hpp) exercises one parse surface at a time; the
+// InvariantChecker exercises the whole attestation pipeline and asserts
+// the properties that hold only when every layer agrees:
+//
+//   pcr_replay   folding each machine's IMA log reproduces its TPM's
+//                PCR-10 exactly — the root identity the paper's
+//                appraisal step (§II) rests on.
+//   audit_chain  the verifier's durable-attestation chain verifies
+//                offline after every round, never shrinks, and the old
+//                head is still in place after a checkpoint/restore
+//                "crash" — history is never forked or truncated.
+//   checkpoint   checkpoint -> restore into a fresh verifier (same
+//                seed) -> checkpoint is byte-identical, and the fleet
+//                keeps attesting through the restart.
+//   books        telemetry never drifts from ground truth: the
+//                cia_verifier_rounds_total / cia_verifier_alerts_total
+//                counters equal the checker's own tallies, and the
+//                cia_transport_* counters equal RetryingTransport's
+//                internal Stats.
+//
+// Runs are seed-deterministic; a (seed, rounds) pair replays exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cia::testkit {
+
+struct InvariantOptions {
+  std::uint64_t seed = 1;
+  std::size_t machines = 3;
+  std::size_t rounds = 18;
+  /// Crash-and-restore the verifier every this many rounds (0 = never).
+  std::size_t checkpoint_every = 5;
+  /// Plant an unauthorized binary mid-run so the alert/quarantine/resolve
+  /// path is part of what the invariants must survive.
+  bool tamper = true;
+};
+
+struct InvariantViolation {
+  std::string invariant;  // pcr_replay | audit_chain | checkpoint | books
+  std::size_t round = 0;
+  std::string detail;
+};
+
+struct InvariantReport {
+  std::size_t rounds = 0;
+  std::size_t checks = 0;    // individual assertions evaluated
+  std::size_t restarts = 0;  // checkpoint/restore cycles survived
+  std::size_t alerts = 0;    // alerts raised by the planted tamper
+  std::vector<InvariantViolation> violations;
+
+  bool clean() const { return violations.empty(); }
+};
+
+/// Build a fleet (machines + agents + registrar + verifier + retrying
+/// transport + metrics), drive `options.rounds` rounds of file activity
+/// and attestation, and assert every invariant after each round.
+InvariantReport check_invariants(const InvariantOptions& options = {});
+
+}  // namespace cia::testkit

@@ -1,0 +1,155 @@
+#include "testkit/mutator.hpp"
+
+#include <algorithm>
+
+namespace cia::testkit {
+
+const std::vector<std::uint64_t>& interesting_integers() {
+  static const std::vector<std::uint64_t> kValues = {
+      0,
+      1,
+      2,
+      7,
+      8,
+      0x7f,
+      0x80,
+      0xff,
+      0x100,
+      0x7fff,
+      0x8000,
+      0xffff,
+      0x10000,
+      0x7fffffffull,
+      0x80000000ull,
+      0xffffffffull,
+      0xfffffffeull,
+      0x100000000ull,
+      0x7fffffffffffffffull,
+      0x8000000000000000ull,
+      0xfffffffffffffffeull,
+      0xffffffffffffffffull,
+  };
+  return kValues;
+}
+
+ByteMutator::ByteMutator(std::uint64_t seed, MutatorOptions options)
+    : rng_(seed), options_(std::move(options)) {}
+
+Bytes ByteMutator::mutate(const Bytes& input, int max_stack) {
+  Bytes out = input;
+  const int stack = 1 + static_cast<int>(rng_.uniform(
+                            static_cast<std::uint64_t>(std::max(1, max_stack))));
+  for (int i = 0; i < stack; ++i) mutate_once(out);
+  if (out.size() > options_.max_output_size) {
+    out.resize(options_.max_output_size);
+  }
+  return out;
+}
+
+std::string ByteMutator::mutate(const std::string& input, int max_stack) {
+  return to_string(mutate(to_bytes(input), max_stack));
+}
+
+Bytes ByteMutator::splice(const Bytes& a, const Bytes& b) {
+  const std::size_t cut_a = a.empty() ? 0 : rng_.uniform(a.size() + 1);
+  const std::size_t cut_b = b.empty() ? 0 : rng_.uniform(b.size() + 1);
+  Bytes out(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(cut_b),
+             b.end());
+  if (out.size() > options_.max_output_size) {
+    out.resize(options_.max_output_size);
+  }
+  return out;
+}
+
+void ByteMutator::mutate_once(Bytes& data) {
+  if (data.empty()) {
+    insert_bytes(data);
+    return;
+  }
+  switch (rng_.uniform(options_.dictionary.empty() ? 6 : 7)) {
+    case 0: bit_flip(data); break;
+    case 1: byte_set(data); break;
+    case 2: erase_range(data); break;
+    case 3: duplicate_range(data); break;
+    case 4: insert_bytes(data); break;
+    case 5: interesting_int(data); break;
+    default: dictionary_token(data); break;
+  }
+}
+
+void ByteMutator::bit_flip(Bytes& data) {
+  data[rng_.uniform(data.size())] ^=
+      static_cast<std::uint8_t>(1u << rng_.uniform(8));
+}
+
+void ByteMutator::byte_set(Bytes& data) {
+  data[rng_.uniform(data.size())] =
+      static_cast<std::uint8_t>(rng_.uniform(256));
+}
+
+void ByteMutator::erase_range(Bytes& data) {
+  // Half the time cut the tail (a pure truncation), otherwise remove an
+  // interior chunk (a splice-out).
+  const std::size_t start = rng_.uniform(data.size());
+  std::size_t len = 1 + rng_.uniform(data.size() - start);
+  if (rng_.chance(0.5)) len = data.size() - start;  // truncate to `start`
+  data.erase(data.begin() + static_cast<std::ptrdiff_t>(start),
+             data.begin() + static_cast<std::ptrdiff_t>(start + len));
+}
+
+void ByteMutator::duplicate_range(Bytes& data) {
+  const std::size_t start = rng_.uniform(data.size());
+  const std::size_t len =
+      1 + rng_.uniform(std::min<std::size_t>(data.size() - start, 64));
+  const Bytes chunk(data.begin() + static_cast<std::ptrdiff_t>(start),
+                    data.begin() + static_cast<std::ptrdiff_t>(start + len));
+  const std::size_t at = rng_.uniform(data.size() + 1);
+  data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
+              chunk.end());
+}
+
+void ByteMutator::insert_bytes(Bytes& data) {
+  const std::size_t len = 1 + rng_.uniform(16);
+  Bytes chunk(len);
+  // Mostly printable bytes — text formats dominate the parse surfaces —
+  // with a raw-byte tail for the binary ones.
+  for (auto& b : chunk) {
+    b = rng_.chance(0.7)
+            ? static_cast<std::uint8_t>(0x20 + rng_.uniform(0x5f))
+            : static_cast<std::uint8_t>(rng_.uniform(256));
+  }
+  const std::size_t at = rng_.uniform(data.size() + 1);
+  data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
+              chunk.end());
+}
+
+void ByteMutator::interesting_int(Bytes& data) {
+  const auto& pool = interesting_integers();
+  const std::uint64_t value = pool[rng_.uniform(pool.size())];
+  static const std::size_t kWidths[] = {1, 2, 4, 8};
+  const std::size_t width = kWidths[rng_.uniform(4)];
+  if (data.size() < width) return;
+  const std::size_t at = rng_.uniform(data.size() - width + 1);
+  for (std::size_t i = 0; i < width; ++i) {
+    data[at + i] =
+        static_cast<std::uint8_t>(value >> (8 * (width - 1 - i)));
+  }
+}
+
+void ByteMutator::dictionary_token(Bytes& data) {
+  const std::string& token =
+      options_.dictionary[rng_.uniform(options_.dictionary.size())];
+  const std::size_t at = rng_.uniform(data.size() + 1);
+  if (rng_.chance(0.5) && data.size() >= token.size()) {
+    // Overwrite in place.
+    const std::size_t pos = rng_.uniform(data.size() - token.size() + 1);
+    std::copy(token.begin(), token.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(pos));
+  } else {
+    data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), token.begin(),
+                token.end());
+  }
+}
+
+}  // namespace cia::testkit

@@ -1,0 +1,62 @@
+// Seed-deterministic byte-level mutation for fuzzing untrusted parsers.
+//
+// Every strategy draws exclusively from the owned Rng, so a (seed,
+// input) pair always produces the same mutant on every platform — the
+// property that makes `cia_fuzz --seed=N --iters=M` reproducible and
+// lets a CI failure be replayed locally from just the two numbers.
+// The strategy mix follows the classic fuzzing playbook: bit flips,
+// byte sets, chunk erase/duplicate (truncations and splices), insertion,
+// "interesting" integer overwrites in 1/2/4/8-byte big-endian widths
+// (the wire format's byte order), and dictionary token injection for
+// format-specific keywords ("sha256:", "exclude ", "digests", ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cia::testkit {
+
+/// Boundary values that historically break parsers: zero, one-bits at
+/// width edges, max/min of every fixed width, off-by-one neighbours.
+const std::vector<std::uint64_t>& interesting_integers();
+
+struct MutatorOptions {
+  /// Hard cap on mutant size; insertions and duplications respect it.
+  std::size_t max_output_size = 1 << 16;
+  /// Format-specific tokens spliced into inputs verbatim.
+  std::vector<std::string> dictionary;
+};
+
+class ByteMutator {
+ public:
+  explicit ByteMutator(std::uint64_t seed, MutatorOptions options = {});
+
+  /// Apply 1..max_stack randomly chosen mutations to a copy of `input`.
+  /// An empty input grows via insertion before other strategies apply.
+  Bytes mutate(const Bytes& input, int max_stack = 4);
+  std::string mutate(const std::string& input, int max_stack = 4);
+
+  /// Cross-over: a prefix of `a` spliced onto a suffix of `b`.
+  Bytes splice(const Bytes& a, const Bytes& b);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  void mutate_once(Bytes& data);
+  void bit_flip(Bytes& data);
+  void byte_set(Bytes& data);
+  void erase_range(Bytes& data);
+  void duplicate_range(Bytes& data);
+  void insert_bytes(Bytes& data);
+  void interesting_int(Bytes& data);
+  void dictionary_token(Bytes& data);
+
+  Rng rng_;
+  MutatorOptions options_;
+};
+
+}  // namespace cia::testkit

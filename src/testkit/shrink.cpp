@@ -1,0 +1,78 @@
+#include "testkit/shrink.hpp"
+
+#include <algorithm>
+
+namespace cia::testkit {
+
+Bytes shrink(Bytes input, const std::function<bool(const Bytes&)>& still_failing,
+             std::size_t max_attempts, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& s = stats ? *stats : local;
+
+  const auto try_candidate = [&](const Bytes& candidate) {
+    if (s.attempts >= max_attempts) return false;
+    ++s.attempts;
+    if (still_failing(candidate)) {
+      ++s.improvements;
+      return true;
+    }
+    return false;
+  };
+
+  // Phase 1: chunk removal, window size halving from n/2 down to 1.
+  bool progress = true;
+  while (progress && s.attempts < max_attempts) {
+    progress = false;
+    for (std::size_t window = std::max<std::size_t>(input.size() / 2, 1);
+         window >= 1; window /= 2) {
+      for (std::size_t start = 0;
+           start < input.size() && s.attempts < max_attempts;) {
+        const std::size_t len = std::min(window, input.size() - start);
+        Bytes candidate;
+        candidate.reserve(input.size() - len);
+        candidate.insert(candidate.end(), input.begin(),
+                         input.begin() + static_cast<std::ptrdiff_t>(start));
+        candidate.insert(
+            candidate.end(),
+            input.begin() + static_cast<std::ptrdiff_t>(start + len),
+            input.end());
+        if (try_candidate(candidate)) {
+          input = std::move(candidate);
+          progress = true;
+          // Do not advance: the next chunk slid into this position.
+        } else {
+          start += window;
+        }
+      }
+      if (window == 1) break;
+    }
+  }
+
+  // Phase 2: byte simplification toward canonical fillers.
+  static const std::uint8_t kFillers[] = {'0', 'a', ' ', 0};
+  for (std::size_t i = 0; i < input.size() && s.attempts < max_attempts; ++i) {
+    for (std::uint8_t filler : kFillers) {
+      if (input[i] == filler) break;
+      Bytes candidate = input;
+      candidate[i] = filler;
+      if (try_candidate(candidate)) {
+        input = std::move(candidate);
+        break;
+      }
+    }
+  }
+  return input;
+}
+
+std::string shrink_text(
+    const std::string& input,
+    const std::function<bool(const std::string&)>& still_failing,
+    std::size_t max_attempts, ShrinkStats* stats) {
+  const Bytes minimized = shrink(
+      to_bytes(input),
+      [&](const Bytes& candidate) { return still_failing(to_string(candidate)); },
+      max_attempts, stats);
+  return to_string(minimized);
+}
+
+}  // namespace cia::testkit

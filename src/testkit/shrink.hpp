@@ -1,0 +1,36 @@
+// Greedy input minimization for failing fuzz cases.
+//
+// Given a failing input and a predicate that re-runs the target, the
+// shrinker repeatedly tries structurally smaller candidates — drop a
+// chunk (halves first, then smaller windows), then simplify surviving
+// bytes toward '0' — keeping any candidate that still fails. The loop is
+// deterministic (no randomness) and bounded by `max_attempts`, so a
+// minimized reproducer is stable enough to commit under
+// tests/corpus/regressions/ and replay forever.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cia::testkit {
+
+struct ShrinkStats {
+  std::size_t attempts = 0;      // candidate executions
+  std::size_t improvements = 0;  // candidates that kept failing
+};
+
+/// Minimize `input` while `still_failing` holds. The predicate is only
+/// trusted on candidates; `input` itself is assumed failing.
+Bytes shrink(Bytes input, const std::function<bool(const Bytes&)>& still_failing,
+             std::size_t max_attempts = 4000, ShrinkStats* stats = nullptr);
+
+/// Text convenience wrapper.
+std::string shrink_text(
+    const std::string& input,
+    const std::function<bool(const std::string&)>& still_failing,
+    std::size_t max_attempts = 4000, ShrinkStats* stats = nullptr);
+
+}  // namespace cia::testkit

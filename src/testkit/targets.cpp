@@ -1,0 +1,406 @@
+#include "testkit/targets.hpp"
+
+#include <memory>
+
+#include "common/hex.hpp"
+#include "common/json.hpp"
+#include "crypto/cert.hpp"
+#include "ima/ima.hpp"
+#include "keylime/agent.hpp"
+#include "keylime/messages.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "keylime/verifier.hpp"
+#include "netsim/network.hpp"
+#include "oskernel/machine.hpp"
+#include "telemetry/export.hpp"
+#include "testkit/generators.hpp"
+
+namespace cia::testkit {
+
+namespace {
+
+// ------------------------------------------------------- ima_log_entry
+
+FuzzOutcome run_ima_log_entry(const Bytes& input) {
+  const std::string line = to_string(input);
+  auto parsed = ima::LogEntry::parse(line);
+  if (!parsed.ok()) return FuzzOutcome::rejected();
+  const std::string rendered = parsed.value().to_string();
+  auto reparsed = ima::LogEntry::parse(rendered);
+  if (!reparsed.ok()) {
+    return FuzzOutcome::violation("accepted line failed to re-parse: " +
+                                  reparsed.error().to_string());
+  }
+  if (reparsed.value().to_string() != rendered) {
+    return FuzzOutcome::violation("render/parse is not a fixed point");
+  }
+  return FuzzOutcome::accepted();
+}
+
+// ---------------------------------------------------------------- json
+
+FuzzOutcome run_json(const Bytes& input) {
+  auto parsed = json::parse(to_string(input));
+  if (!parsed.ok()) return FuzzOutcome::rejected();
+  const std::string compact = parsed.value().dump();
+  auto reparsed = json::parse(compact);
+  if (!reparsed.ok()) {
+    return FuzzOutcome::violation("dump failed to re-parse: " +
+                                  reparsed.error().to_string());
+  }
+  if (!(reparsed.value() == parsed.value())) {
+    return FuzzOutcome::violation("dump/parse changed the value");
+  }
+  auto from_pretty = json::parse(parsed.value().pretty());
+  if (!from_pretty.ok() || !(from_pretty.value() == parsed.value())) {
+    return FuzzOutcome::violation("pretty/parse changed the value");
+  }
+  return FuzzOutcome::accepted();
+}
+
+// ------------------------------------------------------ runtime_policy
+
+FuzzOutcome run_runtime_policy(const Bytes& input) {
+  auto parsed = keylime::RuntimePolicy::parse(to_string(input));
+  if (!parsed.ok()) return FuzzOutcome::rejected();
+  const keylime::RuntimePolicy& policy = parsed.value();
+  const std::string canonical = policy.serialize();
+  auto reparsed = keylime::RuntimePolicy::parse(canonical);
+  if (!reparsed.ok()) {
+    return FuzzOutcome::violation("serialize failed to re-parse: " +
+                                  reparsed.error().to_string());
+  }
+  if (reparsed.value().serialize() != canonical ||
+      reparsed.value().entry_count() != policy.entry_count() ||
+      reparsed.value().path_count() != policy.path_count()) {
+    return FuzzOutcome::violation("serialize/parse is not a fixed point");
+  }
+  // The JSON representation must agree with the text one.
+  auto from_json = keylime::RuntimePolicy::from_json(policy.to_json());
+  if (!from_json.ok()) {
+    return FuzzOutcome::violation("to_json failed to re-import: " +
+                                  from_json.error().to_string());
+  }
+  if (from_json.value().serialize() != canonical) {
+    return FuzzOutcome::violation("JSON round trip diverged from text form");
+  }
+  return FuzzOutcome::accepted();
+}
+
+// ---------------------------------------------------------------- wire
+
+// Decode the input as every Keylime message; any acceptance must
+// re-encode byte-identically (the format is canonical, so decode ∘
+// encode is the identity on valid frames).
+FuzzOutcome run_wire(const Bytes& input) {
+  bool any_accepted = false;
+  const auto check = [&](const char* what, const auto& decoded) -> std::string {
+    if (!decoded.ok()) return {};
+    any_accepted = true;
+    if (decoded.value().encode() != input) {
+      return std::string(what) + " re-encode diverged from input";
+    }
+    return {};
+  };
+  if (auto d = check("RegisterRequest", keylime::RegisterRequest::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  if (auto d =
+          check("RegisterChallenge", keylime::RegisterChallenge::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  if (auto d = check("ActivateRequest", keylime::ActivateRequest::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  if (auto d = check("GetAgentRequest", keylime::GetAgentRequest::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  if (auto d =
+          check("GetAgentResponse", keylime::GetAgentResponse::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  if (auto d = check("QuoteRequest", keylime::QuoteRequest::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  if (auto d = check("QuoteResponse", keylime::QuoteResponse::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  if (auto d = check("BootLogResponse", keylime::BootLogResponse::decode(input));
+      !d.empty()) {
+    return FuzzOutcome::violation(d);
+  }
+  return any_accepted ? FuzzOutcome::accepted() : FuzzOutcome::rejected();
+}
+
+// ---------------------------------------------------------- checkpoint
+
+// Seed shared by the sample-checkpoint rig and the restoring verifiers:
+// restore() refuses audit chains signed by a different key, so deep
+// coverage needs the keys to line up.
+constexpr std::uint64_t kCheckpointSeed = 0x5eedc1a0;
+
+/// A minimal enrolled deployment used to mint genuine checkpoints.
+struct CheckpointRig {
+  SimClock clock;
+  crypto::CertificateAuthority ca{"testkit-mfg", to_bytes("testkit-ca-seed")};
+  netsim::SimNetwork network{&clock, 0x7357};
+  keylime::Registrar registrar{&network, &clock, 0x7357 ^ 1};
+  keylime::Verifier verifier{&network, &clock, kCheckpointSeed};
+  std::vector<std::unique_ptr<oskernel::Machine>> machines;
+  std::vector<std::unique_ptr<keylime::Agent>> agents;
+
+  CheckpointRig() {
+    registrar.trust_manufacturer(ca.public_key());
+    for (int i = 0; i < 2; ++i) {
+      oskernel::MachineConfig cfg;
+      cfg.hostname = "tk-node-" + std::to_string(i);
+      cfg.seed = kCheckpointSeed + static_cast<std::uint64_t>(i);
+      machines.push_back(std::make_unique<oskernel::Machine>(cfg, ca, &clock));
+      agents.push_back(
+          std::make_unique<keylime::Agent>(machines.back().get(), &network));
+      if (!agents.back()->register_with(keylime::Registrar::address()).ok()) {
+        continue;
+      }
+      (void)verifier.add_agent(cfg.hostname, agents.back()->address());
+    }
+  }
+
+  void run_activity(bool tamper) {
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      auto& machine = *machines[i];
+      for (int f = 0; f < 3; ++f) {
+        const std::string path =
+            "/usr/bin/tk" + std::to_string(i) + "-" + std::to_string(f);
+        (void)machine.fs().create_file(path, to_bytes("elf:" + path), true);
+        (void)machine.exec(path);
+      }
+      keylime::RuntimePolicy policy;
+      for (const auto& entry : machine.ima().log()) {
+        policy.allow(entry.path, entry.file_hash);
+      }
+      (void)verifier.set_policy(machine.hostname(), policy);
+      (void)verifier.attest_once(machine.hostname());
+      if (tamper && i == 0) {
+        // Leave agent 0 FAILED with pending entries: the checkpoint then
+        // covers the quarantine/pending branches of restore().
+        const std::string mal = "/tmp/tk-implant";
+        (void)machine.fs().create_file(mal, to_bytes("elf:implant"), true);
+        (void)machine.exec(mal);
+        (void)verifier.attest_once(machine.hostname());
+      }
+      clock.advance(60);
+    }
+  }
+};
+
+/// Genuine checkpoint documents, minted once: a fresh enrolment, a
+/// healthy fleet, and a fleet with a failed agent.
+const std::vector<Bytes>& sample_checkpoints() {
+  static const std::vector<Bytes> kSamples = [] {
+    std::vector<Bytes> samples;
+    {
+      CheckpointRig rig;
+      samples.push_back(to_bytes(rig.verifier.checkpoint().dump()));
+      rig.run_activity(/*tamper=*/false);
+      samples.push_back(to_bytes(rig.verifier.checkpoint().dump()));
+    }
+    {
+      CheckpointRig rig;
+      rig.run_activity(/*tamper=*/true);
+      samples.push_back(to_bytes(rig.verifier.checkpoint().dump()));
+    }
+    return samples;
+  }();
+  return kSamples;
+}
+
+FuzzOutcome run_checkpoint(const Bytes& input) {
+  auto doc = json::parse(to_string(input));
+  if (!doc.ok()) return FuzzOutcome::rejected();
+
+  // One long-lived restore rig: restore() fully replaces agent and audit
+  // state on success and leaves them untouched on failure, so reuse is
+  // deterministic and saves a key derivation per execution.
+  struct RestoreRig {
+    SimClock clock;
+    netsim::SimNetwork network{&clock, 1};
+    keylime::Verifier primary{&network, &clock, kCheckpointSeed};
+    keylime::Verifier secondary{&network, &clock, kCheckpointSeed};
+  };
+  static RestoreRig* rig = new RestoreRig();
+
+  if (!rig->primary.restore(doc.value()).ok()) return FuzzOutcome::rejected();
+  const std::string first = rig->primary.checkpoint().dump();
+  auto first_doc = json::parse(first);
+  if (!first_doc.ok()) {
+    return FuzzOutcome::violation("checkpoint of restored state is not JSON");
+  }
+  if (!rig->secondary.restore(first_doc.value()).ok()) {
+    return FuzzOutcome::violation(
+        "checkpoint of restored state failed to restore");
+  }
+  if (rig->secondary.checkpoint().dump() != first) {
+    return FuzzOutcome::violation("checkpoint/restore is not a fixed point");
+  }
+  return FuzzOutcome::accepted();
+}
+
+Bytes gen_checkpoint(Rng& rng) {
+  const auto& samples = sample_checkpoints();
+  return samples[rng.uniform(samples.size())];
+}
+
+// -------------------------------------------------- telemetry_snapshot
+
+FuzzOutcome run_telemetry_snapshot(const Bytes& input) {
+  auto doc = json::parse(to_string(input));
+  if (!doc.ok()) return FuzzOutcome::rejected();
+  auto snap = telemetry::snapshot_from_json(doc.value());
+  if (!snap.ok()) return FuzzOutcome::rejected();
+  const std::string canonical = telemetry::to_json(snap.value()).dump();
+  auto redoc = json::parse(canonical);
+  if (!redoc.ok()) {
+    return FuzzOutcome::violation("canonical snapshot is not JSON");
+  }
+  auto resnap = telemetry::snapshot_from_json(redoc.value());
+  if (!resnap.ok()) {
+    return FuzzOutcome::violation("canonical snapshot failed to re-import: " +
+                                  resnap.error().to_string());
+  }
+  if (telemetry::to_json(resnap.value()).dump() != canonical) {
+    return FuzzOutcome::violation("snapshot JSON is not a fixed point");
+  }
+  // Percentiles over restored histograms must stay finite and ordered.
+  for (const auto& point : resnap.value().points) {
+    if (point.kind != telemetry::MetricKind::kHistogram) continue;
+    const double p50 = point.histogram.percentile(50);
+    const double p99 = point.histogram.percentile(99);
+    if (!(p50 <= p99) && point.histogram.count > 0) {
+      return FuzzOutcome::violation("restored histogram has p50 > p99");
+    }
+  }
+  return FuzzOutcome::accepted();
+}
+
+// ------------------------------------------------------------ registry
+
+std::string sample_log_text(Rng& rng) {
+  std::string text;
+  const std::size_t n = 1 + rng.uniform(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    text += gen_log_entry(rng).to_string();
+    if (i + 1 < n) text += "\n";
+  }
+  // LogEntry::parse takes one line; emit just one most of the time.
+  return rng.chance(0.8) ? gen_log_entry(rng).to_string() : text;
+}
+
+std::vector<FuzzTarget> build_targets() {
+  std::vector<FuzzTarget> targets;
+  targets.push_back(FuzzTarget{
+      "ima_log_entry",
+      run_ima_log_entry,
+      [](Rng& rng) { return to_bytes(sample_log_text(rng)); },
+      {"sha256:", "ima-ng", "boot_aggregate", "10 ", " ", "/snap/",
+       "999999999999999999999"}});
+  targets.push_back(FuzzTarget{
+      "json",
+      run_json,
+      [](Rng& rng) { return to_bytes(gen_json(rng).dump()); },
+      {"{", "}", "[", "]", "\"", "\\u", "\\", "true", "false", "null", "1e999",
+       "-", ".", "e+", ","}});
+  targets.push_back(FuzzTarget{
+      "runtime_policy",
+      run_runtime_policy,
+      [](Rng& rng) { return to_bytes(gen_policy(rng).serialize()); },
+      {"exclude ", " sha256:", "/tmp/*", "\n", "*", "?"}});
+  targets.push_back(FuzzTarget{
+      "wire",
+      run_wire,
+      [](Rng& rng) { return gen_wire_frame(rng); },
+      {}});
+  targets.push_back(FuzzTarget{
+      "checkpoint",
+      run_checkpoint,
+      gen_checkpoint,
+      {"agents", "audit", "version", "\"ak\"", "\"state\"", "failed",
+       "attesting", "pending", "records", "digests", "mb_refstate",
+       "boot_baseline", "log_offset"}});
+  targets.push_back(FuzzTarget{
+      "telemetry_snapshot",
+      run_telemetry_snapshot,
+      [](Rng& rng) {
+        // Mint a plausible snapshot document from generated JSON plus a
+        // well-formed skeleton, biased toward the strict histogram path.
+        json::Value doc;
+        doc.set("version", 1);
+        json::Value metrics{json::Array{}};
+        const std::size_t n = 1 + rng.uniform(4);
+        for (std::size_t i = 0; i < n; ++i) {
+          json::Value m;
+          m.set("name", "cia_" + rng.ident(6));
+          if (rng.chance(0.5)) {
+            m.set("kind", rng.chance(0.5) ? "counter" : "gauge");
+            m.set("value", static_cast<double>(rng.uniform(1000)));
+          } else {
+            m.set("kind", "histogram");
+            json::Value bounds{json::Array{}};
+            json::Value counts{json::Array{}};
+            const std::size_t buckets = 1 + rng.uniform(4);
+            std::uint64_t total = 0;
+            double bound = 0;
+            for (std::size_t b = 0; b < buckets; ++b) {
+              bound += 1.0 + static_cast<double>(rng.uniform(10));
+              bounds.push_back(bound);
+            }
+            for (std::size_t b = 0; b < buckets + 1; ++b) {
+              const std::uint64_t c = rng.uniform(20);
+              counts.push_back(static_cast<std::int64_t>(c));
+              total += c;
+            }
+            m.set("bounds", std::move(bounds));
+            m.set("counts", std::move(counts));
+            m.set("count", static_cast<std::int64_t>(total));
+            m.set("sum", static_cast<double>(rng.uniform(5000)));
+            m.set("min", 0.5);
+            // Above the last bound: the overflow bucket may be occupied.
+            m.set("max", bound + 1.0);
+          }
+          if (rng.chance(0.5)) {
+            json::Value labels;
+            labels.set("agent", rng.ident(4));
+            m.set("labels", std::move(labels));
+          }
+          metrics.push_back(std::move(m));
+        }
+        doc.set("metrics", std::move(metrics));
+        return to_bytes(doc.dump());
+      },
+      {"metrics", "kind", "counter", "gauge", "histogram", "bounds", "counts",
+       "count", "sum", "labels", "value", "min", "max", "version"}});
+  return targets;
+}
+
+}  // namespace
+
+const std::vector<FuzzTarget>& all_targets() {
+  static const std::vector<FuzzTarget> kTargets = build_targets();
+  return kTargets;
+}
+
+const FuzzTarget* find_target(const std::string& name) {
+  for (const FuzzTarget& target : all_targets()) {
+    if (target.name == name) return &target;
+  }
+  return nullptr;
+}
+
+}  // namespace cia::testkit

@@ -1,0 +1,30 @@
+// The fuzz-target registry: one FuzzTarget per untrusted parse surface.
+//
+//   ima_log_entry       ima::LogEntry::parse        (measurement lines)
+//   json                json::parse                 (all JSON ingestion)
+//   runtime_policy      RuntimePolicy::parse/from_json
+//   wire                netsim wire decode of every Keylime message
+//   checkpoint          Verifier::restore from a checkpoint document
+//   telemetry_snapshot  telemetry::snapshot_from_json
+//
+// Each target enforces the same two contracts the paper's P1–P5 bugs
+// motivate: malformed input must come back as a clean Result error
+// (never a crash, hang, or unbounded allocation), and accepted input
+// must survive a serialize/re-parse round trip unchanged — the
+// differential check that catches "parsed into a different policy than
+// was written" long before a verifier acts on it.
+#pragma once
+
+#include <vector>
+
+#include "testkit/fuzzer.hpp"
+
+namespace cia::testkit {
+
+/// All registered fuzz targets, in a fixed documented order.
+const std::vector<FuzzTarget>& all_targets();
+
+/// Look up one target by name; nullptr when unknown.
+const FuzzTarget* find_target(const std::string& name);
+
+}  // namespace cia::testkit

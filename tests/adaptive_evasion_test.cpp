@@ -1,0 +1,343 @@
+// Adaptive-attack evasion regressions for P1–P5 (§III-B, §IV), driven by
+// testkit-generated IMA logs rather than hand-picked fixtures.
+//
+// problems_test.cpp exercises each P once through the full machine rig;
+// these tests attack the *appraisal layer* with generated measurement
+// lists — adversarial path shapes straight from gen_path (SNAP and
+// container namespace truncation, /tmp and tmpfs payloads, interpreter
+// scripts, post-rename destinations) — and pin the exact PolicyMatch
+// verdict each evasion or false positive hinges on, across several seeds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "experiments/testbed.hpp"
+#include "ima/ima.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "oskernel/machine.hpp"
+#include "testkit/generators.hpp"
+
+namespace cia::testkit {
+namespace {
+
+using keylime::PolicyMatch;
+using keylime::RuntimePolicy;
+
+// A well-formed ima-ng entry at a chosen path with a chosen content hash,
+// template-hashed the way Ima::measure does it.
+ima::LogEntry forge(const std::string& path, const crypto::Digest& hash) {
+  ima::LogEntry e;
+  e.pcr = tpm::kImaPcr;
+  e.template_name = "ima-ng";
+  e.file_hash = hash;
+  e.path = path;
+  crypto::Sha256 ctx;
+  ctx.update(crypto::digest_bytes(hash));
+  ctx.update(path);
+  e.template_hash = ctx.finish();
+  return e;
+}
+
+crypto::Digest hash_of(Rng& rng) {
+  return crypto::sha256(to_bytes("content:" + rng.ident(12)));
+}
+
+// The verifier-side policy an operator would distill from a golden run:
+// every measured (path, hash) pair becomes an allow line.
+RuntimePolicy distill(const std::vector<ima::LogEntry>& log) {
+  RuntimePolicy policy;
+  for (const auto& e : log) policy.allow(e.path, e.file_hash);
+  return policy;
+}
+
+// Draw generated paths until one matches `pred` — the generator emits
+// every shape with decent probability, so this terminates fast.
+template <typename Pred>
+std::string gen_path_where(Rng& rng, Pred pred) {
+  for (int i = 0; i < 10000; ++i) {
+    std::string p = gen_path(rng);
+    if (pred(p)) return p;
+  }
+  ADD_FAILURE() << "generator never produced the requested path shape";
+  return "/";
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ------------------------------------------------------------------- P1
+
+TEST(P1Evasion, GeneratedTmpImplantRidesTheStockExcludeGlob) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    Rng rng(seed);
+    const auto golden = gen_log(rng, 24);
+    RuntimePolicy hardened = distill(golden);
+    RuntimePolicy stock = hardened;
+    stock.exclude("/tmp/*");
+
+    const std::string implant_path =
+        gen_path_where(rng, [](const std::string& p) {
+          return starts_with(p, "/tmp/");
+        });
+    const ima::LogEntry implant = forge(implant_path, hash_of(rng));
+
+    // The implant IS in the measurement list (the quote covers it)...
+    auto extended = golden;
+    extended.push_back(implant);
+    EXPECT_NE(ima::replay_log(extended), ima::replay_log(golden)) << seed;
+    // ...but the stock exclude makes appraisal skip it entirely, while a
+    // policy without the glob raises the not-in-policy alert.
+    EXPECT_EQ(stock.check(implant.path, implant.file_hash),
+              PolicyMatch::kExcluded)
+        << implant_path;
+    EXPECT_EQ(hardened.check(implant.path, implant.file_hash),
+              PolicyMatch::kNotInPolicy)
+        << implant_path;
+  }
+}
+
+TEST(P1Evasion, ExcludeGlobIsScopedToTheDirectoryItNames) {
+  RuntimePolicy policy;
+  policy.exclude("/tmp/*");
+  // '*' crosses '/' — the glob swallows the whole subtree, which is
+  // exactly why the paper calls the stock exclusion over-broad.
+  EXPECT_TRUE(policy.is_excluded("/tmp/x"));
+  EXPECT_TRUE(policy.is_excluded("/tmp/a/b/c"));
+  // But it must not leak onto lookalike prefixes an attacker could pick.
+  EXPECT_FALSE(policy.is_excluded("/tmpfoo/x"));
+  EXPECT_FALSE(policy.is_excluded("/var/tmp/x"));
+  EXPECT_FALSE(policy.is_excluded("/tmp"));
+}
+
+// ------------------------------------------------------------------- P2
+
+// The adaptive move: trigger one cheap nuisance failure, then drop the
+// real payloads behind it. With halt-on-first-failure every later entry
+// sits unevaluated in the backlog; continue_on_failure closes the window.
+TEST(P2Evasion, NuisanceAlertBlindsEveryLaterGeneratedEntry) {
+  constexpr std::size_t kImplants = 4;
+  for (const bool mitigated : {false, true}) {
+    experiments::TestbedOptions options;
+    options.seed = 2026;
+    options.provision_extra = 0;
+    options.archive.base_package_count = 20;
+    options.verifier_config.continue_on_failure = mitigated;
+    experiments::Testbed bed(options);
+    ASSERT_TRUE(bed.enroll().ok());
+    ASSERT_TRUE(bed.verifier
+                    .set_policy(bed.agent_id(),
+                                experiments::scan_machine_policy(bed.machine,
+                                                                 false))
+                    .ok());
+    bed.attest();
+    ASSERT_TRUE(bed.verifier.alerts().empty()) << "baseline must be clean";
+
+    Rng rng(options.seed);
+    // Nuisance: a benign-looking unknown tool, executed first.
+    const std::string nuisance = "/opt/tools/" + rng.ident(6);
+    ASSERT_TRUE(
+        bed.machine.fs().create_file(nuisance, to_bytes("lint"), true).ok());
+    ASSERT_TRUE(bed.machine.exec(nuisance).ok());
+    // Payloads: generated binaries executed in the nuisance's shadow.
+    std::vector<std::string> implants;
+    for (std::size_t i = 0; i < kImplants; ++i) {
+      const std::string path = "/usr/local/bin/gen-" + rng.ident(6);
+      ASSERT_TRUE(
+          bed.machine.fs().create_file(path, to_bytes("elf:" + path), true)
+              .ok());
+      ASSERT_TRUE(bed.machine.exec(path).ok());
+      implants.push_back(path);
+    }
+    bed.attest();
+
+    const auto& alerts = bed.verifier.alerts();
+    const auto alerted_on = [&](const std::string& path) {
+      for (const auto& alert : alerts) {
+        if (alert.path == path) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(alerted_on(nuisance));
+    if (mitigated) {
+      EXPECT_EQ(alerts.size(), 1 + kImplants);
+      for (const auto& path : implants) EXPECT_TRUE(alerted_on(path)) << path;
+      EXPECT_EQ(bed.verifier.pending_entries(bed.agent_id()), 0u);
+    } else {
+      EXPECT_EQ(alerts.size(), 1u) << "halt semantics raise only the first";
+      for (const auto& path : implants) EXPECT_FALSE(alerted_on(path)) << path;
+      EXPECT_GE(bed.verifier.pending_entries(bed.agent_id()), kImplants)
+          << "payloads must be stuck in the unevaluated backlog";
+    }
+  }
+}
+
+// ------------------------------------------------------------------- P3
+
+TEST(P3Evasion, TmpfsImplantIsNeverMeasuredSoNoPolicyCanFlagIt) {
+  SimClock clock;
+  crypto::CertificateAuthority ca("evasion-mfg", to_bytes("evasion-ca"));
+  Rng rng(99);
+
+  oskernel::MachineConfig stock_cfg;
+  stock_cfg.hostname = "p3-stock";
+  stock_cfg.seed = 301;
+  oskernel::Machine stock(stock_cfg, ca, &clock);
+  const std::string implant = "/dev/shm/" + rng.ident(6);
+  ASSERT_TRUE(
+      stock.fs().create_file(implant, to_bytes("payload"), true).ok());
+  const std::size_t before = stock.ima().log().size();
+  ASSERT_TRUE(stock.exec(implant).ok());
+  // The execution happened, the measurement did not: nothing reaches the
+  // log, so the strictest verifier policy has nothing to appraise.
+  EXPECT_EQ(stock.ima().log().size(), before);
+
+  // The enriched IMA policy measures tmpfs, and only then does the
+  // verifier-side allowlist get its chance to flag the payload.
+  oskernel::MachineConfig enriched_cfg;
+  enriched_cfg.hostname = "p3-enriched";
+  enriched_cfg.seed = 301;
+  enriched_cfg.ima_policy = ima::ImaPolicy::enriched();
+  oskernel::Machine enriched(enriched_cfg, ca, &clock);
+  const RuntimePolicy policy = distill(enriched.ima().log());
+  ASSERT_TRUE(
+      enriched.fs().create_file(implant, to_bytes("payload"), true).ok());
+  const std::size_t base = enriched.ima().log().size();
+  ASSERT_TRUE(enriched.exec(implant).ok());
+  ASSERT_GT(enriched.ima().log().size(), base);
+  const ima::LogEntry& measured = enriched.ima().log().back();
+  EXPECT_EQ(measured.path, implant);
+  EXPECT_EQ(policy.check(measured.path, measured.file_hash),
+            PolicyMatch::kNotInPolicy);
+}
+
+// ------------------------------------------------------------------- P4
+
+TEST(P4Evasion, AllowedHashAtAGeneratedDestinationStillFails) {
+  // If the P4 mitigation re-measures after a move, the entry the verifier
+  // sees carries an *allowed* hash at an unexpected path. The allowlist
+  // must be (path, hash)-keyed: a known-good digest does not launder an
+  // unknown location.
+  for (std::uint64_t seed : {3u, 11u, 29u}) {
+    Rng rng(seed);
+    const auto golden = gen_log(rng, 16);
+    const RuntimePolicy policy = distill(golden);
+    const ima::LogEntry& victim = golden[rng.uniform(golden.size())];
+    const std::string destination =
+        gen_path_where(rng, [&](const std::string& p) {
+          return starts_with(p, "/moved/") && p != victim.path;
+        });
+    const ima::LogEntry moved = forge(destination, victim.file_hash);
+    EXPECT_EQ(policy.check(victim.path, victim.file_hash),
+              PolicyMatch::kAllowed);
+    EXPECT_EQ(policy.check(moved.path, moved.file_hash),
+              PolicyMatch::kNotInPolicy)
+        << destination;
+  }
+}
+
+// ------------------------------------------------------------------- P5
+
+TEST(P5Evasion, ScriptsAreInvisibleWhileOnlyTheInterpreterIsMeasured) {
+  for (std::uint64_t seed : {5u, 13u}) {
+    Rng rng(seed);
+    const crypto::Digest interp_hash = hash_of(rng);
+    RuntimePolicy policy;
+    policy.allow("/usr/bin/python3", interp_hash);
+
+    // Stock measurement of `python3 payload.py`: BPRM_CHECK fires on the
+    // interpreter only — the whole generated log appraises clean.
+    const std::vector<ima::LogEntry> stock_log = {
+        forge("/usr/bin/python3", interp_hash)};
+    for (const auto& e : stock_log) {
+      EXPECT_EQ(policy.check(e.path, e.file_hash), PolicyMatch::kAllowed);
+    }
+
+    // A SEC-aware interpreter adds the script read as a measured entry;
+    // only then does the generated payload become appraisable at all.
+    const std::string script = gen_path_where(rng, [](const std::string& p) {
+      return p.size() > 3 && p.compare(p.size() - 3, 3, ".py") == 0;
+    });
+    const ima::LogEntry script_entry = forge(script, hash_of(rng));
+    std::size_t flagged = 0;
+    for (const auto& e : {stock_log[0], script_entry}) {
+      if (policy.check(e.path, e.file_hash) != PolicyMatch::kAllowed) {
+        ++flagged;
+      }
+    }
+    EXPECT_EQ(flagged, 1u) << script;
+  }
+}
+
+// ------------------------------------------- §III-B path truncation
+
+TEST(SnapTruncation, HostScanPolicyMisfiresOnTruncatedGeneratedPaths) {
+  for (std::uint64_t seed : {2u, 17u, 57u}) {
+    Rng rng(seed);
+    // What the host-side filesystem scan records for a SNAP binary...
+    const std::string host_path =
+        gen_path_where(rng, [](const std::string& p) {
+          return starts_with(p, "/snap/") &&
+                 p.find("/usr/bin/") != std::string::npos;
+        });
+    // ...vs the mount-namespace-truncated path IMA actually logs.
+    const std::string truncated = host_path.substr(host_path.find("/usr/bin/"));
+    const crypto::Digest hash = hash_of(rng);
+
+    RuntimePolicy scanned;
+    scanned.allow(host_path, hash);
+    const ima::LogEntry logged = forge(truncated, hash);
+    // False positive: the measured binary is the allowed one, but the
+    // policy knows it only under the host path.
+    EXPECT_EQ(scanned.check(logged.path, logged.file_hash),
+              PolicyMatch::kNotInPolicy)
+        << host_path << " vs " << truncated;
+
+    // Worse: if an unrelated host binary already owns the truncated path,
+    // the verdict upgrades to "modified file" — a tampering alarm.
+    RuntimePolicy colliding = scanned;
+    colliding.allow(truncated, hash_of(rng));
+    EXPECT_EQ(colliding.check(logged.path, logged.file_hash),
+              PolicyMatch::kHashMismatch);
+
+    // §III-C option (a): rewrite policy entries to the path IMA will
+    // record (scrub_container_prefixes in the testbed does this for real
+    // machines). The rewritten policy accepts the same generated entry.
+    RuntimePolicy scrubbed;
+    scrubbed.allow(truncated, hash);
+    EXPECT_EQ(scrubbed.check(logged.path, logged.file_hash),
+              PolicyMatch::kAllowed);
+  }
+}
+
+TEST(SnapTruncation, ContainerRootfsVariantTruncatesTheSameWay) {
+  Rng rng(23);
+  // Generalized container case from the generator: "/<rootfs>/<file>"
+  // measured as "/<file>" inside the namespace.
+  for (int i = 0; i < 8; ++i) {
+    const std::string host_path =
+        gen_path_where(rng, [](const std::string& p) {
+          // Rootfs-relative shape: exactly two components, short root.
+          const std::size_t second = p.find('/', 1);
+          return second != std::string::npos && second == 4 &&
+                 p.find('/', second + 1) == std::string::npos &&
+                 p.size() > second + 1;
+        });
+    const std::string truncated = host_path.substr(host_path.find('/', 1));
+    const crypto::Digest hash = hash_of(rng);
+    RuntimePolicy scanned;
+    scanned.allow(host_path, hash);
+    EXPECT_EQ(scanned.check(truncated, hash), PolicyMatch::kNotInPolicy)
+        << host_path << " vs " << truncated;
+    RuntimePolicy scrubbed;
+    scrubbed.allow(truncated, hash);
+    EXPECT_EQ(scrubbed.check(truncated, hash), PolicyMatch::kAllowed);
+  }
+}
+
+}  // namespace
+}  // namespace cia::testkit

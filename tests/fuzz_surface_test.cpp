@@ -1,0 +1,197 @@
+// Fuzz-surface smoke tests: every registered target runs a bounded,
+// fixed-seed fuzz campaign (corpus + regressions replayed first) and must
+// come back clean. These are the same campaigns CI runs under ASan/UBSan
+// via tools/run_sanitized_tests.sh fuzz — here they gate every plain
+// ctest run with a smaller budget.
+//
+// The second half pins the individual parser-hardening fixes the fuzzers
+// surfaced, so each stays fixed even if its corpus file is lost.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "common/json.hpp"
+#include "ima/ima.hpp"
+#include "keylime/messages.hpp"
+#include "netsim/wire.hpp"
+#include "telemetry/export.hpp"
+#include "testkit/corpus.hpp"
+#include "testkit/fuzzer.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/targets.hpp"
+
+namespace cia::testkit {
+namespace {
+
+// ----------------------------------------------- bounded fuzz campaigns
+
+class FuzzSurface : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FuzzSurface, BoundedCampaignIsClean) {
+  const FuzzTarget* target = find_target(GetParam());
+  ASSERT_NE(target, nullptr);
+
+  FuzzOptions options;
+  options.seed = 2026;
+  options.iterations = 400;
+  Fuzzer fuzzer(*target, options);
+  const std::string root = default_corpus_root();
+  for (auto& entry : load_corpus(root + "/" + target->name)) {
+    fuzzer.add_seed(std::move(entry.data));
+  }
+  for (auto& entry : load_regressions(root, target->name)) {
+    fuzzer.add_seed(std::move(entry.data));
+  }
+  const FuzzReport report = fuzzer.run();
+  EXPECT_TRUE(report.clean())
+      << report.first_violation_detail << "\nreproducer (hex): "
+      << (report.first_violation ? to_hex(*report.first_violation)
+                                 : std::string{});
+  EXPECT_GT(report.accepted, 0u) << "campaign never got inside the grammar";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, FuzzSurface,
+                         ::testing::Values("ima_log_entry", "json",
+                                           "runtime_policy", "wire",
+                                           "checkpoint", "telemetry_snapshot"));
+
+TEST(FuzzSurfaceTest, RegistryCoversExactlyTheSixSurfaces) {
+  ASSERT_EQ(all_targets().size(), 6u);
+  for (const FuzzTarget& target : all_targets()) {
+    EXPECT_TRUE(target.run != nullptr) << target.name;
+    EXPECT_TRUE(target.generate != nullptr) << target.name;
+  }
+  EXPECT_EQ(find_target("nonsense"), nullptr);
+}
+
+TEST(FuzzSurfaceTest, EveryCommittedRegressionReplaysClean) {
+  const std::string root = default_corpus_root();
+  std::size_t replayed = 0;
+  for (const FuzzTarget& target : all_targets()) {
+    for (const auto& entry : load_regressions(root, target.name)) {
+      const FuzzOutcome outcome = target.run(entry.data);
+      EXPECT_NE(outcome.verdict, FuzzVerdict::kViolation)
+          << entry.name << ": " << outcome.detail;
+      ++replayed;
+    }
+  }
+  EXPECT_GE(replayed, 8u) << "regression corpus went missing";
+}
+
+// ------------------------------------------ pinned fuzzer-found fixes
+
+TEST(ParserRegressionTest, WireLengthFieldCannotWrapPastTheBuffer) {
+  // u64 length 0xffff... used to wrap pos_ + len and read out of bounds.
+  const Bytes huge(8, 0xff);
+  netsim::WireReader reader(huge);
+  EXPECT_FALSE(reader.string().ok());
+  netsim::WireReader reader2(huge);
+  EXPECT_FALSE(reader2.bytes().ok());
+}
+
+TEST(ParserRegressionTest, QuoteResponseEntryCountBombIsRejected) {
+  // A 4-byte count field used to reserve() gigabytes before the first
+  // entry read could fail.
+  Rng rng(12345);
+  Bytes encoded = gen_quote_response(rng, 0).encode();
+  // With zero entries the u32 count sits 16 bytes before the end
+  // (count | total_log_length u64 | boot_count u32).
+  const std::size_t off = encoded.size() - 16;
+  for (int i = 0; i < 4; ++i) encoded[off + static_cast<std::size_t>(i)] = 0xff;
+  const auto decoded = keylime::QuoteResponse::decode(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, Errc::kCorrupted);
+}
+
+TEST(ParserRegressionTest, JsonRejectsNonFiniteNumbers) {
+  // "1e999" parsed to inf; dump() then printed a token nothing re-parses.
+  for (const char* text : {"1e999", "-1e999", "1e308888"}) {
+    EXPECT_FALSE(json::parse(text).ok()) << text;
+  }
+  // Large-but-finite must still parse and round trip.
+  auto ok = json::parse("1e300");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(json::parse(ok.value().dump()).ok());
+}
+
+TEST(ParserRegressionTest, JsonAsIntClampsOutOfRangeDoubles) {
+  // llround on a too-large double is unspecified; as_int clamps instead.
+  EXPECT_EQ(json::parse("1e300").value().as_int(), INT64_MAX);
+  EXPECT_EQ(json::parse("-1e300").value().as_int(), INT64_MIN);
+  EXPECT_EQ(json::parse("41.7").value().as_int(), 42);
+}
+
+TEST(ParserRegressionTest, ImaLineRejectsPcrOverflowAndGarbage) {
+  const std::string z(64, '0');
+  // atoi was undefined on overflow and accepted trailing garbage.
+  for (const std::string pcr :
+       {"999999999999999999999", "12abc", "", "24", "-1"}) {
+    const std::string line =
+        pcr + " " + z + " ima-ng sha256:" + z + " /usr/bin/x";
+    EXPECT_FALSE(ima::LogEntry::parse(line).ok()) << line;
+  }
+  EXPECT_TRUE(ima::LogEntry::parse("10 " + z + " ima-ng sha256:" + z +
+                                   " /usr/bin/x")
+                  .ok());
+}
+
+TEST(ParserRegressionTest, ImaLineRejectsControlBytesInPath) {
+  const std::string z(64, '0');
+  const std::string prefix = "10 " + z + " ima-ng sha256:" + z + " ";
+  // An embedded NUL silently truncated to_string()'s rendering, turning
+  // an accepted entry into a line that re-parsed differently.
+  EXPECT_FALSE(ima::LogEntry::parse(prefix + std::string("/x\0y", 4)).ok());
+  EXPECT_FALSE(ima::LogEntry::parse(prefix + "/x\ny").ok());
+  EXPECT_FALSE(ima::LogEntry::parse(prefix + "/x\ry").ok());
+  // Spaces and non-UTF8 bytes stay legal — real paths contain both.
+  EXPECT_TRUE(ima::LogEntry::parse(prefix + "/with space/\x80\xff").ok());
+}
+
+TEST(ParserRegressionTest, SnapshotRejectsImpossibleHistograms) {
+  const auto parse_snapshot = [](const std::string& text) {
+    auto doc = json::parse(text);
+    EXPECT_TRUE(doc.ok()) << text;
+    return telemetry::snapshot_from_json(doc.value());
+  };
+  // Negative bucket count would wrap to a huge uint64.
+  EXPECT_FALSE(parse_snapshot(R"({"metrics":[{"bounds":[1],"count":3,)"
+                              R"("counts":[-1,4],"kind":"histogram",)"
+                              R"("max":2,"min":1,"name":"x","sum":5}]})")
+                   .ok());
+  // Unsorted bounds break percentile()'s bucket interpolation.
+  EXPECT_FALSE(parse_snapshot(R"({"metrics":[{"bounds":[0,0],"count":2,)"
+                              R"("counts":[1,1,0],"kind":"histogram",)"
+                              R"("max":1,"min":0,"name":"x","sum":1}]})")
+                   .ok());
+  // min/max contradicting the occupied buckets flip edge clamping.
+  EXPECT_FALSE(parse_snapshot(R"({"metrics":[{"bounds":[10],"count":2,)"
+                              R"("counts":[0,2],"kind":"histogram",)"
+                              R"("max":4,"min":1,"name":"x","sum":2}]})")
+                   .ok());
+  // Bucket counts must sum to count.
+  EXPECT_FALSE(parse_snapshot(R"({"metrics":[{"bounds":[1],"count":9,)"
+                              R"("counts":[1,1],"kind":"histogram",)"
+                              R"("max":2,"min":0,"name":"x","sum":2}]})")
+                   .ok());
+}
+
+TEST(ParserRegressionTest, PercentilesStayMonotonicAcrossBucketGaps) {
+  // Continuous ranks landing between one bucket's last sample and the
+  // next bucket's first used to overshoot the bucket edge (p50 > p99).
+  const std::string text =
+      R"({"metrics":[{"bounds":[0,10],"count":26,"counts":[11,2,13],)"
+      R"("kind":"histogram","max":13,"min":0,"name":"x","sum":0}]})";
+  auto doc = json::parse(text);
+  ASSERT_TRUE(doc.ok());
+  auto snap = telemetry::snapshot_from_json(doc.value());
+  ASSERT_TRUE(snap.ok());
+  const auto& h = snap.value().points.at(0).histogram;
+  double prev = h.percentile(0);
+  for (double p = 1; p <= 100; p += 1) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace cia::testkit

@@ -5,13 +5,21 @@
 //     no matter what the machine did;
 //   * VFS: inode identity is unique per filesystem and stable across
 //     in-filesystem renames, under arbitrary operation sequences;
-//   * policy: serialize/parse round-trips arbitrary policies; dedup never
-//     removes the ability to match the newest hash;
-//   * wire: arbitrary truncations of valid messages fail cleanly;
+//   * policy: serialize/parse and JSON round-trips for generated
+//     policies; merge is a union; dedup never removes the ability to
+//     match the newest hash;
+//   * wire: arbitrary truncations of valid messages fail cleanly, and
+//     bit-flipped frames never break the decode/re-encode contract;
+//   * checkpoint: generated verifier checkpoints restore and round-trip;
 //   * crypto: streaming hashing equals one-shot for any chunking; every
 //     signed message verifies and no tampered one does.
+//
+// Random instances come from src/testkit's generators (the same sources
+// the fuzz targets use), and failing policy round trips are minimized
+// with the testkit shrinker before being reported.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -21,6 +29,9 @@
 #include "keylime/messages.hpp"
 #include "keylime/runtime_policy.hpp"
 #include "oskernel/machine.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/shrink.hpp"
+#include "testkit/targets.hpp"
 
 namespace cia {
 namespace {
@@ -42,11 +53,18 @@ TEST_P(ImaReplayProperty, RandomActivityAlwaysReplaysToPcr10) {
   for (int step = 0; step < 300; ++step) {
     const auto action = rng.uniform(8);
     if (action <= 2 || files.empty()) {
-      // Create an executable somewhere (sometimes on excluded mounts).
-      static const char* kDirs[] = {"/usr/bin", "/tmp", "/dev/shm",
-                                    "/opt", "/proc", "/home"};
-      const std::string path = std::string(kDirs[rng.uniform(6)]) + "/f" +
-                               std::to_string(step);
+      // Create an executable somewhere — half the time at a generated
+      // adversarial path (SNAP shapes, spaces, deep nesting, tmpfs),
+      // half at the classic mount points (incl. IMA-excluded ones).
+      std::string path;
+      if (rng.chance(0.5)) {
+        path = testkit::gen_path(rng);
+      } else {
+        static const char* kDirs[] = {"/usr/bin", "/tmp", "/dev/shm",
+                                      "/opt", "/proc", "/home"};
+        path = std::string(kDirs[rng.uniform(6)]) + "/f" +
+               std::to_string(step);
+      }
       if (fs.create_file(path, rng.bytes(16), true).ok()) {
         files.push_back(path);
       }
@@ -138,26 +156,107 @@ INSTANTIATE_TEST_SUITE_P(Seeds, VfsProperty,
 
 class PolicyProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(PolicyProperty, SerializeParseRoundTripsRandomPolicies) {
+TEST_P(PolicyProperty, GeneratedPoliciesRoundTripThroughTextAndJson) {
   Rng rng(GetParam());
-  keylime::RuntimePolicy policy;
-  const std::size_t paths = 50 + rng.uniform(200);
-  for (std::size_t i = 0; i < paths; ++i) {
-    const std::string path = "/usr/" + rng.ident(1 + rng.uniform(3)) + "/" +
-                             rng.ident(8);
-    const std::size_t hashes = 1 + rng.uniform(3);
-    for (std::size_t j = 0; j < hashes; ++j) {
-      policy.allow(path, to_hex(rng.bytes(32)));
+  for (int i = 0; i < 4; ++i) {
+    const keylime::RuntimePolicy policy = testkit::gen_policy(rng);
+    const std::string text = policy.serialize();
+
+    auto parsed = keylime::RuntimePolicy::parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().entry_count(), policy.entry_count());
+    EXPECT_EQ(parsed.value().path_count(), policy.path_count());
+    if (parsed.value().serialize() != text) {
+      // Minimize before reporting: the shrunken text is a committable
+      // reproducer for tests/corpus/regressions/.
+      const std::string minimized = testkit::shrink_text(
+          text, [](const std::string& t) {
+            auto p = keylime::RuntimePolicy::parse(t);
+            return p.ok() && p.value().serialize() != t;
+          });
+      FAIL() << "serialize round-trip diverged; minimized reproducer:\n"
+             << minimized;
+    }
+
+    auto from_json = keylime::RuntimePolicy::from_json(policy.to_json());
+    ASSERT_TRUE(from_json.ok());
+    EXPECT_EQ(from_json.value().serialize(), text);
+  }
+}
+
+TEST_P(PolicyProperty, MergeIsAUnionOfAllowsAndExcludes) {
+  Rng rng(GetParam() ^ 0x6d657267);
+  const keylime::RuntimePolicy ours = testkit::gen_policy(rng, 24);
+  const keylime::RuntimePolicy theirs = testkit::gen_policy(rng, 24);
+
+  // Every (path, hash) pair either side accepted must still be
+  // acceptable after the merge (modulo the other side's excludes).
+  const auto pairs_of = [](const keylime::RuntimePolicy& p) {
+    std::vector<std::pair<std::string, std::string>> out;
+    const json::Value doc = p.to_json();
+    for (const auto& [path, hashes] : doc.find("digests")->as_object()) {
+      for (const auto& h : hashes.as_array()) {
+        out.emplace_back(path, h.as_string());
+      }
+    }
+    return out;
+  };
+
+  keylime::RuntimePolicy merged = ours;
+  merged.merge(theirs);
+  for (const auto& source : {ours, theirs}) {
+    for (const auto& [path, hash] : pairs_of(source)) {
+      const auto match = merged.check(path, hash);
+      EXPECT_TRUE(match == keylime::PolicyMatch::kAllowed ||
+                  match == keylime::PolicyMatch::kExcluded)
+          << path << " " << keylime::policy_match_name(match);
+    }
+    for (const auto& glob : source.excludes()) {
+      EXPECT_EQ(std::count(merged.excludes().begin(), merged.excludes().end(),
+                           glob),
+                1)
+          << glob;
     }
   }
-  policy.exclude("/tmp/*");
-  policy.exclude("/" + rng.ident(4) + "/*");
+  EXPECT_LE(merged.entry_count(),
+            ours.entry_count() + theirs.entry_count());
+  EXPECT_GE(merged.path_count(),
+            std::max(ours.path_count(), theirs.path_count()));
 
-  auto parsed = keylime::RuntimePolicy::parse(policy.serialize());
-  ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed.value().entry_count(), policy.entry_count());
-  EXPECT_EQ(parsed.value().path_count(), policy.path_count());
-  EXPECT_EQ(parsed.value().serialize(), policy.serialize());
+  // Post-update dedup on the merged policy keeps exactly the newest
+  // hash per path: the last of theirs when they brought a new one,
+  // otherwise the last of ours.
+  const auto last_hash_per_path = [&](const keylime::RuntimePolicy& p) {
+    std::map<std::string, std::vector<std::string>> hashes;
+    for (const auto& [path, hash] : pairs_of(p)) hashes[path].push_back(hash);
+    return hashes;
+  };
+  const auto our_hashes = last_hash_per_path(ours);
+  const auto their_hashes = last_hash_per_path(theirs);
+  keylime::RuntimePolicy deduped = merged;
+  deduped.dedup();
+  EXPECT_EQ(deduped.entry_count(), deduped.path_count());
+  for (const auto& [path, hashes] : last_hash_per_path(merged)) {
+    // Reconstruct the merged insertion order: ours, then any of theirs
+    // not already present (allow() skips duplicates).
+    std::vector<std::string> combined;
+    if (auto it = our_hashes.find(path); it != our_hashes.end()) {
+      combined = it->second;
+    }
+    if (auto it = their_hashes.find(path); it != their_hashes.end()) {
+      for (const auto& h : it->second) {
+        if (std::find(combined.begin(), combined.end(), h) == combined.end()) {
+          combined.push_back(h);
+        }
+      }
+    }
+    ASSERT_FALSE(combined.empty()) << path;
+    if (deduped.is_excluded(path)) continue;
+    EXPECT_EQ(deduped.check(path, combined.back()),
+              keylime::PolicyMatch::kAllowed)
+        << path;
+    (void)hashes;
+  }
 }
 
 TEST_P(PolicyProperty, DedupKeepsExactlyTheNewestHash) {
@@ -216,32 +315,57 @@ INSTANTIATE_TEST_SUITE_P(Cuts, WireTruncationProperty,
                          ::testing::Values(0, 5, 17, 33, 50, 66, 80, 95, 99,
                                            100));
 
-TEST(WireFuzzTest, RandomBitFlipsNeverCrashDecoders) {
+TEST(WireFuzzTest, BitFlippedFramesNeverBreakTheDecodeContract) {
+  // The wire fuzz target enforces the full contract (clean reject or
+  // byte-identical re-encode) across every message decoder; here it is
+  // driven with bit-flipped generated quote responses, historically the
+  // richest frame shape.
   Rng rng(7);
-  crypto::CertificateAuthority ca("mfg", to_bytes("seed"));
-  tpm::Tpm2 tpm("dev", to_bytes("seed"), ca);
-  keylime::QuoteResponse resp;
-  resp.quote = tpm.quote(to_bytes("nonce"), {tpm::kImaPcr});
-  resp.total_log_length = 0;
-  resp.boot_count = 1;
-  const Bytes encoded = resp.encode();
-  for (int trial = 0; trial < 500; ++trial) {
-    Bytes corrupted = encoded;
+  const testkit::FuzzTarget* wire = testkit::find_target("wire");
+  ASSERT_NE(wire, nullptr);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes frame =
+        testkit::gen_quote_response(rng, rng.uniform(4)).encode();
     const std::size_t flips = 1 + rng.uniform(8);
     for (std::size_t i = 0; i < flips; ++i) {
-      corrupted[rng.uniform(corrupted.size())] ^=
+      frame[rng.uniform(frame.size())] ^=
           static_cast<std::uint8_t>(1u << rng.uniform(8));
     }
-    // Must not crash; may or may not decode, but if it decodes the quote
-    // signature check must reject any semantic change.
-    const auto decoded = keylime::QuoteResponse::decode(corrupted);
-    if (decoded.ok() && !(corrupted == encoded)) {
-      // Either the mutation hit a redundant byte or verification fails.
-      (void)decoded.value().quote.verify(tpm.ak_public());
-    }
+    const auto outcome = wire->run(frame);
+    EXPECT_NE(outcome.verdict, testkit::FuzzVerdict::kViolation)
+        << "trial " << trial << ": " << outcome.detail;
   }
-  SUCCEED();
 }
+
+// ------------------------------------------- checkpoint round trips
+
+class CheckpointProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CheckpointProperty, GeneratedCheckpointsRestoreAndRoundTrip) {
+  // The checkpoint fuzz target restores a generated checkpoint document
+  // into a live verifier, re-dumps it, and demands a fixed point — the
+  // crash-recovery contract from the robustness PR, now property-tested.
+  const testkit::FuzzTarget* checkpoint = testkit::find_target("checkpoint");
+  ASSERT_NE(checkpoint, nullptr);
+  Rng rng(GetParam());
+  for (int i = 0; i < 3; ++i) {
+    const Bytes doc = checkpoint->generate(rng);
+    const auto outcome = checkpoint->run(doc);
+    EXPECT_NE(outcome.verdict, testkit::FuzzVerdict::kViolation)
+        << outcome.detail;
+  }
+  // Mutated documents must reject cleanly, never half-restore.
+  testkit::ByteMutator mutator(GetParam() ^ 0x636b7074);
+  const Bytes base = checkpoint->generate(rng);
+  for (int i = 0; i < 40; ++i) {
+    const auto outcome = checkpoint->run(mutator.mutate(base));
+    EXPECT_NE(outcome.verdict, testkit::FuzzVerdict::kViolation)
+        << outcome.detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointProperty,
+                         ::testing::Values(61, 62, 63));
 
 // -------------------------------------------------- crypto properties
 

@@ -1,0 +1,331 @@
+// Unit tests for the testkit itself: the mutator, generators, shrinker,
+// corpus IO, fuzz loop, and cross-layer invariant checker. The testkit
+// guards every other test, so it gets its own guard here — in particular
+// the determinism contracts (same seed, same bytes) that make CI fuzz
+// failures replayable from two numbers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/hex.hpp"
+#include "ima/ima.hpp"
+#include "testkit/corpus.hpp"
+#include "testkit/fuzzer.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/mutator.hpp"
+#include "testkit/shrink.hpp"
+#include "testkit/targets.hpp"
+
+namespace cia::testkit {
+namespace {
+
+// ------------------------------------------------------------- mutator
+
+TEST(MutatorTest, InterestingIntegersCoverTheWidthEdges) {
+  const auto& ints = interesting_integers();
+  for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{0x7f},
+                          std::uint64_t{0xff}, std::uint64_t{0x7fff},
+                          std::uint64_t{0xffffffff},
+                          std::uint64_t{0xffffffffffffffff}}) {
+    EXPECT_NE(std::find(ints.begin(), ints.end(), v), ints.end()) << v;
+  }
+}
+
+TEST(MutatorTest, SameSeedSameMutants) {
+  const Bytes input = to_bytes("0 deadbeef ima-ng sha256:cafe /usr/bin/x");
+  ByteMutator a(42), b(42);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(a.mutate(input), b.mutate(input)) << "iteration " << i;
+  }
+}
+
+TEST(MutatorTest, DifferentSeedsDiverge) {
+  const Bytes input = to_bytes("the quick brown fox");
+  ByteMutator a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.mutate(input) != b.mutate(input)) ++differing;
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(MutatorTest, RespectsSizeCapAndGrowsEmptyInput) {
+  MutatorOptions options;
+  options.max_output_size = 64;
+  ByteMutator m(7, options);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_LE(m.mutate(Bytes(60, 'a')).size(), 64u);
+  }
+  int grew = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (!m.mutate(Bytes{}).empty()) ++grew;
+  }
+  EXPECT_GT(grew, 0) << "empty inputs must grow via insertion";
+}
+
+TEST(MutatorTest, DictionaryTokensAppearInMutants) {
+  MutatorOptions options;
+  options.dictionary = {"sha256:", "boot_aggregate"};
+  ByteMutator m(9, options);
+  const Bytes input = to_bytes("xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+  int hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const std::string s = to_string(m.mutate(input));
+    if (s.find("sha256:") != std::string::npos ||
+        s.find("boot_aggregate") != std::string::npos) {
+      ++hits;
+    }
+  }
+  EXPECT_GT(hits, 10);
+}
+
+// ---------------------------------------------------------- generators
+
+TEST(GeneratorTest, LogEntriesRoundTripAndCarryRealTemplateHashes) {
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const ima::LogEntry entry = gen_log_entry(rng);
+    auto reparsed = ima::LogEntry::parse(entry.to_string());
+    ASSERT_TRUE(reparsed.ok()) << entry.to_string();
+    EXPECT_EQ(reparsed.value().to_string(), entry.to_string());
+    // Template hash must match Ima::measure's construction.
+    crypto::Sha256 ctx;
+    ctx.update(crypto::digest_bytes(entry.file_hash));
+    ctx.update(entry.path);
+    EXPECT_EQ(entry.template_hash, ctx.finish());
+  }
+}
+
+TEST(GeneratorTest, PathsCoverTheAdversarialShapes) {
+  Rng rng(11);
+  bool snap = false, tmp = false, tmpfs = false, script = false;
+  for (int i = 0; i < 500; ++i) {
+    const std::string p = gen_path(rng);
+    ASSERT_FALSE(p.empty());
+    ASSERT_EQ(p.front(), '/');
+    snap = snap || p.rfind("/snap/", 0) == 0;
+    tmp = tmp || p.rfind("/tmp/", 0) == 0;
+    tmpfs = tmpfs || p.rfind("/dev/shm/", 0) == 0;
+    script = script || (p.size() > 3 && p.rfind(".py") == p.size() - 3);
+  }
+  EXPECT_TRUE(snap && tmp && tmpfs && script);
+}
+
+TEST(GeneratorTest, JsonAlwaysReparses) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const json::Value v = gen_json(rng);
+    auto parsed = json::parse(v.dump());
+    ASSERT_TRUE(parsed.ok()) << v.dump();
+    EXPECT_TRUE(parsed.value() == v);
+  }
+}
+
+TEST(GeneratorTest, PoliciesSerializeRoundTrip) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const keylime::RuntimePolicy policy = gen_policy(rng, 32);
+    auto parsed = keylime::RuntimePolicy::parse(policy.serialize());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().serialize(), policy.serialize());
+  }
+}
+
+TEST(GeneratorTest, WireFramesSatisfyTheWireTargetContract) {
+  const FuzzTarget* wire = find_target("wire");
+  ASSERT_NE(wire, nullptr);
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const FuzzOutcome outcome = wire->run(gen_wire_frame(rng));
+    EXPECT_EQ(outcome.verdict, FuzzVerdict::kAccepted) << outcome.detail;
+  }
+}
+
+// ------------------------------------------------------------ shrinker
+
+TEST(ShrinkTest, MinimizesToTheSingleFailingByte) {
+  Bytes input(600, 'a');
+  input[317] = 'X';
+  const Bytes minimized = shrink(
+      input, [](const Bytes& b) {
+        return std::find(b.begin(), b.end(), 'X') != b.end();
+      });
+  ASSERT_EQ(minimized.size(), 1u);
+  EXPECT_EQ(minimized[0], 'X');
+}
+
+TEST(ShrinkTest, SimplifiesSurvivingBytes) {
+  // The predicate only cares about length; content should simplify to the
+  // canonical '0' filler.
+  const Bytes minimized = shrink(to_bytes("zqzqzqzq"), [](const Bytes& b) {
+    return b.size() >= 3;
+  });
+  ASSERT_EQ(minimized.size(), 3u);
+  for (std::uint8_t byte : minimized) EXPECT_EQ(byte, '0');
+}
+
+TEST(ShrinkTest, DeterministicAndBounded) {
+  Bytes input(4096, 'b');
+  input[1000] = '!';
+  const auto pred = [](const Bytes& b) {
+    return std::find(b.begin(), b.end(), '!') != b.end();
+  };
+  ShrinkStats s1, s2;
+  const Bytes a = shrink(input, pred, 100, &s1);
+  const Bytes b = shrink(input, pred, 100, &s2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(s1.attempts, s2.attempts);
+  EXPECT_LE(s1.attempts, 100u);
+}
+
+TEST(ShrinkTest, TextWrapperMatchesByteShrinker) {
+  const std::string minimized = shrink_text(
+      "aaaaaaFAILaaaaaa",
+      [](const std::string& s) { return s.find("FAIL") != std::string::npos; });
+  EXPECT_EQ(minimized, "FAIL");
+}
+
+// -------------------------------------------------------------- corpus
+
+TEST(CorpusTest, SaveLoadRoundTripSortedByName) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "cia_corpus_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(save_corpus_entry(dir, "b.bin", to_bytes("beta")).ok());
+  ASSERT_TRUE(save_corpus_entry(dir, "a.bin", to_bytes("alpha")).ok());
+  const auto entries = load_corpus(dir);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "a.bin");
+  EXPECT_EQ(to_string(entries[0].data), "alpha");
+  EXPECT_EQ(entries[1].name, "b.bin");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorpusTest, MissingDirectoryIsEmptyNotFatal) {
+  EXPECT_TRUE(load_corpus("/nonexistent/cia/corpus").empty());
+  EXPECT_TRUE(load_regressions("/nonexistent/cia", "json").empty());
+}
+
+TEST(CorpusTest, RegressionsFilterByTargetPrefix) {
+  const std::string root =
+      (std::filesystem::temp_directory_path() / "cia_corpus_reg").string();
+  std::filesystem::remove_all(root);
+  ASSERT_TRUE(
+      save_corpus_entry(root + "/regressions", "json__a.json", to_bytes("1"))
+          .ok());
+  ASSERT_TRUE(save_corpus_entry(root + "/regressions", "wire__b.bin",
+                                to_bytes("2"))
+                  .ok());
+  const auto json_only = load_regressions(root, "json");
+  ASSERT_EQ(json_only.size(), 1u);
+  EXPECT_EQ(json_only[0].name, "json__a.json");
+  std::filesystem::remove_all(root);
+}
+
+TEST(CorpusTest, CommittedCorpusExistsForEveryTarget) {
+  // default_corpus_root() resolves to the repo's tests/corpus at compile
+  // time; every registered target must have committed seeds.
+  const std::string root = default_corpus_root();
+  for (const FuzzTarget& target : all_targets()) {
+    EXPECT_FALSE(load_corpus(root + "/" + target.name).empty())
+        << "no committed corpus for " << target.name;
+  }
+}
+
+// ---------------------------------------------------------- fuzz loop
+
+// A toy parser with a planted contract violation: inputs containing the
+// dictionary token "BUG" anywhere are a violation; inputs starting with
+// 'v' are accepted; everything else rejects.
+FuzzTarget toy_target() {
+  FuzzTarget t;
+  t.name = "toy";
+  t.run = [](const Bytes& input) {
+    if (to_string(input).find("BUG") != std::string::npos) {
+      return FuzzOutcome::violation("planted");
+    }
+    if (!input.empty() && input[0] == 'v') return FuzzOutcome::accepted();
+    return FuzzOutcome::rejected();
+  };
+  t.generate = [](Rng& rng) { return to_bytes("v" + rng.ident(6)); };
+  t.dictionary = {"BUG"};
+  return t;
+}
+
+TEST(FuzzerTest, FindsAndShrinksThePlantedViolation) {
+  FuzzOptions options;
+  options.seed = 3;
+  options.iterations = 3000;
+  Fuzzer fuzzer(toy_target(), options);
+  const FuzzReport report = fuzzer.run();
+  ASSERT_FALSE(report.clean());
+  ASSERT_TRUE(report.first_violation.has_value());
+  EXPECT_EQ(to_string(*report.first_violation), "BUG")
+      << "shrinker should reduce to exactly the token";
+  EXPECT_EQ(report.first_violation_detail, "planted");
+  EXPECT_GT(report.accepted, 0u);
+  EXPECT_GT(report.rejected, 0u);
+}
+
+TEST(FuzzerTest, RunsAreDeterministic) {
+  FuzzOptions options;
+  options.seed = 8;
+  options.iterations = 500;
+  Fuzzer a(toy_target(), options);
+  Fuzzer b(toy_target(), options);
+  const FuzzReport ra = a.run();
+  const FuzzReport rb = b.run();
+  EXPECT_EQ(ra.accepted, rb.accepted);
+  EXPECT_EQ(ra.rejected, rb.rejected);
+  EXPECT_EQ(ra.violations, rb.violations);
+  EXPECT_EQ(ra.first_violation, rb.first_violation);
+}
+
+TEST(FuzzerTest, SeedsReplayBeforeMutation) {
+  FuzzOptions options;
+  options.iterations = 0;  // replay only
+  Fuzzer fuzzer(toy_target(), options);
+  fuzzer.add_seed(to_bytes("vok"));
+  fuzzer.add_seed(to_bytes("contains BUG here"));
+  const FuzzReport report = fuzzer.run();
+  EXPECT_EQ(report.iterations, 2u);
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.violations, 1u);
+}
+
+// ----------------------------------------------------- invariant fleet
+
+TEST(InvariantTest, CleanFleetRunWithRestartsAndTamper) {
+  InvariantOptions options;
+  options.seed = 21;
+  options.machines = 2;
+  options.rounds = 12;
+  options.checkpoint_every = 4;
+  const InvariantReport report = check_invariants(options);
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << v.invariant << " round " << v.round << ": " << v.detail;
+  }
+  EXPECT_EQ(report.rounds, 12u);
+  EXPECT_GE(report.restarts, 2u) << "checkpoint/restore cadence must fire";
+  EXPECT_GE(report.alerts, 1u) << "the planted tamper must alert";
+  EXPECT_GT(report.checks, 50u);
+}
+
+TEST(InvariantTest, DeterministicAcrossRuns) {
+  InvariantOptions options;
+  options.seed = 34;
+  options.machines = 2;
+  options.rounds = 8;
+  const InvariantReport a = check_invariants(options);
+  const InvariantReport b = check_invariants(options);
+  EXPECT_EQ(a.checks, b.checks);
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+}  // namespace
+}  // namespace cia::testkit

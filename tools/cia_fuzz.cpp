@@ -1,0 +1,284 @@
+// cia_fuzz — deterministic corpus-driven fuzzing of every untrusted
+// parse surface.
+//
+//   cia_fuzz --target=<name>|all [--seed=N] [--iters=M]
+//            [--corpus=DIR] [--no-shrink] [--invariants]
+//            [--minimize=FILE] [--save-repro=DIR] [--list]
+//            [--gen-seeds=K --out=DIR]
+//
+// Targets: ima_log_entry, json, runtime_policy, wire, checkpoint,
+// telemetry_snapshot. Each run replays the target's seed corpus
+// (tests/corpus/<target>/ plus tests/corpus/regressions/<target>__*),
+// then mutates for --iters iterations. A (target, seed, iters) triple is
+// byte-for-byte reproducible. With --invariants, a cross-layer fleet
+// simulation also runs (seeded from --seed).
+//
+// Exit 0 when everything is clean, 1 when any violation was found,
+// 2 on usage/input errors. Violations print the minimized reproducer as
+// hex plus an escaped preview; --save-repro writes it to
+// DIR/<target>__seedN.bin for promotion into the regression corpus.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "testkit/corpus.hpp"
+#include "testkit/fuzzer.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/shrink.hpp"
+#include "testkit/targets.hpp"
+
+namespace {
+
+using namespace cia;
+using namespace cia::testkit;
+
+std::string printable_preview(const Bytes& data, std::size_t limit = 160) {
+  std::string out;
+  for (std::size_t i = 0; i < data.size() && out.size() < limit; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (c >= 0x20 && c < 0x7f) {
+      out += c;
+    } else {
+      char buf[5];
+      std::snprintf(buf, sizeof(buf), "\\x%02x", data[i]);
+      out += buf;
+    }
+  }
+  if (out.size() >= limit) out += "...";
+  return out;
+}
+
+void print_violation(const FuzzReport& report) {
+  const Bytes& repro = *report.first_violation;
+  std::printf("  VIOLATION: %s\n", report.first_violation_detail.c_str());
+  std::printf("  reproducer (%zu bytes, shrunk from %zu):\n", repro.size(),
+              report.first_violation_original_size);
+  std::printf("    hex:  %s\n", to_hex(repro).c_str());
+  std::printf("    text: %s\n", printable_preview(repro).c_str());
+}
+
+int run_target(const FuzzTarget& target, const FuzzOptions& options,
+               const std::string& corpus_root, const std::string& save_dir) {
+  Fuzzer fuzzer(target, options);
+  std::size_t corpus_seeds = 0;
+  for (auto& entry : load_corpus(corpus_root + "/" + target.name)) {
+    fuzzer.add_seed(std::move(entry.data));
+    ++corpus_seeds;
+  }
+  std::size_t regressions = 0;
+  for (auto& entry : load_regressions(corpus_root, target.name)) {
+    fuzzer.add_seed(std::move(entry.data));
+    ++regressions;
+  }
+
+  const FuzzReport report = fuzzer.run();
+  std::printf(
+      "%-18s seed=%llu iters=%llu corpus=%zu regressions=%zu "
+      "accepted=%llu rejected=%llu violations=%llu %s\n",
+      target.name.c_str(), static_cast<unsigned long long>(options.seed),
+      static_cast<unsigned long long>(report.iterations), corpus_seeds,
+      regressions, static_cast<unsigned long long>(report.accepted),
+      static_cast<unsigned long long>(report.rejected),
+      static_cast<unsigned long long>(report.violations),
+      report.clean() ? "CLEAN" : "FOUND");
+  if (report.clean()) return 0;
+
+  print_violation(report);
+  if (!save_dir.empty()) {
+    const std::string name = target.name + "__seed" +
+                             std::to_string(options.seed) + ".bin";
+    if (Status s = save_corpus_entry(save_dir, name, *report.first_violation);
+        s.ok()) {
+      std::printf("  saved: %s/%s\n", save_dir.c_str(), name.c_str());
+    } else {
+      std::fprintf(stderr, "  save failed: %s\n",
+                   s.error().to_string().c_str());
+    }
+  }
+  return 1;
+}
+
+int run_invariants(std::uint64_t seed) {
+  InvariantOptions options;
+  options.seed = seed;
+  const InvariantReport report = check_invariants(options);
+  std::printf(
+      "%-18s seed=%llu rounds=%zu checks=%zu restarts=%zu alerts=%zu %s\n",
+      "invariants", static_cast<unsigned long long>(seed), report.rounds,
+      report.checks, report.restarts, report.alerts,
+      report.clean() ? "CLEAN" : "FOUND");
+  for (const auto& v : report.violations) {
+    std::printf("  VIOLATION [%s, round %zu]: %s\n", v.invariant.c_str(),
+                v.round, v.detail.c_str());
+  }
+  return report.clean() ? 0 : 1;
+}
+
+// Corpus maintenance: write K generator-derived seeds per selected
+// target under OUT/<target>/. Deterministic in --seed, so the committed
+// corpus is reproducible from two numbers.
+int gen_seeds(const std::vector<const FuzzTarget*>& targets, std::uint64_t seed,
+              std::size_t k, const std::string& out) {
+  for (const FuzzTarget* target : targets) {
+    if (!target->generate) {
+      std::printf("%-18s has no generator; skipped\n", target->name.c_str());
+      continue;
+    }
+    // FNV-1a over the name: std::hash is implementation-defined, and the
+    // committed corpus must be reproducible on every platform.
+    std::uint64_t name_tag = 1469598103934665603ull;
+    for (char c : target->name) {
+      name_tag = (name_tag ^ static_cast<unsigned char>(c)) *
+                 1099511628211ull;
+    }
+    Rng rng(seed ^ name_tag);
+    std::size_t written = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const Bytes data = target->generate(rng);
+      char name[32];
+      std::snprintf(name, sizeof(name), "seed-%02zu.bin", i);
+      if (Status s =
+              save_corpus_entry(out + "/" + target->name, name, data);
+          !s.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name, s.error().to_string().c_str());
+        return 2;
+      }
+      ++written;
+    }
+    std::printf("%-18s wrote %zu seeds to %s/%s\n", target->name.c_str(),
+                written, out.c_str(), target->name.c_str());
+  }
+  return 0;
+}
+
+int minimize_file(const FuzzTarget& target, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 2;
+  }
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  if (target.run(data).verdict != FuzzVerdict::kViolation) {
+    std::printf("%s does not violate target %s; nothing to minimize\n",
+                path.c_str(), target.name.c_str());
+    return 0;
+  }
+  ShrinkStats stats;
+  const Bytes minimized = shrink(
+      data,
+      [&](const Bytes& candidate) {
+        return target.run(candidate).verdict == FuzzVerdict::kViolation;
+      },
+      /*max_attempts=*/20000, &stats);
+  std::printf("minimized %zu -> %zu bytes (%zu probes)\n", data.size(),
+              minimized.size(), stats.attempts);
+  std::printf("  detail: %s\n", target.run(minimized).detail.c_str());
+  std::printf("  hex:  %s\n", to_hex(minimized).c_str());
+  std::printf("  text: %s\n", printable_preview(minimized).c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target_name;
+  std::string corpus_root = default_corpus_root();
+  std::string save_dir;
+  std::string minimize_path;
+  std::string out_dir;
+  std::size_t gen_count = 0;
+  FuzzOptions options;
+  bool invariants = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--target=")) {
+      target_name = v;
+    } else if (const char* v = value("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--iters=")) {
+      options.iterations = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--corpus=")) {
+      corpus_root = v;
+    } else if (const char* v = value("--save-repro=")) {
+      save_dir = v;
+    } else if (const char* v = value("--minimize=")) {
+      minimize_path = v;
+    } else if (const char* v = value("--gen-seeds=")) {
+      gen_count = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--out=")) {
+      out_dir = v;
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--invariants") {
+      invariants = true;
+    } else if (arg == "--list") {
+      for (const FuzzTarget& t : all_targets()) {
+        std::printf("%s\n", t.name.c_str());
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: cia_fuzz --target=<name>|all [--seed=N] "
+                   "[--iters=M] [--corpus=DIR] [--no-shrink] [--invariants] "
+                   "[--minimize=FILE] [--save-repro=DIR] [--list]\n");
+      return 2;
+    }
+  }
+
+  if (target_name.empty() && !invariants) {
+    std::fprintf(stderr, "--target is required (or --invariants); "
+                         "use --list for names\n");
+    return 2;
+  }
+
+  int worst = 0;
+  if (!target_name.empty()) {
+    std::vector<const FuzzTarget*> selected;
+    if (target_name == "all") {
+      for (const FuzzTarget& t : all_targets()) selected.push_back(&t);
+    } else if (const FuzzTarget* t = find_target(target_name)) {
+      selected.push_back(t);
+    } else {
+      std::fprintf(stderr, "unknown target '%s'; use --list\n",
+                   target_name.c_str());
+      return 2;
+    }
+    if (!minimize_path.empty()) {
+      if (selected.size() != 1) {
+        std::fprintf(stderr, "--minimize needs a single --target\n");
+        return 2;
+      }
+      return minimize_file(*selected[0], minimize_path);
+    }
+    if (gen_count > 0) {
+      if (out_dir.empty()) {
+        std::fprintf(stderr, "--gen-seeds needs --out=DIR\n");
+        return 2;
+      }
+      return gen_seeds(selected, options.seed, gen_count, out_dir);
+    }
+    for (const FuzzTarget* t : selected) {
+      const int rc = run_target(*t, options, corpus_root, save_dir);
+      if (rc > worst) worst = rc;
+    }
+  }
+  if (invariants) {
+    const int rc = run_invariants(options.seed);
+    if (rc > worst) worst = rc;
+  }
+  return worst;
+}

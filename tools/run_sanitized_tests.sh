@@ -2,13 +2,17 @@
 # Build and run the test suite under sanitizers (separate build trees, so
 # none pollutes the regular build/). Usage:
 #
-#   tools/run_sanitized_tests.sh [address|undefined|thread]...
+#   tools/run_sanitized_tests.sh [address|undefined|thread|fuzz]...
 #
 # With no argument the address and undefined suites run in full.
 # `thread` builds with TSan and runs only the telemetry tests — the
 # metrics registry is the one deliberately concurrent component (the
 # simulation itself is single-threaded), so that's where data races
-# could hide. Exits non-zero on the first failing step.
+# could hide. `fuzz` builds with ASan+UBSan combined and runs the
+# bounded fuzz smoke: every cia_fuzz target on its committed corpus with
+# fixed seeds, plus the fleet invariant checker — a crash, sanitizer
+# abort, or contract violation fails the step. Exits non-zero on the
+# first failing step.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -19,26 +23,43 @@ fi
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
-    address|undefined|thread) ;;
+    address|undefined|thread|fuzz) ;;
     *)
-      echo "unknown sanitizer '$san' (expected address, undefined, or thread)" >&2
+      echo "unknown sanitizer '$san' (expected address, undefined, thread, or fuzz)" >&2
       exit 2
       ;;
   esac
   build_dir="$repo_root/build-$san"
+  flags="$san"
+  if [ "$san" = fuzz ]; then
+    flags="address,undefined"
+  fi
   echo "==> [$san] configure ($build_dir)"
-  cmake -B "$build_dir" -S "$repo_root" -DCIA_SANITIZE="$san" \
+  cmake -B "$build_dir" -S "$repo_root" -DCIA_SANITIZE="$flags" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   echo "==> [$san] build"
   cmake --build "$build_dir" -j "$(nproc)"
-  if [ "$san" = thread ]; then
-    echo "==> [$san] telemetry tests"
-    "$build_dir/tests/cia_tests" \
-      --gtest_filter='MetricsRegistryTest.*:HistogramTest.*:ExportTest.*:LogBridgeTest.*:TracerTest.*'
-  else
-    echo "==> [$san] ctest"
-    (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
-  fi
+  case "$san" in
+    thread)
+      echo "==> [$san] telemetry tests"
+      "$build_dir/tests/cia_tests" \
+        --gtest_filter='MetricsRegistryTest.*:HistogramTest.*:ExportTest.*:LogBridgeTest.*:TracerTest.*'
+      ;;
+    fuzz)
+      # Fixed seeds keep the smoke deterministic; the iteration budget is
+      # sized to stay around half a minute per target under ASan+UBSan.
+      echo "==> [$san] fuzz smoke (all targets, fixed seeds)"
+      "$build_dir/tools/cia_fuzz" --target=all --seed=1 --iters=8000
+      "$build_dir/tools/cia_fuzz" --target=all --seed=2026 --iters=3000
+      echo "==> [$san] fleet invariants"
+      "$build_dir/tools/cia_fuzz" --invariants --seed=7
+      "$build_dir/tools/cia_fuzz" --invariants --seed=11
+      ;;
+    *)
+      echo "==> [$san] ctest"
+      (cd "$build_dir" && ctest --output-on-failure -j "$(nproc)")
+      ;;
+  esac
   echo "==> [$san] OK"
 done
 echo "all sanitized suites passed"
