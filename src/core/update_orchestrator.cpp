@@ -7,6 +7,17 @@
 
 namespace cia::core {
 
+namespace {
+
+std::vector<std::string> node_ids(const std::vector<ManagedNode>& nodes) {
+  std::vector<std::string> ids;
+  ids.reserve(nodes.size());
+  for (const ManagedNode& node : nodes) ids.push_back(node.agent_id);
+  return ids;
+}
+
+}  // namespace
+
 Status UpdateOrchestrator::bootstrap() {
   if (nodes_.empty()) {
     return err(Errc::kInvalidArgument, "no managed nodes");
@@ -18,12 +29,9 @@ Status UpdateOrchestrator::bootstrap() {
   PolicyUpdateStats stats;
   policy_ = generator_->generate_base(kernel, &stats);
   clock_->advance(static_cast<SimTime>(stats.seconds));
-  for (const ManagedNode& node : nodes_) {
-    if (Status s = verifier_->set_policy(node.agent_id, policy_); !s.ok()) {
-      return s;
-    }
-  }
-  return Status::ok_status();
+  // One bulk push per revision: the sink builds its lookup index once and
+  // shares it across every covered agent.
+  return sink_->set_policy_bulk(node_ids(nodes_), policy_);
 }
 
 Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
@@ -97,10 +105,8 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
 
   // Step 3: preempt the system update — the verifier gets the new policy
   // BEFORE any node installs a byte.
-  for (const ManagedNode& node : nodes_) {
-    if (Status s = verifier_->set_policy(node.agent_id, policy_); !s.ok()) {
-      return s.error();
-    }
+  if (Status s = sink_->set_policy_bulk(node_ids(nodes_), policy_); !s.ok()) {
+    return s.error();
   }
 
   // Now the nodes upgrade from the mirror (never from the official
@@ -131,10 +137,8 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
   // can still be running the old files.
   if (dedup_after && report.policy_stats.lines_added > 0) {
     report.dedup_removed = policy_.dedup();
-    for (const ManagedNode& node : nodes_) {
-      if (Status s = verifier_->set_policy(node.agent_id, policy_); !s.ok()) {
-        return s.error();
-      }
+    if (Status s = sink_->set_policy_bulk(node_ids(nodes_), policy_); !s.ok()) {
+      return s.error();
     }
   }
 

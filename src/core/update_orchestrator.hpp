@@ -56,12 +56,14 @@ struct OrchestratorConfig {
 
 class UpdateOrchestrator {
  public:
+  /// `sink` receives the policy pushes: a single keylime::Verifier, or a
+  /// keylime::VerifierPool fanning the revision out across its shards.
   UpdateOrchestrator(pkg::Mirror* mirror, DynamicPolicyGenerator* generator,
-                     keylime::Verifier* verifier, SimClock* clock,
+                     keylime::PolicySink* sink, SimClock* clock,
                      OrchestratorConfig config = {})
       : mirror_(mirror),
         generator_(generator),
-        verifier_(verifier),
+        sink_(sink),
         clock_(clock),
         config_(config) {}
 
@@ -80,9 +82,9 @@ class UpdateOrchestrator {
   /// Update windows deferred so far because the mirror was unusable.
   std::uint64_t cycles_deferred() const { return cycles_deferred_; }
 
-  /// Point the orchestrator at a restored verifier instance after
-  /// crash-recovery; the policy store and managed nodes carry over.
-  void rebind(keylime::Verifier* verifier) { verifier_ = verifier; }
+  /// Point the orchestrator at a restored verifier (or pool) instance
+  /// after crash-recovery; the policy store and managed nodes carry over.
+  void rebind(keylime::PolicySink* sink) { sink_ = sink; }
 
   /// Export update-cycle metrics (cycle duration, run/deferred counters,
   /// packages installed, mirror staleness, policy size) to `metrics` and
@@ -97,7 +99,7 @@ class UpdateOrchestrator {
  private:
   pkg::Mirror* mirror_;
   DynamicPolicyGenerator* generator_;
-  keylime::Verifier* verifier_;
+  keylime::PolicySink* sink_;
   SimClock* clock_;
   OrchestratorConfig config_;
   std::vector<ManagedNode> nodes_;

@@ -1,0 +1,90 @@
+#include "experiments/pool_experiment.hpp"
+
+#include "common/strutil.hpp"
+#include "experiments/testbed.hpp"
+
+namespace cia::experiments {
+
+PoolFleet::PoolFleet(const PoolFleetOptions& options) : options_(options) {
+  tpm_ca_ = std::make_unique<crypto::CertificateAuthority>(
+      "tpm-manufacturer", to_bytes("pool-mfg-seed"));
+
+  keylime::VerifierPoolConfig pool_config;
+  pool_config.shards = options_.shards;
+  pool_config.verifier = options_.verifier;
+  pool_config.scheduler = options_.scheduler;
+  pool_config.retrying_transport = options_.retrying_transport;
+  pool_ = std::make_unique<keylime::VerifierPool>(options_.seed, pool_config);
+  pool_->trust_manufacturer(tpm_ca_->public_key());
+  if (options_.metrics) pool_->use_telemetry(options_.metrics);
+
+  // The shared image: binary content is a pure function of the path, so
+  // every machine measures identical file hashes and one policy revision
+  // covers the fleet.
+  binaries_.reserve(options_.binaries_per_machine);
+  for (std::size_t b = 0; b < options_.binaries_per_machine; ++b) {
+    binaries_.push_back(strformat("/usr/bin/tool-%03zu", b));
+  }
+
+  for (std::size_t i = 0; i < options_.agents; ++i) {
+    oskernel::MachineConfig cfg;
+    cfg.hostname = strformat("agent-%04zu", i);
+    cfg.seed = options_.seed + i + 1;  // distinct TPM identities
+    const std::size_t shard = pool_->shard_for(cfg.hostname);
+    machines_.push_back(std::make_unique<oskernel::Machine>(
+        cfg, *tpm_ca_, &pool_->clock(shard)));
+    oskernel::Machine& machine = *machines_.back();
+    for (const std::string& path : binaries_) {
+      (void)machine.fs().create_file(path, to_bytes("elf:" + path), true);
+    }
+    agents_.push_back(std::make_unique<keylime::Agent>(
+        &machine, &pool_->network(shard)));
+    keylime::Agent& agent = *agents_.back();
+    if (Status s = agent.register_with(keylime::Registrar::address());
+        !s.ok()) {
+      init_status_ = s;
+      return;
+    }
+    if (Status s = pool_->enroll(cfg.hostname, agent.address()); !s.ok()) {
+      init_status_ = s;
+      return;
+    }
+    agent_ids_.push_back(cfg.hostname);
+  }
+}
+
+PoolFleet::~PoolFleet() = default;
+
+keylime::RuntimePolicy PoolFleet::fleet_policy() const {
+  return scan_machine_policy(*machines_.front(), /*exclude_tmp=*/true);
+}
+
+Status PoolFleet::push_fleet_policy() {
+  return pool_->set_fleet_policy(fleet_policy());
+}
+
+void PoolFleet::run_workload_round(std::uint64_t round) {
+  if (binaries_.empty()) return;
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    // A deterministic slice of the binary set, disjoint from the
+    // previous round's slice until the set wraps: each round produces
+    // fresh first-execution measurements for the verifier to appraise.
+    // The slice depends only on the round number, never on the shard
+    // layout.
+    for (std::size_t k = 0; k < options_.execs_per_round; ++k) {
+      const std::size_t b =
+          (round * options_.execs_per_round + k) % binaries_.size();
+      (void)machines_[i]->exec(binaries_[b]);
+    }
+  }
+}
+
+void PoolFleet::exec_unknown(std::size_t i) {
+  oskernel::Machine& machine = *machines_.at(i);
+  const std::string path =
+      strformat("/usr/local/bin/dropper-%04zu", i);
+  (void)machine.fs().create_file(path, to_bytes("elf:unknown:" + path), true);
+  (void)machine.exec(path);
+}
+
+}  // namespace cia::experiments

@@ -1,0 +1,86 @@
+// A ready-made sharded-attestation fleet for benchmarks and tests.
+//
+// PoolFleet builds a VerifierPool plus N agent machines sharing one
+// deterministic image: every machine carries the same synthetic binary
+// set (content is a pure function of the path), so a single scanned
+// RuntimePolicy covers the whole fleet and one PolicyIndex revision can
+// be bulk-pushed to every shard. Machines, agents, and workloads are all
+// seeded independently of the shard count, which is what lets the
+// determinism tests compare per-agent verdicts across different pool
+// partitions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "keylime/agent.hpp"
+#include "keylime/verifier_pool.hpp"
+#include "oskernel/machine.hpp"
+
+namespace cia::experiments {
+
+struct PoolFleetOptions {
+  std::size_t agents = 64;
+  std::size_t shards = 4;
+  std::uint64_t seed = 42;
+  /// Synthetic executables installed on every machine (identical
+  /// content fleet-wide, so one policy covers everyone).
+  std::size_t binaries_per_machine = 24;
+  /// Binaries executed per machine per workload round. Successive rounds
+  /// walk disjoint slices of the binary set (IMA caches unchanged files,
+  /// so only first executions produce measurements to appraise).
+  std::size_t execs_per_round = 4;
+  keylime::VerifierConfig verifier;
+  keylime::SchedulerConfig scheduler;
+  bool retrying_transport = true;
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+class PoolFleet {
+ public:
+  explicit PoolFleet(const PoolFleetOptions& options);
+  ~PoolFleet();
+
+  PoolFleet(const PoolFleet&) = delete;
+  PoolFleet& operator=(const PoolFleet&) = delete;
+
+  /// Construction outcome: registration or enrolment failures surface
+  /// here instead of from the constructor.
+  const Status& init_status() const { return init_status_; }
+
+  keylime::VerifierPool& pool() { return *pool_; }
+  const keylime::VerifierPool& pool() const { return *pool_; }
+
+  const std::vector<std::string>& agent_ids() const { return agent_ids_; }
+  oskernel::Machine& machine(std::size_t i) { return *machines_.at(i); }
+
+  /// The policy covering the shared fleet image (every synthetic binary,
+  /// /tmp excluded) — scanned once from machine 0.
+  keylime::RuntimePolicy fleet_policy() const;
+
+  /// Bulk-push fleet_policy() to every agent: one PolicyIndex revision
+  /// shared across all shards.
+  Status push_fleet_policy();
+
+  /// One benign workload round: every machine executes a deterministic,
+  /// round-varying subset of its binaries. Independent of the shard
+  /// count, so the IMA log an agent accumulates is too.
+  void run_workload_round(std::uint64_t round);
+
+  /// Plant and execute an unknown binary on machine `i` — the next
+  /// attestation of that agent must raise kNotInPolicy.
+  void exec_unknown(std::size_t i);
+
+ private:
+  PoolFleetOptions options_;
+  std::unique_ptr<crypto::CertificateAuthority> tpm_ca_;
+  std::unique_ptr<keylime::VerifierPool> pool_;
+  std::vector<std::unique_ptr<oskernel::Machine>> machines_;
+  std::vector<std::unique_ptr<keylime::Agent>> agents_;
+  std::vector<std::string> agent_ids_;
+  std::vector<std::string> binaries_;
+  Status init_status_;
+};
+
+}  // namespace cia::experiments

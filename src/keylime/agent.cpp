@@ -63,10 +63,13 @@ Result<Bytes> Agent::handle(const std::string& kind, const Bytes& payload) {
 
   const auto wall_start = std::chrono::steady_clock::now();
   QuoteResponse resp;
-  resp.quote = machine_->tpm().quote(req.value().nonce, quoted_pcrs());
+  resp.boot_count = static_cast<std::uint32_t>(machine_->boot_count());
+  // Quote over the challenge with our boot counter bound in, so the
+  // verifier can trust the reboot signal as much as the quote itself.
+  resp.quote = machine_->tpm().quote(
+      bound_quote_nonce(req.value().nonce, resp.boot_count), quoted_pcrs());
   resp.entries = machine_->ima().log_since(req.value().log_offset);
   resp.total_log_length = machine_->ima().log().size();
-  resp.boot_count = static_cast<std::uint32_t>(machine_->boot_count());
   Bytes encoded = resp.encode();
   if (metrics_) {
     const telemetry::Labels labels{{"agent", agent_id_}};

@@ -238,4 +238,13 @@ Result<QuoteResponse> QuoteResponse::decode(const Bytes& b) {
   return resp;
 }
 
+Bytes bound_quote_nonce(const Bytes& challenge, std::uint32_t boot_count) {
+  Bytes bound = challenge;
+  bound.push_back(static_cast<std::uint8_t>(boot_count));
+  bound.push_back(static_cast<std::uint8_t>(boot_count >> 8));
+  bound.push_back(static_cast<std::uint8_t>(boot_count >> 16));
+  bound.push_back(static_cast<std::uint8_t>(boot_count >> 24));
+  return bound;
+}
+
 }  // namespace cia::keylime

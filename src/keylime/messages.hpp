@@ -76,6 +76,10 @@ struct QuoteRequest {
 };
 
 /// Agent -> verifier: quote + incremental measurement list.
+/// `boot_count` is authenticated by folding it into the quoted nonce
+/// (bound_quote_nonce) — it is the field that tells the verifier to roll
+/// its incremental log cursor back to zero, so it must be as tamper-proof
+/// as the quote itself.
 struct QuoteResponse {
   tpm::Quote quote;
   std::vector<ima::LogEntry> entries;  // log[log_offset:]
@@ -85,6 +89,14 @@ struct QuoteResponse {
   Bytes encode() const;
   static Result<QuoteResponse> decode(const Bytes& b);
 };
+
+/// The nonce the agent actually quotes: the verifier's challenge with the
+/// agent's boot counter appended (little-endian u32). Because the AK
+/// signature covers the quoted nonce, a man-in-the-middle who rewrites
+/// boot_count in the response fails quote verification instead of
+/// tricking the verifier into a full-log re-read that double-counts every
+/// already-appraised entry.
+Bytes bound_quote_nonce(const Bytes& challenge, std::uint32_t boot_count);
 
 /// Agent -> verifier: the TCG boot event log of the current boot.
 struct BootLogResponse {

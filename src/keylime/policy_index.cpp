@@ -1,0 +1,91 @@
+#include "keylime/policy_index.hpp"
+
+#include <algorithm>
+
+#include "common/strutil.hpp"
+
+namespace cia::keylime {
+
+namespace {
+
+/// Is `glob` of the shape "PREFIX*" where PREFIX is literal (no other
+/// metacharacters) and names a directory (ends with '/')? Such a glob
+/// matches a path exactly when PREFIX is a prefix of it — glob_match's
+/// '*' spans any characters, '/' included — so it compiles to a hash
+/// probe instead of a backtracking scan.
+bool is_dir_prefix_glob(const std::string& glob, std::string* prefix) {
+  if (glob.size() < 2 || glob.back() != '*') return false;
+  const std::string head = glob.substr(0, glob.size() - 1);
+  if (head.find_first_of("*?") != std::string::npos) return false;
+  if (head.back() != '/') return false;
+  *prefix = head;
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const PolicyIndex> PolicyIndex::build(
+    const RuntimePolicy& policy, std::uint64_t revision) {
+  auto index = std::make_shared<PolicyIndex>();
+  index->revision_ = revision;
+  index->entry_count_ = policy.entry_count();
+  for (const std::string& glob : policy.excludes()) {
+    std::string prefix;
+    if (is_dir_prefix_glob(glob, &prefix)) {
+      index->dir_excludes_.insert(std::move(prefix));
+    } else {
+      index->general_excludes_.push_back(glob);
+    }
+  }
+  index->paths_.reserve(policy.path_count());
+  policy.for_each_path(
+      [&](const std::string& path, const std::vector<std::string>& hashes) {
+        PathEntry entry;
+        entry.excluded = index->excluded_by_scan(path);
+        entry.hashes = hashes;
+        index->paths_.emplace(path, std::move(entry));
+      });
+  return index;
+}
+
+bool PolicyIndex::excluded_by_scan(const std::string& path) const {
+  if (!dir_excludes_.empty()) {
+    // A compiled "DIR/*" glob matches iff DIR/ is a prefix of the path,
+    // and every such prefix ends at one of the path's '/' characters.
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      if (path[i] != '/') continue;
+      if (dir_excludes_.count(path.substr(0, i + 1)) != 0) return true;
+    }
+  }
+  for (const std::string& glob : general_excludes_) {
+    if (glob_match(glob, path)) return true;
+  }
+  return false;
+}
+
+PolicyMatch PolicyIndex::check(const std::string& path,
+                               const std::string& hash_hex,
+                               bool* known) const {
+  auto it = paths_.find(path);
+  if (it != paths_.end()) {
+    if (known) *known = true;
+    const PathEntry& entry = it->second;
+    if (entry.excluded) return PolicyMatch::kExcluded;
+    if (std::find(entry.hashes.begin(), entry.hashes.end(), hash_hex) !=
+        entry.hashes.end()) {
+      return PolicyMatch::kAllowed;
+    }
+    return PolicyMatch::kHashMismatch;
+  }
+  if (known) *known = false;
+  if (excluded_by_scan(path)) return PolicyMatch::kExcluded;
+  return PolicyMatch::kNotInPolicy;
+}
+
+PolicyMatch PolicyIndex::check(const std::string& path,
+                               const crypto::Digest& hash,
+                               bool* known) const {
+  return check(path, crypto::digest_hex(hash), known);
+}
+
+}  // namespace cia::keylime

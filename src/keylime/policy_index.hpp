@@ -1,0 +1,74 @@
+// An immutable hash-map index over one RuntimePolicy revision.
+//
+// The paper's deployment appraises every IMA entry against a 323,734-line
+// (46 MB) policy; RuntimePolicy::check pays an ordered-map path lookup
+// plus a glob scan over the exclude list on every call. PolicyIndex is
+// built once per policy revision and answers the same query from a flat
+// hash table with the exclusion verdict precomputed per indexed path —
+// the hot path (an allowed entry) is one string hash and one memcmp-sized
+// compare.
+//
+// Indexes are shared read-only across verifier shards via
+// shared_ptr<const PolicyIndex>: a dynamic policy update builds a fresh
+// index and swaps the pointer (copy-on-write), so a shard mid-appraisal
+// keeps its consistent snapshot and never observes a torn table.
+// check() must agree with RuntimePolicy::check on every input — a
+// property test in tests/property_test.cpp holds the two implementations
+// against each other over generated policies and adversarial paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "keylime/runtime_policy.hpp"
+
+namespace cia::keylime {
+
+class PolicyIndex {
+ public:
+  /// Build an index over `policy`. `revision` tags the snapshot (the
+  /// pool bumps it once per dynamic policy push) and is observability
+  /// metadata only — lookups never consult it.
+  static std::shared_ptr<const PolicyIndex> build(const RuntimePolicy& policy,
+                                                  std::uint64_t revision = 0);
+
+  /// Exactly RuntimePolicy::check, answered from the index. When
+  /// `known` is non-null it reports whether the path was resolved from
+  /// the table (hit) or fell through to the exclude-glob scan (miss).
+  PolicyMatch check(const std::string& path, const std::string& hash_hex,
+                    bool* known = nullptr) const;
+  PolicyMatch check(const std::string& path, const crypto::Digest& hash,
+                    bool* known = nullptr) const;
+
+  std::uint64_t revision() const { return revision_; }
+  std::size_t path_count() const { return paths_.size(); }
+  std::size_t entry_count() const { return entry_count_; }
+
+  /// Paths absent from the table still need an exclusion verdict. The
+  /// exclude list is compiled at build time: globs of the shape
+  /// "DIR/*" (a literal directory prefix, one trailing star) become hash
+  /// probes on the path's "/" boundaries; only general patterns —
+  /// suffix/infix globs like "*.log" or "*/__pycache__/*" — fall back to
+  /// the backtracking matcher. Exposed for tests.
+  bool excluded_by_scan(const std::string& path) const;
+
+ private:
+  struct PathEntry {
+    bool excluded = false;  // is_excluded(path), precomputed at build
+    std::vector<std::string> hashes;
+  };
+
+  std::unordered_map<std::string, PathEntry> paths_;
+  /// Compiled "DIR/*" excludes, keyed by the literal prefix (ends '/').
+  std::unordered_set<std::string> dir_excludes_;
+  /// Everything the compiler could not reduce to a prefix probe.
+  std::vector<std::string> general_excludes_;
+  std::size_t entry_count_ = 0;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace cia::keylime

@@ -181,6 +181,20 @@ Result<RuntimePolicy> RuntimePolicy::from_json(const json::Value& doc) {
   return policy;
 }
 
+void RuntimePolicy::for_each_path(
+    const std::function<void(const std::string&,
+                             const std::vector<std::string>&)>& fn) const {
+  for (const auto& [path, hashes] : allow_) fn(path, hashes);
+}
+
+Status PolicySink::set_policy_bulk(const std::vector<std::string>& agent_ids,
+                                   const RuntimePolicy& policy) {
+  for (const std::string& id : agent_ids) {
+    if (Status s = set_policy(id, policy); !s.ok()) return s;
+  }
+  return Status::ok_status();
+}
+
 void RuntimePolicy::merge(const RuntimePolicy& other) {
   for (const auto& glob : other.excludes_) {
     if (std::find(excludes_.begin(), excludes_.end(), glob) == excludes_.end()) {

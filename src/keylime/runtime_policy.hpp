@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -81,11 +82,39 @@ class RuntimePolicy {
   /// Union with another policy (their hashes appended after ours).
   void merge(const RuntimePolicy& other);
 
+  /// Visit every (path, acceptable-hash list) pair in path order — the
+  /// bulk-read hook PolicyIndex::build uses so an index never has to
+  /// round-trip 300k entries through JSON or text.
+  void for_each_path(
+      const std::function<void(const std::string& path,
+                               const std::vector<std::string>& hashes)>& fn)
+      const;
+
  private:
   // Insertion-ordered acceptable hashes per path.
   std::map<std::string, std::vector<std::string>> allow_;
   std::vector<std::string> excludes_;
   std::size_t entry_count_ = 0;
+};
+
+/// Anything that can receive runtime-policy pushes for enrolled agents:
+/// a Verifier directly, or a VerifierPool routing each agent to its
+/// owning shard. The dynamic-policy orchestrator pushes through this
+/// interface so single-verifier and sharded deployments share one update
+/// workflow.
+class PolicySink {
+ public:
+  virtual ~PolicySink() = default;
+
+  /// Install/replace the runtime policy for one agent.
+  virtual Status set_policy(const std::string& agent_id,
+                            RuntimePolicy policy) = 0;
+
+  /// Install one policy on many agents. The default loops set_policy;
+  /// sharded implementations override it to build the shared lookup
+  /// index once per policy revision instead of once per agent.
+  virtual Status set_policy_bulk(const std::vector<std::string>& agent_ids,
+                                 const RuntimePolicy& policy);
 };
 
 }  // namespace cia::keylime

@@ -92,6 +92,19 @@ Status Verifier::set_policy(const std::string& agent_id, RuntimePolicy policy) {
     return err(Errc::kNotFound, "unknown agent " + agent_id);
   }
   it->second.policy = std::move(policy);
+  it->second.index.reset();  // a stale index must never outlive its policy
+  return Status::ok_status();
+}
+
+Status Verifier::set_indexed_policy(const std::string& agent_id,
+                                    RuntimePolicy policy,
+                                    std::shared_ptr<const PolicyIndex> index) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  it->second.policy = std::move(policy);
+  it->second.index = std::move(index);
   return Status::ok_status();
 }
 
@@ -137,7 +150,8 @@ Result<BootLogReport> Verifier::attest_boot_log(const std::string& agent_id) {
   auto resp = QuoteResponse::decode(quote_bytes.value());
   if (!resp.ok()) return resp.error();
   if (!resp.value().quote.verify(rec.ak) ||
-      resp.value().quote.nonce != req.nonce ||
+      resp.value().quote.nonce !=
+          bound_quote_nonce(req.nonce, resp.value().boot_count) ||
       resp.value().quote.pcr_indices != quoted_pcrs()) {
     return err(Errc::kCryptoFailure, "bad quote during boot-log attestation");
   }
@@ -355,31 +369,38 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
   QuoteResponse& qr = resp.value();
   last_quote_digest_ = crypto::sha256(qr.quote.attested_message());
 
-  // Reboot: the agent's measurement list restarted. Reset incremental
-  // state; the next round fetches the fresh log from index 0. On first
-  // contact (boot_count 0 sentinel) simply adopt the agent's count.
-  if (rec.boot_count == 0) {
-    rec.boot_count = qr.boot_count;
-  } else if (qr.boot_count != rec.boot_count) {
-    rec.boot_count = qr.boot_count;
-    rec.log_offset = 0;
-    rec.accumulated_pcr = crypto::zero_digest();
-    rec.pending.clear();
-    round.reboot_detected = true;
-    return round;
-  }
-
   {
-    // 1. The quote must be genuine and fresh.
+    // 1. The quote must be genuine and fresh. The expected nonce binds
+    // the response's claimed boot_count under the AK signature
+    // (bound_quote_nonce): acting on an unauthenticated reboot signal
+    // used to let one garbled response roll log_offset back to zero, so
+    // the retry after a transport fault re-fetched the complete log and
+    // appraised (and alerted on) every entry a second time.
     auto span = trace_span("tpm_verify");
-    if (!qr.quote.verify(rec.ak) || qr.quote.nonce != req.nonce ||
+    if (!qr.quote.verify(rec.ak) ||
+        qr.quote.nonce != bound_quote_nonce(req.nonce, qr.boot_count) ||
         qr.quote.pcr_indices != quoted_pcrs()) {
       raise(rec, agent_id, AlertType::kQuoteInvalid, "", "",
             "bad signature, nonce, or PCR selection", rec.log_offset, round);
       return round;
     }
 
-    // 1b. The boot chain must match the golden refstate, when one is
+    // 2. Reboot: the agent's measurement list restarted. Reset
+    // incremental state; the next round fetches the fresh log from
+    // index 0. On first contact (boot_count 0 sentinel) simply adopt
+    // the agent's count. Runs only on a verified quote — see step 1.
+    if (rec.boot_count == 0) {
+      rec.boot_count = qr.boot_count;
+    } else if (qr.boot_count != rec.boot_count) {
+      rec.boot_count = qr.boot_count;
+      rec.log_offset = 0;
+      rec.accumulated_pcr = crypto::zero_digest();
+      rec.pending.clear();
+      round.reboot_detected = true;
+      return round;
+    }
+
+    // 2b. The boot chain must match the golden refstate, when one is
     // pinned.
     if (rec.mb_refstate) {
       const MbRefstate quoted{qr.quote.pcr_values[0], qr.quote.pcr_values[1],
@@ -399,7 +420,7 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
       tracer_->annotate("entries", strformat("%zu", qr.entries.size()));
     }
 
-    // 2. Each entry's template hash must be the hash of its own data —
+    // 3. Each entry's template hash must be the hash of its own data —
     // otherwise a man-in-the-middle could swap the path or file hash the
     // policy evaluates while leaving the PCR fold intact.
     for (const auto& e : qr.entries) {
@@ -414,7 +435,7 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
       }
     }
 
-    // 3. The shipped log fragment must reproduce the quoted PCR 10.
+    // 4. The shipped log fragment must reproduce the quoted PCR 10.
     crypto::Digest folded = rec.accumulated_pcr;
     for (const auto& e : qr.entries) {
       crypto::Sha256 ctx;
@@ -438,8 +459,12 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
     rec.accumulated_pcr = folded;
   }
 
-  // 4. Evaluate pending entries against the runtime policy, in order.
+  // 5. Evaluate pending entries against the runtime policy, in order —
+  // through the shared PolicyIndex snapshot when one is installed (the
+  // shared_ptr keeps this round's revision alive across a concurrent
+  // copy-on-write policy swap), else the linear RuntimePolicy scan.
   auto span = trace_span("policy_decision");
+  const std::shared_ptr<const PolicyIndex> index_snapshot = rec.index;
   while (!rec.pending.empty()) {
     const auto& [index, entry] = rec.pending.front();
     ++round.evaluated;
@@ -447,7 +472,14 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
       rec.pending.pop_front();
       continue;
     }
-    const PolicyMatch match = rec.policy.check(entry.path, entry.file_hash);
+    PolicyMatch match;
+    if (index_snapshot) {
+      bool known = false;
+      match = index_snapshot->check(entry.path, entry.file_hash, &known);
+      ++(known ? index_stats_.hits : index_stats_.misses);
+    } else {
+      match = rec.policy.check(entry.path, entry.file_hash);
+    }
     if (match == PolicyMatch::kAllowed || match == PolicyMatch::kExcluded) {
       rec.pending.pop_front();
       continue;

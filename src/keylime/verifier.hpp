@@ -12,6 +12,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "keylime/audit.hpp"
 #include "keylime/messages.hpp"
 #include "keylime/notifier.hpp"
+#include "keylime/policy_index.hpp"
 #include "keylime/runtime_policy.hpp"
 #include "netsim/network.hpp"
 #include "telemetry/metrics.hpp"
@@ -101,7 +103,7 @@ struct BootLogReport {
   }
 };
 
-class Verifier {
+class Verifier : public PolicySink {
  public:
   Verifier(netsim::SimNetwork* network, SimClock* clock, std::uint64_t seed,
            VerifierConfig config = {});
@@ -124,8 +126,28 @@ class Verifier {
   Status add_agent(const std::string& agent_id, const std::string& address);
 
   /// Install/replace the runtime policy for an agent (the dynamic policy
-  /// generator pushes through here before each scheduled update).
-  Status set_policy(const std::string& agent_id, RuntimePolicy policy);
+  /// generator pushes through here before each scheduled update). Drops
+  /// any installed PolicyIndex — a plain push has no index revision, so
+  /// appraisal falls back to RuntimePolicy::check until one is installed.
+  Status set_policy(const std::string& agent_id, RuntimePolicy policy) override;
+
+  /// Install a policy together with a prebuilt shared lookup index (the
+  /// VerifierPool path: one index per policy revision, shared read-only
+  /// across every shard and agent it covers). The swap is copy-on-write:
+  /// an appraisal already running against the old index keeps its
+  /// snapshot alive through the shared_ptr.
+  Status set_indexed_policy(const std::string& agent_id, RuntimePolicy policy,
+                            std::shared_ptr<const PolicyIndex> index);
+
+  /// Cumulative PolicyIndex lookup tallies across all agents: a hit
+  /// resolved the path from the index table, a miss fell through to the
+  /// exclude-glob scan. Entries appraised without an index count in
+  /// neither.
+  struct IndexStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  const IndexStats& index_stats() const { return index_stats_; }
 
   /// Install a measured-boot refstate for an agent; PCR 0/4/7 of every
   /// subsequent quote must match it.
@@ -200,6 +222,7 @@ class Verifier {
     std::string address;
     crypto::PublicKey ak;
     RuntimePolicy policy;
+    std::shared_ptr<const PolicyIndex> index;  // null: linear appraisal
     std::optional<MbRefstate> mb_refstate;
     std::vector<oskernel::BootEvent> boot_baseline;
     AgentState state = AgentState::kAttesting;
@@ -233,6 +256,7 @@ class Verifier {
   telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::Tracer* tracer_ = nullptr;
   crypto::Digest last_quote_digest_{};  // set by attest_once_impl
+  IndexStats index_stats_;
 };
 
 }  // namespace cia::keylime

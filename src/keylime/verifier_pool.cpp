@@ -1,0 +1,341 @@
+#include "keylime/verifier_pool.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace cia::keylime {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// murmur3's 64-bit finalizer. FNV-1a alone is unusable as a ring hash:
+/// ids that differ only in trailing characters ("agent-0001",
+/// "agent-0002", ...) hash within ~2^40 of each other — one multiply by
+/// the FNV prime never reaches the high bits — so an entire fleet of
+/// sequentially named agents collapses into a single ring gap and one
+/// shard owns everything. fmix64 avalanches every input bit across the
+/// word.
+std::uint64_t fmix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+std::uint64_t ring_hash(const std::string& s) { return fmix64(fnv1a(s)); }
+
+}  // namespace
+
+VerifierPool::Shard::Shard(std::uint64_t pool_seed, std::size_t shard_index,
+                           const VerifierPoolConfig& config)
+    : index(shard_index),
+      clock(),
+      // Every shard network uses the SAME seed: per-link fault streams
+      // derive from (network seed ^ fnv1a(address)), so the faults an
+      // agent experiences depend only on the pool seed and its own
+      // address — never on which shard it landed on. This is the
+      // invariant the cross-shard-count determinism tests pin down.
+      network(&clock, pool_seed ^ 0xf1ee7ULL),
+      registrar(&network, &clock, pool_seed ^ 1),
+      verifier(&network, &clock,
+               pool_seed ^ 2 ^ (0x9e3779b97f4a7c15ULL * (shard_index + 1)),
+               config.verifier),
+      transport(config.retrying_transport
+                    ? std::make_unique<netsim::RetryingTransport>(
+                          &network, &clock,
+                          pool_seed ^ 3 ^ (0xbf58476d1ce4e5b9ULL *
+                                           (shard_index + 1)),
+                          config.retry)
+                    : nullptr),
+      scheduler(&verifier, &clock, config.scheduler) {
+  if (transport) verifier.use_transport(transport.get());
+}
+
+VerifierPool::VerifierPool(std::uint64_t seed, VerifierPoolConfig config)
+    : seed_(seed), config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.ring_replicas == 0) config_.ring_replicas = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(seed_, s, config_));
+    for (std::size_t r = 0; r < config_.ring_replicas; ++r) {
+      const std::string point =
+          "shard-" + std::to_string(s) + "-" + std::to_string(r);
+      ring_.emplace_back(ring_hash(point), static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+VerifierPool::~VerifierPool() = default;
+
+std::size_t VerifierPool::shard_for(const std::string& agent_id) const {
+  const std::uint64_t h = ring_hash(agent_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const auto& point, std::uint64_t key) { return point.first < key; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+netsim::SimNetwork& VerifierPool::network(std::size_t shard) {
+  return shards_.at(shard)->network;
+}
+
+SimClock& VerifierPool::clock(std::size_t shard) {
+  return shards_.at(shard)->clock;
+}
+
+Verifier& VerifierPool::verifier(std::size_t shard) {
+  return shards_.at(shard)->verifier;
+}
+
+const Verifier& VerifierPool::verifier(std::size_t shard) const {
+  return shards_.at(shard)->verifier;
+}
+
+const AttestationScheduler& VerifierPool::scheduler(std::size_t shard) const {
+  return shards_.at(shard)->scheduler;
+}
+
+void VerifierPool::trust_manufacturer(const crypto::PublicKey& ca_key) {
+  for (auto& shard : shards_) shard->registrar.trust_manufacturer(ca_key);
+}
+
+Status VerifierPool::enroll(const std::string& agent_id,
+                            const std::string& address) {
+  const std::size_t s = shard_for(agent_id);
+  Shard& shard = *shards_[s];
+  if (Status st = shard.verifier.add_agent(agent_id, address); !st.ok()) {
+    return st;
+  }
+  shard.scheduler.enroll(agent_id);
+  {
+    std::lock_guard<std::mutex> lock(owners_mu_);
+    owners_[agent_id] = s;
+  }
+  if (metrics_) {
+    metrics_
+        ->gauge("cia_pool_agents", {{"shard", std::to_string(s)}})
+        .set(static_cast<double>(shard.verifier.agent_ids().size()));
+  }
+  return Status::ok_status();
+}
+
+Status VerifierPool::set_policy(const std::string& agent_id,
+                                RuntimePolicy policy) {
+  std::uint64_t revision;
+  {
+    std::lock_guard<std::mutex> lock(revision_mu_);
+    revision = ++revision_;
+  }
+  auto index = PolicyIndex::build(policy, revision);
+  Shard& shard = *shards_[shard_for(agent_id)];
+  std::lock_guard<std::mutex> lock(shard.mailbox_mu);
+  shard.mailbox.push_back({agent_id, std::move(policy), std::move(index)});
+  return Status::ok_status();
+}
+
+Status VerifierPool::set_policy_bulk(const std::vector<std::string>& agent_ids,
+                                     const RuntimePolicy& policy) {
+  std::uint64_t revision;
+  {
+    std::lock_guard<std::mutex> lock(revision_mu_);
+    revision = ++revision_;
+  }
+  // One index for the whole revision; every covered agent on every shard
+  // shares it read-only.
+  const auto index = PolicyIndex::build(policy, revision);
+  for (const std::string& id : agent_ids) {
+    Shard& shard = *shards_[shard_for(id)];
+    std::lock_guard<std::mutex> lock(shard.mailbox_mu);
+    shard.mailbox.push_back({id, policy, index});
+  }
+  return Status::ok_status();
+}
+
+Status VerifierPool::set_fleet_policy(const RuntimePolicy& policy) {
+  return set_policy_bulk(agent_ids(), policy);
+}
+
+std::uint64_t VerifierPool::policy_revision() const {
+  std::lock_guard<std::mutex> lock(revision_mu_);
+  return revision_;
+}
+
+void VerifierPool::set_fleet_faults(const netsim::FaultProfile& faults) {
+  for (auto& shard : shards_) shard->network.set_faults(faults);
+}
+
+void VerifierPool::set_fleet_schedule(const netsim::FaultSchedule& schedule) {
+  for (auto& shard : shards_) shard->network.set_global_schedule(schedule);
+}
+
+void VerifierPool::apply_pending(Shard& shard) {
+  std::vector<PendingPolicy> pending;
+  {
+    std::lock_guard<std::mutex> lock(shard.mailbox_mu);
+    pending.swap(shard.mailbox);
+  }
+  for (PendingPolicy& p : pending) {
+    // The swap itself is copy-on-write: an appraisal that already
+    // snapshotted the old index keeps it alive through its shared_ptr.
+    Status st = shard.verifier.set_indexed_policy(
+        p.agent_id, std::move(p.policy), std::move(p.index));
+    if (!st.ok()) {
+      CIA_LOG_WARN("pool", "policy swap for " + p.agent_id +
+                               " failed: " + st.error().message);
+      continue;
+    }
+    ++shard.policy_swaps;
+  }
+}
+
+void VerifierPool::record_batch(Shard& shard, std::size_t batch_size,
+                                SimTime started) {
+  ++shard.batches;
+  if (!metrics_) return;
+  const telemetry::Labels labels{{"shard", std::to_string(shard.index)}};
+  metrics_
+      ->histogram("cia_pool_batch_size", labels, telemetry::count_buckets())
+      .observe(static_cast<double>(batch_size));
+  metrics_
+      ->histogram("cia_pool_round_latency_seconds", labels,
+                  telemetry::latency_seconds_buckets())
+      .observe(static_cast<double>(shard.clock.now() - started));
+  metrics_->counter("cia_pool_polls_total", labels).inc(batch_size);
+  metrics_->counter("cia_pool_batches_total", labels).inc();
+  // Index lookup tallies accumulate inside the shard verifier; export
+  // the delta since the last batch so the pool counters stay monotonic.
+  const Verifier::IndexStats& stats = shard.verifier.index_stats();
+  if (stats.hits > shard.exported_hits) {
+    metrics_->counter("cia_pool_index_hits_total", labels)
+        .inc(stats.hits - shard.exported_hits);
+    shard.exported_hits = stats.hits;
+  }
+  if (stats.misses > shard.exported_misses) {
+    metrics_->counter("cia_pool_index_misses_total", labels)
+        .inc(stats.misses - shard.exported_misses);
+    shard.exported_misses = stats.misses;
+  }
+}
+
+void VerifierPool::parallel_shards(const std::function<void(Shard&)>& body) {
+  // One worker per shard, joined before returning: the join is the
+  // ownership handoff that lets the driver thread inspect shard state
+  // between rounds without synchronization.
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    workers.emplace_back([&body, &shard] { body(*shard); });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+std::size_t VerifierPool::advance_to(SimTime t) {
+  std::size_t before = 0;
+  for (auto& shard : shards_) before += shard->polls;
+  parallel_shards([this, t](Shard& shard) {
+    while (true) {
+      const SimTime due = shard.scheduler.next_due();
+      if (due > t) break;  // nothing left before the horizon
+      shard.clock.advance_to(due);
+      apply_pending(shard);  // batch boundary: swap in pending policies
+      const SimTime started = shard.clock.now();
+      const std::size_t polled = shard.scheduler.tick();
+      shard.polls += polled;
+      if (polled > 0) record_batch(shard, polled, started);
+    }
+    shard.clock.advance_to(t);
+  });
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->polls;
+  return total - before;
+}
+
+std::size_t VerifierPool::run_round() {
+  std::size_t before = 0;
+  for (auto& shard : shards_) before += shard->polls;
+  parallel_shards([this](Shard& shard) {
+    apply_pending(shard);
+    const SimTime started = shard.clock.now();
+    const auto rounds = shard.verifier.attest_all();
+    shard.polls += rounds.size();
+    if (!rounds.empty()) record_batch(shard, rounds.size(), started);
+  });
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->polls;
+  return total - before;
+}
+
+void VerifierPool::use_telemetry(telemetry::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  for (auto& shard : shards_) {
+    shard->network.use_telemetry(metrics);
+    shard->verifier.use_telemetry(metrics);
+    shard->scheduler.use_telemetry(metrics);
+    if (shard->transport) shard->transport->use_telemetry(metrics);
+  }
+}
+
+std::optional<AgentState> VerifierPool::state(
+    const std::string& agent_id) const {
+  return shards_[shard_for(agent_id)]->verifier.state(agent_id);
+}
+
+Status VerifierPool::resolve_failure(const std::string& agent_id) {
+  return shards_[shard_for(agent_id)]->verifier.resolve_failure(agent_id);
+}
+
+std::vector<std::string> VerifierPool::agent_ids() const {
+  std::vector<std::string> ids;
+  std::lock_guard<std::mutex> lock(owners_mu_);
+  ids.reserve(owners_.size());
+  for (const auto& [id, shard] : owners_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<Alert> VerifierPool::alerts() const {
+  std::vector<Alert> merged;
+  for (const auto& shard : shards_) {
+    const auto& alerts = shard->verifier.alerts();
+    merged.insert(merged.end(), alerts.begin(), alerts.end());
+  }
+  // Shard-count-independent order: an alert's identity is (time, agent,
+  // log index, type), none of which depend on the partition.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Alert& a, const Alert& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.agent_id != b.agent_id) return a.agent_id < b.agent_id;
+                     if (a.log_index != b.log_index) return a.log_index < b.log_index;
+                     return static_cast<int>(a.type) < static_cast<int>(b.type);
+                   });
+  return merged;
+}
+
+VerifierPool::Stats VerifierPool::stats() const {
+  Stats s;
+  for (const auto& shard : shards_) {
+    s.polls += shard->polls;
+    s.batches += shard->batches;
+    s.policy_swaps += shard->policy_swaps;
+    const Verifier::IndexStats& is = shard->verifier.index_stats();
+    s.index_hits += is.hits;
+    s.index_misses += is.misses;
+  }
+  return s;
+}
+
+}  // namespace cia::keylime

@@ -1,0 +1,220 @@
+// A sharded verifier pool: the fleet partitioned across N worker threads.
+//
+// The paper's deployment attests a fleet continuously against a
+// 46 MB runtime policy; a single verifier thread serializes every round.
+// VerifierPool shards the fleet with a consistent-hash ring over agent
+// ids, runs one complete verification stack per shard — virtual clock,
+// simulated network, registrar, retrying transport, verifier, and
+// attestation scheduler — and drives all shards concurrently, one worker
+// thread per shard, joining at round boundaries.
+//
+// Shard isolation is what makes the pool both thread-safe and
+// deterministic:
+//   * no simulation object is ever touched by two threads: each shard's
+//     clock/network/verifier belong to its worker during a round and to
+//     the driver thread between rounds (the join is the handoff);
+//   * every shard network is seeded identically (per-link fault streams
+//     derive from the destination address, not the shard), so the fault
+//     sequence an agent experiences is invariant to the shard count —
+//     per-agent attestation verdicts do not change when the fleet is
+//     re-partitioned;
+//   * the shared MetricsRegistry is thread-safe and order-independent,
+//     so the telemetry snapshot of a run is byte-identical for a fixed
+//     (seed, shard count).
+//
+// Policy updates are copy-on-write: set_policy_bulk builds ONE
+// PolicyIndex for the new revision, enqueues the swap into each owning
+// shard's mailbox, and the shard worker applies it at its next batch
+// boundary. A batch that started under the old revision keeps its
+// shared_ptr snapshot — a mid-round update never tears a lookup.
+//
+// Between rounds the driver thread may freely inspect shards (verifier,
+// audit chain, network stats); during advance_to()/run_round() only the
+// mailbox APIs (set_policy, set_policy_bulk) are safe to call from other
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "keylime/policy_index.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "keylime/scheduler.hpp"
+#include "keylime/verifier.hpp"
+#include "netsim/network.hpp"
+#include "netsim/transport.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cia::keylime {
+
+struct VerifierPoolConfig {
+  std::size_t shards = 4;
+  /// Virtual points per shard on the consistent-hash ring; more points
+  /// smooth the partition at the cost of a larger ring.
+  std::size_t ring_replicas = 64;
+  VerifierConfig verifier;
+  SchedulerConfig scheduler;
+  /// Stack a RetryingTransport between each shard verifier and its
+  /// network so transient chaos faults are retried before they surface
+  /// as comms alerts.
+  bool retrying_transport = true;
+  netsim::RetryPolicy retry;
+};
+
+class VerifierPool : public PolicySink {
+ public:
+  VerifierPool(std::uint64_t seed, VerifierPoolConfig config = {});
+  ~VerifierPool() override;
+
+  VerifierPool(const VerifierPool&) = delete;
+  VerifierPool& operator=(const VerifierPool&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// The owning shard of an agent id (consistent-hash ring lookup).
+  std::size_t shard_for(const std::string& agent_id) const;
+
+  // ------------------------------------------------- fleet construction
+  // Agents live on their owning shard's network: create the Agent
+  // against network(shard_for(id)), register it (each shard runs its own
+  // registrar at Registrar::address()), then enroll it here.
+
+  netsim::SimNetwork& network(std::size_t shard);
+  SimClock& clock(std::size_t shard);
+  Verifier& verifier(std::size_t shard);
+  const Verifier& verifier(std::size_t shard) const;
+  const AttestationScheduler& scheduler(std::size_t shard) const;
+
+  /// Trust a TPM manufacturer CA on every shard registrar.
+  void trust_manufacturer(const crypto::PublicKey& ca_key);
+
+  /// Enrol an agent (already activated at its shard registrar) for
+  /// continuous attestation and scheduler polling on its owning shard.
+  Status enroll(const std::string& agent_id, const std::string& address);
+
+  // ----------------------------------------------------- policy updates
+  // Thread-safe (mailbox + copy-on-write index swap); may be called
+  // while a round is in flight.
+
+  /// PolicySink: route one agent's policy to its owning shard. Builds a
+  /// fresh PolicyIndex revision for the agent.
+  Status set_policy(const std::string& agent_id, RuntimePolicy policy) override;
+
+  /// One shared PolicyIndex for the whole batch — built once per policy
+  /// revision, shared read-only by every covered agent on every shard.
+  Status set_policy_bulk(const std::vector<std::string>& agent_ids,
+                         const RuntimePolicy& policy) override;
+
+  /// set_policy_bulk over every enrolled agent.
+  Status set_fleet_policy(const RuntimePolicy& policy);
+
+  /// Policy revisions built so far (each bulk/single push is one).
+  std::uint64_t policy_revision() const;
+
+  // -------------------------------------------------- faults and chaos
+
+  /// Apply a default fault profile / scripted schedule to every shard
+  /// network (per-link streams still derive from the agent address, so
+  /// outcomes stay shard-count invariant).
+  void set_fleet_faults(const netsim::FaultProfile& faults);
+  void set_fleet_schedule(const netsim::FaultSchedule& schedule);
+
+  // ------------------------------------------------------------ driving
+
+  /// Advance every shard concurrently until its clock reaches `t`,
+  /// batching due agents per shard per scheduler tick. Returns the
+  /// number of polls this call performed. Blocks until all workers join.
+  std::size_t advance_to(SimTime t);
+
+  /// One batched round: every shard polls each of its agents once,
+  /// concurrently, regardless of scheduler cadence. Returns the number
+  /// of polls this call performed.
+  std::size_t run_round();
+
+  /// Export per-shard telemetry (batch sizes, round latency, index
+  /// hit/miss counters) to `metrics`; wired through to every shard
+  /// component. nullptr turns it off.
+  void use_telemetry(telemetry::MetricsRegistry* metrics);
+
+  // -------------------------------------------------------- inspection
+  // Driver thread, between rounds.
+
+  std::optional<AgentState> state(const std::string& agent_id) const;
+  Status resolve_failure(const std::string& agent_id);
+  std::vector<std::string> agent_ids() const;
+
+  /// All alerts across shards in deterministic (time, agent, log index)
+  /// order.
+  std::vector<Alert> alerts() const;
+
+  struct Stats {
+    std::uint64_t polls = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t index_hits = 0;
+    std::uint64_t index_misses = 0;
+    std::uint64_t policy_swaps = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct PendingPolicy {
+    std::string agent_id;
+    RuntimePolicy policy;
+    std::shared_ptr<const PolicyIndex> index;
+  };
+
+  struct Shard {
+    Shard(std::uint64_t pool_seed, std::size_t index,
+          const VerifierPoolConfig& config);
+
+    std::size_t index;
+    SimClock clock;
+    netsim::SimNetwork network;
+    Registrar registrar;
+    Verifier verifier;
+    std::unique_ptr<netsim::RetryingTransport> transport;
+    AttestationScheduler scheduler;
+
+    // Policy mailbox: filled by any thread, drained by the shard worker
+    // at batch boundaries (or by the driver between rounds).
+    std::mutex mailbox_mu;
+    std::vector<PendingPolicy> mailbox;
+
+    // Tallies owned by whoever currently owns the shard (worker during
+    // a round, driver between rounds).
+    std::uint64_t polls = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t policy_swaps = 0;
+    std::uint64_t exported_hits = 0;    // index stats already exported
+    std::uint64_t exported_misses = 0;
+  };
+
+  void apply_pending(Shard& shard);
+  void record_batch(Shard& shard, std::size_t batch_size, SimTime started);
+
+  /// Run `body(shard)` on one worker thread per shard and join.
+  void parallel_shards(const std::function<void(Shard&)>& body);
+
+  std::uint64_t seed_;
+  VerifierPoolConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // sorted
+
+  mutable std::mutex owners_mu_;
+  std::map<std::string, std::size_t> owners_;  // enrolled id -> shard
+
+  mutable std::mutex revision_mu_;
+  std::uint64_t revision_ = 0;
+
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace cia::keylime

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "keylime/agent.hpp"
+#include "keylime/messages.hpp"
 #include "keylime/registrar.hpp"
 #include "keylime/runtime_policy.hpp"
 #include "keylime/tenant.hpp"
@@ -276,6 +277,78 @@ TEST_F(Rig, ResolveFailureResumesAndEvaluatesBacklog) {
   ASSERT_EQ(round.value().alerts.size(), 1u)
       << "the backlog entry (evil2) is finally evaluated — late detection";
   EXPECT_EQ(round.value().alerts[0].path, "/usr/bin/evil2");
+}
+
+// A man-in-the-middle that forwards the agent's traffic verbatim except
+// for rewriting the (unsigned) boot_count field of quote responses. The
+// quote signature still covers the REAL boot count via bound_quote_nonce,
+// so the verifier must reject the response outright.
+class BootCountForgingProxy : public netsim::Endpoint {
+ public:
+  BootCountForgingProxy(netsim::SimNetwork* net, std::string target)
+      : net_(net), target_(std::move(target)) {}
+
+  bool forge = false;
+
+  Result<Bytes> handle(const std::string& kind, const Bytes& payload) override {
+    auto resp = net_->call(target_, kind, payload);
+    if (!forge || kind != kMsgQuote || !resp.ok()) return resp;
+    auto qr = QuoteResponse::decode(resp.value());
+    if (!qr.ok()) return resp;
+    qr.value().boot_count += 1;  // fake "the agent rebooted"
+    return qr.value().encode();
+  }
+
+ private:
+  netsim::SimNetwork* net_;
+  std::string target_;
+};
+
+// Regression pin: acting on an UNAUTHENTICATED boot_count used to let a
+// single garbled response roll log_offset back to zero, so the next
+// round re-fetched the complete log and re-appraised (and re-alerted on)
+// every entry. The reboot signal must only be honoured from a verified
+// quote.
+TEST_F(Rig, ForgedBootCountCannotRewindTheLogCursor) {
+  ASSERT_TRUE(agent.register_with(Registrar::address()).ok());
+  BootCountForgingProxy proxy(&network, agent.address());
+  network.attach("mitm", &proxy);
+  ASSERT_TRUE(verifier.add_agent("node0", "mitm").ok());
+  ASSERT_TRUE(verifier.set_policy("node0", baseline_policy()).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/ls").ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/cat").ok());
+
+  auto clean = verifier.attest_once("node0");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value().new_entries, 3u);  // boot aggregate + 2 execs
+  EXPECT_TRUE(clean.value().alerts.empty());
+
+  proxy.forge = true;
+  auto forged = verifier.attest_once("node0");
+  ASSERT_TRUE(forged.ok());
+  ASSERT_EQ(forged.value().alerts.size(), 1u);
+  EXPECT_EQ(forged.value().alerts[0].type, AlertType::kQuoteInvalid)
+      << "a rewritten boot_count must fail quote verification";
+  EXPECT_FALSE(forged.value().reboot_detected)
+      << "an unauthenticated boot_count must never count as a reboot";
+
+  // After the operator clears the alert, the log cursor must still be
+  // where the clean round left it: nothing is re-fetched, nothing is
+  // double-appraised.
+  proxy.forge = false;
+  ASSERT_TRUE(verifier.resolve_failure("node0").ok());
+  auto resumed = verifier.attest_once("node0");
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.value().new_entries, 0u)
+      << "regression: forged boot_count rewound log_offset";
+  EXPECT_TRUE(resumed.value().alerts.empty());
+
+  // A genuine reboot (boot_count authenticated under the AK signature)
+  // must still reset the incremental state.
+  machine.reboot();
+  auto rebooted = verifier.attest_once("node0");
+  ASSERT_TRUE(rebooted.ok());
+  EXPECT_TRUE(rebooted.value().reboot_detected);
 }
 
 TEST_F(Rig, RebootResetsAttestationState) {

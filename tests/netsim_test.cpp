@@ -318,6 +318,36 @@ TEST(NetworkTest, PerLinkRngStreamsAreOrderIndependent) {
   EXPECT_EQ(a_outcomes(false), a_outcomes(true));
 }
 
+TEST(NetworkTest, PerLinkStreamsAreIdenticalAcrossNetworkInstances) {
+  // Two networks with the same seed give the SAME link the SAME fault
+  // sequence, regardless of what else each network hosts. The sharded
+  // verifier pool leans on this: every shard network shares one seed, so
+  // an agent's fault experience is a function of (seed, address) alone
+  // and survives re-partitioning the fleet across a different number of
+  // shards.
+  const auto svc_outcomes = [](bool with_neighbors) {
+    SimClock clock;
+    SimNetwork net(&clock, 4242);
+    EchoEndpoint svc, neighbor;
+    net.attach("svc", &svc);
+    if (with_neighbors) net.attach("neighbor", &neighbor);
+    FaultProfile faults;
+    faults.drop_rate = 0.4;
+    faults.tamper_rate = 0.2;
+    net.set_faults(faults);
+    std::vector<std::string> outcomes;
+    for (int i = 0; i < 150; ++i) {
+      if (with_neighbors) (void)net.call("neighbor", "echo", to_bytes("y"));
+      auto r = net.call("svc", "echo", to_bytes("payload"));
+      outcomes.push_back(!r.ok() ? "drop"
+                         : r.value() == to_bytes("payload") ? "ok"
+                                                            : "tampered");
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(svc_outcomes(false), svc_outcomes(true));
+}
+
 // ------------------------------------------------------------ transport
 
 TEST(TransportTest, RetriesTransientFailuresUntilSuccess) {

@@ -1,0 +1,143 @@
+// Stress test for the sharded verifier pool: a 200-agent fleet across
+// 8 shards, driven for several rounds under a chaotic fault profile
+// while another thread keeps pushing policy revisions into the pool's
+// copy-on-write mailboxes.
+//
+// The point is the threading contract, so this suite is wired into
+// tools/run_sanitized_tests.sh's thread mode: under TSan it proves that
+// shard workers never share simulation state and that the only
+// cross-thread traffic (policy mailboxes, the MetricsRegistry) is
+// correctly synchronized.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "experiments/pool_experiment.hpp"
+#include "telemetry/export.hpp"
+
+namespace cia {
+namespace {
+
+using experiments::PoolFleet;
+using experiments::PoolFleetOptions;
+
+TEST(PoolStressTest, ChaoticFleetWithConcurrentPolicyPushes) {
+  telemetry::MetricsRegistry metrics;
+  PoolFleetOptions options;
+  options.agents = 200;
+  options.shards = 8;
+  options.seed = 1234;
+  options.binaries_per_machine = 12;
+  options.execs_per_round = 3;
+  options.metrics = &metrics;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  // The chaos-engine profile from PR 1: drops, tampering, duplicates,
+  // and timeouts all at once, absorbed by each shard's retrying
+  // transport where possible.
+  netsim::FaultProfile chaos;
+  chaos.drop_rate = 0.10;
+  chaos.tamper_rate = 0.05;
+  chaos.duplicate_rate = 0.05;
+  chaos.timeout_rate = 0.02;
+  chaos.latency = 1;
+  fleet.pool().set_fleet_faults(chaos);
+
+  constexpr std::size_t kRounds = 3;
+  constexpr std::size_t kPushes = 5;
+
+  // A tenant keeps re-pushing the fleet policy while rounds are in
+  // flight: set_fleet_policy must be safe against the shard workers
+  // (mailbox mutex + COW index swap), which is exactly what TSan checks.
+  std::atomic<bool> done{false};
+  keylime::RuntimePolicy policy = fleet.fleet_policy();
+  std::thread pusher([&] {
+    for (std::size_t p = 0; p < kPushes; ++p) {
+      ASSERT_TRUE(fleet.pool().set_fleet_policy(policy).ok());
+      std::this_thread::yield();
+    }
+    done.store(true);
+  });
+
+  std::size_t polls = 0;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    fleet.run_workload_round(round);
+    polls += fleet.pool().run_round();
+  }
+  pusher.join();
+  ASSERT_TRUE(done.load());
+  // Drain any pushes that arrived after the last round's batch started.
+  fleet.pool().run_round();
+
+  EXPECT_EQ(polls, options.agents * kRounds);
+  EXPECT_EQ(fleet.pool().policy_revision(), 1u + kPushes);
+  EXPECT_GE(fleet.pool().stats().policy_swaps, options.agents)
+      << "at least the initial revision must have reached every agent";
+
+  // Chaos may fail agents (tampered quotes that exhaust the retry
+  // budget surface as alerts) but every agent must end in a coherent
+  // state and every alert must belong to an enrolled agent.
+  const std::set<std::string> enrolled(fleet.agent_ids().begin(),
+                                       fleet.agent_ids().end());
+  for (const std::string& id : fleet.agent_ids()) {
+    const auto state = fleet.pool().state(id);
+    ASSERT_TRUE(state.has_value()) << id;
+    EXPECT_TRUE(*state == keylime::AgentState::kAttesting ||
+                *state == keylime::AgentState::kFailed)
+        << id;
+  }
+  for (const keylime::Alert& alert : fleet.pool().alerts()) {
+    EXPECT_EQ(enrolled.count(alert.agent_id), 1u) << alert.agent_id;
+  }
+
+  const auto stats = fleet.pool().stats();
+  EXPECT_EQ(stats.polls, options.agents * (kRounds + 1));
+  EXPECT_GE(stats.batches, options.shards * kRounds);
+  EXPECT_GT(stats.index_hits + stats.index_misses, 0u);
+
+  // The shared registry survived concurrent writers from 8 shard
+  // workers; a snapshot must serialize cleanly.
+  EXPECT_FALSE(telemetry::to_prometheus(metrics.snapshot()).empty());
+}
+
+TEST(PoolStressTest, RepartitionedChaosFleetKeepsVerdicts) {
+  // A smaller chaotic fleet run under two different partitions: the
+  // per-agent outcome must be identical (drop/tamper only, so no clock
+  // skew between layouts).
+  auto run = [](std::size_t shards) {
+    PoolFleetOptions options;
+    options.agents = 48;
+    options.shards = shards;
+    options.seed = 77;
+    options.binaries_per_machine = 8;
+    options.execs_per_round = 2;
+    PoolFleet fleet(options);
+    EXPECT_TRUE(fleet.init_status().ok());
+    EXPECT_TRUE(fleet.push_fleet_policy().ok());
+    netsim::FaultProfile chaos;
+    chaos.drop_rate = 0.30;
+    chaos.tamper_rate = 0.15;
+    fleet.pool().set_fleet_faults(chaos);
+    for (std::size_t round = 0; round < 2; ++round) {
+      fleet.run_workload_round(round);
+      fleet.pool().run_round();
+    }
+    std::map<std::string, keylime::AgentState> verdicts;
+    for (const std::string& id : fleet.agent_ids()) {
+      verdicts[id] = *fleet.pool().state(id);
+    }
+    return verdicts;
+  };
+
+  const auto two = run(2);
+  const auto eight = run(8);
+  EXPECT_EQ(two, eight);
+}
+
+}  // namespace
+}  // namespace cia

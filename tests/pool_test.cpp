@@ -1,0 +1,358 @@
+// Tests for the sharded verifier pool: consistent-hash ring behaviour,
+// fleet-level attestation through PoolFleet, copy-on-write policy swaps,
+// and the pool's two determinism contracts —
+//
+//   * the same (seed, shard count) reproduces a byte-identical telemetry
+//     snapshot and identical per-shard audit chains;
+//   * per-agent verdicts are invariant to the shard count, because every
+//     shard network is seeded identically and per-link fault streams
+//     derive from the agent's address, never from its shard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/strutil.hpp"
+#include "experiments/pool_experiment.hpp"
+#include "keylime/policy_index.hpp"
+#include "keylime/verifier_pool.hpp"
+#include "telemetry/export.hpp"
+
+namespace cia {
+namespace {
+
+using experiments::PoolFleet;
+using experiments::PoolFleetOptions;
+
+std::vector<std::string> sequential_ids(std::size_t n) {
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ids.push_back(strformat("agent-%04zu", i));
+  return ids;
+}
+
+// ------------------------------------------------------ consistent hash
+
+TEST(PoolRingTest, SequentialIdsSpreadAcrossShards) {
+  keylime::VerifierPoolConfig config;
+  config.shards = 8;
+  keylime::VerifierPool pool(7, config);
+
+  std::map<std::size_t, std::size_t> counts;
+  for (const std::string& id : sequential_ids(1000)) counts[pool.shard_for(id)]++;
+
+  // Sequentially named fleets are the worst case for a weak ring hash
+  // (ids differ only in trailing digits); this pins the avalanche fix.
+  ASSERT_EQ(counts.size(), 8u) << "every shard must own part of the fleet";
+  for (const auto& [shard, n] : counts) {
+    EXPECT_GT(n, 1000 / 8 / 4) << "shard " << shard << " owns almost nothing";
+    EXPECT_LT(n, 1000 / 8 * 4) << "shard " << shard << " owns almost everything";
+  }
+}
+
+TEST(PoolRingTest, AssignmentIsStableAcrossInstances) {
+  keylime::VerifierPoolConfig config;
+  config.shards = 6;
+  keylime::VerifierPool a(1, config);
+  keylime::VerifierPool b(2, config);  // pool seed does not shape the ring
+  for (const std::string& id : sequential_ids(200)) {
+    EXPECT_EQ(a.shard_for(id), b.shard_for(id)) << id;
+  }
+}
+
+TEST(PoolRingTest, ResizeMovesOnlyAFractionOfTheFleet) {
+  keylime::VerifierPoolConfig small, large;
+  small.shards = 8;
+  large.shards = 10;
+  keylime::VerifierPool a(1, small);
+  keylime::VerifierPool b(1, large);
+
+  std::size_t moved = 0;
+  const auto ids = sequential_ids(1000);
+  for (const std::string& id : ids) {
+    if (a.shard_for(id) != b.shard_for(id)) ++moved;
+  }
+  // Consistent hashing: growing 8 -> 10 shards should move roughly 1/5
+  // of the keys, nowhere near the ~9/10 a modulo partition would.
+  EXPECT_LT(moved, ids.size() / 2)
+      << "resize reshuffled most of the fleet - ring is not consistent";
+  EXPECT_GT(moved, 0u) << "new shards must take over some agents";
+}
+
+// ------------------------------------------------------ fleet behaviour
+
+TEST(PoolFleetTest, CleanFleetAttestsOnEveryShard) {
+  PoolFleetOptions options;
+  options.agents = 16;
+  options.shards = 4;
+  options.seed = 11;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  fleet.run_workload_round(0);
+  const std::size_t polls = fleet.pool().run_round();
+  EXPECT_EQ(polls, 16u);
+  EXPECT_TRUE(fleet.pool().alerts().empty());
+  for (const std::string& id : fleet.agent_ids()) {
+    ASSERT_TRUE(fleet.pool().state(id).has_value()) << id;
+    EXPECT_EQ(*fleet.pool().state(id), keylime::AgentState::kAttesting) << id;
+  }
+  EXPECT_EQ(fleet.pool().stats().polls, 16u);
+  EXPECT_GT(fleet.pool().stats().index_hits, 0u)
+      << "appraisal must be served by the PolicyIndex, not the linear scan";
+}
+
+TEST(PoolFleetTest, ViolationFailsOnlyTheOffendingAgent) {
+  PoolFleetOptions options;
+  options.agents = 12;
+  options.shards = 4;
+  options.seed = 13;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  fleet.run_workload_round(0);
+  fleet.exec_unknown(3);
+  fleet.exec_unknown(7);
+  fleet.pool().run_round();
+
+  const std::set<std::string> bad = {fleet.agent_ids()[3], fleet.agent_ids()[7]};
+  for (const std::string& id : fleet.agent_ids()) {
+    const auto state = fleet.pool().state(id);
+    ASSERT_TRUE(state.has_value()) << id;
+    if (bad.count(id)) {
+      EXPECT_EQ(*state, keylime::AgentState::kFailed) << id;
+    } else {
+      EXPECT_EQ(*state, keylime::AgentState::kAttesting) << id;
+    }
+  }
+  std::set<std::string> alerted;
+  for (const keylime::Alert& alert : fleet.pool().alerts()) {
+    alerted.insert(alert.agent_id);
+    EXPECT_EQ(alert.type, keylime::AlertType::kNotInPolicy);
+  }
+  EXPECT_EQ(alerted, bad);
+}
+
+TEST(PoolFleetTest, MergedAlertsAreDeterministicallyOrdered) {
+  PoolFleetOptions options;
+  options.agents = 10;
+  options.shards = 3;
+  options.seed = 17;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+  for (std::size_t i = 0; i < options.agents; ++i) fleet.exec_unknown(i);
+  fleet.pool().run_round();
+
+  const auto alerts = fleet.pool().alerts();
+  ASSERT_EQ(alerts.size(), options.agents);
+  for (std::size_t i = 1; i < alerts.size(); ++i) {
+    const auto key = [](const keylime::Alert& a) {
+      return std::tie(a.time, a.agent_id, a.log_index);
+    };
+    EXPECT_LE(key(alerts[i - 1]), key(alerts[i]))
+        << "alerts() must merge shards into a deterministic order";
+  }
+}
+
+// -------------------------------------------------- copy-on-write swaps
+
+TEST(PoolPolicyTest, CowSwapAppliesAtTheNextBatchBoundary) {
+  PoolFleetOptions options;
+  options.agents = 8;
+  options.shards = 4;
+  options.seed = 23;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+  EXPECT_EQ(fleet.pool().policy_revision(), 1u);
+
+  fleet.run_workload_round(0);
+  fleet.pool().run_round();
+  ASSERT_TRUE(fleet.pool().alerts().empty());
+
+  // A new tool rolls out fleet-wide. Under the old revision it would
+  // alert; the updated policy must win because the swap is applied
+  // before the round's batch starts.
+  for (std::size_t i = 0; i < options.agents; ++i) {
+    ASSERT_TRUE(fleet.machine(i)
+                    .fs()
+                    .create_file("/usr/bin/rolled-out", to_bytes("elf:new"), true)
+                    .ok());
+    ASSERT_TRUE(fleet.machine(i).exec("/usr/bin/rolled-out").ok());
+  }
+  keylime::RuntimePolicy updated = fleet.fleet_policy();
+  updated.allow("/usr/bin/rolled-out", crypto::sha256(std::string("elf:new")));
+  ASSERT_TRUE(fleet.pool().set_fleet_policy(updated).ok());
+  EXPECT_EQ(fleet.pool().policy_revision(), 2u);
+
+  fleet.pool().run_round();
+  EXPECT_TRUE(fleet.pool().alerts().empty())
+      << "the round after the push must appraise under the new revision";
+  EXPECT_GE(fleet.pool().stats().policy_swaps, options.agents)
+      << "every agent's pending swap must have been drained";
+}
+
+TEST(PoolPolicyTest, SingleAgentPolicyRoutesToOwningShard) {
+  PoolFleetOptions options;
+  options.agents = 6;
+  options.shards = 3;
+  options.seed = 29;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  // Agent 2 alone gets an extra allowance; only it may run the tool.
+  fleet.exec_unknown(2);  // plants /usr/local/bin/dropper-0002
+  keylime::RuntimePolicy special = fleet.fleet_policy();
+  special.allow("/usr/local/bin/dropper-0002",
+                crypto::sha256(std::string("elf:unknown:/usr/local/bin/dropper-0002")));
+  ASSERT_TRUE(fleet.pool().set_policy(fleet.agent_ids()[2], special).ok());
+
+  fleet.pool().run_round();
+  EXPECT_EQ(*fleet.pool().state(fleet.agent_ids()[2]),
+            keylime::AgentState::kAttesting);
+  EXPECT_TRUE(fleet.pool().alerts().empty());
+}
+
+// ---------------------------------------------------------- determinism
+
+struct RunArtifacts {
+  std::string prometheus;                       // full telemetry snapshot
+  std::vector<std::string> audit_heads;         // per shard, hex-free compare
+  std::map<std::string, keylime::AgentState> verdicts;
+  std::vector<std::tuple<std::string, keylime::AlertType, std::string>> alerts;
+};
+
+RunArtifacts run_scenario(std::size_t shards, std::uint64_t seed,
+                          bool with_faults) {
+  telemetry::MetricsRegistry metrics;
+  PoolFleetOptions options;
+  options.agents = 24;
+  options.shards = shards;
+  options.seed = seed;
+  options.metrics = &metrics;
+  PoolFleet fleet(options);
+  EXPECT_TRUE(fleet.init_status().ok());
+  EXPECT_TRUE(fleet.push_fleet_policy().ok());
+
+  if (with_faults) {
+    // Drops and tampering only: timeouts and latency would advance the
+    // shard clocks by different amounts per partition, which is allowed
+    // to change alert *timestamps* but we keep this scenario time-free
+    // so even the telemetry comparison stays simple.
+    netsim::FaultProfile chaos;
+    chaos.drop_rate = 0.25;
+    chaos.tamper_rate = 0.10;
+    fleet.pool().set_fleet_faults(chaos);
+  }
+
+  fleet.run_workload_round(0);
+  fleet.pool().run_round();
+  fleet.exec_unknown(5);
+  fleet.exec_unknown(13);
+  fleet.run_workload_round(1);
+  fleet.pool().run_round();
+
+  RunArtifacts artifacts;
+  artifacts.prometheus = telemetry::to_prometheus(metrics.snapshot());
+  for (std::size_t s = 0; s < fleet.pool().shard_count(); ++s) {
+    artifacts.audit_heads.push_back(
+        crypto::digest_hex(fleet.pool().verifier(s).audit().head()));
+  }
+  for (const std::string& id : fleet.agent_ids()) {
+    artifacts.verdicts[id] = *fleet.pool().state(id);
+  }
+  for (const keylime::Alert& a : fleet.pool().alerts()) {
+    artifacts.alerts.emplace_back(a.agent_id, a.type, a.path);
+  }
+  std::sort(artifacts.alerts.begin(), artifacts.alerts.end());
+  return artifacts;
+}
+
+TEST(PoolDeterminismTest, SameSeedAndShardCountIsByteIdentical) {
+  const RunArtifacts a = run_scenario(4, 31, /*with_faults=*/true);
+  const RunArtifacts b = run_scenario(4, 31, /*with_faults=*/true);
+
+  EXPECT_EQ(a.prometheus, b.prometheus)
+      << "telemetry snapshot must be byte-identical for a fixed "
+         "(seed, shard count)";
+  EXPECT_EQ(a.audit_heads, b.audit_heads)
+      << "every shard's audit chain must replay identically";
+  EXPECT_EQ(a.verdicts, b.verdicts);
+  EXPECT_EQ(a.alerts, b.alerts);
+}
+
+TEST(PoolDeterminismTest, VerdictsInvariantToShardCount) {
+  const RunArtifacts one = run_scenario(1, 37, /*with_faults=*/true);
+  const RunArtifacts two = run_scenario(2, 37, /*with_faults=*/true);
+  const RunArtifacts eight = run_scenario(8, 37, /*with_faults=*/true);
+
+  // Re-partitioning the fleet must not change what any agent experiences:
+  // shard networks share a seed and per-link fault streams key on the
+  // agent address alone.
+  EXPECT_EQ(one.verdicts, two.verdicts);
+  EXPECT_EQ(one.verdicts, eight.verdicts);
+  EXPECT_EQ(one.alerts, two.alerts);
+  EXPECT_EQ(one.alerts, eight.alerts);
+}
+
+// --------------------------------------------------------- policy index
+
+TEST(PolicyIndexTest, AgreesWithLinearScanOnFixedCases) {
+  keylime::RuntimePolicy policy;
+  policy.allow("/usr/bin/ls", std::string(64, 'a'));
+  policy.allow("/var/cache/app/blob", std::string(64, 'b'));
+  policy.exclude("/var/cache/*");   // compiled: directory prefix
+  policy.exclude("*.log");          // general: suffix glob
+  policy.exclude("*/scratch/*");    // general: infix glob
+  const auto index = keylime::PolicyIndex::build(policy, 1);
+
+  const std::vector<std::pair<std::string, std::string>> probes = {
+      {"/usr/bin/ls", std::string(64, 'a')},
+      {"/usr/bin/ls", std::string(64, 'x')},
+      {"/var/cache/app/blob", std::string(64, 'b')},   // excluded wins
+      {"/var/cache/other/file", std::string(64, 'c')},
+      {"/opt/app/daemon.log", std::string(64, 'd')},
+      {"/opt/scratch/tool", std::string(64, 'e')},     // no infix match
+      {"/opt/x/scratch/tool", std::string(64, 'e')},
+      {"/usr/bin/unknown", std::string(64, 'f')},
+  };
+  for (const auto& [path, hash] : probes) {
+    EXPECT_EQ(index->check(path, hash), policy.check(path, hash)) << path;
+  }
+}
+
+TEST(PolicyIndexTest, DirPrefixGlobsCompileAndMatchOnBoundaries) {
+  keylime::RuntimePolicy policy;
+  policy.exclude("/var/cache/*");
+  const auto index = keylime::PolicyIndex::build(policy, 1);
+  EXPECT_TRUE(index->excluded_by_scan("/var/cache/x"));
+  EXPECT_TRUE(index->excluded_by_scan("/var/cache/deep/nested/x"));
+  EXPECT_FALSE(index->excluded_by_scan("/var/cachemate/x"))
+      << "a directory prefix must only match at a '/' boundary";
+  EXPECT_FALSE(index->excluded_by_scan("/var/cache"))
+      << "glob '/var/cache/*' does not match the bare directory itself";
+}
+
+TEST(PolicyIndexTest, ReportsHitsAndMisses) {
+  keylime::RuntimePolicy policy;
+  policy.allow("/usr/bin/ls", std::string(64, 'a'));
+  const auto index = keylime::PolicyIndex::build(policy, 3);
+  EXPECT_EQ(index->revision(), 3u);
+
+  bool known = false;
+  index->check("/usr/bin/ls", std::string(64, 'a'), &known);
+  EXPECT_TRUE(known);
+  index->check("/usr/bin/other", std::string(64, 'a'), &known);
+  EXPECT_FALSE(known);
+}
+
+}  // namespace
+}  // namespace cia

@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "crypto/schnorr.hpp"
 #include "keylime/messages.hpp"
+#include "keylime/policy_index.hpp"
 #include "keylime/runtime_policy.hpp"
 #include "oskernel/machine.hpp"
 #include "testkit/generators.hpp"
@@ -278,6 +279,57 @@ TEST_P(PolicyProperty, DedupKeepsExactlyTheNewestHash) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PolicyProperty,
                          ::testing::Values(101, 202, 303, 404));
+
+// ------------------------------------ policy index / linear agreement
+
+class PolicyIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyIndexProperty, IndexAgreesWithLinearScanEverywhere) {
+  Rng rng(GetParam() ^ 0x1d3f);
+  for (int iter = 0; iter < 4; ++iter) {
+    keylime::RuntimePolicy policy = testkit::gen_policy(rng, 48);
+    // gen_policy emits few excludes; stack on the shapes PolicyIndex
+    // compiles specially (directory prefixes), the ones it cannot
+    // (suffix and infix globs), and a prefix glob ending mid-component,
+    // which must NOT take the compiled path.
+    policy.exclude("/" + rng.ident(3) + "/*");
+    policy.exclude("/usr/" + rng.ident(2) + "/*");
+    policy.exclude("*." + rng.ident(2));
+    policy.exclude("/opt/" + rng.ident(2) + "*");
+    const auto index =
+        keylime::PolicyIndex::build(policy, static_cast<std::uint64_t>(iter));
+
+    std::vector<std::pair<std::string, std::string>> probes;
+    const std::string random_hash = to_hex(rng.bytes(32));
+    policy.for_each_path(
+        [&](const std::string& path, const std::vector<std::string>& hashes) {
+          probes.emplace_back(path, hashes.front());  // policy hit
+          probes.emplace_back(path, random_hash);     // hash mismatch
+          probes.emplace_back(path + "x", random_hash);  // near miss
+        });
+    for (int i = 0; i < 64; ++i) {
+      probes.emplace_back(testkit::gen_path(rng), random_hash);
+    }
+
+    for (const auto& [path, hash] : probes) {
+      if (index->check(path, hash) == policy.check(path, hash)) continue;
+      // Minimize the disagreeing path before reporting: the index and
+      // the linear scan must be indistinguishable on EVERY input.
+      const std::string h = hash;
+      const std::string minimized = testkit::shrink_text(
+          path, [&](const std::string& p) {
+            return keylime::PolicyIndex::build(policy)->check(p, h) !=
+                   policy.check(p, h);
+          });
+      FAIL() << "PolicyIndex diverged from RuntimePolicy; minimized path:\n"
+             << minimized << "\nhash: " << hash << "\npolicy:\n"
+             << policy.serialize();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyIndexProperty,
+                         ::testing::Values(501, 502, 503, 504, 505, 506));
 
 // ---------------------------------------------------- wire truncation
 

@@ -16,9 +16,12 @@
 //   cia_sim table1 [--seed S]
 //       Table I: daily (31d) vs weekly (35d) update-cost summary.
 //
-//   cia_sim fleet [--days N] [--seed S]
+//   cia_sim fleet [--days N] [--seed S] [--shards N] [--agents N]
 //       Fleet-scale operation: N days of the dynamic scheme across
 //       several nodes with staggered polling over a lossy network.
+//       With --shards the fleet runs through the sharded VerifierPool
+//       instead of a single verifier: one attestation round per day,
+//       indexed appraisal, and a per-shard ownership report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +29,7 @@
 
 #include "common/log.hpp"
 #include "experiments/fleet_experiment.hpp"
+#include "experiments/pool_experiment.hpp"
 #include "experiments/report.hpp"
 
 namespace {
@@ -38,6 +42,8 @@ struct Args {
   std::uint64_t seed = 42;
   std::string period = "daily";
   bool inject_race = false;
+  int shards = 0;  // 0 = single-verifier fleet path
+  int agents = 0;  // 0 = the chosen path's default
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -59,6 +65,10 @@ Args parse_args(int argc, char** argv, int first) {
       args.period = next();
     } else if (arg == "--inject-race") {
       args.inject_race = true;
+    } else if (arg == "--shards") {
+      args.shards = std::atoi(next());
+    } else if (arg == "--agents") {
+      args.agents = std::atoi(next());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -121,7 +131,54 @@ int cmd_table1(const Args& args) {
   return 0;
 }
 
+int cmd_pool_fleet(const Args& args) {
+  PoolFleetOptions options;
+  options.seed = args.seed;
+  options.shards = static_cast<std::size_t>(args.shards);
+  if (args.agents > 0) options.agents = static_cast<std::size_t>(args.agents);
+  PoolFleet fleet(options);
+  if (!fleet.init_status().ok()) {
+    std::fprintf(stderr, "pool fleet init failed: %s\n",
+                 fleet.init_status().error().message.c_str());
+    return 1;
+  }
+  if (Status s = fleet.push_fleet_policy(); !s.ok()) {
+    std::fprintf(stderr, "policy push failed: %s\n", s.error().message.c_str());
+    return 1;
+  }
+
+  const int days = args.days > 0 ? args.days : 7;
+  std::size_t polls = 0;
+  for (int day = 0; day < days; ++day) {
+    fleet.run_workload_round(static_cast<std::uint64_t>(day));
+    polls += fleet.pool().run_round();
+  }
+
+  std::size_t failed = 0;
+  for (const std::string& id : fleet.agent_ids()) {
+    if (fleet.pool().state(id) == keylime::AgentState::kFailed) ++failed;
+  }
+  const auto stats = fleet.pool().stats();
+  std::printf("pool fleet: %zu agents across %zu shards, %d days\n"
+              "polls: %zu (batches: %llu)\n"
+              "index: %llu hits, %llu misses (revision %llu, %llu swaps)\n"
+              "alerts: %zu, failed agents: %zu\n",
+              fleet.agent_ids().size(), fleet.pool().shard_count(), days,
+              polls, static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.index_hits),
+              static_cast<unsigned long long>(stats.index_misses),
+              static_cast<unsigned long long>(fleet.pool().policy_revision()),
+              static_cast<unsigned long long>(stats.policy_swaps),
+              fleet.pool().alerts().size(), failed);
+  for (std::size_t s = 0; s < fleet.pool().shard_count(); ++s) {
+    std::printf("  shard %zu: %zu agents\n", s,
+                fleet.pool().verifier(s).agent_ids().size());
+  }
+  return 0;
+}
+
 int cmd_fleet(const Args& args) {
+  if (args.shards > 0) return cmd_pool_fleet(args);
   FleetRunOptions options;
   options.seed = args.seed;
   if (args.days > 0) options.days = args.days;
@@ -145,7 +202,7 @@ void usage() {
                " [--seed S]\n"
                "  attacks [--seed S]\n"
                "  table1 [--seed S]\n"
-               "  fleet [--days N] [--seed S]\n");
+               "  fleet [--days N] [--seed S] [--shards N] [--agents N]\n");
 }
 
 }  // namespace

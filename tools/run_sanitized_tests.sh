@@ -5,10 +5,11 @@
 #   tools/run_sanitized_tests.sh [address|undefined|thread|fuzz]...
 #
 # With no argument the address and undefined suites run in full.
-# `thread` builds with TSan and runs only the telemetry tests — the
-# metrics registry is the one deliberately concurrent component (the
-# simulation itself is single-threaded), so that's where data races
-# could hide. `fuzz` builds with ASan+UBSan combined and runs the
+# `thread` builds with TSan and runs the concurrent components: the
+# telemetry registry, the sharded verifier pool (stress + determinism
+# suites, which drive one worker thread per shard while another thread
+# pushes policy revisions into the COW mailboxes), and the PolicyIndex
+# tests. `fuzz` builds with ASan+UBSan combined and runs the
 # bounded fuzz smoke: every cia_fuzz target on its committed corpus with
 # fixed seeds, plus the fleet invariant checker — a crash, sanitizer
 # abort, or contract violation fails the step. Exits non-zero on the
@@ -44,6 +45,9 @@ for san in "${sanitizers[@]}"; do
       echo "==> [$san] telemetry tests"
       "$build_dir/tests/cia_tests" \
         --gtest_filter='MetricsRegistryTest.*:HistogramTest.*:ExportTest.*:LogBridgeTest.*:TracerTest.*'
+      echo "==> [$san] verifier pool (shard workers + COW policy swaps)"
+      "$build_dir/tests/cia_tests" \
+        --gtest_filter='PoolStressTest.*:PoolDeterminismTest.*:PoolFleetTest.*:PoolPolicyTest.*:PoolRingTest.*:PolicyIndexTest.*'
       ;;
     fuzz)
       # Fixed seeds keep the smoke deterministic; the iteration budget is
