@@ -40,4 +40,15 @@ Result<Bytes> from_hex(const std::string& hex) {
   return out;
 }
 
+bool hex_decode(std::string_view hex, std::uint8_t* out, std::size_t out_len) {
+  if (hex.size() != out_len * 2) return false;
+  for (std::size_t i = 0; i < out_len; ++i) {
+    int hi = hex_value(hex[2 * i]);
+    int lo = hex_value(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
 }  // namespace cia

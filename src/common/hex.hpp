@@ -2,6 +2,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "common/result.hpp"
 #include "common/types.hpp"
@@ -14,5 +15,10 @@ std::string to_hex(const Bytes& data);
 /// Decode a hex string (case-insensitive). Fails on odd length or
 /// non-hex characters.
 Result<Bytes> from_hex(const std::string& hex);
+
+/// Allocation-free strict decode of exactly `out_len` bytes: false
+/// unless `hex` is 2*out_len valid hex characters. Parse hot paths use
+/// this to fill fixed-size digests straight from a line slice.
+bool hex_decode(std::string_view hex, std::uint8_t* out, std::size_t out_len);
 
 }  // namespace cia

@@ -2,11 +2,16 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CIA_SHA256_HAVE_SHA_NI 1
+#include <immintrin.h>
+#endif
+
 namespace cia::crypto {
 
 namespace {
 
-constexpr std::uint32_t kK[64] = {
+alignas(16) constexpr std::uint32_t kK[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
     0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
     0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
@@ -19,61 +24,165 @@ constexpr std::uint32_t kK[64] = {
     0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
     0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
 
+constexpr std::uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                    0x1f83d9ab, 0x5be0cd19};
+
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+#if CIA_SHA256_HAVE_SHA_NI
+
+// SHA-NI transform (the standard Intel/Walton sequence). State lives in
+// two xmm registers in the ABEF/CDGH lane order the sha256rnds2
+// instruction expects; the message schedule is computed four words at a
+// time with sha256msg1/msg2.
+__attribute__((target("sha,sse4.1,ssse3")))
+void sha256_compress_sha_ni(std::uint32_t state[8], const std::uint8_t* data,
+                            std::size_t blocks) {
+  const __m128i kSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);               // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);         // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8); // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);      // CDGH
+
+  while (blocks > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+
+    __m128i msgs[4];
+    __m128i msg;
+    // Rounds 0-15: straight message words.
+    for (int g = 0; g < 4; ++g) {
+      msgs[g] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * g)),
+          kSwap);
+      msg = _mm_add_epi32(
+          msgs[g], _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    }
+    // Rounds 16-63: W[4g..4g+3] from the schedule recurrence,
+    //   msg2(msg1(W[g-4], W[g-3]) + alignr(W[g-1], W[g-2], 4), W[g-1])
+    // where W[g-4] is the register slot being replaced.
+    for (int g = 4; g < 16; ++g) {
+      const __m128i w1 = msgs[(g + 3) % 4];  // W of group g-1
+      const __m128i w2 = msgs[(g + 2) % 4];  // W of group g-2
+      const __m128i w3 = msgs[(g + 1) % 4];  // W of group g-3
+      msgs[g % 4] = _mm_sha256msg2_epu32(
+          _mm_add_epi32(_mm_sha256msg1_epu32(msgs[g % 4], w3),
+                        _mm_alignr_epi8(w1, w2, 4)),
+          w1);
+      msg = _mm_add_epi32(
+          msgs[g % 4],
+          _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+    --blocks;
+  }
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool detect_sha_ni() { return __builtin_cpu_supports("sha") != 0; }
+
+#else
+
+bool detect_sha_ni() { return false; }
+
+#endif  // CIA_SHA256_HAVE_SHA_NI
+
+const bool kUseShaNi = detect_sha_ni();
 
 }  // namespace
 
-Sha256::Sha256() {
-  static constexpr std::uint32_t kInit[8] = {
-      0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-      0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
-  std::memcpy(state_, kInit, sizeof(state_));
+namespace detail {
+
+void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t* data,
+                            std::size_t blocks) {
+  for (; blocks > 0; --blocks, data += 64) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(data[i * 4]) << 24) |
+             (static_cast<std::uint32_t>(data[i * 4 + 1]) << 16) |
+             (static_cast<std::uint32_t>(data[i * 4 + 2]) << 8) |
+             static_cast<std::uint32_t>(data[i * 4 + 3]);
+    }
+    for (int i = 16; i < 64; ++i) {
+      const std::uint32_t s0 =
+          rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      const std::uint32_t s1 =
+          rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      const std::uint32_t ch = (e & f) ^ (~e & g);
+      const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+      const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      const std::uint32_t temp2 = s0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+  }
 }
 
-void Sha256::process_block(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
-           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<std::uint32_t>(block[i * 4 + 3]);
+void sha256_compress(std::uint32_t state[8], const std::uint8_t* data,
+                     std::size_t blocks) {
+#if CIA_SHA256_HAVE_SHA_NI
+  if (kUseShaNi) {
+    sha256_compress_sha_ni(state, data, blocks);
+    return;
   }
-  for (int i = 16; i < 64; ++i) {
-    const std::uint32_t s0 =
-        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    const std::uint32_t s1 =
-        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
+#endif
+  sha256_compress_scalar(state, data, blocks);
+}
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+}  // namespace detail
 
-  for (int i = 0; i < 64; ++i) {
-    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    const std::uint32_t ch = (e & f) ^ (~e & g);
-    const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    const std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
+bool sha256_hw_accelerated() { return kUseShaNi; }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+Sha256::Sha256() { std::memcpy(state_, kInit, sizeof(state_)); }
+
+void Sha256::reset() {
+  std::memcpy(state_, kInit, sizeof(state_));
+  total_len_ = 0;
+  buffer_len_ = 0;
 }
 
 void Sha256::update(const std::uint8_t* data, std::size_t len) {
@@ -85,14 +194,15 @@ void Sha256::update(const std::uint8_t* data, std::size_t len) {
     data += take;
     len -= take;
     if (buffer_len_ == sizeof(buffer_)) {
-      process_block(buffer_);
+      detail::sha256_compress(state_, buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (len >= 64) {
-    process_block(data);
-    data += 64;
-    len -= 64;
+  if (len >= 64) {
+    const std::size_t blocks = len / 64;
+    detail::sha256_compress(state_, data, blocks);
+    data += blocks * 64;
+    len -= blocks * 64;
   }
   if (len > 0) {
     std::memcpy(buffer_, data, len);
@@ -101,17 +211,21 @@ void Sha256::update(const std::uint8_t* data, std::size_t len) {
 }
 
 Digest Sha256::finish() {
+  // Pad in place: 0x80, zeros to the next 56-byte boundary, then the
+  // big-endian bit length — at most two compressions, no byte-at-a-time
+  // re-entry into update().
   const std::uint64_t bit_len = total_len_ * 8;
-  const std::uint8_t pad = 0x80;
-  update(&pad, 1);
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) update(&zero, 1);
-  std::uint8_t len_be[8];
-  for (int i = 0; i < 8; ++i) {
-    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_ + buffer_len_, 0, sizeof(buffer_) - buffer_len_);
+    detail::sha256_compress(state_, buffer_, 1);
+    buffer_len_ = 0;
   }
-  std::memcpy(buffer_ + 56, len_be, 8);
-  process_block(buffer_);
+  std::memset(buffer_ + buffer_len_, 0, 56 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  detail::sha256_compress(state_, buffer_, 1);
 
   Digest out;
   for (int i = 0; i < 8; ++i) {
@@ -133,6 +247,34 @@ Digest sha256(const std::string& data) {
   Sha256 ctx;
   ctx.update(data);
   return ctx.finish();
+}
+
+Digest sha256_pair(const std::uint8_t* a, std::size_t a_len,
+                   const std::uint8_t* b, std::size_t b_len) {
+  Sha256 ctx;
+  ctx.update(a, a_len);
+  ctx.update(b, b_len);
+  return ctx.finish();
+}
+
+Digest template_hash_of(const Digest& file_hash, std::string_view path) {
+  return sha256_pair(file_hash.data(), file_hash.size(),
+                     reinterpret_cast<const std::uint8_t*>(path.data()),
+                     path.size());
+}
+
+Digest pcr_fold(const Digest& acc, const Digest& t) {
+  return sha256_pair(acc.data(), acc.size(), t.data(), t.size());
+}
+
+void sha256_batch(const HashInput* in, std::size_t n, Digest* out) {
+  Sha256 ctx;
+  for (std::size_t i = 0; i < n; ++i) {
+    ctx.reset();
+    if (in[i].a_len > 0) ctx.update(in[i].a, in[i].a_len);
+    if (in[i].b_len > 0) ctx.update(in[i].b, in[i].b_len);
+    out[i] = ctx.finish();
+  }
 }
 
 Bytes digest_bytes(const Digest& d) { return Bytes(d.begin(), d.end()); }

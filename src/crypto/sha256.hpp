@@ -1,11 +1,19 @@
 // SHA-256 (FIPS 180-4), implemented from scratch so the library is
 // self-contained. Used for IMA file measurements, TPM PCR extends,
 // policy hashes, and as the hash inside HMAC and Schnorr.
+//
+// The compression function is runtime-dispatched: on x86-64 hosts with
+// the SHA extensions (most server parts since Goldmont/Zen) multi-block
+// inputs go through a SHA-NI transform, everything else through the
+// portable scalar path. Both produce identical digests — a crypto_test
+// holds them against each other over random inputs of every length
+// class, and the FIPS known-answer vectors pin the dispatched result.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/types.hpp"
 
@@ -25,13 +33,21 @@ class Sha256 {
   void update(const std::string& data) {
     update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
   }
+  void update(std::string_view data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
 
-  /// Finalize and return the digest. The context must not be reused after.
+  /// Finalize and return the digest. The context must not be reused
+  /// after finish() until reset() is called.
   Digest finish();
 
- private:
-  void process_block(const std::uint8_t* block);
+  /// Return the context to its freshly-constructed state so it can hash
+  /// another message. Appraisal loops hash hundreds of thousands of
+  /// records per round; reset() lets them reuse one context instead of
+  /// constructing a new one per record.
+  void reset();
 
+ private:
   std::uint32_t state_[8];
   std::uint64_t total_len_ = 0;
   std::uint8_t buffer_[64];
@@ -44,6 +60,36 @@ Digest sha256(const Bytes& data);
 /// One-shot digest of a string.
 Digest sha256(const std::string& data);
 
+/// One-shot digest of two concatenated segments, sha256(a || b), with no
+/// heap allocation. This is the shape of every record on the appraisal
+/// hot path: the ima-ng template hash is sha256(file_hash || path) and a
+/// PCR fold step is sha256(pcr || template_hash).
+Digest sha256_pair(const std::uint8_t* a, std::size_t a_len,
+                   const std::uint8_t* b, std::size_t b_len);
+
+/// The ima-ng template hash of a measurement record:
+/// sha256(file_hash || path). Allocation-free — use this instead of
+/// `ctx.update(digest_bytes(file_hash))`, which heap-allocates a Bytes
+/// copy of the digest per record.
+Digest template_hash_of(const Digest& file_hash, std::string_view path);
+
+/// One TPM extend / measurement-list replay step: sha256(acc || t).
+Digest pcr_fold(const Digest& acc, const Digest& t);
+
+/// A two-segment hashing record for sha256_batch. `b` may be empty.
+struct HashInput {
+  const std::uint8_t* a = nullptr;
+  std::size_t a_len = 0;
+  const std::uint8_t* b = nullptr;
+  std::size_t b_len = 0;
+};
+
+/// Hash `n` two-segment records into `out[0..n)`, reusing one context
+/// across the whole batch with no per-record allocation. Record i's
+/// digest is sha256(in[i].a || in[i].b) — exactly n independent hashes,
+/// batched for locality (the K tables and dispatch decision stay hot).
+void sha256_batch(const HashInput* in, std::size_t n, Digest* out);
+
 /// Digest as Bytes.
 Bytes digest_bytes(const Digest& d);
 
@@ -52,5 +98,19 @@ std::string digest_hex(const Digest& d);
 
 /// An all-zero digest (e.g., initial PCR value).
 Digest zero_digest();
+
+/// True when the SHA-NI transform is compiled in and the CPU supports
+/// it (observability / bench labelling only; dispatch is automatic).
+bool sha256_hw_accelerated();
+
+namespace detail {
+/// Portable compression over `blocks` consecutive 64-byte blocks.
+void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t* data,
+                            std::size_t blocks);
+/// Dispatched compression (SHA-NI when available, else scalar). Exposed
+/// so tests can hold the two backends against each other directly.
+void sha256_compress(std::uint32_t state[8], const std::uint8_t* data,
+                     std::size_t blocks);
+}  // namespace detail
 
 }  // namespace cia::crypto

@@ -15,18 +15,18 @@ std::string LogEntry::to_string() const {
                    crypto::digest_hex(file_hash).c_str(), path.c_str());
 }
 
-Result<LogEntry> LogEntry::parse(const std::string& line) {
+Result<LogEntry> LogEntry::parse(std::string_view line) {
   // "<pcr> <template-hash> <template-name> sha256:<file-hash> <path>"
   // The path is the remainder and may itself contain spaces.
   const auto fail = [&](const char* what) {
-    return err(Errc::kCorrupted, std::string(what) + ": " + line);
+    return err(Errc::kCorrupted, std::string(what) + ": " + std::string(line));
   };
-  std::vector<std::string> head;
+  std::string_view head[4];
   std::size_t pos = 0;
   for (int field = 0; field < 4; ++field) {
     const std::size_t next = line.find(' ', pos);
-    if (next == std::string::npos) return fail("too few fields");
-    head.push_back(line.substr(pos, next - pos));
+    if (next == std::string_view::npos) return fail("too few fields");
+    head[field] = line.substr(pos, next - pos);
     pos = next + 1;
   }
   if (pos >= line.size()) return fail("missing path");
@@ -42,22 +42,18 @@ Result<LogEntry> LogEntry::parse(const std::string& line) {
   }
   entry.pcr = pcr;
   if (entry.pcr >= tpm::kNumPcrs) return fail("bad PCR");
-  auto template_hash = from_hex(head[1]);
-  if (!template_hash.ok() ||
-      template_hash.value().size() != crypto::kSha256Size) {
+  // hex_decode enforces exactly 64 hex characters, the same accept set
+  // as the old from_hex + size check, without the Bytes allocation.
+  if (!hex_decode(head[1], entry.template_hash.data(), crypto::kSha256Size)) {
     return fail("bad template hash");
   }
-  std::copy(template_hash.value().begin(), template_hash.value().end(),
-            entry.template_hash.begin());
-  entry.template_name = head[2];
-  if (!starts_with(head[3], "sha256:")) return fail("bad digest algorithm");
-  auto file_hash = from_hex(head[3].substr(7));
-  if (!file_hash.ok() || file_hash.value().size() != crypto::kSha256Size) {
+  entry.template_name = std::string(head[2]);
+  if (!head[3].starts_with("sha256:")) return fail("bad digest algorithm");
+  if (!hex_decode(head[3].substr(7), entry.file_hash.data(),
+                  crypto::kSha256Size)) {
     return fail("bad file hash");
   }
-  std::copy(file_hash.value().begin(), file_hash.value().end(),
-            entry.file_hash.begin());
-  entry.path = line.substr(pos);
+  entry.path = std::string(line.substr(pos));
   // A kernel measurement record cannot carry NUL (the record's path field
   // is NUL-terminated) or line breaks (the ASCII list is line-framed) —
   // and to_string() formats via C strings, so an embedded NUL would
@@ -85,10 +81,7 @@ void Ima::on_boot(const std::string& boot_id) {
   LogEntry entry;
   entry.file_hash = aggregate.finish();
   entry.path = "boot_aggregate";
-  crypto::Sha256 ctx;
-  ctx.update(crypto::digest_bytes(entry.file_hash));
-  ctx.update(entry.path);
-  entry.template_hash = ctx.finish();
+  entry.template_hash = crypto::template_hash_of(entry.file_hash, entry.path);
   log_.push_back(entry);
   tpm_->extend(tpm::kImaPcr, entry.template_hash);
 }
@@ -135,10 +128,7 @@ void Ima::measure(const std::string& path, Hook hook) {
   LogEntry entry;
   entry.file_hash = st.value().content_hash;
   entry.path = visible;
-  crypto::Sha256 ctx;
-  ctx.update(crypto::digest_bytes(entry.file_hash));
-  ctx.update(entry.path);
-  entry.template_hash = ctx.finish();
+  entry.template_hash = crypto::template_hash_of(entry.file_hash, entry.path);
   log_.push_back(entry);
   tpm_->extend(tpm::kImaPcr, entry.template_hash);
 }
@@ -162,19 +152,19 @@ Status Ima::appraise(const std::string& path) const {
   return Status::ok_status();
 }
 
-std::vector<LogEntry> Ima::log_since(std::size_t offset) const {
+std::span<const LogEntry> Ima::log_since(std::size_t offset) const {
   if (offset >= log_.size()) return {};
-  return std::vector<LogEntry>(log_.begin() + static_cast<std::ptrdiff_t>(offset),
-                               log_.end());
+  return std::span<const LogEntry>(log_).subspan(offset);
 }
 
 crypto::Digest replay_log(const std::vector<LogEntry>& entries) {
   crypto::Digest pcr = crypto::zero_digest();
+  crypto::Sha256 ctx;
   for (const LogEntry& e : entries) {
-    crypto::Sha256 ctx;
     ctx.update(pcr.data(), pcr.size());
     ctx.update(e.template_hash.data(), e.template_hash.size());
     pcr = ctx.finish();
+    ctx.reset();
   }
   return pcr;
 }

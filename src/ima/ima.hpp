@@ -19,7 +19,9 @@
 
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "crypto/schnorr.hpp"
@@ -43,7 +45,9 @@ struct LogEntry {
   std::string to_string() const;
 
   /// Parse a rendered line back into an entry (offline log analysis).
-  static Result<LogEntry> parse(const std::string& line);
+  /// Splits in place — no intermediate field copies; only the owning
+  /// template_name/path strings of the returned entry are allocated.
+  static Result<LogEntry> parse(std::string_view line);
 };
 
 /// Kernel-side toggles corresponding to the paper's proposed IMA fixes.
@@ -94,7 +98,9 @@ class Ima {
   const std::vector<LogEntry>& log() const { return log_; }
 
   /// Entries from `offset` to the end (agents ship the log incrementally).
-  std::vector<LogEntry> log_since(std::size_t offset) const;
+  /// Borrows the live log — the span is invalidated by the next measure()
+  /// or on_boot(), so serialize or copy before re-entering the machine.
+  std::span<const LogEntry> log_since(std::size_t offset) const;
 
   const ImaPolicy& policy() const { return policy_; }
   const ImaConfig& config() const { return config_; }

@@ -62,15 +62,19 @@ Result<Bytes> Agent::handle(const std::string& kind, const Bytes& payload) {
   if (!req.ok()) return req.error();
 
   const auto wall_start = std::chrono::steady_clock::now();
-  QuoteResponse resp;
-  resp.boot_count = static_cast<std::uint32_t>(machine_->boot_count());
+  const auto boot_count = static_cast<std::uint32_t>(machine_->boot_count());
   // Quote over the challenge with our boot counter bound in, so the
   // verifier can trust the reboot signal as much as the quote itself.
-  resp.quote = machine_->tpm().quote(
-      bound_quote_nonce(req.value().nonce, resp.boot_count), quoted_pcrs());
-  resp.entries = machine_->ima().log_since(req.value().log_offset);
-  resp.total_log_length = machine_->ima().log().size();
-  Bytes encoded = resp.encode();
+  const tpm::Quote quote = machine_->tpm().quote(
+      bound_quote_nonce(req.value().nonce, boot_count), quoted_pcrs());
+  // Serialize the log tail straight from the borrowed span — the old
+  // path deep-copied every entry into a QuoteResponse it encoded and
+  // immediately threw away.
+  const std::span<const ima::LogEntry> entries =
+      machine_->ima().log_since(req.value().log_offset);
+  Bytes encoded = encode_quote_response(quote, entries,
+                                        machine_->ima().log().size(),
+                                        boot_count);
   if (metrics_) {
     const telemetry::Labels labels{{"agent", agent_id_}};
     const double us = std::chrono::duration<double, std::micro>(
@@ -80,9 +84,9 @@ Result<Bytes> Agent::handle(const std::string& kind, const Bytes& payload) {
         ->histogram("cia_agent_quote_us", labels,
                     telemetry::wallclock_micros_buckets())
         .observe(us);
-    if (!resp.entries.empty()) {
+    if (!entries.empty()) {
       metrics_->counter("cia_agent_entries_shipped_total", labels)
-          .inc(resp.entries.size());
+          .inc(entries.size());
     }
     metrics_->counter("cia_agent_log_bytes_shipped_total", labels)
         .inc(encoded.size());

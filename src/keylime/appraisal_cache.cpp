@@ -1,0 +1,55 @@
+#include "keylime/appraisal_cache.hpp"
+
+#include <cstring>
+
+namespace cia::keylime {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+AppraisalCache::AppraisalCache(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity < 2 ? 2 : capacity);
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+std::size_t AppraisalCache::slot_of(const crypto::Digest& template_hash) const {
+  // The key is a SHA-256 — its leading bytes are already uniform, so the
+  // slot index is just the first 8 bytes reduced by the table mask.
+  std::uint64_t h = 0;
+  std::memcpy(&h, template_hash.data(), sizeof(h));
+  return static_cast<std::size_t>(h) & mask_;
+}
+
+std::optional<PolicyMatch> AppraisalCache::lookup(
+    const crypto::Digest& template_hash, std::uint64_t index_uid) {
+  const Slot& slot = slots_[slot_of(template_hash)];
+  if (slot.uid == index_uid && slot.key == template_hash) {
+    ++stats_.hits;
+    return slot.verdict;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void AppraisalCache::insert(const crypto::Digest& template_hash,
+                            std::uint64_t index_uid, PolicyMatch verdict) {
+  Slot& slot = slots_[slot_of(template_hash)];
+  if (slot.uid == index_uid && slot.key == template_hash) return;
+  if (slot.uid != 0) ++stats_.evictions;
+  slot.key = template_hash;
+  slot.uid = index_uid;
+  slot.verdict = verdict;
+  ++stats_.insertions;
+}
+
+void AppraisalCache::clear() {
+  for (Slot& s : slots_) s = Slot{};
+}
+
+}  // namespace cia::keylime

@@ -1,0 +1,78 @@
+// A policy-verdict cache for the appraisal hot path.
+//
+// The common fleet case is massive cross-agent redundancy: every node
+// runs the same distro binaries, so the same ima-ng template hash —
+// sha256(file_hash || path), which the verifier recomputes itself and
+// which therefore uniquely names the (content, path) pair being judged —
+// is appraised thousands of times per round. The cache maps
+// (template_hash, policy-index uid) -> PolicyMatch so repeats skip the
+// PolicyIndex probe entirely.
+//
+// Keying on PolicyIndex::uid() (process-unique per built index) makes a
+// copy-on-write policy swap an implicit, immediate invalidation: the new
+// index has a uid no cached slot carries, so every lookup under it
+// misses and re-probes. No epochs, no flush walk, no way to serve a
+// verdict from a retired policy revision.
+//
+// The cache is deliberately NOT thread-safe. The sharded pool gives each
+// shard its own instance (shards are single-threaded and joined at round
+// boundaries), which keeps per-shard telemetry deterministic for a fixed
+// (seed, shards) pair — a shared cache would make hit counts depend on
+// cross-shard interleaving.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "keylime/runtime_policy.hpp"
+
+namespace cia::keylime {
+
+class AppraisalCache {
+ public:
+  /// Default capacity comfortably holds the paper's 324k-line policy
+  /// working set. Rounded up to a power of two.
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 19;
+
+  explicit AppraisalCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Cached verdict for this template hash under this policy index, or
+  /// nullopt. Counts a hit or miss.
+  std::optional<PolicyMatch> lookup(const crypto::Digest& template_hash,
+                                    std::uint64_t index_uid);
+
+  /// Remember a verdict. Direct-mapped: an occupied colliding slot is
+  /// evicted (counted); identical re-inserts are no-ops.
+  void insert(const crypto::Digest& template_hash, std::uint64_t index_uid,
+              PolicyMatch verdict);
+
+  /// Drop every entry (stats survive).
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    crypto::Digest key{};
+    std::uint64_t uid = 0;  // 0 = empty (build() starts uids at 1)
+    PolicyMatch verdict = PolicyMatch::kNotInPolicy;
+  };
+
+  std::size_t slot_of(const crypto::Digest& template_hash) const;
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cia::keylime

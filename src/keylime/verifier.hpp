@@ -19,6 +19,7 @@
 
 #include "common/rng.hpp"
 #include "common/sim_clock.hpp"
+#include "keylime/appraisal_cache.hpp"
 #include "keylime/audit.hpp"
 #include "keylime/messages.hpp"
 #include "keylime/notifier.hpp"
@@ -149,6 +150,14 @@ class Verifier : public PolicySink {
   };
   const IndexStats& index_stats() const { return index_stats_; }
 
+  /// Attach a policy-verdict cache (non-owning; nullptr detaches).
+  /// Appraisal consults it before the PolicyIndex probe; it only
+  /// participates on indexed appraisals, since a cached verdict is keyed
+  /// by PolicyIndex::uid() so copy-on-write policy swaps invalidate it.
+  /// The cache is not thread-safe — give each verifier (pool shard) its
+  /// own instance.
+  void use_appraisal_cache(AppraisalCache* cache) { cache_ = cache; }
+
   /// Install a measured-boot refstate for an agent; PCR 0/4/7 of every
   /// subsequent quote must match it.
   Status set_mb_refstate(const std::string& agent_id, MbRefstate refstate);
@@ -240,6 +249,15 @@ class Verifier : public PolicySink {
 
   Result<AttestationRound> attest_once_impl(const std::string& agent_id);
 
+  /// One policy verdict on the appraisal hot path: verdict cache (when
+  /// attached and an index is installed), then PolicyIndex probe, then
+  /// the linear RuntimePolicy scan when no index is installed.
+  /// `template_hash` must be the hash the verifier computed/verified from
+  /// the entry's own data — it is the cache key.
+  PolicyMatch appraise(AgentRecord& rec, const PolicyIndex* index,
+                       std::string_view path, const crypto::Digest& file_hash,
+                       const crypto::Digest& template_hash);
+
   /// Open a child span on the attached tracer (no-op scope when tracing
   /// is off).
   std::optional<telemetry::Tracer::Scope> trace_span(const char* name);
@@ -257,6 +275,7 @@ class Verifier : public PolicySink {
   telemetry::Tracer* tracer_ = nullptr;
   crypto::Digest last_quote_digest_{};  // set by attest_once_impl
   IndexStats index_stats_;
+  AppraisalCache* cache_ = nullptr;  // optional, non-owning
 };
 
 }  // namespace cia::keylime

@@ -160,6 +160,8 @@ class VerifierPool : public PolicySink {
     std::uint64_t batches = 0;
     std::uint64_t index_hits = 0;
     std::uint64_t index_misses = 0;
+    std::uint64_t cache_hits = 0;    // appraisal verdict-cache hits
+    std::uint64_t cache_misses = 0;  // ...and misses (then index probed)
     std::uint64_t policy_swaps = 0;
   };
   Stats stats() const;
@@ -179,6 +181,11 @@ class VerifierPool : public PolicySink {
     SimClock clock;
     netsim::SimNetwork network;
     Registrar registrar;
+    // Per-shard verdict cache (NOT shared across shards: the cache is
+    // single-threaded by design, and sharing one would make per-shard
+    // hit/miss telemetry depend on cross-shard interleaving, breaking
+    // the byte-identical-telemetry determinism contract).
+    AppraisalCache appraisal_cache;
     Verifier verifier;
     std::unique_ptr<netsim::RetryingTransport> transport;
     AttestationScheduler scheduler;
@@ -195,6 +202,8 @@ class VerifierPool : public PolicySink {
     std::uint64_t policy_swaps = 0;
     std::uint64_t exported_hits = 0;    // index stats already exported
     std::uint64_t exported_misses = 0;
+    std::uint64_t exported_cache_hits = 0;    // cache stats already exported
+    std::uint64_t exported_cache_misses = 0;
   };
 
   void apply_pending(Shard& shard);

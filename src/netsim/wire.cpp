@@ -77,6 +77,19 @@ Result<std::string> WireReader::string() {
   return s;
 }
 
+Result<std::string_view> WireReader::string_view() {
+  auto len = u64();
+  if (!len.ok()) return len.error();
+  if (len.value() > data_.size() - pos_) {
+    return err(Errc::kCorrupted, "truncated string");
+  }
+  if (len.value() == 0) return std::string_view{};
+  std::string_view s(reinterpret_cast<const char*>(data_.data()) + pos_,
+                     static_cast<std::size_t>(len.value()));
+  pos_ += len.value();
+  return s;
+}
+
 Result<Bytes> WireReader::bytes() {
   auto len = u64();
   if (!len.ok()) return len.error();

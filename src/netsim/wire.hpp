@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "common/result.hpp"
 #include "common/types.hpp"
@@ -47,6 +48,11 @@ class WireReader {
   Result<std::string> string();
   Result<Bytes> bytes();
   Result<crypto::Digest> digest();
+
+  /// Like string(), but borrows the reader's backing buffer instead of
+  /// copying — the view is valid only while that buffer outlives it.
+  /// Hot-path decoders use this to avoid one allocation per field.
+  Result<std::string_view> string_view();
 
   /// True when all input has been consumed.
   bool at_end() const { return pos_ == data_.size(); }

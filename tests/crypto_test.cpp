@@ -3,6 +3,9 @@
 // sign/verify, and certificate chains.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/hex.hpp"
 #include "crypto/cert.hpp"
 #include "crypto/hmac.hpp"
@@ -38,6 +41,90 @@ TEST(Sha256Test, MillionAs) {
   for (int i = 0; i < 1000; ++i) ctx.update(chunk);
   EXPECT_EQ(digest_hex(ctx.finish()),
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, ResetReproducesAFreshContext) {
+  Sha256 ctx;
+  ctx.update(std::string("poison the state"));
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update(std::string("abc"));
+  EXPECT_EQ(digest_hex(ctx.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // And again mid-message: reset before finish must also discard state.
+  ctx.reset();
+  ctx.update(std::string("partial inp"));
+  ctx.reset();
+  EXPECT_EQ(digest_hex(ctx.finish()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, ScalarAndDispatchedBackendsAgree) {
+  // Every length class that exercises a distinct padding/block path:
+  // empty, sub-block, exact block, block+1, multi-block, and the 55/56/57
+  // boundary where the length field forces a second padding block.
+  std::vector<std::size_t> lens = {0, 1, 31, 55, 56, 57, 63, 64, 65, 127, 128, 1000};
+  for (std::size_t len : lens) {
+    Bytes msg(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      msg[i] = static_cast<std::uint8_t>(i * 131 + len);
+    }
+    // Pad the way finish() does, then run both compressors directly.
+    Bytes padded = msg;
+    padded.push_back(0x80);
+    while (padded.size() % 64 != 56) padded.push_back(0);
+    const std::uint64_t bits = static_cast<std::uint64_t>(len) * 8;
+    for (int i = 0; i < 8; ++i) {
+      padded.push_back(static_cast<std::uint8_t>(bits >> (56 - 8 * i)));
+    }
+    std::uint32_t scalar_state[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                     0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                     0x1f83d9ab, 0x5be0cd19};
+    std::uint32_t dispatched_state[8];
+    std::memcpy(dispatched_state, scalar_state, sizeof(scalar_state));
+    detail::sha256_compress_scalar(scalar_state, padded.data(),
+                                   padded.size() / 64);
+    detail::sha256_compress(dispatched_state, padded.data(),
+                            padded.size() / 64);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(scalar_state[i], dispatched_state[i])
+          << "len " << len << " word " << i
+          << (sha256_hw_accelerated() ? " (sha-ni)" : " (scalar)");
+    }
+  }
+}
+
+TEST(Sha256Test, PairAndTemplateHelpersMatchStreaming) {
+  const Digest file_hash = sha256(std::string("file content"));
+  const std::string path = "/usr/bin/env";
+  Sha256 ctx;
+  ctx.update(digest_bytes(file_hash));
+  ctx.update(path);
+  const Digest expected = ctx.finish();
+  EXPECT_EQ(template_hash_of(file_hash, path), expected);
+
+  const Digest acc = sha256(std::string("acc"));
+  ctx.reset();
+  ctx.update(acc.data(), acc.size());
+  ctx.update(expected.data(), expected.size());
+  EXPECT_EQ(pcr_fold(acc, expected), ctx.finish());
+}
+
+TEST(Sha256Test, BatchMatchesOneShots) {
+  const std::string a0 = "alpha", b0 = "/bin/sh";
+  const std::string a1 = "", b1 = "solo-second-segment";
+  const std::string a2 = std::string(200, 'x');
+  HashInput in[3] = {
+      {reinterpret_cast<const std::uint8_t*>(a0.data()), a0.size(),
+       reinterpret_cast<const std::uint8_t*>(b0.data()), b0.size()},
+      {nullptr, 0, reinterpret_cast<const std::uint8_t*>(b1.data()), b1.size()},
+      {reinterpret_cast<const std::uint8_t*>(a2.data()), a2.size(), nullptr, 0},
+  };
+  Digest out[3];
+  sha256_batch(in, 3, out);
+  EXPECT_EQ(out[0], sha256(a0 + b0));
+  EXPECT_EQ(out[1], sha256(a1 + b1));
+  EXPECT_EQ(out[2], sha256(a2));
 }
 
 TEST(Sha256Test, StreamingMatchesOneShot) {

@@ -1,0 +1,330 @@
+// Differential coverage for the appraisal hot path.
+//
+// PR 5 rebuilt the verifier's appraisal pipeline for throughput: fused
+// single-pass verify+fold over zero-copy decoded entries, PolicyIndex
+// probes, and a policy-revision-keyed verdict cache. None of that may
+// move a verdict or an alert by a single byte. These tests hold the fast
+// path against the pre-existing slow path two ways:
+//
+//   * verdict parity, property-style: RuntimePolicy::check (the linear
+//     reference), PolicyIndex::check, and the cache-layered probe must
+//     agree on testkit-generated policies and adversarial entries —
+//     including the SNAP/container truncated-path shapes gen_path emits —
+//     with shrink-on-failure minimizing any offending path;
+//   * alert parity, end-to-end: two verifiers attest the SAME agent over
+//     the same workload (P1-style /tmp implants, modified binaries,
+//     unknown files, reboot re-measurement), one on the indexed+cached
+//     fast path and one on the plain linear path; their rounds and full
+//     alert streams must render byte-identically, under both P2 failure
+//     semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+#include "ima/ima.hpp"
+#include "keylime/agent.hpp"
+#include "keylime/appraisal_cache.hpp"
+#include "keylime/policy_index.hpp"
+#include "keylime/registrar.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "keylime/verifier.hpp"
+#include "netsim/network.hpp"
+#include "oskernel/machine.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/shrink.hpp"
+
+namespace cia::testkit {
+namespace {
+
+using keylime::AppraisalCache;
+using keylime::PolicyIndex;
+using keylime::PolicyMatch;
+using keylime::RuntimePolicy;
+
+// The cache-layered fast-path probe, exactly as Verifier::appraise runs
+// it on indexed appraisals.
+PolicyMatch cached_check(AppraisalCache& cache, const PolicyIndex& index,
+                         const std::string& path,
+                         const crypto::Digest& file_hash) {
+  const crypto::Digest key = crypto::template_hash_of(file_hash, path);
+  if (const auto cached = cache.lookup(key, index.uid())) return *cached;
+  const PolicyMatch match = index.check(path, file_hash);
+  cache.insert(key, index.uid(), match);
+  return match;
+}
+
+// One (path, hash) probe across all three implementations; on
+// divergence, shrink the path to a minimal reproducer before failing.
+void expect_parity(const RuntimePolicy& policy, const PolicyIndex& index,
+                   AppraisalCache& cache, const std::string& path,
+                   const crypto::Digest& hash, std::uint64_t seed) {
+  const PolicyMatch slow = policy.check(path, hash);
+  const PolicyMatch indexed = index.check(path, hash);
+  const PolicyMatch cached = cached_check(cache, index, path, hash);
+  // A second probe must now be served from the cache, with the verdict
+  // unchanged.
+  const PolicyMatch cached_again = cached_check(cache, index, path, hash);
+  if (slow == indexed && slow == cached && slow == cached_again) return;
+
+  const auto diverges = [&](const std::string& p) {
+    if (p.empty()) return false;
+    const PolicyMatch s = policy.check(p, hash);
+    return index.check(p, hash) != s ||
+           cached_check(cache, index, p, hash) != s;
+  };
+  const std::string minimized = shrink_text(path, diverges);
+  ADD_FAILURE() << "verdict divergence (seed " << seed << ") on path \""
+                << path << "\" (minimized: \"" << minimized << "\"): slow="
+                << keylime::policy_match_name(slow)
+                << " indexed=" << keylime::policy_match_name(indexed)
+                << " cached=" << keylime::policy_match_name(cached);
+}
+
+TEST(HotpathVerdictParity, GeneratedPoliciesAndAdversarialPaths) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 1337u}) {
+    Rng rng(seed);
+    const RuntimePolicy policy = gen_policy(rng, 48);
+    const auto index = PolicyIndex::build(policy);
+    AppraisalCache cache;
+
+    // Paths the policy knows: probe with an acceptable hash, a wrong
+    // hash, and a random digest.
+    policy.for_each_path([&](const std::string& path,
+                             const std::vector<std::string>& hashes) {
+      crypto::Digest good{};
+      if (!hashes.empty() &&
+          hex_decode(hashes[0], good.data(), good.size())) {
+        expect_parity(policy, *index, cache, path, good, seed);
+      }
+      expect_parity(policy, *index, cache, path,
+                    crypto::sha256("wrong:" + path), seed);
+    });
+
+    // Adversarial generated paths (SNAP/container truncation, embedded
+    // spaces, deep nesting, raw high bytes) the policy has never seen —
+    // these exercise the exclude-glob fallback scan.
+    for (int i = 0; i < 400; ++i) {
+      const std::string path = gen_path(rng);
+      expect_parity(policy, *index, cache, path,
+                    crypto::sha256("h:" + path), seed);
+    }
+  }
+}
+
+TEST(HotpathVerdictParity, DistilledLogPoliciesWithImplants) {
+  // The P1-P5 shape: a policy distilled from a golden generated log,
+  // stock /tmp exclusion, then implants at generated adversarial paths.
+  for (std::uint64_t seed : {3u, 11u, 99u}) {
+    Rng rng(seed);
+    const auto golden = gen_log(rng, 64);
+    RuntimePolicy policy;
+    for (const auto& e : golden) policy.allow(e.path, e.file_hash);
+    policy.exclude("/tmp/*");
+    policy.exclude("*/__pycache__/*");
+    const auto index = PolicyIndex::build(policy);
+    AppraisalCache cache;
+
+    // Every golden entry must appraise kAllowed identically...
+    for (const auto& e : golden) {
+      expect_parity(policy, *index, cache, e.path, e.file_hash, seed);
+    }
+    // ...and re-appraising the whole log (a reboot replay) must serve
+    // from the cache without moving a verdict.
+    const std::uint64_t hits_before = cache.stats().hits;
+    for (const auto& e : golden) {
+      expect_parity(policy, *index, cache, e.path, e.file_hash, seed);
+    }
+    EXPECT_GT(cache.stats().hits, hits_before);
+
+    // Implants: measured entries the policy never saw, tampered hashes
+    // for paths it did see.
+    for (int i = 0; i < 200; ++i) {
+      const std::string path = gen_path(rng);
+      expect_parity(policy, *index, cache, path,
+                    crypto::sha256("implant:" + path), seed);
+    }
+    for (const auto& e : golden) {
+      expect_parity(policy, *index, cache, e.path,
+                    crypto::sha256("tampered:" + e.path), seed);
+    }
+  }
+}
+
+TEST(HotpathVerdictParity, PolicySwapInvalidatesCachedVerdicts) {
+  // Copy-on-write swap contract: a rebuilt index has a fresh uid, so a
+  // verdict cached under the old revision can never be served under the
+  // new one — even for the same template hash.
+  RuntimePolicy v1;
+  v1.allow("/usr/bin/tool", crypto::sha256("v1"));
+  RuntimePolicy v2 = v1;
+  v2.allow("/usr/bin/tool", crypto::sha256("v2"));
+
+  const auto index1 = PolicyIndex::build(v1, 1);
+  const auto index2 = PolicyIndex::build(v2, 2);
+  ASSERT_NE(index1->uid(), index2->uid());
+
+  AppraisalCache cache;
+  const crypto::Digest probe = crypto::sha256("v2");
+  // Under v1 the hash is a mismatch; the verdict is cached.
+  EXPECT_EQ(cached_check(cache, *index1, "/usr/bin/tool", probe),
+            PolicyMatch::kHashMismatch);
+  // Under v2 the same (path, hash) is allowed — the v1 slot must miss.
+  EXPECT_EQ(cached_check(cache, *index2, "/usr/bin/tool", probe),
+            PolicyMatch::kAllowed);
+  // And the verdicts stay revision-correct on repeat lookups.
+  EXPECT_EQ(cached_check(cache, *index1, "/usr/bin/tool", probe),
+            PolicyMatch::kHashMismatch);
+  EXPECT_EQ(cached_check(cache, *index2, "/usr/bin/tool", probe),
+            PolicyMatch::kAllowed);
+}
+
+// ----------------------------------------------------------- end-to-end
+
+std::string render_alerts(const std::vector<keylime::Alert>& alerts) {
+  std::string out;
+  for (const auto& a : alerts) {
+    out += std::to_string(a.time) + "|" + a.agent_id + "|" +
+           keylime::alert_type_name(a.type) + "|" + a.path + "|" +
+           a.observed_hash_hex + "|" + a.detail + "|" +
+           std::to_string(a.log_index) + "\n";
+  }
+  return out;
+}
+
+// Two verifiers — fast (indexed policy + verdict cache) and slow (plain
+// linear RuntimePolicy) — attesting one real agent over one workload.
+struct DiffRig {
+  explicit DiffRig(bool continue_on_failure)
+      : ca("mfg", to_bytes("diff-seed")),
+        network(&clock, 1),
+        registrar(&network, &clock, 2),
+        fast(&network, &clock, 3,
+             keylime::VerifierConfig{continue_on_failure}),
+        slow(&network, &clock, 4,
+             keylime::VerifierConfig{continue_on_failure}) {
+    registrar.trust_manufacturer(ca.public_key());
+    oskernel::MachineConfig cfg;
+    cfg.hostname = "diff-node";
+    cfg.seed = 7;
+    machine = std::make_unique<oskernel::Machine>(cfg, ca, &clock);
+    agent = std::make_unique<keylime::Agent>(machine.get(), &network);
+    EXPECT_TRUE(agent->register_with(keylime::Registrar::address()).ok());
+    EXPECT_TRUE(fast.add_agent(cfg.hostname, agent->address()).ok());
+    EXPECT_TRUE(slow.add_agent(cfg.hostname, agent->address()).ok());
+    fast.use_appraisal_cache(&cache);
+  }
+
+  void install_policy(const RuntimePolicy& policy) {
+    ASSERT_TRUE(slow.set_policy("diff-node", policy).ok());
+    ASSERT_TRUE(
+        fast.set_indexed_policy("diff-node", policy, PolicyIndex::build(policy))
+            .ok());
+  }
+
+  // Attest on both stacks (no clock movement in between, so alert
+  // timestamps line up) and require identical round results.
+  void attest_and_compare() {
+    auto fast_round = fast.attest_once("diff-node");
+    auto slow_round = slow.attest_once("diff-node");
+    ASSERT_EQ(fast_round.ok(), slow_round.ok());
+    if (!fast_round.ok()) return;
+    const auto& f = fast_round.value();
+    const auto& s = slow_round.value();
+    EXPECT_EQ(f.new_entries, s.new_entries);
+    EXPECT_EQ(f.evaluated, s.evaluated);
+    EXPECT_EQ(f.state, s.state);
+    EXPECT_EQ(f.reboot_detected, s.reboot_detected);
+    EXPECT_EQ(render_alerts(f.alerts), render_alerts(s.alerts));
+    EXPECT_EQ(render_alerts(fast.alerts()), render_alerts(slow.alerts()));
+    EXPECT_EQ(fast.pending_entries("diff-node"),
+              slow.pending_entries("diff-node"));
+  }
+
+  SimClock clock;
+  crypto::CertificateAuthority ca;
+  netsim::SimNetwork network;
+  keylime::Registrar registrar;
+  keylime::Verifier fast;
+  keylime::Verifier slow;
+  keylime::AppraisalCache cache;
+  std::unique_ptr<oskernel::Machine> machine;
+  std::unique_ptr<keylime::Agent> agent;
+};
+
+void run_workload_parity(bool continue_on_failure) {
+  DiffRig rig(continue_on_failure);
+  auto& machine = *rig.machine;
+
+  // Golden workload: binaries the policy will bless.
+  std::vector<std::string> golden = {"/usr/bin/svc-a", "/usr/bin/svc-b",
+                                     "/usr/lib/helper.so",
+                                     "/opt/app/bin/daemon"};
+  for (const auto& p : golden) {
+    ASSERT_TRUE(machine.fs().create_file(p, to_bytes("elf:" + p), true).ok());
+    ASSERT_TRUE(machine.exec(p).ok());
+  }
+
+  // Distill the policy from the measured log (boot aggregate entries are
+  // skipped by appraisal) and keep the stock /tmp exclusion.
+  RuntimePolicy policy;
+  for (const auto& e : machine.ima().log()) {
+    if (e.path == "boot_aggregate") continue;
+    policy.allow(e.path, e.file_hash);
+  }
+  policy.exclude("/tmp/*");
+  rig.install_policy(policy);
+
+  // Phase 1: clean log — no alerts on either stack.
+  rig.attest_and_compare();
+  EXPECT_TRUE(rig.fast.alerts().empty());
+
+  // Phase 2: a /tmp implant (P1: rides the exclude), an unknown binary
+  // (not-in-policy), and a modified golden binary (hash mismatch).
+  ASSERT_TRUE(
+      machine.fs().create_file("/tmp/implant", to_bytes("payload"), true).ok());
+  ASSERT_TRUE(machine.exec("/tmp/implant").ok());
+  ASSERT_TRUE(
+      machine.fs().create_file("/usr/bin/rogue", to_bytes("rogue"), true).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/rogue").ok());
+  ASSERT_TRUE(
+      machine.fs().write_file("/usr/bin/svc-a", to_bytes("trojaned")).ok());
+  ASSERT_TRUE(machine.exec("/usr/bin/svc-a").ok());
+  rig.attest_and_compare();
+  EXPECT_FALSE(rig.slow.alerts().empty());
+
+  // Phase 3: recover (both stacks resolve identically) and reboot — the
+  // whole list re-measures, the fast path re-appraises through its cache.
+  if (!continue_on_failure) {
+    ASSERT_TRUE(rig.fast.resolve_failure("diff-node").ok());
+    ASSERT_TRUE(rig.slow.resolve_failure("diff-node").ok());
+  }
+  machine.reboot();
+  for (const auto& p : golden) ASSERT_TRUE(machine.exec(p).ok());
+  rig.attest_and_compare();  // reboot detection round
+  rig.attest_and_compare();  // re-appraisal (stock: halts at svc-a again)
+  if (!continue_on_failure) {
+    // Resolve once more so the backlog behind the trojaned binary —
+    // entries appraised (and cached) before the reboot — gets drained.
+    ASSERT_TRUE(rig.fast.resolve_failure("diff-node").ok());
+    ASSERT_TRUE(rig.slow.resolve_failure("diff-node").ok());
+  }
+  rig.attest_and_compare();  // steady state / backlog drain
+  EXPECT_GT(rig.cache.stats().hits, 0u)
+      << "reboot re-appraisal should hit the verdict cache";
+}
+
+TEST(HotpathEndToEnd, AlertStreamsIdenticalUnderStockSemantics) {
+  run_workload_parity(/*continue_on_failure=*/false);
+}
+
+TEST(HotpathEndToEnd, AlertStreamsIdenticalUnderContinueOnFailure) {
+  run_workload_parity(/*continue_on_failure=*/true);
+}
+
+}  // namespace
+}  // namespace cia::testkit
