@@ -21,6 +21,7 @@
 #include "crypto/sha256.hpp"
 #include "experiments/pool_experiment.hpp"
 #include "keylime/policy_index.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -240,6 +241,58 @@ FleetBenchResult bench_fleet(std::size_t shards, bool indexed,
   return result;
 }
 
+// ---------------------------------------------------------------------
+// Part 3: live resharding cost — what one ring resize charges the fleet.
+
+struct ResizeBenchResult {
+  std::size_t moved = 0;
+  std::size_t agents = 0;
+  double ms = 0;
+  std::uint64_t bytes = 0;
+};
+
+ResizeBenchResult bench_resize(std::size_t from, std::size_t to,
+                               std::size_t agents) {
+  telemetry::MetricsRegistry metrics;
+  PoolFleetOptions options;
+  options.agents = agents;
+  options.shards = from;
+  options.seed = 7;
+  options.binaries_per_machine = 64;
+  options.execs_per_round = 16;
+  options.retrying_transport = false;
+  options.metrics = &metrics;
+  PoolFleet fleet(options);
+  ResizeBenchResult result;
+  result.agents = agents;
+  if (!fleet.init_status().ok()) {
+    std::printf("  !! fleet construction failed: %s\n",
+                fleet.init_status().error().message.c_str());
+    return result;
+  }
+  (void)fleet.pool().set_fleet_policy(fleet.fleet_policy());
+  // Give every agent real state to carry: log cursors past boot, audit
+  // sub-chains, scheduler history — the resize serializes all of it.
+  for (std::size_t r = 0; r < 2; ++r) {
+    fleet.run_workload_round(r);
+    fleet.pool().run_round();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  if (Status s = fleet.pool().resize(to); !s.ok()) {
+    std::printf("  !! resize failed: %s\n", s.error().message.c_str());
+    return result;
+  }
+  result.ms = wall_ms(start);
+  const auto& mig = fleet.pool().migration_stats();
+  result.moved = mig.ok + mig.fallback;
+  const auto snap = metrics.snapshot();
+  if (const auto* p = snap.find("cia_pool_migration_bytes")) {
+    result.bytes = static_cast<std::uint64_t>(p->histogram.sum);
+  }
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -286,5 +339,30 @@ int main() {
       "  cost — deterministic, independent of host cores. wall_ms shows the\n"
       "  indexed-appraisal win on this host; on a multi-core verifier the\n"
       "  shard parallelism multiplies it by up to the core count.\n");
+
+  const std::size_t resize_agents =
+      env_size("CIA_BENCH_POOL_RESIZE_AGENTS", 400);
+  std::printf("\nLive resharding cost (%zu agents with warm state)\n\n",
+              resize_agents);
+  std::printf(
+      "  resize      moved    wall_ms   ms/moved   payload_KB   KB/moved\n");
+  struct Shape {
+    std::size_t from, to;
+  };
+  for (const Shape shape : {Shape{2, 4}, Shape{4, 8}, Shape{8, 2}}) {
+    const ResizeBenchResult r = bench_resize(shape.from, shape.to,
+                                             resize_agents);
+    const double kb = static_cast<double>(r.bytes) / 1024.0;
+    std::printf(
+        "  %zu -> %-5zu %6zu   %8.1f   %8.2f   %10.1f   %8.2f\n",
+        shape.from, shape.to, r.moved, r.ms,
+        r.moved > 0 ? r.ms / static_cast<double>(r.moved) : 0.0, kb,
+        r.moved > 0 ? kb / static_cast<double>(r.moved) : 0.0);
+  }
+  std::printf(
+      "\n  only ring-moved agents pay a handoff; the rest of the fleet\n"
+      "  never blocks beyond the round-boundary drain. ms/moved is the\n"
+      "  marginal cost of migrating one agent's full verification state\n"
+      "  (log cursor, audit tail, scheduler slot) over the handoff link.\n");
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "experiments/pool_experiment.hpp"
 
+#include <algorithm>
+
 #include "common/strutil.hpp"
+#include "crypto/sha256.hpp"
 #include "experiments/testbed.hpp"
 
 namespace cia::experiments {
@@ -27,36 +30,53 @@ PoolFleet::PoolFleet(const PoolFleetOptions& options) : options_(options) {
   }
 
   for (std::size_t i = 0; i < options_.agents; ++i) {
-    oskernel::MachineConfig cfg;
-    cfg.hostname = strformat("agent-%04zu", i);
-    cfg.seed = options_.seed + i + 1;  // distinct TPM identities
-    const std::size_t shard = pool_->shard_for(cfg.hostname);
-    machines_.push_back(std::make_unique<oskernel::Machine>(
-        cfg, *tpm_ca_, &pool_->clock(shard)));
-    oskernel::Machine& machine = *machines_.back();
-    for (const std::string& path : binaries_) {
-      (void)machine.fs().create_file(path, to_bytes("elf:" + path), true);
-    }
-    agents_.push_back(std::make_unique<keylime::Agent>(
-        &machine, &pool_->network(shard)));
-    keylime::Agent& agent = *agents_.back();
-    if (Status s = agent.register_with(keylime::Registrar::address());
-        !s.ok()) {
-      init_status_ = s;
+    if (auto id = spawn_agent(next_ordinal_++); !id.ok()) {
+      init_status_ = id.error();
       return;
     }
-    if (Status s = pool_->enroll(cfg.hostname, agent.address()); !s.ok()) {
-      init_status_ = s;
-      return;
-    }
-    agent_ids_.push_back(cfg.hostname);
   }
 }
 
 PoolFleet::~PoolFleet() = default;
 
+Result<std::string> PoolFleet::spawn_agent(std::size_t ordinal) {
+  oskernel::MachineConfig cfg;
+  cfg.hostname = strformat("agent-%04zu", ordinal);
+  cfg.seed = options_.seed + ordinal + 1;  // distinct TPM identities
+  const std::size_t shard = pool_->shard_for(cfg.hostname);
+  auto machine = std::make_unique<oskernel::Machine>(cfg, *tpm_ca_,
+                                                     &pool_->clock(shard));
+  for (const std::string& path : binaries_) {
+    (void)machine->fs().create_file(path, to_bytes("elf:" + path), true);
+  }
+  auto agent =
+      std::make_unique<keylime::Agent>(machine.get(), &pool_->network(shard));
+  if (Status s = agent->register_with(keylime::Registrar::address());
+      !s.ok()) {
+    return s.error();
+  }
+  if (Status s = pool_->enroll(cfg.hostname, agent->address()); !s.ok()) {
+    return s.error();
+  }
+  const std::size_t slot = machines_.size();
+  machines_.push_back(std::move(machine));
+  agents_.push_back(std::move(agent));
+  agent_ids_.push_back(cfg.hostname);
+  slot_[cfg.hostname] = slot;
+  return cfg.hostname;
+}
+
 keylime::RuntimePolicy PoolFleet::fleet_policy() const {
-  return scan_machine_policy(*machines_.front(), /*exclude_tmp=*/true);
+  if (!cached_policy_) {
+    // Scan any live machine — the image is identical fleet-wide. Cached
+    // so churn can keep pushing the policy after machine 0 has left.
+    for (const auto& machine : machines_) {
+      if (!machine) continue;
+      cached_policy_ = scan_machine_policy(*machine, /*exclude_tmp=*/true);
+      break;
+    }
+  }
+  return cached_policy_ ? *cached_policy_ : keylime::RuntimePolicy{};
 }
 
 Status PoolFleet::push_fleet_policy() {
@@ -66,6 +86,7 @@ Status PoolFleet::push_fleet_policy() {
 void PoolFleet::run_workload_round(std::uint64_t round) {
   if (binaries_.empty()) return;
   for (std::size_t i = 0; i < machines_.size(); ++i) {
+    if (!machines_[i]) continue;  // churned out
     // A deterministic slice of the binary set, disjoint from the
     // previous round's slice until the set wraps: each round produces
     // fresh first-execution measurements for the verifier to appraise.
@@ -85,6 +106,150 @@ void PoolFleet::exec_unknown(std::size_t i) {
       strformat("/usr/local/bin/dropper-%04zu", i);
   (void)machine.fs().create_file(path, to_bytes("elf:unknown:" + path), true);
   (void)machine.exec(path);
+}
+
+Result<std::string> PoolFleet::join_agent() {
+  auto id = spawn_agent(next_ordinal_++);
+  if (!id.ok()) return id;
+  // Cover the joiner's image with the fleet policy: one fresh revision,
+  // applied at its shard's next batch boundary.
+  if (Status s = pool_->set_policy(id.value(), fleet_policy()); !s.ok()) {
+    return s.error();
+  }
+  return id;
+}
+
+Status PoolFleet::leave_agent(const std::string& agent_id) {
+  auto it = slot_.find(agent_id);
+  if (it == slot_.end()) {
+    return err(Errc::kNotFound, "leave: unknown agent " + agent_id);
+  }
+  if (Status s = pool_->unenroll(agent_id); !s.ok()) return s;
+  const std::size_t slot = it->second;
+  // Destroy the agent first (its destructor detach on the original shard
+  // network is a harmless no-op if the endpoint migrated away), then the
+  // machine it points at.
+  agents_[slot].reset();
+  machines_[slot].reset();
+  slot_.erase(it);
+  agent_ids_.erase(
+      std::remove(agent_ids_.begin(), agent_ids_.end(), agent_id),
+      agent_ids_.end());
+  return Status::ok_status();
+}
+
+Status PoolFleet::reboot_agent(const std::string& agent_id) {
+  oskernel::Machine* machine = machine_for(agent_id);
+  if (!machine) {
+    return err(Errc::kNotFound, "reboot: unknown agent " + agent_id);
+  }
+  machine->reboot();
+  return Status::ok_status();
+}
+
+oskernel::Machine* PoolFleet::machine_for(const std::string& agent_id) {
+  auto it = slot_.find(agent_id);
+  if (it == slot_.end()) return nullptr;
+  return machines_[it->second].get();
+}
+
+ChurnReport run_churn_campaign(PoolFleet& fleet,
+                               const ChurnCampaignOptions& options) {
+  ChurnReport report;
+  Rng rng(options.seed);
+  // The campaign keeps its own view of the live fleet. Event choice
+  // depends only on this list and the rng draws — never on pool state —
+  // so the identical event sequence replays with any resize schedule.
+  std::vector<std::string> live = fleet.agent_ids();
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    for (const auto& [at, shards] : options.resize_at) {
+      if (at != round) continue;
+      if (Status st = fleet.pool().resize(shards); !st.ok()) {
+        report.status = st;
+        return report;
+      }
+    }
+
+    const std::size_t joins =
+        options.max_joins_per_round
+            ? static_cast<std::size_t>(
+                  rng.uniform(options.max_joins_per_round + 1))
+            : 0;
+    for (std::size_t j = 0; j < joins; ++j) {
+      auto id = fleet.join_agent();
+      if (!id.ok()) {
+        report.status = id.error();
+        return report;
+      }
+      live.push_back(id.value());
+      ++report.joins;
+    }
+
+    const std::size_t leaves =
+        options.max_leaves_per_round
+            ? static_cast<std::size_t>(
+                  rng.uniform(options.max_leaves_per_round + 1))
+            : 0;
+    // Keep a small floor so the run never churns down to an empty fleet.
+    for (std::size_t l = 0; l < leaves && live.size() > 2; ++l) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform(live.size()));
+      const std::string id = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      if (Status st = fleet.leave_agent(id); !st.ok()) {
+        report.status = st;
+        return report;
+      }
+      ++report.leaves;
+    }
+
+    const std::size_t reboots =
+        options.max_reboots_per_round
+            ? static_cast<std::size_t>(
+                  rng.uniform(options.max_reboots_per_round + 1))
+            : 0;
+    for (std::size_t b = 0; b < reboots && !live.empty(); ++b) {
+      const std::string id =
+          live[static_cast<std::size_t>(rng.uniform(live.size()))];
+      if (Status st = fleet.reboot_agent(id); !st.ok()) {
+        report.status = st;
+        return report;
+      }
+      ++report.reboots;
+    }
+
+    fleet.run_workload_round(round);
+    report.polls += fleet.pool().advance_to(
+        static_cast<SimTime>((round + 1) * options.round_period));
+  }
+  return report;
+}
+
+std::map<std::string, std::string> per_agent_chain_digests(
+    const keylime::VerifierPool& pool) {
+  // Gather every agent's records across ALL shards: a migrated agent's
+  // history spans its old and new homes; a retired shard still holds the
+  // records it appended while active.
+  std::map<std::string, std::vector<const keylime::AuditRecord*>> by_agent;
+  for (std::size_t s = 0; s < pool.shard_count(); ++s) {
+    for (const auto& rec : pool.verifier(s).audit().records()) {
+      by_agent[rec.agent_id].push_back(&rec);
+    }
+  }
+  std::map<std::string, std::string> digests;
+  for (auto& [id, recs] : by_agent) {
+    std::sort(recs.begin(), recs.end(),
+              [](const keylime::AuditRecord* a, const keylime::AuditRecord* b) {
+                return a->agent_seq < b->agent_seq;
+              });
+    crypto::Sha256 ctx;
+    for (const keylime::AuditRecord* rec : recs) {
+      const crypto::Digest h = rec->agent_hash();
+      ctx.update(h.data(), h.size());
+    }
+    digests[id] = crypto::digest_hex(ctx.finish());
+  }
+  return digests;
 }
 
 }  // namespace cia::experiments

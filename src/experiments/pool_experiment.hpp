@@ -10,8 +10,11 @@
 // partitions.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "keylime/agent.hpp"
@@ -72,7 +75,30 @@ class PoolFleet {
   /// attestation of that agent must raise kNotInPolicy.
   void exec_unknown(std::size_t i);
 
+  // ------------------------------------------------------------- churn
+
+  /// Enrol a brand-new agent on the current ring (machine + TPM identity
+  /// + registration + fleet policy push). Ids are minted fresh and NEVER
+  /// reused: a reused id would restart the departed agent's audit
+  /// sub-chain numbering, which the cross-shard chain invariant correctly
+  /// reads as a fork. Returns the new agent id.
+  Result<std::string> join_agent();
+
+  /// The node leaves the fleet: unenroll from the pool, then destroy its
+  /// agent and machine. Its audit records stay on whichever shards
+  /// recorded them.
+  Status leave_agent(const std::string& agent_id);
+
+  /// Power-cycle the machine: the IMA log restarts from a fresh boot and
+  /// the verifier re-walks it from offset zero.
+  Status reboot_agent(const std::string& agent_id);
+
+  /// Machine backing a live agent id; nullptr after leave_agent.
+  oskernel::Machine* machine_for(const std::string& agent_id);
+
  private:
+  Result<std::string> spawn_agent(std::size_t ordinal);
+
   PoolFleetOptions options_;
   std::unique_ptr<crypto::CertificateAuthority> tpm_ca_;
   std::unique_ptr<keylime::VerifierPool> pool_;
@@ -80,7 +106,54 @@ class PoolFleet {
   std::vector<std::unique_ptr<keylime::Agent>> agents_;
   std::vector<std::string> agent_ids_;
   std::vector<std::string> binaries_;
+  std::map<std::string, std::size_t> slot_;  // live agent id -> slot index
+  std::size_t next_ordinal_ = 0;  // monotone: ids are never reused
+  mutable std::optional<keylime::RuntimePolicy> cached_policy_;
   Status init_status_;
 };
+
+// -------------------------------------------------------- churn campaign
+
+struct ChurnCampaignOptions {
+  std::uint64_t seed = 2026;
+  std::size_t rounds = 12;
+  /// Virtual time advanced per campaign round.
+  SimTime round_period = 2 * kMinute;
+  /// Per-round event budgets; the actual count each round is drawn
+  /// uniformly from [0, max].
+  std::size_t max_joins_per_round = 1;
+  std::size_t max_leaves_per_round = 1;
+  std::size_t max_reboots_per_round = 1;
+  /// Mid-campaign resizes: before round `first`, resize the pool to
+  /// `second` active shards. Empty = no-resize baseline run.
+  std::vector<std::pair<std::size_t, std::size_t>> resize_at;
+};
+
+struct ChurnReport {
+  std::size_t joins = 0;
+  std::size_t leaves = 0;
+  std::size_t reboots = 0;
+  std::size_t polls = 0;
+  Status status;
+};
+
+/// Drive a deterministic enrollment-churn campaign: every round applies
+/// any scheduled resize, draws join/leave/reboot events from a dedicated
+/// Rng, runs a workload round, and advances the pool one period. Event
+/// choice depends only on the campaign seed and the campaign's own view
+/// of the live fleet — never on pool state — so the same seed produces
+/// the identical event sequence with and without mid-run resizes. That is
+/// what lets callers diff per-agent verdict streams across resize
+/// schedules.
+ChurnReport run_churn_campaign(PoolFleet& fleet,
+                               const ChurnCampaignOptions& options);
+
+/// Partition-independent fingerprint of every agent's audit sub-chain:
+/// records are gathered across ALL shards (an agent that migrated has
+/// history on several), ordered by agent_seq, and their agent_hash()
+/// values folded into one hex digest per agent. Byte-identical digests
+/// mean byte-identical verdict streams, alert sets, and chain linkage.
+std::map<std::string, std::string> per_agent_chain_digests(
+    const keylime::VerifierPool& pool);
 
 }  // namespace cia::experiments

@@ -19,13 +19,27 @@ const char* audit_verdict_name(AuditVerdict v) {
 
 crypto::Digest AuditRecord::compute_hash() const {
   crypto::Sha256 ctx;
-  ctx.update(strformat("audit:%llu:%lld:%s:%s:%zu:%zu:",
+  ctx.update(strformat("audit:%llu:%lld:%s:%s:%zu:%zu:%llu:",
                        static_cast<unsigned long long>(sequence),
+                       static_cast<long long>(time), agent_id.c_str(),
+                       audit_verdict_name(verdict), alerts,
+                       log_entries_evaluated,
+                       static_cast<unsigned long long>(agent_seq)));
+  ctx.update(quote_digest.data(), quote_digest.size());
+  ctx.update(prev_hash.data(), prev_hash.size());
+  ctx.update(agent_prev_hash.data(), agent_prev_hash.size());
+  return ctx.finish();
+}
+
+crypto::Digest AuditRecord::agent_hash() const {
+  crypto::Sha256 ctx;
+  ctx.update(strformat("agentaudit:%llu:%lld:%s:%s:%zu:%zu:",
+                       static_cast<unsigned long long>(agent_seq),
                        static_cast<long long>(time), agent_id.c_str(),
                        audit_verdict_name(verdict), alerts,
                        log_entries_evaluated));
   ctx.update(quote_digest.data(), quote_digest.size());
-  ctx.update(prev_hash.data(), prev_hash.size());
+  ctx.update(agent_prev_hash.data(), agent_prev_hash.size());
   return ctx.finish();
 }
 
@@ -33,6 +47,7 @@ const AuditRecord& AuditLog::append(SimTime time, const std::string& agent_id,
                                     AuditVerdict verdict, std::size_t alerts,
                                     std::size_t evaluated,
                                     const crypto::Digest& quote_digest) {
+  AgentTail& tail = tails_[agent_id];
   AuditRecord record;
   record.sequence = records_.size();
   record.time = time;
@@ -40,11 +55,15 @@ const AuditRecord& AuditLog::append(SimTime time, const std::string& agent_id,
   record.verdict = verdict;
   record.alerts = alerts;
   record.log_entries_evaluated = evaluated;
+  record.agent_seq = tail.next_seq;
   record.quote_digest = quote_digest;
   record.prev_hash =
       records_.empty() ? crypto::zero_digest() : records_.back().record_hash;
+  record.agent_prev_hash = tail.prev_hash;
   record.record_hash = record.compute_hash();
   record.signature = crypto::sign(key_, crypto::digest_bytes(record.record_hash));
+  tail.next_seq = record.agent_seq + 1;
+  tail.prev_hash = record.agent_hash();
   records_.push_back(std::move(record));
   return records_.back();
 }
@@ -53,9 +72,28 @@ crypto::Digest AuditLog::head() const {
   return records_.empty() ? crypto::zero_digest() : records_.back().record_hash;
 }
 
+AuditLog::AgentTail AuditLog::agent_tail(const std::string& agent_id) const {
+  auto it = tails_.find(agent_id);
+  if (it == tails_.end()) return AgentTail{0, crypto::zero_digest()};
+  return it->second;
+}
+
+void AuditLog::set_agent_tail(const std::string& agent_id,
+                              const AgentTail& tail) {
+  tails_[agent_id] = tail;
+}
+
+void AuditLog::drop_agent_tail(const std::string& agent_id) {
+  tails_.erase(agent_id);
+}
+
 Status AuditLog::restore(std::vector<AuditRecord> records) {
   if (Status s = verify_audit_chain(records, key_.pub); !s.ok()) return s;
   records_ = std::move(records);
+  tails_.clear();
+  for (const AuditRecord& r : records_) {
+    tails_[r.agent_id] = AgentTail{r.agent_seq + 1, r.agent_hash()};
+  }
   return Status::ok_status();
 }
 
@@ -89,8 +127,10 @@ json::Value AuditRecord::to_json() const {
   doc.set("verdict", audit_verdict_name(verdict));
   doc.set("alerts", alerts);
   doc.set("evaluated", log_entries_evaluated);
+  doc.set("agent_seq", static_cast<std::int64_t>(agent_seq));
   doc.set("quote_digest", digest_json(quote_digest));
   doc.set("prev_hash", digest_json(prev_hash));
+  doc.set("agent_prev", digest_json(agent_prev_hash));
   doc.set("record_hash", digest_json(record_hash));
   doc.set("signature", to_hex(signature.encode()));
   return doc;
@@ -105,14 +145,17 @@ Result<AuditRecord> AuditRecord::from_json(const json::Value& doc) {
   const json::Value* verdict = doc.find("verdict");
   const json::Value* alerts = doc.find("alerts");
   const json::Value* evaluated = doc.find("evaluated");
+  const json::Value* agent_seq = doc.find("agent_seq");
   const json::Value* signature = doc.find("signature");
   if (!seq || !seq->is_number() || !time_field || !time_field->is_number() ||
       !agent || !agent->is_string() || !verdict || !verdict->is_string() ||
       !alerts || !alerts->is_number() || !evaluated ||
-      !evaluated->is_number() || !signature || !signature->is_string()) {
+      !evaluated->is_number() || !agent_seq || !agent_seq->is_number() ||
+      agent_seq->as_int() < 0 || !signature || !signature->is_string()) {
     return err(Errc::kCorrupted, "record is missing required fields");
   }
   r.sequence = static_cast<std::uint64_t>(seq->as_int());
+  r.agent_seq = static_cast<std::uint64_t>(agent_seq->as_int());
   r.time = time_field->as_int();
   r.agent_id = agent->as_string();
   const std::string verdict_name = verdict->as_string();
@@ -135,6 +178,9 @@ Result<AuditRecord> AuditRecord::from_json(const json::Value& doc) {
   auto prev = digest_from_json(doc.find("prev_hash"), "prev_hash");
   if (!prev.ok()) return prev.error();
   r.prev_hash = prev.value();
+  auto agent_prev = digest_from_json(doc.find("agent_prev"), "agent_prev");
+  if (!agent_prev.ok()) return agent_prev.error();
+  r.agent_prev_hash = agent_prev.value();
   auto hash = digest_from_json(doc.find("record_hash"), "record_hash");
   if (!hash.ok()) return hash.error();
   r.record_hash = hash.value();
@@ -181,6 +227,7 @@ import_audit_chain(const json::Value& doc) {
 Status verify_audit_chain(const std::vector<AuditRecord>& records,
                           const crypto::PublicKey& verifier_key) {
   crypto::Digest prev = crypto::zero_digest();
+  std::map<std::string, AuditLog::AgentTail> tails;
   for (std::size_t i = 0; i < records.size(); ++i) {
     const AuditRecord& r = records[i];
     if (r.sequence != i) {
@@ -197,6 +244,18 @@ Status verify_audit_chain(const std::vector<AuditRecord>& records,
                         r.signature)) {
       return err(Errc::kCorrupted, strformat("record %zu: bad signature", i));
     }
+    // Per-agent sub-chain: the first record for an agent may continue a
+    // chain begun elsewhere (it migrated in), so any starting point is
+    // legal — but every later record here must extend the previous one.
+    auto it = tails.find(r.agent_id);
+    if (it != tails.end() &&
+        (r.agent_seq != it->second.next_seq ||
+         r.agent_prev_hash != it->second.prev_hash)) {
+      return err(Errc::kCorrupted,
+                 strformat("record %zu: broken agent sub-chain for %s", i,
+                           r.agent_id.c_str()));
+    }
+    tails[r.agent_id] = AuditLog::AgentTail{r.agent_seq + 1, r.agent_hash()};
     prev = r.record_hash;
   }
   return Status::ok_status();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,13 +39,21 @@ struct AuditRecord {
   AuditVerdict verdict = AuditVerdict::kPassed;
   std::size_t alerts = 0;
   std::size_t log_entries_evaluated = 0;
-  crypto::Digest quote_digest{};  // SHA-256 of the quote's attested message
-  crypto::Digest prev_hash{};     // chain link (zero for the first record)
-  crypto::Digest record_hash{};   // hash over all fields above
-  crypto::Signature signature;    // verifier's signature over record_hash
+  std::uint64_t agent_seq = 0;      // position in this agent's own sub-chain
+  crypto::Digest quote_digest{};    // SHA-256 of the quote's attested message
+  crypto::Digest prev_hash{};       // chain link (zero for the first record)
+  crypto::Digest agent_prev_hash{}; // per-agent sub-chain link (zero at start)
+  crypto::Digest record_hash{};     // hash over all fields above
+  crypto::Signature signature;      // verifier's signature over record_hash
 
   /// Recompute the record hash from the fields (excluding hash+signature).
   crypto::Digest compute_hash() const;
+
+  /// Hash of the per-agent sub-chain fields only. Unlike record_hash it
+  /// excludes sequence/prev_hash, so an agent's sub-chain hashes are
+  /// identical no matter which shard's log each record landed in — the
+  /// property live resharding relies on to prove continuity.
+  crypto::Digest agent_hash() const;
 
   json::Value to_json() const;
   static Result<AuditRecord> from_json(const json::Value& doc);
@@ -53,12 +62,21 @@ struct AuditRecord {
 /// The verifier-side appender.
 class AuditLog {
  public:
+  /// Where an agent's sub-chain will continue: the agent_seq the next
+  /// record gets and the agent_hash it must link to. Migrates with the
+  /// agent so a destination shard extends — never forks — the chain.
+  struct AgentTail {
+    std::uint64_t next_seq = 0;
+    crypto::Digest prev_hash{};
+  };
+
   explicit AuditLog(crypto::KeyPair signing_key)
       : key_(std::move(signing_key)) {}
 
   const crypto::PublicKey& public_key() const { return key_.pub; }
 
-  /// Append a record; fills sequence, prev_hash, record_hash, signature.
+  /// Append a record; fills sequence, prev_hash, agent_seq,
+  /// agent_prev_hash, record_hash, signature.
   const AuditRecord& append(SimTime time, const std::string& agent_id,
                             AuditVerdict verdict, std::size_t alerts,
                             std::size_t evaluated,
@@ -70,15 +88,29 @@ class AuditLog {
   /// value an external anchor publishes, and what a checkpoint pins.
   crypto::Digest head() const;
 
+  /// This agent's sub-chain continuation point (a fresh tail — next_seq 0,
+  /// zero prev — when the agent has never been recorded here).
+  AgentTail agent_tail(const std::string& agent_id) const;
+
+  /// Adopt a sub-chain continuation point handed over by another shard's
+  /// log (agent migration or checkpoint restore).
+  void set_agent_tail(const std::string& agent_id, const AgentTail& tail);
+
+  /// Forget an agent's tail (the agent migrated away; its records stay).
+  void drop_agent_tail(const std::string& agent_id);
+
   /// Adopt a previously exported chain (verifier crash-recovery). The
   /// records must form a valid chain signed by this log's own key;
   /// subsequent appends continue from the restored head, so a restart
-  /// never forks or truncates history undetectably.
+  /// never forks or truncates history undetectably. Per-agent tails are
+  /// rebuilt from the records (callers holding migrated-in tails newer
+  /// than the records re-seed them via set_agent_tail afterwards).
   Status restore(std::vector<AuditRecord> records);
 
  private:
   crypto::KeyPair key_;
   std::vector<AuditRecord> records_;
+  std::map<std::string, AgentTail> tails_;
 };
 
 /// Export a chain (with the verifier's public key) as a JSON document the
@@ -92,7 +124,10 @@ import_audit_chain(const json::Value& doc);
 
 /// Offline audit: verify a chain's integrity against the verifier's
 /// public key. Detects tampered fields, broken links, reordered records,
-/// and bad signatures. (Truncation of the tail requires an external
+/// and bad signatures. Also checks each agent's sub-chain linkage within
+/// the log: an agent's first record may sit at any agent_seq (its earlier
+/// history can live on another shard), but every later record must extend
+/// the previous one. (Truncation of the tail requires an external
 /// anchor — the caller compares the final hash against a published one.)
 Status verify_audit_chain(const std::vector<AuditRecord>& records,
                           const crypto::PublicKey& verifier_key);

@@ -1,0 +1,110 @@
+#include "keylime/migration.hpp"
+
+#include <limits>
+
+#include "common/strutil.hpp"
+#include "keylime/verifier.hpp"
+
+namespace cia::keylime {
+
+Bytes HandoffPayload::encode() const {
+  json::Value doc;
+  doc.set("version", kVersion);
+  doc.set("agent", agent_id);
+  doc.set("source_shard", static_cast<std::int64_t>(source_shard));
+  doc.set("dest_shard", static_cast<std::int64_t>(dest_shard));
+  doc.set("slice", agent_slice);
+  json::Value sched;
+  sched.set("next_poll", static_cast<std::int64_t>(schedule.next_poll));
+  sched.set("backoff", static_cast<std::int64_t>(schedule.current_backoff));
+  sched.set("polls", static_cast<std::int64_t>(schedule.polls));
+  sched.set("comms_failures",
+            static_cast<std::int64_t>(schedule.comms_failures));
+  doc.set("schedule", std::move(sched));
+  return to_bytes(doc.dump());
+}
+
+namespace {
+
+Result<std::int64_t> non_negative(const json::Value& obj, const char* key) {
+  const json::Value* v = obj.find(key);
+  if (!v || !v->is_number()) {
+    return err(Errc::kCorrupted, std::string("handoff: missing ") + key);
+  }
+  const std::int64_t n = v->as_int();
+  if (n < 0) {
+    return err(Errc::kCorrupted, std::string("handoff: negative ") + key);
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<HandoffPayload> HandoffPayload::decode(const Bytes& raw) {
+  auto doc = json::parse(std::string(raw.begin(), raw.end()));
+  if (!doc.ok()) return doc.error();
+  const json::Value& root = doc.value();
+  if (!root.is_object()) {
+    return err(Errc::kCorrupted, "handoff: payload is not an object");
+  }
+
+  auto version = non_negative(root, "version");
+  if (!version.ok()) return version.error();
+  if (version.value() < 1 || version.value() > kVersion) {
+    return err(Errc::kInvalidArgument,
+               strformat("handoff: unsupported version %lld",
+                         static_cast<long long>(version.value())));
+  }
+
+  HandoffPayload p;
+  const json::Value* agent = root.find("agent");
+  if (!agent || !agent->is_string() || agent->as_string().empty()) {
+    return err(Errc::kCorrupted, "handoff: missing agent id");
+  }
+  p.agent_id = agent->as_string();
+
+  auto source = non_negative(root, "source_shard");
+  if (!source.ok()) return source.error();
+  auto dest = non_negative(root, "dest_shard");
+  if (!dest.ok()) return dest.error();
+  p.source_shard = static_cast<std::uint64_t>(source.value());
+  p.dest_shard = static_cast<std::uint64_t>(dest.value());
+  if (p.source_shard == p.dest_shard) {
+    return err(Errc::kCorrupted, "handoff: source and dest shard are equal");
+  }
+
+  const json::Value* slice = root.find("slice");
+  if (!slice || !slice->is_object()) {
+    return err(Errc::kCorrupted, "handoff: missing agent slice");
+  }
+  if (Status s = Verifier::validate_agent_slice(*slice); !s.ok()) {
+    return s.error();
+  }
+  const json::Value* slice_id = slice->find("id");
+  if (!slice_id || !slice_id->is_string() ||
+      slice_id->as_string() != p.agent_id) {
+    return err(Errc::kCorrupted,
+               "handoff: slice id does not match the envelope agent");
+  }
+  p.agent_slice = *slice;
+
+  const json::Value* sched = root.find("schedule");
+  if (!sched || !sched->is_object()) {
+    return err(Errc::kCorrupted, "handoff: missing schedule");
+  }
+  auto next_poll = non_negative(*sched, "next_poll");
+  if (!next_poll.ok()) return next_poll.error();
+  auto backoff = non_negative(*sched, "backoff");
+  if (!backoff.ok()) return backoff.error();
+  auto polls = non_negative(*sched, "polls");
+  if (!polls.ok()) return polls.error();
+  auto comms = non_negative(*sched, "comms_failures");
+  if (!comms.ok()) return comms.error();
+  p.schedule.next_poll = next_poll.value();
+  p.schedule.current_backoff = backoff.value();
+  p.schedule.polls = static_cast<std::uint64_t>(polls.value());
+  p.schedule.comms_failures = static_cast<std::uint64_t>(comms.value());
+  return p;
+}
+
+}  // namespace cia::keylime

@@ -98,6 +98,20 @@ bool Registrar::is_active(const std::string& agent_id) const {
   return it != enrolments_.end() && it->second.active;
 }
 
+Status Registrar::transfer_enrolment(const std::string& agent_id,
+                                     Registrar& dest) const {
+  auto it = enrolments_.find(agent_id);
+  if (it == enrolments_.end()) {
+    return err(Errc::kNotFound, "no enrolment for " + agent_id);
+  }
+  if (!it->second.active) {
+    return err(Errc::kPermissionDenied,
+               agent_id + " is not activated; refusing to transfer");
+  }
+  dest.enrolments_[agent_id] = it->second;
+  return Status::ok_status();
+}
+
 std::size_t Registrar::registered_count() const {
   std::size_t n = 0;
   for (const auto& [id, e] : enrolments_) {

@@ -37,6 +37,13 @@ class Registrar : public netsim::Endpoint {
   /// Is the agent fully registered (EK verified + credential activated)?
   bool is_active(const std::string& agent_id) const;
 
+  /// Copy an agent's activated enrolment into another registrar (the
+  /// control-plane half of live migration — shard registrars are one
+  /// logical service, so this transfer is in-process and reliable). The
+  /// enrolment must exist and be active. The source keeps its copy until
+  /// the data-plane handoff commits.
+  Status transfer_enrolment(const std::string& agent_id, Registrar& dest) const;
+
   std::size_t registered_count() const;
 
  private:

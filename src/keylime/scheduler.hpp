@@ -59,6 +59,16 @@ class AttestationScheduler {
 
   const AgentSchedule* schedule(const std::string& agent_id) const;
 
+  /// Adopt a schedule handed over by another shard's scheduler (live
+  /// migration): the agent keeps its absolute next_poll, backoff state,
+  /// and tallies, so a moved agent's cadence is seamless.
+  void adopt(const std::string& agent_id, const AgentSchedule& schedule) {
+    agents_[agent_id] = schedule;
+  }
+
+  /// Stop polling an agent (it migrated away or unenrolled).
+  void remove(const std::string& agent_id) { agents_.erase(agent_id); }
+
   /// Point the scheduler at a restored verifier instance after
   /// crash-recovery; poll cadence and backoff state carry over.
   void rebind(Verifier* verifier) { verifier_ = verifier; }

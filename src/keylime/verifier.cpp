@@ -38,6 +38,7 @@ Verifier::Verifier(netsim::SimNetwork* network, SimClock* clock,
       clock_(clock),
       rng_(seed),
       config_(config),
+      nonce_seed_(config.nonce_seed.value_or(seed)),
       audit_(crypto::derive_keypair(
           to_bytes(strformat("verifier-%llu",
                              static_cast<unsigned long long>(seed))),
@@ -61,6 +62,21 @@ std::optional<telemetry::Tracer::Scope> Verifier::trace_span(
 
 void Verifier::add_notifier(RevocationNotifier* notifier) {
   notifiers_.push_back(notifier);
+}
+
+Bytes Verifier::next_nonce(const std::string& agent_id, AgentRecord& rec) {
+  // Derived, not drawn from rng_: the stream depends only on
+  // (nonce_seed, agent_id, counter), and the counter rides along in
+  // checkpoints and migration slices, so the challenge sequence an agent
+  // sees is identical no matter which shard currently owns it.
+  crypto::Sha256 ctx;
+  ctx.update(strformat("nonce:%llu:%llu:",
+                       static_cast<unsigned long long>(nonce_seed_),
+                       static_cast<unsigned long long>(rec.nonce_counter)));
+  ctx.update(agent_id);
+  const crypto::Digest d = ctx.finish();
+  ++rec.nonce_counter;
+  return Bytes(d.begin(), d.begin() + 20);
 }
 
 Status Verifier::add_agent(const std::string& agent_id,
@@ -343,7 +359,7 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
   }
 
   QuoteRequest req;
-  req.nonce = rng_.bytes(20);
+  req.nonce = next_nonce(agent_id, rec);
   req.log_offset = rec.log_offset;
   auto resp_bytes = [&] {
     auto span = trace_span("quote_request");
@@ -621,56 +637,65 @@ const json::Value* checkpoint_field(const json::Value& obj, const char* key,
 
 }  // namespace
 
+json::Value Verifier::agent_to_json(const std::string& agent_id,
+                                    const AgentRecord& rec) const {
+  json::Value a;
+  a.set("id", agent_id);
+  a.set("address", rec.address);
+  a.set("ak", to_hex(rec.ak.encode()));
+  a.set("policy", rec.policy.to_json());
+  a.set("state", rec.state == AgentState::kFailed ? "failed" : "attesting");
+  a.set("log_offset", static_cast<std::int64_t>(rec.log_offset));
+  a.set("accumulated_pcr", crypto::digest_hex(rec.accumulated_pcr));
+  a.set("boot_count", static_cast<std::int64_t>(rec.boot_count));
+  a.set("rounds_since_success",
+        static_cast<std::int64_t>(rec.rounds_since_success));
+  a.set("nonce_counter", static_cast<std::int64_t>(rec.nonce_counter));
+  const AuditLog::AgentTail tail = audit_.agent_tail(agent_id);
+  a.set("audit_seq", static_cast<std::int64_t>(tail.next_seq));
+  a.set("audit_prev", crypto::digest_hex(tail.prev_hash));
+  if (rec.mb_refstate) {
+    json::Value mb;
+    mb.set("pcr0", crypto::digest_hex(rec.mb_refstate->pcr0));
+    mb.set("pcr4", crypto::digest_hex(rec.mb_refstate->pcr4));
+    mb.set("pcr7", crypto::digest_hex(rec.mb_refstate->pcr7));
+    a.set("mb_refstate", std::move(mb));
+  }
+  if (!rec.boot_baseline.empty()) {
+    json::Value events{json::Array{}};
+    for (const auto& e : rec.boot_baseline) {
+      json::Value ev;
+      ev.set("pcr", e.pcr);
+      ev.set("description", e.description);
+      ev.set("digest", crypto::digest_hex(e.digest));
+      events.push_back(std::move(ev));
+    }
+    a.set("boot_baseline", std::move(events));
+  }
+  if (!rec.pending.empty()) {
+    json::Value pending{json::Array{}};
+    for (const auto& [index, entry] : rec.pending) {
+      json::Value p;
+      p.set("index", static_cast<std::int64_t>(index));
+      p.set("pcr", entry.pcr);
+      p.set("template_name", entry.template_name);
+      p.set("template_hash", crypto::digest_hex(entry.template_hash));
+      p.set("file_hash", crypto::digest_hex(entry.file_hash));
+      p.set("path", entry.path);
+      pending.push_back(std::move(p));
+    }
+    a.set("pending", std::move(pending));
+  }
+  return a;
+}
+
 json::Value Verifier::checkpoint() const {
   const auto wall_start = std::chrono::steady_clock::now();
   json::Value doc;
-  doc.set("version", 1);
+  doc.set("version", kCheckpointVersion);
   json::Value agents{json::Array{}};
   for (const auto& [id, rec] : agents_) {
-    json::Value a;
-    a.set("id", id);
-    a.set("address", rec.address);
-    a.set("ak", to_hex(rec.ak.encode()));
-    a.set("policy", rec.policy.to_json());
-    a.set("state", rec.state == AgentState::kFailed ? "failed" : "attesting");
-    a.set("log_offset", static_cast<std::int64_t>(rec.log_offset));
-    a.set("accumulated_pcr", crypto::digest_hex(rec.accumulated_pcr));
-    a.set("boot_count", static_cast<std::int64_t>(rec.boot_count));
-    a.set("rounds_since_success",
-          static_cast<std::int64_t>(rec.rounds_since_success));
-    if (rec.mb_refstate) {
-      json::Value mb;
-      mb.set("pcr0", crypto::digest_hex(rec.mb_refstate->pcr0));
-      mb.set("pcr4", crypto::digest_hex(rec.mb_refstate->pcr4));
-      mb.set("pcr7", crypto::digest_hex(rec.mb_refstate->pcr7));
-      a.set("mb_refstate", std::move(mb));
-    }
-    if (!rec.boot_baseline.empty()) {
-      json::Value events{json::Array{}};
-      for (const auto& e : rec.boot_baseline) {
-        json::Value ev;
-        ev.set("pcr", e.pcr);
-        ev.set("description", e.description);
-        ev.set("digest", crypto::digest_hex(e.digest));
-        events.push_back(std::move(ev));
-      }
-      a.set("boot_baseline", std::move(events));
-    }
-    if (!rec.pending.empty()) {
-      json::Value pending{json::Array{}};
-      for (const auto& [index, entry] : rec.pending) {
-        json::Value p;
-        p.set("index", static_cast<std::int64_t>(index));
-        p.set("pcr", entry.pcr);
-        p.set("template_name", entry.template_name);
-        p.set("template_hash", crypto::digest_hex(entry.template_hash));
-        p.set("file_hash", crypto::digest_hex(entry.file_hash));
-        p.set("path", entry.path);
-        pending.push_back(std::move(p));
-      }
-      a.set("pending", std::move(pending));
-    }
-    agents.push_back(std::move(a));
+    agents.push_back(agent_to_json(id, rec));
   }
   doc.set("agents", std::move(agents));
   doc.set("audit", export_audit_chain(audit_.records(), audit_.public_key()));
@@ -693,6 +718,23 @@ Status Verifier::restore(const json::Value& doc) {
   if (!doc.is_object()) {
     return err(Errc::kCorrupted, "checkpoint is not an object");
   }
+  // Version gate: a checkpoint missing the field predates versioning
+  // (v1); anything newer than this build writes is refused outright
+  // rather than half-understood. Unknown *fields* within a known version
+  // are ignored, so appending a field stays forward-compatible.
+  std::int64_t version = 1;
+  if (const json::Value* v = doc.find("version")) {
+    if (!v->is_number() || v->as_int() < 1) {
+      return err(Errc::kCorrupted, "checkpoint: bad version field");
+    }
+    version = v->as_int();
+  }
+  if (version > kCheckpointVersion) {
+    return err(Errc::kInvalidArgument,
+               strformat("checkpoint version %lld is newer than the supported "
+                         "%d; refusing partial restore",
+                         static_cast<long long>(version), kCheckpointVersion));
+  }
   const json::Value* agents_field = doc.find("agents");
   const json::Value* audit_field = doc.find("audit");
   if (!agents_field || !agents_field->is_array() || !audit_field) {
@@ -710,125 +752,220 @@ Status Verifier::restore(const json::Value& doc) {
   }
 
   std::map<std::string, AgentRecord> restored;
+  std::map<std::string, AuditLog::AgentTail> tails;
   for (const json::Value& a : agents_field->as_array()) {
-    if (!a.is_object()) return err(Errc::kCorrupted, "checkpoint: bad agent");
-    const json::Value* id = checkpoint_field(a, "id", &json::Value::is_string);
-    const json::Value* address =
-        checkpoint_field(a, "address", &json::Value::is_string);
-    const json::Value* ak = checkpoint_field(a, "ak", &json::Value::is_string);
-    const json::Value* policy_field = a.find("policy");
-    const json::Value* state =
-        checkpoint_field(a, "state", &json::Value::is_string);
-    const json::Value* log_offset =
-        checkpoint_field(a, "log_offset", &json::Value::is_number);
-    const json::Value* boot_count =
-        checkpoint_field(a, "boot_count", &json::Value::is_number);
-    if (!id || !address || !ak || !policy_field || !state || !log_offset ||
-        !boot_count) {
-      return err(Errc::kCorrupted, "checkpoint: agent missing fields");
-    }
-    AgentRecord rec;
-    rec.address = address->as_string();
-    auto ak_bytes = from_hex(ak->as_string());
-    if (!ak_bytes.ok()) return err(Errc::kCorrupted, "checkpoint: bad AK hex");
-    auto ak_key = crypto::PublicKey::decode(ak_bytes.value());
-    if (!ak_key) return err(Errc::kCorrupted, "checkpoint: bad AK encoding");
-    rec.ak = *ak_key;
-    auto policy = RuntimePolicy::from_json(*policy_field);
-    if (!policy.ok()) return policy.error();
-    rec.policy = std::move(policy).take();
-    if (state->as_string() == "failed") {
-      rec.state = AgentState::kFailed;
-    } else if (state->as_string() == "attesting") {
-      rec.state = AgentState::kAttesting;
-    } else {
-      return err(Errc::kCorrupted,
-                 "checkpoint: bad agent state " + state->as_string());
-    }
-    rec.log_offset = static_cast<std::uint64_t>(log_offset->as_int());
-    auto pcr = checkpoint_digest(a.find("accumulated_pcr"), "accumulated_pcr");
-    if (!pcr.ok()) return pcr.error();
-    rec.accumulated_pcr = pcr.value();
-    rec.boot_count = static_cast<std::uint32_t>(boot_count->as_int());
-    if (const json::Value* rss =
-            checkpoint_field(a, "rounds_since_success",
-                             &json::Value::is_number)) {
-      rec.rounds_since_success = static_cast<std::uint64_t>(rss->as_int());
-    }
-    if (const json::Value* mb = a.find("mb_refstate")) {
-      MbRefstate ref;
-      auto p0 = checkpoint_digest(mb->find("pcr0"), "pcr0");
-      auto p4 = checkpoint_digest(mb->find("pcr4"), "pcr4");
-      auto p7 = checkpoint_digest(mb->find("pcr7"), "pcr7");
-      if (!p0.ok()) return p0.error();
-      if (!p4.ok()) return p4.error();
-      if (!p7.ok()) return p7.error();
-      ref.pcr0 = p0.value();
-      ref.pcr4 = p4.value();
-      ref.pcr7 = p7.value();
-      rec.mb_refstate = ref;
-    }
-    if (const json::Value* events = a.find("boot_baseline")) {
-      if (!events->is_array()) {
-        return err(Errc::kCorrupted, "checkpoint: bad boot_baseline");
-      }
-      for (const json::Value& ev : events->as_array()) {
-        const json::Value* pcr_field =
-            checkpoint_field(ev, "pcr", &json::Value::is_number);
-        const json::Value* description =
-            checkpoint_field(ev, "description", &json::Value::is_string);
-        auto digest = checkpoint_digest(ev.find("digest"), "digest");
-        if (!pcr_field || !description) {
-          return err(Errc::kCorrupted, "checkpoint: bad boot event");
-        }
-        if (!digest.ok()) return digest.error();
-        oskernel::BootEvent event;
-        event.pcr = static_cast<int>(pcr_field->as_int());
-        event.description = description->as_string();
-        event.digest = digest.value();
-        rec.boot_baseline.push_back(std::move(event));
-      }
-    }
-    if (const json::Value* pending = a.find("pending")) {
-      if (!pending->is_array()) {
-        return err(Errc::kCorrupted, "checkpoint: bad pending list");
-      }
-      for (const json::Value& p : pending->as_array()) {
-        const json::Value* index =
-            checkpoint_field(p, "index", &json::Value::is_number);
-        const json::Value* pcr_field =
-            checkpoint_field(p, "pcr", &json::Value::is_number);
-        const json::Value* template_name =
-            checkpoint_field(p, "template_name", &json::Value::is_string);
-        const json::Value* path =
-            checkpoint_field(p, "path", &json::Value::is_string);
-        auto template_hash =
-            checkpoint_digest(p.find("template_hash"), "template_hash");
-        auto file_hash = checkpoint_digest(p.find("file_hash"), "file_hash");
-        if (!index || !pcr_field || !template_name || !path) {
-          return err(Errc::kCorrupted, "checkpoint: bad pending entry");
-        }
-        if (!template_hash.ok()) return template_hash.error();
-        if (!file_hash.ok()) return file_hash.error();
-        ima::LogEntry entry;
-        entry.pcr = static_cast<int>(pcr_field->as_int());
-        entry.template_name = template_name->as_string();
-        entry.template_hash = template_hash.value();
-        entry.file_hash = file_hash.value();
-        entry.path = path->as_string();
-        rec.pending.emplace_back(static_cast<std::uint64_t>(index->as_int()),
-                                 std::move(entry));
-      }
-    }
-    restored[id->as_string()] = std::move(rec);
+    auto slice = agent_from_json(a);
+    if (!slice.ok()) return slice.error();
+    ParsedAgentSlice parsed = std::move(slice).take();
+    if (parsed.tail) tails[parsed.id] = *parsed.tail;
+    restored[parsed.id] = std::move(parsed.record);
   }
 
   if (Status s = audit_.restore(std::move(chain.value().first)); !s.ok()) {
     return s;
   }
+  // Tails rebuilt from the records cover agents whose whole history is in
+  // this log; the checkpoint's explicit per-agent tails win for agents
+  // that migrated in with a further-along sub-chain.
+  for (const auto& [id, tail] : tails) audit_.set_agent_tail(id, tail);
   agents_ = std::move(restored);
   if (metrics_) metrics_->counter("cia_verifier_restores_total").inc();
   return Status::ok_status();
+}
+
+Result<Verifier::ParsedAgentSlice> Verifier::agent_from_json(
+    const json::Value& a) {
+  if (!a.is_object()) return err(Errc::kCorrupted, "checkpoint: bad agent");
+  const json::Value* id = checkpoint_field(a, "id", &json::Value::is_string);
+  const json::Value* address =
+      checkpoint_field(a, "address", &json::Value::is_string);
+  const json::Value* ak = checkpoint_field(a, "ak", &json::Value::is_string);
+  const json::Value* policy_field = a.find("policy");
+  const json::Value* state =
+      checkpoint_field(a, "state", &json::Value::is_string);
+  const json::Value* log_offset =
+      checkpoint_field(a, "log_offset", &json::Value::is_number);
+  const json::Value* boot_count =
+      checkpoint_field(a, "boot_count", &json::Value::is_number);
+  if (!id || !address || !ak || !policy_field || !state || !log_offset ||
+      !boot_count) {
+    return err(Errc::kCorrupted, "checkpoint: agent missing fields");
+  }
+  ParsedAgentSlice parsed;
+  parsed.id = id->as_string();
+  if (parsed.id.empty()) {
+    return err(Errc::kCorrupted, "checkpoint: empty agent id");
+  }
+  AgentRecord& rec = parsed.record;
+  rec.address = address->as_string();
+  auto ak_bytes = from_hex(ak->as_string());
+  if (!ak_bytes.ok()) return err(Errc::kCorrupted, "checkpoint: bad AK hex");
+  auto ak_key = crypto::PublicKey::decode(ak_bytes.value());
+  if (!ak_key) return err(Errc::kCorrupted, "checkpoint: bad AK encoding");
+  rec.ak = *ak_key;
+  auto policy = RuntimePolicy::from_json(*policy_field);
+  if (!policy.ok()) return policy.error();
+  rec.policy = std::move(policy).take();
+  if (state->as_string() == "failed") {
+    rec.state = AgentState::kFailed;
+  } else if (state->as_string() == "attesting") {
+    rec.state = AgentState::kAttesting;
+  } else {
+    return err(Errc::kCorrupted,
+               "checkpoint: bad agent state " + state->as_string());
+  }
+  if (log_offset->as_int() < 0 || boot_count->as_int() < 0) {
+    return err(Errc::kCorrupted, "checkpoint: negative counter");
+  }
+  rec.log_offset = static_cast<std::uint64_t>(log_offset->as_int());
+  auto pcr = checkpoint_digest(a.find("accumulated_pcr"), "accumulated_pcr");
+  if (!pcr.ok()) return pcr.error();
+  rec.accumulated_pcr = pcr.value();
+  rec.boot_count = static_cast<std::uint32_t>(boot_count->as_int());
+  if (const json::Value* rss =
+          checkpoint_field(a, "rounds_since_success",
+                           &json::Value::is_number)) {
+    if (rss->as_int() < 0) {
+      return err(Errc::kCorrupted, "checkpoint: negative counter");
+    }
+    rec.rounds_since_success = static_cast<std::uint64_t>(rss->as_int());
+  }
+  if (const json::Value* nc =
+          checkpoint_field(a, "nonce_counter", &json::Value::is_number)) {
+    if (nc->as_int() < 0) {
+      return err(Errc::kCorrupted, "checkpoint: negative counter");
+    }
+    rec.nonce_counter = static_cast<std::uint64_t>(nc->as_int());
+  }
+  // The audit sub-chain tail (absent in v1 checkpoints, which predate
+  // per-agent chains): both halves must be present together.
+  if (const json::Value* aseq = a.find("audit_seq")) {
+    if (!aseq->is_number() || aseq->as_int() < 0) {
+      return err(Errc::kCorrupted, "checkpoint: bad audit_seq");
+    }
+    auto aprev = checkpoint_digest(a.find("audit_prev"), "audit_prev");
+    if (!aprev.ok()) return aprev.error();
+    parsed.tail = AuditLog::AgentTail{
+        static_cast<std::uint64_t>(aseq->as_int()), aprev.value()};
+  } else if (a.find("audit_prev")) {
+    return err(Errc::kCorrupted, "checkpoint: audit_prev without audit_seq");
+  }
+  if (const json::Value* mb = a.find("mb_refstate")) {
+    MbRefstate ref;
+    auto p0 = checkpoint_digest(mb->find("pcr0"), "pcr0");
+    auto p4 = checkpoint_digest(mb->find("pcr4"), "pcr4");
+    auto p7 = checkpoint_digest(mb->find("pcr7"), "pcr7");
+    if (!p0.ok()) return p0.error();
+    if (!p4.ok()) return p4.error();
+    if (!p7.ok()) return p7.error();
+    ref.pcr0 = p0.value();
+    ref.pcr4 = p4.value();
+    ref.pcr7 = p7.value();
+    rec.mb_refstate = ref;
+  }
+  if (const json::Value* events = a.find("boot_baseline")) {
+    if (!events->is_array()) {
+      return err(Errc::kCorrupted, "checkpoint: bad boot_baseline");
+    }
+    for (const json::Value& ev : events->as_array()) {
+      const json::Value* pcr_field =
+          checkpoint_field(ev, "pcr", &json::Value::is_number);
+      const json::Value* description =
+          checkpoint_field(ev, "description", &json::Value::is_string);
+      auto digest = checkpoint_digest(ev.find("digest"), "digest");
+      if (!pcr_field || !description) {
+        return err(Errc::kCorrupted, "checkpoint: bad boot event");
+      }
+      if (!digest.ok()) return digest.error();
+      oskernel::BootEvent event;
+      event.pcr = static_cast<int>(pcr_field->as_int());
+      event.description = description->as_string();
+      event.digest = digest.value();
+      rec.boot_baseline.push_back(std::move(event));
+    }
+  }
+  if (const json::Value* pending = a.find("pending")) {
+    if (!pending->is_array()) {
+      return err(Errc::kCorrupted, "checkpoint: bad pending list");
+    }
+    for (const json::Value& p : pending->as_array()) {
+      const json::Value* index =
+          checkpoint_field(p, "index", &json::Value::is_number);
+      const json::Value* pcr_field =
+          checkpoint_field(p, "pcr", &json::Value::is_number);
+      const json::Value* template_name =
+          checkpoint_field(p, "template_name", &json::Value::is_string);
+      const json::Value* path =
+          checkpoint_field(p, "path", &json::Value::is_string);
+      auto template_hash =
+          checkpoint_digest(p.find("template_hash"), "template_hash");
+      auto file_hash = checkpoint_digest(p.find("file_hash"), "file_hash");
+      if (!index || !pcr_field || !template_name || !path) {
+        return err(Errc::kCorrupted, "checkpoint: bad pending entry");
+      }
+      if (index->as_int() < 0) {
+        return err(Errc::kCorrupted, "checkpoint: negative pending index");
+      }
+      if (!template_hash.ok()) return template_hash.error();
+      if (!file_hash.ok()) return file_hash.error();
+      ima::LogEntry entry;
+      entry.pcr = static_cast<int>(pcr_field->as_int());
+      entry.template_name = template_name->as_string();
+      entry.template_hash = template_hash.value();
+      entry.file_hash = file_hash.value();
+      entry.path = path->as_string();
+      rec.pending.emplace_back(static_cast<std::uint64_t>(index->as_int()),
+                               std::move(entry));
+    }
+  }
+  return parsed;
+}
+
+Result<json::Value> Verifier::export_agent(const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  return agent_to_json(agent_id, it->second);
+}
+
+Status Verifier::import_agent(const json::Value& slice) {
+  auto parsed = agent_from_json(slice);
+  if (!parsed.ok()) return parsed.error();
+  ParsedAgentSlice p = std::move(parsed).take();
+  // All validation is done; commit atomically. Replace-by-id makes a
+  // duplicated handoff message harmless.
+  if (p.tail) audit_.set_agent_tail(p.id, *p.tail);
+  agents_[p.id] = std::move(p.record);
+  return Status::ok_status();
+}
+
+Status Verifier::remove_agent(const std::string& agent_id) {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) {
+    return err(Errc::kNotFound, "unknown agent " + agent_id);
+  }
+  agents_.erase(it);
+  audit_.drop_agent_tail(agent_id);
+  return Status::ok_status();
+}
+
+Status Verifier::validate_agent_slice(const json::Value& slice) {
+  auto parsed = agent_from_json(slice);
+  if (!parsed.ok()) return parsed.error();
+  return Status::ok_status();
+}
+
+void Verifier::seed_audit_tail(const std::string& agent_id,
+                               const AuditLog::AgentTail& tail) {
+  audit_.set_agent_tail(agent_id, tail);
+}
+
+std::optional<std::string> Verifier::agent_address(
+    const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end()) return std::nullopt;
+  return it->second.address;
 }
 
 std::vector<std::string> Verifier::agent_ids() const {

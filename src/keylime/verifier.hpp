@@ -70,6 +70,15 @@ struct VerifierConfig {
   /// The paper's P2 mitigation: evaluate the complete log even after a
   /// violation instead of halting at the first bad entry.
   bool continue_on_failure = false;
+
+  /// Seed for the per-agent quote-nonce streams (defaults to the
+  /// verifier's own seed). Nonces are derived from (nonce_seed, agent_id,
+  /// per-agent counter), not from the verifier's shared RNG, so an
+  /// agent's challenge sequence — and therefore its quote digests and
+  /// audit sub-chain — does not depend on which other agents share the
+  /// verifier. A VerifierPool gives every shard the same nonce_seed,
+  /// which is what makes audit chains invariant under resharding.
+  std::optional<std::uint64_t> nonce_seed;
 };
 
 /// Golden measured-boot state (the "mb_refstate" of real Keylime): the
@@ -207,6 +216,20 @@ class Verifier : public PolicySink {
   /// The durable-attestation chain: one signed record per poll round.
   const AuditLog& audit() const { return audit_; }
 
+  /// Adopt an audit sub-chain continuation point for an agent (live
+  /// migration fallback path: the destination re-enrols the agent but
+  /// must keep extending the chain the source shard started).
+  void seed_audit_tail(const std::string& agent_id,
+                       const AuditLog::AgentTail& tail);
+
+  /// The enrolled address of an agent (nullopt when unknown).
+  std::optional<std::string> agent_address(const std::string& agent_id) const;
+
+  /// Checkpoint format version written by checkpoint(). restore() accepts
+  /// any version up to this and refuses newer ones outright — a state
+  /// blob from a future build must never be half-understood.
+  static constexpr int kCheckpointVersion = 2;
+
   /// Serialize the verifier's complete working state — every enrolled
   /// agent's record (pinned AK, policy, refstates, incremental log
   /// cursor, quarantine/failure state, unevaluated entries) plus the
@@ -226,6 +249,31 @@ class Verifier : public PolicySink {
   /// transitions.
   void add_notifier(RevocationNotifier* notifier);
 
+  // ------------------------------------------- single-agent state slices
+  // The unit of live migration: one agent's record in exactly the shape
+  // checkpoint() embeds it, plus the agent's audit sub-chain tail and
+  // nonce counter, so the importing verifier continues the agent's
+  // attestation history without a seam.
+
+  /// Serialize one enrolled agent's complete slice.
+  Result<json::Value> export_agent(const std::string& agent_id) const;
+
+  /// Adopt an agent slice produced by export_agent on another verifier.
+  /// Fully validates before touching any state — a rejected slice leaves
+  /// this verifier byte-identical — and is idempotent: re-importing the
+  /// same slice (a duplicated handoff message) replaces the record with
+  /// identical contents.
+  Status import_agent(const json::Value& slice);
+
+  /// Drop an agent (it migrated away or unenrolled). Its audit records
+  /// stay — history is append-only — but its sub-chain tail is released
+  /// to the destination shard.
+  Status remove_agent(const std::string& agent_id);
+
+  /// Validate an agent slice without applying it (the handoff payload
+  /// decoder's hostile-input gate).
+  static Status validate_agent_slice(const json::Value& slice);
+
  private:
   struct AgentRecord {
     std::string address;
@@ -239,8 +287,24 @@ class Verifier : public PolicySink {
     crypto::Digest accumulated_pcr{};    // fold of all fetched entries
     std::uint32_t boot_count = 0;
     std::uint64_t rounds_since_success = 0;
+    std::uint64_t nonce_counter = 0;     // per-agent challenge stream cursor
     std::deque<std::pair<std::uint64_t, ima::LogEntry>> pending;  // unevaluated
   };
+
+  /// A fully parsed agent slice: the record plus the audit sub-chain tail
+  /// it carries (absent in v1 checkpoints).
+  struct ParsedAgentSlice {
+    std::string id;
+    AgentRecord record;
+    std::optional<AuditLog::AgentTail> tail;
+  };
+
+  json::Value agent_to_json(const std::string& agent_id,
+                            const AgentRecord& rec) const;
+  static Result<ParsedAgentSlice> agent_from_json(const json::Value& slice);
+
+  /// Next 20-byte quote nonce for this agent (advances its counter).
+  Bytes next_nonce(const std::string& agent_id, AgentRecord& rec);
 
   void raise(AgentRecord& rec, const std::string& agent_id, AlertType type,
              const std::string& path, const std::string& observed_hash_hex,
@@ -267,6 +331,7 @@ class Verifier : public PolicySink {
   SimClock* clock_;
   Rng rng_;
   VerifierConfig config_;
+  std::uint64_t nonce_seed_;
   std::map<std::string, AgentRecord> agents_;
   std::vector<Alert> alerts_;
   AuditLog audit_;

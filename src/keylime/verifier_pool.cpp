@@ -36,6 +36,22 @@ std::uint64_t fmix64(std::uint64_t h) {
 
 std::uint64_t ring_hash(const std::string& s) { return fmix64(fnv1a(s)); }
 
+std::string handoff_address(std::size_t shard) {
+  return "shard:" + std::to_string(shard);
+}
+
+/// Per-shard verifier config: unless the caller pinned one, every shard
+/// gets the SAME nonce seed (derived from the pool seed alone). Nonce
+/// streams are per-agent counters over this seed, so an agent's quote
+/// digests — and with them its audit sub-chain — are identical no matter
+/// which shard polls it or how often it migrates.
+VerifierConfig shard_verifier_config(const VerifierPoolConfig& config,
+                                     std::uint64_t pool_seed) {
+  VerifierConfig v = config.verifier;
+  if (!v.nonce_seed) v.nonce_seed = pool_seed ^ 0x90ceULL;
+  return v;
+}
+
 }  // namespace
 
 VerifierPool::Shard::Shard(std::uint64_t pool_seed, std::size_t shard_index,
@@ -51,7 +67,7 @@ VerifierPool::Shard::Shard(std::uint64_t pool_seed, std::size_t shard_index,
       registrar(&network, &clock, pool_seed ^ 1),
       verifier(&network, &clock,
                pool_seed ^ 2 ^ (0x9e3779b97f4a7c15ULL * (shard_index + 1)),
-               config.verifier),
+               shard_verifier_config(config, pool_seed)),
       transport(config.retrying_transport
                     ? std::make_unique<netsim::RetryingTransport>(
                           &network, &clock,
@@ -68,9 +84,25 @@ VerifierPool::VerifierPool(std::uint64_t seed, VerifierPoolConfig config)
     : seed_(seed), config_(config) {
   if (config_.shards == 0) config_.shards = 1;
   if (config_.ring_replicas == 0) config_.ring_replicas = 1;
+  if (config_.migration_attempts == 0) config_.migration_attempts = 1;
+  handoff_net_ =
+      std::make_unique<netsim::SimNetwork>(&handoff_clock_, seed_ ^ 0xda7aULL);
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>(seed_, s, config_));
+    ports_.push_back(std::make_unique<MigrationPort>(this, s));
+    handoff_net_->attach(handoff_address(s), ports_.back().get());
+  }
+  active_shards_ = config_.shards;
+  rebuild_ring_locked(active_shards_);
+}
+
+VerifierPool::~VerifierPool() = default;
+
+void VerifierPool::rebuild_ring_locked(std::size_t active) {
+  ring_.clear();
+  ring_.reserve(active * config_.ring_replicas);
+  for (std::size_t s = 0; s < active; ++s) {
     for (std::size_t r = 0; r < config_.ring_replicas; ++r) {
       const std::string point =
           "shard-" + std::to_string(s) + "-" + std::to_string(r);
@@ -80,15 +112,28 @@ VerifierPool::VerifierPool(std::uint64_t seed, VerifierPoolConfig config)
   std::sort(ring_.begin(), ring_.end());
 }
 
-VerifierPool::~VerifierPool() = default;
-
 std::size_t VerifierPool::shard_for(const std::string& agent_id) const {
   const std::uint64_t h = ring_hash(agent_id);
+  std::lock_guard<std::mutex> lock(ring_mu_);
   auto it = std::lower_bound(
       ring_.begin(), ring_.end(), h,
       [](const auto& point, std::uint64_t key) { return point.first < key; });
   if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
   return it->second;
+}
+
+std::size_t VerifierPool::owner_of(const std::string& agent_id) const {
+  {
+    std::lock_guard<std::mutex> lock(owners_mu_);
+    auto it = owners_.find(agent_id);
+    if (it != owners_.end()) return it->second;
+  }
+  return shard_for(agent_id);
+}
+
+VerifierPool::Shard* VerifierPool::shard_ptr(std::size_t shard) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return shards_[shard].get();
 }
 
 netsim::SimNetwork& VerifierPool::network(std::size_t shard) {
@@ -112,13 +157,14 @@ const AttestationScheduler& VerifierPool::scheduler(std::size_t shard) const {
 }
 
 void VerifierPool::trust_manufacturer(const crypto::PublicKey& ca_key) {
+  trusted_cas_.push_back(ca_key);  // replayed onto shards built by resize()
   for (auto& shard : shards_) shard->registrar.trust_manufacturer(ca_key);
 }
 
 Status VerifierPool::enroll(const std::string& agent_id,
                             const std::string& address) {
   const std::size_t s = shard_for(agent_id);
-  Shard& shard = *shards_[s];
+  Shard& shard = *shard_ptr(s);
   if (Status st = shard.verifier.add_agent(agent_id, address); !st.ok()) {
     return st;
   }
@@ -143,7 +189,7 @@ Status VerifierPool::set_policy(const std::string& agent_id,
     revision = ++revision_;
   }
   auto index = PolicyIndex::build(policy, revision);
-  Shard& shard = *shards_[shard_for(agent_id)];
+  Shard& shard = *shard_ptr(owner_of(agent_id));
   std::lock_guard<std::mutex> lock(shard.mailbox_mu);
   shard.mailbox.push_back({agent_id, std::move(policy), std::move(index)});
   return Status::ok_status();
@@ -160,7 +206,7 @@ Status VerifierPool::set_policy_bulk(const std::vector<std::string>& agent_ids,
   // shares it read-only.
   const auto index = PolicyIndex::build(policy, revision);
   for (const std::string& id : agent_ids) {
-    Shard& shard = *shards_[shard_for(id)];
+    Shard& shard = *shard_ptr(owner_of(id));
     std::lock_guard<std::mutex> lock(shard.mailbox_mu);
     shard.mailbox.push_back({id, policy, index});
   }
@@ -257,6 +303,9 @@ void VerifierPool::parallel_shards(const std::function<void(Shard&)>& body) {
 }
 
 std::size_t VerifierPool::advance_to(SimTime t) {
+  // Excludes resize(): topology only changes at round boundaries, never
+  // while shard workers are in flight.
+  std::lock_guard<std::mutex> drive(drive_mu_);
   std::size_t before = 0;
   for (auto& shard : shards_) before += shard->polls;
   parallel_shards([this, t](Shard& shard) {
@@ -278,6 +327,7 @@ std::size_t VerifierPool::advance_to(SimTime t) {
 }
 
 std::size_t VerifierPool::run_round() {
+  std::lock_guard<std::mutex> drive(drive_mu_);
   std::size_t before = 0;
   for (auto& shard : shards_) before += shard->polls;
   parallel_shards([this](Shard& shard) {
@@ -292,23 +342,36 @@ std::size_t VerifierPool::run_round() {
   return total - before;
 }
 
+void VerifierPool::wire_shard_telemetry(Shard& shard) {
+  shard.network.use_telemetry(metrics_);
+  shard.verifier.use_telemetry(metrics_);
+  shard.scheduler.use_telemetry(metrics_);
+  if (shard.transport) shard.transport->use_telemetry(metrics_);
+}
+
 void VerifierPool::use_telemetry(telemetry::MetricsRegistry* metrics) {
   metrics_ = metrics;
-  for (auto& shard : shards_) {
-    shard->network.use_telemetry(metrics);
-    shard->verifier.use_telemetry(metrics);
-    shard->scheduler.use_telemetry(metrics);
-    if (shard->transport) shard->transport->use_telemetry(metrics);
+  for (auto& shard : shards_) wire_shard_telemetry(*shard);
+  handoff_net_->use_telemetry(metrics);
+  if (metrics_) {
+    metrics_->gauge("cia_pool_active_shards", {})
+        .set(static_cast<double>(active_shards_));
   }
 }
 
 std::optional<AgentState> VerifierPool::state(
     const std::string& agent_id) const {
-  return shards_[shard_for(agent_id)]->verifier.state(agent_id);
+  const std::size_t s = owner_of(agent_id);
+  const Verifier* v;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    v = &shards_[s]->verifier;
+  }
+  return v->state(agent_id);
 }
 
 Status VerifierPool::resolve_failure(const std::string& agent_id) {
-  return shards_[shard_for(agent_id)]->verifier.resolve_failure(agent_id);
+  return shard_ptr(owner_of(agent_id))->verifier.resolve_failure(agent_id);
 }
 
 std::vector<std::string> VerifierPool::agent_ids() const {
@@ -335,6 +398,293 @@ std::vector<Alert> VerifierPool::alerts() const {
                      return static_cast<int>(a.type) < static_cast<int>(b.type);
                    });
   return merged;
+}
+
+Status VerifierPool::unenroll(const std::string& agent_id) {
+  std::lock_guard<std::mutex> drive(drive_mu_);
+  std::size_t s;
+  {
+    std::lock_guard<std::mutex> lock(owners_mu_);
+    auto it = owners_.find(agent_id);
+    if (it == owners_.end()) {
+      return err(Errc::kNotFound, "unenroll: unknown agent " + agent_id);
+    }
+    s = it->second;
+    owners_.erase(it);
+  }
+  Shard& shard = *shard_ptr(s);
+  const std::optional<std::string> addr =
+      shard.verifier.agent_address(agent_id);
+  shard.verifier.remove_agent(agent_id);
+  shard.scheduler.remove(agent_id);
+  if (addr) shard.network.detach(*addr);
+  if (metrics_) {
+    metrics_->gauge("cia_pool_agents", {{"shard", std::to_string(s)}})
+        .set(static_cast<double>(shard.verifier.agent_ids().size()));
+  }
+  return Status::ok_status();
+}
+
+Status VerifierPool::resize(std::size_t new_shards) {
+  // The round-boundary drain: a resize queues behind any in-flight
+  // advance_to/run_round and blocks new rounds until the topology is
+  // settled and every moved agent has landed somewhere consistent.
+  std::lock_guard<std::mutex> drive(drive_mu_);
+  if (new_shards == 0) new_shards = 1;
+  if (new_shards == active_shards_) return Status::ok_status();
+
+  if (new_shards > shards_.size()) {
+    // Construct the additional shards with the constructor's exact seed
+    // derivations, clocks advanced to the fleet's current virtual time so
+    // a migrated agent never observes time running backwards.
+    SimTime now = 0;
+    for (const auto& shard : shards_) now = std::max(now, shard->clock.now());
+    for (std::size_t s = shards_.size(); s < new_shards; ++s) {
+      auto shard = std::make_unique<Shard>(seed_, s, config_);
+      shard->clock.advance_to(now);
+      for (const crypto::PublicKey& ca : trusted_cas_) {
+        shard->registrar.trust_manufacturer(ca);
+      }
+      if (metrics_) wire_shard_telemetry(*shard);
+      ports_.push_back(std::make_unique<MigrationPort>(this, s));
+      handoff_net_->attach(handoff_address(s), ports_.back().get());
+      std::lock_guard<std::mutex> lock(ring_mu_);
+      shards_.push_back(std::move(shard));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    rebuild_ring_locked(new_shards);
+  }
+  active_shards_ = new_shards;
+  ++migration_.resizes;
+  if (metrics_) {
+    metrics_->counter("cia_pool_resizes_total", {}).inc();
+    metrics_->gauge("cia_pool_active_shards", {})
+        .set(static_cast<double>(active_shards_));
+  }
+
+  // Snapshot assignments first: shard_for takes ring_mu_, and the pool's
+  // lock order (owners_mu_ -> ring_mu_) forbids calling it under
+  // owners_mu_. std::map order keeps the migration sequence — and with
+  // it every handoff-fault draw — deterministic.
+  std::vector<std::pair<std::string, std::size_t>> assignment;
+  {
+    std::lock_guard<std::mutex> lock(owners_mu_);
+    assignment.assign(owners_.begin(), owners_.end());
+  }
+  for (const auto& [id, src] : assignment) {
+    const std::size_t dst = shard_for(id);
+    if (dst == src) continue;  // unmoved agents never notice a resize
+    const MigrationResult r = migrate_agent(id, src, dst);
+    const char* label = "failed";
+    switch (r) {
+      case MigrationResult::kOk:
+        ++migration_.ok;
+        label = "ok";
+        break;
+      case MigrationResult::kFallback:
+        ++migration_.fallback;
+        label = "fallback";
+        break;
+      case MigrationResult::kFailed:
+        ++migration_.failed;
+        break;
+    }
+    if (metrics_) {
+      metrics_->counter("cia_pool_migrations_total", {{"result", label}})
+          .inc();
+    }
+  }
+  if (metrics_) {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    for (const auto& shard : shards_) {
+      metrics_
+          ->gauge("cia_pool_agents", {{"shard", std::to_string(shard->index)}})
+          .set(static_cast<double>(shard->verifier.agent_ids().size()));
+    }
+  }
+  return Status::ok_status();
+}
+
+VerifierPool::MigrationResult VerifierPool::migrate_agent(
+    const std::string& agent_id, std::size_t src_idx, std::size_t dst_idx) {
+  Shard& src = *shard_ptr(src_idx);
+  Shard& dst = *shard_ptr(dst_idx);
+
+  auto slice = src.verifier.export_agent(agent_id);
+  if (!slice.ok()) {
+    CIA_LOG_WARN("pool", "migration export for " + agent_id +
+                             " failed: " + slice.error().message);
+    return MigrationResult::kFailed;
+  }
+  const std::optional<std::string> addr =
+      src.verifier.agent_address(agent_id);
+
+  HandoffPayload payload;
+  payload.agent_id = agent_id;
+  payload.source_shard = src_idx;
+  payload.dest_shard = dst_idx;
+  payload.agent_slice = slice.value();
+  if (const auto* sched = src.scheduler.schedule(agent_id)) {
+    payload.schedule = *sched;
+  }
+
+  // The enrolment record moves over the in-process control plane; the
+  // hostile surface is the data-plane handoff below. Doing it first also
+  // arms the fallback path: clean re-enrollment needs the destination
+  // registrar to already know the agent.
+  if (Status st = src.registrar.transfer_enrolment(agent_id, dst.registrar);
+      !st.ok()) {
+    CIA_LOG_WARN("pool", "enrolment transfer for " + agent_id +
+                             " failed: " + st.error().message);
+    return MigrationResult::kFailed;
+  }
+
+  const Bytes wire = payload.encode();
+  const SimTime handoff_started = handoff_clock_.now();
+  bool delivered = false;
+  for (std::size_t attempt = 0; attempt < config_.migration_attempts;
+       ++attempt) {
+    if (attempt > 0) {
+      ++migration_.retries;
+      if (metrics_) {
+        metrics_->counter("cia_pool_migration_retries_total", {}).inc();
+      }
+    }
+    auto reply =
+        handoff_net_->call(handoff_address(dst_idx), kMsgMigrate, wire);
+    if (reply.ok() && reply.value() == to_bytes(std::string("ok"))) {
+      delivered = true;
+      break;
+    }
+  }
+
+  const auto commit_move = [&] {
+    if (addr) move_endpoint(src, dst, *addr);
+    src.verifier.remove_agent(agent_id);
+    src.scheduler.remove(agent_id);
+    {
+      std::lock_guard<std::mutex> lock(owners_mu_);
+      owners_[agent_id] = dst_idx;
+    }
+    ++handoffs_[agent_id];
+  };
+
+  if (delivered) {
+    commit_move();
+    if (metrics_) {
+      metrics_
+          ->histogram("cia_pool_migration_bytes", {},
+                      telemetry::bytes_buckets())
+          .observe(static_cast<double>(wire.size()));
+      metrics_
+          ->histogram("cia_pool_migration_handoff_seconds", {},
+                      telemetry::latency_seconds_buckets())
+          .observe(
+              static_cast<double>(handoff_clock_.now() - handoff_started));
+    }
+    return MigrationResult::kOk;
+  }
+
+  // Handoff exhausted its attempts: fall back to clean re-enrollment of
+  // this one agent on the destination. Its counters reset, but seeding
+  // the audit tail keeps the sub-chain unforked. Capture the tail before
+  // anything mutates the source.
+  const AuditLog::AgentTail tail = src.verifier.audit().agent_tail(agent_id);
+  if (!addr) {
+    CIA_LOG_WARN("pool", "migration of " + agent_id +
+                             " failed: no address for fallback re-enrollment");
+    return MigrationResult::kFailed;
+  }
+  // The endpoint must be reachable on the destination network before
+  // add_agent probes it.
+  move_endpoint(src, dst, *addr);
+  bool enrolled = false;
+  for (std::size_t attempt = 0; attempt < config_.migration_attempts;
+       ++attempt) {
+    Status st = dst.verifier.add_agent(agent_id, *addr);
+    // kAlreadyExists: a handoff attempt WAS applied on the destination
+    // but every acknowledgement back to us was lost or tampered. The
+    // imported state is complete — keep it.
+    if (st.ok() || st.error().code == Errc::kAlreadyExists) {
+      enrolled = true;
+      break;
+    }
+  }
+  if (enrolled) {
+    dst.verifier.seed_audit_tail(agent_id, tail);
+    dst.scheduler.enroll(agent_id);
+    src.verifier.remove_agent(agent_id);
+    src.scheduler.remove(agent_id);
+    {
+      std::lock_guard<std::mutex> lock(owners_mu_);
+      owners_[agent_id] = dst_idx;
+    }
+    ++handoffs_[agent_id];
+    return MigrationResult::kFallback;
+  }
+
+  // Even the fallback failed: put the endpoint back and leave the agent
+  // on its source shard. owners_ tracks actual assignment, so routing
+  // stays correct and the next resize retries the move.
+  move_endpoint(dst, src, *addr);
+  CIA_LOG_WARN("pool", "migration of " + agent_id + " to shard " +
+                           std::to_string(dst_idx) +
+                           " failed; agent stays on shard " +
+                           std::to_string(src_idx));
+  return MigrationResult::kFailed;
+}
+
+void VerifierPool::move_endpoint(Shard& src, Shard& dst,
+                                 const std::string& address) {
+  if (netsim::Endpoint* ep = src.network.endpoint(address)) {
+    src.network.detach(address);
+    dst.network.attach(address, ep);
+  }
+  // The per-link fault stream follows the agent: all shard networks share
+  // one seed, so moving the live Rng preserves the exact fault sequence
+  // the agent would have seen had it never migrated.
+  Rng rng(0);
+  if (src.network.take_link_rng(address, &rng)) {
+    dst.network.put_link_rng(address, rng);
+  }
+}
+
+Result<Bytes> VerifierPool::accept_migration(std::size_t shard,
+                                             const HandoffPayload& p) {
+  if (p.dest_shard != shard) {
+    return err(Errc::kProtocolViolation, "handoff: misrouted payload");
+  }
+  Shard& dst = *shard_ptr(shard);
+  // import_agent validates the slice in full before touching any state
+  // and replaces by id, so a duplicated delivery re-applies idempotently.
+  if (Status st = dst.verifier.import_agent(p.agent_slice); !st.ok()) {
+    return st.error();
+  }
+  dst.scheduler.adopt(p.agent_id, p.schedule);
+  return to_bytes(std::string("ok"));
+}
+
+Result<Bytes> VerifierPool::MigrationPort::handle(const std::string& kind,
+                                                  const Bytes& payload) {
+  if (kind != kMsgMigrate) {
+    return err(Errc::kProtocolViolation,
+               "handoff: unexpected message kind " + kind);
+  }
+  auto decoded = HandoffPayload::decode(payload);
+  if (!decoded.ok()) return decoded.error();
+  return pool->accept_migration(shard, decoded.value());
+}
+
+void VerifierPool::set_handoff_faults(const netsim::FaultProfile& faults) {
+  handoff_net_->set_faults(faults);
+}
+
+std::uint64_t VerifierPool::handoffs(const std::string& agent_id) const {
+  auto it = handoffs_.find(agent_id);
+  return it == handoffs_.end() ? 0 : it->second;
 }
 
 VerifierPool::Stats VerifierPool::stats() const {

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/sim_clock.hpp"
+#include "keylime/migration.hpp"
 #include "keylime/policy_index.hpp"
 #include "keylime/registrar.hpp"
 #include "keylime/runtime_policy.hpp"
@@ -67,6 +68,9 @@ struct VerifierPoolConfig {
   /// as comms alerts.
   bool retrying_transport = true;
   netsim::RetryPolicy retry;
+  /// Handoff delivery attempts per migrated agent before the migration
+  /// falls back to clean re-enrollment on the destination shard.
+  std::size_t migration_attempts = 3;
 };
 
 class VerifierPool : public PolicySink {
@@ -77,9 +81,19 @@ class VerifierPool : public PolicySink {
   VerifierPool(const VerifierPool&) = delete;
   VerifierPool& operator=(const VerifierPool&) = delete;
 
+  /// Shards ever allocated. A shrink retires shards (removes them from
+  /// the ring) but never destroys them: components constructed against a
+  /// shard's clock or network stay valid, and a later grow reactivates
+  /// retired shards in place.
   std::size_t shard_count() const { return shards_.size(); }
 
-  /// The owning shard of an agent id (consistent-hash ring lookup).
+  /// Shards currently on the ring (owning agents).
+  std::size_t active_shard_count() const { return active_shards_; }
+
+  /// The owning shard of an agent id (consistent-hash ring lookup over
+  /// the active shards). For an enrolled agent prefer the actual
+  /// assignment tracked by the pool — after a failed migration the two
+  /// can differ until the next resize retries the move.
   std::size_t shard_for(const std::string& agent_id) const;
 
   // ------------------------------------------------- fleet construction
@@ -99,6 +113,42 @@ class VerifierPool : public PolicySink {
   /// Enrol an agent (already activated at its shard registrar) for
   /// continuous attestation and scheduler polling on its owning shard.
   Status enroll(const std::string& agent_id, const std::string& address);
+
+  /// Drop an agent from the fleet (churn: the node left). Its audit
+  /// records stay on whichever shards recorded them; its endpoint is
+  /// detached from the owning shard network.
+  Status unenroll(const std::string& agent_id);
+
+  // ------------------------------------------------------ live resharding
+
+  /// Resize the ring to `new_shards` active shards and live-migrate
+  /// exactly the ring-moved agents to their new owners. Waits for any
+  /// in-flight round to drain at the round boundary before touching
+  /// topology. Each moved agent's verification state (log cursor, audit
+  /// sub-chain tail, staleness counters, polling schedule) travels in a
+  /// HandoffPayload over the pool's dedicated handoff network; a handoff
+  /// that keeps failing under injected faults falls back to clean
+  /// re-enrollment of that one agent on the destination, and if even
+  /// that fails the agent simply stays on its old shard until the next
+  /// resize — never a wedged shard, never a forked audit chain.
+  Status resize(std::size_t new_shards);
+
+  /// Fault profile for the shard-to-shard handoff links (chaos testing
+  /// the migration path; per-link streams key on the destination shard).
+  void set_handoff_faults(const netsim::FaultProfile& faults);
+
+  struct MigrationStats {
+    std::uint64_t resizes = 0;
+    std::uint64_t ok = 0;        // handoff delivered and committed
+    std::uint64_t fallback = 0;  // re-enrolled cleanly on the destination
+    std::uint64_t failed = 0;    // agent left on its source shard
+    std::uint64_t retries = 0;   // extra handoff attempts beyond the first
+  };
+  const MigrationStats& migration_stats() const { return migration_; }
+
+  /// Handoffs this agent has paid (ok + fallback moves). The resize
+  /// invariance tests assert this stays 0 for every unmoved agent.
+  std::uint64_t handoffs(const std::string& agent_id) const;
 
   // ----------------------------------------------------- policy updates
   // Thread-safe (mailbox + copy-on-write index swap); may be called
@@ -206,22 +256,75 @@ class VerifierPool : public PolicySink {
     std::uint64_t exported_cache_misses = 0;
   };
 
+  /// Receiving end of the handoff link: one port per shard, attached to
+  /// the pool's handoff network at "shard:<index>".
+  struct MigrationPort : netsim::Endpoint {
+    MigrationPort(VerifierPool* pool, std::size_t shard)
+        : pool(pool), shard(shard) {}
+    VerifierPool* pool;
+    std::size_t shard;
+    Result<Bytes> handle(const std::string& kind,
+                         const Bytes& payload) override;
+  };
+
   void apply_pending(Shard& shard);
   void record_batch(Shard& shard, std::size_t batch_size, SimTime started);
 
   /// Run `body(shard)` on one worker thread per shard and join.
   void parallel_shards(const std::function<void(Shard&)>& body);
 
+  /// The actual shard assignment of an enrolled agent; falls back to the
+  /// ring for unknown ids.
+  std::size_t owner_of(const std::string& agent_id) const;
+
+  /// Fetch a shard pointer under the topology lock (safe against a
+  /// concurrent resize growing shards_).
+  Shard* shard_ptr(std::size_t shard);
+
+  void rebuild_ring_locked(std::size_t active);
+  void wire_shard_telemetry(Shard& shard);
+
+  enum class MigrationResult { kOk, kFallback, kFailed };
+  MigrationResult migrate_agent(const std::string& agent_id, std::size_t src,
+                                std::size_t dst);
+  void move_endpoint(Shard& src, Shard& dst, const std::string& address);
+  Result<Bytes> accept_migration(std::size_t shard, const HandoffPayload& p);
+
   std::uint64_t seed_;
   VerifierPoolConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t active_shards_ = 0;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  // sorted
+
+  /// Guards ring_ and growth of shards_ (push_back may reallocate the
+  /// pointer vector while a policy push indexes into it). Never taken
+  /// while holding owners_mu_ is required by callers that already hold
+  /// it — the pool's order is owners_mu_ -> ring_mu_.
+  mutable std::mutex ring_mu_;
+
+  /// Serializes driving (advance_to / run_round) against topology
+  /// changes: resize() takes it too, so a resize blocks until in-flight
+  /// round workers have joined at the round boundary and rounds started
+  /// afterwards see the new topology.
+  std::mutex drive_mu_;
 
   mutable std::mutex owners_mu_;
   std::map<std::string, std::size_t> owners_;  // enrolled id -> shard
 
   mutable std::mutex revision_mu_;
   std::uint64_t revision_ = 0;
+
+  /// Dedicated shard-to-shard handoff fabric with its own virtual clock:
+  /// migration latency and injected handoff faults never touch shard
+  /// clocks, so attestation timing stays partition-invariant.
+  SimClock handoff_clock_;
+  std::unique_ptr<netsim::SimNetwork> handoff_net_;
+  std::vector<std::unique_ptr<MigrationPort>> ports_;
+
+  std::vector<crypto::PublicKey> trusted_cas_;  // replayed onto new shards
+
+  MigrationStats migration_;
+  std::map<std::string, std::uint64_t> handoffs_;
 
   telemetry::MetricsRegistry* metrics_ = nullptr;
 };

@@ -40,6 +40,23 @@ bool SimNetwork::attached(const std::string& address) const {
   return endpoints_.count(address) > 0;
 }
 
+Endpoint* SimNetwork::endpoint(const std::string& address) const {
+  auto it = endpoints_.find(address);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+bool SimNetwork::take_link_rng(const std::string& address, Rng* out) {
+  auto it = link_rngs_.find(address);
+  if (it == link_rngs_.end()) return false;
+  *out = it->second;
+  link_rngs_.erase(it);
+  return true;
+}
+
+void SimNetwork::put_link_rng(const std::string& address, const Rng& rng) {
+  link_rngs_.insert_or_assign(address, rng);
+}
+
 void SimNetwork::set_link_faults(const std::string& address,
                                  const FaultProfile& faults) {
   link_faults_[address] = faults;

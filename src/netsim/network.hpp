@@ -122,6 +122,18 @@ class SimNetwork : public Transport {
   void detach(const std::string& address);
   bool attached(const std::string& address) const;
 
+  /// The endpoint bound at `address` (nullptr when none) — used to
+  /// re-home an endpoint onto another network during live migration.
+  Endpoint* endpoint(const std::string& address) const;
+
+  /// Hand a link's fault RNG over to another identically-seeded network
+  /// (live migration: the fault stream follows the agent, so the sequence
+  /// of drops/tampers a link sees is independent of which shard network
+  /// currently carries it). take returns false when the link has no
+  /// stream yet — the destination then lazily derives the same one.
+  bool take_link_rng(const std::string& address, Rng* out);
+  void put_link_rng(const std::string& address, const Rng& rng);
+
   /// Set the global default fault profile (applies to links without a
   /// per-link override).
   void set_faults(const FaultProfile& faults) { faults_ = faults; }

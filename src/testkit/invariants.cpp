@@ -1,5 +1,7 @@
 #include "testkit/invariants.hpp"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <utility>
 
@@ -269,6 +271,51 @@ class Fleet {
 
 InvariantReport check_invariants(const InvariantOptions& options) {
   return Fleet(options).run();
+}
+
+std::vector<InvariantViolation> check_cross_shard_audit_chains(
+    const std::vector<const keylime::AuditLog*>& logs) {
+  std::vector<InvariantViolation> violations;
+  std::map<std::string, std::vector<const keylime::AuditRecord*>> by_agent;
+  for (const keylime::AuditLog* log : logs) {
+    if (!log) continue;
+    for (const keylime::AuditRecord& rec : log->records()) {
+      by_agent[rec.agent_id].push_back(&rec);
+    }
+  }
+  for (auto& [agent, recs] : by_agent) {
+    std::sort(recs.begin(), recs.end(),
+              [](const keylime::AuditRecord* a, const keylime::AuditRecord* b) {
+                return a->agent_seq < b->agent_seq;
+              });
+    const auto blame = [&](const std::string& detail) {
+      violations.push_back({"cross_shard_chain", 0, agent + ": " + detail});
+    };
+    bool numbered_ok = true;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i]->agent_seq != i) {
+        const bool duplicate = i > 0 && recs[i]->agent_seq == i - 1;
+        blame(strformat(
+            "%s sub-chain at position %zu: expected agent_seq %zu, got %llu",
+            duplicate ? "forked" : "gapped", i, i,
+            static_cast<unsigned long long>(recs[i]->agent_seq)));
+        numbered_ok = false;
+        break;
+      }
+    }
+    if (!numbered_ok) continue;  // linkage checks presume clean numbering
+    if (!recs.empty() && recs[0]->agent_prev_hash != crypto::Digest{}) {
+      blame("sub-chain head does not start from the zero prev hash");
+      continue;
+    }
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+      if (recs[i]->agent_prev_hash != recs[i - 1]->agent_hash()) {
+        blame(strformat("broken sub-chain link at agent_seq %zu", i));
+        break;
+      }
+    }
+  }
+  return violations;
 }
 
 }  // namespace cia::testkit

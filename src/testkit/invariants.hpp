@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "keylime/audit.hpp"
+
 namespace cia::testkit {
 
 struct InvariantOptions {
@@ -60,5 +62,23 @@ struct InvariantReport {
 /// transport + metrics), drive `options.rounds` rounds of file activity
 /// and attestation, and assert every invariant after each round.
 InvariantReport check_invariants(const InvariantOptions& options = {});
+
+/// Cross-shard audit-chain rule for sharded/resharded pools: collect the
+/// audit logs of EVERY shard (active and retired) and assert each
+/// agent's sub-chain is whole even when its history spans several
+/// shards. Per agent, across all logs combined:
+///
+///   * agent_seq values are exactly 0..n-1 — a duplicate is a forked
+///     chain (two shards both extended the same point, e.g. after a
+///     botched handoff), a gap is truncated history;
+///   * record 0 has the zero agent_prev_hash and every later record's
+///     agent_prev_hash equals the previous record's agent_hash() — the
+///     linkage is over the partition-independent sub-chain hash, so a
+///     legitimate migration is indistinguishable from no migration.
+///
+/// Returns one violation per broken agent (invariant
+/// "cross_shard_chain").
+std::vector<InvariantViolation> check_cross_shard_audit_chains(
+    const std::vector<const keylime::AuditLog*>& logs);
 
 }  // namespace cia::testkit

@@ -8,6 +8,7 @@
 #include "ima/ima.hpp"
 #include "keylime/agent.hpp"
 #include "keylime/messages.hpp"
+#include "keylime/migration.hpp"
 #include "keylime/registrar.hpp"
 #include "keylime/runtime_policy.hpp"
 #include "keylime/verifier.hpp"
@@ -258,6 +259,83 @@ Bytes gen_checkpoint(Rng& rng) {
   return samples[rng.uniform(samples.size())];
 }
 
+// ----------------------------------------------------------- migration
+
+/// Genuine handoff payloads, minted once from an enrolled rig: real
+/// agent slices wrapped in real envelopes, the way a pool resize puts
+/// them on the wire.
+const std::vector<Bytes>& sample_handoffs() {
+  static const std::vector<Bytes> kSamples = [] {
+    std::vector<Bytes> samples;
+    CheckpointRig rig;
+    rig.run_activity(/*tamper=*/true);
+    std::uint64_t shard = 0;
+    for (const std::string& id : rig.verifier.agent_ids()) {
+      auto slice = rig.verifier.export_agent(id);
+      if (!slice.ok()) continue;
+      keylime::HandoffPayload p;
+      p.agent_id = id;
+      p.source_shard = shard;
+      p.dest_shard = shard + 1;
+      p.agent_slice = slice.value();
+      p.schedule.next_poll = 60 * (shard + 1);
+      p.schedule.current_backoff = 30 * shard;
+      p.schedule.polls = shard + 2;
+      p.schedule.comms_failures = shard;
+      samples.push_back(p.encode());
+      ++shard;
+    }
+    return samples;
+  }();
+  return kSamples;
+}
+
+FuzzOutcome run_migration(const Bytes& input) {
+  auto decoded = keylime::HandoffPayload::decode(input);
+  if (!decoded.ok()) return FuzzOutcome::rejected();
+  const keylime::HandoffPayload& p = decoded.value();
+
+  // Accepted payloads must survive a canonical round trip.
+  const Bytes wire = p.encode();
+  auto redecoded = keylime::HandoffPayload::decode(wire);
+  if (!redecoded.ok()) {
+    return FuzzOutcome::violation("accepted payload failed to re-decode: " +
+                                  redecoded.error().to_string());
+  }
+  if (redecoded.value().encode() != wire) {
+    return FuzzOutcome::violation("encode/decode is not a fixed point");
+  }
+
+  // The receiving shard applies a decoded payload via import_agent, which
+  // must be transactional: a rejected slice leaves the destination
+  // verifier byte-identical (a partial apply here is a forked audit
+  // chain waiting to happen). A long-lived rig keeps executions cheap;
+  // the baseline restore keeps them deterministic.
+  struct ImportRig {
+    SimClock clock;
+    netsim::SimNetwork network{&clock, 2};
+    keylime::Verifier dst{&network, &clock, kCheckpointSeed};
+    json::Value baseline;
+    ImportRig() : baseline(dst.checkpoint()) {}
+  };
+  static ImportRig* rig = new ImportRig();
+
+  const std::string before = rig->dst.checkpoint().dump();
+  if (rig->dst.import_agent(p.agent_slice).ok()) {
+    if (!rig->dst.restore(rig->baseline).ok()) {
+      return FuzzOutcome::violation("rig baseline restore failed after import");
+    }
+  } else if (rig->dst.checkpoint().dump() != before) {
+    return FuzzOutcome::violation("failed import partially applied");
+  }
+  return FuzzOutcome::accepted();
+}
+
+Bytes gen_migration(Rng& rng) {
+  const auto& samples = sample_handoffs();
+  return samples[rng.uniform(samples.size())];
+}
+
 // -------------------------------------------------- telemetry_snapshot
 
 FuzzOutcome run_telemetry_snapshot(const Bytes& input) {
@@ -334,6 +412,13 @@ std::vector<FuzzTarget> build_targets() {
       {"agents", "audit", "version", "\"ak\"", "\"state\"", "failed",
        "attesting", "pending", "records", "digests", "mb_refstate",
        "boot_baseline", "log_offset"}});
+  targets.push_back(FuzzTarget{
+      "migration",
+      run_migration,
+      gen_migration,
+      {"version", "agent", "source_shard", "dest_shard", "slice", "schedule",
+       "next_poll", "backoff", "polls", "comms_failures", "nonce_counter",
+       "audit_seq", "audit_prev", "\"id\"", "log_offset", "pending"}});
   targets.push_back(FuzzTarget{
       "telemetry_snapshot",
       run_telemetry_snapshot,

@@ -52,10 +52,11 @@ TEST_P(FuzzSurface, BoundedCampaignIsClean) {
 INSTANTIATE_TEST_SUITE_P(AllTargets, FuzzSurface,
                          ::testing::Values("ima_log_entry", "json",
                                            "runtime_policy", "wire",
-                                           "checkpoint", "telemetry_snapshot"));
+                                           "checkpoint", "migration",
+                                           "telemetry_snapshot"));
 
-TEST(FuzzSurfaceTest, RegistryCoversExactlyTheSixSurfaces) {
-  ASSERT_EQ(all_targets().size(), 6u);
+TEST(FuzzSurfaceTest, RegistryCoversExactlyTheSevenSurfaces) {
+  ASSERT_EQ(all_targets().size(), 7u);
   for (const FuzzTarget& target : all_targets()) {
     EXPECT_TRUE(target.run != nullptr) << target.name;
     EXPECT_TRUE(target.generate != nullptr) << target.name;

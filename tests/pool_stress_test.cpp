@@ -139,5 +139,60 @@ TEST(PoolStressTest, RepartitionedChaosFleetKeepsVerdicts) {
   EXPECT_EQ(two, eight);
 }
 
+TEST(PoolStressTest, ResizeDrainsInFlightRoundsBeforeTouchingTopology) {
+  // resize() takes the same drive mutex as run_round(), so a resize
+  // requested while shard workers are mid-round must wait for the round
+  // boundary before it rebuilds the ring or migrates anyone. Under TSan
+  // this pins the drain: a resize that raced the workers would tear the
+  // shard vector out from under them.
+  telemetry::MetricsRegistry metrics;
+  PoolFleetOptions options;
+  options.agents = 120;
+  options.shards = 4;
+  options.seed = 4321;
+  options.binaries_per_machine = 10;
+  options.execs_per_round = 3;
+  options.metrics = &metrics;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  netsim::FaultProfile chaos;
+  chaos.drop_rate = 0.10;
+  chaos.tamper_rate = 0.05;
+  fleet.pool().set_fleet_faults(chaos);
+
+  // One thread keeps driving rounds and pushing policies; another keeps
+  // bouncing the shard count. Every resize must land on a quiesced pool.
+  std::atomic<bool> done{false};
+  keylime::RuntimePolicy policy = fleet.fleet_policy();
+  std::thread resizer([&] {
+    for (std::size_t n : {7u, 3u, 8u, 2u}) {
+      ASSERT_TRUE(fleet.pool().resize(n).ok());
+      std::this_thread::yield();
+    }
+    done.store(true);
+  });
+  for (std::size_t round = 0; round < 3; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().run_round();
+    ASSERT_TRUE(fleet.pool().set_fleet_policy(policy).ok());
+  }
+  resizer.join();
+  ASSERT_TRUE(done.load());
+
+  EXPECT_EQ(fleet.pool().active_shard_count(), 2u);
+  EXPECT_EQ(fleet.pool().migration_stats().resizes, 4u);
+  EXPECT_EQ(fleet.pool().migration_stats().failed, 0u)
+      << "fault-free handoff links must never lose an agent";
+  // Nobody was lost in a mid-round topology change: every agent still
+  // resolves and the next round polls the full fleet.
+  for (const std::string& id : fleet.agent_ids()) {
+    ASSERT_TRUE(fleet.pool().state(id).has_value()) << id;
+  }
+  EXPECT_EQ(fleet.pool().run_round(), fleet.agent_ids().size());
+  EXPECT_FALSE(telemetry::to_prometheus(metrics.snapshot()).empty());
+}
+
 }  // namespace
 }  // namespace cia

@@ -11,16 +11,21 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/strutil.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
 #include "experiments/pool_experiment.hpp"
 #include "keylime/policy_index.hpp"
 #include "keylime/verifier_pool.hpp"
 #include "telemetry/export.hpp"
+#include "testkit/invariants.hpp"
 
 namespace cia {
 namespace {
@@ -301,6 +306,212 @@ TEST(PoolDeterminismTest, VerdictsInvariantToShardCount) {
   EXPECT_EQ(one.verdicts, eight.verdicts);
   EXPECT_EQ(one.alerts, two.alerts);
   EXPECT_EQ(one.alerts, eight.alerts);
+}
+
+// ------------------------------------------------------ live resharding
+
+using experiments::ChurnCampaignOptions;
+using experiments::per_agent_chain_digests;
+using experiments::run_churn_campaign;
+
+/// Drive a churn-free advance_to campaign with the given resize
+/// schedule and return the fleet's per-agent chain digests.
+std::map<std::string, std::string> resharding_run(
+    std::size_t shards, std::uint64_t seed,
+    std::vector<std::pair<std::size_t, std::size_t>> resize_at,
+    PoolFleet** keep = nullptr) {
+  static std::vector<std::unique_ptr<PoolFleet>> kept;
+  PoolFleetOptions base;
+  base.agents = 24;
+  base.shards = shards;
+  base.seed = seed;
+  auto fleet = std::make_unique<PoolFleet>(base);
+  EXPECT_TRUE(fleet->init_status().ok());
+  EXPECT_TRUE(fleet->push_fleet_policy().ok());
+  ChurnCampaignOptions campaign;
+  campaign.rounds = 8;
+  campaign.max_joins_per_round = 0;
+  campaign.max_leaves_per_round = 0;
+  campaign.max_reboots_per_round = 0;
+  campaign.resize_at = std::move(resize_at);
+  const auto report = run_churn_campaign(*fleet, campaign);
+  EXPECT_TRUE(report.status.ok()) << report.status.error().message;
+  auto digests = per_agent_chain_digests(fleet->pool());
+  if (keep) {
+    *keep = fleet.get();
+    kept.push_back(std::move(fleet));
+  }
+  return digests;
+}
+
+TEST(PoolReshardTest, MidCampaignResizeMatchesFinalShardCountRun) {
+  // A grows 3 -> 6 shards mid-campaign; B runs at 6 shards throughout.
+  // Every agent's audit sub-chain — verdicts, alert counts, quote
+  // digests, linkage — must come out byte-identical: only the partition
+  // changed, never what any agent experienced.
+  PoolFleet* resized = nullptr;
+  const auto a = resharding_run(3, 61, {{4, 6}}, &resized);
+  const auto b = resharding_run(6, 61, {});
+  ASSERT_EQ(a.size(), 24u);
+  EXPECT_EQ(a, b);
+
+  // Only ring-moved agents pay a handoff. The moved set is exactly the
+  // ids whose ring assignment differs between a 3-shard and a 6-shard
+  // ring (the ring is seed-independent).
+  keylime::VerifierPoolConfig three, six;
+  three.shards = 3;
+  six.shards = 6;
+  keylime::VerifierPool ring3(1, three), ring6(1, six);
+  std::uint64_t moved = 0;
+  ASSERT_NE(resized, nullptr);
+  for (const std::string& id : resized->agent_ids()) {
+    const bool moves = ring3.shard_for(id) != ring6.shard_for(id);
+    moved += moves ? 1 : 0;
+    EXPECT_EQ(resized->pool().handoffs(id), moves ? 1u : 0u) << id;
+  }
+  EXPECT_GT(moved, 0u) << "a 3->6 resize that moves nobody pins nothing";
+  const auto& stats = resized->pool().migration_stats();
+  EXPECT_EQ(stats.resizes, 1u);
+  EXPECT_EQ(stats.ok, moved) << "fault-free handoffs must all deliver";
+  EXPECT_EQ(stats.fallback, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(resized->pool().active_shard_count(), 6u);
+}
+
+TEST(PoolReshardTest, ShrinkRetiresShardsWithoutDisturbingChains) {
+  PoolFleet* shrunk = nullptr;
+  const auto a = resharding_run(4, 83, {{3, 2}}, &shrunk);
+  const auto b = resharding_run(2, 83, {});
+  EXPECT_EQ(a, b);
+
+  ASSERT_NE(shrunk, nullptr);
+  EXPECT_EQ(shrunk->pool().active_shard_count(), 2u);
+  // Retired shards stay allocated (their clocks/networks may be
+  // referenced externally) but own nothing.
+  EXPECT_EQ(shrunk->pool().shard_count(), 4u);
+  EXPECT_TRUE(shrunk->pool().verifier(2).agent_ids().empty());
+  EXPECT_TRUE(shrunk->pool().verifier(3).agent_ids().empty());
+  // And the fleet keeps attesting on the surviving shards.
+  EXPECT_EQ(shrunk->pool().run_round(), shrunk->agent_ids().size());
+}
+
+TEST(PoolReshardTest, ChurnCampaignVerdictsInvariantAcrossResizePoints) {
+  // Full churn — joins, leaves, reboots — with two resize points versus
+  // the identical campaign with none: zero drift, and the cross-shard
+  // chain invariant holds over every shard ever allocated.
+  auto run = [](std::vector<std::pair<std::size_t, std::size_t>> resizes,
+                std::map<std::string, std::string>* digests) {
+    PoolFleetOptions options;
+    options.agents = 24;
+    options.shards = 3;
+    options.seed = 19;
+    PoolFleet fleet(options);
+    ASSERT_TRUE(fleet.init_status().ok());
+    ASSERT_TRUE(fleet.push_fleet_policy().ok());
+    ChurnCampaignOptions campaign;
+    campaign.rounds = 10;
+    campaign.resize_at = std::move(resizes);
+    const auto report = run_churn_campaign(fleet, campaign);
+    ASSERT_TRUE(report.status.ok()) << report.status.error().message;
+    *digests = per_agent_chain_digests(fleet.pool());
+
+    std::vector<const keylime::AuditLog*> logs;
+    for (std::size_t s = 0; s < fleet.pool().shard_count(); ++s) {
+      logs.push_back(&fleet.pool().verifier(s).audit());
+    }
+    const auto violations = testkit::check_cross_shard_audit_chains(logs);
+    EXPECT_TRUE(violations.empty())
+        << violations.size() << " broken sub-chains, first: "
+        << (violations.empty() ? "" : violations.front().detail);
+  };
+
+  std::map<std::string, std::string> with_resizes, baseline;
+  run({{3, 7}, {7, 2}}, &with_resizes);
+  run({}, &baseline);
+  EXPECT_FALSE(with_resizes.empty());
+  EXPECT_EQ(with_resizes, baseline);
+}
+
+TEST(PoolReshardTest, HandoffFaultsNeverWedgeOrForkAChain) {
+  PoolFleetOptions options;
+  options.agents = 32;
+  options.shards = 3;
+  options.seed = 29;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  // Chaos on the handoff links only: drops, duplicates, timeouts, and
+  // tampered acks. Every migration must either retry to completion or
+  // fall back to a clean single-agent re-enrollment — never a wedged
+  // shard, never a forked chain.
+  netsim::FaultProfile chaos;
+  chaos.drop_rate = 0.35;
+  chaos.duplicate_rate = 0.25;
+  chaos.timeout_rate = 0.15;
+  chaos.tamper_rate = 0.25;
+  fleet.pool().set_handoff_faults(chaos);
+
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().run_round();
+  }
+  ASSERT_TRUE(fleet.pool().resize(8).ok());
+  for (std::uint64_t round = 3; round < 6; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().run_round();
+  }
+  ASSERT_TRUE(fleet.pool().resize(2).ok());
+
+  const auto& stats = fleet.pool().migration_stats();
+  EXPECT_EQ(stats.resizes, 2u);
+  EXPECT_GT(stats.ok + stats.fallback + stats.failed, 0u);
+  EXPECT_GT(stats.retries, 0u) << "chaos this heavy must cost retries";
+
+  // No agent is lost or wedged: every one still resolves to a live
+  // shard, still polls, and the union of every shard's records still
+  // forms whole per-agent sub-chains.
+  EXPECT_EQ(fleet.pool().run_round(), fleet.agent_ids().size());
+  for (const std::string& id : fleet.agent_ids()) {
+    ASSERT_TRUE(fleet.pool().state(id).has_value()) << id;
+  }
+  std::vector<const keylime::AuditLog*> logs;
+  for (std::size_t s = 0; s < fleet.pool().shard_count(); ++s) {
+    logs.push_back(&fleet.pool().verifier(s).audit());
+  }
+  const auto violations = testkit::check_cross_shard_audit_chains(logs);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " broken sub-chains, first: "
+      << (violations.empty() ? "" : violations.front().detail);
+}
+
+TEST(PoolReshardTest, CrossShardCheckerFlagsAForkedSubChain) {
+  const auto key = [] {
+    return crypto::derive_keypair(to_bytes("fork-seed"), "test");
+  };
+  keylime::AuditLog a(key()), b(key());
+  // Two shards both extend agent "x" from the same point — the forked
+  // history a botched handoff would create if fallback did not seed the
+  // destination tail.
+  a.append(0, "x", keylime::AuditVerdict::kPassed, 0, 1,
+           crypto::sha256(std::string("q0")));
+  b.append(60, "x", keylime::AuditVerdict::kPassed, 0, 1,
+           crypto::sha256(std::string("q1")));
+  const auto violations = testkit::check_cross_shard_audit_chains({&a, &b});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].invariant, "cross_shard_chain");
+  EXPECT_NE(violations[0].detail.find("forked"), std::string::npos)
+      << violations[0].detail;
+
+  // A legitimate continuation — the tail handed to the second log the
+  // way a migration does — is clean.
+  keylime::AuditLog c(key()), d(key());
+  c.append(0, "y", keylime::AuditVerdict::kPassed, 0, 1,
+           crypto::sha256(std::string("q0")));
+  d.set_agent_tail("y", c.agent_tail("y"));
+  d.append(60, "y", keylime::AuditVerdict::kFailed, 1, 1,
+           crypto::sha256(std::string("q1")));
+  EXPECT_TRUE(testkit::check_cross_shard_audit_chains({&c, &d}).empty());
 }
 
 // --------------------------------------------------------- policy index

@@ -314,6 +314,54 @@ TEST(CheckpointTest, RestoreRejectsAChainSignedByAnotherVerifier) {
       << "a verifier must not adopt audit history it did not sign";
 }
 
+TEST(CheckpointTest, RestoreRejectsCheckpointsFromTheFuture) {
+  TestbedOptions options;
+  options.provision_extra = 10;
+  options.archive.base_package_count = 100;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  ASSERT_TRUE(bed.verifier.set_policy(bed.agent_id(), {}).ok());
+  ASSERT_TRUE(bed.verifier.attest_once(bed.agent_id()).ok());
+
+  // A checkpoint stamped by a newer release encodes state this build
+  // cannot interpret; restoring a guess would silently drop it. The
+  // guard must refuse up front, before any state is touched.
+  json::Value future = bed.verifier.checkpoint();
+  future.set("version", 99);
+  keylime::Verifier restored(&bed.network, &bed.clock, 42 ^ 0x766572ull,
+                             options.verifier_config);
+  const Status rejected = restored.restore(future);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error().code, Errc::kInvalidArgument);
+  // The refusal left the verifier untouched and usable.
+  EXPECT_TRUE(restored.restore(bed.verifier.checkpoint()).ok());
+}
+
+TEST(CheckpointTest, RestoreIgnoresUnknownFieldsFromMinorRevisions) {
+  TestbedOptions options;
+  options.provision_extra = 10;
+  options.archive.base_package_count = 100;
+  Testbed bed(options);
+  ASSERT_TRUE(bed.enroll().ok());
+  ASSERT_TRUE(bed.verifier.set_policy(bed.agent_id(), {}).ok());
+  for (int i = 0; i < 3; ++i) {
+    bed.clock.advance(60);
+    ASSERT_TRUE(bed.verifier.attest_once(bed.agent_id()).ok());
+  }
+
+  // Forward compatibility within a version: a same-version writer that
+  // appended a field we do not know must still restore cleanly, and the
+  // state we re-serialize must be byte-identical to the original
+  // checkpoint (the unknown field is ignored, not garbled into state).
+  const json::Value original = bed.verifier.checkpoint();
+  json::Value annotated = original;
+  annotated.set("x_future_hint", "added by a later minor revision");
+  keylime::Verifier restored(&bed.network, &bed.clock, 42 ^ 0x766572ull,
+                             options.verifier_config);
+  ASSERT_TRUE(restored.restore(annotated).ok());
+  EXPECT_EQ(restored.checkpoint().dump(), original.dump());
+}
+
 // ------------------------------------------------------ chaos scenarios
 
 // ------------------------------------ P2 staleness gauge (blind spot)

@@ -22,10 +22,23 @@
 //       With --shards the fleet runs through the sharded VerifierPool
 //       instead of a single verifier: one attestation round per day,
 //       indexed appraisal, and a per-shard ownership report.
+//
+//   cia_sim fleet --churn [--rounds N] [--resize-at R:S]... [--seed S]
+//                 [--shards N] [--agents N]
+//       Enrollment-churn campaign over the sharded pool: continuous
+//       join/leave/reboot plus any scheduled mid-run resizes
+//       (--resize-at 4:6 resizes to 6 shards before round 4; repeat the
+//       flag for several resize points). The run then replays the SAME
+//       churn campaign with no resizes and diffs every agent's audit
+//       sub-chain digest — any drift is a resharding bug and exits
+//       nonzero, which is what the CI churn-smoke job pins.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 #include "experiments/fleet_experiment.hpp"
@@ -44,6 +57,9 @@ struct Args {
   bool inject_race = false;
   int shards = 0;  // 0 = single-verifier fleet path
   int agents = 0;  // 0 = the chosen path's default
+  bool churn = false;
+  int rounds = 0;  // 0 = churn default
+  std::vector<std::pair<std::size_t, std::size_t>> resize_at;  // round:shards
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -69,6 +85,21 @@ Args parse_args(int argc, char** argv, int first) {
       args.shards = std::atoi(next());
     } else if (arg == "--agents") {
       args.agents = std::atoi(next());
+    } else if (arg == "--churn") {
+      args.churn = true;
+    } else if (arg == "--rounds") {
+      args.rounds = std::atoi(next());
+    } else if (arg == "--resize-at") {
+      const std::string spec = next();
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--resize-at wants ROUND:SHARDS, got %s\n",
+                     spec.c_str());
+        std::exit(2);
+      }
+      args.resize_at.emplace_back(
+          static_cast<std::size_t>(std::atoi(spec.substr(0, colon).c_str())),
+          static_cast<std::size_t>(std::atoi(spec.substr(colon + 1).c_str())));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -177,7 +208,92 @@ int cmd_pool_fleet(const Args& args) {
   return 0;
 }
 
+int cmd_churn(const Args& args) {
+  PoolFleetOptions fleet_options;
+  fleet_options.seed = args.seed;
+  fleet_options.shards =
+      args.shards > 0 ? static_cast<std::size_t>(args.shards) : 4;
+  if (args.agents > 0) {
+    fleet_options.agents = static_cast<std::size_t>(args.agents);
+  }
+
+  ChurnCampaignOptions campaign;
+  campaign.seed = args.seed ^ 0xc4u;
+  if (args.rounds > 0) campaign.rounds = static_cast<std::size_t>(args.rounds);
+  campaign.resize_at = args.resize_at;
+
+  auto run = [&](const std::vector<std::pair<std::size_t, std::size_t>>&
+                     resizes,
+                 ChurnReport* report_out)
+      -> std::map<std::string, std::string> {
+    PoolFleet fleet(fleet_options);
+    if (!fleet.init_status().ok()) {
+      std::fprintf(stderr, "pool fleet init failed: %s\n",
+                   fleet.init_status().error().message.c_str());
+      std::exit(1);
+    }
+    if (Status s = fleet.push_fleet_policy(); !s.ok()) {
+      std::fprintf(stderr, "policy push failed: %s\n",
+                   s.error().message.c_str());
+      std::exit(1);
+    }
+    ChurnCampaignOptions options = campaign;
+    options.resize_at = resizes;
+    const ChurnReport report = run_churn_campaign(fleet, options);
+    if (!report.status.ok()) {
+      std::fprintf(stderr, "churn campaign failed: %s\n",
+                   report.status.error().message.c_str());
+      std::exit(1);
+    }
+    if (report_out) *report_out = report;
+    if (report_out) {
+      const auto& ms = fleet.pool().migration_stats();
+      std::printf(
+          "churn: %zu rounds, %zu joins, %zu leaves, %zu reboots, %zu polls\n"
+          "resharding: %llu resizes, %llu migrations ok, %llu fallback, "
+          "%llu failed, %llu retries\n"
+          "active shards: %zu (allocated: %zu), alerts: %zu\n",
+          options.rounds, report.joins, report.leaves, report.reboots,
+          report.polls, static_cast<unsigned long long>(ms.resizes),
+          static_cast<unsigned long long>(ms.ok),
+          static_cast<unsigned long long>(ms.fallback),
+          static_cast<unsigned long long>(ms.failed),
+          static_cast<unsigned long long>(ms.retries),
+          fleet.pool().active_shard_count(), fleet.pool().shard_count(),
+          fleet.pool().alerts().size());
+    }
+    return per_agent_chain_digests(fleet.pool());
+  };
+
+  ChurnReport report;
+  const auto resized = run(campaign.resize_at, &report);
+  // The drift self-check: the identical campaign with no resizes must
+  // produce byte-identical per-agent audit sub-chains.
+  const auto baseline = run({}, nullptr);
+  std::size_t drift = 0;
+  for (const auto& [id, digest] : baseline) {
+    auto it = resized.find(id);
+    if (it == resized.end()) {
+      std::fprintf(stderr, "DRIFT: %s missing from resized run\n", id.c_str());
+      ++drift;
+    } else if (it->second != digest) {
+      std::fprintf(stderr, "DRIFT: %s chain digest mismatch\n", id.c_str());
+      ++drift;
+    }
+  }
+  for (const auto& [id, digest] : resized) {
+    if (!baseline.count(id)) {
+      std::fprintf(stderr, "DRIFT: %s missing from baseline run\n", id.c_str());
+      ++drift;
+    }
+  }
+  std::printf("verdict drift vs no-resize baseline: %zu agents (%zu checked)\n",
+              drift, baseline.size());
+  return drift == 0 ? 0 : 1;
+}
+
 int cmd_fleet(const Args& args) {
+  if (args.churn) return cmd_churn(args);
   if (args.shards > 0) return cmd_pool_fleet(args);
   FleetRunOptions options;
   options.seed = args.seed;
@@ -202,7 +318,9 @@ void usage() {
                " [--seed S]\n"
                "  attacks [--seed S]\n"
                "  table1 [--seed S]\n"
-               "  fleet [--days N] [--seed S] [--shards N] [--agents N]\n");
+               "  fleet [--days N] [--seed S] [--shards N] [--agents N]\n"
+               "  fleet --churn [--rounds N] [--resize-at R:S]... [--seed S]"
+               " [--shards N] [--agents N]\n");
 }
 
 }  // namespace

@@ -47,7 +47,7 @@ for san in "${sanitizers[@]}"; do
         --gtest_filter='MetricsRegistryTest.*:HistogramTest.*:ExportTest.*:LogBridgeTest.*:TracerTest.*'
       echo "==> [$san] verifier pool (shard workers + COW policy swaps)"
       "$build_dir/tests/cia_tests" \
-        --gtest_filter='PoolStressTest.*:PoolDeterminismTest.*:PoolFleetTest.*:PoolPolicyTest.*:PoolRingTest.*:PolicyIndexTest.*'
+        --gtest_filter='PoolStressTest.*:PoolDeterminismTest.*:PoolFleetTest.*:PoolPolicyTest.*:PoolRingTest.*:PoolReshardTest.*:PolicyIndexTest.*'
       ;;
     fuzz)
       # Fixed seeds keep the smoke deterministic; the iteration budget is
