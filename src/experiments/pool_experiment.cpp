@@ -225,6 +225,118 @@ ChurnReport run_churn_campaign(PoolFleet& fleet,
   return report;
 }
 
+StormReport run_alert_storm(const StormOptions& options) {
+  StormReport report;
+  report.agents = options.agents;
+
+  PoolFleetOptions fleet_options;
+  fleet_options.agents = options.agents;
+  fleet_options.shards = options.shards;
+  fleet_options.seed = options.seed;
+  // The paper's P2 mitigation must be on: stock stop-on-failure would
+  // freeze every agent at its first bad entry and the storm would be a
+  // single silent round. Retries stay off — a retry's backoff advances
+  // the shard clock by an amount that depends on shard co-residency,
+  // which would break the incident stream's partition invariance.
+  fleet_options.verifier.continue_on_failure = true;
+  fleet_options.scheduler.poll_interval = options.round_period;
+  fleet_options.retrying_transport = false;
+  fleet_options.metrics = options.metrics;
+  PoolFleet fleet(fleet_options);
+  if (!fleet.init_status().ok()) {
+    report.status = fleet.init_status();
+    return report;
+  }
+
+  keylime::alert_pipeline::AlertPipeline pipeline(options.pipeline);
+  pipeline.use_telemetry(options.metrics);
+  fleet.pool().use_alert_pipeline(&pipeline);
+
+  if (Status st = fleet.push_fleet_policy(); !st.ok()) {
+    report.status = st;
+    return report;
+  }
+
+  std::uint64_t round = 0;
+  for (; round < options.warmup_rounds; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().advance_to(
+        static_cast<SimTime>((round + 1)) * options.round_period);
+  }
+
+  // The bad push: rebuild the fleet policy with corrupted digests for
+  // the binaries the whole fleet will FIRST-execute next round, so every
+  // agent trips over every corrupted path in the same round.
+  const std::size_t first_storm_slot =
+      options.warmup_rounds * fleet_options.execs_per_round;
+  std::vector<std::string> corrupted;
+  for (std::size_t b = 0; b < options.bad_paths; ++b) {
+    corrupted.push_back(strformat(
+        "/usr/bin/tool-%03zu",
+        (first_storm_slot + b) % fleet_options.binaries_per_machine));
+  }
+  const keylime::RuntimePolicy good = fleet.fleet_policy();
+  keylime::RuntimePolicy bad;
+  good.for_each_path([&](const std::string& path,
+                         const std::vector<std::string>& hashes) {
+    if (std::find(corrupted.begin(), corrupted.end(), path) !=
+        corrupted.end()) {
+      bad.allow(path, crypto::sha256("storm:corrupt:" + path));
+    } else {
+      for (const std::string& h : hashes) bad.allow(path, h);
+    }
+  });
+  for (const std::string& glob : good.excludes()) bad.exclude(glob);
+  if (Status st = fleet.pool().set_fleet_policy(bad); !st.ok()) {
+    report.status = st;
+    return report;
+  }
+
+  if (options.drop_rate > 0) {
+    netsim::FaultProfile faults;
+    faults.drop_rate = options.drop_rate;
+    fleet.pool().set_fleet_faults(faults);
+  }
+
+  for (std::size_t r = 0; r < options.storm_rounds; ++r, ++round) {
+    if (options.resize_shards > 0 && r == options.resize_round) {
+      if (Status st = fleet.pool().resize(options.resize_shards); !st.ok()) {
+        report.status = st;
+        return report;
+      }
+    }
+    fleet.run_workload_round(round);
+    fleet.pool().advance_to(
+        static_cast<SimTime>((round + 1)) * options.round_period);
+  }
+
+  const keylime::alert_pipeline::AlertPipeline::Stats& stats =
+      pipeline.stats();
+  report.raw_alerts = stats.raw;
+  report.emitted_alerts = stats.emitted;
+  report.suppressed = stats.suppressed;
+  report.incidents_opened = stats.opened;
+  report.incidents_open = stats.opened - stats.closed;
+  for (const keylime::alert_pipeline::Incident& incident :
+       pipeline.snapshot().incidents) {
+    report.max_affected = std::max(report.max_affected,
+                                   incident.affected_agents);
+    ++report.opened_by_severity[keylime::alert_pipeline::severity_name(
+        incident.severity)];
+  }
+  report.incident_stream = pipeline.snapshot_json().dump();
+  // One root cause per corrupted digest, one fleet staleness episode
+  // (failed agents' rounds_since_success keeps growing under
+  // continue_on_failure until an operator intervenes), one transport
+  // episode when drops are on.
+  const bool staleness_triggers =
+      options.pipeline.staleness_after > 0 &&
+      options.pipeline.staleness_after <= options.storm_rounds;
+  report.root_causes = options.bad_paths + (staleness_triggers ? 1 : 0) +
+                       (options.drop_rate > 0 ? 1 : 0);
+  return report;
+}
+
 std::map<std::string, std::string> per_agent_chain_digests(
     const keylime::VerifierPool& pool) {
   // Gather every agent's records across ALL shards: a migrated agent's

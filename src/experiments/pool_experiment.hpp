@@ -148,6 +148,72 @@ struct ChurnReport {
 ChurnReport run_churn_campaign(PoolFleet& fleet,
                                const ChurnCampaignOptions& options);
 
+// --------------------------------------------------- alert-storm scenario
+
+/// A manufactured alert storm: after a few clean warmup rounds, a bad
+/// policy revision (wrong digests for a handful of fleet binaries) is
+/// bulk-pushed to every agent, while per-link drop faults keep a slice
+/// of the fleet intermittently unreachable. Every agent then trips over
+/// every corrupted digest — agents x bad_paths identical hash-mismatch
+/// alerts, plus per-round staleness observations once
+/// rounds_since_success crosses the pipeline threshold, plus scattered
+/// comms failures. The attached AlertPipeline must collapse all of it
+/// into O(root causes) incidents: one per corrupted digest, one fleet
+/// staleness incident, one transport incident.
+///
+/// Fault discipline: the scenario runs WITHOUT the retrying transport
+/// (a retry's backoff advances the shard clock by an amount that depends
+/// on which agents share the shard) and with drop faults only, so every
+/// alert timestamp — and therefore the canonical incident stream — is
+/// byte-identical across shard counts and mid-storm resizes.
+struct StormOptions {
+  std::uint64_t seed = 42;
+  std::size_t agents = 1000;
+  std::size_t shards = 8;
+  /// Clean rounds before the bad push.
+  std::size_t warmup_rounds = 2;
+  /// Rounds driven after the bad push.
+  std::size_t storm_rounds = 8;
+  /// Virtual time per round (the scheduler poll interval).
+  SimTime round_period = 60;
+  /// Fleet binaries whose digests the bad revision corrupts; chosen as
+  /// the slice first-executed in the first storm round, so the whole
+  /// fleet trips over them simultaneously.
+  std::size_t bad_paths = 2;
+  /// Per-link drop probability (time-free transport chaos).
+  double drop_rate = 0.02;
+  /// Mid-storm resize: before storm round `resize_round` (0-based),
+  /// resize the pool to `resize_shards`. Disabled when resize_shards==0.
+  std::size_t resize_round = 0;
+  std::size_t resize_shards = 0;
+  keylime::alert_pipeline::AlertPipeline::Config pipeline;
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+struct StormReport {
+  Status status;
+  std::size_t agents = 0;
+  /// Root causes the scenario manufactured (corrupted digests, plus the
+  /// staleness episode, plus the transport chaos when enabled).
+  std::size_t root_causes = 0;
+  /// Alerts folded into the pipeline pre-dedup: every verifier-level
+  /// alert plus one synthesized staleness observation per stale agent
+  /// per round.
+  std::uint64_t raw_alerts = 0;
+  std::uint64_t emitted_alerts = 0;   // post-dedup operator stream
+  std::uint64_t suppressed = 0;
+  std::uint64_t incidents_opened = 0;
+  std::uint64_t incidents_open = 0;   // still open at scenario end
+  /// Widest incident's exact affected-agent count.
+  std::uint64_t max_affected = 0;
+  std::map<std::string, std::uint64_t> opened_by_severity;
+  /// Canonical incident snapshot JSON — the byte-comparable stream.
+  std::string incident_stream;
+};
+
+/// Run the storm against a fresh fleet built from the options.
+StormReport run_alert_storm(const StormOptions& options);
+
 /// Partition-independent fingerprint of every agent's audit sub-chain:
 /// records are gathered across ALL shards (an agent that migrated has
 /// history on several), ordered by agent_seq, and their agent_hash()

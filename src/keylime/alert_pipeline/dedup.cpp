@@ -1,0 +1,104 @@
+#include "keylime/alert_pipeline/dedup.hpp"
+
+#include <utility>
+
+#include "common/strutil.hpp"
+#include "keylime/alert_pipeline/incident.hpp"
+
+namespace cia::keylime::alert_pipeline {
+
+Severity classify(AlertType type) {
+  switch (type) {
+    case AlertType::kQuoteInvalid:
+    case AlertType::kReplayMismatch:
+    case AlertType::kHashMismatch:
+    case AlertType::kMeasuredBootMismatch:
+      return Severity::kIntegrityViolation;
+    case AlertType::kNotInPolicy:
+      // The measurement is fine; the policy does not know the file — the
+      // unscheduled-update signature (P3), not a compromise verdict.
+      return Severity::kPolicySkew;
+    case AlertType::kCommsFailure:
+      return Severity::kTransport;
+  }
+  return Severity::kIntegrityViolation;
+}
+
+AlertKey key_of(const Alert& alert) {
+  AlertKey key;
+  key.severity = classify(alert.type);
+  key.reason = alert_type_name(alert.type);
+  switch (alert.type) {
+    case AlertType::kHashMismatch:
+    case AlertType::kNotInPolicy:
+      // The root cause is the (file, measured digest) pair under one
+      // policy revision: "digest X of /usr/bin/zsh".
+      key.subject = alert.path + "@sha256:" + alert.observed_hash_hex;
+      key.policy_revision = alert.policy_revision;
+      break;
+    default:
+      // Quote/replay/boot/comms problems are per-agent symptoms of a
+      // fleet-scoped cause; fold them per reason class.
+      break;
+  }
+  return key;
+}
+
+bool alert_before(const Alert& a, const Alert& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.agent_id != b.agent_id) return a.agent_id < b.agent_id;
+  if (a.log_index != b.log_index) return a.log_index < b.log_index;
+  return static_cast<int>(a.type) < static_cast<int>(b.type);
+}
+
+void KeyAggregate::fold(const Alert& alert) {
+  if (alerts == 0) {
+    first_seen = alert.time;
+    last_seen = alert.time;
+    representative = alert;
+  } else {
+    first_seen = std::min(first_seen, alert.time);
+    last_seen = std::max(last_seen, alert.time);
+    if (alert_before(alert, representative)) representative = alert;
+  }
+  ++alerts;
+  agents.insert(alert.agent_id);
+}
+
+void KeyAggregate::merge(const KeyAggregate& other) {
+  if (other.alerts == 0) return;
+  if (alerts == 0) {
+    *this = other;
+    return;
+  }
+  first_seen = std::min(first_seen, other.first_seen);
+  last_seen = std::max(last_seen, other.last_seen);
+  if (alert_before(other.representative, representative)) {
+    representative = other.representative;
+  }
+  alerts += other.alerts;
+  agents.insert(other.agents.begin(), other.agents.end());
+}
+
+void ShardStage::ingest(const Alert& alert) {
+  pending_[key_of(alert)].fold(alert);
+}
+
+void ShardStage::ingest_staleness(const std::string& agent_id,
+                                  std::uint64_t rounds, SimTime now) {
+  AlertKey key;
+  key.severity = Severity::kStaleness;
+  key.reason = kStalenessReason;
+  Alert synthetic;
+  synthetic.time = now;
+  synthetic.agent_id = agent_id;
+  synthetic.detail = strformat("rounds_since_success=%llu",
+                               static_cast<unsigned long long>(rounds));
+  pending_[key].fold(synthetic);
+}
+
+std::map<AlertKey, KeyAggregate> ShardStage::take() {
+  return std::exchange(pending_, {});
+}
+
+}  // namespace cia::keylime::alert_pipeline

@@ -1,0 +1,98 @@
+// Alert keying and the per-shard compaction stage.
+//
+// One root cause produces one AlertKey: the (reason class, offending
+// digest/path, policy revision) triple, deliberately NOT including the
+// agent id — a fleet-wide bad policy push collapses to one key no matter
+// how many agents trip over it. The per-shard ShardStage folds a round's
+// raw alerts into per-key partial aggregates inside the shard worker
+// thread (the shard owns its stage during a round, so no lock exists on
+// the appraisal hot path); the driver merges all shards' partials at the
+// round boundary.
+//
+// Every aggregate operation is commutative and associative — count sums,
+// min/max over times, min over a total order of representative alerts,
+// set union over agent ids — so the merged result is byte-identical for
+// any shard count or merge order. This is the pool's partition-invariance
+// contract extended to the incident stream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "common/sim_clock.hpp"
+#include "keylime/verifier.hpp"
+
+namespace cia::keylime::alert_pipeline {
+
+enum class Severity;  // incident.hpp
+
+/// Reason-class the staleness scan reports under (not an AlertType: it is
+/// synthesized from rounds_since_success, not raised by appraisal).
+inline constexpr char kStalenessReason[] = "staleness";
+
+/// Severity class of a raised alert type.
+Severity classify(AlertType type);
+
+/// The dedup/aggregation key: one root cause.
+struct AlertKey {
+  Severity severity{};
+  std::string reason;            // alert_type_name() or kStalenessReason
+  std::string subject;           // "path@sha256:hex" or "" (fleet-scoped)
+  std::uint64_t policy_revision = 0;
+
+  bool operator<(const AlertKey& other) const {
+    return std::tie(severity, reason, subject, policy_revision) <
+           std::tie(other.severity, other.reason, other.subject,
+                    other.policy_revision);
+  }
+  bool operator==(const AlertKey& other) const {
+    return severity == other.severity && reason == other.reason &&
+           subject == other.subject &&
+           policy_revision == other.policy_revision;
+  }
+};
+
+/// Key of a raised alert. Policy appraisal alerts (hash mismatch / not
+/// in policy) key on the offending path+digest; everything else is
+/// fleet-scoped per reason class.
+AlertKey key_of(const Alert& alert);
+
+/// Total order on alerts used to pick a key's representative: the
+/// earliest (time, agent, log index) occurrence wins regardless of which
+/// shard saw it or in which order partials merge.
+bool alert_before(const Alert& a, const Alert& b);
+
+/// Partial aggregate of one key's alerts (per shard per round, then
+/// merged across shards).
+struct KeyAggregate {
+  std::uint64_t alerts = 0;
+  SimTime first_seen = 0;
+  SimTime last_seen = 0;
+  Alert representative;           // minimal alert under alert_before()
+  std::set<std::string> agents;   // distinct contributors this round
+
+  void fold(const Alert& alert);
+  void merge(const KeyAggregate& other);
+};
+
+/// Per-shard compaction stage. Owned by the shard: the worker thread
+/// ingests during a round, the driver take()s at the boundary — never
+/// both at once, so it needs no lock.
+class ShardStage {
+ public:
+  void ingest(const Alert& alert);
+  /// Fold a synthesized staleness observation (agent whose
+  /// rounds_since_success crossed the threshold) at round time `now`.
+  void ingest_staleness(const std::string& agent_id, std::uint64_t rounds,
+                        SimTime now);
+  bool empty() const { return pending_.empty(); }
+  std::map<AlertKey, KeyAggregate> take();
+
+ private:
+  std::map<AlertKey, KeyAggregate> pending_;
+};
+
+}  // namespace cia::keylime::alert_pipeline

@@ -1,0 +1,187 @@
+#include "keylime/alert_pipeline/incident.hpp"
+
+namespace cia::keylime::alert_pipeline {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kIntegrityViolation: return "integrity_violation";
+    case Severity::kPolicySkew: return "policy_skew";
+    case Severity::kStaleness: return "staleness";
+    case Severity::kTransport: return "transport";
+  }
+  return "?";
+}
+
+bool severity_from_name(const std::string& name, Severity* out) {
+  for (Severity s : {Severity::kIntegrityViolation, Severity::kPolicySkew,
+                     Severity::kStaleness, Severity::kTransport}) {
+    if (name == severity_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+json::Value to_json(const Incident& incident) {
+  json::Value v;
+  v.set("id", static_cast<std::int64_t>(incident.id));
+  v.set("severity", severity_name(incident.severity));
+  v.set("reason", incident.reason);
+  v.set("subject", incident.subject);
+  v.set("policy_revision", static_cast<std::int64_t>(incident.policy_revision));
+  v.set("first_seen", static_cast<std::int64_t>(incident.first_seen));
+  v.set("last_seen", static_cast<std::int64_t>(incident.last_seen));
+  v.set("alerts", static_cast<std::int64_t>(incident.alerts));
+  v.set("suppressed", static_cast<std::int64_t>(incident.suppressed));
+  v.set("affected_agents", static_cast<std::int64_t>(incident.affected_agents));
+  json::Array sample;
+  for (const std::string& id : incident.sample_agents) sample.emplace_back(id);
+  v.set("sample_agents", json::Value(std::move(sample)));
+  v.set("open", incident.open);
+  v.set("closed_at", static_cast<std::int64_t>(incident.closed_at));
+  return v;
+}
+
+json::Value to_json(const IncidentSnapshot& snapshot) {
+  json::Value doc;
+  doc.set("version", static_cast<std::int64_t>(IncidentSnapshot::kVersion));
+  json::Array incidents;
+  incidents.reserve(snapshot.incidents.size());
+  for (const Incident& incident : snapshot.incidents) {
+    incidents.push_back(to_json(incident));
+  }
+  doc.set("incidents", json::Value(std::move(incidents)));
+  return doc;
+}
+
+namespace {
+
+/// Non-negative integral number field; rejects absence, wrong type, a
+/// fractional value (would silently round and break the encode fixed
+/// point), and negatives.
+bool u64_field(const json::Value& v, const char* key, std::uint64_t* out) {
+  const json::Value* f = v.find(key);
+  if (f == nullptr || !f->is_number()) return false;
+  const double n = f->as_number();
+  if (n < 0 || n != static_cast<double>(static_cast<std::int64_t>(n))) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(f->as_int());
+  return true;
+}
+
+bool string_field(const json::Value& v, const char* key, std::string* out) {
+  const json::Value* f = v.find(key);
+  if (f == nullptr || !f->is_string()) return false;
+  *out = f->as_string();
+  return true;
+}
+
+Result<Incident> incident_from_json(const json::Value& v) {
+  if (!v.is_object()) {
+    return err(Errc::kCorrupted, "incident: not an object");
+  }
+  Incident inc;
+  std::uint64_t first_seen = 0;
+  std::uint64_t last_seen = 0;
+  std::uint64_t closed_at = 0;
+  std::string severity;
+  if (!u64_field(v, "id", &inc.id) || inc.id == 0) {
+    return err(Errc::kCorrupted, "incident: bad id");
+  }
+  if (!string_field(v, "severity", &severity) ||
+      !severity_from_name(severity, &inc.severity)) {
+    return err(Errc::kCorrupted, "incident: bad severity");
+  }
+  if (!string_field(v, "reason", &inc.reason) || inc.reason.empty()) {
+    return err(Errc::kCorrupted, "incident: bad reason");
+  }
+  if (!string_field(v, "subject", &inc.subject)) {
+    return err(Errc::kCorrupted, "incident: bad subject");
+  }
+  if (!u64_field(v, "policy_revision", &inc.policy_revision) ||
+      !u64_field(v, "first_seen", &first_seen) ||
+      !u64_field(v, "last_seen", &last_seen) ||
+      !u64_field(v, "alerts", &inc.alerts) ||
+      !u64_field(v, "suppressed", &inc.suppressed) ||
+      !u64_field(v, "affected_agents", &inc.affected_agents) ||
+      !u64_field(v, "closed_at", &closed_at)) {
+    return err(Errc::kCorrupted, "incident: bad numeric field");
+  }
+  const json::Value* open = v.find("open");
+  if (open == nullptr || !open->is_bool()) {
+    return err(Errc::kCorrupted, "incident: bad open flag");
+  }
+  inc.open = open->as_bool();
+  inc.first_seen = static_cast<SimTime>(first_seen);
+  inc.last_seen = static_cast<SimTime>(last_seen);
+  inc.closed_at = static_cast<SimTime>(closed_at);
+  if (inc.first_seen > inc.last_seen) {
+    return err(Errc::kCorrupted, "incident: first_seen after last_seen");
+  }
+  // Every incident delivered at least one alert before any could be
+  // suppressed: the opening occurrence always passes the cooldown.
+  if (inc.alerts == 0 || inc.suppressed >= inc.alerts) {
+    return err(Errc::kCorrupted, "incident: inconsistent alert tallies");
+  }
+  if (inc.affected_agents == 0) {
+    return err(Errc::kCorrupted, "incident: no affected agents");
+  }
+  if (inc.open) {
+    if (inc.closed_at != 0) {
+      return err(Errc::kCorrupted, "incident: open with closed_at set");
+    }
+  } else if (inc.closed_at < inc.last_seen) {
+    return err(Errc::kCorrupted, "incident: closed before last_seen");
+  }
+  const json::Value* sample = v.find("sample_agents");
+  if (sample == nullptr || !sample->is_array()) {
+    return err(Errc::kCorrupted, "incident: bad sample_agents");
+  }
+  for (const json::Value& entry : sample->as_array()) {
+    if (!entry.is_string() || entry.as_string().empty()) {
+      return err(Errc::kCorrupted, "incident: bad sample agent id");
+    }
+    if (!inc.sample_agents.empty() &&
+        entry.as_string() <= inc.sample_agents.back()) {
+      return err(Errc::kCorrupted, "incident: sample_agents not sorted");
+    }
+    inc.sample_agents.push_back(entry.as_string());
+  }
+  if (inc.sample_agents.empty() ||
+      inc.sample_agents.size() > inc.affected_agents) {
+    return err(Errc::kCorrupted, "incident: sample/affected mismatch");
+  }
+  return inc;
+}
+
+}  // namespace
+
+Result<IncidentSnapshot> snapshot_from_json(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return err(Errc::kCorrupted, "incident snapshot: not an object");
+  }
+  std::uint64_t version = 0;
+  if (!u64_field(doc, "version", &version) ||
+      version != static_cast<std::uint64_t>(IncidentSnapshot::kVersion)) {
+    return err(Errc::kCorrupted, "incident snapshot: unsupported version");
+  }
+  const json::Value* incidents = doc.find("incidents");
+  if (incidents == nullptr || !incidents->is_array()) {
+    return err(Errc::kCorrupted, "incident snapshot: bad incidents array");
+  }
+  IncidentSnapshot snapshot;
+  for (const json::Value& entry : incidents->as_array()) {
+    auto inc = incident_from_json(entry);
+    if (!inc.ok()) return inc.error();
+    if (!snapshot.incidents.empty() &&
+        inc.value().id <= snapshot.incidents.back().id) {
+      return err(Errc::kCorrupted, "incident snapshot: ids not increasing");
+    }
+    snapshot.incidents.push_back(std::move(inc.value()));
+  }
+  return snapshot;
+}
+
+}  // namespace cia::keylime::alert_pipeline

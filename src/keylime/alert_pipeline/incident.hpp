@@ -1,0 +1,99 @@
+// Incident model for the alert pipeline: the operator-facing unit of
+// alerting.
+//
+// The paper's operational finding is that alert *volume*, not alert
+// absence, is what buries the on-call: one bad policy push manufactures
+// agents x entries x rounds identical alerts. An Incident is the folded
+// form — "4,812 agents alerting on digest X of /usr/bin/zsh" — carrying
+// the first/last time the root cause was seen, the exact number of
+// distinct agents affected, a small sample of their ids, and the tally
+// of alerts that dedup suppressed on the incident's behalf.
+//
+// Incidents are classified into four severities that map onto the
+// paper's problem taxonomy:
+//   * integrity_violation — measured content fails appraisal (hash
+//     mismatch, bad quote, IMA replay divergence, boot-chain drift);
+//   * policy_skew         — the measurement is fine but the policy does
+//     not know it (unscheduled update, missing entry): P3 territory;
+//   * staleness           — agents whose last fully successful
+//     attestation keeps receding (the P2 frozen-verifier blind spot made
+//     into a first-class incident);
+//   * transport           — agents unreachable or garbling responses.
+//
+// The snapshot form (IncidentSnapshot <-> canonical JSON) is the wire
+// contract consumed by tools/cia_metrics and pinned by the
+// incident_snapshot fuzz target: decode(encode(x)) is the identity, a
+// decoded document re-encodes byte-identically, and a malformed document
+// is rejected whole — never half-adopted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+#include "common/sim_clock.hpp"
+
+namespace cia::keylime::alert_pipeline {
+
+enum class Severity {
+  kIntegrityViolation = 0,
+  kPolicySkew = 1,
+  kStaleness = 2,
+  kTransport = 3,
+};
+
+const char* severity_name(Severity severity);
+
+/// Parse a severity_name() string; false when unknown (decoder gate).
+bool severity_from_name(const std::string& name, Severity* out);
+
+struct Incident {
+  /// Assigned in open order starting at 1; ids are deterministic per
+  /// (seed, scenario) and invariant to the pool's shard count.
+  std::uint64_t id = 0;
+  Severity severity = Severity::kIntegrityViolation;
+  /// Reason class, e.g. "hash_mismatch" (alert_type_name) or "staleness".
+  std::string reason;
+  /// Offending object: "path@sha256:hex" for policy alerts, "" when the
+  /// reason is fleet-scoped (transport, staleness, bad quotes).
+  std::string subject;
+  /// PolicyIndex revision the alerts were appraised under (0 = unindexed).
+  std::uint64_t policy_revision = 0;
+  SimTime first_seen = 0;
+  SimTime last_seen = 0;
+  /// Raw alerts folded into this incident (emitted + suppressed).
+  std::uint64_t alerts = 0;
+  /// Of those, how many the cooldown swallowed (never individually
+  /// delivered; visible only through this tally).
+  std::uint64_t suppressed = 0;
+  /// Exact count of distinct agents that contributed at least one alert.
+  std::uint64_t affected_agents = 0;
+  /// Lexicographically smallest affected agent ids (bounded sample).
+  std::vector<std::string> sample_agents;
+  bool open = true;
+  /// Round-boundary time the quiet period expired; 0 while open.
+  SimTime closed_at = 0;
+};
+
+/// The exported incident stream: every incident opened so far (open and
+/// closed), ordered by id.
+struct IncidentSnapshot {
+  static constexpr int kVersion = 1;
+  std::vector<Incident> incidents;
+};
+
+json::Value to_json(const Incident& incident);
+json::Value to_json(const IncidentSnapshot& snapshot);
+
+/// Strict decoder for the snapshot document. Validates structure, field
+/// types, severity names, id ordering (strictly increasing), time sanity
+/// (first_seen <= last_seen; closed incidents carry closed_at >=
+/// last_seen), tally sanity (every incident emitted at least one alert:
+/// suppressed < alerts; sample_agents sorted, unique, and no larger than
+/// affected_agents). Returns the decoded snapshot or an error; a failed
+/// decode never yields partial state.
+Result<IncidentSnapshot> snapshot_from_json(const json::Value& doc);
+
+}  // namespace cia::keylime::alert_pipeline

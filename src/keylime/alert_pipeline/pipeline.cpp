@@ -1,0 +1,175 @@
+#include "keylime/alert_pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+namespace cia::keylime::alert_pipeline {
+
+void AlertPipeline::fold(std::map<AlertKey, KeyAggregate> batch) {
+  for (auto& [key, aggregate] : batch) {
+    round_[key].merge(aggregate);
+  }
+}
+
+void AlertPipeline::observe_staleness(const std::string& agent_id,
+                                      std::uint64_t rounds, SimTime now) {
+  ShardStage stage;
+  stage.ingest_staleness(agent_id, rounds, now);
+  fold(stage.take());
+}
+
+void AlertPipeline::end_round(SimTime now) {
+  for (auto& [key, aggregate] : round_) {
+    stats_.raw += aggregate.alerts;
+    if (metrics_) {
+      metrics_
+          ->counter("cia_alert_raw_total",
+                    {{"severity", severity_name(key.severity)}})
+          .inc(aggregate.alerts);
+    }
+
+    auto [it, fresh] = keys_.try_emplace(key);
+    KeyState& state = it->second;
+    if (fresh) {
+      const std::uint64_t id = next_incident_id_++;
+      IncidentEntry entry;
+      entry.incident.id = id;
+      entry.incident.severity = key.severity;
+      entry.incident.reason = key.reason;
+      entry.incident.subject = key.subject;
+      entry.incident.policy_revision = key.policy_revision;
+      entry.incident.first_seen = aggregate.first_seen;
+      entry.incident.last_seen = aggregate.first_seen;
+      incidents_.emplace(id, std::move(entry));
+      state.incident_id = id;
+      ++stats_.opened;
+      if (metrics_) {
+        metrics_
+            ->counter("cia_incident_opened_total",
+                      {{"severity", severity_name(key.severity)}})
+            .inc();
+      }
+    }
+
+    IncidentEntry& entry = incidents_.at(state.incident_id);
+    Incident& incident = entry.incident;
+    incident.first_seen = std::min(incident.first_seen, aggregate.first_seen);
+    incident.last_seen = std::max(incident.last_seen, aggregate.last_seen);
+    incident.alerts += aggregate.alerts;
+    entry.agents.insert(aggregate.agents.begin(), aggregate.agents.end());
+    incident.affected_agents = entry.agents.size();
+    const std::size_t sample_k = std::max<std::size_t>(1, config_.sample_agents);
+    incident.sample_agents.clear();
+    for (const std::string& id : entry.agents) {
+      if (incident.sample_agents.size() >= sample_k) break;
+      incident.sample_agents.push_back(id);
+    }
+    state.last_seen = std::max(state.last_seen, aggregate.last_seen);
+
+    // Cooldown is evaluated at round-boundary granularity: the first
+    // occurrence of a key always emits; within the window the whole
+    // batch is swallowed into the carried tally.
+    const bool emit = fresh || now - state.last_emit >= config_.cooldown;
+    const std::uint64_t batch_duplicates = aggregate.alerts - 1;
+    if (emit) {
+      EmittedAlert emitted;
+      emitted.key = key;
+      emitted.representative = aggregate.representative;
+      emitted.suppressed = state.carry + batch_duplicates;
+      emitted.incident_id = incident.id;
+      emitted_.push_back(std::move(emitted));
+      ++stats_.emitted;
+      stats_.suppressed += batch_duplicates;
+      incident.suppressed += batch_duplicates;
+      state.carry = 0;
+      state.last_emit = now;
+      if (metrics_) {
+        metrics_
+            ->counter("cia_alert_emitted_total",
+                      {{"severity", severity_name(key.severity)}})
+            .inc();
+        if (batch_duplicates > 0) {
+          metrics_
+              ->counter("cia_alert_suppressed_total",
+                        {{"severity", severity_name(key.severity)}})
+              .inc(batch_duplicates);
+        }
+      }
+    } else {
+      state.carry += aggregate.alerts;
+      stats_.suppressed += aggregate.alerts;
+      incident.suppressed += aggregate.alerts;
+      if (metrics_) {
+        metrics_
+            ->counter("cia_alert_suppressed_total",
+                      {{"severity", severity_name(key.severity)}})
+            .inc(aggregate.alerts);
+      }
+    }
+  }
+  round_.clear();
+
+  // Close incidents whose key has been quiet for the full window; the
+  // cooldown state goes with them, so a recurrence is a new incident.
+  for (auto it = keys_.begin(); it != keys_.end();) {
+    KeyState& state = it->second;
+    if (now - state.last_seen >= config_.quiet_close) {
+      Incident& incident = incidents_.at(state.incident_id).incident;
+      incident.open = false;
+      incident.closed_at = now;
+      ++stats_.closed;
+      export_metrics(incident);
+      it = keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (metrics_) {
+    metrics_->gauge("cia_alert_active_keys", {})
+        .set(static_cast<double>(keys_.size()));
+    // Open-incident gauges, recomputed per severity (keys_ is small:
+    // one entry per live root cause, not per agent).
+    std::map<Severity, std::size_t> open_counts;
+    for (const auto& [key, state] : keys_) ++open_counts[key.severity];
+    for (Severity s : {Severity::kIntegrityViolation, Severity::kPolicySkew,
+                       Severity::kStaleness, Severity::kTransport}) {
+      metrics_->gauge("cia_incident_open", {{"severity", severity_name(s)}})
+          .set(static_cast<double>(open_counts[s]));
+    }
+  }
+}
+
+void AlertPipeline::export_metrics(const Incident& closed_incident) {
+  if (!metrics_) return;
+  const telemetry::Labels labels{
+      {"severity", severity_name(closed_incident.severity)}};
+  metrics_->counter("cia_incident_closed_total", labels).inc();
+  metrics_
+      ->histogram("cia_incident_width_agents", labels,
+                  telemetry::count_buckets())
+      .observe(static_cast<double>(closed_incident.affected_agents));
+  metrics_
+      ->histogram("cia_incident_time_to_close_seconds", labels,
+                  telemetry::latency_seconds_buckets())
+      .observe(static_cast<double>(closed_incident.closed_at -
+                                   closed_incident.first_seen));
+}
+
+IncidentSnapshot AlertPipeline::snapshot() const {
+  IncidentSnapshot snapshot;
+  snapshot.incidents.reserve(incidents_.size());
+  for (const auto& [id, entry] : incidents_) {
+    snapshot.incidents.push_back(entry.incident);
+  }
+  return snapshot;
+}
+
+std::size_t AlertPipeline::open_incidents() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : incidents_) {
+    if (entry.incident.open) ++n;
+  }
+  return n;
+}
+
+}  // namespace cia::keylime::alert_pipeline

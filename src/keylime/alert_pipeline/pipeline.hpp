@@ -1,0 +1,140 @@
+// The alert pipeline: dedup with cooldown, fleet-level incident
+// aggregation, and severity triage between the verifier layer and the
+// operator.
+//
+// Driven entirely at round boundaries by whoever owns the pool's drive
+// mutex: shard workers compact raw alerts into per-key partials
+// (ShardStage, lock-free by ownership), the driver fold()s every shard's
+// partials, feeds the staleness scan, and calls end_round(now) once per
+// round. All state here is therefore single-threaded by construction.
+//
+// Dedup semantics (the alert_limiter idiom reworked per-key):
+//   * the first occurrence of a key always emits;
+//   * further occurrences within `cooldown` of the last emission are
+//     swallowed, incrementing a suppressed tally that is carried on the
+//     NEXT emitted alert for that key (and on the incident in the
+//     meantime) — suppression is visible, never silent;
+//   * a key quiet for `quiet_close` has its incident closed and its
+//     cooldown state dropped; a recurrence opens a fresh incident.
+//
+// Determinism: rounds are merged into an ordered map keyed by AlertKey
+// and processed in key order on one thread, incident ids are assigned in
+// that order, and every input (alert times, agent ids, staleness
+// counters) is partition-invariant under the pool's time-free fault
+// discipline — so the emitted alert stream, incident ids, and the
+// canonical snapshot JSON are byte-identical across shard counts and
+// mid-campaign resizes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "keylime/alert_pipeline/dedup.hpp"
+#include "keylime/alert_pipeline/incident.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cia::keylime::alert_pipeline {
+
+/// A deduplicated, operator-bound alert: one per key per cooldown
+/// window, carrying the suppressed-duplicate tally since the previous
+/// emission for that key.
+struct EmittedAlert {
+  AlertKey key;
+  /// Earliest raw alert of the batch that triggered this emission (for
+  /// staleness keys: a synthesized alert naming the first stale agent).
+  Alert representative;
+  /// Duplicates swallowed since the key's previous emission (including
+  /// the rest of the current round's batch).
+  std::uint64_t suppressed = 0;
+  std::uint64_t incident_id = 0;
+};
+
+class AlertPipeline {
+ public:
+  struct Config {
+    /// Minimum virtual time between two emitted alerts for one key.
+    SimTime cooldown = 5 * kMinute;
+    /// A key quiet for this long has its incident closed.
+    SimTime quiet_close = 15 * kMinute;
+    /// rounds_since_success at which an agent joins the fleet staleness
+    /// incident (the P2 "how long has this agent been unverified" alarm).
+    std::uint64_t staleness_after = 3;
+    /// Affected-agent ids sampled onto each incident.
+    std::size_t sample_agents = 5;
+  };
+
+  // Two constructors instead of a defaulted Config argument: a nested
+  // class's default member initializers are not usable until the
+  // enclosing class is complete.
+  AlertPipeline() = default;
+  explicit AlertPipeline(const Config& config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  /// Export cia_alert_* / cia_incident_* metrics to `metrics`; nullptr
+  /// turns it off. Updates happen in end_round() on the driver thread.
+  void use_telemetry(telemetry::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+
+  /// Merge one shard's per-round partials (order-independent).
+  void fold(std::map<AlertKey, KeyAggregate> batch);
+
+  /// Fold one stale agent into the fleet staleness key for this round.
+  void observe_staleness(const std::string& agent_id, std::uint64_t rounds,
+                         SimTime now);
+
+  /// Process everything folded since the last boundary at virtual time
+  /// `now`: run dedup, open/update incidents, close quiet ones.
+  void end_round(SimTime now);
+
+  /// Alerts that passed dedup, in emission order.
+  const std::vector<EmittedAlert>& emitted() const { return emitted_; }
+
+  /// Every incident opened so far, ordered by id (open and closed).
+  IncidentSnapshot snapshot() const;
+
+  /// Canonical JSON form of snapshot() — the byte-comparable incident
+  /// stream.
+  json::Value snapshot_json() const { return to_json(snapshot()); }
+
+  std::size_t open_incidents() const;
+
+  struct Stats {
+    std::uint64_t raw = 0;        // alerts folded in
+    std::uint64_t emitted = 0;    // passed dedup
+    std::uint64_t suppressed = 0; // swallowed by cooldown
+    std::uint64_t opened = 0;     // incidents opened
+    std::uint64_t closed = 0;     // incidents closed
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct KeyState {
+    SimTime last_emit = 0;
+    SimTime last_seen = 0;
+    std::uint64_t carry = 0;       // suppressed since last emission
+    std::uint64_t incident_id = 0;
+  };
+  struct IncidentEntry {
+    Incident incident;
+    std::set<std::string> agents;  // exact distinct-agent set
+  };
+
+  void export_metrics(const Incident& closed_incident);
+
+  Config config_;
+  std::map<AlertKey, KeyAggregate> round_;     // current round's merge
+  std::map<AlertKey, KeyState> keys_;          // live cooldown state
+  std::map<std::uint64_t, IncidentEntry> incidents_;  // by id
+  std::uint64_t next_incident_id_ = 1;
+  std::vector<EmittedAlert> emitted_;
+  Stats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace cia::keylime::alert_pipeline

@@ -64,6 +64,26 @@ void Verifier::add_notifier(RevocationNotifier* notifier) {
   notifiers_.push_back(notifier);
 }
 
+std::vector<RevocationEvent> Verifier::drain_revocations() {
+  std::vector<RevocationEvent> events;
+  events.swap(pending_revocations_);
+  for (const RevocationEvent& event : events) {
+    for (RevocationNotifier* n : notifiers_) n->on_revocation(event);
+  }
+  return events;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Verifier::stale_agents(
+    std::uint64_t min_rounds) const {
+  std::vector<std::pair<std::string, std::uint64_t>> stale;
+  for (const auto& [id, rec] : agents_) {
+    if (rec.rounds_since_success >= min_rounds) {
+      stale.emplace_back(id, rec.rounds_since_success);
+    }
+  }
+  return stale;
+}
+
 Bytes Verifier::next_nonce(const std::string& agent_id, AgentRecord& rec) {
   // Derived, not drawn from rng_: the stream depends only on
   // (nonce_seed, agent_id, counter), and the counter rides along in
@@ -236,6 +256,7 @@ void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
   alert.observed_hash_hex = observed_hash_hex;
   alert.detail = detail;
   alert.log_index = log_index;
+  alert.policy_revision = rec.index ? rec.index->revision() : 0;
   alerts_.push_back(alert);
   round.alerts.push_back(alert);
   log_line(LogLevel::kWarn, "verifier",
@@ -255,12 +276,19 @@ void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
     if (!path.empty()) tracer_->annotate("alert_path", path);
   }
   // Revocation fan-out fires on the healthy -> failed transition only.
+  // Under defer_revocations (the pool path: this code runs on a shard
+  // worker thread) the event is queued for the driver's round-boundary
+  // drain instead of invoking notifiers inline.
   if (rec.state != AgentState::kFailed) {
     RevocationEvent event;
     event.time = clock_->now();
     event.agent_id = agent_id;
     event.reason = strformat("%s %s", alert_type_name(type), path.c_str());
-    for (RevocationNotifier* n : notifiers_) n->on_revocation(event);
+    if (config_.defer_revocations) {
+      pending_revocations_.push_back(std::move(event));
+    } else {
+      for (RevocationNotifier* n : notifiers_) n->on_revocation(event);
+    }
     if (metrics_) {
       metrics_->counter("cia_verifier_revocations_total", {{"agent", agent_id}})
           .inc();

@@ -55,6 +55,11 @@ struct Alert {
   std::string observed_hash_hex;  // measured hash (policy alerts)
   std::string detail;
   std::size_t log_index = 0;  // global index of the offending entry
+  /// PolicyIndex revision the entry was appraised under (0 when the
+  /// agent had no indexed policy installed). Part of the alert-pipeline
+  /// dedup key: the same digest alerting under two policy revisions is
+  /// two distinct root causes.
+  std::uint64_t policy_revision = 0;
 };
 
 /// Result of one poll round against one agent.
@@ -79,6 +84,14 @@ struct VerifierConfig {
   /// verifier. A VerifierPool gives every shard the same nonce_seed,
   /// which is what makes audit chains invariant under resharding.
   std::optional<std::uint64_t> nonce_seed;
+
+  /// Queue revocation events instead of firing notifiers inline from
+  /// raise(). A VerifierPool sets this on every shard verifier: raise()
+  /// runs on shard worker threads, and a notifier registered on more
+  /// than one shard (or at the pool level) must only ever be invoked
+  /// from the driver thread at the round-boundary drain
+  /// (drain_revocations()). Solo verifiers keep inline delivery.
+  bool defer_revocations = false;
 };
 
 /// Golden measured-boot state (the "mb_refstate" of real Keylime): the
@@ -246,8 +259,22 @@ class Verifier : public PolicySink {
   Status restore(const json::Value& doc);
 
   /// Register a revocation notifier; fired on kAttesting -> kFailed
-  /// transitions.
+  /// transitions (inline from raise(), or at drain_revocations() when
+  /// defer_revocations is set).
   void add_notifier(RevocationNotifier* notifier);
+
+  /// Deliver every queued revocation event (defer_revocations mode) to
+  /// this verifier's notifiers and hand the batch to the caller for
+  /// pool-level fan-out. Must be called from the thread that owns the
+  /// verifier between rounds; a pool drains every shard at each round
+  /// boundary. No-op (empty result) when nothing is queued.
+  std::vector<RevocationEvent> drain_revocations();
+
+  /// Agents whose rounds_since_success is at least `min_rounds`, with
+  /// their counters, in agent-id order — the alert pipeline's staleness
+  /// scan (the P2 signal at fleet scope). O(agents), driver thread only.
+  std::vector<std::pair<std::string, std::uint64_t>> stale_agents(
+      std::uint64_t min_rounds) const;
 
   // ------------------------------------------- single-agent state slices
   // The unit of live migration: one agent's record in exactly the shape
@@ -336,6 +363,7 @@ class Verifier : public PolicySink {
   std::vector<Alert> alerts_;
   AuditLog audit_;
   std::vector<RevocationNotifier*> notifiers_;
+  std::vector<RevocationEvent> pending_revocations_;  // defer_revocations
   telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::Tracer* tracer_ = nullptr;
   crypto::Digest last_quote_digest_{};  // set by attest_once_impl

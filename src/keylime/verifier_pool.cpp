@@ -49,6 +49,10 @@ VerifierConfig shard_verifier_config(const VerifierPoolConfig& config,
                                      std::uint64_t pool_seed) {
   VerifierConfig v = config.verifier;
   if (!v.nonce_seed) v.nonce_seed = pool_seed ^ 0x90ceULL;
+  // raise() runs on shard worker threads; notifiers must only ever be
+  // invoked from the driver thread, so every shard queues its events
+  // for the pool's round-boundary drain.
+  v.defer_revocations = true;
   return v;
 }
 
@@ -223,10 +227,12 @@ std::uint64_t VerifierPool::policy_revision() const {
 }
 
 void VerifierPool::set_fleet_faults(const netsim::FaultProfile& faults) {
+  fleet_faults_ = faults;
   for (auto& shard : shards_) shard->network.set_faults(faults);
 }
 
 void VerifierPool::set_fleet_schedule(const netsim::FaultSchedule& schedule) {
+  fleet_schedule_ = schedule;
   for (auto& shard : shards_) shard->network.set_global_schedule(schedule);
 }
 
@@ -320,7 +326,9 @@ std::size_t VerifierPool::advance_to(SimTime t) {
       if (polled > 0) record_batch(shard, polled, started);
     }
     shard.clock.advance_to(t);
+    stage_alerts(shard);  // compact this round's raw alerts, still owner
   });
+  drain_round_boundary_locked();
   std::size_t total = 0;
   for (auto& shard : shards_) total += shard->polls;
   return total - before;
@@ -336,10 +344,81 @@ std::size_t VerifierPool::run_round() {
     const auto rounds = shard.verifier.attest_all();
     shard.polls += rounds.size();
     if (!rounds.empty()) record_batch(shard, rounds.size(), started);
+    stage_alerts(shard);  // compact this round's raw alerts, still owner
   });
+  drain_round_boundary_locked();
   std::size_t total = 0;
   for (auto& shard : shards_) total += shard->polls;
   return total - before;
+}
+
+void VerifierPool::stage_alerts(Shard& shard) {
+  if (!pipeline_) return;
+  const std::vector<Alert>& alerts = shard.verifier.alerts();
+  for (; shard.alerts_staged < alerts.size(); ++shard.alerts_staged) {
+    shard.alert_stage.ingest(alerts[shard.alerts_staged]);
+  }
+}
+
+void VerifierPool::drain_round_boundary_locked() {
+  // Deferred revocation fan-out. The workers have joined, so the driver
+  // owns every shard: shard-local notifiers fire inside
+  // drain_revocations() in shard order, then the merged stream goes to
+  // pool-level notifiers in an order that does not depend on the
+  // partition (event times and agent transitions are shard-count
+  // invariant; shard order is not).
+  std::vector<RevocationEvent> events;
+  for (auto& shard : shards_) {
+    std::vector<RevocationEvent> drained = shard->verifier.drain_revocations();
+    events.insert(events.end(), drained.begin(), drained.end());
+  }
+  if (!pool_notifiers_.empty() && !events.empty()) {
+    std::sort(events.begin(), events.end(),
+              [](const RevocationEvent& a, const RevocationEvent& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.agent_id != b.agent_id) return a.agent_id < b.agent_id;
+                return a.reason < b.reason;
+              });
+    for (RevocationNotifier* notifier : pool_notifiers_) {
+      for (const RevocationEvent& event : events) {
+        notifier->on_revocation(event);
+      }
+    }
+  }
+
+  if (!pipeline_) return;
+  SimTime now = 0;
+  for (auto& shard : shards_) {
+    stage_alerts(*shard);  // catch drains outside a round (e.g. tests)
+    now = std::max(now, shard->clock.now());
+  }
+  for (auto& shard : shards_) {
+    if (!shard->alert_stage.empty()) {
+      pipeline_->fold(shard->alert_stage.take());
+    }
+  }
+  if (const std::uint64_t after = pipeline_->config().staleness_after;
+      after > 0) {
+    for (auto& shard : shards_) {
+      for (const auto& [id, rounds] : shard->verifier.stale_agents(after)) {
+        pipeline_->observe_staleness(id, rounds, now);
+      }
+    }
+  }
+  pipeline_->end_round(now);
+}
+
+void VerifierPool::use_alert_pipeline(alert_pipeline::AlertPipeline* pipeline) {
+  pipeline_ = pipeline;
+  // Only alerts raised from here on feed the pipeline: pre-attachment
+  // history is the verifier's, not the operator stream's.
+  for (auto& shard : shards_) {
+    shard->alerts_staged = shard->verifier.alerts().size();
+  }
+}
+
+void VerifierPool::add_notifier(RevocationNotifier* notifier) {
+  pool_notifiers_.push_back(notifier);
 }
 
 void VerifierPool::wire_shard_telemetry(Shard& shard) {
@@ -445,6 +524,11 @@ Status VerifierPool::resize(std::size_t new_shards) {
       for (const crypto::PublicKey& ca : trusted_cas_) {
         shard->registrar.trust_manufacturer(ca);
       }
+      // Replay the fleet fault configuration: a shard born mid-chaos
+      // must drop and tamper exactly like its siblings, or migrated
+      // agents would sail through a storm untouched.
+      if (fleet_faults_) shard->network.set_faults(*fleet_faults_);
+      if (fleet_schedule_) shard->network.set_global_schedule(*fleet_schedule_);
       if (metrics_) wire_shard_telemetry(*shard);
       ports_.push_back(std::make_unique<MigrationPort>(this, s));
       handoff_net_->attach(handoff_address(s), ports_.back().get());

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/sim_clock.hpp"
+#include "keylime/alert_pipeline/pipeline.hpp"
 #include "keylime/migration.hpp"
 #include "keylime/policy_index.hpp"
 #include "keylime/registrar.hpp"
@@ -194,6 +195,25 @@ class VerifierPool : public PolicySink {
   /// component. nullptr turns it off.
   void use_telemetry(telemetry::MetricsRegistry* metrics);
 
+  // ------------------------------------------- alerting and revocation
+
+  /// Attach the alert pipeline (non-owning; nullptr detaches). From the
+  /// next round on, each shard worker compacts its verifier's new raw
+  /// alerts into the shard's lock-free stage, and the driver merges all
+  /// stages, runs the staleness scan, and closes the pipeline round at
+  /// every round boundary (advance_to / run_round return) — never on the
+  /// appraisal hot path. Alerts raised before attachment are not
+  /// replayed. Call between rounds only.
+  void use_alert_pipeline(alert_pipeline::AlertPipeline* pipeline);
+
+  /// Register a pool-level revocation notifier. Shard verifiers defer
+  /// their kAttesting -> kFailed events (raise() runs on shard worker
+  /// threads); the driver drains every shard at the round boundary and
+  /// fans the merged, deterministically ordered event stream out to
+  /// pool-level notifiers — one notifier instance may therefore serve
+  /// the whole fleet without any locking of its own.
+  void add_notifier(RevocationNotifier* notifier);
+
   // -------------------------------------------------------- inspection
   // Driver thread, between rounds.
 
@@ -254,6 +274,13 @@ class VerifierPool : public PolicySink {
     std::uint64_t exported_misses = 0;
     std::uint64_t exported_cache_hits = 0;    // cache stats already exported
     std::uint64_t exported_cache_misses = 0;
+
+    // Alert-pipeline stage: the worker folds alerts_[alerts_staged..)
+    // into per-key partials during its round; the driver takes the
+    // stage at the boundary. Same single-owner discipline as the rest
+    // of the shard, so no lock.
+    alert_pipeline::ShardStage alert_stage;
+    std::size_t alerts_staged = 0;
   };
 
   /// Receiving end of the handoff link: one port per shard, attached to
@@ -269,6 +296,17 @@ class VerifierPool : public PolicySink {
 
   void apply_pending(Shard& shard);
   void record_batch(Shard& shard, std::size_t batch_size, SimTime started);
+
+  /// Compact the shard verifier's not-yet-staged alerts into the shard's
+  /// pipeline stage (worker thread during a round, driver at drains).
+  void stage_alerts(Shard& shard);
+
+  /// The round-boundary drain, under drive_mu_ with all workers joined:
+  /// deliver deferred revocations (shard-local notifiers in shard order,
+  /// then the merged event stream to pool notifiers), then fold every
+  /// shard's alert stage plus the staleness scan into the pipeline and
+  /// close its round.
+  void drain_round_boundary_locked();
 
   /// Run `body(shard)` on one worker thread per shard and join.
   void parallel_shards(const std::function<void(Shard&)>& body);
@@ -322,11 +360,21 @@ class VerifierPool : public PolicySink {
   std::vector<std::unique_ptr<MigrationPort>> ports_;
 
   std::vector<crypto::PublicKey> trusted_cas_;  // replayed onto new shards
+  /// Last fleet-wide fault configuration, replayed onto shards created
+  /// by a later resize — a new shard's network must misbehave exactly
+  /// like the ones the migrated agents left.
+  std::optional<netsim::FaultProfile> fleet_faults_;
+  std::optional<netsim::FaultSchedule> fleet_schedule_;
 
   MigrationStats migration_;
   std::map<std::string, std::uint64_t> handoffs_;
 
   telemetry::MetricsRegistry* metrics_ = nullptr;
+
+  /// Non-owning; set between rounds, read by shard workers during a
+  /// round (the thread spawn/join is the happens-before edge).
+  alert_pipeline::AlertPipeline* pipeline_ = nullptr;
+  std::vector<RevocationNotifier*> pool_notifiers_;
 };
 
 }  // namespace cia::keylime

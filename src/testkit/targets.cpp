@@ -7,6 +7,7 @@
 #include "crypto/cert.hpp"
 #include "ima/ima.hpp"
 #include "keylime/agent.hpp"
+#include "keylime/alert_pipeline/incident.hpp"
 #include "keylime/messages.hpp"
 #include "keylime/migration.hpp"
 #include "keylime/registrar.hpp"
@@ -368,6 +369,97 @@ FuzzOutcome run_telemetry_snapshot(const Bytes& input) {
   return FuzzOutcome::accepted();
 }
 
+// --------------------------------------------------- incident_snapshot
+
+FuzzOutcome run_incident_snapshot(const Bytes& input) {
+  auto doc = json::parse(to_string(input));
+  if (!doc.ok()) return FuzzOutcome::rejected();
+  auto snap = keylime::alert_pipeline::snapshot_from_json(doc.value());
+  if (!snap.ok()) return FuzzOutcome::rejected();
+  const std::string canonical =
+      keylime::alert_pipeline::to_json(snap.value()).dump();
+  auto redoc = json::parse(canonical);
+  if (!redoc.ok()) {
+    return FuzzOutcome::violation("canonical snapshot is not JSON");
+  }
+  auto resnap = keylime::alert_pipeline::snapshot_from_json(redoc.value());
+  if (!resnap.ok()) {
+    return FuzzOutcome::violation("canonical snapshot failed to re-import: " +
+                                  resnap.error().to_string());
+  }
+  if (keylime::alert_pipeline::to_json(resnap.value()).dump() != canonical) {
+    return FuzzOutcome::violation("snapshot JSON is not a fixed point");
+  }
+  // No partial state: everything the decoder accepted must satisfy the
+  // incident invariants — a document that slipped past validation with,
+  // say, more suppressed alerts than alerts would poison triage math.
+  std::uint64_t prev_id = 0;
+  for (const auto& inc : resnap.value().incidents) {
+    if (inc.id <= prev_id) {
+      return FuzzOutcome::violation("incident ids not strictly increasing");
+    }
+    prev_id = inc.id;
+    if (inc.alerts == 0 || inc.suppressed >= inc.alerts ||
+        inc.first_seen > inc.last_seen ||
+        inc.sample_agents.size() > inc.affected_agents ||
+        (inc.open && inc.closed_at != 0)) {
+      return FuzzOutcome::violation("accepted incident violates invariants");
+    }
+  }
+  return FuzzOutcome::accepted();
+}
+
+Bytes gen_incident_snapshot(Rng& rng) {
+  static const char* kSeverities[] = {"integrity_violation", "policy_skew",
+                                      "staleness", "transport"};
+  static const char* kReasons[] = {"hash_mismatch", "not_in_policy",
+                                   "comms_failure", "staleness"};
+  json::Value doc;
+  doc.set("version", 1);
+  json::Value incidents{json::Array{}};
+  const std::size_t n = 1 + rng.uniform(4);
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    id += 1 + rng.uniform(3);
+    json::Value inc;
+    inc.set("id", static_cast<std::int64_t>(id));
+    inc.set("severity", kSeverities[rng.uniform(4)]);
+    inc.set("reason", kReasons[rng.uniform(4)]);
+    inc.set("subject", rng.chance(0.5)
+                           ? "/usr/bin/" + rng.ident(5) + "@sha256:" +
+                                 rng.ident(8)
+                           : std::string());
+    inc.set("policy_revision", static_cast<std::int64_t>(rng.uniform(10)));
+    const std::uint64_t first = rng.uniform(500);
+    const std::uint64_t last = first + rng.uniform(500);
+    inc.set("first_seen", static_cast<std::int64_t>(first));
+    inc.set("last_seen", static_cast<std::int64_t>(last));
+    const std::uint64_t alerts = 1 + rng.uniform(1000);
+    inc.set("alerts", static_cast<std::int64_t>(alerts));
+    inc.set("suppressed", static_cast<std::int64_t>(rng.uniform(alerts)));
+    const std::uint64_t sample = 1 + rng.uniform(5);
+    const std::uint64_t affected = sample + rng.uniform(2000);
+    inc.set("affected_agents", static_cast<std::int64_t>(affected));
+    json::Value ids{json::Array{}};
+    std::uint64_t agent = rng.uniform(10);
+    for (std::uint64_t s = 0; s < sample; ++s) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "agent-%04llu",
+                    static_cast<unsigned long long>(agent));
+      ids.push_back(std::string(buf));
+      agent += 1 + rng.uniform(3);
+    }
+    inc.set("sample_agents", std::move(ids));
+    const bool open = rng.chance(0.6);
+    inc.set("open", open);
+    inc.set("closed_at",
+            static_cast<std::int64_t>(open ? 0 : last + rng.uniform(900)));
+    incidents.push_back(std::move(inc));
+  }
+  doc.set("incidents", std::move(incidents));
+  return to_bytes(doc.dump());
+}
+
 // ------------------------------------------------------------ registry
 
 std::string sample_log_text(Rng& rng) {
@@ -471,6 +563,14 @@ std::vector<FuzzTarget> build_targets() {
       },
       {"metrics", "kind", "counter", "gauge", "histogram", "bounds", "counts",
        "count", "sum", "labels", "value", "min", "max", "version"}});
+  targets.push_back(FuzzTarget{
+      "incident_snapshot",
+      run_incident_snapshot,
+      gen_incident_snapshot,
+      {"version", "incidents", "severity", "integrity_violation",
+       "policy_skew", "staleness", "transport", "reason", "subject",
+       "policy_revision", "first_seen", "last_seen", "alerts", "suppressed",
+       "affected_agents", "sample_agents", "open", "closed_at", "\"id\""}});
   return targets;
 }
 

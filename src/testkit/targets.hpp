@@ -5,7 +5,9 @@
 //   runtime_policy      RuntimePolicy::parse/from_json
 //   wire                netsim wire decode of every Keylime message
 //   checkpoint          Verifier::restore from a checkpoint document
+//   migration           HandoffPayload::decode + transactional import
 //   telemetry_snapshot  telemetry::snapshot_from_json
+//   incident_snapshot   alert_pipeline::snapshot_from_json
 //
 // Each target enforces the same two contracts the paper's P1–P5 bugs
 // motivate: malformed input must come back as a clean Result error

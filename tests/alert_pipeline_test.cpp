@@ -1,0 +1,393 @@
+// Alert-pipeline battery: dedup/cooldown semantics, incident lifecycle,
+// snapshot codec, storm collapse, partition invariance of the incident
+// stream, and flap-aware revocation fan-out.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "experiments/pool_experiment.hpp"
+#include "keylime/alert_pipeline/pipeline.hpp"
+#include "keylime/notifier.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cia {
+namespace {
+
+using experiments::PoolFleet;
+using experiments::PoolFleetOptions;
+using experiments::run_alert_storm;
+using experiments::StormOptions;
+using experiments::StormReport;
+using keylime::Alert;
+using keylime::AlertType;
+using namespace keylime::alert_pipeline;
+
+Alert make_alert(SimTime time, const std::string& agent, AlertType type,
+                 const std::string& path = "", const std::string& hash = "",
+                 std::uint64_t revision = 0) {
+  Alert alert;
+  alert.time = time;
+  alert.agent_id = agent;
+  alert.type = type;
+  alert.path = path;
+  alert.observed_hash_hex = hash;
+  alert.policy_revision = revision;
+  return alert;
+}
+
+/// Feed one alert through a ShardStage into the pipeline, as the pool's
+/// round boundary would.
+void feed(AlertPipeline& pipeline, const Alert& alert) {
+  ShardStage stage;
+  stage.ingest(alert);
+  pipeline.fold(stage.take());
+}
+
+// ------------------------------------------------------------ keys
+
+TEST(AlertPipelineTest, ClassificationAndKeying) {
+  EXPECT_EQ(classify(AlertType::kHashMismatch), Severity::kIntegrityViolation);
+  EXPECT_EQ(classify(AlertType::kNotInPolicy), Severity::kPolicySkew);
+  EXPECT_EQ(classify(AlertType::kCommsFailure), Severity::kTransport);
+  EXPECT_EQ(classify(AlertType::kQuoteInvalid), Severity::kIntegrityViolation);
+
+  // Policy alerts key on (digest, path, revision) — the same digest under
+  // two revisions is two root causes; different agents are the same one.
+  const Alert a = make_alert(10, "agent-a", AlertType::kHashMismatch,
+                             "/usr/bin/zsh", "aa", 3);
+  const Alert b = make_alert(20, "agent-b", AlertType::kHashMismatch,
+                             "/usr/bin/zsh", "aa", 3);
+  const Alert c = make_alert(10, "agent-a", AlertType::kHashMismatch,
+                             "/usr/bin/zsh", "aa", 4);
+  EXPECT_FALSE(key_of(a) < key_of(b));
+  EXPECT_FALSE(key_of(b) < key_of(a));
+  EXPECT_TRUE(key_of(a) < key_of(c) || key_of(c) < key_of(a));
+
+  // Transport alerts are fleet-scoped: one key regardless of agent.
+  const Alert d = make_alert(10, "agent-a", AlertType::kCommsFailure);
+  const Alert e = make_alert(99, "agent-z", AlertType::kCommsFailure);
+  EXPECT_FALSE(key_of(d) < key_of(e));
+  EXPECT_FALSE(key_of(e) < key_of(d));
+}
+
+// ----------------------------------------------------------- dedup
+
+TEST(AlertPipelineTest, CooldownSuppressesAndCarriesTheTally) {
+  AlertPipeline::Config config;
+  config.cooldown = 100;
+  config.quiet_close = 10000;
+  config.staleness_after = 0;
+  AlertPipeline pipeline(config);
+
+  // Round 1: three agents trip the same digest — one emission, the
+  // other two suppressed onto the incident immediately.
+  ShardStage stage;
+  stage.ingest(make_alert(10, "agent-b", AlertType::kHashMismatch, "/b", "dd", 1));
+  stage.ingest(make_alert(10, "agent-a", AlertType::kHashMismatch, "/b", "dd", 1));
+  stage.ingest(make_alert(10, "agent-c", AlertType::kHashMismatch, "/b", "dd", 1));
+  pipeline.fold(stage.take());
+  pipeline.end_round(10);
+  ASSERT_EQ(pipeline.emitted().size(), 1u);
+  EXPECT_EQ(pipeline.emitted()[0].suppressed, 2u);
+  // The representative is the earliest alert under the total order —
+  // agent-a at the same timestamp.
+  EXPECT_EQ(pipeline.emitted()[0].representative.agent_id, "agent-a");
+
+  // Round 2 (inside the cooldown): swallowed entirely, carried.
+  feed(pipeline, make_alert(60, "agent-d", AlertType::kHashMismatch, "/b", "dd", 1));
+  pipeline.end_round(60);
+  ASSERT_EQ(pipeline.emitted().size(), 1u);
+
+  // Round 3 (cooldown expired): emits, carrying the swallowed round.
+  feed(pipeline, make_alert(120, "agent-e", AlertType::kHashMismatch, "/b", "dd", 1));
+  pipeline.end_round(120);
+  ASSERT_EQ(pipeline.emitted().size(), 2u);
+  EXPECT_EQ(pipeline.emitted()[1].suppressed, 1u);
+
+  // One incident the whole way: exact distinct-agent tracking.
+  const IncidentSnapshot snapshot = pipeline.snapshot();
+  ASSERT_EQ(snapshot.incidents.size(), 1u);
+  const Incident& incident = snapshot.incidents[0];
+  EXPECT_EQ(incident.alerts, 5u);
+  EXPECT_EQ(incident.suppressed, 3u);
+  EXPECT_EQ(incident.affected_agents, 5u);
+  EXPECT_EQ(incident.first_seen, 10);
+  EXPECT_EQ(incident.last_seen, 120);
+  EXPECT_TRUE(incident.open);
+  EXPECT_EQ(pipeline.stats().raw, 5u);
+  EXPECT_EQ(pipeline.stats().emitted, 2u);
+  EXPECT_EQ(pipeline.stats().suppressed, 3u);
+}
+
+TEST(AlertPipelineTest, DistinctKeysDoNotShareCooldown) {
+  AlertPipeline::Config config;
+  config.cooldown = 1000;
+  AlertPipeline pipeline(config);
+  feed(pipeline, make_alert(10, "a", AlertType::kHashMismatch, "/x", "11", 1));
+  feed(pipeline, make_alert(10, "a", AlertType::kHashMismatch, "/y", "22", 1));
+  feed(pipeline, make_alert(10, "a", AlertType::kCommsFailure));
+  pipeline.end_round(10);
+  EXPECT_EQ(pipeline.emitted().size(), 3u);
+  EXPECT_EQ(pipeline.snapshot().incidents.size(), 3u);
+}
+
+// -------------------------------------------------------- lifecycle
+
+TEST(AlertPipelineTest, QuietIncidentClosesAndRecurrenceOpensFresh) {
+  telemetry::MetricsRegistry metrics;
+  AlertPipeline::Config config;
+  config.cooldown = 50;
+  config.quiet_close = 200;
+  AlertPipeline pipeline(config);
+  pipeline.use_telemetry(&metrics);
+
+  feed(pipeline, make_alert(10, "a", AlertType::kNotInPolicy, "/evil", "ee", 2));
+  pipeline.end_round(10);
+  ASSERT_EQ(pipeline.open_incidents(), 1u);
+
+  // Quiet rounds tick by; at 10+200 the incident closes.
+  pipeline.end_round(100);
+  EXPECT_EQ(pipeline.open_incidents(), 1u);
+  pipeline.end_round(210);
+  EXPECT_EQ(pipeline.open_incidents(), 0u);
+  ASSERT_EQ(pipeline.snapshot().incidents.size(), 1u);
+  EXPECT_FALSE(pipeline.snapshot().incidents[0].open);
+  EXPECT_EQ(pipeline.snapshot().incidents[0].closed_at, 210);
+
+  // A recurrence is a NEW incident (fresh id) and emits immediately —
+  // closing dropped the cooldown state.
+  feed(pipeline, make_alert(300, "b", AlertType::kNotInPolicy, "/evil", "ee", 2));
+  pipeline.end_round(300);
+  EXPECT_EQ(pipeline.emitted().size(), 2u);
+  ASSERT_EQ(pipeline.snapshot().incidents.size(), 2u);
+  EXPECT_EQ(pipeline.snapshot().incidents[1].id, 2u);
+  EXPECT_TRUE(pipeline.snapshot().incidents[1].open);
+
+  // Close metrics made it out: one closed policy_skew incident with a
+  // width-1 histogram sample.
+  const std::string prom = [&] {
+    std::string text;
+    for (const auto& point : metrics.snapshot().points) {
+      text += point.name + "{";
+      for (const auto& [k, v] : point.labels) text += k + "=" + v + ",";
+      text += "}\n";
+    }
+    return text;
+  }();
+  EXPECT_NE(prom.find("cia_incident_closed_total{severity=policy_skew,}"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("cia_incident_width_agents"), std::string::npos);
+  EXPECT_NE(prom.find("cia_incident_time_to_close_seconds"),
+            std::string::npos);
+}
+
+TEST(AlertPipelineTest, StalenessObservationsAggregateIntoOneIncident) {
+  AlertPipeline::Config config;
+  config.cooldown = 50;
+  config.staleness_after = 3;
+  AlertPipeline pipeline(config);
+  pipeline.observe_staleness("agent-1", 3, 100);
+  pipeline.observe_staleness("agent-2", 5, 100);
+  pipeline.end_round(100);
+  const IncidentSnapshot snapshot = pipeline.snapshot();
+  ASSERT_EQ(snapshot.incidents.size(), 1u);
+  const Incident& incident = snapshot.incidents[0];
+  EXPECT_EQ(incident.severity, Severity::kStaleness);
+  EXPECT_EQ(incident.affected_agents, 2u);
+  ASSERT_EQ(pipeline.emitted().size(), 1u);
+  // The representative names the first stale agent and its lag.
+  EXPECT_EQ(pipeline.emitted()[0].representative.agent_id, "agent-1");
+  EXPECT_NE(pipeline.emitted()[0].representative.detail.find(
+                "rounds_since_success=3"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------ codec
+
+TEST(AlertPipelineTest, SnapshotJsonRoundTripsToAFixedPoint) {
+  AlertPipeline::Config config;
+  config.cooldown = 50;
+  config.quiet_close = 100;
+  AlertPipeline pipeline(config);
+  feed(pipeline, make_alert(10, "a", AlertType::kHashMismatch, "/x", "11", 7));
+  feed(pipeline, make_alert(10, "b", AlertType::kCommsFailure));
+  pipeline.observe_staleness("c", 9, 10);
+  pipeline.end_round(10);
+  pipeline.end_round(500);  // close everything
+
+  const std::string stream = pipeline.snapshot_json().dump();
+  auto doc = json::parse(stream);
+  ASSERT_TRUE(doc.ok());
+  auto decoded = snapshot_from_json(doc.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  ASSERT_EQ(decoded.value().incidents.size(), 3u);
+  EXPECT_EQ(to_json(decoded.value()).dump(), stream);
+}
+
+TEST(AlertPipelineTest, SnapshotDecoderRejectsCorruptDocuments) {
+  const char* kBad[] = {
+      R"({"incidents":[]})",  // missing version
+      R"({"version":2,"incidents":[]})",
+      R"({"version":1,"incidents":{}})",
+      // suppressed >= alerts
+      R"({"version":1,"incidents":[{"id":1,"severity":"transport","reason":"comms_failure","subject":"","policy_revision":0,"first_seen":1,"last_seen":2,"alerts":3,"suppressed":3,"affected_agents":1,"sample_agents":["a"],"open":true,"closed_at":0}]})",
+      // open incident with closed_at set
+      R"({"version":1,"incidents":[{"id":1,"severity":"transport","reason":"comms_failure","subject":"","policy_revision":0,"first_seen":1,"last_seen":2,"alerts":3,"suppressed":1,"affected_agents":1,"sample_agents":["a"],"open":true,"closed_at":9}]})",
+      // unsorted sample agents
+      R"({"version":1,"incidents":[{"id":1,"severity":"staleness","reason":"staleness","subject":"","policy_revision":0,"first_seen":1,"last_seen":2,"alerts":3,"suppressed":1,"affected_agents":2,"sample_agents":["b","a"],"open":true,"closed_at":0}]})",
+      // ids not strictly increasing
+      R"({"version":1,"incidents":[{"id":2,"severity":"transport","reason":"comms_failure","subject":"","policy_revision":0,"first_seen":1,"last_seen":2,"alerts":3,"suppressed":1,"affected_agents":1,"sample_agents":["a"],"open":true,"closed_at":0},{"id":2,"severity":"transport","reason":"comms_failure","subject":"","policy_revision":0,"first_seen":1,"last_seen":2,"alerts":3,"suppressed":1,"affected_agents":1,"sample_agents":["a"],"open":true,"closed_at":0}]})",
+      // fractional numeric field
+      R"({"version":1,"incidents":[{"id":1.5,"severity":"transport","reason":"comms_failure","subject":"","policy_revision":0,"first_seen":1,"last_seen":2,"alerts":3,"suppressed":1,"affected_agents":1,"sample_agents":["a"],"open":true,"closed_at":0}]})",
+  };
+  for (const char* text : kBad) {
+    auto doc = json::parse(text);
+    ASSERT_TRUE(doc.ok()) << text;
+    EXPECT_FALSE(snapshot_from_json(doc.value()).ok()) << text;
+  }
+}
+
+// ------------------------------------------------------------ storm
+
+TEST(AlertPipelineTest, StormCollapsesIntoRootCauseIncidents) {
+  StormOptions options;
+  options.agents = 160;
+  options.shards = 4;
+  options.storm_rounds = 6;
+  options.bad_paths = 2;
+  options.drop_rate = 0.02;
+  const StormReport report = run_alert_storm(options);
+  ASSERT_TRUE(report.status.ok());
+  // 2 corrupted digests + 1 staleness episode + 1 transport episode.
+  EXPECT_EQ(report.root_causes, 4u);
+  EXPECT_EQ(report.incidents_opened, report.root_causes);
+  // Every agent tripped over every corrupted digest.
+  EXPECT_EQ(report.max_affected, options.agents);
+  EXPECT_EQ(report.opened_by_severity.at("integrity_violation"), 2u);
+  EXPECT_EQ(report.opened_by_severity.at("staleness"), 1u);
+  EXPECT_EQ(report.opened_by_severity.at("transport"), 1u);
+  // Dedup accounting is lossless and actually bites.
+  EXPECT_EQ(report.emitted_alerts + report.suppressed, report.raw_alerts);
+  EXPECT_LT(report.emitted_alerts, report.raw_alerts / 10);
+
+  // Cross-check the widest incidents against the raw verifier alerts:
+  // the per-digest distinct-agent count must match exactly.
+  auto doc = json::parse(report.incident_stream);
+  ASSERT_TRUE(doc.ok());
+  auto snapshot = snapshot_from_json(doc.value());
+  ASSERT_TRUE(snapshot.ok());
+  std::size_t integrity_incidents = 0;
+  for (const Incident& incident : snapshot.value().incidents) {
+    if (incident.severity != Severity::kIntegrityViolation) continue;
+    ++integrity_incidents;
+    EXPECT_EQ(incident.affected_agents, options.agents) << incident.subject;
+    // agents x 1 alert for this digest, exactly one emitted.
+    EXPECT_EQ(incident.alerts, options.agents) << incident.subject;
+    EXPECT_EQ(incident.suppressed, incident.alerts - 1) << incident.subject;
+    EXPECT_EQ(incident.sample_agents.size(), 5u);
+  }
+  EXPECT_EQ(integrity_incidents, 2u);
+}
+
+TEST(AlertPipelineTest, IncidentStreamIsPartitionInvariant) {
+  StormOptions base;
+  base.agents = 80;
+  base.shards = 1;
+  base.storm_rounds = 5;
+  base.bad_paths = 1;
+  base.drop_rate = 0.03;
+  const StormReport one = run_alert_storm(base);
+  ASSERT_TRUE(one.status.ok());
+  ASSERT_FALSE(one.incident_stream.empty());
+
+  for (std::size_t shards : {2u, 5u}) {
+    StormOptions repartitioned = base;
+    repartitioned.shards = shards;
+    const StormReport other = run_alert_storm(repartitioned);
+    ASSERT_TRUE(other.status.ok());
+    EXPECT_EQ(other.incident_stream, one.incident_stream)
+        << shards << " shards";
+  }
+
+  // A mid-storm resize (2 -> 5 shards before round 2) migrates live
+  // agent state while incidents are open; the stream must not notice.
+  StormOptions resized = base;
+  resized.shards = 2;
+  resized.resize_round = 2;
+  resized.resize_shards = 5;
+  const StormReport migrated = run_alert_storm(resized);
+  ASSERT_TRUE(migrated.status.ok());
+  EXPECT_EQ(migrated.incident_stream, one.incident_stream);
+}
+
+// -------------------------------------------------------- revocations
+
+TEST(AlertPipelineTest, FlappingAgentFiresOneRevocationPerTransition) {
+  PoolFleetOptions options;
+  options.agents = 12;
+  options.shards = 2;
+  options.seed = 7;
+  options.verifier.continue_on_failure = true;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  keylime::CollectingNotifier collector;
+  fleet.pool().add_notifier(&collector);
+
+  AlertPipeline::Config config;
+  config.cooldown = 1;  // every round may emit; suppression still counts
+  config.staleness_after = 2;
+  AlertPipeline pipeline(config);
+  fleet.pool().use_alert_pipeline(&pipeline);
+
+  const std::string& victim = fleet.agent_ids()[0];
+
+  // Trip 1: unknown binary -> FAILED -> exactly one revocation.
+  fleet.exec_unknown(0);
+  fleet.pool().run_round();
+  ASSERT_EQ(fleet.pool().state(victim), keylime::AgentState::kFailed);
+  ASSERT_EQ(collector.events().size(), 1u);
+  EXPECT_EQ(collector.events()[0].agent_id, victim);
+
+  // Staying failed across rounds fires nothing further (transition
+  // semantics), even though staleness observations keep flowing.
+  for (std::uint64_t round = 1; round <= 3; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().run_round();
+  }
+  EXPECT_EQ(collector.events().size(), 1u);
+
+  // Recover, then trip again with a second unknown binary: a second
+  // transition, a second revocation.
+  ASSERT_TRUE(fleet.pool().resolve_failure(victim).ok());
+  fleet.pool().run_round();
+  ASSERT_EQ(fleet.pool().state(victim), keylime::AgentState::kAttesting);
+  oskernel::Machine& machine = *fleet.machine_for(victim);
+  const std::string path = "/usr/local/bin/dropper-flap";
+  ASSERT_TRUE(machine.fs().create_file(path, to_bytes("elf:flap"), true).ok());
+  (void)machine.exec(path);
+  fleet.pool().run_round();
+  ASSERT_EQ(fleet.pool().state(victim), keylime::AgentState::kFailed);
+  ASSERT_EQ(collector.events().size(), 2u);
+  EXPECT_EQ(collector.events()[1].agent_id, victim);
+
+  // The flap's duplicate pressure is visible, not silent: the staleness
+  // incident carries a suppressed tally from the failed stretch.
+  const IncidentSnapshot snapshot = pipeline.snapshot();
+  const Incident* staleness = nullptr;
+  for (const Incident& incident : snapshot.incidents) {
+    if (incident.severity == Severity::kStaleness) staleness = &incident;
+  }
+  ASSERT_NE(staleness, nullptr);
+  EXPECT_EQ(staleness->affected_agents, 1u);
+  EXPECT_GE(staleness->alerts, 2u);
+}
+
+}  // namespace
+}  // namespace cia

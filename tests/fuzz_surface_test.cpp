@@ -53,10 +53,11 @@ INSTANTIATE_TEST_SUITE_P(AllTargets, FuzzSurface,
                          ::testing::Values("ima_log_entry", "json",
                                            "runtime_policy", "wire",
                                            "checkpoint", "migration",
-                                           "telemetry_snapshot"));
+                                           "telemetry_snapshot",
+                                           "incident_snapshot"));
 
-TEST(FuzzSurfaceTest, RegistryCoversExactlyTheSevenSurfaces) {
-  ASSERT_EQ(all_targets().size(), 7u);
+TEST(FuzzSurfaceTest, RegistryCoversExactlyTheEightSurfaces) {
+  ASSERT_EQ(all_targets().size(), 8u);
   for (const FuzzTarget& target : all_targets()) {
     EXPECT_TRUE(target.run != nullptr) << target.name;
     EXPECT_TRUE(target.generate != nullptr) << target.name;

@@ -10,12 +10,15 @@
 // correctly synchronized.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <set>
 #include <thread>
+#include <tuple>
 
 #include "experiments/pool_experiment.hpp"
+#include "keylime/notifier.hpp"
 #include "telemetry/export.hpp"
 
 namespace cia {
@@ -137,6 +140,102 @@ TEST(PoolStressTest, RepartitionedChaosFleetKeepsVerdicts) {
   const auto two = run(2);
   const auto eight = run(8);
   EXPECT_EQ(two, eight);
+}
+
+TEST(PoolStressTest, RevocationFanOutDrainsAtRoundBoundaries) {
+  // CollectingNotifier (and any real webhook client) is not thread-safe,
+  // and shard workers raise FAILED transitions concurrently. The pool
+  // therefore defers every revocation and fans out on the driver thread
+  // at the round boundary — one notifier instance shared by all shard
+  // verifiers plus a pool-level subscriber must both survive a chaotic
+  // multi-shard run under TSan, and see the same events.
+  telemetry::MetricsRegistry metrics;
+  PoolFleetOptions options;
+  options.agents = 150;
+  options.shards = 6;
+  options.seed = 99;
+  options.binaries_per_machine = 10;
+  options.execs_per_round = 3;
+  options.metrics = &metrics;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok());
+  ASSERT_TRUE(fleet.push_fleet_policy().ok());
+
+  keylime::CollectingNotifier shard_side;  // one instance, every shard
+  for (std::size_t s = 0; s < fleet.pool().shard_count(); ++s) {
+    fleet.pool().verifier(s).add_notifier(&shard_side);
+  }
+  keylime::CollectingNotifier pool_side;
+  fleet.pool().add_notifier(&pool_side);
+  keylime::alert_pipeline::AlertPipeline pipeline;
+  pipeline.use_telemetry(&metrics);
+  fleet.pool().use_alert_pipeline(&pipeline);
+
+  // Guaranteed violations on a slice of the fleet, plus tamper chaos
+  // that fails whoever exhausts the retry budget.
+  for (std::size_t i = 0; i < options.agents; i += 10) fleet.exec_unknown(i);
+  netsim::FaultProfile chaos;
+  chaos.drop_rate = 0.05;
+  chaos.tamper_rate = 0.20;
+  fleet.pool().set_fleet_faults(chaos);
+
+  std::atomic<bool> done{false};
+  keylime::RuntimePolicy policy = fleet.fleet_policy();
+  std::thread pusher([&] {
+    for (std::size_t p = 0; p < 4; ++p) {
+      ASSERT_TRUE(fleet.pool().set_fleet_policy(policy).ok());
+      std::this_thread::yield();
+    }
+    done.store(true);
+  });
+  for (std::size_t round = 0; round < 3; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().run_round();
+  }
+  pusher.join();
+  ASSERT_TRUE(done.load());
+  fleet.pool().run_round();
+
+  // The planted droppers alone guarantee transitions.
+  ASSERT_GE(pool_side.events().size(), options.agents / 10);
+
+  // Exactly one revocation per FAILED transition, delivered to both
+  // subscription levels: same multiset, and one event per failed agent.
+  auto sorted = [](std::vector<keylime::RevocationEvent> events) {
+    std::sort(events.begin(), events.end(),
+              [](const keylime::RevocationEvent& a,
+                 const keylime::RevocationEvent& b) {
+                return std::tie(a.time, a.agent_id, a.reason) <
+                       std::tie(b.time, b.agent_id, b.reason);
+              });
+    return events;
+  };
+  const auto pool_events = sorted(pool_side.events());
+  const auto shard_events = sorted(shard_side.events());
+  ASSERT_EQ(pool_events.size(), shard_events.size());
+  for (std::size_t i = 0; i < pool_events.size(); ++i) {
+    EXPECT_EQ(pool_events[i].agent_id, shard_events[i].agent_id);
+    EXPECT_EQ(pool_events[i].time, shard_events[i].time);
+    EXPECT_EQ(pool_events[i].reason, shard_events[i].reason);
+  }
+  std::set<std::string> revoked;
+  for (const keylime::RevocationEvent& event : pool_events) {
+    EXPECT_TRUE(revoked.insert(event.agent_id).second)
+        << event.agent_id << " revoked twice without recovering";
+    EXPECT_EQ(fleet.pool().state(event.agent_id), keylime::AgentState::kFailed)
+        << event.agent_id;
+  }
+  std::size_t failed = 0;
+  for (const std::string& id : fleet.agent_ids()) {
+    if (fleet.pool().state(id) == keylime::AgentState::kFailed) ++failed;
+  }
+  EXPECT_EQ(pool_events.size(), failed);
+
+  // The pipeline rode the same boundaries: every alert the verifiers
+  // raised was folded (staleness observations come on top).
+  EXPECT_GE(pipeline.stats().raw, fleet.pool().alerts().size());
+  EXPECT_GT(pipeline.snapshot().incidents.size(), 0u);
+  EXPECT_FALSE(telemetry::to_prometheus(metrics.snapshot()).empty());
 }
 
 TEST(PoolStressTest, ResizeDrainsInFlightRoundsBeforeTouchingTopology) {

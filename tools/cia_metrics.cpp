@@ -15,6 +15,14 @@
 //       Line-oriented diff of two saved metrics snapshots: one line per
 //       added/removed/changed series, counters and gauges with deltas.
 //       Exit status 1 when the snapshots differ.
+//
+//   cia_metrics incidents [--agents N] [--shards N] [--rounds N] [--seed S]
+//                         [--format table|json|prom] [--out PREFIX]
+//       Drive the alert-storm scenario with the alert pipeline attached
+//       and render the resulting incidents: a human triage table
+//       (severity, subject, affected-agent width, suppressed tallies),
+//       the canonical incident-snapshot JSON (PREFIX.incidents.json),
+//       or the cia_alert_* / cia_incident_* Prometheus series.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +31,8 @@
 
 #include "common/log.hpp"
 #include "experiments/chaos_experiment.hpp"
+#include "experiments/pool_experiment.hpp"
+#include "keylime/alert_pipeline/incident.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -38,7 +48,12 @@ struct Args {
   int days = 5;
   std::uint64_t seed = 42;
   std::string format = "prom";
+  bool format_set = false;  // explicit --format (commands differ in default)
   std::string out;  // path prefix; empty = stdout
+  // incidents view
+  std::size_t agents = 0;  // 0 = storm default
+  std::size_t shards = 0;
+  std::size_t rounds = 0;
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -63,8 +78,15 @@ Args parse_args(int argc, char** argv, int first) {
           static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--format") {
       args.format = next();
+      args.format_set = true;
     } else if (arg == "--out") {
       args.out = next();
+    } else if (arg == "--agents") {
+      args.agents = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--shards") {
+      args.shards = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--rounds") {
+      args.rounds = static_cast<std::size_t>(std::atoi(next()));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -149,6 +171,93 @@ int cmd_run(const Args& args) {
   return ok ? 0 : 1;
 }
 
+/// Human triage table over an incident snapshot: one row per incident,
+/// widest (most affected agents) first within each severity.
+std::string render_incident_table(
+    const keylime::alert_pipeline::IncidentSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "  ID  SEVERITY             STATE   AGENTS  ALERTS  SUPP.  "
+         "FIRST..LAST  SUBJECT\n";
+  for (const keylime::alert_pipeline::Incident& inc : snapshot.incidents) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%4llu  %-19s  %-6s  %6llu  %6llu  %5llu  %5llu..%-5llu  %s",
+                  static_cast<unsigned long long>(inc.id),
+                  severity_name(inc.severity), inc.open ? "open" : "closed",
+                  static_cast<unsigned long long>(inc.affected_agents),
+                  static_cast<unsigned long long>(inc.alerts),
+                  static_cast<unsigned long long>(inc.suppressed),
+                  static_cast<unsigned long long>(inc.first_seen),
+                  static_cast<unsigned long long>(inc.last_seen),
+                  inc.subject.empty() ? inc.reason.c_str()
+                                      : inc.subject.c_str());
+    out << line << "\n";
+    out << "      sample agents:";
+    for (const std::string& id : inc.sample_agents) out << " " << id;
+    out << "\n";
+  }
+  return out.str();
+}
+
+int cmd_incidents(Args args) {
+  if (!args.format_set) args.format = "table";
+  if (args.format != "table" && args.format != "json" &&
+      args.format != "prom") {
+    std::fprintf(stderr, "bad --format %s (table|json|prom)\n",
+                 args.format.c_str());
+    return 2;
+  }
+
+  telemetry::MetricsRegistry registry;
+  StormOptions options;
+  options.seed = args.seed;
+  if (args.agents > 0) options.agents = args.agents;
+  if (args.shards > 0) options.shards = args.shards;
+  if (args.rounds > 0) options.storm_rounds = args.rounds;
+  options.metrics = &registry;
+  const StormReport report = run_alert_storm(options);
+  if (!report.status.ok()) {
+    std::fprintf(stderr, "storm scenario failed: %s\n",
+                 report.status.error().message.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "storm: %zu agents, %llu raw alerts -> %llu emitted, "
+               "%llu incidents (%llu open)\n",
+               report.agents,
+               static_cast<unsigned long long>(report.raw_alerts),
+               static_cast<unsigned long long>(report.emitted_alerts),
+               static_cast<unsigned long long>(report.incidents_opened),
+               static_cast<unsigned long long>(report.incidents_open));
+
+  if (args.format == "prom") {
+    return emit(args, ".prom", telemetry::to_prometheus(registry.snapshot()))
+               ? 0
+               : 1;
+  }
+  if (args.format == "json") {
+    return emit(args, ".incidents.json", report.incident_stream + "\n") ? 0
+                                                                        : 1;
+  }
+  // The table view re-decodes the canonical stream — doubling as an
+  // end-to-end exercise of the snapshot codec on every invocation.
+  auto doc = json::parse(report.incident_stream);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "incident stream unparsable: %s\n",
+                 doc.error().to_string().c_str());
+    return 1;
+  }
+  auto snapshot = keylime::alert_pipeline::snapshot_from_json(doc.value());
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "incident stream invalid: %s\n",
+                 snapshot.error().to_string().c_str());
+    return 1;
+  }
+  return emit(args, ".incidents.txt", render_incident_table(snapshot.value()))
+             ? 0
+             : 1;
+}
+
 Result<telemetry::MetricsSnapshot> load_snapshot(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return err(Errc::kNotFound, "cannot read " + path);
@@ -194,10 +303,16 @@ int main(int argc, char** argv) {
   if (cmd == "diff" && argc == 4) {
     return cmd_diff(argv[2], argv[3]);
   }
+  if (cmd == "incidents") {
+    return cmd_incidents(parse_args(argc, argv, 2));
+  }
   std::fprintf(stderr,
                "usage: cia_metrics run [--scenario NAME] [--nodes N] "
                "[--days D] [--seed S] [--format prom|json|trace|all] "
                "[--out PREFIX]\n"
-               "       cia_metrics diff BEFORE.json AFTER.json\n");
+               "       cia_metrics diff BEFORE.json AFTER.json\n"
+               "       cia_metrics incidents [--agents N] [--shards N] "
+               "[--rounds N] [--seed S] [--format table|json|prom] "
+               "[--out PREFIX]\n");
   return 2;
 }

@@ -32,6 +32,16 @@
 //       churn campaign with no resizes and diffs every agent's audit
 //       sub-chain digest — any drift is a resharding bug and exits
 //       nonzero, which is what the CI churn-smoke job pins.
+//
+//   cia_sim fleet --storm [--agents N] [--shards N] [--rounds N]
+//                 [--bad-paths N] [--drop-rate P] [--seed S]
+//       Alert-storm chaos scenario: a bad policy revision is bulk-pushed
+//       to the whole fleet while per-link drop faults add transport
+//       chaos. Self-checks pin the alert pipeline's contract — the storm
+//       must collapse into O(root causes) incidents with exact
+//       affected-agent counts, and the canonical incident stream must be
+//       byte-identical across a different shard count AND a mid-storm
+//       resize. Exits nonzero on any violation (the CI storm-smoke job).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,7 +68,10 @@ struct Args {
   int shards = 0;  // 0 = single-verifier fleet path
   int agents = 0;  // 0 = the chosen path's default
   bool churn = false;
-  int rounds = 0;  // 0 = churn default
+  bool storm = false;
+  int rounds = 0;  // 0 = churn/storm default
+  int bad_paths = 0;     // 0 = storm default
+  double drop_rate = -1;  // <0 = storm default
   std::vector<std::pair<std::size_t, std::size_t>> resize_at;  // round:shards
 };
 
@@ -87,8 +100,14 @@ Args parse_args(int argc, char** argv, int first) {
       args.agents = std::atoi(next());
     } else if (arg == "--churn") {
       args.churn = true;
+    } else if (arg == "--storm") {
+      args.storm = true;
     } else if (arg == "--rounds") {
       args.rounds = std::atoi(next());
+    } else if (arg == "--bad-paths") {
+      args.bad_paths = std::atoi(next());
+    } else if (arg == "--drop-rate") {
+      args.drop_rate = std::atof(next());
     } else if (arg == "--resize-at") {
       const std::string spec = next();
       const std::size_t colon = spec.find(':');
@@ -292,7 +311,97 @@ int cmd_churn(const Args& args) {
   return drift == 0 ? 0 : 1;
 }
 
+int cmd_storm(const Args& args) {
+  StormOptions options;
+  options.seed = args.seed;
+  if (args.agents > 0) options.agents = static_cast<std::size_t>(args.agents);
+  if (args.shards > 0) options.shards = static_cast<std::size_t>(args.shards);
+  if (args.rounds > 0) options.storm_rounds = static_cast<std::size_t>(args.rounds);
+  if (args.bad_paths > 0) options.bad_paths = static_cast<std::size_t>(args.bad_paths);
+  if (args.drop_rate >= 0) options.drop_rate = args.drop_rate;
+
+  const StormReport report = run_alert_storm(options);
+  if (!report.status.ok()) {
+    std::fprintf(stderr, "storm scenario failed: %s\n",
+                 report.status.error().message.c_str());
+    return 1;
+  }
+  std::printf("storm: %zu agents, %zu shards, %zu rounds, %zu root causes\n"
+              "alerts: %llu raw -> %llu emitted (%llu suppressed)\n"
+              "incidents: %llu opened (%llu still open), widest spans "
+              "%llu agents\n",
+              report.agents, options.shards, options.storm_rounds,
+              report.root_causes,
+              static_cast<unsigned long long>(report.raw_alerts),
+              static_cast<unsigned long long>(report.emitted_alerts),
+              static_cast<unsigned long long>(report.suppressed),
+              static_cast<unsigned long long>(report.incidents_opened),
+              static_cast<unsigned long long>(report.incidents_open),
+              static_cast<unsigned long long>(report.max_affected));
+  for (const auto& [severity, count] : report.opened_by_severity) {
+    std::printf("  %s: %llu\n", severity.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  int failures = 0;
+  // Contract 1: the storm collapses into O(root causes) incidents, not
+  // O(agents x alerts). Every manufactured cause opens exactly one.
+  if (report.incidents_opened != report.root_causes) {
+    std::fprintf(stderr,
+                 "FAIL: %llu incidents opened for %zu root causes\n",
+                 static_cast<unsigned long long>(report.incidents_opened),
+                 report.root_causes);
+    ++failures;
+  }
+  // Contract 2: the widest incident counted the whole fleet (every agent
+  // trips over every corrupted digest — drops only delay the alert).
+  if (report.max_affected != report.agents) {
+    std::fprintf(stderr, "FAIL: widest incident spans %llu of %zu agents\n",
+                 static_cast<unsigned long long>(report.max_affected),
+                 report.agents);
+    ++failures;
+  }
+  // Contract 3: dedup is lossless accounting — every raw alert either
+  // reached the operator or is counted in a suppressed tally.
+  if (report.emitted_alerts + report.suppressed != report.raw_alerts ||
+      report.emitted_alerts >= report.raw_alerts) {
+    std::fprintf(stderr, "FAIL: dedup accounting off (raw=%llu emitted=%llu "
+                 "suppressed=%llu)\n",
+                 static_cast<unsigned long long>(report.raw_alerts),
+                 static_cast<unsigned long long>(report.emitted_alerts),
+                 static_cast<unsigned long long>(report.suppressed));
+    ++failures;
+  }
+  // Contract 4: partition invariance — a different shard count must
+  // produce a byte-identical canonical incident stream.
+  StormOptions repartitioned = options;
+  repartitioned.shards = options.shards == 3 ? 8 : 3;
+  const StormReport other = run_alert_storm(repartitioned);
+  if (!other.status.ok() || other.incident_stream != report.incident_stream) {
+    std::fprintf(stderr, "FAIL: incident stream drifts across shard counts "
+                 "(%zu vs %zu shards)\n",
+                 options.shards, repartitioned.shards);
+    ++failures;
+  }
+  // Contract 5: a mid-storm resize must not disturb the stream either.
+  StormOptions resized = options;
+  resized.resize_round = options.storm_rounds / 2;
+  resized.resize_shards = options.shards == 3 ? 8 : 3;
+  const StormReport migrated = run_alert_storm(resized);
+  if (!migrated.status.ok() ||
+      migrated.incident_stream != report.incident_stream) {
+    std::fprintf(stderr, "FAIL: incident stream drifts across a mid-storm "
+                 "resize to %zu shards\n", resized.resize_shards);
+    ++failures;
+  }
+  std::printf("self-checks: %s (incident stream %zu bytes, stable across "
+              "repartition and mid-storm resize)\n",
+              failures == 0 ? "ok" : "FAILED", report.incident_stream.size());
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_fleet(const Args& args) {
+  if (args.storm) return cmd_storm(args);
   if (args.churn) return cmd_churn(args);
   if (args.shards > 0) return cmd_pool_fleet(args);
   FleetRunOptions options;
@@ -320,7 +429,9 @@ void usage() {
                "  table1 [--seed S]\n"
                "  fleet [--days N] [--seed S] [--shards N] [--agents N]\n"
                "  fleet --churn [--rounds N] [--resize-at R:S]... [--seed S]"
-               " [--shards N] [--agents N]\n");
+               " [--shards N] [--agents N]\n"
+               "  fleet --storm [--agents N] [--shards N] [--rounds N]"
+               " [--bad-paths N] [--drop-rate P] [--seed S]\n");
 }
 
 }  // namespace
