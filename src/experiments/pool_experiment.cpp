@@ -238,6 +238,8 @@ StormReport run_alert_storm(const StormOptions& options) {
   // single silent round. Retries stay off — a retry's backoff advances
   // the shard clock by an amount that depends on shard co-residency,
   // which would break the incident stream's partition invariance.
+  fleet_options.binaries_per_machine = options.binaries_per_machine;
+  fleet_options.execs_per_round = options.execs_per_round;
   fleet_options.verifier.continue_on_failure = true;
   fleet_options.scheduler.poll_interval = options.round_period;
   fleet_options.retrying_transport = false;

@@ -180,6 +180,9 @@ struct StormOptions {
   /// the slice first-executed in the first storm round, so the whole
   /// fleet trips over them simultaneously.
   std::size_t bad_paths = 2;
+  /// Fleet image shape (PoolFleetOptions passthrough).
+  std::size_t binaries_per_machine = 24;
+  std::size_t execs_per_round = 4;
   /// Per-link drop probability (time-free transport chaos).
   double drop_rate = 0.02;
   /// Mid-storm resize: before storm round `resize_round` (0-based),

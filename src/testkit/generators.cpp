@@ -249,4 +249,150 @@ Bytes gen_wire_frame(Rng& rng) {
   }
 }
 
+json::Value gen_scenario(Rng& rng) {
+  static const char* kKinds[] = {"chaos", "churn", "storm", "fleet", "attacks"};
+  static const char* kScripts[] = {"wan-loss",         "agent-crash-loop",
+                                   "verifier-restart", "registrar-outage",
+                                   "mirror-partition", "flaky-window"};
+  const std::string kind = kKinds[rng.uniform(5)];
+
+  json::Value doc;
+  doc.set("version", 1);
+  doc.set("name", rng.ident(3 + rng.uniform(10)));
+  doc.set("kind", kind);
+  if (rng.chance(0.8)) {
+    doc.set("seed", static_cast<std::int64_t>(rng.uniform(1u << 20)));
+  }
+
+  // Fleet-backed kinds share the topology and fault sections. Optional
+  // fields are emitted probabilistically so defaulting paths stay hot.
+  const bool fleet_backed = kind == "storm" || kind == "churn" || kind == "fleet";
+  const std::int64_t binaries = 2 + static_cast<std::int64_t>(rng.uniform(40));
+  if (fleet_backed && rng.chance(0.8)) {
+    json::Value fleet;
+    fleet.set("agents", static_cast<std::int64_t>(1 + rng.uniform(200)));
+    fleet.set("shards", static_cast<std::int64_t>(1 + rng.uniform(12)));
+    if (rng.chance(0.5)) fleet.set("binaries_per_machine", binaries);
+    if (rng.chance(0.5)) {
+      fleet.set("execs_per_round", static_cast<std::int64_t>(1 + rng.uniform(8)));
+    }
+    // Storm forbids an explicit `true` (retry backoff breaks the
+    // partition-invariance contract); the other kinds take either.
+    if (kind == "storm") {
+      if (rng.chance(0.5)) fleet.set("retrying_transport", false);
+    } else if (rng.chance(0.5)) {
+      fleet.set("retrying_transport", rng.chance(0.5));
+    }
+    doc.set("fleet", std::move(fleet));
+  }
+  if (fleet_backed && rng.chance(0.6)) {
+    // Start from an explicit empty object: every field below is
+    // optional, and a fieldless `faults` must still be `{}`, not null.
+    json::Value faults{json::Object{}};
+    if (rng.chance(0.7)) faults.set("drop_rate", rng.uniform01() * 0.3);
+    // Storm allows drop faults only; elsewhere timeouts need a latency.
+    if (kind != "storm" && rng.chance(0.4)) {
+      faults.set("timeout_rate", 0.01 + rng.uniform01() * 0.2);
+      faults.set("timeout_latency", static_cast<std::int64_t>(1 + rng.uniform(120)));
+    }
+    if (kind != "storm" && rng.chance(0.3)) {
+      faults.set("duplicate_rate", rng.uniform01() * 0.2);
+    }
+    doc.set("faults", std::move(faults));
+  }
+
+  if (kind == "storm") {
+    const std::int64_t storm_rounds = 1 + static_cast<std::int64_t>(rng.uniform(12));
+    json::Value storm;
+    if (rng.chance(0.7)) {
+      storm.set("warmup_rounds", static_cast<std::int64_t>(rng.uniform(4)));
+    }
+    storm.set("storm_rounds", storm_rounds);
+    if (rng.chance(0.6)) {
+      storm.set("round_period", static_cast<std::int64_t>(10 + rng.uniform(600)));
+    }
+    // Stay under binaries_per_machine whether or not fleet emitted it:
+    // the default (24) is >= the generated range's floor of 2.
+    storm.set("bad_paths", static_cast<std::int64_t>(
+                               1 + rng.uniform(static_cast<std::uint64_t>(
+                                       std::min<std::int64_t>(binaries, 4)))));
+    if (rng.chance(0.3)) {
+      json::Value pipeline;
+      pipeline.set("cooldown", static_cast<std::int64_t>(60 + rng.uniform(600)));
+      pipeline.set("quiet_close",
+                   static_cast<std::int64_t>(300 + rng.uniform(1800)));
+      if (rng.chance(0.5)) {
+        pipeline.set("staleness_after", static_cast<std::int64_t>(rng.uniform(6)));
+      }
+      storm.set("pipeline", std::move(pipeline));
+    }
+    doc.set("storm", std::move(storm));
+    if (rng.chance(0.4)) {
+      json::Value resizes{json::Array{}};
+      json::Value ev;
+      ev.set("round", static_cast<std::int64_t>(
+                          rng.uniform(static_cast<std::uint64_t>(storm_rounds))));
+      ev.set("shards", static_cast<std::int64_t>(1 + rng.uniform(12)));
+      resizes.push_back(std::move(ev));
+      doc.set("resize_at", std::move(resizes));
+    }
+  } else if (kind == "churn") {
+    const std::int64_t rounds = 1 + static_cast<std::int64_t>(rng.uniform(16));
+    json::Value churn;
+    churn.set("rounds", rounds);
+    if (rng.chance(0.5)) {
+      churn.set("round_period", static_cast<std::int64_t>(30 + rng.uniform(600)));
+    }
+    if (rng.chance(0.5)) {
+      churn.set("max_joins_per_round", static_cast<std::int64_t>(rng.uniform(4)));
+    }
+    if (rng.chance(0.5)) {
+      churn.set("max_leaves_per_round", static_cast<std::int64_t>(rng.uniform(4)));
+    }
+    if (rng.chance(0.5)) {
+      churn.set("max_reboots_per_round", static_cast<std::int64_t>(rng.uniform(4)));
+    }
+    doc.set("churn", std::move(churn));
+    if (rng.chance(0.5)) {
+      json::Value resizes{json::Array{}};
+      const std::size_t n = 1 + rng.uniform(2);
+      for (std::size_t i = 0; i < n; ++i) {
+        json::Value ev;
+        ev.set("round", static_cast<std::int64_t>(
+                            rng.uniform(static_cast<std::uint64_t>(rounds))));
+        ev.set("shards", static_cast<std::int64_t>(1 + rng.uniform(12)));
+        resizes.push_back(std::move(ev));
+      }
+      doc.set("resize_at", std::move(resizes));
+    }
+  } else if (kind == "chaos") {
+    json::Value chaos;
+    chaos.set("script", kScripts[rng.uniform(6)]);
+    if (rng.chance(0.5)) {
+      chaos.set("nodes", static_cast<std::int64_t>(1 + rng.uniform(16)));
+    }
+    if (rng.chance(0.5)) {
+      chaos.set("days", static_cast<std::int64_t>(2 + rng.uniform(30)));
+    }
+    if (rng.chance(0.3)) chaos.set("retrying_transport", rng.chance(0.5));
+    if (rng.chance(0.3)) {
+      chaos.set("base_packages", static_cast<std::int64_t>(1 + rng.uniform(500)));
+    }
+    if (rng.chance(0.3)) {
+      chaos.set("provision_extra", static_cast<std::int64_t>(rng.uniform(100)));
+    }
+    doc.set("chaos", std::move(chaos));
+  } else if (kind == "fleet") {
+    json::Value fleet_run;
+    fleet_run.set("rounds", static_cast<std::int64_t>(1 + rng.uniform(20)));
+    doc.set("fleet_run", std::move(fleet_run));
+  } else {  // attacks
+    json::Value attacks;
+    attacks.set("archive_packages",
+                static_cast<std::int64_t>(50 + rng.uniform(2000)));
+    doc.set("attacks", std::move(attacks));
+  }
+  return doc;
+}
+
 }  // namespace cia::testkit

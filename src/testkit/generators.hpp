@@ -57,4 +57,12 @@ Bytes gen_wire_frame(Rng& rng);
 /// and `entries` generated log entries.
 keylime::QuoteResponse gen_quote_response(Rng& rng, std::size_t entries);
 
+/// A valid-by-construction scenario document (see docs/SCENARIOS.md):
+/// a random kind with in-range section values that satisfy every
+/// cross-reference rule, so mutation starts from deep inside the schema
+/// instead of bouncing off `$.version`. Kept as plain JSON so testkit
+/// does not depend on the scenario library; the fuzz target owns the
+/// strict-decode side.
+json::Value gen_scenario(Rng& rng);
+
 }  // namespace cia::testkit

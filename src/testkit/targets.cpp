@@ -15,6 +15,7 @@
 #include "keylime/verifier.hpp"
 #include "netsim/network.hpp"
 #include "oskernel/machine.hpp"
+#include "scenario/scenario.hpp"
 #include "telemetry/export.hpp"
 #include "testkit/generators.hpp"
 
@@ -460,6 +461,28 @@ Bytes gen_incident_snapshot(Rng& rng) {
   return to_bytes(doc.dump());
 }
 
+// ------------------------------------------------------------ scenario
+
+FuzzOutcome run_scenario_file(const Bytes& input) {
+  auto parsed = scenario::Scenario::parse(to_string(input));
+  if (!parsed.ok()) return FuzzOutcome::rejected();
+  // A validated scenario must survive the canonical round trip: to_json
+  // emits every effective knob (defaults included), so a re-parse that
+  // fails or drifts means the validator and the serializer disagree
+  // about what configuration a file pins — exactly the "ran a different
+  // experiment than was written" bug the differential suite exists for.
+  const std::string canonical = parsed.value().to_json().dump();
+  auto reparsed = scenario::Scenario::parse(canonical);
+  if (!reparsed.ok()) {
+    return FuzzOutcome::violation("canonical form failed to re-validate: " +
+                                  reparsed.error().to_string());
+  }
+  if (reparsed.value().to_json().dump() != canonical) {
+    return FuzzOutcome::violation("to_json/parse is not a fixed point");
+  }
+  return FuzzOutcome::accepted();
+}
+
 // ------------------------------------------------------------ registry
 
 std::string sample_log_text(Rng& rng) {
@@ -571,6 +594,15 @@ std::vector<FuzzTarget> build_targets() {
        "policy_skew", "staleness", "transport", "reason", "subject",
        "policy_revision", "first_seen", "last_seen", "alerts", "suppressed",
        "affected_agents", "sample_agents", "open", "closed_at", "\"id\""}});
+  targets.push_back(FuzzTarget{
+      "scenario",
+      run_scenario_file,
+      [](Rng& rng) { return to_bytes(gen_scenario(rng).dump()); },
+      {"version", "name", "kind", "seed", "chaos", "churn", "storm", "fleet",
+       "fleet_run", "attacks", "faults", "resize_at", "round", "shards",
+       "agents", "drop_rate", "timeout_rate", "timeout_latency", "script",
+       "rounds", "storm_rounds", "bad_paths", "pipeline", "retrying_transport",
+       "wan-loss", "flaky-window", "archive_packages"}});
   return targets;
 }
 

@@ -8,6 +8,7 @@
 //   migration           HandoffPayload::decode + transactional import
 //   telemetry_snapshot  telemetry::snapshot_from_json
 //   incident_snapshot   alert_pipeline::snapshot_from_json
+//   scenario            scenario::Scenario::parse   (campaign files)
 //
 // Each target enforces the same two contracts the paper's P1–P5 bugs
 // motivate: malformed input must come back as a clean Result error

@@ -54,10 +54,10 @@ INSTANTIATE_TEST_SUITE_P(AllTargets, FuzzSurface,
                                            "runtime_policy", "wire",
                                            "checkpoint", "migration",
                                            "telemetry_snapshot",
-                                           "incident_snapshot"));
+                                           "incident_snapshot", "scenario"));
 
-TEST(FuzzSurfaceTest, RegistryCoversExactlyTheEightSurfaces) {
-  ASSERT_EQ(all_targets().size(), 8u);
+TEST(FuzzSurfaceTest, RegistryCoversExactlyTheNineSurfaces) {
+  ASSERT_EQ(all_targets().size(), 9u);
   for (const FuzzTarget& target : all_targets()) {
     EXPECT_TRUE(target.run != nullptr) << target.name;
     EXPECT_TRUE(target.generate != nullptr) << target.name;

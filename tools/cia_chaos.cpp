@@ -1,23 +1,29 @@
 // cia_chaos — scripted chaos-scenario runner for the attestation fleet.
 //
 //   cia_chaos list
-//       Print the available scenario names.
+//       Print the available fault-script names.
 //
-//   cia_chaos run [--scenario NAME|all] [--nodes N] [--days D] [--seed S]
-//                 [--no-retry]
+//   cia_chaos run [--scenario NAME|all|FILE] [--nodes N] [--days D]
+//                 [--seed S] [--no-retry]
 //       Drive the fleet through one (or every) named fault script and
 //       print the resilience verdicts: transport-attributable false
-//       positives (must be 0), liveness/recovery window, retry and fault
-//       counters, update-window deferrals, and audit-chain integrity.
+//       positives (must be 0), liveness/recovery window, update-window
+//       deferrals, and audit-chain integrity. --scenario also accepts a
+//       scenario FILE (any *.json path; see docs/SCENARIOS.md) — script
+//       names and files resolve through the same scenario::run_scenario
+//       path, which owns the PASS predicate this tool used to hand-code.
 //       Exit status is non-zero if any invariant fails.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <sys/stat.h>
 #include <vector>
 
 #include "common/log.hpp"
 #include "experiments/chaos_experiment.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -29,6 +35,7 @@ struct Args {
   std::size_t nodes = 6;
   int days = 5;
   std::uint64_t seed = 42;
+  bool seed_set = false;
   bool retrying = true;
 };
 
@@ -52,6 +59,7 @@ Args parse_args(int argc, char** argv, int first) {
     } else if (arg == "--seed") {
       args.seed =
           static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+      args.seed_set = true;
     } else if (arg == "--no-retry") {
       args.retrying = false;
     } else {
@@ -62,56 +70,55 @@ Args parse_args(int argc, char** argv, int first) {
   return args;
 }
 
-bool run_one(const std::string& scenario, const Args& args) {
-  ChaosOptions options;
-  options.scenario = scenario;
-  options.nodes = args.nodes;
-  options.days = args.days;
-  options.seed = args.seed;
-  options.retrying_transport = args.retrying;
-  options.archive.base_package_count = 200;
-  const ChaosReport r = run_chaos_experiment(options);
-  if (!r.valid) {
-    std::printf("%-17s  INVALID (unknown scenario or rig setup failed)\n",
-                scenario.c_str());
+/// Does --scenario name a scenario FILE rather than a fault script?
+bool looks_like_file(const std::string& value) {
+  if (value.size() > 5 && value.compare(value.size() - 5, 5, ".json") == 0) {
+    return true;
+  }
+  struct stat st;
+  return ::stat(value.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+bool run_scenario_and_report(const cia::scenario::Scenario& sc) {
+  cia::scenario::RunOptions options;
+  auto run = cia::scenario::run_scenario(sc, options);
+  if (!run.ok()) {
+    std::printf("%-22s  INVALID (%s)\n", sc.name.c_str(),
+                run.error().message.c_str());
     return false;
   }
-  const bool ok =
-      r.transport_false_positives == 0 && r.liveness_ok && r.audit_chain_ok &&
-      (!r.violation_injected || r.genuine_detected) && r.checkpoint_roundtrip_ok;
-  std::printf("%-17s  %s\n", r.scenario.c_str(), ok ? "PASS" : "FAIL");
-  std::printf("  false positives     %zu (transport-attributable)\n",
-              r.transport_false_positives);
-  if (r.violation_injected) {
-    std::printf("  injected violation  %s (%zu policy alerts on victim)\n",
-                r.genuine_detected ? "detected" : "MISSED", r.genuine_alerts);
+  const cia::scenario::ScenarioOutcome& outcome = run.value();
+  std::printf("%-22s  %s\n", outcome.name.c_str(),
+              outcome.ok() ? "PASS" : "FAIL");
+  for (const cia::scenario::SelfCheck& check : outcome.checks) {
+    std::printf("  %-34s %s  %s\n", check.name.c_str(),
+                check.ok ? "ok  " : "FAIL", check.detail.c_str());
   }
-  std::printf("  comms alerts        %zu transient\n", r.comms_alerts);
-  std::printf("  liveness            %s, slowest recovery %llds after fault\n",
-              r.liveness_ok ? "ok" : "VIOLATED",
-              static_cast<long long>(r.recovery_time));
-  std::printf("  transport           %llu retries, %llu recovered, "
-              "%llu giveups, %llu breaker opens\n",
-              static_cast<unsigned long long>(r.retries),
-              static_cast<unsigned long long>(r.recovered_calls),
-              static_cast<unsigned long long>(r.giveups),
-              static_cast<unsigned long long>(r.breaker_opens));
-  std::printf("  network faults      %llu drops, %llu duplicates, "
-              "%llu timeouts\n",
-              static_cast<unsigned long long>(r.drops),
-              static_cast<unsigned long long>(r.duplicates),
-              static_cast<unsigned long long>(r.timeouts));
-  std::printf("  update windows      %d run, %llu deferred\n", r.updates_run,
-              static_cast<unsigned long long>(r.updates_deferred));
-  std::printf("  audit chain         %s (%zu records%s)\n",
-              r.audit_chain_ok ? "intact" : "BROKEN", r.audit_records,
-              r.verifier_restarted
-                  ? (r.checkpoint_roundtrip_ok
-                         ? ", spans verifier restart, checkpoint byte-identical"
-                         : ", CHECKPOINT DIVERGED")
-                  : "");
   std::printf("\n");
-  return ok;
+  return outcome.ok();
+}
+
+bool run_script(const std::string& script, const Args& args) {
+  cia::scenario::Scenario sc;
+  sc.name = script;
+  sc.kind = cia::scenario::Kind::kChaos;
+  sc.seed = args.seed;
+  sc.chaos.script = script;
+  sc.chaos.nodes = static_cast<std::int64_t>(args.nodes);
+  sc.chaos.days = args.days;
+  sc.chaos.retrying_transport = args.retrying;
+  return run_scenario_and_report(sc);
+}
+
+bool run_file(const std::string& path, const Args& args) {
+  auto loaded = cia::scenario::load_file(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
+    return false;
+  }
+  cia::scenario::Scenario sc = loaded.value();
+  if (args.seed_set) sc.seed = args.seed;
+  return run_scenario_and_report(sc);
 }
 
 }  // namespace
@@ -125,19 +132,21 @@ int main(int argc, char** argv) {
   }
   if (cmd != "run") {
     std::fprintf(stderr,
-                 "usage: cia_chaos [list|run] [--scenario NAME|all] "
+                 "usage: cia_chaos [list|run] [--scenario NAME|all|FILE] "
                  "[--nodes N] [--days D] [--seed S] [--no-retry]\n");
     return 2;
   }
   const Args args = parse_args(argc, argv, 2);
-  std::vector<std::string> to_run;
-  if (args.scenario == "all") {
-    to_run = chaos_scenarios();
-  } else {
-    to_run.push_back(args.scenario);
-  }
   bool all_ok = true;
-  for (const auto& scenario : to_run) all_ok &= run_one(scenario, args);
+  if (looks_like_file(args.scenario)) {
+    all_ok = run_file(args.scenario, args);
+  } else if (args.scenario == "all") {
+    for (const auto& scenario : chaos_scenarios()) {
+      all_ok &= run_script(scenario, args);
+    }
+  } else {
+    all_ok = run_script(args.scenario, args);
+  }
   std::printf("overall: %s\n", all_ok ? "PASS" : "FAIL");
   return all_ok ? 0 : 1;
 }

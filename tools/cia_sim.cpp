@@ -42,6 +42,13 @@
 //       affected-agent counts, and the canonical incident stream must be
 //       byte-identical across a different shard count AND a mid-storm
 //       resize. Exits nonzero on any violation (the CI storm-smoke job).
+//
+//   cia_sim fleet --scenario FILE [--seed S]
+//       Run a schema-validated scenario file (docs/SCENARIOS.md) with
+//       self-checks on. The flag modes above are sugar: they build the
+//       equivalent scenario and run it through the same
+//       scenario::run_scenario path, so CLI and file runs share one
+//       config-resolution path.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +61,8 @@
 #include "experiments/fleet_experiment.hpp"
 #include "experiments/pool_experiment.hpp"
 #include "experiments/report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -63,6 +72,7 @@ using namespace cia::experiments;
 struct Args {
   int days = -1;
   std::uint64_t seed = 42;
+  bool seed_set = false;
   std::string period = "daily";
   bool inject_race = false;
   int shards = 0;  // 0 = single-verifier fleet path
@@ -73,6 +83,7 @@ struct Args {
   int bad_paths = 0;     // 0 = storm default
   double drop_rate = -1;  // <0 = storm default
   std::vector<std::pair<std::size_t, std::size_t>> resize_at;  // round:shards
+  std::string scenario_file;  // --scenario FILE: run a scenario document
 };
 
 Args parse_args(int argc, char** argv, int first) {
@@ -90,6 +101,9 @@ Args parse_args(int argc, char** argv, int first) {
       args.days = std::atoi(next());
     } else if (arg == "--seed") {
       args.seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
+      args.seed_set = true;
+    } else if (arg == "--scenario") {
+      args.scenario_file = next();
     } else if (arg == "--period") {
       args.period = next();
     } else if (arg == "--inject-race") {
@@ -181,226 +195,118 @@ int cmd_table1(const Args& args) {
   return 0;
 }
 
+/// Shared execution path for every pool-backed fleet mode: the CLI and
+/// `--scenario FILE` runs both resolve to a scenario::Scenario and go
+/// through the same runner (the hand-coded storm/churn/pool harness
+/// logic that used to live here now lives in scenario::run_scenario).
+int run_scenario_and_report(const cia::scenario::Scenario& sc,
+                            bool self_check) {
+  cia::scenario::RunOptions run_options;
+  run_options.self_check = self_check;
+  auto run = cia::scenario::run_scenario(sc, run_options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n",
+                 run.error().message.c_str());
+    return 1;
+  }
+  const cia::scenario::ScenarioOutcome& outcome = run.value();
+  std::printf("scenario: %s (kind %s, seed %llu)\n", outcome.name.c_str(),
+              cia::scenario::kind_name(outcome.kind),
+              static_cast<unsigned long long>(outcome.seed));
+  // A compact stat line from the canonical report document.
+  auto stat = [&](const char* key) -> long long {
+    const json::Value* v = outcome.report.find(key);
+    return v && v->is_number() ? static_cast<long long>(v->as_int()) : -1;
+  };
+  switch (outcome.kind) {
+    case cia::scenario::Kind::kStorm:
+      std::printf("storm: %lld agents, %lld root causes, alerts %lld raw -> "
+                  "%lld emitted (%lld suppressed), %lld incidents opened, "
+                  "widest spans %lld agents\n",
+                  stat("agents"), stat("root_causes"), stat("raw_alerts"),
+                  stat("emitted_alerts"), stat("suppressed"),
+                  stat("incidents_opened"), stat("max_affected"));
+      break;
+    case cia::scenario::Kind::kChurn:
+      std::printf("churn: %lld rounds, %lld joins, %lld leaves, %lld reboots, "
+                  "%lld polls, %lld alerts\n",
+                  stat("rounds"), stat("joins"), stat("leaves"),
+                  stat("reboots"), stat("polls"), stat("alerts"));
+      break;
+    case cia::scenario::Kind::kFleet:
+      std::printf("pool fleet: %lld agents across %lld shards, %lld rounds, "
+                  "%lld polls, %lld alerts, %lld failed agents\n",
+                  stat("agents"), stat("shards"), stat("rounds"),
+                  stat("polls"), stat("alerts"), stat("failed_agents"));
+      break;
+    default:
+      break;
+  }
+  for (const cia::scenario::SelfCheck& check : outcome.checks) {
+    std::printf("  %-36s %s  %s\n", check.name.c_str(),
+                check.ok ? "ok  " : "FAIL", check.detail.c_str());
+  }
+  std::printf("self-checks: %s\n", outcome.ok() ? "ok" : "FAILED");
+  return outcome.ok() ? 0 : 1;
+}
+
+int cmd_scenario_file(const Args& args) {
+  auto loaded = cia::scenario::load_file(args.scenario_file);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.error().message.c_str());
+    return 2;
+  }
+  cia::scenario::Scenario sc = loaded.value();
+  if (args.seed_set) sc.seed = args.seed;
+  return run_scenario_and_report(sc, /*self_check=*/true);
+}
+
 int cmd_pool_fleet(const Args& args) {
-  PoolFleetOptions options;
-  options.seed = args.seed;
-  options.shards = static_cast<std::size_t>(args.shards);
-  if (args.agents > 0) options.agents = static_cast<std::size_t>(args.agents);
-  PoolFleet fleet(options);
-  if (!fleet.init_status().ok()) {
-    std::fprintf(stderr, "pool fleet init failed: %s\n",
-                 fleet.init_status().error().message.c_str());
-    return 1;
-  }
-  if (Status s = fleet.push_fleet_policy(); !s.ok()) {
-    std::fprintf(stderr, "policy push failed: %s\n", s.error().message.c_str());
-    return 1;
-  }
-
-  const int days = args.days > 0 ? args.days : 7;
-  std::size_t polls = 0;
-  for (int day = 0; day < days; ++day) {
-    fleet.run_workload_round(static_cast<std::uint64_t>(day));
-    polls += fleet.pool().run_round();
-  }
-
-  std::size_t failed = 0;
-  for (const std::string& id : fleet.agent_ids()) {
-    if (fleet.pool().state(id) == keylime::AgentState::kFailed) ++failed;
-  }
-  const auto stats = fleet.pool().stats();
-  std::printf("pool fleet: %zu agents across %zu shards, %d days\n"
-              "polls: %zu (batches: %llu)\n"
-              "index: %llu hits, %llu misses (revision %llu, %llu swaps)\n"
-              "alerts: %zu, failed agents: %zu\n",
-              fleet.agent_ids().size(), fleet.pool().shard_count(), days,
-              polls, static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(stats.index_hits),
-              static_cast<unsigned long long>(stats.index_misses),
-              static_cast<unsigned long long>(fleet.pool().policy_revision()),
-              static_cast<unsigned long long>(stats.policy_swaps),
-              fleet.pool().alerts().size(), failed);
-  for (std::size_t s = 0; s < fleet.pool().shard_count(); ++s) {
-    std::printf("  shard %zu: %zu agents\n", s,
-                fleet.pool().verifier(s).agent_ids().size());
-  }
-  return 0;
+  cia::scenario::Scenario sc;
+  sc.name = "cli-pool-fleet";
+  sc.kind = cia::scenario::Kind::kFleet;
+  sc.seed = args.seed;
+  sc.fleet.shards = args.shards;
+  if (args.agents > 0) sc.fleet.agents = args.agents;
+  if (args.days > 0) sc.fleet_run.rounds = args.days;
+  return run_scenario_and_report(sc, /*self_check=*/false);
 }
 
 int cmd_churn(const Args& args) {
-  PoolFleetOptions fleet_options;
-  fleet_options.seed = args.seed;
-  fleet_options.shards =
-      args.shards > 0 ? static_cast<std::size_t>(args.shards) : 4;
-  if (args.agents > 0) {
-    fleet_options.agents = static_cast<std::size_t>(args.agents);
+  cia::scenario::Scenario sc;
+  sc.name = "cli-churn";
+  sc.kind = cia::scenario::Kind::kChurn;
+  sc.seed = args.seed;
+  if (args.shards > 0) sc.fleet.shards = args.shards;
+  if (args.agents > 0) sc.fleet.agents = args.agents;
+  if (args.rounds > 0) sc.churn.rounds = args.rounds;
+  for (const auto& [round, shards] : args.resize_at) {
+    sc.resize_at.push_back({static_cast<std::int64_t>(round),
+                            static_cast<std::int64_t>(shards)});
   }
-
-  ChurnCampaignOptions campaign;
-  campaign.seed = args.seed ^ 0xc4u;
-  if (args.rounds > 0) campaign.rounds = static_cast<std::size_t>(args.rounds);
-  campaign.resize_at = args.resize_at;
-
-  auto run = [&](const std::vector<std::pair<std::size_t, std::size_t>>&
-                     resizes,
-                 ChurnReport* report_out)
-      -> std::map<std::string, std::string> {
-    PoolFleet fleet(fleet_options);
-    if (!fleet.init_status().ok()) {
-      std::fprintf(stderr, "pool fleet init failed: %s\n",
-                   fleet.init_status().error().message.c_str());
-      std::exit(1);
-    }
-    if (Status s = fleet.push_fleet_policy(); !s.ok()) {
-      std::fprintf(stderr, "policy push failed: %s\n",
-                   s.error().message.c_str());
-      std::exit(1);
-    }
-    ChurnCampaignOptions options = campaign;
-    options.resize_at = resizes;
-    const ChurnReport report = run_churn_campaign(fleet, options);
-    if (!report.status.ok()) {
-      std::fprintf(stderr, "churn campaign failed: %s\n",
-                   report.status.error().message.c_str());
-      std::exit(1);
-    }
-    if (report_out) *report_out = report;
-    if (report_out) {
-      const auto& ms = fleet.pool().migration_stats();
-      std::printf(
-          "churn: %zu rounds, %zu joins, %zu leaves, %zu reboots, %zu polls\n"
-          "resharding: %llu resizes, %llu migrations ok, %llu fallback, "
-          "%llu failed, %llu retries\n"
-          "active shards: %zu (allocated: %zu), alerts: %zu\n",
-          options.rounds, report.joins, report.leaves, report.reboots,
-          report.polls, static_cast<unsigned long long>(ms.resizes),
-          static_cast<unsigned long long>(ms.ok),
-          static_cast<unsigned long long>(ms.fallback),
-          static_cast<unsigned long long>(ms.failed),
-          static_cast<unsigned long long>(ms.retries),
-          fleet.pool().active_shard_count(), fleet.pool().shard_count(),
-          fleet.pool().alerts().size());
-    }
-    return per_agent_chain_digests(fleet.pool());
-  };
-
-  ChurnReport report;
-  const auto resized = run(campaign.resize_at, &report);
-  // The drift self-check: the identical campaign with no resizes must
-  // produce byte-identical per-agent audit sub-chains.
-  const auto baseline = run({}, nullptr);
-  std::size_t drift = 0;
-  for (const auto& [id, digest] : baseline) {
-    auto it = resized.find(id);
-    if (it == resized.end()) {
-      std::fprintf(stderr, "DRIFT: %s missing from resized run\n", id.c_str());
-      ++drift;
-    } else if (it->second != digest) {
-      std::fprintf(stderr, "DRIFT: %s chain digest mismatch\n", id.c_str());
-      ++drift;
-    }
-  }
-  for (const auto& [id, digest] : resized) {
-    if (!baseline.count(id)) {
-      std::fprintf(stderr, "DRIFT: %s missing from baseline run\n", id.c_str());
-      ++drift;
-    }
-  }
-  std::printf("verdict drift vs no-resize baseline: %zu agents (%zu checked)\n",
-              drift, baseline.size());
-  return drift == 0 ? 0 : 1;
+  // self_check runs the no-resize baseline diff the CI churn-smoke job
+  // pins (zero per-agent chain drift across resize schedules).
+  return run_scenario_and_report(sc, /*self_check=*/true);
 }
 
 int cmd_storm(const Args& args) {
-  StormOptions options;
-  options.seed = args.seed;
-  if (args.agents > 0) options.agents = static_cast<std::size_t>(args.agents);
-  if (args.shards > 0) options.shards = static_cast<std::size_t>(args.shards);
-  if (args.rounds > 0) options.storm_rounds = static_cast<std::size_t>(args.rounds);
-  if (args.bad_paths > 0) options.bad_paths = static_cast<std::size_t>(args.bad_paths);
-  if (args.drop_rate >= 0) options.drop_rate = args.drop_rate;
-
-  const StormReport report = run_alert_storm(options);
-  if (!report.status.ok()) {
-    std::fprintf(stderr, "storm scenario failed: %s\n",
-                 report.status.error().message.c_str());
-    return 1;
-  }
-  std::printf("storm: %zu agents, %zu shards, %zu rounds, %zu root causes\n"
-              "alerts: %llu raw -> %llu emitted (%llu suppressed)\n"
-              "incidents: %llu opened (%llu still open), widest spans "
-              "%llu agents\n",
-              report.agents, options.shards, options.storm_rounds,
-              report.root_causes,
-              static_cast<unsigned long long>(report.raw_alerts),
-              static_cast<unsigned long long>(report.emitted_alerts),
-              static_cast<unsigned long long>(report.suppressed),
-              static_cast<unsigned long long>(report.incidents_opened),
-              static_cast<unsigned long long>(report.incidents_open),
-              static_cast<unsigned long long>(report.max_affected));
-  for (const auto& [severity, count] : report.opened_by_severity) {
-    std::printf("  %s: %llu\n", severity.c_str(),
-                static_cast<unsigned long long>(count));
-  }
-
-  int failures = 0;
-  // Contract 1: the storm collapses into O(root causes) incidents, not
-  // O(agents x alerts). Every manufactured cause opens exactly one.
-  if (report.incidents_opened != report.root_causes) {
-    std::fprintf(stderr,
-                 "FAIL: %llu incidents opened for %zu root causes\n",
-                 static_cast<unsigned long long>(report.incidents_opened),
-                 report.root_causes);
-    ++failures;
-  }
-  // Contract 2: the widest incident counted the whole fleet (every agent
-  // trips over every corrupted digest — drops only delay the alert).
-  if (report.max_affected != report.agents) {
-    std::fprintf(stderr, "FAIL: widest incident spans %llu of %zu agents\n",
-                 static_cast<unsigned long long>(report.max_affected),
-                 report.agents);
-    ++failures;
-  }
-  // Contract 3: dedup is lossless accounting — every raw alert either
-  // reached the operator or is counted in a suppressed tally.
-  if (report.emitted_alerts + report.suppressed != report.raw_alerts ||
-      report.emitted_alerts >= report.raw_alerts) {
-    std::fprintf(stderr, "FAIL: dedup accounting off (raw=%llu emitted=%llu "
-                 "suppressed=%llu)\n",
-                 static_cast<unsigned long long>(report.raw_alerts),
-                 static_cast<unsigned long long>(report.emitted_alerts),
-                 static_cast<unsigned long long>(report.suppressed));
-    ++failures;
-  }
-  // Contract 4: partition invariance — a different shard count must
-  // produce a byte-identical canonical incident stream.
-  StormOptions repartitioned = options;
-  repartitioned.shards = options.shards == 3 ? 8 : 3;
-  const StormReport other = run_alert_storm(repartitioned);
-  if (!other.status.ok() || other.incident_stream != report.incident_stream) {
-    std::fprintf(stderr, "FAIL: incident stream drifts across shard counts "
-                 "(%zu vs %zu shards)\n",
-                 options.shards, repartitioned.shards);
-    ++failures;
-  }
-  // Contract 5: a mid-storm resize must not disturb the stream either.
-  StormOptions resized = options;
-  resized.resize_round = options.storm_rounds / 2;
-  resized.resize_shards = options.shards == 3 ? 8 : 3;
-  const StormReport migrated = run_alert_storm(resized);
-  if (!migrated.status.ok() ||
-      migrated.incident_stream != report.incident_stream) {
-    std::fprintf(stderr, "FAIL: incident stream drifts across a mid-storm "
-                 "resize to %zu shards\n", resized.resize_shards);
-    ++failures;
-  }
-  std::printf("self-checks: %s (incident stream %zu bytes, stable across "
-              "repartition and mid-storm resize)\n",
-              failures == 0 ? "ok" : "FAILED", report.incident_stream.size());
-  return failures == 0 ? 0 : 1;
+  cia::scenario::Scenario sc;
+  sc.name = "cli-storm";
+  sc.kind = cia::scenario::Kind::kStorm;
+  sc.seed = args.seed;
+  sc.fleet.agents = args.agents > 0 ? args.agents : 1000;
+  sc.fleet.shards = args.shards > 0 ? args.shards : 8;
+  sc.fleet.retrying_transport = false;
+  if (args.rounds > 0) sc.storm.storm_rounds = args.rounds;
+  if (args.bad_paths > 0) sc.storm.bad_paths = args.bad_paths;
+  sc.faults.drop_rate = args.drop_rate >= 0 ? args.drop_rate : 0.02;
+  // self_check runs the repartition + mid-storm-resize stream-invariance
+  // contracts the CI storm-smoke job pins.
+  return run_scenario_and_report(sc, /*self_check=*/true);
 }
 
 int cmd_fleet(const Args& args) {
+  if (!args.scenario_file.empty()) return cmd_scenario_file(args);
   if (args.storm) return cmd_storm(args);
   if (args.churn) return cmd_churn(args);
   if (args.shards > 0) return cmd_pool_fleet(args);
@@ -431,7 +337,9 @@ void usage() {
                "  fleet --churn [--rounds N] [--resize-at R:S]... [--seed S]"
                " [--shards N] [--agents N]\n"
                "  fleet --storm [--agents N] [--shards N] [--rounds N]"
-               " [--bad-paths N] [--drop-rate P] [--seed S]\n");
+               " [--bad-paths N] [--drop-rate P] [--seed S]\n"
+               "  fleet --scenario FILE [--seed S]   (run a scenario file;"
+               " see docs/SCENARIOS.md)\n");
 }
 
 }  // namespace
