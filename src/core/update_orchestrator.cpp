@@ -18,6 +18,44 @@ std::vector<std::string> node_ids(const std::vector<ManagedNode>& nodes) {
 
 }  // namespace
 
+Status UpdateOrchestrator::push_policy() {
+  namespace ps = keylime::policy_store;
+  const std::string digest = ps::policy_digest(policy_);
+  const std::string base = store_.head();
+
+  // First push (or a cycle that changed nothing): full revision. A
+  // no-change push still goes through the sink — push_revision's digest
+  // cache makes it free (the index is reused, not rebuilt).
+  if (base.empty() || base == digest) {
+    store_.put(policy_);
+    if (metrics_) {
+      metrics_
+          ->counter("cia_policy_delta_pushes_total", {{"mode", "full"}})
+          .inc();
+    }
+    return sink_->push_revision(node_ids(nodes_), policy_, digest, nullptr);
+  }
+
+  // Consecutive cycle: mint the delta against the stored head, record
+  // both ends, and push digest-bound — the sink patches its index in
+  // place instead of re-indexing the 300k-entry base (§III-C's daily
+  // shape).
+  const keylime::RuntimePolicy* base_policy = store_.get(base);
+  const ps::PolicyDelta delta = ps::diff(*base_policy, policy_);
+  store_.put(policy_);
+  store_.put_delta(delta);
+  if (metrics_) {
+    metrics_
+        ->counter("cia_policy_delta_pushes_total", {{"mode", "delta"}})
+        .inc();
+    metrics_->gauge("cia_policy_delta_entries")
+        .set(static_cast<double>(delta.entry_count()));
+    metrics_->gauge("cia_policy_delta_bytes")
+        .set(static_cast<double>(delta.byte_size()));
+  }
+  return sink_->push_revision(node_ids(nodes_), policy_, digest, &delta);
+}
+
 Status UpdateOrchestrator::bootstrap() {
   if (nodes_.empty()) {
     return err(Errc::kInvalidArgument, "no managed nodes");
@@ -30,8 +68,9 @@ Status UpdateOrchestrator::bootstrap() {
   policy_ = generator_->generate_base(kernel, &stats);
   clock_->advance(static_cast<SimTime>(stats.seconds));
   // One bulk push per revision: the sink builds its lookup index once and
-  // shares it across every covered agent.
-  return sink_->set_policy_bulk(node_ids(nodes_), policy_);
+  // shares it across every covered agent; the content digest seeds the
+  // sink's revision cache so the next cycle's delta can rebase onto it.
+  return push_policy();
 }
 
 Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
@@ -104,8 +143,9 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
   clock_->advance(static_cast<SimTime>(report.policy_stats.seconds));
 
   // Step 3: preempt the system update — the verifier gets the new policy
-  // BEFORE any node installs a byte.
-  if (Status s = sink_->set_policy_bulk(node_ids(nodes_), policy_); !s.ok()) {
+  // BEFORE any node installs a byte. Delta-pushed: only the changed
+  // entries travel, and a pool sink patches its index incrementally.
+  if (Status s = push_policy(); !s.ok()) {
     return s.error();
   }
 
@@ -137,7 +177,7 @@ Result<UpdateCycleReport> UpdateOrchestrator::run_cycle(bool dedup_after) {
   // can still be running the old files.
   if (dedup_after && report.policy_stats.lines_added > 0) {
     report.dedup_removed = policy_.dedup();
-    if (Status s = sink_->set_policy_bulk(node_ids(nodes_), policy_); !s.ok()) {
+    if (Status s = push_policy(); !s.ok()) {
       return s.error();
     }
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/policy_generator.hpp"
+#include "keylime/policy_store/store.hpp"
 #include "keylime/verifier.hpp"
 #include "oskernel/machine.hpp"
 #include "pkg/apt.hpp"
@@ -79,6 +80,11 @@ class UpdateOrchestrator {
 
   const keylime::RuntimePolicy& policy() const { return policy_; }
 
+  /// The content-addressed revision store behind the pushes: every
+  /// revision this orchestrator ever pushed, plus the deltas linking
+  /// consecutive ones. What a staged rollout rebases from.
+  const keylime::policy_store::PolicyStore& store() const { return store_; }
+
   /// Update windows deferred so far because the mirror was unusable.
   std::uint64_t cycles_deferred() const { return cycles_deferred_; }
 
@@ -97,6 +103,12 @@ class UpdateOrchestrator {
   }
 
  private:
+  /// Push the current policy_ through the sink as a content-addressed
+  /// revision: diffs against the stored head so consecutive cycles move
+  /// a §III-C-sized delta instead of the whole base, records revision
+  /// and delta in store_, and exports cia_policy_delta_* telemetry.
+  Status push_policy();
+
   pkg::Mirror* mirror_;
   DynamicPolicyGenerator* generator_;
   keylime::PolicySink* sink_;
@@ -104,6 +116,7 @@ class UpdateOrchestrator {
   OrchestratorConfig config_;
   std::vector<ManagedNode> nodes_;
   keylime::RuntimePolicy policy_;
+  keylime::policy_store::PolicyStore store_;
   std::uint64_t cycles_deferred_ = 0;
   telemetry::MetricsRegistry* metrics_ = nullptr;
   telemetry::Tracer* tracer_ = nullptr;

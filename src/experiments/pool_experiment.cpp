@@ -289,7 +289,29 @@ StormReport run_alert_storm(const StormOptions& options) {
     }
   });
   for (const std::string& glob : good.excludes()) bad.exclude(glob);
-  if (Status st = fleet.pool().set_fleet_policy(bad); !st.ok()) {
+
+  namespace ps = keylime::policy_store;
+  std::unique_ptr<ps::RolloutController> rollout;
+  if (options.rollout) {
+    // Staged mode: re-push the good policy content-addressed (seeds the
+    // pool's digest cache so the canary delta patches the installed
+    // index in place), then hand the bad revision to the rollout
+    // controller — only the canary slice ever receives it.
+    if (Status st = fleet.pool().push_revision(
+            fleet.agent_ids(), good, ps::policy_digest(good), nullptr);
+        !st.ok()) {
+      report.status = st;
+      return report;
+    }
+    rollout =
+        std::make_unique<ps::RolloutController>(&fleet.pool(), *options.rollout);
+    rollout->use_telemetry(options.metrics);
+    fleet.pool().use_rollout(rollout.get());
+    if (Status st = rollout->begin(good, bad); !st.ok()) {
+      report.status = st;
+      return report;
+    }
+  } else if (Status st = fleet.pool().set_fleet_policy(bad); !st.ok()) {
     report.status = st;
     return report;
   }
@@ -327,6 +349,36 @@ StormReport run_alert_storm(const StormOptions& options) {
         incident.severity)];
   }
   report.incident_stream = pipeline.snapshot_json().dump();
+
+  if (rollout) {
+    report.rollout_state = ps::rollout_state_name(rollout->state());
+    report.canary_agents = rollout->canary_agents();  // sorted
+    report.rollout_target_revision = rollout->target_revision();
+    // Containment audit over the merged alert stream: every alert
+    // attributed to the staged revision must come from a canary agent.
+    for (const keylime::Alert& a : fleet.pool().alerts()) {
+      if (a.policy_revision != report.rollout_target_revision) continue;
+      if (std::binary_search(report.canary_agents.begin(),
+                             report.canary_agents.end(), a.agent_id)) {
+        ++report.canary_alerts;
+      } else {
+        ++report.non_canary_bad_appraisals;
+      }
+    }
+    // ...and no non-canary agent may END the scenario holding the staged
+    // revision unless it was promoted to them.
+    for (const std::string& id : fleet.pool().agent_ids()) {
+      if (std::binary_search(report.canary_agents.begin(),
+                             report.canary_agents.end(), id)) {
+        continue;
+      }
+      if (fleet.pool().policy_revision_of(id) ==
+          report.rollout_target_revision) {
+        ++report.non_canary_on_bad_revision;
+      }
+    }
+    fleet.pool().use_rollout(nullptr);
+  }
   // One root cause per corrupted digest, one fleet staleness episode
   // (failed agents' rounds_since_success keeps growing under
   // continue_on_failure until an operator intervenes), one transport

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "keylime/agent.hpp"
+#include "keylime/policy_store/rollout.hpp"
 #include "keylime/verifier_pool.hpp"
 #include "oskernel/machine.hpp"
 
@@ -190,6 +191,13 @@ struct StormOptions {
   std::size_t resize_round = 0;
   std::size_t resize_shards = 0;
   keylime::alert_pipeline::AlertPipeline::Config pipeline;
+  /// When engaged, the bad revision is NOT bulk-pushed fleet-wide:
+  /// a RolloutController stages it onto the deterministic canary slice
+  /// and the storm becomes a canary bake — the alert budget trips the
+  /// auto-rollback (or a quiet window promotes). The initial good policy
+  /// is then pushed content-addressed so the canary delta can rebase
+  /// onto it incrementally.
+  std::optional<keylime::policy_store::RolloutConfig> rollout;
   telemetry::MetricsRegistry* metrics = nullptr;
 };
 
@@ -212,6 +220,25 @@ struct StormReport {
   std::map<std::string, std::uint64_t> opened_by_severity;
   /// Canonical incident snapshot JSON — the byte-comparable stream.
   std::string incident_stream;
+
+  // ---- staged-rollout outcome (rollout-engaged runs only) ----
+  /// Final controller state name ("rolled_back", "promoted", ...).
+  std::string rollout_state;
+  /// The canary slice, sorted (what the controller actually pushed to).
+  std::vector<std::string> canary_agents;
+  /// Pool revision number of the staged (bad) push.
+  std::uint64_t rollout_target_revision = 0;
+  /// Alerts attributed to the staged revision — all must come from
+  /// canary agents.
+  std::uint64_t canary_alerts = 0;
+  /// Alerts under the staged revision raised by NON-canary agents. The
+  /// containment invariant: always 0 — no agent outside the canary
+  /// slice ever appraises against a revision that later rolls back.
+  std::uint64_t non_canary_bad_appraisals = 0;
+  /// Non-canary agents whose installed index revision is the staged one
+  /// at scenario end. 0 after a rollback (the promote path legitimately
+  /// moves everyone there).
+  std::uint64_t non_canary_on_bad_revision = 0;
 };
 
 /// Run the storm against a fresh fleet built from the options.

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/strutil.hpp"
+#include "keylime/policy_store/store.hpp"
 
 namespace cia::keylime {
 
@@ -11,6 +12,10 @@ namespace {
 
 /// uid() source. Starts at 1 so 0 stays "no index" in cache slots.
 std::atomic<std::uint64_t> g_next_index_uid{1};
+
+/// Build-count telemetry sources (full_build_count() and friends).
+std::atomic<std::uint64_t> g_full_builds{0};
+std::atomic<std::uint64_t> g_incremental_builds{0};
 
 /// Does the stored policy hash (lowercase hex, as digest_hex renders)
 /// name exactly this digest? Nibble-wise compare — the old path rendered
@@ -45,6 +50,7 @@ bool is_dir_prefix_glob(const std::string& glob, std::string* prefix) {
 
 std::shared_ptr<const PolicyIndex> PolicyIndex::build(
     const RuntimePolicy& policy, std::uint64_t revision) {
+  g_full_builds.fetch_add(1, std::memory_order_relaxed);
   auto index = std::make_shared<PolicyIndex>();
   index->revision_ = revision;
   index->uid_ = g_next_index_uid.fetch_add(1, std::memory_order_relaxed);
@@ -65,7 +71,78 @@ std::shared_ptr<const PolicyIndex> PolicyIndex::build(
         entry.hashes = hashes;
         index->paths_.emplace(path, std::move(entry));
       });
+  index->path_count_ = index->paths_.size();
   return index;
+}
+
+std::shared_ptr<const PolicyIndex> PolicyIndex::build_incremental(
+    const std::shared_ptr<const PolicyIndex>& base, const RuntimePolicy& target,
+    const policy_store::PolicyDelta& delta, std::uint64_t revision) {
+  if (base == nullptr || delta.touches_excludes()) {
+    // No base table to patch, or the exclude list changed under the
+    // precomputed per-path exclusion verdicts: full rebuild.
+    return build(target, revision);
+  }
+  g_incremental_builds.fetch_add(1, std::memory_order_relaxed);
+  auto index = std::make_shared<PolicyIndex>();
+  if (base->layer_depth_ < kMaxLayerDepth) {
+    // Thin overlay: store only the delta's paths (plus tombstones);
+    // everything else resolves through the shared base. O(delta), so a
+    // §III-C daily update costs ~1.3k patched entries against a 300k
+    // table it never touches.
+    index->base_ = base;
+    index->layer_depth_ = base->layer_depth_ + 1;
+    index->dir_excludes_ = base->dir_excludes_;
+    index->general_excludes_ = base->general_excludes_;
+  } else {
+    // Chain at the depth bound: flatten. One deep copy of the root
+    // table, then replay each overlay oldest-first — amortized over
+    // kMaxLayerDepth O(delta) layers.
+    std::vector<const PolicyIndex*> chain;
+    const PolicyIndex* root = base.get();
+    while (root->base_ != nullptr) {
+      chain.push_back(root);
+      root = root->base_.get();
+    }
+    index->paths_ = root->paths_;
+    index->dir_excludes_ = root->dir_excludes_;
+    index->general_excludes_ = root->general_excludes_;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      for (const std::string& removed : (*it)->removed_) {
+        index->paths_.erase(removed);
+      }
+      for (const auto& [path, entry] : (*it)->paths_) {
+        index->paths_.insert_or_assign(path, entry);
+      }
+    }
+  }
+  index->revision_ = revision;
+  index->uid_ = g_next_index_uid.fetch_add(1, std::memory_order_relaxed);
+  index->entry_count_ = target.entry_count();
+  index->path_count_ = target.path_count();
+  for (const policy_store::DeltaEntry& e : delta.entries) {
+    if (e.op == policy_store::DeltaEntry::Op::kRemove) {
+      if (index->base_ != nullptr) {
+        index->removed_.insert(e.path);
+      } else {
+        index->paths_.erase(e.path);
+      }
+      continue;
+    }
+    PathEntry entry;
+    entry.excluded = index->excluded_by_scan(e.path);
+    entry.hashes = e.hashes;
+    index->paths_.insert_or_assign(e.path, std::move(entry));
+  }
+  return index;
+}
+
+std::uint64_t PolicyIndex::full_build_count() {
+  return g_full_builds.load(std::memory_order_relaxed);
+}
+
+std::uint64_t PolicyIndex::incremental_build_count() {
+  return g_incremental_builds.load(std::memory_order_relaxed);
 }
 
 bool PolicyIndex::excluded_by_scan(std::string_view path) const {
@@ -89,16 +166,22 @@ bool PolicyIndex::excluded_by_scan(std::string_view path) const {
 PolicyMatch PolicyIndex::check(const std::string& path,
                                const std::string& hash_hex,
                                bool* known) const {
-  auto it = paths_.find(path);
-  if (it != paths_.end()) {
-    if (known) *known = true;
-    const PathEntry& entry = it->second;
-    if (entry.excluded) return PolicyMatch::kExcluded;
-    if (std::find(entry.hashes.begin(), entry.hashes.end(), hash_hex) !=
-        entry.hashes.end()) {
-      return PolicyMatch::kAllowed;
+  // Walk the overlay chain youngest-first: a patched entry wins, a
+  // tombstone hides every older layer, a root miss falls through to the
+  // exclude scan. A full-build index is a single iteration (base_ null).
+  for (const PolicyIndex* layer = this;; layer = layer->base_.get()) {
+    auto it = layer->paths_.find(path);
+    if (it != layer->paths_.end()) {
+      if (known) *known = true;
+      const PathEntry& entry = it->second;
+      if (entry.excluded) return PolicyMatch::kExcluded;
+      if (std::find(entry.hashes.begin(), entry.hashes.end(), hash_hex) !=
+          entry.hashes.end()) {
+        return PolicyMatch::kAllowed;
+      }
+      return PolicyMatch::kHashMismatch;
     }
-    return PolicyMatch::kHashMismatch;
+    if (layer->base_ == nullptr || layer->removed_.count(path) != 0) break;
   }
   if (known) *known = false;
   if (excluded_by_scan(path)) return PolicyMatch::kExcluded;
@@ -108,15 +191,18 @@ PolicyMatch PolicyIndex::check(const std::string& path,
 PolicyMatch PolicyIndex::check(std::string_view path,
                                const crypto::Digest& hash,
                                bool* known) const {
-  auto it = paths_.find(path);
-  if (it != paths_.end()) {
-    if (known) *known = true;
-    const PathEntry& entry = it->second;
-    if (entry.excluded) return PolicyMatch::kExcluded;
-    for (const std::string& h : entry.hashes) {
-      if (hex_names_digest(h, hash)) return PolicyMatch::kAllowed;
+  for (const PolicyIndex* layer = this;; layer = layer->base_.get()) {
+    auto it = layer->paths_.find(path);
+    if (it != layer->paths_.end()) {
+      if (known) *known = true;
+      const PathEntry& entry = it->second;
+      if (entry.excluded) return PolicyMatch::kExcluded;
+      for (const std::string& h : entry.hashes) {
+        if (hex_names_digest(h, hash)) return PolicyMatch::kAllowed;
+      }
+      return PolicyMatch::kHashMismatch;
     }
-    return PolicyMatch::kHashMismatch;
+    if (layer->base_ == nullptr || layer->removed_.count(path) != 0) break;
   }
   if (known) *known = false;
   if (excluded_by_scan(path)) return PolicyMatch::kExcluded;

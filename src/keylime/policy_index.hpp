@@ -29,6 +29,10 @@
 
 namespace cia::keylime {
 
+namespace policy_store {
+struct PolicyDelta;
+}  // namespace policy_store
+
 class PolicyIndex {
  public:
   /// Build an index over `policy`. `revision` tags the snapshot (the
@@ -36,6 +40,32 @@ class PolicyIndex {
   /// metadata only — lookups never consult it.
   static std::shared_ptr<const PolicyIndex> build(const RuntimePolicy& policy,
                                                   std::uint64_t revision = 0);
+
+  /// Build the index for `target` as a thin overlay layer over `base`:
+  /// only the paths `delta` names are stored (plus tombstones for
+  /// removals); everything else resolves through the shared base table.
+  /// For the paper's §III-C shape (a ~1.3k-entry daily update against a
+  /// 300k-entry base) the layer costs O(delta), not O(base) — neither
+  /// the per-path exclude-glob scan of a full build nor a deep copy of
+  /// the base table. Every kMaxLayerDepth layers the chain is flattened
+  /// (one deep copy, replaying the overlays) so lookup depth stays
+  /// bounded under an unbounded stream of daily deltas. Preconditions
+  /// (the pool's push path guarantees them): `base` indexes the policy
+  /// delta.base_digest names, and `target` == apply(base policy, delta).
+  /// Falls back to a full build when the delta replaces the exclude
+  /// list, since every precomputed per-path exclusion verdict goes stale
+  /// then. The result is a fresh snapshot: new uid, caller-supplied
+  /// revision.
+  static std::shared_ptr<const PolicyIndex> build_incremental(
+      const std::shared_ptr<const PolicyIndex>& base,
+      const RuntimePolicy& target, const policy_store::PolicyDelta& delta,
+      std::uint64_t revision);
+
+  /// Process-wide count of full build() calls / incremental patches —
+  /// the dedupe pins: a bulk push to N agents or shards must cost one
+  /// build, and a delta push must cost zero full builds.
+  static std::uint64_t full_build_count();
+  static std::uint64_t incremental_build_count();
 
   /// Exactly RuntimePolicy::check, answered from the index. When
   /// `known` is non-null it reports whether the path was resolved from
@@ -56,8 +86,18 @@ class PolicyIndex {
   /// collides between two distinct indexes, so verdict caches key on it
   /// to make a copy-on-write policy swap an implicit cache invalidation.
   std::uint64_t uid() const { return uid_; }
-  std::size_t path_count() const { return paths_.size(); }
+  std::size_t path_count() const { return path_count_; }
   std::size_t entry_count() const { return entry_count_; }
+
+  /// How many overlay layers sit between this index and the flat root
+  /// table (0 for a full build). Exposed for tests pinning the flatten
+  /// policy.
+  std::size_t layer_depth() const { return layer_depth_; }
+
+  /// Flatten threshold: an incremental build whose overlay chain would
+  /// exceed this depth deep-copies the root and replays the layers
+  /// instead of linking another one.
+  static constexpr std::size_t kMaxLayerDepth = 8;
 
   /// Paths absent from the table still need an exclusion verdict. The
   /// exclude list is compiled at build time: globs of the shape
@@ -88,12 +128,24 @@ class PolicyIndex {
     }
   };
 
+  /// The full table for a root index; only the patched paths for an
+  /// overlay layer (lookups fall through to base_ on a miss).
   std::unordered_map<std::string, PathEntry, SvHash, SvEq> paths_;
+  /// Overlay tombstones: paths the delta removed. A hit here hides any
+  /// base entry — the path behaves as not-in-table (exclude-scan
+  /// verdict, known=false). Empty on root indexes.
+  std::unordered_set<std::string, SvHash, SvEq> removed_;
+  /// The shared parent layer, nullptr for a root (full-build) index.
+  /// Excludes are identical across a chain (a delta that touches them
+  /// forces a full rebuild), so each layer copies the compiled globs.
+  std::shared_ptr<const PolicyIndex> base_;
   /// Compiled "DIR/*" excludes, keyed by the literal prefix (ends '/').
   std::unordered_set<std::string, SvHash, SvEq> dir_excludes_;
   /// Everything the compiler could not reduce to a prefix probe.
   std::vector<std::string> general_excludes_;
   std::size_t entry_count_ = 0;
+  std::size_t path_count_ = 0;
+  std::size_t layer_depth_ = 0;
   std::uint64_t revision_ = 0;
   std::uint64_t uid_ = 0;
 };

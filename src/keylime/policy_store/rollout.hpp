@@ -1,0 +1,123 @@
+// Staged policy rollout: canary slice -> bake window -> promote/rollback.
+//
+// A new policy revision never hits the whole fleet at once. begin()
+// pushes it to a deterministic canary slice of agents (ring-style hash
+// over agent id and a rollout seed, so the slice is invariant to shard
+// count and reproducible per seed); the controller then rides the pool's
+// round-boundary hook (VerifierPool::use_rollout) for a configurable
+// bake window, watching the merged alert stream — the same stream the
+// cia_alert_*/cia_incident_* counters export — for alerts attributed to
+// the canary revision. Inside the window the gate trips the moment the
+// budget is exceeded and the canary slice is rolled back to the base
+// revision; a quiet window promotes the revision fleet-wide.
+//
+// Costs are asymmetric by design: the canary push pays one index build
+// (incremental when a delta rebases it from the fleet's installed
+// revision), the promote reuses that exact index for the rest of the
+// fleet (zero builds), and a rollback patches the canary index back
+// with the reverse delta. Everything runs at round boundaries under the
+// pool's drive_mu_ discipline — the appraisal hot path gains no locks,
+// and since pushes only ever name canary agents until promotion, a
+// non-canary agent can never appraise against a revision that later
+// rolls back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "keylime/policy_store/store.hpp"
+#include "keylime/verifier_pool.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace cia::keylime::policy_store {
+
+/// The deterministic canary slice: ids whose hashed (id, seed) point
+/// lands in the first `fraction` of the hash space, in sorted id order.
+/// Shard-count invariant and stable per seed. A non-zero fraction over a
+/// non-empty fleet always selects at least one canary (the smallest
+/// hash point), so a rollout can never silently skip its bake.
+std::vector<std::string> canary_slice(const std::vector<std::string>& ids,
+                                      double fraction, std::uint64_t seed);
+
+enum class RolloutState { kIdle, kBaking, kPromoted, kRolledBack };
+
+const char* rollout_state_name(RolloutState s);
+
+struct RolloutConfig {
+  /// Fraction of the fleet in the canary slice, (0, 1].
+  double canary_fraction = 0.25;
+  /// Canary-slice selection seed.
+  std::uint64_t seed = 1;
+  /// Round boundaries the canary must stay healthy before promotion.
+  std::int64_t bake_rounds = 3;
+  /// Alerts attributable to the canary revision tolerated during the
+  /// bake window; one more trips the rollback.
+  std::uint64_t alert_budget = 0;
+};
+
+class RolloutController : public RolloutHook {
+ public:
+  RolloutController(VerifierPool* pool, RolloutConfig config);
+
+  /// Export rollout telemetry (cia_rollout_*) to `metrics`; nullptr off.
+  void use_telemetry(telemetry::MetricsRegistry* metrics);
+
+  /// Start a staged rollout of `target` over a fleet currently on
+  /// `base`: select the canary slice, push the target revision to it
+  /// (delta-rebased), and arm the bake window. Call between rounds; the
+  /// caller should have attached the controller via pool->use_rollout().
+  Status begin(const RuntimePolicy& base, const RuntimePolicy& target);
+
+  /// RolloutHook: one bake step. Reads the merged alert stream, trips
+  /// the rollback gate or promotes after the window. Invoked by the pool
+  /// at every round boundary (driver thread, drive_mu_ held).
+  void on_round_boundary(SimTime now) override;
+
+  RolloutState state() const { return state_; }
+  const std::vector<std::string>& canary_agents() const { return canary_; }
+  const std::string& base_digest() const { return base_digest_; }
+  const std::string& target_digest() const { return target_digest_; }
+
+  /// Pool revision number the canary push was tagged with (0 before
+  /// begin). Alerts raised under the canary revision carry it.
+  std::uint64_t target_revision() const { return target_revision_; }
+  /// Pool revision number of the rollback push (0 unless rolled back).
+  std::uint64_t rollback_revision() const { return rollback_revision_; }
+
+  struct Stats {
+    std::uint64_t started = 0;
+    std::uint64_t promoted = 0;
+    std::uint64_t rolled_back = 0;
+    std::uint64_t rounds_baked = 0;
+    /// Alerts attributed to the canary revision when the gate last read
+    /// the stream.
+    std::uint64_t observed_alerts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void export_state();
+
+  VerifierPool* pool_;
+  RolloutConfig config_;
+  RolloutState state_ = RolloutState::kIdle;
+
+  RuntimePolicy base_policy_;
+  RuntimePolicy target_policy_;
+  std::string base_digest_;
+  std::string target_digest_;
+  PolicyDelta forward_;  // base -> target (canary push)
+  PolicyDelta reverse_;  // target -> base (rollback push)
+  std::vector<std::string> canary_;
+  std::vector<std::string> rest_;  // fleet minus canary, for promotion
+  std::uint64_t target_revision_ = 0;
+  std::uint64_t rollback_revision_ = 0;
+  std::int64_t rounds_baked_this_rollout_ = 0;
+
+  Stats stats_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace cia::keylime::policy_store

@@ -195,6 +195,46 @@ Status PolicySink::set_policy_bulk(const std::vector<std::string>& agent_ids,
   return Status::ok_status();
 }
 
+Status PolicySink::push_revision(const std::vector<std::string>& agent_ids,
+                                 const RuntimePolicy& policy,
+                                 const std::string& digest,
+                                 const policy_store::PolicyDelta* delta) {
+  (void)digest;
+  (void)delta;
+  return set_policy_bulk(agent_ids, policy);
+}
+
+const std::vector<std::string>* RuntimePolicy::hashes_for(
+    const std::string& path) const {
+  auto it = allow_.find(path);
+  return it == allow_.end() ? nullptr : &it->second;
+}
+
+void RuntimePolicy::set_hashes(const std::string& path,
+                               std::vector<std::string> hashes) {
+  if (hashes.empty()) {
+    remove_path(path);
+    return;
+  }
+  auto& slot = allow_[path];
+  entry_count_ += hashes.size();
+  entry_count_ -= slot.size();
+  slot = std::move(hashes);
+}
+
+std::size_t RuntimePolicy::remove_path(const std::string& path) {
+  auto it = allow_.find(path);
+  if (it == allow_.end()) return 0;
+  const std::size_t removed = it->second.size();
+  entry_count_ -= removed;
+  allow_.erase(it);
+  return removed;
+}
+
+void RuntimePolicy::set_excludes(std::vector<std::string> globs) {
+  excludes_ = std::move(globs);
+}
+
 void RuntimePolicy::merge(const RuntimePolicy& other) {
   for (const auto& glob : other.excludes_) {
     if (std::find(excludes_.begin(), excludes_.end(), glob) == excludes_.end()) {

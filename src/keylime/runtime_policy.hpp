@@ -82,6 +82,23 @@ class RuntimePolicy {
   /// Union with another policy (their hashes appended after ours).
   void merge(const RuntimePolicy& other);
 
+  /// The acceptable-hash list for one exact path (nullptr when absent).
+  const std::vector<std::string>* hashes_for(const std::string& path) const;
+
+  /// Replace the acceptable-hash list for one exact path, creating the
+  /// path when absent. An empty list removes the path. This is the
+  /// delta-apply primitive: unlike allow() it never merges, so applying
+  /// a policy_store::PolicyDelta reproduces the target policy exactly.
+  void set_hashes(const std::string& path, std::vector<std::string> hashes);
+
+  /// Remove one exact path (all its hashes). Returns lines removed.
+  std::size_t remove_path(const std::string& path);
+
+  /// Replace the exclude-glob list wholesale (order is part of the
+  /// canonical form, so a delta that touches excludes carries the full
+  /// new list).
+  void set_excludes(std::vector<std::string> globs);
+
   /// Visit every (path, acceptable-hash list) pair in path order — the
   /// bulk-read hook PolicyIndex::build uses so an index never has to
   /// round-trip 300k entries through JSON or text.
@@ -96,6 +113,10 @@ class RuntimePolicy {
   std::vector<std::string> excludes_;
   std::size_t entry_count_ = 0;
 };
+
+namespace policy_store {
+struct PolicyDelta;
+}  // namespace policy_store
 
 /// Anything that can receive runtime-policy pushes for enrolled agents:
 /// a Verifier directly, or a VerifierPool routing each agent to its
@@ -115,6 +136,18 @@ class PolicySink {
   /// index once per policy revision instead of once per agent.
   virtual Status set_policy_bulk(const std::vector<std::string>& agent_ids,
                                  const RuntimePolicy& policy);
+
+  /// Push one content-addressed revision to many agents. `digest` is
+  /// policy_store::policy_digest(policy); `delta` (may be null) rebases
+  /// it from the previously pushed revision. The default ignores both
+  /// and does a full set_policy_bulk; sharded sinks override it to patch
+  /// their lookup index incrementally when the delta's base digest
+  /// matches the revision they last built, instead of re-indexing 300k
+  /// entries for a 1.3k-entry daily update (the paper's §III-C shape).
+  virtual Status push_revision(const std::vector<std::string>& agent_ids,
+                               const RuntimePolicy& policy,
+                               const std::string& digest,
+                               const policy_store::PolicyDelta* delta);
 };
 
 }  // namespace cia::keylime

@@ -144,6 +144,26 @@ Status Verifier::set_indexed_policy(const std::string& agent_id,
   return Status::ok_status();
 }
 
+Status Verifier::set_policy_bulk(const std::vector<std::string>& agent_ids,
+                                 const RuntimePolicy& policy) {
+  // One shared index for the whole batch. The default PolicySink loop
+  // would call set_policy per agent, which drops the index and leaves
+  // every solo-verifier agent on the linear RuntimePolicy scan — N
+  // agents would then pay N linear appraisals per round where one
+  // build covers them all.
+  const auto index = PolicyIndex::build(policy, ++bulk_revision_);
+  for (const std::string& id : agent_ids) {
+    if (Status s = set_indexed_policy(id, policy, index); !s.ok()) return s;
+  }
+  return Status::ok_status();
+}
+
+std::uint64_t Verifier::policy_revision_of(const std::string& agent_id) const {
+  auto it = agents_.find(agent_id);
+  if (it == agents_.end() || it->second.index == nullptr) return 0;
+  return it->second.index->revision();
+}
+
 Status Verifier::set_mb_refstate(const std::string& agent_id,
                                  MbRefstate refstate) {
   auto it = agents_.find(agent_id);

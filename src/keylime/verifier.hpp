@@ -162,6 +162,21 @@ class Verifier : public PolicySink {
   Status set_indexed_policy(const std::string& agent_id, RuntimePolicy policy,
                             std::shared_ptr<const PolicyIndex> index);
 
+  /// Bulk push with index dedupe: builds ONE PolicyIndex for the batch
+  /// and installs it on every listed agent via set_indexed_policy. The
+  /// solo-verifier counterpart of the pool's shared-index push — the
+  /// orchestrator's bulk pushes land here when the sink is a plain
+  /// Verifier, so its agents get indexed appraisal too instead of the
+  /// linear fallback set_policy leaves behind.
+  Status set_policy_bulk(const std::vector<std::string>& agent_ids,
+                         const RuntimePolicy& policy) override;
+
+  /// Revision tag of the agent's installed PolicyIndex (0 when none) —
+  /// what Alert::policy_revision will carry for its next appraisal. The
+  /// rollout checks use this to prove no non-canary agent ever held a
+  /// rolled-back revision.
+  std::uint64_t policy_revision_of(const std::string& agent_id) const;
+
   /// Cumulative PolicyIndex lookup tallies across all agents: a hit
   /// resolved the path from the index table, a miss fell through to the
   /// exclude-glob scan. Entries appraised without an index count in
@@ -369,6 +384,7 @@ class Verifier : public PolicySink {
   crypto::Digest last_quote_digest_{};  // set by attest_once_impl
   IndexStats index_stats_;
   AppraisalCache* cache_ = nullptr;  // optional, non-owning
+  std::uint64_t bulk_revision_ = 0;  // revision tags for bulk-built indexes
 };
 
 }  // namespace cia::keylime

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "keylime/policy_store/store.hpp"
 
 namespace cia::keylime {
 
@@ -191,6 +192,8 @@ Status VerifierPool::set_policy(const std::string& agent_id,
   {
     std::lock_guard<std::mutex> lock(revision_mu_);
     revision = ++revision_;
+    last_pushed_digest_.clear();  // content of the head revision unknown now
+    last_pushed_index_.reset();
   }
   auto index = PolicyIndex::build(policy, revision);
   Shard& shard = *shard_ptr(owner_of(agent_id));
@@ -205,10 +208,66 @@ Status VerifierPool::set_policy_bulk(const std::vector<std::string>& agent_ids,
   {
     std::lock_guard<std::mutex> lock(revision_mu_);
     revision = ++revision_;
+    last_pushed_digest_.clear();  // content of the head revision unknown now
+    last_pushed_index_.reset();
   }
   // One index for the whole revision; every covered agent on every shard
   // shares it read-only.
   const auto index = PolicyIndex::build(policy, revision);
+  for (const std::string& id : agent_ids) {
+    Shard& shard = *shard_ptr(owner_of(id));
+    std::lock_guard<std::mutex> lock(shard.mailbox_mu);
+    shard.mailbox.push_back({id, policy, index});
+  }
+  return Status::ok_status();
+}
+
+Status VerifierPool::push_revision(const std::vector<std::string>& agent_ids,
+                                   const RuntimePolicy& policy,
+                                   const std::string& digest,
+                                   const policy_store::PolicyDelta* delta) {
+  if (digest.empty()) {
+    return err(Errc::kInvalidArgument, "push_revision needs a content digest");
+  }
+  std::uint64_t revision = 0;
+  std::shared_ptr<const PolicyIndex> index;
+  std::shared_ptr<const PolicyIndex> base;
+  const char* mode = "full";
+  {
+    std::lock_guard<std::mutex> lock(revision_mu_);
+    if (digest == last_pushed_digest_ && last_pushed_index_ != nullptr) {
+      // Same content as the head revision: reuse its index outright (the
+      // promote path — the canary slice already paid for this build).
+      index = last_pushed_index_;
+      mode = "reused";
+    } else {
+      revision = ++revision_;
+      if (delta != nullptr && delta->base_digest == last_pushed_digest_ &&
+          last_pushed_index_ != nullptr && !delta->touches_excludes()) {
+        base = last_pushed_index_;
+      }
+    }
+  }
+  if (index == nullptr) {
+    if (base != nullptr) {
+      index = PolicyIndex::build_incremental(base, policy, *delta, revision);
+      mode = "incremental";
+    } else {
+      index = PolicyIndex::build(policy, revision);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(revision_mu_);
+    last_pushed_digest_ = digest;
+    last_pushed_index_ = index;
+  }
+  if (metrics_) {
+    metrics_->counter("cia_policy_index_builds_total", {{"mode", mode}}).inc();
+    if (delta != nullptr) {
+      metrics_->counter("cia_policy_delta_entries_total", {})
+          .inc(delta->entry_count());
+    }
+  }
   for (const std::string& id : agent_ids) {
     Shard& shard = *shard_ptr(owner_of(id));
     std::lock_guard<std::mutex> lock(shard.mailbox_mu);
@@ -224,6 +283,17 @@ Status VerifierPool::set_fleet_policy(const RuntimePolicy& policy) {
 std::uint64_t VerifierPool::policy_revision() const {
   std::lock_guard<std::mutex> lock(revision_mu_);
   return revision_;
+}
+
+std::uint64_t VerifierPool::policy_revision_of(
+    const std::string& agent_id) const {
+  const std::size_t s = owner_of(agent_id);
+  const Verifier* v;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    v = &shards_[s]->verifier;
+  }
+  return v->policy_revision_of(agent_id);
 }
 
 void VerifierPool::set_fleet_faults(const netsim::FaultProfile& faults) {
@@ -386,27 +456,40 @@ void VerifierPool::drain_round_boundary_locked() {
     }
   }
 
-  if (!pipeline_) return;
-  SimTime now = 0;
-  for (auto& shard : shards_) {
-    stage_alerts(*shard);  // catch drains outside a round (e.g. tests)
-    now = std::max(now, shard->clock.now());
-  }
-  for (auto& shard : shards_) {
-    if (!shard->alert_stage.empty()) {
-      pipeline_->fold(shard->alert_stage.take());
-    }
-  }
-  if (const std::uint64_t after = pipeline_->config().staleness_after;
-      after > 0) {
+  if (pipeline_) {
+    SimTime now = 0;
     for (auto& shard : shards_) {
-      for (const auto& [id, rounds] : shard->verifier.stale_agents(after)) {
-        pipeline_->observe_staleness(id, rounds, now);
+      stage_alerts(*shard);  // catch drains outside a round (e.g. tests)
+      now = std::max(now, shard->clock.now());
+    }
+    for (auto& shard : shards_) {
+      if (!shard->alert_stage.empty()) {
+        pipeline_->fold(shard->alert_stage.take());
       }
     }
+    if (const std::uint64_t after = pipeline_->config().staleness_after;
+        after > 0) {
+      for (auto& shard : shards_) {
+        for (const auto& [id, rounds] : shard->verifier.stale_agents(after)) {
+          pipeline_->observe_staleness(id, rounds, now);
+        }
+      }
+    }
+    pipeline_->end_round(now);
   }
-  pipeline_->end_round(now);
+
+  // The rollout controller watches the fully folded round: it runs last,
+  // after alerts and incidents are settled, so its health gate reads the
+  // same numbers the cia_alert_*/cia_incident_* counters export. Any
+  // pushes it makes land in shard mailboxes and apply next round.
+  if (rollout_) {
+    SimTime now = 0;
+    for (auto& shard : shards_) now = std::max(now, shard->clock.now());
+    rollout_->on_round_boundary(now);
+  }
 }
+
+void VerifierPool::use_rollout(RolloutHook* rollout) { rollout_ = rollout; }
 
 void VerifierPool::use_alert_pipeline(alert_pipeline::AlertPipeline* pipeline) {
   pipeline_ = pipeline;

@@ -57,6 +57,16 @@
 
 namespace cia::keylime {
 
+/// Round-boundary observer for staged policy rollouts (implemented by
+/// policy_store::RolloutController). The pool invokes it once per
+/// advance_to()/run_round() return, from the driver thread under
+/// drive_mu_ — never from a shard worker, never on the appraisal path.
+class RolloutHook {
+ public:
+  virtual ~RolloutHook() = default;
+  virtual void on_round_boundary(SimTime now) = 0;
+};
+
 struct VerifierPoolConfig {
   std::size_t shards = 4;
   /// Virtual points per shard on the consistent-hash ring; more points
@@ -167,8 +177,27 @@ class VerifierPool : public PolicySink {
   /// set_policy_bulk over every enrolled agent.
   Status set_fleet_policy(const RuntimePolicy& policy);
 
+  /// Content-addressed push. Three cost tiers, cheapest first:
+  ///   * `digest` equals the last revision pushed through here — the
+  ///     cached index is reused outright (zero builds; how a staged
+  ///     rollout promotes the canary revision fleet-wide for free);
+  ///   * `delta` is non-null, rebases from the last pushed digest, and
+  ///     leaves excludes alone — the cached index is patched in place
+  ///     (PolicyIndex::build_incremental), §III-C's daily-update shape;
+  ///   * otherwise a full PolicyIndex::build, which also (re)seeds the
+  ///     cache. Plain set_policy/set_policy_bulk invalidate the cache:
+  ///     they carry no digest, so the next delta push cannot prove what
+  ///     base it would be patching.
+  Status push_revision(const std::vector<std::string>& agent_ids,
+                       const RuntimePolicy& policy, const std::string& digest,
+                       const policy_store::PolicyDelta* delta) override;
+
   /// Policy revisions built so far (each bulk/single push is one).
   std::uint64_t policy_revision() const;
+
+  /// The agent's installed PolicyIndex revision (0 when none/unknown).
+  /// Driver thread, between rounds.
+  std::uint64_t policy_revision_of(const std::string& agent_id) const;
 
   // -------------------------------------------------- faults and chaos
 
@@ -205,6 +234,16 @@ class VerifierPool : public PolicySink {
   /// appraisal hot path. Alerts raised before attachment are not
   /// replayed. Call between rounds only.
   void use_alert_pipeline(alert_pipeline::AlertPipeline* pipeline);
+
+  /// Attach a staged-rollout controller (non-owning; nullptr detaches).
+  /// Its on_round_boundary hook runs inside the round-boundary drain,
+  /// after alerts/revocations have been folded, under drive_mu_ with all
+  /// shard workers joined — the same discipline as the alert pipeline,
+  /// so the hook may inspect fleet state and enqueue policy pushes (they
+  /// land in shard mailboxes and apply at the next batch boundary)
+  /// without any lock of its own, and the appraisal hot path gains
+  /// nothing. Call between rounds only.
+  void use_rollout(RolloutHook* rollout);
 
   /// Register a pool-level revocation notifier. Shard verifiers defer
   /// their kAttesting -> kFailed events (raise() runs on shard worker
@@ -351,6 +390,11 @@ class VerifierPool : public PolicySink {
 
   mutable std::mutex revision_mu_;
   std::uint64_t revision_ = 0;
+  /// Last revision pushed through push_revision(): its content digest
+  /// and shared index, the base the next delta push patches. Guarded by
+  /// revision_mu_; cleared by digest-less pushes.
+  std::string last_pushed_digest_;
+  std::shared_ptr<const PolicyIndex> last_pushed_index_;
 
   /// Dedicated shard-to-shard handoff fabric with its own virtual clock:
   /// migration latency and injected handoff faults never touch shard
@@ -375,6 +419,9 @@ class VerifierPool : public PolicySink {
   /// round (the thread spawn/join is the happens-before edge).
   alert_pipeline::AlertPipeline* pipeline_ = nullptr;
   std::vector<RevocationNotifier*> pool_notifiers_;
+  /// Non-owning; set between rounds, invoked only by the driver at the
+  /// round-boundary drain.
+  RolloutHook* rollout_ = nullptr;
 };
 
 }  // namespace cia::keylime

@@ -3,6 +3,9 @@
 #include <utility>
 
 #include "common/strutil.hpp"
+#include "crypto/sha256.hpp"
+#include "keylime/policy_store/rollout.hpp"
+#include "keylime/policy_store/store.hpp"
 #include "keylime/verifier_pool.hpp"
 
 namespace cia::scenario {
@@ -60,24 +63,51 @@ Result<ScenarioOutcome> run_storm(const Scenario& sc,
   out.report = storm_report_json(report);
   out.incident_stream = report.incident_stream;
 
-  // The three accounting contracts the legacy cia_sim --storm pinned.
-  add_check(out, "incidents_match_root_causes",
-            report.incidents_opened == report.root_causes,
-            strformat("%llu incidents opened for %zu root causes",
-                      static_cast<unsigned long long>(report.incidents_opened),
-                      report.root_causes));
-  add_check(out, "widest_incident_spans_fleet",
-            report.max_affected == report.agents,
-            strformat("widest incident spans %llu of %zu agents",
-                      static_cast<unsigned long long>(report.max_affected),
-                      report.agents));
-  add_check(out, "dedup_accounting_lossless",
-            report.emitted_alerts + report.suppressed == report.raw_alerts &&
-                report.emitted_alerts < report.raw_alerts,
-            strformat("raw=%llu emitted=%llu suppressed=%llu",
-                      static_cast<unsigned long long>(report.raw_alerts),
-                      static_cast<unsigned long long>(report.emitted_alerts),
-                      static_cast<unsigned long long>(report.suppressed)));
+  if (!storm.rollout) {
+    // The three accounting contracts the legacy cia_sim --storm pinned.
+    add_check(out, "incidents_match_root_causes",
+              report.incidents_opened == report.root_causes,
+              strformat("%llu incidents opened for %zu root causes",
+                        static_cast<unsigned long long>(
+                            report.incidents_opened),
+                        report.root_causes));
+    add_check(out, "widest_incident_spans_fleet",
+              report.max_affected == report.agents,
+              strformat("widest incident spans %llu of %zu agents",
+                        static_cast<unsigned long long>(report.max_affected),
+                        report.agents));
+    add_check(out, "dedup_accounting_lossless",
+              report.emitted_alerts + report.suppressed == report.raw_alerts &&
+                  report.emitted_alerts < report.raw_alerts,
+              strformat("raw=%llu emitted=%llu suppressed=%llu",
+                        static_cast<unsigned long long>(report.raw_alerts),
+                        static_cast<unsigned long long>(report.emitted_alerts),
+                        static_cast<unsigned long long>(report.suppressed)));
+  } else {
+    // Staged-rollout contracts: the bad revision trips the health gate,
+    // rolls back, and never escapes the canary slice.
+    add_check(out, "rollout_rolled_back",
+              report.rollout_state == "rolled_back",
+              "final rollout state: " + report.rollout_state);
+    add_check(out, "canary_is_proper_slice",
+              !report.canary_agents.empty() &&
+                  report.canary_agents.size() < report.agents,
+              strformat("%zu canary agents of %zu",
+                        report.canary_agents.size(), report.agents));
+    add_check(out, "canary_saw_the_storm", report.canary_alerts > 0,
+              strformat("%llu alerts attributed to the staged revision",
+                        static_cast<unsigned long long>(
+                            report.canary_alerts)));
+    add_check(out, "bad_revision_contained",
+              report.non_canary_bad_appraisals == 0 &&
+                  report.non_canary_on_bad_revision == 0,
+              strformat("%llu non-canary appraisals under the staged "
+                        "revision, %llu non-canary agents left holding it",
+                        static_cast<unsigned long long>(
+                            report.non_canary_bad_appraisals),
+                        static_cast<unsigned long long>(
+                            report.non_canary_on_bad_revision)));
+  }
 
   if (options.self_check) {
     // Repartition invariance: a different shard count must reproduce the
@@ -88,7 +118,9 @@ Result<ScenarioOutcome> run_storm(const Scenario& sc,
     const StormReport other = run_alert_storm(repartitioned);
     add_check(out, "incident_stream_partition_invariant",
               other.status.ok() &&
-                  other.incident_stream == report.incident_stream,
+                  other.incident_stream == report.incident_stream &&
+                  other.rollout_state == report.rollout_state &&
+                  other.canary_agents == report.canary_agents,
               strformat("%zu vs %zu shards (%zu-byte stream)", storm.shards,
                         repartitioned.shards, report.incident_stream.size()));
 
@@ -107,7 +139,8 @@ Result<ScenarioOutcome> run_storm(const Scenario& sc,
     const StormReport resized = run_alert_storm(toggled);
     add_check(out, "incident_stream_resize_invariant",
               resized.status.ok() &&
-                  resized.incident_stream == report.incident_stream,
+                  resized.incident_stream == report.incident_stream &&
+                  resized.rollout_state == report.rollout_state,
               storm.resize_shards == 0
                   ? strformat("added resize to %zu shards at storm round %zu",
                               toggled.resize_shards, toggled.resize_round)
@@ -202,6 +235,7 @@ Result<ScenarioOutcome> run_churn(const Scenario& sc,
 Result<ScenarioOutcome> run_fleet(const Scenario& sc,
                                   const RunOptions& options,
                                   ScenarioOutcome out) {
+  namespace ps = keylime::policy_store;
   struct FleetRun {
     std::size_t polls = 0;
     std::size_t failed = 0;
@@ -209,6 +243,11 @@ Result<ScenarioOutcome> run_fleet(const Scenario& sc,
     keylime::VerifierPool::Stats stats;
     std::uint64_t revision = 0;
     std::map<std::string, std::string> digests;
+    // Staged-rollout outcome (policy_rollout runs only).
+    std::string rollout_state;
+    std::size_t canary = 0;
+    std::uint64_t target_revision = 0;
+    std::size_t on_target = 0;  // agents holding the staged revision at end
   };
   auto run = [&](std::size_t shards, telemetry::MetricsRegistry* metrics)
       -> Result<FleetRun> {
@@ -217,7 +256,35 @@ Result<ScenarioOutcome> run_fleet(const Scenario& sc,
     fo.metrics = metrics;
     PoolFleet fleet(fo);
     if (!fleet.init_status().ok()) return fleet.init_status().error();
-    if (Status s = fleet.push_fleet_policy(); !s.ok()) return s.error();
+    std::unique_ptr<ps::RolloutController> rollout;
+    if (sc.policy_rollout) {
+      // Content-addressed bootstrap, then stage a benign delta revision
+      // (the fleet policy plus a few synthetic paths no machine ever
+      // executes): it bakes clean and must auto-promote fleet-wide.
+      const keylime::RuntimePolicy good = fleet.fleet_policy();
+      if (Status s = fleet.pool().push_revision(
+              fleet.agent_ids(), good, ps::policy_digest(good), nullptr);
+          !s.ok()) {
+        return s.error();
+      }
+      keylime::RuntimePolicy target = good;
+      for (int i = 0; i < 4; ++i) {
+        const std::string path = strformat("/opt/rollout/extra-%02d", i);
+        target.allow(path, crypto::sha256("rollout:" + path));
+      }
+      ps::RolloutConfig rc;
+      rc.canary_fraction = sc.policy_rollout->canary_fraction;
+      rc.seed = sc.policy_rollout->seed;
+      rc.bake_rounds = sc.policy_rollout->bake_rounds;
+      rc.alert_budget =
+          static_cast<std::uint64_t>(sc.policy_rollout->alert_budget);
+      rollout = std::make_unique<ps::RolloutController>(&fleet.pool(), rc);
+      rollout->use_telemetry(metrics);
+      fleet.pool().use_rollout(rollout.get());
+      if (Status s = rollout->begin(good, target); !s.ok()) return s.error();
+    } else if (Status s = fleet.push_fleet_policy(); !s.ok()) {
+      return s.error();
+    }
     if (sc.faults.any()) {
       netsim::FaultProfile faults;
       faults.drop_rate = sc.faults.drop_rate;
@@ -240,6 +307,17 @@ Result<ScenarioOutcome> run_fleet(const Scenario& sc,
     result.stats = fleet.pool().stats();
     result.revision = fleet.pool().policy_revision();
     result.digests = per_agent_chain_digests(fleet.pool());
+    if (rollout) {
+      result.rollout_state = ps::rollout_state_name(rollout->state());
+      result.canary = rollout->canary_agents().size();
+      result.target_revision = rollout->target_revision();
+      for (const std::string& id : fleet.agent_ids()) {
+        if (fleet.pool().policy_revision_of(id) == result.target_revision) {
+          ++result.on_target;
+        }
+      }
+      fleet.pool().use_rollout(nullptr);
+    }
     return result;
   };
 
@@ -261,20 +339,39 @@ Result<ScenarioOutcome> run_fleet(const Scenario& sc,
                  static_cast<std::int64_t>(pr.stats.policy_swaps));
   out.report.set("alerts", static_cast<std::int64_t>(pr.alerts));
   out.report.set("failed_agents", static_cast<std::int64_t>(pr.failed));
+  if (sc.policy_rollout) {
+    out.report.set("rollout_state", pr.rollout_state);
+    out.report.set("canary_agents", static_cast<std::int64_t>(pr.canary));
+    out.report.set("rollout_target_revision",
+                   static_cast<std::int64_t>(pr.target_revision));
+    out.report.set("agents_on_target_revision",
+                   static_cast<std::int64_t>(pr.on_target));
+  }
 
   // A benign fleet workload must never fail an agent: any kFailed state
   // is a policy false positive.
   add_check(out, "no_failed_agents", pr.failed == 0,
             strformat("%zu agents in kFailed state after a benign workload",
                       pr.failed));
+  if (sc.policy_rollout) {
+    add_check(out, "rollout_promoted", pr.rollout_state == "promoted",
+              "final rollout state: " + pr.rollout_state);
+    add_check(out, "fleet_on_promoted_revision",
+              pr.on_target == pr.digests.size() && pr.on_target > 0,
+              strformat("%zu of %zu agents hold the promoted revision",
+                        pr.on_target, pr.digests.size()));
+  }
 
   if (options.self_check) {
     auto other = run(other_shard_count(static_cast<std::size_t>(
                          sc.fleet.shards)),
                      nullptr);
     if (!other.ok()) return other.error();
-    const std::string drift = digest_drift(pr.digests, other.value().digests);
-    add_check(out, "partition_invariance", drift.empty(),
+    const FleetRun& orun = other.value();
+    const std::string drift = digest_drift(pr.digests, orun.digests);
+    add_check(out, "partition_invariance",
+              drift.empty() && orun.rollout_state == pr.rollout_state &&
+                  orun.canary == pr.canary,
               drift.empty()
                   ? strformat("%zu agent chains identical at %zu vs %zu "
                               "shards",
@@ -407,6 +504,15 @@ StormOptions lower_storm(const Scenario& sc) {
       static_cast<std::uint64_t>(sc.storm.pipeline.staleness_after);
   options.pipeline.sample_agents =
       static_cast<std::size_t>(sc.storm.pipeline.sample_agents);
+  if (sc.policy_rollout) {
+    keylime::policy_store::RolloutConfig rollout;
+    rollout.canary_fraction = sc.policy_rollout->canary_fraction;
+    rollout.seed = sc.policy_rollout->seed;
+    rollout.bake_rounds = sc.policy_rollout->bake_rounds;
+    rollout.alert_budget =
+        static_cast<std::uint64_t>(sc.policy_rollout->alert_budget);
+    options.rollout = rollout;
+  }
   return options;
 }
 
@@ -469,6 +575,21 @@ json::Value storm_report_json(const StormReport& report) {
   }
   doc.set("opened_by_severity", std::move(by_severity));
   doc.set("incident_stream", report.incident_stream);
+  // Rollout fields only when the storm was staged: legacy storm reports
+  // must stay byte-identical to the harness stream they pin.
+  if (!report.rollout_state.empty()) {
+    doc.set("rollout_state", report.rollout_state);
+    doc.set("canary_agents",
+            static_cast<std::int64_t>(report.canary_agents.size()));
+    doc.set("rollout_target_revision",
+            static_cast<std::int64_t>(report.rollout_target_revision));
+    doc.set("canary_alerts",
+            static_cast<std::int64_t>(report.canary_alerts));
+    doc.set("non_canary_bad_appraisals",
+            static_cast<std::int64_t>(report.non_canary_bad_appraisals));
+    doc.set("non_canary_on_bad_revision",
+            static_cast<std::int64_t>(report.non_canary_on_bad_revision));
+  }
   return doc;
 }
 

@@ -228,6 +228,21 @@ StormSection read_storm(const json::Value& v, Error* error) {
   return storm;
 }
 
+PolicyRolloutSection read_policy_rollout(const json::Value& v, Error* error) {
+  PolicyRolloutSection rollout;
+  ObjectReader r(v, "$.policy_rollout", error);
+  rollout.canary_fraction =
+      r.number("canary_fraction", rollout.canary_fraction, 0.000001, 1.0);
+  rollout.bake_rounds = r.integer("bake_rounds", rollout.bake_rounds, 1, 100000);
+  rollout.alert_budget =
+      r.integer("alert_budget", rollout.alert_budget, 0, kMaxExactInt);
+  rollout.seed = static_cast<std::uint64_t>(
+      r.integer("seed", static_cast<std::int64_t>(rollout.seed), 0,
+                kMaxExactInt));
+  r.reject_unknown({"canary_fraction", "bake_rounds", "alert_budget", "seed"});
+  return rollout;
+}
+
 ChurnSection read_churn(const json::Value& v, Error* error) {
   ChurnSection churn;
   ObjectReader r(v, "$.churn", error);
@@ -304,6 +319,15 @@ json::Value faults_json(const FaultSection& faults) {
   return v;
 }
 
+json::Value policy_rollout_json(const PolicyRolloutSection& rollout) {
+  json::Value v;
+  v.set("canary_fraction", rollout.canary_fraction);
+  v.set("bake_rounds", rollout.bake_rounds);
+  v.set("alert_budget", rollout.alert_budget);
+  v.set("seed", static_cast<std::int64_t>(rollout.seed));
+  return v;
+}
+
 json::Value resize_json(const std::vector<ResizeEvent>& events) {
   json::Value v{json::Array{}};
   for (const ResizeEvent& event : events) {
@@ -372,8 +396,8 @@ Result<Scenario> Scenario::from_json(const json::Value& doc) {
       top.integer("seed", static_cast<std::int64_t>(sc.seed), 0, kMaxExactInt));
 
   top.reject_unknown({"version", "name", "kind", "seed", "fleet", "faults",
-                      "resize_at", "storm", "churn", "chaos", "fleet_run",
-                      "attacks"});
+                      "resize_at", "storm", "policy_rollout", "churn", "chaos",
+                      "fleet_run", "attacks"});
   if (top.failed()) return error;
 
   // Section / kind compatibility.
@@ -387,6 +411,7 @@ Result<Scenario> Scenario::from_json(const json::Value& doc) {
       {"faults", {Kind::kStorm, Kind::kChurn, Kind::kFleet}, 3},
       {"resize_at", {Kind::kStorm, Kind::kChurn, Kind::kChurn}, 2},
       {"storm", {Kind::kStorm, Kind::kStorm, Kind::kStorm}, 1},
+      {"policy_rollout", {Kind::kStorm, Kind::kFleet, Kind::kFleet}, 2},
       {"churn", {Kind::kChurn, Kind::kChurn, Kind::kChurn}, 1},
       {"chaos", {Kind::kChaos, Kind::kChaos, Kind::kChaos}, 1},
       {"fleet_run", {Kind::kFleet, Kind::kFleet, Kind::kFleet}, 1},
@@ -427,6 +452,9 @@ Result<Scenario> Scenario::from_json(const json::Value& doc) {
   }
   if (const json::Value* v = top.child("storm")) {
     sc.storm = read_storm(*v, &error);
+  }
+  if (const json::Value* v = top.child("policy_rollout")) {
+    sc.policy_rollout = read_policy_rollout(*v, &error);
   }
   if (const json::Value* v = top.child("churn")) {
     sc.churn = read_churn(*v, &error);
@@ -492,6 +520,16 @@ Result<Scenario> Scenario::from_json(const json::Value& doc) {
       }
     }
   }
+  if (sc.policy_rollout && sc.kind == Kind::kFleet) {
+    // The promote path needs the bake window to close inside the run;
+    // a rollback can trip at any boundary, so storms are unconstrained.
+    if (sc.policy_rollout->bake_rounds >= sc.fleet_run.rounds) {
+      return err(Errc::kInvalidArgument,
+                 "$.policy_rollout.bake_rounds: must be < fleet_run.rounds (" +
+                     std::to_string(sc.fleet_run.rounds) +
+                     ") or the staged revision can never promote");
+    }
+  }
   if (sc.kind == Kind::kFleet || sc.kind == Kind::kChurn) {
     if (sc.faults.timeout_rate > 0 && sc.faults.timeout_latency == 0) {
       return err(Errc::kInvalidArgument,
@@ -542,6 +580,9 @@ json::Value Scenario::to_json() const {
       p.set("sample_agents", storm.pipeline.sample_agents);
       s.set("pipeline", std::move(p));
       doc.set("storm", std::move(s));
+      if (policy_rollout) {
+        doc.set("policy_rollout", policy_rollout_json(*policy_rollout));
+      }
       break;
     }
     case Kind::kChurn: {
@@ -563,6 +604,9 @@ json::Value Scenario::to_json() const {
       json::Value r;
       r.set("rounds", fleet_run.rounds);
       doc.set("fleet_run", std::move(r));
+      if (policy_rollout) {
+        doc.set("policy_rollout", policy_rollout_json(*policy_rollout));
+      }
       break;
     }
     case Kind::kAttacks: {

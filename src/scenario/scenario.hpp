@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,19 @@ struct StormSection {
   PipelineSection pipeline;
 };
 
+/// Optional staged-rollout section (policy_store::RolloutConfig). On
+/// kind=storm the bad revision is NOT bulk-pushed: it stages onto the
+/// deterministic canary slice, bakes under the alert budget, and
+/// auto-rolls back — the runner then proves no non-canary agent ever
+/// appraised against it. On kind=fleet a benign delta revision stages,
+/// bakes clean, and auto-promotes fleet-wide.
+struct PolicyRolloutSection {
+  double canary_fraction = 0.25;
+  std::int64_t bake_rounds = 3;
+  std::int64_t alert_budget = 0;
+  std::uint64_t seed = 7;
+};
+
 /// kind=churn: per-round join/leave/reboot budgets drawn from the
 /// campaign RNG (experiments::ChurnCampaignOptions). The campaign seed
 /// derives as scenario seed ^ 0xc4, matching the legacy harness.
@@ -126,6 +140,7 @@ struct Scenario {
   FaultSection faults;       // storm / churn / fleet
   std::vector<ResizeEvent> resize_at;  // storm (at most one) / churn
   StormSection storm;        // kind=storm
+  std::optional<PolicyRolloutSection> policy_rollout;  // storm / fleet
   ChurnSection churn;        // kind=churn
   ChaosSection chaos;        // kind=chaos
   FleetRunSection fleet_run; // kind=fleet

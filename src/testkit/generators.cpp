@@ -336,6 +336,24 @@ json::Value gen_scenario(Rng& rng) {
       resizes.push_back(std::move(ev));
       doc.set("resize_at", std::move(resizes));
     }
+    // Staged rollout: storms take any bake window (a rollback can trip
+    // at any round boundary).
+    if (rng.chance(0.3)) {
+      json::Value rollout{json::Object{}};
+      if (rng.chance(0.7)) {
+        rollout.set("canary_fraction", 0.05 + rng.uniform01() * 0.9);
+      }
+      if (rng.chance(0.7)) {
+        rollout.set("bake_rounds", static_cast<std::int64_t>(1 + rng.uniform(8)));
+      }
+      if (rng.chance(0.5)) {
+        rollout.set("alert_budget", static_cast<std::int64_t>(rng.uniform(5)));
+      }
+      if (rng.chance(0.5)) {
+        rollout.set("seed", static_cast<std::int64_t>(rng.uniform(1000)));
+      }
+      doc.set("policy_rollout", std::move(rollout));
+    }
   } else if (kind == "churn") {
     const std::int64_t rounds = 1 + static_cast<std::int64_t>(rng.uniform(16));
     json::Value churn;
@@ -383,9 +401,29 @@ json::Value gen_scenario(Rng& rng) {
     }
     doc.set("chaos", std::move(chaos));
   } else if (kind == "fleet") {
+    const std::int64_t rounds = 1 + static_cast<std::int64_t>(rng.uniform(20));
     json::Value fleet_run;
-    fleet_run.set("rounds", static_cast<std::int64_t>(1 + rng.uniform(20)));
+    fleet_run.set("rounds", rounds);
     doc.set("fleet_run", std::move(fleet_run));
+    // The promote cross-check requires bake_rounds < rounds, so the
+    // window is always emitted explicitly here (the default of 3 would
+    // invalidate short runs).
+    if (rounds >= 2 && rng.chance(0.3)) {
+      json::Value rollout{json::Object{}};
+      rollout.set("bake_rounds",
+                  static_cast<std::int64_t>(
+                      1 + rng.uniform(static_cast<std::uint64_t>(rounds - 1))));
+      if (rng.chance(0.7)) {
+        rollout.set("canary_fraction", 0.05 + rng.uniform01() * 0.9);
+      }
+      if (rng.chance(0.5)) {
+        rollout.set("alert_budget", static_cast<std::int64_t>(rng.uniform(5)));
+      }
+      if (rng.chance(0.5)) {
+        rollout.set("seed", static_cast<std::int64_t>(rng.uniform(1000)));
+      }
+      doc.set("policy_rollout", std::move(rollout));
+    }
   } else {  // attacks
     json::Value attacks;
     attacks.set("archive_packages",

@@ -10,6 +10,7 @@
 #include "keylime/alert_pipeline/incident.hpp"
 #include "keylime/messages.hpp"
 #include "keylime/migration.hpp"
+#include "keylime/policy_store/store.hpp"
 #include "keylime/registrar.hpp"
 #include "keylime/runtime_policy.hpp"
 #include "keylime/verifier.hpp"
@@ -483,6 +484,91 @@ FuzzOutcome run_scenario_file(const Bytes& input) {
   return FuzzOutcome::accepted();
 }
 
+// -------------------------------------------------------- policy_delta
+
+// The static apply rig: every parsed delta is applied against one fixed
+// base policy, so both provenance gates (wrong base digest, lying target
+// digest) and the structural-conflict checks are reachable from fuzzed
+// wire bytes — and a rejected delta must leave that shared base
+// byte-identical (apply() is pure).
+const keylime::RuntimePolicy& delta_base_policy() {
+  static const keylime::RuntimePolicy* base = [] {
+    auto* policy = new keylime::RuntimePolicy();
+    for (int i = 0; i < 8; ++i) {
+      const std::string path = "/usr/bin/base-" + std::to_string(i);
+      policy->allow(path, crypto::sha256("delta-base:" + path));
+    }
+    policy->allow("/usr/bin/base-3", crypto::sha256("delta-base:alt"));
+    policy->exclude("/tmp/*");
+    policy->exclude("*.log");
+    return policy;
+  }();
+  return *base;
+}
+
+FuzzOutcome run_policy_delta(const Bytes& input) {
+  namespace ps = keylime::policy_store;
+  auto parsed = ps::PolicyDelta::parse(to_string(input));
+  if (!parsed.ok()) return FuzzOutcome::rejected();
+  const ps::PolicyDelta& delta = parsed.value();
+  auto reparsed = ps::PolicyDelta::parse(delta.serialize());
+  if (!reparsed.ok()) {
+    return FuzzOutcome::violation("serialize failed to re-parse: " +
+                                  reparsed.error().to_string());
+  }
+  if (!(reparsed.value() == delta) ||
+      reparsed.value().serialize() != delta.serialize()) {
+    return FuzzOutcome::violation("serialize/parse is not a fixed point");
+  }
+
+  const keylime::RuntimePolicy& base = delta_base_policy();
+  const std::string before = base.to_json().dump();
+  auto applied = ps::apply(base, delta);
+  if (base.to_json().dump() != before) {
+    return FuzzOutcome::violation("apply() mutated its base policy");
+  }
+  if (applied.ok()) {
+    if (delta.base_digest != ps::policy_digest(base)) {
+      return FuzzOutcome::violation("apply() accepted a wrong-base delta");
+    }
+    if (ps::policy_digest(applied.value()) != delta.target_digest) {
+      return FuzzOutcome::violation(
+          "apply() output does not hash to the claimed target digest");
+    }
+  }
+  return FuzzOutcome::accepted();
+}
+
+Bytes gen_policy_delta(Rng& rng) {
+  namespace ps = keylime::policy_store;
+  const keylime::RuntimePolicy& base = delta_base_policy();
+  keylime::RuntimePolicy target = base;
+  const std::size_t edits = 1 + rng.uniform(5);
+  for (std::size_t i = 0; i < edits; ++i) {
+    switch (rng.uniform(4)) {
+      case 0:
+        target.set_hashes("/usr/bin/new-" + rng.ident(4),
+                          {crypto::digest_hex(crypto::sha256(rng.ident(8)))});
+        break;
+      case 1:
+        target.remove_path("/usr/bin/base-" + std::to_string(rng.uniform(8)));
+        break;
+      case 2:
+        target.set_hashes("/usr/bin/base-" + std::to_string(rng.uniform(8)),
+                          {crypto::digest_hex(crypto::sha256(rng.ident(8)))});
+        break;
+      default:
+        target.exclude("/var/" + rng.ident(3) + "/*");
+        break;
+    }
+  }
+  if (ps::policy_digest(target) == ps::policy_digest(base)) {
+    target.set_hashes("/usr/bin/forced",
+                      {crypto::digest_hex(crypto::sha256("forced"))});
+  }
+  return to_bytes(ps::diff(base, target).serialize());
+}
+
 // ------------------------------------------------------------ registry
 
 std::string sample_log_text(Rng& rng) {
@@ -602,7 +688,14 @@ std::vector<FuzzTarget> build_targets() {
        "fleet_run", "attacks", "faults", "resize_at", "round", "shards",
        "agents", "drop_rate", "timeout_rate", "timeout_latency", "script",
        "rounds", "storm_rounds", "bad_paths", "pipeline", "retrying_transport",
-       "wan-loss", "flaky-window", "archive_packages"}});
+       "wan-loss", "flaky-window", "archive_packages", "policy_rollout",
+       "canary_fraction", "bake_rounds", "alert_budget"}});
+  targets.push_back(FuzzTarget{
+      "policy_delta",
+      run_policy_delta,
+      gen_policy_delta,
+      {"version", "base", "target", "entries", "op", "add", "remove",
+       "replace", "path", "hashes", "excludes"}});
   return targets;
 }
 

@@ -9,6 +9,7 @@
 //   telemetry_snapshot  telemetry::snapshot_from_json
 //   incident_snapshot   alert_pipeline::snapshot_from_json
 //   scenario            scenario::Scenario::parse   (campaign files)
+//   policy_delta        policy_store::PolicyDelta::parse + apply()
 //
 // Each target enforces the same two contracts the paper's P1–P5 bugs
 // motivate: malformed input must come back as a clean Result error

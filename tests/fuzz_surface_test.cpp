@@ -54,10 +54,11 @@ INSTANTIATE_TEST_SUITE_P(AllTargets, FuzzSurface,
                                            "runtime_policy", "wire",
                                            "checkpoint", "migration",
                                            "telemetry_snapshot",
-                                           "incident_snapshot", "scenario"));
+                                           "incident_snapshot", "scenario",
+                                           "policy_delta"));
 
-TEST(FuzzSurfaceTest, RegistryCoversExactlyTheNineSurfaces) {
-  ASSERT_EQ(all_targets().size(), 9u);
+TEST(FuzzSurfaceTest, RegistryCoversExactlyTheTenSurfaces) {
+  ASSERT_EQ(all_targets().size(), 10u);
   for (const FuzzTarget& target : all_targets()) {
     EXPECT_TRUE(target.run != nullptr) << target.name;
     EXPECT_TRUE(target.generate != nullptr) << target.name;

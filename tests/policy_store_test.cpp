@@ -1,0 +1,833 @@
+// The full-vs-delta equivalence battery for the content-addressed policy
+// store (src/keylime/policy_store/).
+//
+// The battery's core claim: for ANY base policy and ANY edit script,
+// shipping the edit as a digest-bound PolicyDelta and patching the
+// installed index incrementally is observably identical to shipping the
+// full target policy and rebuilding from scratch — same canonical JSON,
+// same digest, same index probe verdicts, same appraisal alerts, same
+// telemetry books. 60 seeded random (policy, edit-script) pairs drive
+// diff/apply/build_incremental against the full-rebuild oracle; a
+// failing seed is greedily shrunk to a minimal edit script before it is
+// reported, so a red run names the one edit that broke equivalence
+// instead of a 13-op blob.
+//
+// Alongside the battery: the strict-decode rejection table for the delta
+// wire format, the apply() provenance gates (wrong base, tampered
+// target, structural conflicts — all rejected with the base untouched),
+// the PolicyStore content-addressing contract, canary-slice determinism,
+// and the pool-level dedupe pins — a bulk push to N shards costs exactly
+// one index build, a delta push zero full builds, and a same-digest
+// repush zero builds of any kind (the promote path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/strutil.hpp"
+#include "crypto/sha256.hpp"
+#include "experiments/pool_experiment.hpp"
+#include "keylime/policy_index.hpp"
+#include "keylime/policy_store/rollout.hpp"
+#include "keylime/policy_store/store.hpp"
+#include "keylime/runtime_policy.hpp"
+#include "telemetry/metrics.hpp"
+#include "testkit/generators.hpp"
+
+namespace cia {
+namespace {
+
+namespace ps = keylime::policy_store;
+using experiments::PoolFleet;
+using experiments::PoolFleetOptions;
+using keylime::PolicyIndex;
+using keylime::PolicyMatch;
+using keylime::RuntimePolicy;
+
+std::string hex_of(const std::string& seed_text) {
+  return crypto::digest_hex(crypto::sha256(seed_text));
+}
+
+// ----------------------------------------------------------- edit scripts
+
+// One mutation of a policy. The generator draws scripts of these; the
+// shrinker deletes them one at a time while the failure persists.
+struct Edit {
+  enum class Kind { kAdd, kRemove, kReplace, kExclude };
+  Kind kind = Kind::kAdd;
+  std::string path;                 // add/remove/replace
+  std::vector<std::string> hashes;  // add/replace
+  std::string glob;                 // exclude
+};
+
+const char* edit_kind_name(Edit::Kind k) {
+  switch (k) {
+    case Edit::Kind::kAdd: return "add";
+    case Edit::Kind::kRemove: return "remove";
+    case Edit::Kind::kReplace: return "replace";
+    case Edit::Kind::kExclude: return "exclude";
+  }
+  return "?";
+}
+
+std::string describe(const std::vector<Edit>& edits) {
+  std::ostringstream out;
+  for (const Edit& e : edits) {
+    out << "  " << edit_kind_name(e.kind) << " "
+        << (e.kind == Edit::Kind::kExclude ? e.glob : e.path);
+    if (!e.hashes.empty()) out << " (" << e.hashes.size() << " hashes)";
+    out << "\n";
+  }
+  return out.str();
+}
+
+RuntimePolicy apply_edits(const RuntimePolicy& base,
+                          const std::vector<Edit>& edits) {
+  RuntimePolicy target = base;
+  for (const Edit& e : edits) {
+    switch (e.kind) {
+      case Edit::Kind::kAdd:
+      case Edit::Kind::kReplace:
+        target.set_hashes(e.path, e.hashes);
+        break;
+      case Edit::Kind::kRemove:
+        target.remove_path(e.path);
+        break;
+      case Edit::Kind::kExclude:
+        target.exclude(e.glob);
+        break;
+    }
+  }
+  return target;
+}
+
+std::vector<std::string> fresh_hashes(Rng& rng) {
+  std::vector<std::string> hashes;
+  const std::size_t n = 1 + rng.uniform(3);
+  for (std::size_t i = 0; i < n; ++i) hashes.push_back(hex_of(rng.ident(12)));
+  return hashes;
+}
+
+// A random edit script against `base`: adds, removals and hash swaps in
+// the §III-C daily-update shape, with an occasional exclude-list edit to
+// force build_incremental through its full-rebuild fallback. The leading
+// add targets a reserved path no other edit touches, so a script can
+// never cancel to the identity (diff() of identical policies is not a
+// valid delta, and rightly so).
+std::vector<Edit> gen_edits(Rng& rng, const RuntimePolicy& base,
+                            std::uint64_t tag) {
+  std::vector<std::string> paths;
+  base.for_each_path([&](const std::string& path,
+                         const std::vector<std::string>&) {
+    paths.push_back(path);
+  });
+
+  std::vector<Edit> edits;
+  edits.push_back({Edit::Kind::kAdd,
+                   strformat("/gen/keep-%llu",
+                             static_cast<unsigned long long>(tag)),
+                   fresh_hashes(rng), ""});
+  const std::size_t n = 1 + rng.uniform(12);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t pick = rng.uniform(10);
+    if (pick < 4) {
+      edits.push_back({Edit::Kind::kAdd, "/gen/extra-" + rng.ident(6),
+                       fresh_hashes(rng), ""});
+    } else if (pick < 7 && !paths.empty()) {
+      edits.push_back({Edit::Kind::kReplace,
+                       paths[rng.uniform(paths.size())], fresh_hashes(rng),
+                       ""});
+    } else if (pick < 9 && !paths.empty()) {
+      edits.push_back({Edit::Kind::kRemove, paths[rng.uniform(paths.size())],
+                       {},
+                       ""});
+    } else {
+      edits.push_back({Edit::Kind::kExclude, "", {},
+                       "/var/gen-" + rng.ident(4) + "/*"});
+    }
+  }
+  return edits;
+}
+
+// ------------------------------------------------- the equivalence oracle
+
+// Empty string = the edit script round-trips exactly; otherwise a
+// description of the first divergence. A script that cancels out to the
+// identity policy vacuously passes (there is no delta to ship then).
+std::string round_trip_failure(const RuntimePolicy& base,
+                               const std::vector<Edit>& edits) {
+  const RuntimePolicy target = apply_edits(base, edits);
+  const std::string base_digest = ps::policy_digest(base);
+  const std::string target_digest = ps::policy_digest(target);
+  if (base_digest == target_digest) return "";
+
+  // diff -> apply reproduces the target bit-for-bit.
+  const ps::PolicyDelta delta = ps::diff(base, target);
+  if (delta.base_digest != base_digest || delta.target_digest != target_digest)
+    return "diff() mislabeled its digest binding";
+  auto applied = ps::apply(base, delta);
+  if (!applied.ok()) return "apply() rejected its own diff: " +
+                            applied.error().message;
+  if (applied.value().to_json().dump() != target.to_json().dump())
+    return "apply(diff()) is not the identity on canonical JSON";
+  if (ps::policy_digest(applied.value()) != target_digest)
+    return "applied policy does not hash to the target digest";
+
+  // Wire fixed point: everything diff() mints survives strict decode.
+  auto reparsed = ps::PolicyDelta::parse(delta.serialize());
+  if (!reparsed.ok())
+    return "strict decoder rejected diff() output: " +
+           reparsed.error().message;
+  if (!(reparsed.value() == delta))
+    return "parse(serialize()) is not the identity";
+
+  // Index equivalence: the incremental patch of the base index must be
+  // observably identical to a from-scratch build of the target.
+  const auto base_index = PolicyIndex::build(base, 1);
+  const auto full_index = PolicyIndex::build(target, 2);
+  const auto incr_index =
+      PolicyIndex::build_incremental(base_index, target, delta, 2);
+  if (full_index->entry_count() != incr_index->entry_count())
+    return "entry_count diverged between full and incremental build";
+  if (full_index->path_count() != incr_index->path_count())
+    return "path_count diverged between full and incremental build";
+  if (incr_index->entry_count() != target.entry_count())
+    return "incremental index lost entries vs the target policy";
+
+  std::vector<std::string> probes;
+  base.for_each_path([&](const std::string& path,
+                         const std::vector<std::string>&) {
+    probes.push_back(path);
+  });
+  target.for_each_path([&](const std::string& path,
+                           const std::vector<std::string>&) {
+    probes.push_back(path);
+  });
+  Rng probe_rng(ps::policy_digest(target).size() + target.entry_count());
+  for (int i = 0; i < 16; ++i) probes.push_back(testkit::gen_path(probe_rng));
+
+  const std::string bogus(64, '0');
+  for (const std::string& path : probes) {
+    std::vector<std::string> hashes{bogus};
+    if (const auto* h = target.hashes_for(path); h && !h->empty())
+      hashes.push_back(h->front());
+    if (const auto* h = base.hashes_for(path); h && !h->empty())
+      hashes.push_back(h->front());
+    for (const std::string& hash : hashes) {
+      bool known_full = false, known_incr = false;
+      const PolicyMatch oracle = target.check(path, hash);
+      const PolicyMatch full = full_index->check(path, hash, &known_full);
+      const PolicyMatch incr = incr_index->check(path, hash, &known_incr);
+      if (full != oracle)
+        return "full index disagrees with RuntimePolicy::check on " + path;
+      if (incr != full || known_incr != known_full)
+        return "incremental index diverged from full build on " + path;
+    }
+  }
+  return "";
+}
+
+// Greedy delta-debugging: drop one edit at a time while the failure
+// persists, so the reported script is locally minimal.
+std::vector<Edit> shrink_edits(const RuntimePolicy& base,
+                               std::vector<Edit> edits) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < edits.size(); ++i) {
+      std::vector<Edit> candidate = edits;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (candidate.empty()) continue;
+      if (!round_trip_failure(base, candidate).empty()) {
+        edits = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return edits;
+}
+
+TEST(PolicyDeltaEquivalence, SixtySeedBattery) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    Rng rng(seed * 1000 + 7);
+    const RuntimePolicy base = testkit::gen_policy(rng, 48);
+    const std::vector<Edit> edits = gen_edits(rng, base, seed);
+    const std::string failure = round_trip_failure(base, edits);
+    if (!failure.empty()) {
+      const std::vector<Edit> minimal = shrink_edits(base, edits);
+      FAIL() << "seed " << seed << ": " << round_trip_failure(base, minimal)
+             << "\nminimal edit script (" << minimal.size() << " of "
+             << edits.size() << " edits):\n"
+             << describe(minimal);
+    }
+  }
+}
+
+// A stream of daily deltas builds an overlay chain: each incremental
+// index stores only its patch and resolves everything else through the
+// shared base. The chain must stay observably identical to a
+// from-scratch build at EVERY step, cap its depth at kMaxLayerDepth
+// (flattening instead of growing without bound), and never pay a full
+// build.
+TEST(PolicyDeltaEquivalence, DeltaChainStaysEquivalentAndFlattens) {
+  Rng rng(910);
+  RuntimePolicy current = testkit::gen_policy(rng, 40);
+  auto index = PolicyIndex::build(current, 1);
+  ASSERT_EQ(index->layer_depth(), 0u);
+  const std::uint64_t full_builds_before = PolicyIndex::full_build_count();
+
+  bool flattened = false;
+  std::uint64_t oracle_builds = 0;
+  const std::size_t steps = 2 * PolicyIndex::kMaxLayerDepth + 3;
+  for (std::size_t step = 1; step <= steps; ++step) {
+    // Exclude edits force the full-rebuild fallback (which resets the
+    // chain anyway); drop them so this stream exercises pure layering.
+    std::vector<Edit> edits = gen_edits(rng, current, 1000 + step);
+    edits.erase(std::remove_if(edits.begin(), edits.end(),
+                               [](const Edit& e) {
+                                 return e.kind == Edit::Kind::kExclude;
+                               }),
+                edits.end());
+    const RuntimePolicy target = apply_edits(current, edits);
+    if (ps::policy_digest(target) == ps::policy_digest(current)) continue;
+    const ps::PolicyDelta delta = ps::diff(current, target);
+
+    const std::size_t prev_depth = index->layer_depth();
+    index = PolicyIndex::build_incremental(index, target, delta,
+                                           1 + static_cast<std::uint64_t>(step));
+    ASSERT_NE(index, nullptr);
+    EXPECT_LE(index->layer_depth(), PolicyIndex::kMaxLayerDepth);
+    if (prev_depth == PolicyIndex::kMaxLayerDepth) {
+      EXPECT_EQ(index->layer_depth(), 0u) << "step " << step
+                                          << ": chain did not flatten";
+      flattened = true;
+    } else {
+      EXPECT_EQ(index->layer_depth(), prev_depth + 1) << "step " << step;
+    }
+
+    // Equivalent to a from-scratch build over every path the delta
+    // touched (including removals, which must tombstone through to
+    // not-in-policy) and every path the target still carries.
+    const auto fresh = PolicyIndex::build(target, 99);
+    ++oracle_builds;
+    EXPECT_EQ(index->entry_count(), fresh->entry_count()) << "step " << step;
+    EXPECT_EQ(index->path_count(), fresh->path_count()) << "step " << step;
+    std::vector<std::string> probes;
+    for (const ps::DeltaEntry& e : delta.entries) probes.push_back(e.path);
+    target.for_each_path([&](const std::string& path,
+                             const std::vector<std::string>&) {
+      probes.push_back(path);
+    });
+    for (const std::string& path : probes) {
+      const std::vector<std::string>* hashes = target.hashes_for(path);
+      std::vector<std::string> candidates = {hex_of("bogus:" + path)};
+      if (hashes != nullptr && !hashes->empty()) {
+        candidates.push_back(hashes->front());
+      }
+      for (const std::string& h : candidates) {
+        bool layered_known = false, fresh_known = false;
+        const PolicyMatch layered = index->check(path, h, &layered_known);
+        const PolicyMatch flat = fresh->check(path, h, &fresh_known);
+        ASSERT_EQ(layered, flat) << "step " << step << " path " << path;
+        ASSERT_EQ(layered_known, fresh_known)
+            << "step " << step << " path " << path;
+        ASSERT_EQ(layered, target.check(path, h))
+            << "step " << step << " path " << path;
+      }
+    }
+    current = target;
+  }
+  EXPECT_TRUE(flattened) << "chain never reached the flatten threshold";
+  // The fresh oracle builds above are the only full builds; neither the
+  // delta stream nor the flatten ever pays one.
+  EXPECT_EQ(PolicyIndex::full_build_count(), full_builds_before + oracle_builds);
+}
+
+// The digest really is content addressing over canonical JSON.
+TEST(PolicyDigestTest, ContentAddressed) {
+  RuntimePolicy a;
+  a.allow("/bin/x", hex_of("x"));
+  a.exclude("/tmp/*");
+  RuntimePolicy b;
+  b.allow("/bin/x", hex_of("x"));
+  b.exclude("/tmp/*");
+  EXPECT_EQ(ps::policy_digest(a), ps::policy_digest(b));
+  EXPECT_EQ(ps::policy_digest(a).size(), 64u);
+
+  b.allow("/bin/y", hex_of("y"));
+  EXPECT_NE(ps::policy_digest(a), ps::policy_digest(b));
+}
+
+// ------------------------------------------------ strict-decode rejections
+
+ps::PolicyDelta sample_delta() {
+  RuntimePolicy base;
+  base.allow("/bin/a", hex_of("a"));
+  base.allow("/bin/b", hex_of("b"));
+  base.exclude("/tmp/*");
+  RuntimePolicy target = base;
+  target.set_hashes("/bin/b", {hex_of("b2")});
+  target.set_hashes("/bin/c", {hex_of("c")});
+  return ps::diff(base, target);
+}
+
+void expect_rejected(const json::Value& doc, const std::string& why) {
+  auto decoded = ps::PolicyDelta::parse(doc.dump());
+  EXPECT_FALSE(decoded.ok()) << "decoder accepted " << why << ": "
+                             << doc.dump();
+}
+
+TEST(PolicyDeltaDecodeTest, AcceptsItsOwnWireForm) {
+  const ps::PolicyDelta delta = sample_delta();
+  auto decoded = ps::PolicyDelta::parse(delta.serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_TRUE(decoded.value() == delta);
+  EXPECT_EQ(decoded.value().serialize(), delta.serialize())
+      << "decode must be a serialization fixed point";
+}
+
+TEST(PolicyDeltaDecodeTest, RejectionTable) {
+  const ps::PolicyDelta delta = sample_delta();
+
+  {
+    json::Value doc = delta.to_json();
+    doc.set("extra", 1);
+    expect_rejected(doc, "an unknown top-level field");
+  }
+  {
+    json::Value doc = delta.to_json();
+    doc.set("version", 2);
+    expect_rejected(doc, "a wrong version");
+  }
+  {
+    json::Value doc = delta.to_json();
+    doc.as_object().erase("version");
+    expect_rejected(doc, "a missing version");
+  }
+  {
+    json::Value doc = delta.to_json();
+    doc.set("base", "ABCDEF");  // short and uppercase
+    expect_rejected(doc, "a malformed base digest");
+  }
+  {
+    json::Value doc = delta.to_json();
+    doc.set("target", delta.base_digest);
+    expect_rejected(doc, "identical base and target digests");
+  }
+  {
+    json::Value doc = delta.to_json();
+    doc.set("entries", 3);
+    expect_rejected(doc, "a non-array entries field");
+  }
+  {
+    json::Value doc = delta.to_json();
+    doc.set("entries", json::Value{json::Array{}});
+    doc.as_object().erase("excludes");
+    expect_rejected(doc, "a delta that patches nothing");
+  }
+  {
+    ps::PolicyDelta swapped = delta;
+    ASSERT_GE(swapped.entries.size(), 2u);
+    std::swap(swapped.entries.front(), swapped.entries.back());
+    expect_rejected(swapped.to_json(), "out-of-order entries");
+  }
+  {
+    ps::PolicyDelta dup = delta;
+    dup.entries.push_back(dup.entries.back());
+    expect_rejected(dup.to_json(), "a duplicated entry path");
+  }
+  {
+    ps::PolicyDelta bad = delta;
+    bad.entries.front().hashes = {"zz"};
+    expect_rejected(bad.to_json(), "a non-hex entry hash");
+  }
+  {
+    ps::PolicyDelta bad = delta;
+    bad.entries.front().hashes = {hex_of("h"), hex_of("h")};
+    expect_rejected(bad.to_json(), "a duplicated entry hash");
+  }
+  {
+    ps::PolicyDelta bad = delta;
+    bad.entries.front().hashes.clear();
+    expect_rejected(bad.to_json(), "an add entry with no hashes");
+  }
+  {
+    // A remove entry must not carry a hashes key at all.
+    json::Value doc = delta.to_json();
+    json::Value entry;
+    entry.set("op", "remove");
+    entry.set("path", "/zzz/last");
+    entry.set("hashes", json::Value{json::Array{}});
+    doc.as_object()["entries"].push_back(std::move(entry));
+    expect_rejected(doc, "a remove entry carrying hashes");
+  }
+  {
+    json::Value doc = delta.to_json();
+    json::Value entry;
+    entry.set("op", "upsert");
+    entry.set("path", "/zzz/last");
+    doc.as_object()["entries"].push_back(std::move(entry));
+    expect_rejected(doc, "an unknown op");
+  }
+  {
+    json::Value doc = delta.to_json();
+    json::Value& entry = doc.as_object()["entries"].as_array().front();
+    entry.set("note", "tamper");
+    expect_rejected(doc, "an unknown per-entry field");
+  }
+  {
+    json::Value doc = delta.to_json();
+    json::Value globs{json::Array{}};
+    globs.push_back("");
+    doc.set("excludes", std::move(globs));
+    expect_rejected(doc, "an empty exclude glob");
+  }
+}
+
+// --------------------------------------------------- apply() provenance
+
+TEST(PolicyApplyTest, WrongBaseRejectedWithNoPartialState) {
+  const ps::PolicyDelta delta = sample_delta();
+  RuntimePolicy other;
+  other.allow("/bin/a", hex_of("a"));  // different content, different digest
+  const std::string before = other.to_json().dump();
+
+  auto applied = ps::apply(other, delta);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.error().code, Errc::kProtocolViolation);
+  EXPECT_EQ(other.to_json().dump(), before)
+      << "a rejected delta must leave the base policy untouched";
+}
+
+TEST(PolicyApplyTest, TamperedTargetDigestRejected) {
+  RuntimePolicy base;
+  base.allow("/bin/a", hex_of("a"));
+  RuntimePolicy target = base;
+  target.allow("/bin/b", hex_of("b"));
+  ps::PolicyDelta delta = ps::diff(base, target);
+  delta.target_digest[0] = delta.target_digest[0] == '0' ? '1' : '0';
+  auto applied = ps::apply(base, delta);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.error().code, Errc::kProtocolViolation);
+}
+
+TEST(PolicyApplyTest, TamperedEntryHashRejected) {
+  RuntimePolicy base;
+  base.allow("/bin/a", hex_of("a"));
+  RuntimePolicy target = base;
+  target.allow("/bin/b", hex_of("b"));
+  ps::PolicyDelta delta = ps::diff(base, target);
+  ASSERT_EQ(delta.entries.size(), 1u);
+  delta.entries.front().hashes = {hex_of("evil")};  // wrong content
+  auto applied = ps::apply(base, delta);
+  ASSERT_FALSE(applied.ok())
+      << "a patched policy that does not hash to the target must die";
+}
+
+TEST(PolicyApplyTest, StructuralConflictsRejectedBeforeDigestCheck) {
+  RuntimePolicy base;
+  base.allow("/bin/a", hex_of("a"));
+  const std::string base_digest = ps::policy_digest(base);
+
+  ps::PolicyDelta add_existing;
+  add_existing.base_digest = base_digest;
+  add_existing.target_digest = std::string(64, 'f');
+  add_existing.entries.push_back(
+      {ps::DeltaEntry::Op::kAdd, "/bin/a", {hex_of("x")}});
+  EXPECT_FALSE(ps::apply(base, add_existing).ok());
+
+  ps::PolicyDelta replace_missing;
+  replace_missing.base_digest = base_digest;
+  replace_missing.target_digest = std::string(64, 'f');
+  replace_missing.entries.push_back(
+      {ps::DeltaEntry::Op::kReplace, "/bin/zz", {hex_of("x")}});
+  EXPECT_FALSE(ps::apply(base, replace_missing).ok());
+
+  ps::PolicyDelta remove_missing;
+  remove_missing.base_digest = base_digest;
+  remove_missing.target_digest = std::string(64, 'f');
+  remove_missing.entries.push_back({ps::DeltaEntry::Op::kRemove, "/bin/zz", {}});
+  EXPECT_FALSE(ps::apply(base, remove_missing).ok());
+}
+
+// ------------------------------------------------------------ PolicyStore
+
+TEST(PolicyStoreTest, ContentAddressingContract) {
+  ps::PolicyStore store;
+  EXPECT_TRUE(store.head().empty());
+
+  RuntimePolicy v1;
+  v1.allow("/bin/a", hex_of("a"));
+  RuntimePolicy v2 = v1;
+  v2.allow("/bin/b", hex_of("b"));
+
+  const std::string d1 = store.put(v1);
+  EXPECT_EQ(store.head(), d1);
+  EXPECT_EQ(store.put(v1), d1) << "put must be idempotent on content";
+  EXPECT_EQ(store.revision_count(), 1u);
+
+  const std::string d2 = store.put(v2);
+  EXPECT_NE(d1, d2);
+  EXPECT_EQ(store.head(), d2);
+  EXPECT_EQ(store.revision_count(), 2u);
+
+  ASSERT_NE(store.get(d1), nullptr);
+  EXPECT_EQ(ps::policy_digest(*store.get(d1)), d1);
+  EXPECT_EQ(store.get(std::string(64, '9')), nullptr);
+
+  const ps::PolicyDelta delta = ps::diff(v1, v2);
+  store.put_delta(delta);
+  EXPECT_EQ(store.delta_count(), 1u);
+  ASSERT_NE(store.delta_between(d1, d2), nullptr);
+  EXPECT_TRUE(*store.delta_between(d1, d2) == delta);
+  EXPECT_EQ(store.delta_between(d2, d1), nullptr);
+}
+
+// ------------------------------------------------------------ canary slice
+
+TEST(CanarySliceTest, DeterministicProperSlice) {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < 100; ++i)
+    ids.push_back(strformat("agent-%04zu", i));
+
+  const auto slice = ps::canary_slice(ids, 0.25, 7);
+  EXPECT_EQ(slice, ps::canary_slice(ids, 0.25, 7)) << "must be deterministic";
+  EXPECT_TRUE(std::is_sorted(slice.begin(), slice.end()));
+  EXPECT_GT(slice.size(), 0u);
+  EXPECT_LT(slice.size(), ids.size());
+  for (const std::string& id : slice)
+    EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), id));
+
+  // A quarter of the hash space should catch very roughly a quarter of
+  // the fleet (the hash is avalanche-mixed, not a modulo).
+  EXPECT_GT(slice.size(), 10u);
+  EXPECT_LT(slice.size(), 45u);
+
+  EXPECT_NE(ps::canary_slice(ids, 0.25, 8), slice)
+      << "the seed must reshuffle the slice";
+  EXPECT_EQ(ps::canary_slice(ids, 1.0, 7).size(), ids.size());
+  EXPECT_EQ(ps::canary_slice(ids, 1e-9, 7).size(), 1u)
+      << "a non-zero fraction must never select an empty canary";
+}
+
+// ------------------------------------------------- pool-level dedupe pins
+
+// The N-shard duplicate-build fix: however many shards a revision fans
+// out to, it costs exactly one index build — full for a cold push,
+// incremental for a rebasing delta, zero for a same-digest repush.
+TEST(PoolPushDedupTest, OneBuildPerRevisionAcrossShards) {
+  telemetry::MetricsRegistry metrics;
+  PoolFleetOptions options;
+  options.agents = 24;
+  options.shards = 6;
+  options.seed = 99;
+  options.metrics = &metrics;
+  PoolFleet fleet(options);
+  ASSERT_TRUE(fleet.init_status().ok()) << fleet.init_status().error().message;
+
+  const std::uint64_t full0 = PolicyIndex::full_build_count();
+  const std::uint64_t incr0 = PolicyIndex::incremental_build_count();
+
+  // Cold content-addressed push: one full build for all 6 shards.
+  const RuntimePolicy v1 = fleet.fleet_policy();
+  const std::string d1 = ps::policy_digest(v1);
+  ASSERT_TRUE(fleet.pool()
+                  .push_revision(fleet.agent_ids(), v1, d1, nullptr)
+                  .ok());
+  EXPECT_EQ(PolicyIndex::full_build_count() - full0, 1u);
+  EXPECT_EQ(PolicyIndex::incremental_build_count() - incr0, 0u);
+
+  // Rebasing delta push: one incremental patch, zero full builds.
+  RuntimePolicy v2 = v1;
+  v2.set_hashes("/gen/daily-update", {hex_of("daily")});
+  const std::string d2 = ps::policy_digest(v2);
+  const ps::PolicyDelta delta = ps::diff(v1, v2);
+  ASSERT_TRUE(fleet.pool()
+                  .push_revision(fleet.agent_ids(), v2, d2, &delta)
+                  .ok());
+  EXPECT_EQ(PolicyIndex::full_build_count() - full0, 1u)
+      << "a rebasing delta must never pay a full rebuild";
+  EXPECT_EQ(PolicyIndex::incremental_build_count() - incr0, 1u);
+
+  // Same-digest repush (the promote path): zero builds, no revision bump.
+  const std::uint64_t revision = fleet.pool().policy_revision();
+  ASSERT_TRUE(fleet.pool()
+                  .push_revision(fleet.agent_ids(), v2, d2, nullptr)
+                  .ok());
+  EXPECT_EQ(PolicyIndex::full_build_count() - full0, 1u);
+  EXPECT_EQ(PolicyIndex::incremental_build_count() - incr0, 1u);
+  EXPECT_EQ(fleet.pool().policy_revision(), revision)
+      << "reusing the cached index must not mint a new revision";
+
+  // The telemetry books agree with the process-wide counters.
+  EXPECT_EQ(metrics.counter_value("cia_policy_index_builds_total",
+                                  {{"mode", "full"}}),
+            1u);
+  EXPECT_EQ(metrics.counter_value("cia_policy_index_builds_total",
+                                  {{"mode", "incremental"}}),
+            1u);
+  EXPECT_EQ(metrics.counter_value("cia_policy_index_builds_total",
+                                  {{"mode", "reused"}}),
+            1u);
+
+  // A digest-less bulk push invalidates the cache: the next delta push
+  // cannot prove its base and must fall back to a full build.
+  ASSERT_TRUE(fleet.pool().set_policy_bulk(fleet.agent_ids(), v2).ok());
+  EXPECT_EQ(PolicyIndex::full_build_count() - full0, 2u)
+      << "set_policy_bulk costs one full build for the whole fleet";
+  RuntimePolicy v3 = v2;
+  v3.set_hashes("/gen/daily-update-2", {hex_of("daily2")});
+  const ps::PolicyDelta delta23 = ps::diff(v2, v3);
+  ASSERT_TRUE(fleet.pool()
+                  .push_revision(fleet.agent_ids(), v3, ps::policy_digest(v3),
+                                 &delta23)
+                  .ok());
+  EXPECT_EQ(PolicyIndex::incremental_build_count() - incr0, 1u)
+      << "a delta must not rebase onto an unproven base";
+  EXPECT_EQ(PolicyIndex::full_build_count() - full0, 3u);
+
+  // The staged revisions actually land on the fleet.
+  fleet.run_workload_round(0);
+  fleet.pool().run_round();
+  EXPECT_EQ(fleet.pool().policy_revision_of(fleet.agent_ids().front()),
+            fleet.pool().policy_revision());
+}
+
+// ------------------------------------------- fleet-level full vs delta
+
+struct FleetOutcome {
+  std::string alerts;
+  std::string chains;
+  std::string books;
+};
+
+std::string dump_alerts(std::vector<keylime::Alert> alerts) {
+  std::sort(alerts.begin(), alerts.end(),
+            [](const keylime::Alert& a, const keylime::Alert& b) {
+              return std::tie(a.time, a.agent_id, a.log_index, a.path) <
+                     std::tie(b.time, b.agent_id, b.log_index, b.path);
+            });
+  std::ostringstream out;
+  for (const keylime::Alert& a : alerts) {
+    out << a.time << " " << a.agent_id << " "
+        << keylime::alert_type_name(a.type) << " " << a.path << " "
+        << a.observed_hash_hex << " " << a.log_index << " rev="
+        << a.policy_revision << "\n";
+  }
+  return out.str();
+}
+
+// Counters and gauges only: histograms record wall-clock micros, which
+// legitimately differ between two otherwise identical runs. The two
+// mode-distinguishing families are excluded too — they are the
+// independent variable of the experiment, everything else is not
+// allowed to move.
+std::string dump_books(const telemetry::MetricsRegistry& metrics) {
+  std::ostringstream out;
+  for (const telemetry::MetricPoint& p : metrics.snapshot().points) {
+    if (p.kind == telemetry::MetricKind::kHistogram) continue;
+    if (p.name == "cia_policy_index_builds_total" ||
+        p.name == "cia_policy_delta_entries_total") {
+      continue;
+    }
+    out << p.name << "{";
+    for (const auto& [k, v] : p.labels) out << k << "=" << v << ",";
+    out << "}=" << p.value << "\n";
+  }
+  return out.str();
+}
+
+FleetOutcome run_fleet_push(bool use_delta, std::uint64_t seed) {
+  telemetry::MetricsRegistry metrics;
+  PoolFleetOptions options;
+  options.agents = 18;
+  options.shards = 3;
+  options.seed = seed;
+  options.verifier.continue_on_failure = true;
+  options.metrics = &metrics;
+  PoolFleet fleet(options);
+  EXPECT_TRUE(fleet.init_status().ok());
+
+  const RuntimePolicy v1 = fleet.fleet_policy();
+  EXPECT_TRUE(fleet.pool()
+                  .push_revision(fleet.agent_ids(), v1, ps::policy_digest(v1),
+                                 nullptr)
+                  .ok());
+  for (std::uint64_t round = 0; round < 2; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().run_round();
+  }
+
+  // The "daily update": corrupt the digest of the binary first-executed
+  // in round 2 (slot 8 = 2 rounds x 4 execs) and add one fresh path, so
+  // every agent trips the corrupted digest under the new revision.
+  RuntimePolicy v2;
+  v1.for_each_path([&](const std::string& path,
+                       const std::vector<std::string>& hashes) {
+    if (path == "/usr/bin/tool-008") {
+      v2.allow(path, crypto::sha256("equiv:corrupt:" + path));
+    } else {
+      for (const std::string& h : hashes) v2.allow(path, h);
+    }
+  });
+  for (const std::string& glob : v1.excludes()) v2.exclude(glob);
+  v2.allow("/gen/daily-extra", hex_of("extra"));
+
+  const std::string d2 = ps::policy_digest(v2);
+  if (use_delta) {
+    const ps::PolicyDelta delta = ps::diff(v1, v2);
+    EXPECT_TRUE(
+        fleet.pool().push_revision(fleet.agent_ids(), v2, d2, &delta).ok());
+    EXPECT_EQ(metrics.counter_value("cia_policy_index_builds_total",
+                                    {{"mode", "incremental"}}),
+              1u);
+  } else {
+    EXPECT_TRUE(
+        fleet.pool().push_revision(fleet.agent_ids(), v2, d2, nullptr).ok());
+    EXPECT_EQ(metrics.counter_value("cia_policy_index_builds_total",
+                                    {{"mode", "incremental"}}),
+              0u);
+  }
+
+  for (std::uint64_t round = 2; round < 5; ++round) {
+    fleet.run_workload_round(round);
+    fleet.pool().run_round();
+  }
+
+  FleetOutcome outcome;
+  outcome.alerts = dump_alerts(fleet.pool().alerts());
+  std::ostringstream chains;
+  for (const auto& [agent, digest] :
+       experiments::per_agent_chain_digests(fleet.pool())) {
+    chains << agent << "=" << digest << "\n";
+  }
+  outcome.chains = chains.str();
+  outcome.books = dump_books(metrics);
+  return outcome;
+}
+
+// The tentpole's observable-equivalence claim at fleet level: a delta
+// push and a full push of the same target revision produce the same
+// alerts (same timestamps, same revision tags), the same per-agent audit
+// chains, and the same telemetry books.
+TEST(FleetFullVsDeltaTest, ObservablyIdenticalAcrossSeeds) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const FleetOutcome full = run_fleet_push(false, seed);
+    const FleetOutcome delta = run_fleet_push(true, seed);
+    EXPECT_FALSE(full.alerts.empty())
+        << "seed " << seed << ": the corrupted digest must alert";
+    EXPECT_EQ(full.alerts, delta.alerts) << "seed " << seed;
+    EXPECT_EQ(full.chains, delta.chains) << "seed " << seed;
+    EXPECT_EQ(full.books, delta.books) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cia

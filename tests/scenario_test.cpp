@@ -53,6 +53,34 @@ constexpr char kSmallChurn[] = R"({
   "churn": {"rounds": 6, "round_period": 120}
 })";
 
+// A staged-rollout storm: the bad revision goes to a canary slice
+// instead of a fleet-wide bulk push, bakes under a zero alert budget,
+// and must roll back without ever touching a non-canary agent.
+constexpr char kSmallRolloutStorm[] = R"({
+  "version": 1,
+  "name": "diff-rollout-storm",
+  "kind": "storm",
+  "seed": 99,
+  "fleet": {"agents": 30, "shards": 3, "binaries_per_machine": 12},
+  "storm": {"warmup_rounds": 1, "storm_rounds": 4, "round_period": 60,
+            "bad_paths": 2},
+  "policy_rollout": {"canary_fraction": 0.3, "bake_rounds": 3,
+                     "alert_budget": 0, "seed": 7}
+})";
+
+// A benign delta revision staged on a fleet run: bakes clean and must
+// promote fleet-wide through the zero-build reuse path.
+constexpr char kSmallRolloutFleet[] = R"({
+  "version": 1,
+  "name": "diff-rollout-fleet",
+  "kind": "fleet",
+  "seed": 77,
+  "fleet": {"agents": 20, "shards": 3, "binaries_per_machine": 12},
+  "fleet_run": {"rounds": 5},
+  "policy_rollout": {"canary_fraction": 0.25, "bake_rounds": 2,
+                     "alert_budget": 0, "seed": 11}
+})";
+
 Scenario must_parse(const std::string& text) {
   auto parsed = Scenario::parse(text);
   EXPECT_TRUE(parsed.ok()) << (parsed.ok() ? "" : parsed.error().message);
@@ -177,12 +205,61 @@ TEST(ScenarioDifferentialTest, StormSelfChecksHoldOnTheSmallStorm) {
   }
 }
 
+// --------------------------------------------------- rollout scenarios
+
+TEST(ScenarioRolloutTest, StormRolloutRollsBackAndContainsTheBadRevision) {
+  const Scenario sc = must_parse(kSmallRolloutStorm);
+  const ScenarioOutcome outcome = must_run(sc, /*self_check=*/true);
+
+  // 4 rollout contracts + partition/resize invariance.
+  ASSERT_EQ(outcome.checks.size(), 6u);
+  for (const SelfCheck& check : outcome.checks) {
+    EXPECT_TRUE(check.ok) << check.name << ": " << check.detail;
+  }
+  const json::Value* state = outcome.report.find("rollout_state");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->as_string(), "rolled_back");
+  const json::Value* escaped = outcome.report.find("non_canary_bad_appraisals");
+  ASSERT_NE(escaped, nullptr);
+  EXPECT_EQ(escaped->as_int(), 0);
+}
+
+TEST(ScenarioRolloutTest, FleetRolloutPromotesTheStagedRevision) {
+  const Scenario sc = must_parse(kSmallRolloutFleet);
+  const ScenarioOutcome outcome = must_run(sc, /*self_check=*/true);
+
+  ASSERT_EQ(outcome.checks.size(), 4u);
+  for (const SelfCheck& check : outcome.checks) {
+    EXPECT_TRUE(check.ok) << check.name << ": " << check.detail;
+  }
+  const json::Value* state = outcome.report.find("rollout_state");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->as_string(), "promoted");
+}
+
+TEST(ScenarioRolloutTest, RolloutRunsAreDeterministic) {
+  const Scenario sc = must_parse(kSmallRolloutStorm);
+  const ScenarioOutcome a = must_run(sc);
+  const ScenarioOutcome b = must_run(sc);
+  EXPECT_EQ(a.report.dump(), b.report.dump());
+  EXPECT_EQ(a.incident_stream, b.incident_stream);
+}
+
+// A legacy storm (no rollout section) must not grow rollout report keys:
+// its canonical report stays byte-compatible with pre-rollout builds.
+TEST(ScenarioRolloutTest, LegacyStormReportCarriesNoRolloutKeys) {
+  const Scenario sc = must_parse(kSmallStorm);
+  const ScenarioOutcome outcome = must_run(sc);
+  EXPECT_EQ(outcome.report.find("rollout_state"), nullptr);
+  EXPECT_EQ(outcome.report.find("canary_agents"), nullptr);
+}
+
 // ------------------------------------------------ checked-in scenarios
 
 TEST(ScenarioFilesTest, EveryCheckedInScenarioValidates) {
   const std::string dir = default_scenario_dir();
   const std::vector<std::string> files = list_scenario_files(dir);
-  EXPECT_GE(files.size(), 9u) << "scenario directory went missing: " << dir;
+  EXPECT_GE(files.size(), 11u) << "scenario directory went missing: " << dir;
   for (const std::string& file : files) {
     auto loaded = load_file(file);
     EXPECT_TRUE(loaded.ok())
@@ -287,6 +364,23 @@ TEST(ScenarioSchemaTest, EveryInvalidFixtureFailsWithThePinnedMessage) {
        R"({"version":1,"name":"x","kind":"churn","churn":{"rounds":3},
            "resize_at":7})",
        "$.resize_at: must be an array"},
+      {"rollout on a chaos scenario",
+       R"({"version":1,"name":"x","kind":"chaos",
+           "chaos":{"script":"wan-loss"},"policy_rollout":{}})",
+       "$.policy_rollout: not valid for kind \"chaos\""},
+      {"rollout canary fraction out of range",
+       R"({"version":1,"name":"x","kind":"storm","storm":{"storm_rounds":2},
+           "policy_rollout":{"canary_fraction":1.5}})",
+       "$.policy_rollout.canary_fraction: must be between 1e-06 and 1"},
+      {"rollout unknown field",
+       R"({"version":1,"name":"x","kind":"storm","storm":{"storm_rounds":2},
+           "policy_rollout":{"blast_radius":3}})",
+       "$.policy_rollout: unknown field \"blast_radius\""},
+      {"fleet rollout that can never promote",
+       R"({"version":1,"name":"x","kind":"fleet","fleet_run":{"rounds":3},
+           "policy_rollout":{"bake_rounds":3}})",
+       "$.policy_rollout.bake_rounds: must be < fleet_run.rounds (3) or the "
+       "staged revision can never promote"},
   };
   for (const Fixture& fixture : kFixtures) {
     auto parsed = Scenario::parse(fixture.text);

@@ -7,8 +7,8 @@
 //            [--gen-seeds=K --out=DIR]
 //
 // Targets: ima_log_entry, json, runtime_policy, wire, checkpoint,
-// migration, telemetry_snapshot, incident_snapshot. Each run replays the
-// target's seed corpus
+// migration, telemetry_snapshot, incident_snapshot, scenario,
+// policy_delta. Each run replays the target's seed corpus
 // (tests/corpus/<target>/ plus tests/corpus/regressions/<target>__*),
 // then mutates for --iters iterations. A (target, seed, iters) triple is
 // byte-for-byte reproducible. With --invariants, a cross-layer fleet
