@@ -5,8 +5,11 @@
 // Stages (all reported as entries/second):
 //   parse        zero-copy QuoteResponseView::decode vs the owning
 //                QuoteResponse::decode (per-entry string allocations)
-//   verify_fold  fused single-pass template-check + PCR fold
-//                (template_hash_of / pcr_fold, one dispatched context)
+//   hash_batch   sha256_batch on template-hash-shaped records, multi-lane
+//                auto dispatch vs the same harness pinned to the scalar
+//                backend — isolates the lane kernels' contribution
+//   verify_fold  block-pipelined template-check + PCR fold (gather →
+//                sha256_batch → compare → fused pcr_fold)
 //                vs the old two-loop shape: a fresh scalar Sha256 and a
 //                digest_bytes() heap copy per record
 //   policy_probe PolicyIndex + AppraisalCache verdict lookup vs
@@ -263,19 +266,78 @@ StageResult bench_parse(const Workload& w, std::size_t reps) {
   return r;
 }
 
+// The lane-dispatch contribution in isolation: the same sha256_batch
+// harness over template-hash-shaped records, multi-lane auto dispatch vs
+// the batch API pinned to the scalar backend. This is the ratio CI gates
+// to catch a lane kernel silently falling back to single-stream.
+StageResult bench_hash_batch(const Workload& w, std::size_t reps) {
+  constexpr std::size_t kBlock = 128;
+  crypto::HashInput inputs[kBlock];
+  crypto::Digest computed[kBlock];
+  const std::size_t total = w.log.size();
+
+  const auto run = [&]() {
+    std::uint64_t sum = 0;
+    for (std::size_t base = 0; base < total; base += kBlock) {
+      const std::size_t count = std::min(kBlock, total - base);
+      for (std::size_t i = 0; i < count; ++i) {
+        const ima::LogEntry& e = w.log[base + i];
+        inputs[i] = {e.file_hash.data(), e.file_hash.size(),
+                     reinterpret_cast<const std::uint8_t*>(e.path.data()),
+                     e.path.size()};
+      }
+      crypto::sha256_batch(inputs, count, computed);
+      for (std::size_t i = 0; i < count; ++i) {
+        sum = sum * 31 + digest_word(computed[i]);
+      }
+    }
+    return sum;
+  };
+
+  StageResult r;
+  r.fast_ms = r.legacy_ms = 1e300;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    auto start = std::chrono::steady_clock::now();
+    r.fast_sum = run();
+    r.fast_ms = std::min(r.fast_ms, wall_ms(start));
+
+    crypto::force_backend(crypto::Sha256Backend::kScalar);
+    start = std::chrono::steady_clock::now();
+    r.legacy_sum = run();
+    r.legacy_ms = std::min(r.legacy_ms, wall_ms(start));
+    crypto::force_backend(crypto::Sha256Backend::kAuto);
+  }
+  return r;
+}
+
 StageResult bench_verify_fold(const Workload& w, std::size_t reps) {
   StageResult r;
   r.fast_ms = r.legacy_ms = 1e300;
   for (std::size_t rep = 0; rep < reps; ++rep) {
-    // Fast: one fused pass, allocation-free dispatched hashing.
+    // Fast: the block-pipelined shape attest_once runs now — gather a
+    // block, batch-hash it across lanes, compare in order, fold.
+    constexpr std::size_t kBlock = 128;
+    crypto::HashInput inputs[kBlock];
+    crypto::Digest computed[kBlock];
     auto start = std::chrono::steady_clock::now();
     crypto::Digest folded = crypto::zero_digest();
     std::uint64_t mismatches = 0;
-    for (const ima::LogEntry& e : w.log) {
-      const crypto::Digest computed =
-          crypto::template_hash_of(e.file_hash, e.path);
-      if (computed != e.template_hash) ++mismatches;
-      folded = crypto::pcr_fold(folded, computed);
+    const std::size_t total = w.log.size();
+    for (std::size_t base = 0; base < total; base += kBlock) {
+      const std::size_t count = std::min(kBlock, total - base);
+      for (std::size_t i = 0; i < count; ++i) {
+        const ima::LogEntry& e = w.log[base + i];
+        inputs[i] = {e.file_hash.data(), e.file_hash.size(),
+                     reinterpret_cast<const std::uint8_t*>(e.path.data()),
+                     e.path.size()};
+      }
+      crypto::sha256_batch(inputs, count, computed);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (computed[i] != w.log[base + i].template_hash) ++mismatches;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        folded = crypto::pcr_fold(folded, computed[i]);
+      }
     }
     r.fast_ms = std::min(r.fast_ms, wall_ms(start));
     r.fast_sum = digest_word(folded) + mismatches;
@@ -349,25 +411,40 @@ StageResult bench_end_to_end(const Workload& w, std::size_t reps) {
     // the round shape Verifier::attest_once runs now.
     keylime::AppraisalCache cache;
     const std::uint64_t uid = w.index->uid();
+    constexpr std::size_t kBlock = 128;
+    crypto::HashInput inputs[kBlock];
+    crypto::Digest computed[kBlock];
     auto start = std::chrono::steady_clock::now();
     std::uint64_t sum = 0;
     auto view = keylime::QuoteResponseView::decode(w.encoded);
     if (view.ok()) {
+      const auto& entries = view.value().entries;
       crypto::Digest folded = crypto::zero_digest();
-      for (const keylime::LogEntryView& e : view.value().entries) {
-        const crypto::Digest computed =
-            crypto::template_hash_of(e.file_hash, e.path);
-        if (computed != e.template_hash) ++sum;
-        folded = crypto::pcr_fold(folded, computed);
-        keylime::PolicyMatch verdict;
-        if (const auto cached = cache.lookup(computed, uid)) {
-          verdict = *cached;
-        } else {
-          bool known = false;
-          verdict = w.index->check(e.path, e.file_hash, &known);
-          cache.insert(computed, uid, verdict);
+      for (std::size_t base = 0; base < entries.size(); base += kBlock) {
+        const std::size_t count = std::min(kBlock, entries.size() - base);
+        for (std::size_t i = 0; i < count; ++i) {
+          const keylime::LogEntryView& e = entries[base + i];
+          inputs[i] = {e.file_hash.data(), e.file_hash.size(),
+                       reinterpret_cast<const std::uint8_t*>(e.path.data()),
+                       e.path.size()};
         }
-        sum = sum * 31 + static_cast<std::uint64_t>(verdict);
+        crypto::sha256_batch(inputs, count, computed);
+        for (std::size_t i = 0; i < count; ++i) {
+          const keylime::LogEntryView& e = entries[base + i];
+          if (computed[i] != e.template_hash) ++sum;
+          keylime::PolicyMatch verdict;
+          if (const auto cached = cache.lookup(computed[i], uid)) {
+            verdict = *cached;
+          } else {
+            bool known = false;
+            verdict = w.index->check(e.path, e.file_hash, &known);
+            cache.insert(computed[i], uid, verdict);
+          }
+          sum = sum * 31 + static_cast<std::uint64_t>(verdict);
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+          folded = crypto::pcr_fold(folded, computed[i]);
+        }
       }
       sum += digest_word(folded);
     }
@@ -524,6 +601,7 @@ int main(int argc, char** argv) {
 
   std::vector<StageReport> stages = {
       {"parse", false, bench_parse(w, reps)},
+      {"hash_batch", true, bench_hash_batch(w, reps)},
       {"verify_fold", true, bench_verify_fold(w, reps)},
       {"policy_probe", false, bench_policy_probe(w, reps)},
       {"end_to_end", true, bench_end_to_end(w, reps)},
@@ -551,6 +629,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(s.name, "parse") == 0 &&
         s.result.fast_sum != s.result.legacy_sum) {
       std::printf("  !! DIVERGENCE: view and owning decode differ\n");
+      diverged = true;
+    }
+    // hash_batch runs the same records through the lane kernels and the
+    // scalar backend; any digest difference is a broken kernel.
+    if (std::strcmp(s.name, "hash_batch") == 0 &&
+        s.result.fast_sum != s.result.legacy_sum) {
+      std::printf("  !! DIVERGENCE: lane kernels and scalar backend"
+                  " disagree\n");
       diverged = true;
     }
   }

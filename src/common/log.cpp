@@ -48,6 +48,12 @@ void set_log_observer(LogObserver observer) {
   g_observer = std::move(observer);
 }
 
+bool log_line_enabled(LogLevel level) {
+  const bool observed =
+      level >= LogLevel::kWarn && level != LogLevel::kOff && g_observer;
+  return observed || level >= g_level;
+}
+
 void log_line(LogLevel level, const std::string& component,
               const std::string& message) {
   log_line(level, component, message, LogFields{});

@@ -31,6 +31,13 @@ using LogObserver = std::function<void(
     LogLevel, const std::string& component, const std::string& message)>;
 void set_log_observer(LogObserver observer);
 
+/// True when a line at `level` would be delivered anywhere: printed
+/// (level at or above the threshold) or handed to the warn/error
+/// observer. Hot paths that would otherwise format messages and fields
+/// per record (e.g. an alert storm of template-hash mismatches) check
+/// this first so a silenced log costs nothing to not write.
+bool log_line_enabled(LogLevel level);
+
 /// Emit a log line at `level` with a component tag.
 void log_line(LogLevel level, const std::string& component,
               const std::string& message);

@@ -1,9 +1,12 @@
 #include "crypto/sha256.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define CIA_SHA256_HAVE_SHA_NI 1
+#include "crypto/sha256_internal.hpp"
+
+#if CIA_SHA256_X86
 #include <immintrin.h>
 #endif
 
@@ -11,26 +14,12 @@ namespace cia::crypto {
 
 namespace {
 
-alignas(16) constexpr std::uint32_t kK[64] = {
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
-    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
-    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
-    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
-    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
-    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
-    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
-    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
-
-constexpr std::uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
-                                    0xa54ff53a, 0x510e527f, 0x9b05688c,
-                                    0x1f83d9ab, 0x5be0cd19};
+using detail::kSha256Init;
+using detail::kSha256K;
 
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
-#if CIA_SHA256_HAVE_SHA_NI
+#if CIA_SHA256_X86
 
 // SHA-NI transform (the standard Intel/Walton sequence). State lives in
 // two xmm registers in the ABEF/CDGH lane order the sha256rnds2
@@ -61,7 +50,8 @@ void sha256_compress_sha_ni(std::uint32_t state[8], const std::uint8_t* data,
           _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16 * g)),
           kSwap);
       msg = _mm_add_epi32(
-          msgs[g], _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+          msgs[g],
+          _mm_load_si128(reinterpret_cast<const __m128i*>(&kSha256K[4 * g])));
       state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
       msg = _mm_shuffle_epi32(msg, 0x0E);
       state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
@@ -79,7 +69,7 @@ void sha256_compress_sha_ni(std::uint32_t state[8], const std::uint8_t* data,
           w1);
       msg = _mm_add_epi32(
           msgs[g % 4],
-          _mm_load_si128(reinterpret_cast<const __m128i*>(&kK[4 * g])));
+          _mm_load_si128(reinterpret_cast<const __m128i*>(&kSha256K[4 * g])));
       state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
       msg = _mm_shuffle_epi32(msg, 0x0E);
       state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
@@ -100,16 +90,96 @@ void sha256_compress_sha_ni(std::uint32_t state[8], const std::uint8_t* data,
 }
 
 bool detect_sha_ni() { return __builtin_cpu_supports("sha") != 0; }
+bool detect_avx2() { return __builtin_cpu_supports("avx2") != 0; }
 
 #else
 
 bool detect_sha_ni() { return false; }
+bool detect_avx2() { return false; }
 
-#endif  // CIA_SHA256_HAVE_SHA_NI
+#endif  // CIA_SHA256_X86
 
-const bool kUseShaNi = detect_sha_ni();
+const bool kHaveShaNi = detect_sha_ni();
+const bool kHaveAvx2 = detect_avx2();
+
+// ---------------------------------------------------------------------------
+// Backend resolution: force_backend() pin > CIA_SHA256_BACKEND > best
+// supported hardware. The pin is a relaxed atomic — the only writers are
+// benches and tests pinning a lane implementation before a run.
+
+std::atomic<int> g_forced{static_cast<int>(Sha256Backend::kAuto)};
+
+Sha256Backend best_backend() {
+  if (kHaveShaNi) return Sha256Backend::kShaNi2;
+  if (kHaveAvx2) return Sha256Backend::kAvx2;
+  return Sha256Backend::kScalar;
+}
+
+Sha256Backend parse_backend_env() {
+  const char* v = std::getenv("CIA_SHA256_BACKEND");
+  if (v == nullptr) return Sha256Backend::kAuto;
+  const std::string_view s(v);
+  Sha256Backend b = Sha256Backend::kAuto;
+  if (s == "scalar") b = Sha256Backend::kScalar;
+  else if (s == "shani") b = Sha256Backend::kShaNi;
+  else if (s == "shani2") b = Sha256Backend::kShaNi2;
+  else if (s == "avx2") b = Sha256Backend::kAvx2;
+  // Unknown or unsupported values fall back to auto instead of aborting:
+  // a CI job pinning avx2 must not take down a host without it.
+  return sha256_backend_supported(b) ? b : Sha256Backend::kAuto;
+}
+
+Sha256Backend resolve_backend() {
+  const auto forced = static_cast<Sha256Backend>(
+      g_forced.load(std::memory_order_relaxed));
+  if (forced != Sha256Backend::kAuto) return forced;
+  static const Sha256Backend env = parse_backend_env();
+  if (env != Sha256Backend::kAuto) return env;
+  return best_backend();
+}
+
+bool use_sha_ni_compress() {
+  return kHaveShaNi && resolve_backend() != Sha256Backend::kScalar;
+}
 
 }  // namespace
+
+bool sha256_backend_supported(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kAuto:
+    case Sha256Backend::kScalar:
+      return true;
+    case Sha256Backend::kShaNi:
+    case Sha256Backend::kShaNi2:
+      return kHaveShaNi;
+    case Sha256Backend::kAvx2:
+      return kHaveAvx2;
+  }
+  return false;
+}
+
+bool force_backend(Sha256Backend b) {
+  if (!sha256_backend_supported(b)) return false;
+  g_forced.store(static_cast<int>(b), std::memory_order_relaxed);
+  return true;
+}
+
+Sha256Backend sha256_active_backend() { return resolve_backend(); }
+
+const char* sha256_backend_name() {
+  switch (resolve_backend()) {
+    case Sha256Backend::kScalar: return "scalar";
+    case Sha256Backend::kShaNi: return "shani";
+    case Sha256Backend::kShaNi2: return "shani2";
+    case Sha256Backend::kAvx2: return "avx2";
+    case Sha256Backend::kAuto: break;  // resolve_backend never returns kAuto
+  }
+  return "scalar";
+}
+
+bool sha256_hw_accelerated() {
+  return resolve_backend() != Sha256Backend::kScalar;
+}
 
 namespace detail {
 
@@ -137,7 +207,7 @@ void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t* data,
     for (int i = 0; i < 64; ++i) {
       const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
       const std::uint32_t ch = (e & f) ^ (~e & g);
-      const std::uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
+      const std::uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
       const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
       const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
       const std::uint32_t temp2 = s0 + maj;
@@ -164,8 +234,8 @@ void sha256_compress_scalar(std::uint32_t state[8], const std::uint8_t* data,
 
 void sha256_compress(std::uint32_t state[8], const std::uint8_t* data,
                      std::size_t blocks) {
-#if CIA_SHA256_HAVE_SHA_NI
-  if (kUseShaNi) {
+#if CIA_SHA256_X86
+  if (use_sha_ni_compress()) {
     sha256_compress_sha_ni(state, data, blocks);
     return;
   }
@@ -175,12 +245,10 @@ void sha256_compress(std::uint32_t state[8], const std::uint8_t* data,
 
 }  // namespace detail
 
-bool sha256_hw_accelerated() { return kUseShaNi; }
-
-Sha256::Sha256() { std::memcpy(state_, kInit, sizeof(state_)); }
+Sha256::Sha256() { std::memcpy(state_, kSha256Init, sizeof(state_)); }
 
 void Sha256::reset() {
-  std::memcpy(state_, kInit, sizeof(state_));
+  std::memcpy(state_, kSha256Init, sizeof(state_));
   total_len_ = 0;
   buffer_len_ = 0;
 }
@@ -264,10 +332,216 @@ Digest template_hash_of(const Digest& file_hash, std::string_view path) {
 }
 
 Digest pcr_fold(const Digest& acc, const Digest& t) {
-  return sha256_pair(acc.data(), acc.size(), t.data(), t.size());
+  Digest out;
+#if CIA_SHA256_X86
+  if (use_sha_ni_compress()) {
+    detail::pcr_fold_shani(acc.data(), t.data(), out.data());
+    return out;
+  }
+#endif
+  detail::pcr_fold_scalar_fused(acc.data(), t.data(), out.data());
+  return out;
 }
 
+// ---------------------------------------------------------------------------
+// Batch harness. The lane kernels want `lane_width` equal-length padded
+// streams; real batches are neither equal-length nor lane-aligned. The
+// harness bridges the gap:
+//
+//  - every message up to kMaxLaneBlocks padded blocks is padded into a
+//    per-lane scratch buffer and bucketed by block count; a bucket
+//    flushes through the kernel whenever it holds lane_width messages,
+//  - a partial bucket at the end flushes with its remaining lane slots
+//    aliased to the first message (one kernel pass costs about one
+//    single-stream pass over the same block count, so aliasing beats
+//    falling back as soon as two real lanes are present — and ties when
+//    there is one),
+//  - longer single-segment pairs (policy digests) stream through the
+//    2-lane SHA-NI kernel directly from the source bytes for their
+//    common full blocks, finishing tails per lane,
+//  - everything else (long two-segment messages, non-lane backends)
+//    takes the retained single-stream loop.
+//
+// Every route computes real SHA-256, so digests are identical no matter
+// how a message was grouped.
+
+namespace {
+
+constexpr std::size_t kMaxLaneBlocks = 8;  // payloads up to 8*64-9 = 503 bytes
+
+std::size_t padded_blocks(const HashInput& in) {
+  return (in.a_len + in.b_len + 9 + 63) / 64;
+}
+
+// Assemble in's fully padded message (a || b || 0x80 || zeros || bitlen)
+// into dst. dst must hold padded_blocks(in) * 64 bytes.
+void pad_message(const HashInput& in, std::uint8_t* dst) {
+  const std::size_t total = in.a_len + in.b_len;
+  if (in.a_len > 0) std::memcpy(dst, in.a, in.a_len);
+  if (in.b_len > 0) std::memcpy(dst + in.a_len, in.b, in.b_len);
+  const std::size_t padded = padded_blocks(in) * 64;
+  dst[total] = 0x80;
+  std::memset(dst + total + 1, 0, padded - total - 1 - 8);
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(total) * 8;
+  for (int i = 0; i < 8; ++i) {
+    dst[padded - 8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+}
+
+void serialize_state(const std::uint32_t state[8], Digest& out) {
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state[i]);
+  }
+}
+
+void hash_one(const HashInput& in, Digest& out) {
+  Sha256 ctx;
+  if (in.a_len > 0) ctx.update(in.a, in.a_len);
+  if (in.b_len > 0) ctx.update(in.b, in.b_len);
+  out = ctx.finish();
+}
+
+#if CIA_SHA256_X86
+
+// Finish one lane after a multi-lane body pass: any remaining full
+// blocks, then the padded tail, from a state mid-stream.
+void finish_lane(std::uint32_t state[8], const std::uint8_t* rest,
+                 std::size_t rest_len, std::uint64_t total_len, Digest& out) {
+  const std::size_t blocks = rest_len / 64;
+  if (blocks > 0) {
+    detail::sha256_compress(state, rest, blocks);
+    rest += blocks * 64;
+    rest_len -= blocks * 64;
+  }
+  std::uint8_t buf[128];
+  std::memcpy(buf, rest, rest_len);
+  buf[rest_len] = 0x80;
+  const std::size_t padded = rest_len + 9 <= 64 ? 64 : 128;
+  std::memset(buf + rest_len + 1, 0, padded - rest_len - 1 - 8);
+  const std::uint64_t bit_len = total_len * 8;
+  for (int i = 0; i < 8; ++i) {
+    buf[padded - 8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  detail::sha256_compress(state, buf, padded / 64);
+  serialize_state(state, out);
+}
+
+void run_group_x2(const HashInput* in, Digest* out, const std::size_t idx[2],
+                  std::size_t blocks) {
+  alignas(64) std::uint8_t lanes[2][kMaxLaneBlocks * 64];
+  std::uint32_t st[2][8];
+  for (int l = 0; l < 2; ++l) {
+    pad_message(in[idx[l]], lanes[l]);
+    std::memcpy(st[l], kSha256Init, sizeof(st[l]));
+  }
+  detail::sha256_ni_x2(st, lanes[0], lanes[1], blocks);
+  for (int l = 0; l < 2; ++l) serialize_state(st[l], out[idx[l]]);
+}
+
+void run_group_x8(const HashInput* in, Digest* out, const std::size_t idx[8],
+                  std::size_t blocks) {
+  alignas(64) std::uint8_t lanes[8][kMaxLaneBlocks * 64];
+  const std::uint8_t* ptrs[8];
+  std::uint32_t st[8][8];
+  for (int l = 0; l < 8; ++l) {
+    pad_message(in[idx[l]], lanes[l]);
+    ptrs[l] = lanes[l];
+    std::memcpy(st[l], kSha256Init, sizeof(st[l]));
+  }
+  detail::sha256_avx2_x8(st, ptrs, blocks);
+  for (int l = 0; l < 8; ++l) serialize_state(st[l], out[idx[l]]);
+}
+
+// Two long single-segment messages side by side: the 2-lane kernel
+// reads their common full blocks straight from the source (no copy),
+// then each lane finishes its own remainder.
+void run_long_x2(const HashInput* in, Digest* out, const std::size_t idx[2]) {
+  const std::uint8_t* p[2];
+  std::size_t len[2];
+  for (int l = 0; l < 2; ++l) {
+    const HashInput& m = in[idx[l]];
+    p[l] = m.a_len > 0 ? m.a : m.b;
+    len[l] = m.a_len > 0 ? m.a_len : m.b_len;
+  }
+  const std::size_t common = std::min(len[0] / 64, len[1] / 64);
+  std::uint32_t st[2][8];
+  std::memcpy(st[0], kSha256Init, sizeof(st[0]));
+  std::memcpy(st[1], kSha256Init, sizeof(st[1]));
+  if (common > 0) detail::sha256_ni_x2(st, p[0], p[1], common);
+  for (int l = 0; l < 2; ++l) {
+    finish_lane(st[l], p[l] + common * 64, len[l] - common * 64, len[l],
+                out[idx[l]]);
+  }
+}
+
+template <std::size_t W>
+void batch_lanes(const HashInput* in, std::size_t n, Digest* out,
+                 bool pair_long) {
+  std::size_t pend[kMaxLaneBlocks + 1][W];
+  std::size_t pend_n[kMaxLaneBlocks + 1] = {};
+  std::size_t long_pend[2];
+  std::size_t long_n = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t blocks = padded_blocks(in[i]);
+    if (blocks <= kMaxLaneBlocks) {
+      std::size_t& c = pend_n[blocks];
+      pend[blocks][c++] = i;
+      if (c == W) {
+        if constexpr (W == 2) run_group_x2(in, out, pend[blocks], blocks);
+        else run_group_x8(in, out, pend[blocks], blocks);
+        c = 0;
+      }
+    } else if (pair_long && (in[i].a_len == 0 || in[i].b_len == 0)) {
+      long_pend[long_n++] = i;
+      if (long_n == 2) {
+        run_long_x2(in, out, long_pend);
+        long_n = 0;
+      }
+    } else {
+      hash_one(in[i], out[i]);
+    }
+  }
+
+  // Partial buckets: alias the unused lanes to the first message. The
+  // duplicate lanes recompute (and re-store) the same digest, which is
+  // harmless and cheaper than branching inside the kernels.
+  for (std::size_t blocks = 1; blocks <= kMaxLaneBlocks; ++blocks) {
+    const std::size_t c = pend_n[blocks];
+    if (c == 0) continue;
+    for (std::size_t l = c; l < W; ++l) pend[blocks][l] = pend[blocks][0];
+    if constexpr (W == 2) run_group_x2(in, out, pend[blocks], blocks);
+    else run_group_x8(in, out, pend[blocks], blocks);
+  }
+  if (long_n == 1) {
+    long_pend[1] = long_pend[0];
+    run_long_x2(in, out, long_pend);
+  }
+}
+
+#endif  // CIA_SHA256_X86
+
+}  // namespace
+
 void sha256_batch(const HashInput* in, std::size_t n, Digest* out) {
+  if (n == 0) return;
+#if CIA_SHA256_X86
+  const Sha256Backend backend = resolve_backend();
+  if (backend == Sha256Backend::kShaNi2 && kHaveShaNi) {
+    batch_lanes<2>(in, n, out, /*pair_long=*/true);
+    return;
+  }
+  if (backend == Sha256Backend::kAvx2 && kHaveAvx2) {
+    batch_lanes<8>(in, n, out, /*pair_long=*/kHaveShaNi);
+    return;
+  }
+#endif
+  // Retained single-stream loop: the scalar backend, and the `shani`
+  // backend that runs each message through the (dispatched) streaming
+  // context exactly as the pre-lane code did.
   Sha256 ctx;
   for (std::size_t i = 0; i < n; ++i) {
     ctx.reset();

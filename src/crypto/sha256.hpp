@@ -84,10 +84,14 @@ struct HashInput {
   std::size_t b_len = 0;
 };
 
-/// Hash `n` two-segment records into `out[0..n)`, reusing one context
-/// across the whole batch with no per-record allocation. Record i's
-/// digest is sha256(in[i].a || in[i].b) — exactly n independent hashes,
-/// batched for locality (the K tables and dispatch decision stay hot).
+/// Hash `n` two-segment records into `out[0..n)` with no per-record
+/// allocation. Record i's digest is sha256(in[i].a || in[i].b) — n
+/// independent hashes. On hosts with the SHA extensions the records are
+/// driven through two interleaved SHA-NI streams; with AVX2 only,
+/// through an 8-wide transposed kernel; otherwise through the scalar
+/// loop. All backends produce identical digests for identical inputs —
+/// the multi-lane paths are a throughput optimization, not a semantic
+/// one.
 void sha256_batch(const HashInput* in, std::size_t n, Digest* out);
 
 /// Digest as Bytes.
@@ -99,8 +103,34 @@ std::string digest_hex(const Digest& d);
 /// An all-zero digest (e.g., initial PCR value).
 Digest zero_digest();
 
-/// True when the SHA-NI transform is compiled in and the CPU supports
-/// it (observability / bench labelling only; dispatch is automatic).
+/// Selectable SHA-256 backends. kAuto resolves to the best supported
+/// lane implementation (shani2 > avx2 > scalar). kShaNi is the
+/// single-stream SHA-NI loop (the pre-multi-lane batch shape, kept so
+/// benches can isolate the lane win from the instruction win).
+enum class Sha256Backend { kAuto = 0, kScalar, kShaNi, kShaNi2, kAvx2 };
+
+/// True when `b` can run on this host (kAuto and kScalar always can).
+bool sha256_backend_supported(Sha256Backend b);
+
+/// Pin the backend for the whole process (benches, differential tests,
+/// the CI forced-scalar job). Overrides the CIA_SHA256_BACKEND
+/// environment variable; kAuto clears the pin. Returns false — and
+/// changes nothing — when the backend is not supported on this host.
+bool force_backend(Sha256Backend b);
+
+/// The backend every hash call is currently dispatched to, after
+/// resolving the force_backend() pin, then CIA_SHA256_BACKEND, then
+/// hardware auto-detection.
+Sha256Backend sha256_active_backend();
+
+/// Name of the active backend ("scalar", "shani", "shani2", "avx2") for
+/// bench labelling and log lines.
+const char* sha256_backend_name();
+
+/// True when the active backend uses hardware hash/vector instructions
+/// (i.e. resolves to anything other than scalar). Under a forced or
+/// env-pinned scalar backend this reports false, so bench baselines
+/// recorded on accelerated hosts are not compared against scalar runs.
 bool sha256_hw_accelerated();
 
 namespace detail {

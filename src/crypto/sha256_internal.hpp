@@ -1,0 +1,93 @@
+// Internals shared between sha256.cpp (streaming context, dispatch,
+// batch harness) and sha256_lanes.cpp (multi-buffer kernels): the FIPS
+// round constants, the initial state, the precomputed schedule of the
+// constant padding block used by the fused two-block pcr_fold, and the
+// lane-kernel entry points.
+//
+// Not installed / not part of the public surface — include sha256.hpp
+// from everywhere else.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CIA_SHA256_X86 1
+#else
+#define CIA_SHA256_X86 0
+#endif
+
+namespace cia::crypto::detail {
+
+alignas(64) inline constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline constexpr std::uint32_t kSha256Init[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
+constexpr std::uint32_t rotr_c(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+// A PCR fold hashes exactly 64 bytes (acc || template_hash), so its
+// second compression block is always the same padding block: 0x80, 53
+// zero bytes, and the bit length 512. The whole expanded message
+// schedule of that block — already summed with the round constants — is
+// a compile-time constant. The fused fold kernels replay it with zero
+// schedule work at run time.
+constexpr std::array<std::uint32_t, 64> make_fold_pad_wk() {
+  std::array<std::uint32_t, 64> w{};
+  w[0] = 0x80000000u;
+  w[15] = 512u;  // bit length of a 64-byte message
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr_c(w[i - 15], 7) ^ rotr_c(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr_c(w[i - 2], 17) ^ rotr_c(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  for (int i = 0; i < 64; ++i) w[i] += kSha256K[i];
+  return w;
+}
+
+alignas(64) inline constexpr std::array<std::uint32_t, 64> kFoldPadWK =
+    make_fold_pad_wk();
+
+#if CIA_SHA256_X86
+/// Two interleaved SHA-NI streams: advances both lanes `blocks` 64-byte
+/// blocks from independent pointers. Interleaving hides the 4-cycle
+/// sha256rnds2 latency that a single stream stalls on. Caller must have
+/// verified SHA-NI support.
+void sha256_ni_x2(std::uint32_t states[2][8], const std::uint8_t* d0,
+                  const std::uint8_t* d1, std::size_t blocks);
+
+/// Eight transposed AVX2 streams: one __m256i per working variable,
+/// lane l of every vector belonging to message l. Caller must have
+/// verified AVX2 support.
+void sha256_avx2_x8(std::uint32_t states[8][8],
+                    const std::uint8_t* const data[8], std::size_t blocks);
+
+/// Fused two-block pcr_fold on SHA-NI: state stays in registers across
+/// both compressions and block 2 replays kFoldPadWK directly.
+void pcr_fold_shani(const std::uint8_t* acc, const std::uint8_t* t,
+                    std::uint8_t out[32]);
+#endif
+
+/// Fused two-block pcr_fold, portable: no streaming buffer, no padding
+/// writes, block 2 uses the precomputed kFoldPadWK schedule.
+void pcr_fold_scalar_fused(const std::uint8_t* acc, const std::uint8_t* t,
+                           std::uint8_t out[32]);
+
+}  // namespace cia::crypto::detail

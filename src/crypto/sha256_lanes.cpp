@@ -1,0 +1,386 @@
+// Multi-buffer SHA-256 lane kernels and the fused pcr_fold.
+//
+// Three kernels live here, all behind runtime dispatch in sha256.cpp:
+//
+//   sha256_ni_x2    — two interleaved SHA-NI streams. A single SHA-NI
+//                     stream is latency-bound: each sha256rnds2 depends
+//                     on the previous one, so the 4-cycle latency is
+//                     exposed on every round. Two independent streams
+//                     fill those stalls and come within ~2x of doubling
+//                     throughput without spilling (4 state + 8 schedule
+//                     + 4 save registers fit in the 16 xmm registers).
+//
+//   sha256_avx2_x8  — eight transposed streams for hosts with AVX2 but
+//                     no SHA extensions. Each working variable is one
+//                     __m256i whose lane l belongs to message l; the
+//                     message schedule is recomputed 8-wide with the
+//                     plain shift/xor sigma functions.
+//
+//   pcr_fold_*      — the sequential chain step sha256(acc || t) fused
+//                     over its two compression blocks: the message is
+//                     exactly 64 bytes, so block 2 is the constant
+//                     padding block whose expanded schedule(+K) is the
+//                     compile-time kFoldPadWK table. State never leaves
+//                     registers between the blocks and no buffer is
+//                     assembled.
+//
+// Correctness is held by tests/sha256_backend_test.cpp: every kernel vs
+// the scalar reference over every tail length 0..129, both HashInput
+// segment shapes, and the per-backend FIPS known-answer vectors.
+
+#include "crypto/sha256_internal.hpp"
+
+#include <cstring>
+
+#if CIA_SHA256_X86
+#include <immintrin.h>
+#endif
+
+namespace cia::crypto::detail {
+
+namespace {
+
+inline std::uint32_t be32_load(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return __builtin_bswap32(v);
+}
+
+inline void be32_store(std::uint8_t* p, std::uint32_t v) {
+  v = __builtin_bswap32(v);
+  std::memcpy(p, &v, 4);
+}
+
+}  // namespace
+
+#if CIA_SHA256_X86
+
+__attribute__((target("sha,sse4.1,ssse3")))
+void sha256_ni_x2(std::uint32_t states[2][8], const std::uint8_t* d0,
+                  const std::uint8_t* d1, std::size_t blocks) {
+  const __m128i kSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Pack each lane's state into the ABEF/CDGH order sha256rnds2 expects.
+  __m128i s0A, s1A, s0B, s1B;
+  {
+    __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[0][0]));
+    __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[0][4]));
+    lo = _mm_shuffle_epi32(lo, 0xB1);
+    hi = _mm_shuffle_epi32(hi, 0x1B);
+    s0A = _mm_alignr_epi8(lo, hi, 8);
+    s1A = _mm_blend_epi16(hi, lo, 0xF0);
+  }
+  {
+    __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[1][0]));
+    __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&states[1][4]));
+    lo = _mm_shuffle_epi32(lo, 0xB1);
+    hi = _mm_shuffle_epi32(hi, 0x1B);
+    s0B = _mm_alignr_epi8(lo, hi, 8);
+    s1B = _mm_blend_epi16(hi, lo, 0xF0);
+  }
+
+  while (blocks > 0) {
+    const __m128i saveA0 = s0A, saveA1 = s1A;
+    const __m128i saveB0 = s0B, saveB1 = s1B;
+
+    __m128i msgsA[4], msgsB[4], mA, mB;
+    // Rounds 0-15: straight message words, both lanes per group so the
+    // two rnds2 chains interleave in the pipeline.
+    for (int g = 0; g < 4; ++g) {
+      const __m128i k =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(&kSha256K[4 * g]));
+      msgsA[g] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(d0 + 16 * g)), kSwap);
+      msgsB[g] = _mm_shuffle_epi8(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(d1 + 16 * g)), kSwap);
+      mA = _mm_add_epi32(msgsA[g], k);
+      mB = _mm_add_epi32(msgsB[g], k);
+      s1A = _mm_sha256rnds2_epu32(s1A, s0A, mA);
+      s1B = _mm_sha256rnds2_epu32(s1B, s0B, mB);
+      mA = _mm_shuffle_epi32(mA, 0x0E);
+      mB = _mm_shuffle_epi32(mB, 0x0E);
+      s0A = _mm_sha256rnds2_epu32(s0A, s1A, mA);
+      s0B = _mm_sha256rnds2_epu32(s0B, s1B, mB);
+    }
+    // Rounds 16-63: schedule recurrence per lane, same ring as the
+    // single-stream transform in sha256.cpp.
+    for (int g = 4; g < 16; ++g) {
+      const int i0 = g % 4, i1 = (g + 3) % 4, i2 = (g + 2) % 4,
+                i3 = (g + 1) % 4;
+      const __m128i k =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(&kSha256K[4 * g]));
+      msgsA[i0] = _mm_sha256msg2_epu32(
+          _mm_add_epi32(_mm_sha256msg1_epu32(msgsA[i0], msgsA[i3]),
+                        _mm_alignr_epi8(msgsA[i1], msgsA[i2], 4)),
+          msgsA[i1]);
+      msgsB[i0] = _mm_sha256msg2_epu32(
+          _mm_add_epi32(_mm_sha256msg1_epu32(msgsB[i0], msgsB[i3]),
+                        _mm_alignr_epi8(msgsB[i1], msgsB[i2], 4)),
+          msgsB[i1]);
+      mA = _mm_add_epi32(msgsA[i0], k);
+      mB = _mm_add_epi32(msgsB[i0], k);
+      s1A = _mm_sha256rnds2_epu32(s1A, s0A, mA);
+      s1B = _mm_sha256rnds2_epu32(s1B, s0B, mB);
+      mA = _mm_shuffle_epi32(mA, 0x0E);
+      mB = _mm_shuffle_epi32(mB, 0x0E);
+      s0A = _mm_sha256rnds2_epu32(s0A, s1A, mA);
+      s0B = _mm_sha256rnds2_epu32(s0B, s1B, mB);
+    }
+
+    s0A = _mm_add_epi32(s0A, saveA0);
+    s1A = _mm_add_epi32(s1A, saveA1);
+    s0B = _mm_add_epi32(s0B, saveB0);
+    s1B = _mm_add_epi32(s1B, saveB1);
+    d0 += 64;
+    d1 += 64;
+    --blocks;
+  }
+
+  {
+    __m128i lo = _mm_shuffle_epi32(s0A, 0x1B);
+    __m128i hi = _mm_shuffle_epi32(s1A, 0xB1);
+    __m128i abcd = _mm_blend_epi16(lo, hi, 0xF0);
+    __m128i efgh = _mm_alignr_epi8(hi, lo, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[0][0]), abcd);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[0][4]), efgh);
+  }
+  {
+    __m128i lo = _mm_shuffle_epi32(s0B, 0x1B);
+    __m128i hi = _mm_shuffle_epi32(s1B, 0xB1);
+    __m128i abcd = _mm_blend_epi16(lo, hi, 0xF0);
+    __m128i efgh = _mm_alignr_epi8(hi, lo, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[1][0]), abcd);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(&states[1][4]), efgh);
+  }
+}
+
+// 8-wide helpers as macros: GCC refuses to inline helper functions into
+// a target("avx2") caller unless they carry the same attribute, and
+// macros sidestep the whole question.
+#define CIA_VROTR(x, n) \
+  _mm256_or_si256(_mm256_srli_epi32((x), (n)), _mm256_slli_epi32((x), 32 - (n)))
+#define CIA_VXOR3(x, y, z) _mm256_xor_si256(_mm256_xor_si256((x), (y)), (z))
+
+__attribute__((target("avx2")))
+void sha256_avx2_x8(std::uint32_t states[8][8],
+                    const std::uint8_t* const data[8], std::size_t blocks) {
+  const std::uint8_t* p[8];
+  for (int l = 0; l < 8; ++l) p[l] = data[l];
+
+  // st[w] holds working variable w for all 8 lanes (transposed layout).
+  __m256i st[8];
+  for (int w = 0; w < 8; ++w) {
+    st[w] = _mm256_set_epi32(
+        static_cast<int>(states[7][w]), static_cast<int>(states[6][w]),
+        static_cast<int>(states[5][w]), static_cast<int>(states[4][w]),
+        static_cast<int>(states[3][w]), static_cast<int>(states[2][w]),
+        static_cast<int>(states[1][w]), static_cast<int>(states[0][w]));
+  }
+
+  while (blocks > 0) {
+    __m256i w[16];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = _mm256_set_epi32(
+          static_cast<int>(be32_load(p[7] + 4 * i)),
+          static_cast<int>(be32_load(p[6] + 4 * i)),
+          static_cast<int>(be32_load(p[5] + 4 * i)),
+          static_cast<int>(be32_load(p[4] + 4 * i)),
+          static_cast<int>(be32_load(p[3] + 4 * i)),
+          static_cast<int>(be32_load(p[2] + 4 * i)),
+          static_cast<int>(be32_load(p[1] + 4 * i)),
+          static_cast<int>(be32_load(p[0] + 4 * i)));
+    }
+
+    __m256i a = st[0], b = st[1], c = st[2], d = st[3];
+    __m256i e = st[4], f = st[5], g = st[6], h = st[7];
+
+    for (int i = 0; i < 64; ++i) {
+      if (i >= 16) {
+        const __m256i w15 = w[(i - 15) & 15];
+        const __m256i w2 = w[(i - 2) & 15];
+        const __m256i s0 = CIA_VXOR3(CIA_VROTR(w15, 7), CIA_VROTR(w15, 18),
+                                     _mm256_srli_epi32(w15, 3));
+        const __m256i s1 = CIA_VXOR3(CIA_VROTR(w2, 17), CIA_VROTR(w2, 19),
+                                     _mm256_srli_epi32(w2, 10));
+        w[i & 15] = _mm256_add_epi32(
+            _mm256_add_epi32(w[i & 15], s0),
+            _mm256_add_epi32(w[(i - 7) & 15], s1));
+      }
+      const __m256i S1 =
+          CIA_VXOR3(CIA_VROTR(e, 6), CIA_VROTR(e, 11), CIA_VROTR(e, 25));
+      const __m256i ch =
+          _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+      const __m256i t1 = _mm256_add_epi32(
+          _mm256_add_epi32(_mm256_add_epi32(h, S1),
+                           _mm256_add_epi32(ch, _mm256_set1_epi32(
+                                                    static_cast<int>(kSha256K[i])))),
+          w[i & 15]);
+      const __m256i S0 =
+          CIA_VXOR3(CIA_VROTR(a, 2), CIA_VROTR(a, 13), CIA_VROTR(a, 22));
+      const __m256i maj = CIA_VXOR3(_mm256_and_si256(a, b),
+                                    _mm256_and_si256(a, c),
+                                    _mm256_and_si256(b, c));
+      const __m256i t2 = _mm256_add_epi32(S0, maj);
+      h = g;
+      g = f;
+      f = e;
+      e = _mm256_add_epi32(d, t1);
+      d = c;
+      c = b;
+      b = a;
+      a = _mm256_add_epi32(t1, t2);
+    }
+
+    st[0] = _mm256_add_epi32(st[0], a);
+    st[1] = _mm256_add_epi32(st[1], b);
+    st[2] = _mm256_add_epi32(st[2], c);
+    st[3] = _mm256_add_epi32(st[3], d);
+    st[4] = _mm256_add_epi32(st[4], e);
+    st[5] = _mm256_add_epi32(st[5], f);
+    st[6] = _mm256_add_epi32(st[6], g);
+    st[7] = _mm256_add_epi32(st[7], h);
+    for (int l = 0; l < 8; ++l) p[l] += 64;
+    --blocks;
+  }
+
+  alignas(32) std::uint32_t tmp[8];
+  for (int w = 0; w < 8; ++w) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), st[w]);
+    for (int l = 0; l < 8; ++l) states[l][w] = tmp[l];
+  }
+}
+
+#undef CIA_VROTR
+#undef CIA_VXOR3
+
+__attribute__((target("sha,sse4.1,ssse3")))
+void pcr_fold_shani(const std::uint8_t* acc, const std::uint8_t* t,
+                    std::uint8_t out[32]) {
+  const __m128i kSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i lo =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256Init[0]));
+  __m128i hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256Init[4]));
+  lo = _mm_shuffle_epi32(lo, 0xB1);
+  hi = _mm_shuffle_epi32(hi, 0x1B);
+  __m128i s0 = _mm_alignr_epi8(lo, hi, 8);
+  __m128i s1 = _mm_blend_epi16(hi, lo, 0xF0);
+
+  // Block 1: the 64-byte message is acc || t, already in hand — no
+  // buffer assembly.
+  __m128i save0 = s0, save1 = s1;
+  __m128i msgs[4], m;
+  msgs[0] = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc)), kSwap);
+  msgs[1] = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + 16)), kSwap);
+  msgs[2] = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t)), kSwap);
+  msgs[3] = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t + 16)), kSwap);
+  for (int g = 0; g < 4; ++g) {
+    m = _mm_add_epi32(
+        msgs[g],
+        _mm_load_si128(reinterpret_cast<const __m128i*>(&kSha256K[4 * g])));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, m);
+    m = _mm_shuffle_epi32(m, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, m);
+  }
+  for (int g = 4; g < 16; ++g) {
+    const int i0 = g % 4, i1 = (g + 3) % 4, i2 = (g + 2) % 4, i3 = (g + 1) % 4;
+    msgs[i0] = _mm_sha256msg2_epu32(
+        _mm_add_epi32(_mm_sha256msg1_epu32(msgs[i0], msgs[i3]),
+                      _mm_alignr_epi8(msgs[i1], msgs[i2], 4)),
+        msgs[i1]);
+    m = _mm_add_epi32(
+        msgs[i0],
+        _mm_load_si128(reinterpret_cast<const __m128i*>(&kSha256K[4 * g])));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, m);
+    m = _mm_shuffle_epi32(m, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, m);
+  }
+  s0 = _mm_add_epi32(s0, save0);
+  s1 = _mm_add_epi32(s1, save1);
+
+  // Block 2: constant padding block — W+K is the precomputed table, so
+  // there is no schedule computation at all, just 16 rnds2 pairs.
+  save0 = s0;
+  save1 = s1;
+  for (int g = 0; g < 16; ++g) {
+    m = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(&kFoldPadWK[4 * g]));
+    s1 = _mm_sha256rnds2_epu32(s1, s0, m);
+    m = _mm_shuffle_epi32(m, 0x0E);
+    s0 = _mm_sha256rnds2_epu32(s0, s1, m);
+  }
+  s0 = _mm_add_epi32(s0, save0);
+  s1 = _mm_add_epi32(s1, save1);
+
+  // Unpack to word order, then byte-swap each word to the big-endian
+  // digest serialization.
+  lo = _mm_shuffle_epi32(s0, 0x1B);
+  hi = _mm_shuffle_epi32(s1, 0xB1);
+  __m128i abcd = _mm_blend_epi16(lo, hi, 0xF0);
+  __m128i efgh = _mm_alignr_epi8(hi, lo, 8);
+  abcd = _mm_shuffle_epi8(abcd, kSwap);
+  efgh = _mm_shuffle_epi8(efgh, kSwap);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), abcd);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16), efgh);
+}
+
+#endif  // CIA_SHA256_X86
+
+void pcr_fold_scalar_fused(const std::uint8_t* acc, const std::uint8_t* t,
+                           std::uint8_t out[32]) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 8; ++i) w[i] = be32_load(acc + 4 * i);
+  for (int i = 0; i < 8; ++i) w[8 + i] = be32_load(t + 4 * i);
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr_c(w[i - 15], 7) ^ rotr_c(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr_c(w[i - 2], 17) ^ rotr_c(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t state[8];
+  std::memcpy(state, kSha256Init, sizeof(state));
+
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t S1 = rotr_c(e, 6) ^ rotr_c(e, 11) ^ rotr_c(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + S1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t S0 = rotr_c(a, 2) ^ rotr_c(a, 13) ^ rotr_c(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = S0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+  state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+
+  // Block 2: W+K precomputed, no w[] at all.
+  a = state[0]; b = state[1]; c = state[2]; d = state[3];
+  e = state[4]; f = state[5]; g = state[6]; h = state[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t S1 = rotr_c(e, 6) ^ rotr_c(e, 11) ^ rotr_c(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + S1 + ch + kFoldPadWK[i];
+    const std::uint32_t S0 = rotr_c(a, 2) ^ rotr_c(a, 13) ^ rotr_c(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = S0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  state[0] += a; state[1] += b; state[2] += c; state[3] += d;
+  state[4] += e; state[5] += f; state[6] += g; state[7] += h;
+
+  for (int i = 0; i < 8; ++i) be32_store(out + 4 * i, state[i]);
+}
+
+}  // namespace cia::crypto::detail

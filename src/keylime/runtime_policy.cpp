@@ -54,7 +54,24 @@ PolicyMatch RuntimePolicy::check(const std::string& path,
 
 PolicyMatch RuntimePolicy::check(const std::string& path,
                                  const crypto::Digest& hash) const {
-  return check(path, crypto::digest_hex(hash));
+  // Same verdict as rendering digest_hex(hash) and delegating, but the
+  // hex lands in a stack buffer: this overload is the per-entry probe of
+  // the legacy linear appraisal path, where a heap allocation per record
+  // is measurable at log scale.
+  if (is_excluded(path)) return PolicyMatch::kExcluded;
+  auto it = allow_.find(path);
+  if (it == allow_.end()) return PolicyMatch::kNotInPolicy;
+  static const char* kHex = "0123456789abcdef";
+  char hex[64];
+  for (int i = 0; i < 32; ++i) {
+    hex[i * 2] = kHex[hash[i] >> 4];
+    hex[i * 2 + 1] = kHex[hash[i] & 0x0f];
+  }
+  const std::string_view want(hex, 64);
+  for (const std::string& h : it->second) {
+    if (h == want) return PolicyMatch::kAllowed;
+  }
+  return PolicyMatch::kHashMismatch;
 }
 
 std::uint64_t RuntimePolicy::byte_size() const {

@@ -264,27 +264,35 @@ const RuntimePolicy* Verifier::policy(const std::string& agent_id) const {
 }
 
 void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
-                     AlertType type, const std::string& path,
-                     const std::string& observed_hash_hex,
-                     const std::string& detail, std::size_t log_index,
-                     AttestationRound& round) {
+                     AlertType type, std::string path,
+                     std::string observed_hash_hex, std::string detail,
+                     std::size_t log_index, AttestationRound& round) {
   Alert alert;
   alert.time = clock_->now();
   alert.agent_id = agent_id;
   alert.type = type;
-  alert.path = path;
-  alert.observed_hash_hex = observed_hash_hex;
-  alert.detail = detail;
+  alert.path = std::move(path);
+  alert.observed_hash_hex = std::move(observed_hash_hex);
+  alert.detail = std::move(detail);
   alert.log_index = log_index;
   alert.policy_revision = rec.index ? rec.index->revision() : 0;
-  alerts_.push_back(alert);
+  // The round's copy is unavoidable (both streams are observable); the
+  // durable one is a move of the fully-built alert.
   round.alerts.push_back(alert);
-  log_line(LogLevel::kWarn, "verifier",
-           strformat("%s: %s", agent_id.c_str(), alert_type_name(type)),
-           {{"agent", agent_id},
-            {"path", path},
-            {"detail", detail},
-            {"log_index", strformat("%zu", log_index)}});
+  alerts_.push_back(std::move(alert));
+  const Alert& raised = alerts_.back();
+  // Formatting the line and its fields allocates per alert; skip all of
+  // it when nothing would be delivered — neither printed at the current
+  // threshold nor handed to the warn observer — so a mismatch storm on a
+  // silenced log does not allocate per entry.
+  if (log_line_enabled(LogLevel::kWarn)) {
+    log_line(LogLevel::kWarn, "verifier",
+             strformat("%s: %s", agent_id.c_str(), alert_type_name(type)),
+             {{"agent", agent_id},
+              {"path", raised.path},
+              {"detail", raised.detail},
+              {"log_index", strformat("%zu", log_index)}});
+  }
   if (metrics_) {
     metrics_
         ->counter("cia_verifier_alerts_total",
@@ -293,7 +301,7 @@ void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
   }
   if (tracer_) {
     tracer_->annotate("alert", alert_type_name(type));
-    if (!path.empty()) tracer_->annotate("alert_path", path);
+    if (!raised.path.empty()) tracer_->annotate("alert_path", raised.path);
   }
   // Revocation fan-out fires on the healthy -> failed transition only.
   // Under defer_revocations (the pool path: this code runs on a shard
@@ -303,7 +311,8 @@ void Verifier::raise(AgentRecord& rec, const std::string& agent_id,
     RevocationEvent event;
     event.time = clock_->now();
     event.agent_id = agent_id;
-    event.reason = strformat("%s %s", alert_type_name(type), path.c_str());
+    event.reason =
+        strformat("%s %s", alert_type_name(type), raised.path.c_str());
     if (config_.defer_revocations) {
       pending_revocations_.push_back(std::move(event));
     } else {
@@ -486,25 +495,46 @@ Result<AttestationRound> Verifier::attest_once_impl(const std::string& agent_id)
       tracer_->annotate("entries", strformat("%zu", qr.entries.size()));
     }
 
-    // 3+4 fused into one pass. Each entry's template hash must be the
-    // hash of its own data — otherwise a man-in-the-middle could swap
-    // the path or file hash the policy evaluates while leaving the PCR
-    // fold intact — and the shipped fragment must reproduce the quoted
-    // PCR 10. Computing the template hash once and folding it
-    // immediately halves the hashing the old two-loop shape paid, with
-    // no per-entry allocation. Folding the *recomputed* hash is safe
-    // because the equality check just pinned it to the shipped one.
+    // 3+4, block-pipelined. Each entry's template hash must be the hash
+    // of its own data — otherwise a man-in-the-middle could swap the
+    // path or file hash the policy evaluates while leaving the PCR fold
+    // intact — and the shipped fragment must reproduce the quoted
+    // PCR 10. The template hashes are independent of each other, so a
+    // block of them goes through sha256_batch (multi-lane SHA-NI/AVX2
+    // when the host has it); only the PCR fold, an inherently sequential
+    // hash chain, runs entry-at-a-time — over already-computed hashes,
+    // via the fused two-block pcr_fold. Blocks are checked in entry
+    // order before any of their hashes are folded, so the first
+    // mismatching entry raises exactly the alert the entry-at-a-time
+    // loop raised, and a mismatch discards the whole round's fold just
+    // as before. Folding the *recomputed* hash is safe because the
+    // equality check just pinned it to the shipped one.
+    constexpr std::size_t kVerifyBlock = 128;  // multiple of every lane width
+    crypto::HashInput inputs[kVerifyBlock];
+    crypto::Digest computed[kVerifyBlock];
     crypto::Digest folded = rec.accumulated_pcr;
-    for (const LogEntryView& e : qr.entries) {
-      const crypto::Digest computed =
-          crypto::template_hash_of(e.file_hash, e.path);
-      if (computed != e.template_hash) {
-        raise(rec, agent_id, AlertType::kReplayMismatch, std::string(e.path),
-              "", "template hash does not match entry data", rec.log_offset,
-              round);
-        return round;
+    const std::size_t total_entries = qr.entries.size();
+    for (std::size_t base = 0; base < total_entries; base += kVerifyBlock) {
+      const std::size_t count = std::min(kVerifyBlock, total_entries - base);
+      for (std::size_t i = 0; i < count; ++i) {
+        const LogEntryView& e = qr.entries[base + i];
+        inputs[i] = {e.file_hash.data(), e.file_hash.size(),
+                     reinterpret_cast<const std::uint8_t*>(e.path.data()),
+                     e.path.size()};
       }
-      folded = crypto::pcr_fold(folded, computed);
+      crypto::sha256_batch(inputs, count, computed);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (computed[i] != qr.entries[base + i].template_hash) {
+          raise(rec, agent_id, AlertType::kReplayMismatch,
+                std::string(qr.entries[base + i].path), "",
+                "template hash does not match entry data", rec.log_offset,
+                round);
+          return round;
+        }
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        folded = crypto::pcr_fold(folded, computed[i]);
+      }
     }
     if (folded != qr.quote.pcr_values[3]) {
       raise(rec, agent_id, AlertType::kReplayMismatch, "", "",

@@ -348,9 +348,13 @@ class Verifier : public PolicySink {
   /// Next 20-byte quote nonce for this agent (advances its counter).
   Bytes next_nonce(const std::string& agent_id, AgentRecord& rec);
 
+  // path/observed_hash_hex/detail are taken by value and moved into the
+  // Alert: call sites hand over freshly-built temporaries (path copies,
+  // digest_hex renders), so the storm path pays one string construction
+  // per field instead of construct-then-copy.
   void raise(AgentRecord& rec, const std::string& agent_id, AlertType type,
-             const std::string& path, const std::string& observed_hash_hex,
-             const std::string& detail, std::size_t log_index,
+             std::string path, std::string observed_hash_hex,
+             std::string detail, std::size_t log_index,
              AttestationRound& round);
 
   Result<AttestationRound> attest_once_impl(const std::string& agent_id);

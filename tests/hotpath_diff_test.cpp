@@ -256,7 +256,10 @@ struct DiffRig {
   std::unique_ptr<keylime::Agent> agent;
 };
 
-void run_workload_parity(bool continue_on_failure) {
+// Returns the fast verifier's rendered alert stream so callers can also
+// pin it byte-for-byte across SHA-256 backends.
+void run_workload_parity(bool continue_on_failure,
+                         std::string* rendered_out = nullptr) {
   DiffRig rig(continue_on_failure);
   auto& machine = *rig.machine;
 
@@ -316,6 +319,7 @@ void run_workload_parity(bool continue_on_failure) {
   rig.attest_and_compare();  // steady state / backlog drain
   EXPECT_GT(rig.cache.stats().hits, 0u)
       << "reboot re-appraisal should hit the verdict cache";
+  if (rendered_out) *rendered_out = render_alerts(rig.fast.alerts());
 }
 
 TEST(HotpathEndToEnd, AlertStreamsIdenticalUnderStockSemantics) {
@@ -324,6 +328,154 @@ TEST(HotpathEndToEnd, AlertStreamsIdenticalUnderStockSemantics) {
 
 TEST(HotpathEndToEnd, AlertStreamsIdenticalUnderContinueOnFailure) {
   run_workload_parity(/*continue_on_failure=*/true);
+}
+
+// ------------------------------------------------- multi-lane SHA-256
+
+// Pin a SHA-256 backend for a scope, restoring auto-dispatch after.
+class BackendGuard {
+ public:
+  explicit BackendGuard(crypto::Sha256Backend b) {
+    ok_ = crypto::force_backend(b);
+  }
+  ~BackendGuard() { crypto::force_backend(crypto::Sha256Backend::kAuto); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+};
+
+struct NamedBackend {
+  crypto::Sha256Backend backend;
+  const char* name;
+};
+
+std::vector<NamedBackend> supported_backends() {
+  std::vector<NamedBackend> out = {{crypto::Sha256Backend::kScalar, "scalar"}};
+  const NamedBackend hw[] = {{crypto::Sha256Backend::kShaNi, "shani"},
+                             {crypto::Sha256Backend::kShaNi2, "shani2"},
+                             {crypto::Sha256Backend::kAvx2, "avx2"}};
+  for (const NamedBackend& b : hw) {
+    if (crypto::sha256_backend_supported(b.backend)) out.push_back(b);
+  }
+  return out;
+}
+
+TEST(HotpathEndToEnd, AlertStreamsIdenticalOnEveryBackend) {
+  // The full workload parity run, once per supported backend (always
+  // including forced scalar), and the rendered alert stream of each run
+  // pinned byte-for-byte against the first: the lane kernels may change
+  // how template hashes are computed, never what any round concludes.
+  std::string reference;
+  const char* reference_backend = nullptr;
+  for (const NamedBackend& b : supported_backends()) {
+    SCOPED_TRACE(b.name);
+    BackendGuard guard(b.backend);
+    ASSERT_TRUE(guard.ok());
+    std::string rendered;
+    run_workload_parity(/*continue_on_failure=*/false, &rendered);
+    if (::testing::Test::HasFatalFailure()) return;
+    if (reference_backend == nullptr) {
+      reference = rendered;
+      reference_backend = b.name;
+      EXPECT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(rendered, reference)
+          << "alert stream diverges between backends " << reference_backend
+          << " and " << b.name;
+    }
+  }
+}
+
+TEST(HotpathEndToEnd, LaneBoundaryLogSizes) {
+  // Fragment sizes straddling every grouping boundary of the batched
+  // verify+fold: the 2-wide and 8-wide lane widths (±1), the ragged
+  // partial buckets, and the 128-entry pipeline block (±1). Each round
+  // ships exactly one batch as the new log fragment; fast and slow
+  // verifiers must agree round by round, and two rogue rounds place an
+  // unknown binary exactly at a lane boundary (index 8 of 17) and at the
+  // pipeline-block boundary (index 128 of 129) to pin first-bad-entry
+  // ordering through the batched compare.
+  DiffRig rig(/*continue_on_failure=*/false);
+  auto& machine = *rig.machine;
+
+  const std::vector<std::size_t> sizes = {1, 2, 3, 7, 8, 9, 16, 17, 127, 128};
+  struct RogueRound {
+    std::size_t size;
+    std::size_t rogue_at;
+  };
+  const std::vector<RogueRound> rogue_rounds = {{17, 8}, {129, 128}};
+
+  // Plan every file up front so the policy can bless the golden ones
+  // before any round runs (the measured file hash is the hash of the
+  // file's content). Rogue files are planned too — just never blessed.
+  RuntimePolicy policy;
+  int file_no = 0;
+  std::vector<std::vector<std::string>> batches;
+  for (const std::size_t k : sizes) {
+    std::vector<std::string> batch;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::string path = "/opt/lane/bin-" + std::to_string(file_no++);
+      policy.allow(path, crypto::sha256("elf:" + path));
+      batch.push_back(path);
+    }
+    batches.push_back(std::move(batch));
+  }
+  std::vector<std::vector<std::string>> rogue_batches;
+  for (const RogueRound& rr : rogue_rounds) {
+    std::vector<std::string> batch;
+    for (std::size_t i = 0; i < rr.size; ++i) {
+      const bool rogue = i == rr.rogue_at;
+      const std::string path =
+          std::string(rogue ? "/opt/lane/rogue-" : "/opt/lane/bin-") +
+          std::to_string(file_no++);
+      if (!rogue) policy.allow(path, crypto::sha256("elf:" + path));
+      batch.push_back(path);
+    }
+    rogue_batches.push_back(std::move(batch));
+  }
+  // Bless whatever the boot itself measured (init units and friends) so
+  // the only judged entries are the ones this test plants deliberately.
+  for (const auto& e : machine.ima().log()) {
+    if (e.path == "boot_aggregate") continue;
+    policy.allow(e.path, e.file_hash);
+  }
+  policy.exclude("/tmp/*");
+  rig.install_policy(policy);
+
+  // Round 0 consumes the boot-time measurements cleanly.
+  rig.attest_and_compare();
+  EXPECT_TRUE(rig.fast.alerts().empty());
+
+  for (const auto& batch : batches) {
+    for (const std::string& p : batch) {
+      ASSERT_TRUE(
+          machine.fs().create_file(p, to_bytes("elf:" + p), true).ok());
+      ASSERT_TRUE(machine.exec(p).ok());
+    }
+    rig.attest_and_compare();
+  }
+
+  for (std::size_t r = 0; r < rogue_batches.size(); ++r) {
+    const auto& batch = rogue_batches[r];
+    for (const std::string& p : batch) {
+      ASSERT_TRUE(
+          machine.fs().create_file(p, to_bytes("elf:" + p), true).ok());
+      ASSERT_TRUE(machine.exec(p).ok());
+    }
+    const std::size_t alerts_before = rig.fast.alerts().size();
+    rig.attest_and_compare();
+    // Exactly one new alert, and it names the planted rogue — proof the
+    // batched compare still judges entries first-bad-first.
+    ASSERT_EQ(rig.fast.alerts().size(), alerts_before + 1);
+    const keylime::Alert& a = rig.fast.alerts().back();
+    EXPECT_EQ(a.type, keylime::AlertType::kNotInPolicy);
+    EXPECT_EQ(a.path, batch[rogue_rounds[r].rogue_at]);
+    ASSERT_TRUE(rig.fast.resolve_failure("diff-node").ok());
+    ASSERT_TRUE(rig.slow.resolve_failure("diff-node").ok());
+    rig.attest_and_compare();  // backlog drain after the halt
+    EXPECT_EQ(rig.fast.pending_entries("diff-node"), 0u);
+  }
 }
 
 }  // namespace

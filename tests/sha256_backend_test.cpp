@@ -1,0 +1,264 @@
+// Cross-backend differential battery for the multi-lane SHA-256
+// implementations. Every backend the host supports is held against the
+// scalar reference over:
+//
+//  - every tail length 0..129 (covers 0-3 padded blocks and both sides
+//    of every block/padding boundary), as one-segment and two-segment
+//    HashInputs,
+//  - long-message classes that leave the lane scratch buffers and take
+//    the streamed-body / single-stream routes,
+//  - lane-count edge cases: n = 0, 1, lane_width±1 for both kernel
+//    widths, and a large prime,
+//  - the FIPS 180-4 known-answer vectors, pinned per backend (not just
+//    backend-vs-backend agreement),
+//  - pcr_fold, whose fused two-block kernels bypass sha256_batch
+//    entirely.
+//
+// The battery runs for each supported backend and silently covers less
+// on hosts without SHA-NI/AVX2 — the CI forced-scalar job pins the pure
+// fallback configuration separately.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace cia::crypto {
+namespace {
+
+// Pin a backend for the duration of a scope, restoring auto-dispatch on
+// the way out so test order never leaks a forced backend.
+class BackendGuard {
+ public:
+  explicit BackendGuard(Sha256Backend b) { ok_ = force_backend(b); }
+  ~BackendGuard() { force_backend(Sha256Backend::kAuto); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+};
+
+std::vector<Sha256Backend> supported_backends() {
+  std::vector<Sha256Backend> out = {Sha256Backend::kScalar};
+  for (Sha256Backend b : {Sha256Backend::kShaNi, Sha256Backend::kShaNi2,
+                          Sha256Backend::kAvx2}) {
+    if (sha256_backend_supported(b)) out.push_back(b);
+  }
+  return out;
+}
+
+const char* backend_label(Sha256Backend b) {
+  switch (b) {
+    case Sha256Backend::kScalar: return "scalar";
+    case Sha256Backend::kShaNi: return "shani";
+    case Sha256Backend::kShaNi2: return "shani2";
+    case Sha256Backend::kAvx2: return "avx2";
+    case Sha256Backend::kAuto: return "auto";
+  }
+  return "?";
+}
+
+// Deterministic filler so failures reproduce byte-for-byte.
+std::vector<std::uint8_t> pattern_bytes(std::size_t len, std::uint32_t seed) {
+  std::vector<std::uint8_t> out(len);
+  std::uint32_t x = seed * 2654435761u + 1;
+  for (std::size_t i = 0; i < len; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    out[i] = static_cast<std::uint8_t>(x);
+  }
+  return out;
+}
+
+HashInput split_input(const std::vector<std::uint8_t>& msg, std::size_t cut) {
+  HashInput in;
+  in.a = msg.data();
+  in.a_len = cut;
+  in.b = msg.data() + cut;
+  in.b_len = msg.size() - cut;
+  return in;
+}
+
+// Scalar-reference digests for a set of inputs.
+std::vector<Digest> scalar_reference(const std::vector<HashInput>& in) {
+  BackendGuard guard(Sha256Backend::kScalar);
+  EXPECT_TRUE(guard.ok());
+  std::vector<Digest> out(in.size());
+  sha256_batch(in.data(), in.size(), out.data());
+  return out;
+}
+
+void expect_backend_matches(Sha256Backend b, const std::vector<HashInput>& in,
+                            const std::vector<Digest>& want,
+                            const char* what) {
+  BackendGuard guard(b);
+  ASSERT_TRUE(guard.ok()) << backend_label(b);
+  std::vector<Digest> got(in.size());
+  sha256_batch(in.data(), in.size(), got.data());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    ASSERT_EQ(digest_hex(got[i]), digest_hex(want[i]))
+        << what << " backend=" << backend_label(b) << " input#" << i
+        << " a_len=" << in[i].a_len << " b_len=" << in[i].b_len;
+  }
+}
+
+TEST(Sha256BackendTest, EveryTailLengthBothSegmentShapes) {
+  // One message per (length, split) pair, all hashed as one batch so the
+  // harness also sees mixed block counts in a single call.
+  std::vector<std::vector<std::uint8_t>> storage;
+  storage.reserve(130);
+  std::vector<HashInput> inputs;
+  for (std::size_t len = 0; len <= 129; ++len) {
+    storage.push_back(pattern_bytes(len, static_cast<std::uint32_t>(len)));
+  }
+  for (std::size_t len = 0; len <= 129; ++len) {
+    const auto& msg = storage[len];
+    // One-segment, two-segment at an uneven cut, and two-segment at the
+    // template-hash shape (32-byte first segment) when long enough.
+    inputs.push_back(split_input(msg, msg.size()));
+    inputs.push_back(split_input(msg, msg.size() / 3));
+    if (msg.size() >= 32) inputs.push_back(split_input(msg, 32));
+  }
+  const std::vector<Digest> want = scalar_reference(inputs);
+  for (Sha256Backend b : supported_backends()) {
+    expect_backend_matches(b, inputs, want, "tail-lengths");
+  }
+}
+
+TEST(Sha256BackendTest, LongMessagesLeaveTheLaneScratch) {
+  // 503 is the largest payload that still fits a lane buffer; everything
+  // beyond takes the streamed-body (shani2, single-segment) or
+  // single-stream route. Odd counts of long messages exercise the
+  // unpaired-leftover path.
+  const std::vector<std::size_t> lengths = {503, 504, 511, 512, 1000,
+                                            4096, 65537};
+  std::vector<std::vector<std::uint8_t>> storage;
+  std::vector<HashInput> inputs;
+  for (std::size_t len : lengths) {
+    storage.push_back(pattern_bytes(len, static_cast<std::uint32_t>(len)));
+  }
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    const auto& msg = storage[i];
+    inputs.push_back(split_input(msg, msg.size()));  // single-segment
+    inputs.push_back(split_input(msg, 0));           // b-only single span
+    inputs.push_back(split_input(msg, 100));         // two-segment long
+  }
+  const std::vector<Digest> want = scalar_reference(inputs);
+  for (Sha256Backend b : supported_backends()) {
+    expect_backend_matches(b, inputs, want, "long-messages");
+  }
+}
+
+TEST(Sha256BackendTest, LaneCountEdgeCases) {
+  // n around both kernel widths (2-wide SHA-NI, 8-wide AVX2) plus a
+  // large prime so every batch ends with a ragged partial bucket.
+  const auto base = pattern_bytes(4096, 7);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}, std::size_t{7}, std::size_t{8},
+                              std::size_t{9}, std::size_t{16}, std::size_t{17},
+                              std::size_t{127}}) {
+    std::vector<HashInput> inputs;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Lengths cycle through block classes so buckets fill unevenly.
+      const std::size_t len = (i * 37) % 200;
+      HashInput in;
+      in.a = base.data() + i;
+      in.a_len = std::min<std::size_t>(len, 32);
+      in.b = base.data() + 64 + i;
+      in.b_len = len - in.a_len;
+      inputs.push_back(in);
+    }
+    const std::vector<Digest> want = scalar_reference(inputs);
+    for (Sha256Backend b : supported_backends()) {
+      expect_backend_matches(b, inputs, want, "lane-count");
+    }
+  }
+}
+
+TEST(Sha256BackendTest, FipsKnownAnswersPinnedPerBackend) {
+  const std::string abc = "abc";
+  const std::string two_block =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  const std::string empty;
+  struct Kat {
+    const std::string* msg;
+    const char* hex;
+  };
+  const Kat kats[] = {
+      {&empty,
+       "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+      {&abc,
+       "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+      {&two_block,
+       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+  };
+  for (Sha256Backend b : supported_backends()) {
+    BackendGuard guard(b);
+    ASSERT_TRUE(guard.ok());
+    for (const Kat& kat : kats) {
+      // Through the streaming context…
+      EXPECT_EQ(digest_hex(sha256(*kat.msg)), kat.hex) << backend_label(b);
+      // …and through the batch API.
+      HashInput in;
+      in.a = reinterpret_cast<const std::uint8_t*>(kat.msg->data());
+      in.a_len = kat.msg->size();
+      Digest out;
+      sha256_batch(&in, 1, &out);
+      EXPECT_EQ(digest_hex(out), kat.hex) << backend_label(b);
+    }
+  }
+}
+
+TEST(Sha256BackendTest, PcrFoldFusedKernelsMatchStreaming) {
+  // pcr_fold has dedicated fused kernels (constant-pad schedule) that
+  // never touch sha256_batch; pin them against the plain streaming
+  // two-segment hash on every backend.
+  for (Sha256Backend b : supported_backends()) {
+    BackendGuard guard(b);
+    ASSERT_TRUE(guard.ok());
+    for (std::uint32_t seed = 0; seed < 16; ++seed) {
+      const auto acc_bytes = pattern_bytes(32, seed * 2 + 1);
+      const auto t_bytes = pattern_bytes(32, seed * 2 + 2);
+      Digest acc, t;
+      std::copy(acc_bytes.begin(), acc_bytes.end(), acc.begin());
+      std::copy(t_bytes.begin(), t_bytes.end(), t.begin());
+      const Digest want =
+          sha256_pair(acc.data(), acc.size(), t.data(), t.size());
+      EXPECT_EQ(digest_hex(pcr_fold(acc, t)), digest_hex(want))
+          << backend_label(b) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Sha256BackendTest, BackendControls) {
+  // kAuto always pins successfully (it clears the pin).
+  EXPECT_TRUE(force_backend(Sha256Backend::kAuto));
+  EXPECT_TRUE(sha256_backend_supported(Sha256Backend::kScalar));
+  {
+    BackendGuard guard(Sha256Backend::kScalar);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(sha256_active_backend(), Sha256Backend::kScalar);
+    EXPECT_STREQ(sha256_backend_name(), "scalar");
+    EXPECT_FALSE(sha256_hw_accelerated());
+  }
+  // Unsupported backends refuse the pin and leave dispatch unchanged.
+  for (Sha256Backend b : {Sha256Backend::kShaNi, Sha256Backend::kShaNi2,
+                          Sha256Backend::kAvx2}) {
+    if (!sha256_backend_supported(b)) {
+      const Sha256Backend before = sha256_active_backend();
+      EXPECT_FALSE(force_backend(b));
+      EXPECT_EQ(sha256_active_backend(), before);
+    }
+  }
+  // The active backend name is one of the known labels.
+  const std::string name = sha256_backend_name();
+  EXPECT_TRUE(name == "scalar" || name == "shani" || name == "shani2" ||
+              name == "avx2")
+      << name;
+}
+
+}  // namespace
+}  // namespace cia::crypto
